@@ -1,0 +1,184 @@
+#ifndef DHGCN_BENCH_BENCH_COMMON_H_
+#define DHGCN_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the table-reproduction benchmark binaries.
+//
+// Every bench_tableN binary regenerates one table of the paper's
+// evaluation section on the synthetic substrate (see DESIGN.md §3 for the
+// substitution rationale). Output format: the paper's reported numbers
+// side by side with the numbers measured here, followed by verdicts on
+// the *shape* claims (who wins). Absolute values are not expected to
+// match — the substrate and scale differ — but orderings should.
+//
+// Scale is controlled by DHGCN_BENCH_SCALE (smoke | default | full).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "base/string_util.h"
+#include "base/timer.h"
+#include "data/dataset.h"
+#include "models/model_zoo.h"
+#include "train/evaluator.h"
+#include "train/experiment.h"
+#include "train/table.h"
+#include "train/trainer.h"
+
+namespace dhgcn::bench {
+
+/// Model capacity used by all table benches: three spatial-temporal
+/// blocks, capacity-matched across architectures.
+inline ModelZooOptions BenchZoo(uint64_t seed = 17) {
+  ModelZooOptions options;
+  options.scale.channels = {16, 32, 64};
+  options.scale.strides = {1, 2, 2};
+  options.scale.dropout = 0.0f;
+  options.kn = 3;
+  options.km = 4;
+  options.seed = seed;
+  return options;
+}
+
+/// NTU-RGB+D-60-like synthetic dataset at the current bench scale.
+inline SkeletonDataset MakeNtuLike(const BenchScale& scale,
+                                   uint64_t seed = 41) {
+  SyntheticDataConfig config = NtuLikeConfig(
+      scale.num_classes, scale.samples_per_class, scale.num_frames, seed);
+  return SkeletonDataset::Generate(config).MoveValue();
+}
+
+/// NTU-RGB+D-120-like: more subjects and eight setups (X-Set protocol).
+inline SkeletonDataset MakeNtu120Like(const BenchScale& scale,
+                                      uint64_t seed = 43) {
+  SyntheticDataConfig config = NtuLikeConfig(
+      scale.num_classes, scale.samples_per_class, scale.num_frames, seed);
+  config.num_subjects = 12;
+  config.num_setups = 8;
+  return SkeletonDataset::Generate(config).MoveValue();
+}
+
+/// Kinetics-Skeleton-like: 18-joint 2-D data with OpenPose-style defects.
+/// Uses twice the class count of the NTU-like runs so the Top-5 metric is
+/// non-trivial (the real dataset has 400 classes).
+inline SkeletonDataset MakeKineticsLike(const BenchScale& scale,
+                                        uint64_t seed = 47) {
+  SyntheticDataConfig config = KineticsLikeConfig(
+      scale.num_classes * 2, scale.samples_per_class, scale.num_frames,
+      seed);
+  return SkeletonDataset::Generate(config).MoveValue();
+}
+
+/// Number of repeated runs (different seeds) averaged per table cell.
+/// Controlled by DHGCN_BENCH_REPEATS (default 1). With tens of test
+/// samples per split, a single run carries several points of noise; the
+/// paper's sub-point deltas only become resolvable with averaging.
+inline int64_t BenchRepeats() {
+  const char* env = std::getenv("DHGCN_BENCH_REPEATS");
+  if (env == nullptr) return 1;
+  int64_t repeats = std::atoll(env);
+  return repeats >= 1 ? repeats : 1;
+}
+
+inline void AccumulateMetrics(EvalMetrics& total, const EvalMetrics& run) {
+  total.top1 += run.top1;
+  total.top5 += run.top5;
+  total.loss += run.loss;
+  total.count = run.count;
+}
+
+inline void ScaleMetrics(EvalMetrics& total, int64_t repeats) {
+  total.top1 /= static_cast<double>(repeats);
+  total.top5 /= static_cast<double>(repeats);
+  total.loss /= static_cast<double>(repeats);
+}
+
+/// Trains a fresh model of `kind` on one stream and evaluates it,
+/// averaged over BenchRepeats() seeds.
+inline EvalMetrics RunStream(ModelKind kind, const SkeletonDataset& dataset,
+                             const DatasetSplit& split, InputStream stream,
+                             const BenchScale& scale, uint64_t seed) {
+  int64_t repeats = BenchRepeats();
+  EvalMetrics total;
+  for (int64_t r = 0; r < repeats; ++r) {
+    uint64_t run_seed = seed + static_cast<uint64_t>(r) * 1000;
+    ModelZooOptions zoo = BenchZoo(run_seed);
+    LayerPtr model = CreateModel(kind, dataset.layout_type(),
+                                 dataset.num_classes(), zoo);
+    AccumulateMetrics(total, TrainAndEvaluateStream(
+                                 *model, dataset, split, stream,
+                                 BenchTrainOptions(scale),
+                                 scale.batch_size, run_seed));
+  }
+  ScaleMetrics(total, repeats);
+  return total;
+}
+
+/// Full two-stream run (joint + bone + fusion) for a model kind,
+/// averaged over BenchRepeats() seeds.
+inline TwoStreamEval RunTwoStream(ModelKind kind,
+                                  const SkeletonDataset& dataset,
+                                  const DatasetSplit& split,
+                                  const BenchScale& scale, uint64_t seed) {
+  int64_t repeats = BenchRepeats();
+  TwoStreamEval total;
+  for (int64_t r = 0; r < repeats; ++r) {
+    uint64_t run_seed = seed + static_cast<uint64_t>(r) * 1000;
+    ModelZooOptions zoo = BenchZoo(run_seed);
+    TwoStreamEval run = RunTwoStreamExperiment(
+        [&] {
+          return CreateModel(kind, dataset.layout_type(),
+                             dataset.num_classes(), zoo);
+        },
+        dataset, split, BenchTrainOptions(scale), scale.batch_size,
+        run_seed);
+    AccumulateMetrics(total.joint, run.joint);
+    AccumulateMetrics(total.bone, run.bone);
+    AccumulateMetrics(total.fused, run.fused);
+  }
+  ScaleMetrics(total.joint, repeats);
+  ScaleMetrics(total.bone, repeats);
+  ScaleMetrics(total.fused, repeats);
+  return total;
+}
+
+/// "87.5" for 0.875; "-" for the paper's missing entries.
+inline std::string Pct(double fraction) { return FormatPercent(fraction); }
+
+/// Prints the standard bench header.
+inline void PrintHeader(const std::string& title,
+                        const std::string& paper_ref,
+                        const BenchScale& scale) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("Reproduces %s on the synthetic substrate (DESIGN.md §3).\n",
+              paper_ref.c_str());
+  std::printf(
+      "Scale '%s': %lld classes x %lld samples, T=%lld, %lld epochs, "
+      "%lld seed(s) per cell.\n"
+      "Paper numbers are the published ones; measured numbers come from "
+      "this run.\nAbsolute values differ by design; orderings (shape) are "
+      "what should match.\nNote: with tens of test samples per split, a "
+      "single seed carries several\npercentage points of noise — "
+      "sub-point paper deltas need DHGCN_BENCH_REPEATS>1.\n\n",
+      scale.name.c_str(), static_cast<long long>(scale.num_classes),
+      static_cast<long long>(scale.samples_per_class),
+      static_cast<long long>(scale.num_frames),
+      static_cast<long long>(scale.epochs),
+      static_cast<long long>(BenchRepeats()));
+}
+
+/// Prints a PASS/WARN verdict for a shape claim.
+inline bool Verdict(const std::string& claim, bool holds) {
+  std::printf("  [%s] %s\n", holds ? "PASS" : "WARN", claim.c_str());
+  return holds;
+}
+
+/// Footer with wall-clock.
+inline void PrintFooter(const WallTimer& timer) {
+  std::printf("\nTotal wall time: %.1fs\n", timer.ElapsedSeconds());
+}
+
+}  // namespace dhgcn::bench
+
+#endif  // DHGCN_BENCH_BENCH_COMMON_H_

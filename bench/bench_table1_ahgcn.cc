@@ -1,0 +1,94 @@
+// Reproduces Tab. 1: "The effectiveness of hypergraph on existing
+// GCN-based method" — 2s-AGCN vs 2s-AHGCN (the same adaptive backbone
+// with the skeleton-graph operator replaced by the static-hypergraph
+// operator), on Kinetics-like (Top-1/Top-5) and NTU-60-like
+// (X-Sub / X-View) data, per stream and fused.
+
+#include "bench/bench_common.h"
+
+namespace dhgcn::bench {
+namespace {
+
+struct Tab1Row {
+  std::string method;
+  std::string kin_top1_paper, kin_top5_paper, xsub_paper, xview_paper;
+  double kin_top1 = 0, kin_top5 = 0, xsub = 0, xview = 0;
+};
+
+int Run() {
+  WallTimer timer;
+  BenchScale scale = GetBenchScale();
+  PrintHeader("Table 1: hypergraph vs graph on the 2s-AGCN backbone",
+              "Tab. 1 (2s-AGCN vs 2s-AHGCN)", scale);
+
+  SkeletonDataset kinetics = MakeKineticsLike(scale);
+  SkeletonDataset ntu = MakeNtuLike(scale);
+  DatasetSplit kin_split = MakeSplit(kinetics, SplitProtocol::kRandom, 2);
+  DatasetSplit xsub = MakeSplit(ntu, SplitProtocol::kCrossSubject);
+  DatasetSplit xview = MakeSplit(ntu, SplitProtocol::kCrossView);
+
+  std::printf("Training 2s-AGCN (joint+bone) and 2s-AHGCN (joint+bone) on "
+              "3 splits each...\n\n");
+  TwoStreamEval agcn_kin = RunTwoStream(ModelKind::kAgcn, kinetics,
+                                        kin_split, scale, 101);
+  TwoStreamEval ahgcn_kin = RunTwoStream(ModelKind::kAhgcn, kinetics,
+                                         kin_split, scale, 101);
+  TwoStreamEval agcn_xsub =
+      RunTwoStream(ModelKind::kAgcn, ntu, xsub, scale, 103);
+  TwoStreamEval ahgcn_xsub =
+      RunTwoStream(ModelKind::kAhgcn, ntu, xsub, scale, 103);
+  TwoStreamEval agcn_xview =
+      RunTwoStream(ModelKind::kAgcn, ntu, xview, scale, 105);
+  TwoStreamEval ahgcn_xview =
+      RunTwoStream(ModelKind::kAhgcn, ntu, xview, scale, 105);
+
+  std::vector<Tab1Row> rows = {
+      {"2s-AGCN(Joint)", "35.1", "57.1", "-", "93.7", agcn_kin.joint.top1,
+       agcn_kin.joint.top5, agcn_xsub.joint.top1, agcn_xview.joint.top1},
+      {"2s-AHGCN(Joint)", "35.5", "57.6", "87.5", "94.2",
+       ahgcn_kin.joint.top1, ahgcn_kin.joint.top5, ahgcn_xsub.joint.top1,
+       ahgcn_xview.joint.top1},
+      {"2s-AGCN(Bone)", "33.3", "55.7", "-", "93.2", agcn_kin.bone.top1,
+       agcn_kin.bone.top5, agcn_xsub.bone.top1, agcn_xview.bone.top1},
+      {"2s-AHGCN(Bone)", "34.5", "56.8", "87.6", "93.6",
+       ahgcn_kin.bone.top1, ahgcn_kin.bone.top5, ahgcn_xsub.bone.top1,
+       ahgcn_xview.bone.top1},
+      {"2s-AGCN", "36.1", "58.7", "88.5", "95.1", agcn_kin.fused.top1,
+       agcn_kin.fused.top5, agcn_xsub.fused.top1, agcn_xview.fused.top1},
+      {"2s-AHGCN", "37.0", "59.8", "89.4", "95.4", ahgcn_kin.fused.top1,
+       ahgcn_kin.fused.top5, ahgcn_xsub.fused.top1,
+       ahgcn_xview.fused.top1},
+  };
+
+  TextTable table({"Method", "Kin Top1 (paper/ours)",
+                   "Kin Top5 (paper/ours)", "X-Sub (paper/ours)",
+                   "X-View (paper/ours)"});
+  for (const Tab1Row& row : rows) {
+    table.AddRow({row.method,
+                  StrCat(row.kin_top1_paper, " / ", Pct(row.kin_top1)),
+                  StrCat(row.kin_top5_paper, " / ", Pct(row.kin_top5)),
+                  StrCat(row.xsub_paper, " / ", Pct(row.xsub)),
+                  StrCat(row.xview_paper, " / ", Pct(row.xview))});
+  }
+  table.Print(std::cout);
+
+  std::printf("\nShape claims (paper: hypergraph helps the same "
+              "backbone):\n");
+  Verdict("2s-AHGCN fused >= 2s-AGCN fused on Kinetics-like (Top-1)",
+          ahgcn_kin.fused.top1 >= agcn_kin.fused.top1);
+  Verdict("2s-AHGCN fused >= 2s-AGCN fused on NTU-like X-Sub",
+          ahgcn_xsub.fused.top1 >= agcn_xsub.fused.top1);
+  Verdict("2s-AHGCN fused >= 2s-AGCN fused on NTU-like X-View",
+          ahgcn_xview.fused.top1 >= agcn_xview.fused.top1);
+  Verdict("fusion >= best single stream (AHGCN, X-Sub)",
+          ahgcn_xsub.fused.top1 >=
+              std::max(ahgcn_xsub.joint.top1, ahgcn_xsub.bone.top1) - 1e-9);
+
+  PrintFooter(timer);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dhgcn::bench
+
+int main() { return dhgcn::bench::Run(); }

@@ -1,0 +1,69 @@
+// Reproduces Tab. 5: "The performance comparison of DHGCN with different
+// input data" — joint stream vs bone stream vs the two-stream fusion, on
+// Kinetics-like and NTU-60-like data. Paper: fusion beats both single
+// streams on every benchmark.
+
+#include "bench/bench_common.h"
+
+namespace dhgcn::bench {
+namespace {
+
+int Run() {
+  WallTimer timer;
+  BenchScale scale = GetBenchScale();
+  PrintHeader("Table 5: joint / bone / two-stream fusion",
+              "Tab. 5 (DHGCN input-stream ablation)", scale);
+
+  SkeletonDataset kinetics = MakeKineticsLike(scale);
+  SkeletonDataset ntu = MakeNtuLike(scale);
+  DatasetSplit kin_split = MakeSplit(kinetics, SplitProtocol::kRandom, 2);
+  DatasetSplit xsub = MakeSplit(ntu, SplitProtocol::kCrossSubject);
+  DatasetSplit xview = MakeSplit(ntu, SplitProtocol::kCrossView);
+
+  std::printf("Training DHGCN two-stream on 3 splits...\n\n");
+  TwoStreamEval kin = RunTwoStream(ModelKind::kDhgcn, kinetics, kin_split,
+                                   scale, 501);
+  TwoStreamEval sub = RunTwoStream(ModelKind::kDhgcn, ntu, xsub, scale,
+                                   503);
+  TwoStreamEval view = RunTwoStream(ModelKind::kDhgcn, ntu, xview, scale,
+                                    507);
+
+  TextTable table({"Method", "Kin Top1 (paper/ours)",
+                   "Kin Top5 (paper/ours)", "X-Sub (paper/ours)",
+                   "X-View (paper/ours)"});
+  table.AddRow({"DHGCN(joint)", StrCat("35.9 / ", Pct(kin.joint.top1)),
+                StrCat("58.0 / ", Pct(kin.joint.top5)),
+                StrCat("88.6 / ", Pct(sub.joint.top1)),
+                StrCat("94.8 / ", Pct(view.joint.top1))});
+  table.AddRow({"DHGCN(bone)", StrCat("35.5 / ", Pct(kin.bone.top1)),
+                StrCat("58.2 / ", Pct(kin.bone.top5)),
+                StrCat("89.0 / ", Pct(sub.bone.top1)),
+                StrCat("94.5 / ", Pct(view.bone.top1))});
+  table.AddRow({"DHGCN", StrCat("37.7 / ", Pct(kin.fused.top1)),
+                StrCat("60.6 / ", Pct(kin.fused.top5)),
+                StrCat("90.7 / ", Pct(sub.fused.top1)),
+                StrCat("96.0 / ", Pct(view.fused.top1))});
+  table.Print(std::cout);
+
+  std::printf("\nShape claims (paper: fusion beats each single stream):\n");
+  Verdict("fused >= joint on Kinetics-like",
+          kin.fused.top1 >= kin.joint.top1 - 1e-9);
+  Verdict("fused >= bone on Kinetics-like",
+          kin.fused.top1 >= kin.bone.top1 - 1e-9);
+  Verdict("fused >= joint on NTU-like X-Sub",
+          sub.fused.top1 >= sub.joint.top1 - 1e-9);
+  Verdict("fused >= bone on NTU-like X-Sub",
+          sub.fused.top1 >= sub.bone.top1 - 1e-9);
+  Verdict("fused >= joint on NTU-like X-View",
+          view.fused.top1 >= view.joint.top1 - 1e-9);
+  Verdict("fused >= bone on NTU-like X-View",
+          view.fused.top1 >= view.bone.top1 - 1e-9);
+
+  PrintFooter(timer);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dhgcn::bench
+
+int main() { return dhgcn::bench::Run(); }

@@ -1,0 +1,79 @@
+// Train every architecture in the model zoo on the same synthetic
+// NTU-like dataset and print a leaderboard — a minimal version of the
+// paper's Tab. 7 on a workload that runs in a couple of minutes.
+//
+// Usage: ./build/examples/compare_models [epochs]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "base/string_util.h"
+#include "models/model_zoo.h"
+#include "train/experiment.h"
+#include "train/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dhgcn;
+
+  int64_t epochs = argc > 1 ? std::atoll(argv[1]) : 12;
+  if (epochs <= 0) {
+    std::fprintf(stderr, "usage: %s [epochs>0]\n", argv[0]);
+    return 1;
+  }
+
+  SkeletonDataset dataset =
+      SkeletonDataset::Generate(
+          NtuLikeConfig(/*num_classes=*/4, /*samples_per_class=*/16,
+                        /*num_frames=*/16, /*seed=*/23))
+          .ValueOrDie();
+  DatasetSplit split = MakeSplit(dataset, SplitProtocol::kCrossSubject);
+
+  ModelZooOptions zoo;
+  zoo.scale.channels = {12, 24, 32};
+  zoo.scale.strides = {1, 2, 1};
+  zoo.scale.dropout = 0.0f;
+  zoo.kn = 3;
+  zoo.km = 4;
+
+  TrainOptions train_options;
+  train_options.epochs = epochs;
+  train_options.initial_lr = 0.05f;
+  train_options.lr_milestones = {epochs * 3 / 5, epochs * 4 / 5};
+
+  struct Entry {
+    ModelKind kind;
+    double top1;
+    int64_t params;
+  };
+  std::vector<Entry> entries;
+  for (ModelKind kind :
+       {ModelKind::kTcn, ModelKind::kStgcn, ModelKind::kAgcn,
+        ModelKind::kAhgcn, ModelKind::kPbgcn4, ModelKind::kPbhgcn4,
+        ModelKind::kDhgcn}) {
+    LayerPtr model = CreateModel(kind, dataset.layout_type(),
+                                 dataset.num_classes(), zoo);
+    int64_t params = model->ParameterCount();
+    std::printf("training %-14s (%lld params)...\n",
+                ModelKindName(kind).c_str(),
+                static_cast<long long>(params));
+    EvalMetrics metrics = TrainAndEvaluateStream(
+        *model, dataset, split, InputStream::kJoint, train_options,
+        /*batch_size=*/8, /*seed=*/29);
+    entries.push_back({kind, metrics.top1, params});
+  }
+
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.top1 > b.top1; });
+  TextTable table({"Rank", "Method", "X-Sub Top-1", "Params"});
+  for (size_t i = 0; i < entries.size(); ++i) {
+    table.AddRow({std::to_string(i + 1), ModelKindName(entries[i].kind),
+                  FormatPercent(entries[i].top1) + "%",
+                  std::to_string(entries[i].params)});
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: the smallest end-to-end DHGCN program.
+//
+//   1. Generate a synthetic skeleton-action dataset (NTU-25 layout).
+//   2. Build a small DHGCN classifier.
+//   3. Train it for a few epochs with the paper's SGD recipe.
+//   4. Evaluate Top-1 / Top-5 accuracy on held-out samples.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/dhgcn_model.h"
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "train/evaluator.h"
+#include "train/experiment.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace dhgcn;
+
+  // 1. Data: 4 synthetic action classes, 16 samples each, 16 frames.
+  SyntheticDataConfig data_config =
+      NtuLikeConfig(/*num_classes=*/4, /*samples_per_class=*/16,
+                    /*num_frames=*/16, /*seed=*/7);
+  Result<SkeletonDataset> dataset = SkeletonDataset::Generate(data_config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  DatasetSplit split = dataset->RandomSplit(/*test_fraction=*/0.25f, 1);
+  std::printf("dataset: %lld samples, %lld train / %lld test\n",
+              static_cast<long long>(dataset->size()),
+              static_cast<long long>(split.train.size()),
+              static_cast<long long>(split.test.size()));
+
+  // 2. Model: a 3-block DHGCN with the paper's best k_n=3, k_m=4.
+  DhgcnConfig model_config =
+      DhgcnConfig::Small(SkeletonLayoutType::kNtu25, /*num_classes=*/4);
+  model_config.blocks = {{12, 1, 1}, {24, 2, 1}, {32, 1, 2}};
+  model_config.topology.kn = 3;
+  model_config.topology.km = 4;
+  Result<std::unique_ptr<DhgcnModel>> model = DhgcnModel::Make(model_config);
+  if (!model.ok()) {
+    std::fprintf(stderr, "model: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("model: %s with %lld parameters\n",
+              (*model)->name().c_str(),
+              static_cast<long long>((*model)->ParameterCount()));
+
+  // 3. Train on the joint stream.
+  DataLoader train_loader(&*dataset, split.train, /*batch_size=*/8,
+                          InputStream::kJoint, /*shuffle=*/true, Rng(3));
+  TrainOptions train_options;
+  train_options.epochs = 16;
+  train_options.initial_lr = 0.05f;
+  train_options.lr_milestones = {10, 13};
+  train_options.verbose = false;
+  Trainer trainer(model->get(), train_options);
+  for (int64_t epoch = 0; epoch < train_options.epochs; ++epoch) {
+    EpochStats stats = trainer.TrainEpoch(train_loader, epoch);
+    std::printf("epoch %2lld  loss %.3f  train-top1 %.1f%%\n",
+                static_cast<long long>(epoch), stats.mean_loss,
+                100.0 * stats.train_top1);
+  }
+
+  // 4. Evaluate.
+  DataLoader test_loader(&*dataset, split.test, 8, InputStream::kJoint,
+                         /*shuffle=*/false);
+  EvalMetrics metrics = Evaluate(**model, test_loader);
+  std::printf("\nheld-out: top-1 %.1f%%  top-5 %.1f%%  (%lld samples)\n",
+              100.0 * metrics.top1, 100.0 * metrics.top5,
+              static_cast<long long>(metrics.count));
+  return 0;
+}

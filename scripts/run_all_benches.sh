@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the full benchmark suite (every paper table, the extension
+# ablations, and the kernel microbenches) and records the output.
+#
+# Usage: scripts/run_all_benches.sh [output-file]
+# Scale via DHGCN_BENCH_SCALE (smoke|default|full) and
+# DHGCN_BENCH_REPEATS (seeds averaged per table cell).
+set -u
+cd "$(dirname "$0")/.."
+out="${1:-bench_output.txt}"
+: > "$out"
+for b in build/bench/bench_table*_* build/bench/bench_ablation_extensions; do
+  echo "===== $b =====" | tee -a "$out"
+  "$b" 2>&1 | tee -a "$out"
+done
+echo "===== build/bench/bench_kernels =====" | tee -a "$out"
+build/bench/bench_kernels 2>&1 | tee -a "$out"
+echo "wrote $out"

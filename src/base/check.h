@@ -1,0 +1,81 @@
+#ifndef DHGCN_BASE_CHECK_H_
+#define DHGCN_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dhgcn::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& detail) {
+  std::fprintf(stderr, "%s:%d: DHGCN_CHECK failed: %s %s\n", file, line, expr,
+               detail.c_str());
+  std::abort();
+}
+
+template <typename A, typename B>
+std::string FormatBinary(const A& a, const B& b) {
+  std::ostringstream oss;
+  oss << "(" << a << " vs. " << b << ")";
+  return oss.str();
+}
+
+}  // namespace dhgcn::internal
+
+/// Aborts with a diagnostic when `condition` is false. For programming
+/// errors / internal invariants, never for user-input validation (use
+/// Status for that).
+#define DHGCN_CHECK(condition)                                       \
+  do {                                                               \
+    if (!(condition)) {                                              \
+      ::dhgcn::internal::CheckFailed(__FILE__, __LINE__, #condition, \
+                                     "");                            \
+    }                                                                \
+  } while (false)
+
+#define DHGCN_CHECK_OP(a, b, op)                                       \
+  do {                                                                 \
+    auto&& _dhgcn_a = (a);                                             \
+    auto&& _dhgcn_b = (b);                                             \
+    if (!(_dhgcn_a op _dhgcn_b)) {                                     \
+      ::dhgcn::internal::CheckFailed(                                  \
+          __FILE__, __LINE__, #a " " #op " " #b,                       \
+          ::dhgcn::internal::FormatBinary(_dhgcn_a, _dhgcn_b));        \
+    }                                                                  \
+  } while (false)
+
+#define DHGCN_CHECK_EQ(a, b) DHGCN_CHECK_OP(a, b, ==)
+#define DHGCN_CHECK_NE(a, b) DHGCN_CHECK_OP(a, b, !=)
+#define DHGCN_CHECK_LT(a, b) DHGCN_CHECK_OP(a, b, <)
+#define DHGCN_CHECK_LE(a, b) DHGCN_CHECK_OP(a, b, <=)
+#define DHGCN_CHECK_GT(a, b) DHGCN_CHECK_OP(a, b, >)
+#define DHGCN_CHECK_GE(a, b) DHGCN_CHECK_OP(a, b, >=)
+
+/// Checks that a Status-returning expression is OK; aborts otherwise.
+#define DHGCN_CHECK_OK(expr)                                           \
+  do {                                                                 \
+    ::dhgcn::Status _dhgcn_st = (expr);                                \
+    if (!_dhgcn_st.ok()) {                                             \
+      ::dhgcn::internal::CheckFailed(__FILE__, __LINE__, #expr,        \
+                                     _dhgcn_st.ToString());            \
+    }                                                                  \
+  } while (false)
+
+#ifdef NDEBUG
+#define DHGCN_DCHECK(condition) \
+  do {                          \
+  } while (false)
+#define DHGCN_DCHECK_EQ(a, b) DHGCN_DCHECK((a) == (b))
+#define DHGCN_DCHECK_LT(a, b) DHGCN_DCHECK((a) < (b))
+#define DHGCN_DCHECK_LE(a, b) DHGCN_DCHECK((a) <= (b))
+#else
+#define DHGCN_DCHECK(condition) DHGCN_CHECK(condition)
+#define DHGCN_DCHECK_EQ(a, b) DHGCN_CHECK_EQ(a, b)
+#define DHGCN_DCHECK_LT(a, b) DHGCN_CHECK_LT(a, b)
+#define DHGCN_DCHECK_LE(a, b) DHGCN_CHECK_LE(a, b)
+#endif
+
+#endif  // DHGCN_BASE_CHECK_H_

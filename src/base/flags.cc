@@ -1,0 +1,140 @@
+#include "base/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "base/check.h"
+#include "base/string_util.h"
+
+namespace dhgcn {
+
+FlagSet::FlagSet(std::string program_name)
+    : program_name_(std::move(program_name)) {}
+
+void FlagSet::AddInt64(const std::string& name, int64_t* value,
+                       const std::string& help) {
+  DHGCN_CHECK(value != nullptr);
+  DHGCN_CHECK(flags_.find(name) == flags_.end());
+  flags_[name] = {Type::kInt64, value, help, StrCat(*value)};
+}
+
+void FlagSet::AddDouble(const std::string& name, double* value,
+                        const std::string& help) {
+  DHGCN_CHECK(value != nullptr);
+  DHGCN_CHECK(flags_.find(name) == flags_.end());
+  flags_[name] = {Type::kDouble, value, help, StrCat(*value)};
+}
+
+void FlagSet::AddString(const std::string& name, std::string* value,
+                        const std::string& help) {
+  DHGCN_CHECK(value != nullptr);
+  DHGCN_CHECK(flags_.find(name) == flags_.end());
+  flags_[name] = {Type::kString, value, help, *value};
+}
+
+void FlagSet::AddBool(const std::string& name, bool* value,
+                      const std::string& help) {
+  DHGCN_CHECK(value != nullptr);
+  DHGCN_CHECK(flags_.find(name) == flags_.end());
+  flags_[name] = {Type::kBool, value, help, *value ? "true" : "false"};
+}
+
+Status FlagSet::SetValue(const std::string& name, const std::string& value,
+                         bool value_present) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument(StrCat("unknown flag --", name));
+  }
+  FlagInfo& info = it->second;
+  switch (info.type) {
+    case Type::kBool: {
+      if (!value_present || value == "true" || value == "1") {
+        *static_cast<bool*>(info.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(info.target) = false;
+      } else {
+        return Status::InvalidArgument(
+            StrCat("bad boolean for --", name, ": ", value));
+      }
+      return Status::OK();
+    }
+    case Type::kInt64: {
+      if (!value_present) {
+        return Status::InvalidArgument(StrCat("--", name, " needs a value"));
+      }
+      char* end = nullptr;
+      long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrCat("bad integer for --", name, ": ", value));
+      }
+      *static_cast<int64_t*>(info.target) = parsed;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      if (!value_present) {
+        return Status::InvalidArgument(StrCat("--", name, " needs a value"));
+      }
+      char* end = nullptr;
+      double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrCat("bad number for --", name, ": ", value));
+      }
+      *static_cast<double*>(info.target) = parsed;
+      return Status::OK();
+    }
+    case Type::kString: {
+      if (!value_present) {
+        return Status::InvalidArgument(StrCat("--", name, " needs a value"));
+      }
+      *static_cast<std::string*>(info.target) = value;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      DHGCN_RETURN_IF_ERROR(
+          SetValue(body.substr(0, eq), body.substr(eq + 1), true));
+      continue;
+    }
+    // `--name value` form — but bools may stand alone.
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument(StrCat("unknown flag --", body));
+    }
+    if (it->second.type == Type::kBool) {
+      DHGCN_RETURN_IF_ERROR(SetValue(body, "", false));
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument(StrCat("--", body, " needs a value"));
+    }
+    DHGCN_RETURN_IF_ERROR(SetValue(body, argv[++i], true));
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream oss;
+  oss << "usage: " << program_name_ << " [flags]\n";
+  for (const auto& [name, info] : flags_) {
+    oss << "  --" << name << "  " << info.help << " (default: "
+        << info.default_text << ")\n";
+  }
+  return oss.str();
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,64 @@
+#ifndef DHGCN_BASE_FLAGS_H_
+#define DHGCN_BASE_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace dhgcn {
+
+/// \brief Minimal command-line flag parser for the example/tool binaries.
+///
+/// Supports `--name=value`, `--name value`, and bare `--name` for bools.
+/// Unknown flags are an error; positional arguments are collected in
+/// order. Registration:
+///
+///   FlagSet flags("trainer");
+///   int64_t epochs = 10;
+///   flags.AddInt64("epochs", &epochs, "number of training epochs");
+///   DHGCN_RETURN_IF_ERROR(flags.Parse(argc, argv));
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_name);
+
+  void AddInt64(const std::string& name, int64_t* value,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* value,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* value,
+               const std::string& help);
+
+  /// Parses argv (skipping argv[0]). On success the registered values
+  /// are updated and positional args are available via `positional()`.
+  Status Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Human-readable flag summary.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt64, kDouble, kString, kBool };
+  struct FlagInfo {
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_text;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value,
+                  bool value_present);
+
+  std::string program_name_;
+  std::map<std::string, FlagInfo> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_BASE_FLAGS_H_

@@ -1,0 +1,61 @@
+#ifndef DHGCN_BASE_LOGGING_H_
+#define DHGCN_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dhgcn {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets/gets the global minimum level that will be emitted.
+/// The initial level is kInfo, or the value of the DHGCN_LOG_LEVEL
+/// environment variable (debug|info|warning|error|off) when set.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log emitter; writes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace dhgcn
+
+#define DHGCN_LOG_ENABLED(level) \
+  (::dhgcn::LogLevel::level >= ::dhgcn::GetLogLevel())
+
+#define DHGCN_LOG(level)                                                \
+  if (!DHGCN_LOG_ENABLED(level)) {                                      \
+  } else                                                                \
+    ::dhgcn::internal::LogMessage(::dhgcn::LogLevel::level, __FILE__,   \
+                                  __LINE__)                             \
+        .stream()
+
+#endif  // DHGCN_BASE_LOGGING_H_

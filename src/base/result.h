@@ -1,0 +1,94 @@
+#ifndef DHGCN_BASE_RESULT_H_
+#define DHGCN_BASE_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "base/status.h"
+
+namespace dhgcn {
+
+/// \brief Holds either a value of type `T` or an error `Status`.
+///
+/// Mirrors `arrow::Result`. Construct implicitly from a `T` or a non-OK
+/// `Status`. Access the value with `ValueOrDie()` (aborts on error, for
+/// tests/examples) or `MoveValue()` after checking `ok()`, or use the
+/// DHGCN_ASSIGN_OR_RETURN macro in Status-returning code.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit on purpose, like arrow::Result).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. Must not be OK.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::holds_alternative<Status>(rep_) &&
+        std::get<Status>(rep_).ok()) {
+      Status::Internal("Result constructed from OK status").Abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// Returns the value; aborts the process when holding an error.
+  const T& ValueOrDie() const& {
+    if (!ok()) std::get<Status>(rep_).Abort();
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::get<Status>(rep_).Abort();
+    return std::get<T>(rep_);
+  }
+  T ValueOrDie() && {
+    if (!ok()) std::get<Status>(rep_).Abort();
+    return std::move(std::get<T>(rep_));
+  }
+
+  /// Moves the value out. Requires ok().
+  T MoveValue() {
+    if (!ok()) std::get<Status>(rep_).Abort();
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK status from an expression returning Status.
+#define DHGCN_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::dhgcn::Status _dhgcn_status = (expr);         \
+    if (!_dhgcn_status.ok()) return _dhgcn_status;  \
+  } while (false)
+
+#define DHGCN_CONCAT_IMPL(x, y) x##y
+#define DHGCN_CONCAT(x, y) DHGCN_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on success binds the value
+/// to `lhs`, on failure returns the error from the enclosing function.
+#define DHGCN_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  DHGCN_ASSIGN_OR_RETURN_IMPL(                                  \
+      DHGCN_CONCAT(_dhgcn_result_, __LINE__), lhs, rexpr)
+
+#define DHGCN_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                \
+  if (!result_name.ok()) return result_name.status();        \
+  lhs = std::move(result_name).ValueOrDie()
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_BASE_RESULT_H_

@@ -1,0 +1,33 @@
+#include "base/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace dhgcn {
+
+std::vector<int64_t> Rng::Permutation(int64_t n) {
+  DHGCN_CHECK_GE(n, 0);
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), engine_);
+  return perm;
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  DHGCN_CHECK_GE(k, 0);
+  DHGCN_CHECK_LE(k, n);
+  // Partial Fisher-Yates: O(n) setup, but n here is joint counts (tens),
+  // so simplicity wins over reservoir sampling.
+  std::vector<int64_t> pool(static_cast<size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int64_t i = 0; i < k; ++i) {
+    int64_t j = UniformInt(i, n - 1);
+    std::swap(pool[static_cast<size_t>(i)], pool[static_cast<size_t>(j)]);
+  }
+  pool.resize(static_cast<size_t>(k));
+  return pool;
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,49 @@
+#include "base/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dhgcn {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::Abort() const {
+  std::fprintf(stderr, "Fatal status: %s\n", ToString().c_str());
+  std::abort();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace dhgcn

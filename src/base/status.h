@@ -1,0 +1,117 @@
+#ifndef DHGCN_BASE_STATUS_H_
+#define DHGCN_BASE_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dhgcn {
+
+/// \brief Error categories used across the library.
+///
+/// Modeled after the Arrow/Abseil status taxonomy: library entry points that
+/// can fail on user input return `Status` (or `Result<T>`); programming
+/// errors use the DHGCN_CHECK macros instead.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIOError = 8,
+};
+
+/// \brief Returns a human-readable name for a status code ("InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error outcome carried by value.
+///
+/// An OK status stores no heap state; error statuses carry a code plus a
+/// message. `Status` is cheap to move and to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK.
+  void Abort() const;
+  void AbortIfNotOk() const {
+    if (!ok()) Abort();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_BASE_STATUS_H_

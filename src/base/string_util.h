@@ -1,0 +1,56 @@
+#ifndef DHGCN_BASE_STRING_UTIL_H_
+#define DHGCN_BASE_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dhgcn {
+
+namespace internal {
+
+inline void StrAppendImpl(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void StrAppendImpl(std::ostringstream& oss, const T& value,
+                   const Rest&... rest) {
+  oss << value;
+  StrAppendImpl(oss, rest...);
+}
+
+}  // namespace internal
+
+/// Concatenates the streamed representation of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  internal::StrAppendImpl(oss, args...);
+  return oss.str();
+}
+
+/// Joins elements with `sep`, streaming each element.
+template <typename Container>
+std::string StrJoin(const Container& items, std::string_view sep) {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) oss << sep;
+    oss << item;
+    first = false;
+  }
+  return oss.str();
+}
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Formats a double with fixed `digits` decimal places ("12.34").
+std::string FormatFixed(double value, int digits);
+
+/// Formats a fraction as a percentage with one decimal ("87.5").
+std::string FormatPercent(double fraction);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_BASE_STRING_UTIL_H_

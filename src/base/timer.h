@@ -1,0 +1,28 @@
+#ifndef DHGCN_BASE_TIMER_H_
+#define DHGCN_BASE_TIMER_H_
+
+#include <chrono>
+
+namespace dhgcn {
+
+/// \brief Simple monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_BASE_TIMER_H_

@@ -1,0 +1,182 @@
+#include "core/dhgcn_model.h"
+
+#include "base/string_util.h"
+#include "core/dynamic_joint_weight.h"
+#include "core/static_hypergraph.h"
+
+namespace dhgcn {
+
+DhgcnConfig DhgcnConfig::Paper(SkeletonLayoutType layout,
+                               int64_t num_classes) {
+  DhgcnConfig config;
+  config.layout = layout;
+  config.num_classes = num_classes;
+  config.blocks = {
+      {64, 1, 1},  {64, 1, 1},  {64, 1, 1},  {64, 1, 1},
+      {128, 2, 1}, {128, 1, 1}, {128, 1, 2},
+      {256, 2, 1}, {256, 1, 1}, {256, 1, 2},
+  };
+  config.dropout = 0.5f;
+  return config;
+}
+
+DhgcnConfig DhgcnConfig::Small(SkeletonLayoutType layout,
+                               int64_t num_classes) {
+  DhgcnConfig config;
+  config.layout = layout;
+  config.num_classes = num_classes;
+  config.blocks = {
+      {16, 1, 1},
+      {32, 2, 1},
+      {32, 1, 2},
+      {64, 2, 1},
+  };
+  config.dropout = 0.1f;
+  return config;
+}
+
+DhgcnConfig DhgcnConfig::Tiny(SkeletonLayoutType layout,
+                              int64_t num_classes) {
+  DhgcnConfig config;
+  config.layout = layout;
+  config.num_classes = num_classes;
+  config.blocks = {
+      {8, 1, 1},
+      {16, 2, 1},
+  };
+  return config;
+}
+
+Result<std::unique_ptr<DhgcnModel>> DhgcnModel::Make(
+    const DhgcnConfig& config) {
+  if (config.num_classes <= 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  if (config.in_channels <= 0) {
+    return Status::InvalidArgument("in_channels must be positive");
+  }
+  if (config.blocks.empty()) {
+    return Status::InvalidArgument("at least one DHST block is required");
+  }
+  if (!config.enable_static && !config.enable_joint_weight &&
+      !config.enable_topology) {
+    return Status::InvalidArgument(
+        "at least one spatial branch must be enabled");
+  }
+  for (const DhgcnBlockSpec& spec : config.blocks) {
+    if (spec.channels <= 0 || spec.temporal_stride <= 0 ||
+        spec.temporal_dilation <= 0) {
+      return Status::InvalidArgument(
+          "block channels/stride/dilation must be positive");
+    }
+  }
+  if (config.dropout < 0.0f || config.dropout >= 1.0f) {
+    return Status::InvalidArgument("dropout must be in [0, 1)");
+  }
+  const SkeletonLayout& layout = GetSkeletonLayout(config.layout);
+  if (config.topology.kn < 1 || config.topology.kn > layout.num_joints ||
+      config.topology.km < 1 || config.topology.km > layout.num_joints) {
+    return Status::InvalidArgument(
+        StrCat("k_n/k_m must be in [1, ", layout.num_joints, "]"));
+  }
+  return std::make_unique<DhgcnModel>(config);
+}
+
+DhgcnModel::DhgcnModel(const DhgcnConfig& config)
+    : config_(config),
+      static_hypergraph_(
+          StaticSkeletonHypergraph(GetSkeletonLayout(config.layout))) {
+  Rng rng(config.seed);
+  input_bn_ = std::make_unique<BatchNorm2d>(config.in_channels);
+  int64_t in_channels = config.in_channels;
+  for (const DhgcnBlockSpec& spec : config.blocks) {
+    DhstBlockOptions options;
+    options.in_channels = in_channels;
+    options.out_channels = spec.channels;
+    options.temporal_stride = spec.temporal_stride;
+    options.temporal_dilation = spec.temporal_dilation;
+    options.topology = config.topology;
+    options.enable_static = config.enable_static;
+    options.enable_joint_weight = config.enable_joint_weight;
+    options.enable_topology = config.enable_topology;
+    blocks_.push_back(
+        std::make_unique<DhstBlock>(options, static_hypergraph_, rng));
+    in_channels = spec.channels;
+  }
+  if (config.dropout > 0.0f) {
+    dropout_ = std::make_unique<Dropout>(config.dropout, rng);
+  }
+  classifier_ = std::make_unique<Linear>(in_channels, config.num_classes,
+                                         rng);
+}
+
+Tensor DhgcnModel::Forward(const Tensor& input) {
+  DHGCN_CHECK_EQ(input.ndim(), 4);
+  DHGCN_CHECK_EQ(input.dim(1), config_.in_channels);
+  DHGCN_CHECK_EQ(input.dim(3),
+                 GetSkeletonLayout(config_.layout).num_joints);
+
+  // Dynamic joint-weight operators from the raw input coordinates
+  // (Eqs. 6-9), re-strided as blocks shrink the time axis.
+  Tensor joint_ops;
+  if (config_.enable_joint_weight) {
+    joint_ops = DynamicJointWeightOperators(input, static_hypergraph_);
+  }
+
+  Tensor x = input_bn_->Forward(input);
+  for (auto& block : blocks_) {
+    x = block->Forward(x, joint_ops);
+    if (config_.enable_joint_weight &&
+        block->options().temporal_stride != 1) {
+      joint_ops = StrideOperatorsInTime(joint_ops,
+                                        block->options().temporal_stride);
+    }
+  }
+  Tensor pooled = pool_.Forward(x);
+  if (dropout_ != nullptr) pooled = dropout_->Forward(pooled);
+  return classifier_->Forward(pooled);
+}
+
+Tensor DhgcnModel::Backward(const Tensor& grad_output) {
+  Tensor g = classifier_->Backward(grad_output);
+  if (dropout_ != nullptr) g = dropout_->Backward(g);
+  g = pool_.Backward(g);
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return input_bn_->Backward(g);
+}
+
+std::vector<ParamRef> DhgcnModel::Params() {
+  std::vector<ParamRef> params;
+  auto append = [&params](const std::string& prefix,
+                          std::vector<ParamRef> child) {
+    for (ParamRef& p : child) {
+      p.name = prefix + "." + p.name;
+      params.push_back(p);
+    }
+  };
+  append("input_bn", input_bn_->Params());
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    append(StrCat("block", i), blocks_[i]->Params());
+  }
+  append("classifier", classifier_->Params());
+  return params;
+}
+
+void DhgcnModel::SetTraining(bool training) {
+  Layer::SetTraining(training);
+  input_bn_->SetTraining(training);
+  for (auto& block : blocks_) block->SetTraining(training);
+  pool_.SetTraining(training);
+  if (dropout_ != nullptr) dropout_->SetTraining(training);
+  classifier_->SetTraining(training);
+}
+
+std::string DhgcnModel::name() const {
+  return StrCat("DHGCN(blocks=", blocks_.size(),
+                ", kn=", config_.topology.kn, ", km=", config_.topology.km,
+                ")");
+}
+
+}  // namespace dhgcn

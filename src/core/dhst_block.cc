@@ -1,0 +1,210 @@
+#include "core/dhst_block.h"
+
+#include "base/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+
+DhstBlock::DhstBlock(const DhstBlockOptions& options,
+                     const Hypergraph& static_graph, Rng& rng)
+    : options_(options) {
+  DHGCN_CHECK(options.enable_static || options.enable_joint_weight ||
+              options.enable_topology);
+  DHGCN_CHECK_GT(options.in_channels, 0);
+  DHGCN_CHECK_GT(options.out_channels, 0);
+  DHGCN_CHECK_GT(options.temporal_stride, 0);
+  DHGCN_CHECK_EQ(options.temporal_kernel % 2, 1);  // same-padding needs odd
+
+  Conv2dOptions one_by_one;  // defaults: 1x1, stride 1, no padding
+  if (options.enable_static) {
+    static_theta_ = std::make_unique<Conv2d>(options.in_channels,
+                                             options.out_channels,
+                                             one_by_one, rng);
+    static_mix_ = std::make_unique<VertexMix>(
+        NormalizedHypergraphOperator(static_graph), /*learnable=*/false);
+    ++enabled_branches_;
+  }
+  if (options.enable_joint_weight) {
+    weight_theta_ = std::make_unique<Conv2d>(options.in_channels,
+                                             options.out_channels,
+                                             one_by_one, rng);
+    weight_mix_ = std::make_unique<DynamicVertexMix>();
+    ++enabled_branches_;
+  }
+  if (options.enable_topology) {
+    topology_map_ = std::make_unique<Conv2d>(options.in_channels,
+                                             options.out_channels,
+                                             one_by_one, rng);
+    topology_mix_ = std::make_unique<DynamicVertexMix>();
+    ++enabled_branches_;
+  }
+
+  spatial_bn_ = std::make_unique<BatchNorm2d>(options.out_channels);
+  if (options.in_channels != options.out_channels) {
+    Conv2dOptions residual_options;
+    residual_options.has_bias = false;
+    spatial_residual_ = std::make_unique<Conv2d>(
+        options.in_channels, options.out_channels, residual_options, rng);
+  }
+
+  Conv2dOptions temporal_options;
+  temporal_options.kernel_h = options.temporal_kernel;
+  temporal_options.kernel_w = 1;
+  temporal_options.stride_h = options.temporal_stride;
+  temporal_options.pad_h =
+      options.temporal_dilation * (options.temporal_kernel - 1) / 2;
+  temporal_options.dilation_h = options.temporal_dilation;
+  temporal_conv_ = std::make_unique<Conv2d>(
+      options.out_channels, options.out_channels, temporal_options, rng);
+  temporal_bn_ = std::make_unique<BatchNorm2d>(options.out_channels);
+  if (options.temporal_stride != 1) {
+    Conv2dOptions residual_options;
+    residual_options.stride_h = options.temporal_stride;
+    residual_options.has_bias = false;
+    temporal_residual_ = std::make_unique<Conv2d>(
+        options.out_channels, options.out_channels, residual_options, rng);
+  }
+}
+
+int64_t DhstBlock::OutputFrames(int64_t in_frames) const {
+  return (in_frames - 1) / options_.temporal_stride + 1;
+}
+
+Tensor DhstBlock::Forward(const Tensor& x, const Tensor& joint_ops) {
+  DHGCN_CHECK_EQ(x.ndim(), 4);
+  DHGCN_CHECK_EQ(x.dim(1), options_.in_channels);
+
+  // --- Spatial half: sum of the enabled branches. ---
+  Tensor branch_sum;
+  bool first = true;
+  if (options_.enable_static) {
+    Tensor b = static_mix_->Forward(static_theta_->Forward(x));
+    branch_sum = std::move(b);
+    first = false;
+  }
+  if (options_.enable_joint_weight) {
+    DHGCN_CHECK_EQ(joint_ops.ndim(), 4);
+    DHGCN_CHECK_EQ(joint_ops.dim(1), x.dim(2));
+    weight_mix_->SetOperators(joint_ops);
+    Tensor b = weight_mix_->Forward(weight_theta_->Forward(x));
+    if (first) {
+      branch_sum = std::move(b);
+      first = false;
+    } else {
+      AddInPlace(branch_sum, b);
+    }
+  }
+  if (options_.enable_topology) {
+    Tensor mapped = topology_map_->Forward(x);
+    topology_mix_->SetOperators(
+        DynamicTopologyOperators(mapped, options_.topology));
+    Tensor b = topology_mix_->Forward(mapped);
+    if (first) {
+      branch_sum = std::move(b);
+      first = false;
+    } else {
+      AddInPlace(branch_sum, b);
+    }
+  }
+
+  Tensor s_pre = spatial_bn_->Forward(branch_sum);
+  if (spatial_residual_ != nullptr) {
+    AddInPlace(s_pre, spatial_residual_->Forward(x));
+  } else {
+    AddInPlace(s_pre, x);
+  }
+  Tensor s = spatial_relu_.Forward(s_pre);
+
+  // --- Temporal half. ---
+  Tensor t_pre = temporal_bn_->Forward(temporal_conv_->Forward(s));
+  if (temporal_residual_ != nullptr) {
+    AddInPlace(t_pre, temporal_residual_->Forward(s));
+  } else {
+    AddInPlace(t_pre, s);
+  }
+  return temporal_relu_.Forward(t_pre);
+}
+
+Tensor DhstBlock::Backward(const Tensor& grad_output) {
+  Tensor g_tpre = temporal_relu_.Backward(grad_output);
+  Tensor g_s = temporal_conv_->Backward(temporal_bn_->Backward(g_tpre));
+  if (temporal_residual_ != nullptr) {
+    AddInPlace(g_s, temporal_residual_->Backward(g_tpre));
+  } else {
+    AddInPlace(g_s, g_tpre);
+  }
+
+  Tensor g_spre = spatial_relu_.Backward(g_s);
+  Tensor g_sum = spatial_bn_->Backward(g_spre);
+  Tensor g_x = spatial_residual_ != nullptr
+                   ? spatial_residual_->Backward(g_spre)
+                   : g_spre.Clone();
+  if (options_.enable_static) {
+    AddInPlace(g_x, static_theta_->Backward(static_mix_->Backward(g_sum)));
+  }
+  if (options_.enable_joint_weight) {
+    AddInPlace(g_x, weight_theta_->Backward(weight_mix_->Backward(g_sum)));
+  }
+  if (options_.enable_topology) {
+    AddInPlace(g_x,
+               topology_map_->Backward(topology_mix_->Backward(g_sum)));
+  }
+  return g_x;
+}
+
+std::vector<ParamRef> DhstBlock::Params() {
+  std::vector<ParamRef> params;
+  auto append = [&params](const char* prefix, Layer* layer) {
+    if (layer == nullptr) return;
+    for (ParamRef p : layer->Params()) {
+      p.name = std::string(prefix) + "." + p.name;
+      params.push_back(p);
+    }
+  };
+  append("static_theta", static_theta_.get());
+  append("static_mix", static_mix_.get());
+  append("weight_theta", weight_theta_.get());
+  append("topology_map", topology_map_.get());
+  append("spatial_bn", spatial_bn_.get());
+  append("spatial_residual", spatial_residual_.get());
+  append("temporal_conv", temporal_conv_.get());
+  append("temporal_bn", temporal_bn_.get());
+  append("temporal_residual", temporal_residual_.get());
+  return params;
+}
+
+void DhstBlock::SetTraining(bool training) {
+  training_ = training;
+  auto set = [training](Layer* layer) {
+    if (layer != nullptr) layer->SetTraining(training);
+  };
+  set(static_theta_.get());
+  set(static_mix_.get());
+  set(weight_theta_.get());
+  set(weight_mix_.get());
+  set(topology_map_.get());
+  set(topology_mix_.get());
+  set(spatial_bn_.get());
+  set(spatial_residual_.get());
+  set(temporal_conv_.get());
+  set(temporal_bn_.get());
+  set(temporal_residual_.get());
+  spatial_relu_.SetTraining(training);
+  temporal_relu_.SetTraining(training);
+}
+
+void DhstBlock::ZeroGrad() {
+  for (ParamRef& p : Params()) {
+    if (p.grad != nullptr) p.grad->Fill(0.0f);
+  }
+}
+
+int64_t DhstBlock::ParameterCount() {
+  int64_t count = 0;
+  for (ParamRef& p : Params()) {
+    if (p.trainable) count += p.value->numel();
+  }
+  return count;
+}
+
+}  // namespace dhgcn

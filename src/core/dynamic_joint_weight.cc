@@ -1,0 +1,107 @@
+#include "core/dynamic_joint_weight.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "hypergraph/hypergraph_conv.h"
+
+namespace dhgcn {
+
+Tensor MovingDistances(const Tensor& coords) {
+  DHGCN_CHECK_EQ(coords.ndim(), 4);
+  int64_t n = coords.dim(0), c = coords.dim(1), t = coords.dim(2),
+          v = coords.dim(3);
+  DHGCN_CHECK_GE(t, 2);
+  int64_t coord_channels = std::min<int64_t>(c, 3);
+  Tensor dist({n, t, v});
+  const float* px = coords.data();
+  float* pd = dist.data();
+  int64_t plane = t * v;
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t tt = 1; tt < t; ++tt) {
+      for (int64_t j = 0; j < v; ++j) {
+        double acc = 0.0;
+        for (int64_t ch = 0; ch < coord_channels; ++ch) {
+          const float* xplane = px + (b * c + ch) * plane;
+          double diff = static_cast<double>(xplane[tt * v + j]) -
+                        xplane[(tt - 1) * v + j];
+          acc += diff * diff;
+        }
+        pd[(b * t + tt) * v + j] = static_cast<float>(std::sqrt(acc));
+      }
+    }
+    // Frame 0 copies frame 1 so the first frame is weighted too.
+    for (int64_t j = 0; j < v; ++j) {
+      pd[(b * t + 0) * v + j] = pd[(b * t + 1) * v + j];
+    }
+  }
+  return dist;
+}
+
+Tensor JointWeightIncidence(const Tensor& frame_distances,
+                            const Hypergraph& hypergraph) {
+  DHGCN_CHECK_EQ(frame_distances.ndim(), 1);
+  DHGCN_CHECK_EQ(frame_distances.dim(0), hypergraph.num_vertices());
+  int64_t num_edges = hypergraph.num_edges();
+  Tensor imp({hypergraph.num_vertices(), num_edges});
+  constexpr float kEps = 1e-6f;
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const Hyperedge& edge = hypergraph.edges()[static_cast<size_t>(e)];
+    double total = 0.0;
+    for (int64_t vtx : edge) total += frame_distances.flat(vtx);
+    if (total < kEps) {
+      // No motion on this hyperedge: uniform share.
+      float uniform = 1.0f / static_cast<float>(edge.size());
+      for (int64_t vtx : edge) imp.at(vtx, e) = uniform;
+    } else {
+      for (int64_t vtx : edge) {
+        imp.at(vtx, e) =
+            static_cast<float>(frame_distances.flat(vtx) / total);
+      }
+    }
+  }
+  return imp;
+}
+
+Tensor DynamicJointWeightOperators(const Tensor& coords,
+                                   const Hypergraph& hypergraph) {
+  DHGCN_CHECK_EQ(coords.ndim(), 4);
+  int64_t n = coords.dim(0), t = coords.dim(2), v = coords.dim(3);
+  DHGCN_CHECK_EQ(v, hypergraph.num_vertices());
+  Tensor distances = MovingDistances(coords);  // (N, T, V)
+  Tensor ops({n, t, v, v});
+  float* po = ops.data();
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t tt = 0; tt < t; ++tt) {
+      Tensor frame({v});
+      const float* pd = distances.data() + (b * t + tt) * v;
+      std::copy(pd, pd + v, frame.data());
+      Tensor imp = JointWeightIncidence(frame, hypergraph);
+      Tensor op = WeightedIncidenceOperator(imp);  // (V, V)
+      std::copy(op.data(), op.data() + v * v, po + (b * t + tt) * v * v);
+    }
+  }
+  return ops;
+}
+
+Tensor StrideOperatorsInTime(const Tensor& ops, int64_t stride) {
+  DHGCN_CHECK_EQ(ops.ndim(), 4);
+  DHGCN_CHECK_GT(stride, 0);
+  if (stride == 1) return ops;
+  int64_t n = ops.dim(0), t = ops.dim(1), v = ops.dim(2);
+  int64_t out_t = (t - 1) / stride + 1;
+  Tensor out({n, out_t, v, v});
+  const float* pi = ops.data();
+  float* po = out.data();
+  int64_t mat = v * v;
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t tt = 0; tt < out_t; ++tt) {
+      const float* src = pi + (b * t + tt * stride) * mat;
+      std::copy(src, src + mat, po + (b * out_t + tt) * mat);
+    }
+  }
+  return out;
+}
+
+}  // namespace dhgcn

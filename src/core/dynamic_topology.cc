@@ -1,0 +1,59 @@
+#include "core/dynamic_topology.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "hypergraph/hypergraph_conv.h"
+#include "hypergraph/kmeans.h"
+#include "hypergraph/knn.h"
+
+namespace dhgcn {
+
+Hypergraph DynamicTopologyHypergraph(const Tensor& features,
+                                     const DynamicTopologyOptions& options,
+                                     uint64_t frame_seed) {
+  DHGCN_CHECK_EQ(features.ndim(), 2);
+  int64_t v = features.dim(0);
+  DHGCN_CHECK(options.kn >= 1 && options.kn <= v);
+  DHGCN_CHECK(options.km >= 1 && options.km <= v);
+
+  std::vector<Hyperedge> common = KnnHyperedges(features, options.kn);
+  Rng kmeans_rng(options.seed * 1000003ULL + frame_seed);
+  std::vector<Hyperedge> global = KMeansHyperedges(
+      features, options.km, kmeans_rng, options.kmeans_max_iters);
+
+  Hypergraph common_graph(v, std::move(common));
+  Hypergraph global_graph(v, std::move(global));
+  return common_graph.UnionWith(global_graph);
+}
+
+Tensor DynamicTopologyOperators(const Tensor& features,
+                                const DynamicTopologyOptions& options) {
+  DHGCN_CHECK_EQ(features.ndim(), 4);
+  int64_t n = features.dim(0), c = features.dim(1), t = features.dim(2),
+          v = features.dim(3);
+  Tensor ops({n, t, v, v});
+  const float* px = features.data();
+  float* po = ops.data();
+  int64_t plane = t * v;
+  Tensor frame_features({v, c});
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t tt = 0; tt < t; ++tt) {
+      // Gather the frame's vertex features (V, C) from (C, T, V) layout.
+      for (int64_t j = 0; j < v; ++j) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+          frame_features.at(j, ch) =
+              px[(b * c + ch) * plane + tt * v + j];
+        }
+      }
+      Hypergraph hypergraph = DynamicTopologyHypergraph(
+          frame_features, options, static_cast<uint64_t>(tt));
+      Tensor op = NormalizedHypergraphOperator(hypergraph);
+      std::copy(op.data(), op.data() + v * v, po + (b * t + tt) * v * v);
+    }
+  }
+  return ops;
+}
+
+}  // namespace dhgcn

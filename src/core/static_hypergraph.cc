@@ -1,0 +1,57 @@
+#include "core/static_hypergraph.h"
+
+#include "base/check.h"
+
+namespace dhgcn {
+
+Hypergraph StaticSkeletonHypergraph(const SkeletonLayout& layout) {
+  if (layout.name == "ntu25") {
+    std::vector<Hyperedge> edges = {
+        // Torso and head.
+        {0, 1, 2, 3, 20},
+        // Left arm chain (shoulder to finger tips).
+        {20, 4, 5, 6, 7, 21, 22},
+        // Right arm chain.
+        {20, 8, 9, 10, 11, 23, 24},
+        // Left leg chain.
+        {0, 12, 13, 14, 15},
+        // Right leg chain.
+        {0, 16, 17, 18, 19},
+        // Cross-limb extremities: hands and feet coordinate in most
+        // actions even though no bone connects them.
+        {7, 11, 15, 19, 21, 23},
+    };
+    Hypergraph hypergraph(layout.num_joints, std::move(edges));
+    DHGCN_CHECK(hypergraph.CoversAllVertices());
+    return hypergraph;
+  }
+  DHGCN_CHECK(layout.name == "kinetics18");
+  std::vector<Hyperedge> edges = {
+      // Head: nose, neck, eyes, ears.
+      {0, 1, 14, 15, 16, 17},
+      // Left arm.
+      {1, 5, 6, 7},
+      // Right arm.
+      {1, 2, 3, 4},
+      // Left leg.
+      {1, 11, 12, 13},
+      // Right leg.
+      {1, 8, 9, 10},
+      // Cross-limb extremities: wrists and ankles.
+      {4, 7, 10, 13},
+  };
+  Hypergraph hypergraph(layout.num_joints, std::move(edges));
+  DHGCN_CHECK(hypergraph.CoversAllVertices());
+  return hypergraph;
+}
+
+Hypergraph PartBasedHypergraph(const SkeletonLayout& layout,
+                               int64_t num_parts) {
+  std::vector<std::vector<int64_t>> parts = PartPartition(layout, num_parts);
+  std::vector<Hyperedge> edges(parts.begin(), parts.end());
+  Hypergraph hypergraph(layout.num_joints, std::move(edges));
+  DHGCN_CHECK(hypergraph.CoversAllVertices());
+  return hypergraph;
+}
+
+}  // namespace dhgcn

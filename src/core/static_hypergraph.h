@@ -1,0 +1,23 @@
+#ifndef DHGCN_CORE_STATIC_HYPERGRAPH_H_
+#define DHGCN_CORE_STATIC_HYPERGRAPH_H_
+
+#include "data/skeleton.h"
+#include "hypergraph/hypergraph.h"
+
+namespace dhgcn {
+
+/// \brief The static skeleton hypergraph of DHGCN (Fig. 1(c) / Fig. 3):
+/// six hyperedges representing the basic body topology — torso, the four
+/// limb chains, and one cross-limb hyperedge connecting the extremities
+/// ("unnatural connections such as hands and legs" that plain skeleton
+/// graphs miss). Every joint is covered by at least one hyperedge.
+Hypergraph StaticSkeletonHypergraph(const SkeletonLayout& layout);
+
+/// \brief Hypergraph whose hyperedges are the PB-GCN body parts
+/// (2, 4 or 6 parts) — the PB-HGCN construction of the Tab. 2 ablation.
+Hypergraph PartBasedHypergraph(const SkeletonLayout& layout,
+                               int64_t num_parts);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_CORE_STATIC_HYPERGRAPH_H_

@@ -1,0 +1,33 @@
+#include "core/two_stream.h"
+
+#include "base/check.h"
+#include "base/string_util.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+
+TwoStream::TwoStream(LayerPtr joint_model, LayerPtr bone_model)
+    : joint_model_(std::move(joint_model)),
+      bone_model_(std::move(bone_model)) {
+  DHGCN_CHECK(joint_model_ != nullptr);
+  DHGCN_CHECK(bone_model_ != nullptr);
+}
+
+Tensor TwoStream::FusedLogits(const Tensor& joint_x, const Tensor& bone_x) {
+  Tensor joint_logits = joint_model_->Forward(joint_x);
+  Tensor bone_logits = bone_model_->Forward(bone_x);
+  DHGCN_CHECK(ShapesEqual(joint_logits.shape(), bone_logits.shape()));
+  return Add(joint_logits, bone_logits);
+}
+
+void TwoStream::SetTraining(bool training) {
+  joint_model_->SetTraining(training);
+  bone_model_->SetTraining(training);
+}
+
+std::string TwoStream::name() const {
+  return StrCat("TwoStream(", joint_model_->name(), " + ",
+                bone_model_->name(), ")");
+}
+
+}  // namespace dhgcn

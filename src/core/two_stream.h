@@ -1,0 +1,41 @@
+#ifndef DHGCN_CORE_TWO_STREAM_H_
+#define DHGCN_CORE_TWO_STREAM_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// \brief Joint-bone two-stream framework (Sec. 3.5, after 2s-AGCN).
+///
+/// Holds two independently trained classifier models. The joint model
+/// consumes joint coordinates, the bone model consumes bone vectors
+/// (JointToBone of the same samples); the fused prediction is the sum of
+/// the two models' scores. Training is per-stream — use the Trainer on
+/// `joint()` and `bone()` with the matching DataLoaders — and fusion only
+/// happens at evaluation.
+class TwoStream {
+ public:
+  TwoStream(LayerPtr joint_model, LayerPtr bone_model);
+
+  Layer& joint() { return *joint_model_; }
+  Layer& bone() { return *bone_model_; }
+
+  /// Summed logits of the two streams for matching batches (same samples,
+  /// joint-preprocessed and bone-preprocessed respectively).
+  Tensor FusedLogits(const Tensor& joint_x, const Tensor& bone_x);
+
+  void SetTraining(bool training);
+  std::string name() const;
+
+ private:
+  LayerPtr joint_model_;
+  LayerPtr bone_model_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_CORE_TWO_STREAM_H_

@@ -1,0 +1,115 @@
+#include "data/augmentations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "data/transforms.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+
+namespace {
+
+void CheckSample(const Tensor& sample) {
+  DHGCN_CHECK_EQ(sample.ndim(), 3);
+  DHGCN_CHECK_GE(sample.dim(0), 3);  // x, y, z coordinate channels
+}
+
+}  // namespace
+
+Tensor RandomRotationY(const Tensor& sample, float max_angle_rad, Rng& rng) {
+  CheckSample(sample);
+  float angle = rng.Uniform(-max_angle_rad, max_angle_rad);
+  float cos_a = std::cos(angle), sin_a = std::sin(angle);
+  Tensor out = sample.Clone();
+  int64_t t = sample.dim(1), v = sample.dim(2);
+  for (int64_t frame = 0; frame < t; ++frame) {
+    for (int64_t j = 0; j < v; ++j) {
+      float x = sample.at(0, frame, j);
+      float z = sample.at(2, frame, j);
+      out.at(0, frame, j) = cos_a * x + sin_a * z;
+      out.at(2, frame, j) = -sin_a * x + cos_a * z;
+    }
+  }
+  return out;
+}
+
+Tensor RandomScale(const Tensor& sample, float lo, float hi, Rng& rng) {
+  CheckSample(sample);
+  DHGCN_CHECK_LE(lo, hi);
+  float factor = rng.Uniform(lo, hi);
+  Tensor out = sample.Clone();
+  int64_t plane = sample.dim(1) * sample.dim(2);
+  float* data = out.data();
+  for (int64_t i = 0; i < 3 * plane; ++i) data[i] *= factor;
+  return out;
+}
+
+Tensor RandomTemporalCrop(const Tensor& sample, int64_t window, Rng& rng) {
+  CheckSample(sample);
+  int64_t t = sample.dim(1);
+  DHGCN_CHECK(window >= 1 && window <= t);
+  if (window == t) return sample;
+  int64_t start = rng.UniformInt(0, t - window);
+  Tensor cropped = Slice(sample, 1, start, window);
+  return ResampleFrames(cropped, t);
+}
+
+Tensor JointJitter(const Tensor& sample, float stddev, Rng& rng) {
+  CheckSample(sample);
+  Tensor out = sample.Clone();
+  int64_t plane = sample.dim(1) * sample.dim(2);
+  float* data = out.data();
+  for (int64_t i = 0; i < 3 * plane; ++i) {
+    data[i] += rng.Normal(0.0f, stddev);
+  }
+  return out;
+}
+
+Tensor RandomJointDropout(const Tensor& sample, float p, Rng& rng) {
+  CheckSample(sample);
+  DHGCN_CHECK(p >= 0.0f && p < 1.0f);
+  Tensor out = sample.Clone();
+  int64_t c = sample.dim(0), t = sample.dim(1), v = sample.dim(2);
+  for (int64_t frame = 0; frame < t; ++frame) {
+    for (int64_t j = 0; j < v; ++j) {
+      if (!rng.Bernoulli(p)) continue;
+      for (int64_t ch = 0; ch < c; ++ch) out.at(ch, frame, j) = 0.0f;
+    }
+  }
+  return out;
+}
+
+AugmentationPipeline& AugmentationPipeline::Add(Augmentation augmentation) {
+  DHGCN_CHECK(augmentation != nullptr);
+  steps_.push_back(std::move(augmentation));
+  return *this;
+}
+
+Tensor AugmentationPipeline::Apply(const Tensor& sample, Rng& rng) const {
+  Tensor out = sample;
+  for (const Augmentation& step : steps_) out = step(out, rng);
+  return out;
+}
+
+AugmentationPipeline AugmentationPipeline::Standard(int64_t num_frames) {
+  AugmentationPipeline pipeline;
+  pipeline
+      .Add([](const Tensor& x, Rng& rng) {
+        return RandomRotationY(x, 0.3f, rng);
+      })
+      .Add([](const Tensor& x, Rng& rng) {
+        return RandomScale(x, 0.9f, 1.1f, rng);
+      })
+      .Add([num_frames](const Tensor& x, Rng& rng) {
+        int64_t window = std::max<int64_t>(2, num_frames * 9 / 10);
+        return RandomTemporalCrop(x, window, rng);
+      })
+      .Add([](const Tensor& x, Rng& rng) {
+        return JointJitter(x, 0.005f, rng);
+      });
+  return pipeline;
+}
+
+}  // namespace dhgcn

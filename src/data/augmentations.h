@@ -1,0 +1,61 @@
+#ifndef DHGCN_DATA_AUGMENTATIONS_H_
+#define DHGCN_DATA_AUGMENTATIONS_H_
+
+#include <functional>
+#include <vector>
+
+#include "base/rng.h"
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// \brief Training-time skeleton augmentations — the standard tricks of
+/// skeleton-action pipelines (random view rotation, scaling, temporal
+/// cropping, coordinate jitter, joint dropout). All functions take a
+/// (C, T, V) sample with C >= 3 coordinate channels and return a new
+/// tensor of the same joint count.
+
+/// Rotates coordinates about the y (vertical) axis by a uniform random
+/// angle in [-max_angle_rad, max_angle_rad].
+Tensor RandomRotationY(const Tensor& sample, float max_angle_rad, Rng& rng);
+
+/// Scales all coordinates by a uniform factor in [lo, hi].
+Tensor RandomScale(const Tensor& sample, float lo, float hi, Rng& rng);
+
+/// Crops a random temporal window of `window` frames and resamples it
+/// back to the original length (window <= T required).
+Tensor RandomTemporalCrop(const Tensor& sample, int64_t window, Rng& rng);
+
+/// Adds i.i.d. N(0, stddev^2) noise to every coordinate.
+Tensor JointJitter(const Tensor& sample, float stddev, Rng& rng);
+
+/// Zeroes each (frame, joint) column independently with probability p —
+/// simulates detector dropouts; also a regularizer.
+Tensor RandomJointDropout(const Tensor& sample, float p, Rng& rng);
+
+/// One augmentation step: sample -> augmented sample.
+using Augmentation = std::function<Tensor(const Tensor&, Rng&)>;
+
+/// \brief Ordered list of augmentations applied to training samples.
+class AugmentationPipeline {
+ public:
+  AugmentationPipeline() = default;
+
+  AugmentationPipeline& Add(Augmentation augmentation);
+
+  /// Applies all steps in order.
+  Tensor Apply(const Tensor& sample, Rng& rng) const;
+
+  size_t size() const { return steps_.size(); }
+
+  /// The configuration used by the training harness: small rotation,
+  /// +-10% scale, 90% temporal crop, light jitter.
+  static AugmentationPipeline Standard(int64_t num_frames);
+
+ private:
+  std::vector<Augmentation> steps_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_DATA_AUGMENTATIONS_H_

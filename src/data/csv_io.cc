@@ -1,0 +1,130 @@
+#include "data/csv_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace dhgcn {
+
+namespace {
+
+Result<SkeletonLayoutType> ParseLayoutName(const std::string& name) {
+  if (name == "ntu25") return SkeletonLayoutType::kNtu25;
+  if (name == "kinetics18") return SkeletonLayoutType::kKinetics18;
+  return Status::InvalidArgument(StrCat("unknown layout: ", name));
+}
+
+std::string LayoutName(SkeletonLayoutType type) {
+  return type == SkeletonLayoutType::kNtu25 ? "ntu25" : "kinetics18";
+}
+
+}  // namespace
+
+Status SaveDatasetCsv(const std::string& path,
+                      const SkeletonDataset& dataset) {
+  if (dataset.size() == 0) {
+    return Status::InvalidArgument("refusing to save an empty dataset");
+  }
+  std::ofstream os(path, std::ios::trunc);
+  if (!os.is_open()) {
+    return Status::IOError(StrCat("cannot open ", path, " for writing"));
+  }
+  int64_t frames = dataset.sample(0).data.dim(1);
+  os << "# dhgcn-dataset v1 layout=" << LayoutName(dataset.layout_type())
+     << " classes=" << dataset.num_classes() << " frames=" << frames
+     << "\n";
+  char buf[32];
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const SkeletonSample& sample = dataset.sample(i);
+    if (sample.data.dim(1) != frames) {
+      return Status::InvalidArgument(
+          "CSV export requires equal frame counts across samples");
+    }
+    os << sample.label << ',' << sample.subject << ',' << sample.camera
+       << ',' << sample.setup;
+    const float* data = sample.data.data();
+    for (int64_t j = 0; j < sample.data.numel(); ++j) {
+      std::snprintf(buf, sizeof(buf), "%.6g", static_cast<double>(data[j]));
+      os << ',' << buf;
+    }
+    os << "\n";
+  }
+  os.flush();
+  if (!os.good()) return Status::IOError(StrCat("write failed for ", path));
+  return Status::OK();
+}
+
+Result<SkeletonDataset> LoadDatasetCsv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.is_open()) {
+    return Status::IOError(StrCat("cannot open ", path));
+  }
+  std::string header;
+  if (!std::getline(is, header) ||
+      header.rfind("# dhgcn-dataset v1 ", 0) != 0) {
+    return Status::IOError("missing dhgcn-dataset v1 header");
+  }
+  // Parse "key=value" tokens from the header.
+  SkeletonLayoutType layout_type = SkeletonLayoutType::kNtu25;
+  int64_t num_classes = -1, frames = -1;
+  {
+    std::istringstream tokens(header.substr(std::string("# ").size()));
+    std::string token;
+    while (tokens >> token) {
+      size_t eq = token.find('=');
+      if (eq == std::string::npos) continue;
+      std::string key = token.substr(0, eq);
+      std::string value = token.substr(eq + 1);
+      if (key == "layout") {
+        DHGCN_ASSIGN_OR_RETURN(layout_type, ParseLayoutName(value));
+      } else if (key == "classes") {
+        num_classes = std::atoll(value.c_str());
+      } else if (key == "frames") {
+        frames = std::atoll(value.c_str());
+      }
+    }
+  }
+  if (num_classes <= 0 || frames <= 0) {
+    return Status::IOError("header missing classes= or frames=");
+  }
+  const SkeletonLayout& layout = GetSkeletonLayout(layout_type);
+  int64_t expected_values = 4 + 3 * frames * layout.num_joints;
+
+  std::vector<SkeletonSample> samples;
+  std::string line;
+  int64_t line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = StrSplit(line, ',');
+    if (static_cast<int64_t>(fields.size()) != expected_values) {
+      return Status::IOError(
+          StrCat("line ", line_number, ": expected ", expected_values,
+                 " fields, got ", fields.size()));
+    }
+    SkeletonSample sample;
+    sample.label = std::atoll(fields[0].c_str());
+    sample.subject = std::atoll(fields[1].c_str());
+    sample.camera = std::atoll(fields[2].c_str());
+    sample.setup = std::atoll(fields[3].c_str());
+    if (sample.label < 0 || sample.label >= num_classes) {
+      return Status::IOError(
+          StrCat("line ", line_number, ": label ", sample.label,
+                 " outside [0, ", num_classes, ")"));
+    }
+    sample.data = Tensor({3, frames, layout.num_joints});
+    for (int64_t j = 0; j < sample.data.numel(); ++j) {
+      sample.data.flat(j) =
+          std::strtof(fields[static_cast<size_t>(4 + j)].c_str(), nullptr);
+    }
+    samples.push_back(std::move(sample));
+  }
+  if (samples.empty()) return Status::IOError("no samples in file");
+  return SkeletonDataset(layout_type, num_classes, std::move(samples));
+}
+
+}  // namespace dhgcn

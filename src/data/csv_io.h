@@ -1,0 +1,30 @@
+#ifndef DHGCN_DATA_CSV_IO_H_
+#define DHGCN_DATA_CSV_IO_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "data/dataset.h"
+
+namespace dhgcn {
+
+/// \brief Text export/import of skeleton datasets.
+///
+/// Format: a `#`-prefixed header line carrying the metadata, then one
+/// CSV row per sample:
+///
+///   # dhgcn-dataset v1 layout=<ntu25|kinetics18> classes=<K> frames=<T>
+///   label,subject,camera,setup,x(0,0,0),...   (3*T*V data columns,
+///                                              row-major C,T,V order)
+///
+/// Intended for interoperability (plotting, loading real exported data);
+/// the binary checkpoint format in io/serialization.h is for weights.
+
+Status SaveDatasetCsv(const std::string& path,
+                      const SkeletonDataset& dataset);
+
+Result<SkeletonDataset> LoadDatasetCsv(const std::string& path);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_DATA_CSV_IO_H_

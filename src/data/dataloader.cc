@@ -1,0 +1,106 @@
+#include "data/dataloader.h"
+
+#include <numeric>
+
+#include "base/check.h"
+#include "data/transforms.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+
+std::string InputStreamName(InputStream stream) {
+  switch (stream) {
+    case InputStream::kJoint:
+      return "joint";
+    case InputStream::kBone:
+      return "bone";
+    case InputStream::kJointMotion:
+      return "joint-motion";
+    case InputStream::kBoneMotion:
+      return "bone-motion";
+  }
+  return "?";
+}
+
+DataLoader::DataLoader(const SkeletonDataset* dataset,
+                       std::vector<int64_t> indices, int64_t batch_size,
+                       InputStream stream, bool shuffle, Rng rng)
+    : dataset_(dataset),
+      indices_(std::move(indices)),
+      batch_size_(batch_size),
+      stream_(stream),
+      shuffle_(shuffle),
+      rng_(rng),
+      augmentation_rng_(rng.Split()) {
+  DHGCN_CHECK(dataset != nullptr);
+  DHGCN_CHECK_GT(batch_size_, 0);
+  DHGCN_CHECK(!indices_.empty());
+  for (int64_t i : indices_) {
+    DHGCN_CHECK(i >= 0 && i < dataset_->size());
+  }
+  order_.resize(indices_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+void DataLoader::SetAugmentation(AugmentationPipeline pipeline) {
+  augmentation_ = std::move(pipeline);
+}
+
+int64_t DataLoader::NumBatches() const {
+  return (static_cast<int64_t>(indices_.size()) + batch_size_ - 1) /
+         batch_size_;
+}
+
+void DataLoader::StartEpoch() {
+  if (!shuffle_) return;
+  order_ = rng_.Permutation(static_cast<int64_t>(indices_.size()));
+}
+
+Tensor DataLoader::TransformData(const Tensor& data) const {
+  const SkeletonLayout& layout = dataset_->layout();
+  // 3-D skeletons are view-normalized first (the standard NTU
+  // pre-normalization); Kinetics-style data is 2-D + confidence, where
+  // a 3-D body-frame rotation is undefined.
+  Tensor base = view_normalize_ &&
+                        dataset_->layout_type() == SkeletonLayoutType::kNtu25
+                    ? ViewNormalize(data, layout)
+                    : data;
+  switch (stream_) {
+    case InputStream::kJoint:
+      return CenterOnRoot(base, layout);
+    case InputStream::kBone:
+      return JointToBone(base, layout);
+    case InputStream::kJointMotion:
+      return TemporalDifference(CenterOnRoot(base, layout));
+    case InputStream::kBoneMotion:
+      return TemporalDifference(JointToBone(base, layout));
+  }
+  DHGCN_CHECK(false);
+  return base;
+}
+
+Batch DataLoader::GetBatch(int64_t b) {
+  DHGCN_CHECK(b >= 0 && b < NumBatches());
+  int64_t start = b * batch_size_;
+  int64_t end = std::min<int64_t>(start + batch_size_,
+                                  static_cast<int64_t>(indices_.size()));
+  Batch batch;
+  std::vector<Tensor> parts;
+  parts.reserve(static_cast<size_t>(end - start));
+  for (int64_t i = start; i < end; ++i) {
+    int64_t sample_index =
+        indices_[static_cast<size_t>(order_[static_cast<size_t>(i)])];
+    const SkeletonSample& sample = dataset_->sample(sample_index);
+    Tensor data = sample.data;
+    if (augmentation_.has_value()) {
+      data = augmentation_->Apply(data, augmentation_rng_);
+    }
+    parts.push_back(TransformData(data));
+    batch.labels.push_back(sample.label);
+    batch.sample_indices.push_back(sample_index);
+  }
+  batch.x = Stack(parts);  // (N, C, T, V)
+  return batch;
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,89 @@
+#ifndef DHGCN_DATA_DATALOADER_H_
+#define DHGCN_DATA_DATALOADER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "data/augmentations.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// Input streams fed to a model. Joint and bone are the paper's two
+/// streams (Sec. 3.5); the motion variants are the standard multi-stream
+/// extension (temporal differences of each), provided for the
+/// future-work experiments.
+enum class InputStream {
+  kJoint,
+  kBone,
+  kJointMotion,
+  kBoneMotion,
+};
+
+std::string InputStreamName(InputStream stream);
+
+/// \brief One minibatch: stacked sample tensors plus labels.
+struct Batch {
+  Tensor x;  // (N, C, T, V)
+  std::vector<int64_t> labels;
+  std::vector<int64_t> sample_indices;
+};
+
+/// \brief Assembles minibatches over a subset of a dataset.
+///
+/// Per sample: (optional) augmentation on the raw coordinates, then the
+/// stream transform — root-centering (joint), joint->bone (bone), or the
+/// temporal difference of either (motion streams) — then stacking into
+/// (N, C, T, V). Shuffling (training) re-permutes the subset each epoch
+/// with the provided RNG; the final short batch is kept.
+class DataLoader {
+ public:
+  DataLoader(const SkeletonDataset* dataset, std::vector<int64_t> indices,
+             int64_t batch_size, InputStream stream, bool shuffle,
+             Rng rng = Rng(1));
+
+  /// Disables the 3-D view normalization (enabled by default for NTU-like
+  /// layouts); exposed for the preprocessing ablation bench.
+  void SetViewNormalization(bool enabled) { view_normalize_ = enabled; }
+
+  /// Enables training-time augmentation (applied before the stream
+  /// transform, on the raw coordinates). Typically only set on training
+  /// loaders.
+  void SetAugmentation(AugmentationPipeline pipeline);
+
+  /// Number of batches per epoch.
+  int64_t NumBatches() const;
+  int64_t NumSamples() const {
+    return static_cast<int64_t>(indices_.size());
+  }
+
+  /// Starts a new epoch (reshuffles if enabled).
+  void StartEpoch();
+
+  /// Batch `b` of the current epoch, b in [0, NumBatches()).
+  Batch GetBatch(int64_t b);
+
+  /// Stream transform for raw (C, T, V) sample data, without
+  /// augmentation (exposed for tests and single-sample inference).
+  Tensor TransformData(const Tensor& data) const;
+
+ private:
+  const SkeletonDataset* dataset_;
+  std::vector<int64_t> indices_;
+  std::vector<int64_t> order_;
+  int64_t batch_size_;
+  InputStream stream_;
+  bool shuffle_;
+  Rng rng_;
+  std::optional<AugmentationPipeline> augmentation_;
+  Rng augmentation_rng_;
+  bool view_normalize_ = true;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_DATA_DATALOADER_H_

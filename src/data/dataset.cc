@@ -1,0 +1,123 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "base/rng.h"
+
+namespace dhgcn {
+
+SkeletonDataset::SkeletonDataset(SkeletonLayoutType layout,
+                                 int64_t num_classes,
+                                 std::vector<SkeletonSample> samples)
+    : layout_type_(layout),
+      num_classes_(num_classes),
+      samples_(std::move(samples)) {
+  DHGCN_CHECK_GT(num_classes_, 0);
+  const SkeletonLayout& l = GetSkeletonLayout(layout_type_);
+  for (const SkeletonSample& s : samples_) {
+    DHGCN_CHECK(s.label >= 0 && s.label < num_classes_);
+    DHGCN_CHECK_EQ(s.data.ndim(), 3);
+    DHGCN_CHECK_EQ(s.data.dim(0), 3);
+    DHGCN_CHECK_EQ(s.data.dim(2), l.num_joints);
+  }
+}
+
+Result<SkeletonDataset> SkeletonDataset::Generate(
+    const SyntheticDataConfig& config) {
+  DHGCN_ASSIGN_OR_RETURN(SyntheticSkeletonGenerator generator,
+                         SyntheticSkeletonGenerator::Make(config));
+  return SkeletonDataset(config.layout, config.num_classes,
+                         generator.GenerateAll());
+}
+
+const SkeletonSample& SkeletonDataset::sample(int64_t index) const {
+  DHGCN_CHECK(index >= 0 && index < size());
+  return samples_[static_cast<size_t>(index)];
+}
+
+DatasetSplit SkeletonDataset::CrossSubjectSplit(
+    const std::vector<int64_t>& train_subjects) const {
+  std::unordered_set<int64_t> train_set(train_subjects.begin(),
+                                        train_subjects.end());
+  DatasetSplit split;
+  for (int64_t i = 0; i < size(); ++i) {
+    if (train_set.count(samples_[static_cast<size_t>(i)].subject) > 0) {
+      split.train.push_back(i);
+    } else {
+      split.test.push_back(i);
+    }
+  }
+  return split;
+}
+
+DatasetSplit SkeletonDataset::CrossSubjectSplit() const {
+  int64_t max_subject = 0;
+  for (const SkeletonSample& s : samples_) {
+    max_subject = std::max(max_subject, s.subject);
+  }
+  std::vector<int64_t> train_subjects;
+  for (int64_t s = 0; s <= max_subject; s += 2) train_subjects.push_back(s);
+  return CrossSubjectSplit(train_subjects);
+}
+
+DatasetSplit SkeletonDataset::CrossViewSplit(int64_t test_camera) const {
+  DatasetSplit split;
+  for (int64_t i = 0; i < size(); ++i) {
+    if (samples_[static_cast<size_t>(i)].camera == test_camera) {
+      split.test.push_back(i);
+    } else {
+      split.train.push_back(i);
+    }
+  }
+  return split;
+}
+
+DatasetSplit SkeletonDataset::CrossSetupSplit() const {
+  DatasetSplit split;
+  for (int64_t i = 0; i < size(); ++i) {
+    if (samples_[static_cast<size_t>(i)].setup % 2 == 0) {
+      split.train.push_back(i);
+    } else {
+      split.test.push_back(i);
+    }
+  }
+  return split;
+}
+
+DatasetSplit SkeletonDataset::RandomSplit(float test_fraction,
+                                          uint64_t seed) const {
+  DHGCN_CHECK(test_fraction > 0.0f && test_fraction < 1.0f);
+  // Per-class stratified holdout so every class appears in both halves.
+  std::vector<std::vector<int64_t>> by_class(
+      static_cast<size_t>(num_classes_));
+  for (int64_t i = 0; i < size(); ++i) {
+    by_class[static_cast<size_t>(samples_[static_cast<size_t>(i)].label)]
+        .push_back(i);
+  }
+  Rng rng(seed);
+  DatasetSplit split;
+  for (auto& members : by_class) {
+    std::vector<int64_t> perm =
+        rng.Permutation(static_cast<int64_t>(members.size()));
+    int64_t num_test = std::max<int64_t>(
+        1, static_cast<int64_t>(
+               std::lround(test_fraction * members.size())));
+    num_test = std::min<int64_t>(num_test,
+                                 static_cast<int64_t>(members.size()) - 1);
+    for (size_t p = 0; p < members.size(); ++p) {
+      int64_t idx = members[static_cast<size_t>(perm[p])];
+      if (static_cast<int64_t>(p) < num_test) {
+        split.test.push_back(idx);
+      } else {
+        split.train.push_back(idx);
+      }
+    }
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,64 @@
+#ifndef DHGCN_DATA_DATASET_H_
+#define DHGCN_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/result.h"
+#include "data/skeleton.h"
+#include "data/synthetic_generator.h"
+
+namespace dhgcn {
+
+/// Train/test index split of a dataset.
+struct DatasetSplit {
+  std::vector<int64_t> train;
+  std::vector<int64_t> test;
+};
+
+/// \brief In-memory skeleton action dataset with the benchmark protocols
+/// of NTU RGB+D 60/120 and Kinetics-Skeleton (Sec. 4.1).
+class SkeletonDataset {
+ public:
+  SkeletonDataset(SkeletonLayoutType layout, int64_t num_classes,
+                  std::vector<SkeletonSample> samples);
+
+  /// Generates a dataset from the synthetic generator config.
+  static Result<SkeletonDataset> Generate(const SyntheticDataConfig& config);
+
+  int64_t size() const { return static_cast<int64_t>(samples_.size()); }
+  int64_t num_classes() const { return num_classes_; }
+  SkeletonLayoutType layout_type() const { return layout_type_; }
+  const SkeletonLayout& layout() const {
+    return GetSkeletonLayout(layout_type_);
+  }
+  const SkeletonSample& sample(int64_t index) const;
+  const std::vector<SkeletonSample>& samples() const { return samples_; }
+
+  /// Cross-subject protocol: samples of `train_subjects` train, the rest
+  /// test (NTU X-Sub).
+  DatasetSplit CrossSubjectSplit(
+      const std::vector<int64_t>& train_subjects) const;
+  /// Convenience: the first half of subject ids train.
+  DatasetSplit CrossSubjectSplit() const;
+
+  /// Cross-view protocol: samples of camera `test_camera` test, the rest
+  /// train (NTU X-View; camera 1 is the paper's test camera).
+  DatasetSplit CrossViewSplit(int64_t test_camera = 0) const;
+
+  /// Cross-setup protocol: even setup ids train, odd test (NTU-120 X-Set).
+  DatasetSplit CrossSetupSplit() const;
+
+  /// Random holdout (Kinetics-style train/val): `test_fraction` of each
+  /// class is held out, deterministically in `seed`.
+  DatasetSplit RandomSplit(float test_fraction, uint64_t seed) const;
+
+ private:
+  SkeletonLayoutType layout_type_;
+  int64_t num_classes_;
+  std::vector<SkeletonSample> samples_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_DATA_DATASET_H_

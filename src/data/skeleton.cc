@@ -1,0 +1,217 @@
+#include "data/skeleton.h"
+
+#include <deque>
+
+#include "base/check.h"
+
+namespace dhgcn {
+
+namespace {
+
+// Builds parents/bones/rest pose for the 25-joint NTU RGB+D skeleton.
+// Joint indices are 0-based versions of the Kinect v2 order:
+//  0 spine-base  1 spine-mid    2 neck        3 head
+//  4 l-shoulder  5 l-elbow      6 l-wrist     7 l-hand
+//  8 r-shoulder  9 r-elbow     10 r-wrist    11 r-hand
+// 12 l-hip      13 l-knee      14 l-ankle    15 l-foot
+// 16 r-hip      17 r-knee      18 r-ankle    19 r-foot
+// 20 spine-shoulder            21 l-hand-tip 22 l-thumb
+// 23 r-hand-tip 24 r-thumb
+SkeletonLayout MakeNtu25() {
+  SkeletonLayout layout;
+  layout.name = "ntu25";
+  layout.num_joints = 25;
+  layout.root = 20;
+  layout.joint_names = {
+      "spine_base", "spine_mid",  "neck",       "head",       "l_shoulder",
+      "l_elbow",    "l_wrist",    "l_hand",     "r_shoulder", "r_elbow",
+      "r_wrist",    "r_hand",     "l_hip",      "l_knee",     "l_ankle",
+      "l_foot",     "r_hip",      "r_knee",     "r_ankle",    "r_foot",
+      "spine_shoulder", "l_hand_tip", "l_thumb", "r_hand_tip", "r_thumb"};
+  layout.parents = {
+      /*0*/ 1,   /*1*/ 20, /*2*/ 20, /*3*/ 2,  /*4*/ 20,
+      /*5*/ 4,   /*6*/ 5,  /*7*/ 6,  /*8*/ 20, /*9*/ 8,
+      /*10*/ 9,  /*11*/ 10, /*12*/ 0, /*13*/ 12, /*14*/ 13,
+      /*15*/ 14, /*16*/ 0,  /*17*/ 16, /*18*/ 17, /*19*/ 18,
+      /*20*/ 20, /*21*/ 7,  /*22*/ 7,  /*23*/ 11, /*24*/ 11};
+  const float pose[25][3] = {
+      {0.00f, 0.00f, 0.00f},    // spine_base
+      {0.00f, 0.25f, 0.00f},    // spine_mid
+      {0.00f, 0.55f, 0.00f},    // neck
+      {0.00f, 0.70f, 0.02f},    // head
+      {-0.20f, 0.45f, 0.00f},   // l_shoulder
+      {-0.25f, 0.18f, 0.00f},   // l_elbow
+      {-0.27f, -0.05f, 0.00f},  // l_wrist
+      {-0.28f, -0.12f, 0.00f},  // l_hand
+      {0.20f, 0.45f, 0.00f},    // r_shoulder
+      {0.25f, 0.18f, 0.00f},    // r_elbow
+      {0.27f, -0.05f, 0.00f},   // r_wrist
+      {0.28f, -0.12f, 0.00f},   // r_hand
+      {-0.10f, -0.05f, 0.00f},  // l_hip
+      {-0.12f, -0.50f, 0.00f},  // l_knee
+      {-0.13f, -0.90f, 0.00f},  // l_ankle
+      {-0.13f, -0.95f, 0.10f},  // l_foot
+      {0.10f, -0.05f, 0.00f},   // r_hip
+      {0.12f, -0.50f, 0.00f},   // r_knee
+      {0.13f, -0.90f, 0.00f},   // r_ankle
+      {0.13f, -0.95f, 0.10f},   // r_foot
+      {0.00f, 0.45f, 0.00f},    // spine_shoulder
+      {-0.29f, -0.18f, 0.00f},  // l_hand_tip
+      {-0.24f, -0.14f, 0.03f},  // l_thumb
+      {0.29f, -0.18f, 0.00f},   // r_hand_tip
+      {0.24f, -0.14f, 0.03f},   // r_thumb
+  };
+  layout.rest_pose = Tensor({25, 3});
+  for (int64_t j = 0; j < 25; ++j) {
+    for (int64_t d = 0; d < 3; ++d) layout.rest_pose.at(j, d) = pose[j][d];
+  }
+  for (int64_t j = 0; j < layout.num_joints; ++j) {
+    if (j != layout.root) {
+      layout.bones.emplace_back(j, layout.parents[static_cast<size_t>(j)]);
+    }
+  }
+  return layout;
+}
+
+// 18-joint OpenPose skeleton of Kinetics-Skeleton:
+//  0 nose   1 neck   2 r-shoulder  3 r-elbow  4 r-wrist
+//  5 l-shoulder 6 l-elbow 7 l-wrist 8 r-hip 9 r-knee 10 r-ankle
+// 11 l-hip 12 l-knee 13 l-ankle 14 r-eye 15 l-eye 16 r-ear 17 l-ear
+SkeletonLayout MakeKinetics18() {
+  SkeletonLayout layout;
+  layout.name = "kinetics18";
+  layout.num_joints = 18;
+  layout.root = 1;
+  layout.joint_names = {"nose",    "neck",    "r_shoulder", "r_elbow",
+                        "r_wrist", "l_shoulder", "l_elbow", "l_wrist",
+                        "r_hip",   "r_knee",  "r_ankle",    "l_hip",
+                        "l_knee",  "l_ankle", "r_eye",      "l_eye",
+                        "r_ear",   "l_ear"};
+  layout.parents = {/*0*/ 1, /*1*/ 1, /*2*/ 1,  /*3*/ 2,  /*4*/ 3,
+                    /*5*/ 1, /*6*/ 5, /*7*/ 6,  /*8*/ 2,  /*9*/ 8,
+                    /*10*/ 9, /*11*/ 5, /*12*/ 11, /*13*/ 12,
+                    /*14*/ 0, /*15*/ 0, /*16*/ 14, /*17*/ 15};
+  const float pose[18][3] = {
+      {0.00f, 0.65f, 0.05f},   // nose
+      {0.00f, 0.50f, 0.00f},   // neck
+      {0.18f, 0.50f, 0.00f},   // r_shoulder
+      {0.23f, 0.25f, 0.00f},   // r_elbow
+      {0.25f, 0.02f, 0.00f},   // r_wrist
+      {-0.18f, 0.50f, 0.00f},  // l_shoulder
+      {-0.23f, 0.25f, 0.00f},  // l_elbow
+      {-0.25f, 0.02f, 0.00f},  // l_wrist
+      {0.10f, 0.00f, 0.00f},   // r_hip
+      {0.12f, -0.45f, 0.00f},  // r_knee
+      {0.13f, -0.90f, 0.00f},  // r_ankle
+      {-0.10f, 0.00f, 0.00f},  // l_hip
+      {-0.12f, -0.45f, 0.00f}, // l_knee
+      {-0.13f, -0.90f, 0.00f}, // l_ankle
+      {0.03f, 0.70f, 0.05f},   // r_eye
+      {-0.03f, 0.70f, 0.05f},  // l_eye
+      {0.07f, 0.67f, 0.00f},   // r_ear
+      {-0.07f, 0.67f, 0.00f},  // l_ear
+  };
+  layout.rest_pose = Tensor({18, 3});
+  for (int64_t j = 0; j < 18; ++j) {
+    for (int64_t d = 0; d < 3; ++d) layout.rest_pose.at(j, d) = pose[j][d];
+  }
+  for (int64_t j = 0; j < layout.num_joints; ++j) {
+    if (j != layout.root) {
+      layout.bones.emplace_back(j, layout.parents[static_cast<size_t>(j)]);
+    }
+  }
+  return layout;
+}
+
+}  // namespace
+
+const SkeletonLayout& GetSkeletonLayout(SkeletonLayoutType type) {
+  // Function-local static references; never destroyed (per style guide's
+  // static-storage rules for non-trivially-destructible objects).
+  switch (type) {
+    case SkeletonLayoutType::kNtu25: {
+      static const SkeletonLayout& layout = *new SkeletonLayout(MakeNtu25());
+      return layout;
+    }
+    case SkeletonLayoutType::kKinetics18: {
+      static const SkeletonLayout& layout =
+          *new SkeletonLayout(MakeKinetics18());
+      return layout;
+    }
+  }
+  DHGCN_CHECK(false);
+  static const SkeletonLayout& unreachable = *new SkeletonLayout();
+  return unreachable;
+}
+
+Graph SkeletonGraph(const SkeletonLayout& layout) {
+  return Graph(layout.num_joints, layout.bones);
+}
+
+Tensor TreeDistances(const SkeletonLayout& layout) {
+  int64_t v = layout.num_joints;
+  // BFS from every joint over the bone adjacency.
+  std::vector<std::vector<int64_t>> adj(static_cast<size_t>(v));
+  for (const auto& [child, parent] : layout.bones) {
+    adj[static_cast<size_t>(child)].push_back(parent);
+    adj[static_cast<size_t>(parent)].push_back(child);
+  }
+  Tensor dist = Tensor::Full({v, v}, -1.0f);
+  for (int64_t src = 0; src < v; ++src) {
+    std::deque<int64_t> queue = {src};
+    dist.at(src, src) = 0.0f;
+    while (!queue.empty()) {
+      int64_t node = queue.front();
+      queue.pop_front();
+      for (int64_t next : adj[static_cast<size_t>(node)]) {
+        if (dist.at(src, next) < 0.0f) {
+          dist.at(src, next) = dist.at(src, node) + 1.0f;
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+  // The skeleton tree is connected, so every distance must be set.
+  for (int64_t i = 0; i < v * v; ++i) DHGCN_CHECK_GE(dist.flat(i), 0.0f);
+  return dist;
+}
+
+std::vector<std::vector<int64_t>> PartPartition(const SkeletonLayout& layout,
+                                                int64_t num_parts) {
+  DHGCN_CHECK(num_parts == 2 || num_parts == 4 || num_parts == 6);
+  if (layout.name == "ntu25") {
+    const std::vector<int64_t> torso = {0, 1, 2, 3, 20};
+    const std::vector<int64_t> left_arm = {20, 4, 5, 6, 7, 21, 22};
+    const std::vector<int64_t> right_arm = {20, 8, 9, 10, 11, 23, 24};
+    const std::vector<int64_t> left_leg = {0, 12, 13, 14, 15};
+    const std::vector<int64_t> right_leg = {0, 16, 17, 18, 19};
+    if (num_parts == 2) {
+      return {{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 20, 21, 22, 23, 24},
+              {0, 1, 12, 13, 14, 15, 16, 17, 18, 19}};
+    }
+    if (num_parts == 4) {
+      std::vector<int64_t> legs = {0, 12, 13, 14, 15, 16, 17, 18, 19};
+      return {torso, left_arm, right_arm, legs};
+    }
+    // Six parts: limbs, torso, and the cross-extremity part (hands+feet),
+    // the paper's "unnatural connections such as hands and legs".
+    return {torso, left_arm, right_arm, left_leg, right_leg,
+            {7, 11, 15, 19, 21, 23}};
+  }
+  DHGCN_CHECK(layout.name == "kinetics18");
+  const std::vector<int64_t> head = {0, 1, 14, 15, 16, 17};
+  const std::vector<int64_t> left_arm = {1, 5, 6, 7};
+  const std::vector<int64_t> right_arm = {1, 2, 3, 4};
+  const std::vector<int64_t> left_leg = {1, 11, 12, 13};
+  const std::vector<int64_t> right_leg = {1, 8, 9, 10};
+  if (num_parts == 2) {
+    return {{0, 1, 2, 3, 4, 5, 6, 7, 14, 15, 16, 17},
+            {1, 8, 9, 10, 11, 12, 13}};
+  }
+  if (num_parts == 4) {
+    return {head, left_arm, right_arm, {1, 8, 9, 10, 11, 12, 13}};
+  }
+  return {head, left_arm, right_arm, left_leg, right_leg, {4, 7, 10, 13}};
+}
+
+}  // namespace dhgcn

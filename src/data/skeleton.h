@@ -1,0 +1,56 @@
+#ifndef DHGCN_DATA_SKELETON_H_
+#define DHGCN_DATA_SKELETON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hypergraph/graph.h"
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// Skeleton layouts used by the paper's datasets.
+enum class SkeletonLayoutType {
+  /// 25-joint Kinect v2 skeleton of NTU RGB+D 60/120.
+  kNtu25,
+  /// 18-joint OpenPose skeleton of Kinetics-Skeleton 400.
+  kKinetics18,
+};
+
+/// \brief Static description of a skeleton: joints, bone tree, rest pose.
+struct SkeletonLayout {
+  std::string name;
+  int64_t num_joints = 0;
+  /// Bone list as (child, parent) pairs; the root has no entry.
+  std::vector<std::pair<int64_t, int64_t>> bones;
+  /// parent[j] for every joint; parent[root] == root.
+  std::vector<int64_t> parents;
+  int64_t root = 0;
+  std::vector<std::string> joint_names;
+  /// Canonical standing rest pose, shape (V, 3), in meters,
+  /// x right / y up / z toward camera.
+  Tensor rest_pose;
+};
+
+/// Returns the (immutable, lazily constructed) layout singleton.
+const SkeletonLayout& GetSkeletonLayout(SkeletonLayoutType type);
+
+/// The natural-connection skeleton graph of a layout (Sec. 3.1).
+Graph SkeletonGraph(const SkeletonLayout& layout);
+
+/// Tree distance (number of bones) between every pair of joints,
+/// shape (V, V); used by the synthetic generator's motion propagation.
+Tensor TreeDistances(const SkeletonLayout& layout);
+
+/// \brief Body-part partition of the joints for PB-GCN / PB-HGCN
+/// (Thakkar & Narayanan). Supported part counts: 2, 4, 6. Parts may share
+/// boundary joints (shoulders/hips), as in PB-GCN, and always cover all
+/// joints.
+std::vector<std::vector<int64_t>> PartPartition(const SkeletonLayout& layout,
+                                                int64_t num_parts);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_DATA_SKELETON_H_

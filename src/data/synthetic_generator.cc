@@ -1,0 +1,278 @@
+#include "data/synthetic_generator.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "base/string_util.h"
+
+namespace dhgcn {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+// Joints eligible as motion drivers: extremities and head, which is where
+// discriminative action motion concentrates in the real datasets.
+std::vector<int64_t> DriverCandidates(const SkeletonLayout& layout) {
+  if (layout.name == "ntu25") {
+    return {3, 6, 7, 10, 11, 14, 15, 18, 19, 21, 23};
+  }
+  // kinetics18: nose, wrists, elbows, ankles, knees.
+  return {0, 3, 4, 6, 7, 9, 10, 12, 13};
+}
+
+std::array<float, 3> RandomUnitVector(Rng& rng) {
+  // Rejection-free: sample a Gaussian vector and normalize.
+  float x = rng.Normal(), y = rng.Normal(), z = rng.Normal();
+  float norm = std::sqrt(x * x + y * y + z * z) + 1e-8f;
+  return {x / norm, y / norm, z / norm};
+}
+
+}  // namespace
+
+SyntheticDataConfig KineticsLikeConfig(int64_t num_classes,
+                                       int64_t samples_per_class,
+                                       int64_t num_frames, uint64_t seed) {
+  SyntheticDataConfig config;
+  config.layout = SkeletonLayoutType::kKinetics18;
+  config.num_classes = num_classes;
+  config.samples_per_class = samples_per_class;
+  config.num_frames = num_frames;
+  config.num_subjects = 12;
+  config.num_cameras = 1;  // YouTube videos: no controlled camera ids
+  config.num_setups = 1;
+  config.sensor_noise = 0.025f;
+  config.joint_dropout_prob = 0.06f;
+  config.project_2d = true;
+  config.seed = seed;
+  return config;
+}
+
+SyntheticDataConfig NtuLikeConfig(int64_t num_classes,
+                                  int64_t samples_per_class,
+                                  int64_t num_frames, uint64_t seed) {
+  SyntheticDataConfig config;
+  config.layout = SkeletonLayoutType::kNtu25;
+  config.num_classes = num_classes;
+  config.samples_per_class = samples_per_class;
+  config.num_frames = num_frames;
+  config.num_subjects = 8;
+  config.num_cameras = 3;
+  config.num_setups = 4;
+  config.sensor_noise = 0.01f;
+  config.joint_dropout_prob = 0.0f;
+  config.project_2d = false;
+  config.seed = seed;
+  return config;
+}
+
+Result<SyntheticSkeletonGenerator> SyntheticSkeletonGenerator::Make(
+    const SyntheticDataConfig& config) {
+  if (config.num_classes <= 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  if (config.samples_per_class <= 0) {
+    return Status::InvalidArgument("samples_per_class must be positive");
+  }
+  if (config.num_frames < 2) {
+    return Status::InvalidArgument(
+        "num_frames must be >= 2 (moving distance needs adjacent frames)");
+  }
+  if (config.num_subjects <= 0 || config.num_cameras <= 0 ||
+      config.num_setups <= 0) {
+    return Status::InvalidArgument(
+        "subject/camera/setup counts must be positive");
+  }
+  if (config.joint_dropout_prob < 0.0f || config.joint_dropout_prob >= 1.0f) {
+    return Status::InvalidArgument(
+        StrCat("joint_dropout_prob must be in [0, 1), got ",
+               config.joint_dropout_prob));
+  }
+  if (config.propagation_alpha <= 0.0f || config.propagation_alpha >= 1.0f) {
+    return Status::InvalidArgument("propagation_alpha must be in (0, 1)");
+  }
+  return SyntheticSkeletonGenerator(config);
+}
+
+SyntheticSkeletonGenerator::SyntheticSkeletonGenerator(
+    const SyntheticDataConfig& config)
+    : config_(config), layout_(&GetSkeletonLayout(config.layout)) {
+  tree_distances_ = TreeDistances(*layout_);
+
+  // Class prototypes, deterministic in the dataset seed.
+  std::vector<int64_t> candidates = DriverCandidates(*layout_);
+  prototypes_.reserve(static_cast<size_t>(config_.num_classes));
+  for (int64_t label = 0; label < config_.num_classes; ++label) {
+    Rng rng(config_.seed * 7919ULL + static_cast<uint64_t>(label) + 1ULL);
+    MotionPrototype proto;
+    int64_t num_drivers = rng.UniformInt(1, 3);
+    std::vector<int64_t> picks = rng.SampleWithoutReplacement(
+        static_cast<int64_t>(candidates.size()), num_drivers);
+    // Frequencies come from a discrete grid so that class identities stay
+    // separable under the per-subject speed variation (+-8%); continuous
+    // frequencies would alias neighbouring classes.
+    static constexpr float kFrequencyGrid[] = {1.0f, 1.75f, 2.5f, 3.25f};
+    for (int64_t pick : picks) {
+      MotionDriver driver;
+      driver.joint = candidates[static_cast<size_t>(pick)];
+      driver.frequency =
+          kFrequencyGrid[rng.UniformInt(0, 3)];
+      driver.amplitude = rng.Uniform(0.15f, 0.35f);
+      driver.phase = rng.Uniform(0.0f, 2.0f * kPi);
+      driver.direction = RandomUnitVector(rng);
+      proto.drivers.push_back(driver);
+    }
+    // Roughly a third of the classes include whole-body translation
+    // (walking/running-like actions).
+    if (rng.Bernoulli(0.33f)) {
+      std::array<float, 3> dir = RandomUnitVector(rng);
+      float speed =
+          rng.Uniform(0.15f, 0.5f) / static_cast<float>(config_.num_frames);
+      proto.global_velocity = {dir[0] * speed, dir[1] * speed * 0.2f,
+                               dir[2] * speed};
+    }
+    prototypes_.push_back(std::move(proto));
+  }
+
+  // Per-subject body parameters.
+  Rng subject_rng(config_.seed * 104729ULL + 17ULL);
+  for (int64_t s = 0; s < config_.num_subjects; ++s) {
+    subject_scale_.push_back(subject_rng.Uniform(0.88f, 1.12f));
+    subject_amplitude_.push_back(subject_rng.Uniform(0.8f, 1.2f));
+    subject_speed_.push_back(subject_rng.Uniform(0.92f, 1.08f));
+  }
+}
+
+const MotionPrototype& SyntheticSkeletonGenerator::PrototypeFor(
+    int64_t label) const {
+  DHGCN_CHECK(label >= 0 && label < config_.num_classes);
+  return prototypes_[static_cast<size_t>(label)];
+}
+
+SkeletonSample SyntheticSkeletonGenerator::GenerateSample(
+    int64_t label, int64_t subject, int64_t camera, int64_t setup,
+    uint64_t instance_seed) const {
+  DHGCN_CHECK(label >= 0 && label < config_.num_classes);
+  DHGCN_CHECK(subject >= 0 && subject < config_.num_subjects);
+  DHGCN_CHECK(camera >= 0 && camera < config_.num_cameras);
+  DHGCN_CHECK(setup >= 0 && setup < config_.num_setups);
+
+  const MotionPrototype& proto = prototypes_[static_cast<size_t>(label)];
+  int64_t v = layout_->num_joints;
+  int64_t t_frames = config_.num_frames;
+  Rng rng(instance_seed * 2654435761ULL + 99991ULL);
+
+  float scale = subject_scale_[static_cast<size_t>(subject)];
+  float amp = subject_amplitude_[static_cast<size_t>(subject)];
+  float speed = subject_speed_[static_cast<size_t>(subject)];
+  float sample_phase = rng.Uniform(0.0f, 2.0f * kPi);
+
+  // Camera extrinsics: azimuth spread across cameras (the NTU rig uses
+  // three cameras at different horizontal angles), small random jitter.
+  float azimuth =
+      (static_cast<float>(camera) -
+       static_cast<float>(config_.num_cameras - 1) / 2.0f) *
+          (kPi / 4.0f) +
+      rng.Uniform(-0.05f, 0.05f);
+  float elevation = rng.Uniform(-0.08f, 0.08f);
+  // Setup: subject distance/height offset (NTU-120 varies setups).
+  float setup_depth = 2.5f + 0.35f * static_cast<float>(setup);
+  float setup_height = 0.05f * static_cast<float>(setup % 3);
+
+  float cos_a = std::cos(azimuth), sin_a = std::sin(azimuth);
+  float cos_e = std::cos(elevation), sin_e = std::sin(elevation);
+
+  Tensor data({3, t_frames, v});
+  // Per-driver propagation weight for each joint.
+  std::vector<std::vector<float>> weights(proto.drivers.size());
+  for (size_t d = 0; d < proto.drivers.size(); ++d) {
+    weights[d].resize(static_cast<size_t>(v));
+    for (int64_t j = 0; j < v; ++j) {
+      float dist = tree_distances_.at(proto.drivers[d].joint, j);
+      weights[d][static_cast<size_t>(j)] =
+          std::pow(config_.propagation_alpha, dist);
+    }
+  }
+
+  for (int64_t frame = 0; frame < t_frames; ++frame) {
+    float time = static_cast<float>(frame) /
+                 static_cast<float>(t_frames);
+    for (int64_t j = 0; j < v; ++j) {
+      float px = layout_->rest_pose.at(j, 0) * scale +
+                 proto.global_velocity[0] * frame;
+      float py = layout_->rest_pose.at(j, 1) * scale +
+                 proto.global_velocity[1] * frame;
+      float pz = layout_->rest_pose.at(j, 2) * scale +
+                 proto.global_velocity[2] * frame;
+      for (size_t d = 0; d < proto.drivers.size(); ++d) {
+        const MotionDriver& driver = proto.drivers[d];
+        float w = weights[d][static_cast<size_t>(j)];
+        float osc = amp * driver.amplitude * w *
+                    std::sin(2.0f * kPi * driver.frequency * speed * time +
+                             driver.phase + sample_phase);
+        px += osc * driver.direction[0];
+        py += osc * driver.direction[1];
+        pz += osc * driver.direction[2];
+      }
+      // Sensor noise in world space.
+      px += rng.Normal(0.0f, config_.sensor_noise);
+      py += rng.Normal(0.0f, config_.sensor_noise);
+      pz += rng.Normal(0.0f, config_.sensor_noise);
+      // Camera rotation (azimuth about y, then elevation about x) and
+      // translation to the setup's viewing distance.
+      float rx = cos_a * px + sin_a * pz;
+      float rz = -sin_a * px + cos_a * pz;
+      float ry = cos_e * py - sin_e * rz;
+      rz = sin_e * py + cos_e * rz;
+      ry += setup_height;
+      rz += setup_depth;
+
+      bool dropped = config_.joint_dropout_prob > 0.0f &&
+                     rng.Bernoulli(config_.joint_dropout_prob);
+      if (config_.project_2d) {
+        // Pinhole projection plus a confidence channel, mimicking the
+        // OpenPose output format of Kinetics-Skeleton.
+        float inv_depth = 1.0f / std::max(rz, 0.5f);
+        float confidence = dropped ? 0.0f : rng.Uniform(0.6f, 1.0f);
+        data.at(0, frame, j) = dropped ? 0.0f : rx * inv_depth;
+        data.at(1, frame, j) = dropped ? 0.0f : ry * inv_depth;
+        data.at(2, frame, j) = confidence;
+      } else {
+        data.at(0, frame, j) = dropped ? 0.0f : rx;
+        data.at(1, frame, j) = dropped ? 0.0f : ry;
+        data.at(2, frame, j) = dropped ? 0.0f : rz;
+      }
+    }
+  }
+
+  SkeletonSample sample;
+  sample.data = std::move(data);
+  sample.label = label;
+  sample.subject = subject;
+  sample.camera = camera;
+  sample.setup = setup;
+  return sample;
+}
+
+std::vector<SkeletonSample> SyntheticSkeletonGenerator::GenerateAll() const {
+  std::vector<SkeletonSample> samples;
+  samples.reserve(
+      static_cast<size_t>(config_.num_classes * config_.samples_per_class));
+  // Subject cycles deterministically (balanced X-Sub splits even for
+  // small datasets); camera and setup are drawn per instance so every
+  // protocol's test half is populated at any dataset size.
+  uint64_t instance = 0;
+  for (int64_t label = 0; label < config_.num_classes; ++label) {
+    for (int64_t i = 0; i < config_.samples_per_class; ++i, ++instance) {
+      Rng meta_rng(config_.seed * 31337ULL + instance * 13ULL + 5ULL);
+      int64_t subject = instance % config_.num_subjects;
+      int64_t camera = meta_rng.UniformInt(0, config_.num_cameras - 1);
+      int64_t setup = meta_rng.UniformInt(0, config_.num_setups - 1);
+      samples.push_back(GenerateSample(label, subject, camera, setup,
+                                       config_.seed + instance * 31ULL));
+    }
+  }
+  return samples;
+}
+
+}  // namespace dhgcn

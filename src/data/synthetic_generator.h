@@ -1,0 +1,125 @@
+#ifndef DHGCN_DATA_SYNTHETIC_GENERATOR_H_
+#define DHGCN_DATA_SYNTHETIC_GENERATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/result.h"
+#include "base/rng.h"
+#include "data/skeleton.h"
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// \brief One skeleton sequence with its annotation.
+///
+/// `data` is (C=3, T, V): x/y/z joint coordinates for NTU-style data, or
+/// x/y/confidence for Kinetics-style (OpenPose) data.
+struct SkeletonSample {
+  Tensor data;
+  int64_t label = 0;
+  int64_t subject = 0;
+  int64_t camera = 0;
+  int64_t setup = 0;
+};
+
+/// \brief Parameters of the synthetic skeleton-action generator.
+///
+/// This generator replaces the (non-redistributable) NTU RGB+D and
+/// Kinetics-Skeleton recordings. Each action class is a deterministic
+/// motion prototype: a set of "driver" joints with class-specific
+/// oscillation frequency/amplitude/direction whose displacement propagates
+/// along the skeleton tree with decaying strength — so joint correlations
+/// follow the body structure, which is exactly the signal that graph- and
+/// hypergraph-structured models exploit. Samples vary by subject (body
+/// scale, motion amplitude, speed), camera (azimuth/elevation rotation and
+/// translation), setup (distance/height), phase, and sensor noise.
+struct SyntheticDataConfig {
+  SkeletonLayoutType layout = SkeletonLayoutType::kNtu25;
+  int64_t num_classes = 10;
+  int64_t samples_per_class = 20;
+  int64_t num_frames = 32;
+  int64_t num_subjects = 8;
+  int64_t num_cameras = 3;
+  int64_t num_setups = 4;
+  /// Std-dev of additive Gaussian coordinate noise (meters).
+  float sensor_noise = 0.01f;
+  /// Per-(frame, joint) probability of zeroing a joint — models OpenPose
+  /// detection failures in Kinetics-Skeleton. 0 for NTU-style data.
+  float joint_dropout_prob = 0.0f;
+  /// Kinetics-style output: perspective-projected (x, y) plus a
+  /// confidence channel instead of (x, y, z).
+  bool project_2d = false;
+  /// Tree-distance attenuation of driver motion (0, 1).
+  float propagation_alpha = 0.55f;
+  uint64_t seed = 42;
+};
+
+/// Kinetics-Skeleton-like preset: 18-joint layout, 2-D + confidence data,
+/// joint dropout and heavier noise (the paper's "defective" skeletons).
+SyntheticDataConfig KineticsLikeConfig(int64_t num_classes,
+                                       int64_t samples_per_class,
+                                       int64_t num_frames, uint64_t seed);
+
+/// NTU-RGB+D-like preset: 25-joint layout, clean 3-D data.
+SyntheticDataConfig NtuLikeConfig(int64_t num_classes,
+                                  int64_t samples_per_class,
+                                  int64_t num_frames, uint64_t seed);
+
+/// \brief One driver joint of a motion prototype.
+struct MotionDriver {
+  int64_t joint = 0;
+  /// Oscillation cycles over the whole sequence.
+  float frequency = 1.0f;
+  /// Peak displacement in meters.
+  float amplitude = 0.1f;
+  float phase = 0.0f;
+  std::array<float, 3> direction = {0.0f, 0.0f, 0.0f};
+};
+
+/// \brief Deterministic per-class motion prototype.
+struct MotionPrototype {
+  std::vector<MotionDriver> drivers;
+  /// Whole-body translation per frame (walking-like classes), meters.
+  std::array<float, 3> global_velocity = {0.0f, 0.0f, 0.0f};
+};
+
+/// \brief Generates reproducible synthetic skeleton sequences.
+class SyntheticSkeletonGenerator {
+ public:
+  /// Validates the config (class/subject/frame counts, probabilities).
+  static Result<SyntheticSkeletonGenerator> Make(
+      const SyntheticDataConfig& config);
+
+  explicit SyntheticSkeletonGenerator(const SyntheticDataConfig& config);
+
+  const SyntheticDataConfig& config() const { return config_; }
+  const SkeletonLayout& layout() const { return *layout_; }
+
+  /// The motion prototype of a class (deterministic in config().seed).
+  const MotionPrototype& PrototypeFor(int64_t label) const;
+
+  /// Generates one sample for (label, subject, camera, setup) using
+  /// `instance_seed` for the per-sample variation (phase, noise, dropout).
+  SkeletonSample GenerateSample(int64_t label, int64_t subject,
+                                int64_t camera, int64_t setup,
+                                uint64_t instance_seed) const;
+
+  /// Generates the full dataset: samples_per_class per class, cycling
+  /// subjects/cameras/setups uniformly.
+  std::vector<SkeletonSample> GenerateAll() const;
+
+ private:
+  SyntheticDataConfig config_;
+  const SkeletonLayout* layout_;
+  Tensor tree_distances_;                     // (V, V)
+  std::vector<MotionPrototype> prototypes_;   // per class
+  std::vector<float> subject_scale_;          // per subject
+  std::vector<float> subject_amplitude_;
+  std::vector<float> subject_speed_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_DATA_SYNTHETIC_GENERATOR_H_

@@ -1,0 +1,209 @@
+#include "data/transforms.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace dhgcn {
+
+namespace {
+
+// Uniform handling of (C,T,V) and (N,C,T,V): view as (batch, C, T, V).
+struct BatchView {
+  int64_t n;
+  int64_t c;
+  int64_t t;
+  int64_t v;
+  bool batched;
+};
+
+BatchView MakeView(const Tensor& x) {
+  DHGCN_CHECK(x.ndim() == 3 || x.ndim() == 4);
+  if (x.ndim() == 3) return {1, x.dim(0), x.dim(1), x.dim(2), false};
+  return {x.dim(0), x.dim(1), x.dim(2), x.dim(3), true};
+}
+
+}  // namespace
+
+Tensor JointToBone(const Tensor& joints, const SkeletonLayout& layout) {
+  BatchView view = MakeView(joints);
+  DHGCN_CHECK_EQ(view.v, layout.num_joints);
+  Tensor bones(joints.shape());
+  const float* px = joints.data();
+  float* po = bones.data();
+  int64_t plane = view.t * view.v;
+  for (int64_t b = 0; b < view.n; ++b) {
+    for (int64_t c = 0; c < view.c; ++c) {
+      const float* xplane = px + (b * view.c + c) * plane;
+      float* oplane = po + (b * view.c + c) * plane;
+      for (int64_t t = 0; t < view.t; ++t) {
+        for (int64_t j = 0; j < view.v; ++j) {
+          int64_t parent = layout.parents[static_cast<size_t>(j)];
+          oplane[t * view.v + j] =
+              xplane[t * view.v + j] - xplane[t * view.v + parent];
+        }
+      }
+    }
+  }
+  return bones;
+}
+
+Tensor CenterOnRoot(const Tensor& joints, const SkeletonLayout& layout) {
+  BatchView view = MakeView(joints);
+  DHGCN_CHECK_EQ(view.v, layout.num_joints);
+  Tensor out(joints.shape());
+  const float* px = joints.data();
+  float* po = out.data();
+  int64_t plane = view.t * view.v;
+  for (int64_t b = 0; b < view.n; ++b) {
+    for (int64_t c = 0; c < view.c; ++c) {
+      const float* xplane = px + (b * view.c + c) * plane;
+      float* oplane = po + (b * view.c + c) * plane;
+      for (int64_t t = 0; t < view.t; ++t) {
+        float center = xplane[t * view.v + layout.root];
+        for (int64_t j = 0; j < view.v; ++j) {
+          oplane[t * view.v + j] = xplane[t * view.v + j] - center;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor TemporalDifference(const Tensor& joints) {
+  BatchView view = MakeView(joints);
+  Tensor out(joints.shape());
+  const float* px = joints.data();
+  float* po = out.data();
+  int64_t plane = view.t * view.v;
+  for (int64_t b = 0; b < view.n; ++b) {
+    for (int64_t c = 0; c < view.c; ++c) {
+      const float* xplane = px + (b * view.c + c) * plane;
+      float* oplane = po + (b * view.c + c) * plane;
+      for (int64_t t = 0; t + 1 < view.t; ++t) {
+        for (int64_t j = 0; j < view.v; ++j) {
+          oplane[t * view.v + j] =
+              xplane[(t + 1) * view.v + j] - xplane[t * view.v + j];
+        }
+      }
+      // Last frame has no successor: zero motion.
+      for (int64_t j = 0; j < view.v; ++j) {
+        oplane[(view.t - 1) * view.v + j] = 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ResampleFrames(const Tensor& joints, int64_t target_frames) {
+  DHGCN_CHECK_GT(target_frames, 0);
+  BatchView view = MakeView(joints);
+  Shape out_shape = joints.shape();
+  out_shape[out_shape.size() - 2] = target_frames;
+  Tensor out(out_shape);
+  const float* px = joints.data();
+  float* po = out.data();
+  for (int64_t b = 0; b < view.n; ++b) {
+    for (int64_t c = 0; c < view.c; ++c) {
+      const float* xplane = px + (b * view.c + c) * view.t * view.v;
+      float* oplane = po + (b * view.c + c) * target_frames * view.v;
+      for (int64_t t = 0; t < target_frames; ++t) {
+        int64_t src = t * view.t / target_frames;
+        for (int64_t j = 0; j < view.v; ++j) {
+          oplane[t * view.v + j] = xplane[src * view.v + j];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct Vec3 {
+  float x = 0, y = 0, z = 0;
+};
+
+Vec3 Sub3(const Vec3& a, const Vec3& b) {
+  return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+
+Vec3 Cross3(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+float Norm3(const Vec3& a) {
+  return std::sqrt(a.x * a.x + a.y * a.y + a.z * a.z);
+}
+
+Vec3 Normalize3(const Vec3& a) {
+  float n = Norm3(a);
+  return {a.x / n, a.y / n, a.z / n};
+}
+
+// Reference joints used to define the body frame per layout.
+struct BodyFrameJoints {
+  int64_t spine_bottom;
+  int64_t spine_top;
+  int64_t left_hip;
+  int64_t right_hip;
+};
+
+BodyFrameJoints FrameJointsFor(const SkeletonLayout& layout) {
+  if (layout.name == "ntu25") {
+    return {/*spine_bottom=*/0, /*spine_top=*/20, /*left_hip=*/12,
+            /*right_hip=*/16};
+  }
+  DHGCN_CHECK(layout.name == "kinetics18");
+  return {/*spine_bottom=*/8, /*spine_top=*/1, /*left_hip=*/11,
+          /*right_hip=*/8};
+}
+
+}  // namespace
+
+Tensor ViewNormalize(const Tensor& joints, const SkeletonLayout& layout) {
+  BatchView view = MakeView(joints);
+  DHGCN_CHECK_EQ(view.c, 3);
+  DHGCN_CHECK_EQ(view.v, layout.num_joints);
+  BodyFrameJoints ref = FrameJointsFor(layout);
+  Tensor out = joints.Clone();
+  float* po = out.data();
+  int64_t plane = view.t * view.v;
+  for (int64_t b = 0; b < view.n; ++b) {
+    float* px = po + b * 3 * plane;
+    auto joint_at = [px, &view, plane](int64_t t, int64_t j) {
+      return Vec3{px[0 * plane + t * view.v + j],
+                  px[1 * plane + t * view.v + j],
+                  px[2 * plane + t * view.v + j]};
+    };
+    // Body frame from the first frame: up = spine direction, right =
+    // hip line orthogonalized against up, forward = right x up.
+    Vec3 up = Sub3(joint_at(0, ref.spine_top), joint_at(0, ref.spine_bottom));
+    Vec3 hips =
+        Sub3(joint_at(0, ref.right_hip), joint_at(0, ref.left_hip));
+    if (Norm3(up) < 1e-6f || Norm3(hips) < 1e-6f) continue;  // degenerate
+    up = Normalize3(up);
+    Vec3 forward = Cross3(hips, up);
+    if (Norm3(forward) < 1e-6f) continue;  // hips parallel to spine
+    forward = Normalize3(forward);
+    Vec3 right = Cross3(up, forward);
+    // Rotate every frame's coordinates into (right, up, forward) and
+    // translate so the first frame's spine bottom is the origin.
+    Vec3 origin = joint_at(0, ref.spine_bottom);
+    for (int64_t t = 0; t < view.t; ++t) {
+      for (int64_t j = 0; j < view.v; ++j) {
+        Vec3 p = Sub3(joint_at(t, j), origin);
+        px[0 * plane + t * view.v + j] =
+            right.x * p.x + right.y * p.y + right.z * p.z;
+        px[1 * plane + t * view.v + j] =
+            up.x * p.x + up.y * p.y + up.z * p.z;
+        px[2 * plane + t * view.v + j] =
+            forward.x * p.x + forward.y * p.y + forward.z * p.z;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dhgcn

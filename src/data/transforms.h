@@ -1,0 +1,42 @@
+#ifndef DHGCN_DATA_TRANSFORMS_H_
+#define DHGCN_DATA_TRANSFORMS_H_
+
+#include "data/skeleton.h"
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// \brief Joint stream -> bone stream (Sec. 3.5 two-stream framework).
+///
+/// bone[c,t,v] = joint[c,t,v] - joint[c,t,parent(v)]; the root joint's
+/// bone is zero. Input (C, T, V) or batched (N, C, T, V).
+Tensor JointToBone(const Tensor& joints, const SkeletonLayout& layout);
+
+/// \brief Centers every frame on the root joint: x[c,t,v] -=
+/// x[c,t,root]. The standard pre-normalization for skeleton data.
+/// Input (C, T, V) or (N, C, T, V).
+Tensor CenterOnRoot(const Tensor& joints, const SkeletonLayout& layout);
+
+/// \brief Per-joint motion stream: m[c,t,v] = x[c,t+1,v] - x[c,t,v],
+/// zero for the last frame. Input (C, T, V) or (N, C, T, V).
+Tensor TemporalDifference(const Tensor& joints);
+
+/// \brief Resamples the time axis to `target_frames` by nearest-frame
+/// sampling (crop or stretch). Input (C, T, V) or (N, C, T, V).
+Tensor ResampleFrames(const Tensor& joints, int64_t target_frames);
+
+/// \brief View normalization ("pre-normalization" of the 2s-AGCN data
+/// pipeline): rotates every 3-D sequence into a body-centric frame so
+/// that the spine (root -> spine/neck) is vertical and the hip line is
+/// horizontal in the first frame. This removes most of the camera-angle
+/// nuisance and is what makes the X-View protocol learnable.
+///
+/// Uses the layout's root and the hip pair; requires exactly 3 coordinate
+/// channels and a 3-D (not projected) skeleton. Degenerate geometry
+/// (zero-length spine/hip vectors) leaves the sequence unchanged.
+/// Input (C, T, V) or (N, C, T, V).
+Tensor ViewNormalize(const Tensor& joints, const SkeletonLayout& layout);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_DATA_TRANSFORMS_H_

@@ -1,0 +1,77 @@
+#include "hypergraph/graph.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "base/string_util.h"
+
+namespace dhgcn {
+
+Graph::Graph(int64_t num_vertices,
+             std::vector<std::pair<int64_t, int64_t>> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  DHGCN_CHECK_GT(num_vertices_, 0);
+  for (const auto& [u, v] : edges_) {
+    DHGCN_CHECK(u >= 0 && u < num_vertices_);
+    DHGCN_CHECK(v >= 0 && v < num_vertices_);
+  }
+}
+
+Result<Graph> Graph::Make(int64_t num_vertices,
+                          std::vector<std::pair<int64_t, int64_t>> edges) {
+  if (num_vertices <= 0) {
+    return Status::InvalidArgument(
+        StrCat("num_vertices must be positive, got ", num_vertices));
+  }
+  for (const auto& [u, v] : edges) {
+    if (u < 0 || u >= num_vertices || v < 0 || v >= num_vertices) {
+      return Status::InvalidArgument(
+          StrCat("edge (", u, ", ", v, ") out of range for ", num_vertices,
+                 " vertices"));
+    }
+  }
+  return Graph(num_vertices, std::move(edges));
+}
+
+Tensor Graph::AdjacencyMatrix() const {
+  Tensor a({num_vertices_, num_vertices_});
+  for (const auto& [u, v] : edges_) {
+    if (u == v) continue;
+    a.at(u, v) = 1.0f;
+    a.at(v, u) = 1.0f;
+  }
+  return a;
+}
+
+Tensor Graph::NormalizedAdjacency() const {
+  Tensor a = AdjacencyMatrix();
+  // A + I.
+  for (int64_t i = 0; i < num_vertices_; ++i) a.at(i, i) += 1.0f;
+  std::vector<float> inv_sqrt_deg(static_cast<size_t>(num_vertices_));
+  for (int64_t i = 0; i < num_vertices_; ++i) {
+    float deg = 0.0f;
+    for (int64_t j = 0; j < num_vertices_; ++j) deg += a.at(i, j);
+    DHGCN_CHECK_GT(deg, 0.0f);
+    inv_sqrt_deg[static_cast<size_t>(i)] = 1.0f / std::sqrt(deg);
+  }
+  Tensor out({num_vertices_, num_vertices_});
+  for (int64_t i = 0; i < num_vertices_; ++i) {
+    for (int64_t j = 0; j < num_vertices_; ++j) {
+      out.at(i, j) = inv_sqrt_deg[static_cast<size_t>(i)] * a.at(i, j) *
+                     inv_sqrt_deg[static_cast<size_t>(j)];
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> Graph::Degrees() const {
+  std::vector<int64_t> deg(static_cast<size_t>(num_vertices_), 1);  // self
+  for (const auto& [u, v] : edges_) {
+    if (u == v) continue;
+    ++deg[static_cast<size_t>(u)];
+    ++deg[static_cast<size_t>(v)];
+  }
+  return deg;
+}
+
+}  // namespace dhgcn

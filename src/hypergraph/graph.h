@@ -1,0 +1,46 @@
+#ifndef DHGCN_HYPERGRAPH_GRAPH_H_
+#define DHGCN_HYPERGRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// \brief Undirected plain graph over `num_vertices` nodes, used for the
+/// classic skeleton graph of GCN-based baselines (Sec. 3.1).
+class Graph {
+ public:
+  Graph(int64_t num_vertices, std::vector<std::pair<int64_t, int64_t>> edges);
+
+  /// Validates vertex indices; use before trusting external edge lists.
+  static Result<Graph> Make(
+      int64_t num_vertices,
+      std::vector<std::pair<int64_t, int64_t>> edges);
+
+  int64_t num_vertices() const { return num_vertices_; }
+  const std::vector<std::pair<int64_t, int64_t>>& edges() const {
+    return edges_;
+  }
+
+  /// Binary adjacency matrix A (V, V), symmetric, zero diagonal.
+  Tensor AdjacencyMatrix() const;
+
+  /// Symmetrically normalized adjacency with self-loops (Eq. 1):
+  /// D^{-1/2} (A + I) D^{-1/2}.
+  Tensor NormalizedAdjacency() const;
+
+  /// Degree (including self-loop) per vertex.
+  std::vector<int64_t> Degrees() const;
+
+ private:
+  int64_t num_vertices_;
+  std::vector<std::pair<int64_t, int64_t>> edges_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_HYPERGRAPH_GRAPH_H_

@@ -1,0 +1,266 @@
+#include "hypergraph/hypergraph_conv.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "base/string_util.h"
+#include "tensor/linalg.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+
+Tensor NormalizedHypergraphOperator(const Hypergraph& hypergraph) {
+  int64_t nv = hypergraph.num_vertices();
+  int64_t ne = hypergraph.num_edges();
+  Tensor h = hypergraph.IncidenceMatrix();  // (V, E)
+  std::vector<float> dv = hypergraph.VertexDegrees();
+  std::vector<int64_t> de = hypergraph.EdgeDegrees();
+  const std::vector<float>& w = hypergraph.edge_weights();
+
+  // Left factor L = Dv^{-1/2} H W De^{-1}, shape (V, E); then
+  // Omega = L * (Dv^{-1/2} H)^T.
+  Tensor left({nv, ne});
+  Tensor right({nv, ne});
+  for (int64_t v = 0; v < nv; ++v) {
+    float inv_sqrt_dv =
+        dv[static_cast<size_t>(v)] > 0.0f
+            ? 1.0f / std::sqrt(dv[static_cast<size_t>(v)])
+            : 0.0f;
+    for (int64_t e = 0; e < ne; ++e) {
+      float he = h.at(v, e);
+      if (he == 0.0f) continue;
+      float inv_de = 1.0f / static_cast<float>(de[static_cast<size_t>(e)]);
+      left.at(v, e) = inv_sqrt_dv * he * w[static_cast<size_t>(e)] * inv_de;
+      right.at(v, e) = inv_sqrt_dv * he;
+    }
+  }
+  return MatMulTransposedB(left, right);  // (V, V)
+}
+
+Tensor WeightedIncidenceOperator(const Tensor& imp) {
+  DHGCN_CHECK_EQ(imp.ndim(), 2);
+  return MatMulTransposedB(imp, imp);
+}
+
+VertexMix::VertexMix(Tensor op, bool learnable)
+    : op_(std::move(op)), learnable_(learnable) {
+  DHGCN_CHECK_EQ(op_.ndim(), 2);
+  DHGCN_CHECK_EQ(op_.dim(0), op_.dim(1));
+  op_grad_ = Tensor(op_.shape());
+}
+
+Tensor VertexMix::Forward(const Tensor& input) {
+  DHGCN_CHECK_EQ(input.ndim(), 4);
+  DHGCN_CHECK_EQ(input.dim(3), op_.dim(0));
+  cached_input_ = input;
+  int64_t n = input.dim(0), c = input.dim(1), t = input.dim(2),
+          v = input.dim(3);
+  Tensor out(input.shape());
+  const float* px = input.data();
+  const float* pm = op_.data();
+  float* po = out.data();
+  int64_t rows = n * c * t;
+  // Y_row[v'] = sum_u M[v',u] X_row[u]  ==  X_row * M^T.
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xrow = px + r * v;
+    float* orow = po + r * v;
+    for (int64_t vi = 0; vi < v; ++vi) {
+      const float* mrow = pm + vi * v;
+      double acc = 0.0;
+      for (int64_t u = 0; u < v; ++u) {
+        acc += static_cast<double>(mrow[u]) * xrow[u];
+      }
+      orow[vi] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor VertexMix::Backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  DHGCN_CHECK(ShapesEqual(grad_output.shape(), input.shape()));
+  int64_t v = input.dim(3);
+  int64_t rows = input.numel() / v;
+  Tensor grad_input(input.shape());
+  const float* pg = grad_output.data();
+  const float* pm = op_.data();
+  const float* px = input.data();
+  float* pgi = grad_input.data();
+  float* pgm = op_grad_.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* grow = pg + r * v;
+    const float* xrow = px + r * v;
+    float* girow = pgi + r * v;
+    for (int64_t vi = 0; vi < v; ++vi) {
+      float g = grow[vi];
+      if (g == 0.0f) continue;
+      const float* mrow = pm + vi * v;
+      float* gmrow = pgm + vi * v;
+      for (int64_t u = 0; u < v; ++u) {
+        girow[u] += g * mrow[u];
+        if (learnable_) gmrow[u] += g * xrow[u];
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> VertexMix::Params() {
+  if (!learnable_) return {};
+  return {{"op", &op_, &op_grad_}};
+}
+
+std::string VertexMix::name() const {
+  return StrCat("VertexMix(V=", op_.dim(0),
+                learnable_ ? ", learnable)" : ")");
+}
+
+void DynamicVertexMix::SetOperators(Tensor ops) {
+  DHGCN_CHECK_EQ(ops.ndim(), 4);
+  DHGCN_CHECK_EQ(ops.dim(2), ops.dim(3));
+  ops_ = std::move(ops);
+}
+
+Tensor DynamicVertexMix::Forward(const Tensor& input) {
+  DHGCN_CHECK_EQ(input.ndim(), 4);
+  DHGCN_CHECK_GT(ops_.numel(), 0);  // SetOperators must precede Forward
+  int64_t n = input.dim(0), c = input.dim(1), t = input.dim(2),
+          v = input.dim(3);
+  DHGCN_CHECK_EQ(ops_.dim(0), n);
+  DHGCN_CHECK_EQ(ops_.dim(1), t);
+  DHGCN_CHECK_EQ(ops_.dim(2), v);
+  Tensor out(input.shape());
+  const float* px = input.data();
+  const float* pops = ops_.data();
+  float* po = out.data();
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t tt = 0; tt < t; ++tt) {
+      const float* m = pops + (b * t + tt) * v * v;
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* xrow = px + ((b * c + ch) * t + tt) * v;
+        float* orow = po + ((b * c + ch) * t + tt) * v;
+        for (int64_t vi = 0; vi < v; ++vi) {
+          const float* mrow = m + vi * v;
+          double acc = 0.0;
+          for (int64_t u = 0; u < v; ++u) {
+            acc += static_cast<double>(mrow[u]) * xrow[u];
+          }
+          orow[vi] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor DynamicVertexMix::Backward(const Tensor& grad_output) {
+  int64_t n = grad_output.dim(0), c = grad_output.dim(1),
+          t = grad_output.dim(2), v = grad_output.dim(3);
+  Tensor grad_input(grad_output.shape());
+  const float* pg = grad_output.data();
+  const float* pops = ops_.data();
+  float* pgi = grad_input.data();
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t tt = 0; tt < t; ++tt) {
+      const float* m = pops + (b * t + tt) * v * v;
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* grow = pg + ((b * c + ch) * t + tt) * v;
+        float* girow = pgi + ((b * c + ch) * t + tt) * v;
+        // dX[u] = sum_v M[v,u] dY[v].
+        for (int64_t vi = 0; vi < v; ++vi) {
+          float g = grow[vi];
+          if (g == 0.0f) continue;
+          const float* mrow = m + vi * v;
+          for (int64_t u = 0; u < v; ++u) girow[u] += g * mrow[u];
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+LearnableHyperedgeMix::LearnableHyperedgeMix(const Hypergraph& hypergraph) {
+  int64_t nv = hypergraph.num_vertices();
+  int64_t ne = hypergraph.num_edges();
+  Tensor h = hypergraph.IncidenceMatrix();
+  std::vector<float> dv = hypergraph.VertexDegrees();
+  std::vector<int64_t> de = hypergraph.EdgeDegrees();
+  left_ = Tensor({nv, ne});
+  right_ = Tensor({ne, nv});
+  for (int64_t v = 0; v < nv; ++v) {
+    float inv_sqrt_dv = dv[static_cast<size_t>(v)] > 0.0f
+                            ? 1.0f / std::sqrt(dv[static_cast<size_t>(v)])
+                            : 0.0f;
+    for (int64_t e = 0; e < ne; ++e) {
+      float he = h.at(v, e);
+      if (he == 0.0f) continue;
+      left_.at(v, e) =
+          inv_sqrt_dv * he /
+          static_cast<float>(de[static_cast<size_t>(e)]);
+      right_.at(e, v) = he * inv_sqrt_dv;
+    }
+  }
+  weights_ = Tensor::Ones({ne});
+  weights_grad_ = Tensor({ne});
+}
+
+Tensor LearnableHyperedgeMix::Forward(const Tensor& input) {
+  DHGCN_CHECK_EQ(input.ndim(), 4);
+  int64_t v = input.dim(3);
+  DHGCN_CHECK_EQ(v, left_.dim(0));
+  int64_t ne = left_.dim(1);
+  int64_t rows = input.numel() / v;
+  cached_input_shape_ = input.shape();
+
+  // Z = R X^T-per-row: edge features per leading row.
+  Tensor x2d = input.Reshape({rows, v});
+  cached_edge_features_ = MatMulTransposedB(x2d, right_);  // (rows, E)
+  // Y = (w .* Z) L^T.
+  Tensor scaled = cached_edge_features_.Clone();
+  float* ps = scaled.data();
+  const float* pw = weights_.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t e = 0; e < ne; ++e) ps[r * ne + e] *= pw[e];
+  }
+  Tensor y = MatMulTransposedB(scaled, left_);  // (rows, V)
+  return y.Reshape(cached_input_shape_);
+}
+
+Tensor LearnableHyperedgeMix::Backward(const Tensor& grad_output) {
+  DHGCN_CHECK(ShapesEqual(grad_output.shape(), cached_input_shape_));
+  int64_t v = left_.dim(0);
+  int64_t ne = left_.dim(1);
+  int64_t rows = grad_output.numel() / v;
+  Tensor g2d = grad_output.Reshape({rows, v});
+  // dP = dY L, where P = w .* Z.
+  Tensor dp = MatMul(g2d, left_);  // (rows, E)
+  // dw[e] += sum_r dP[r,e] Z[r,e];  dZ = w .* dP.
+  const float* pz = cached_edge_features_.data();
+  const float* pw = weights_.data();
+  float* pgw = weights_grad_.data();
+  float* pdp = dp.data();
+  for (int64_t e = 0; e < ne; ++e) {
+    double acc = 0.0;
+    for (int64_t r = 0; r < rows; ++r) {
+      acc += static_cast<double>(pdp[r * ne + e]) * pz[r * ne + e];
+    }
+    pgw[e] += static_cast<float>(acc);
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t e = 0; e < ne; ++e) pdp[r * ne + e] *= pw[e];
+  }
+  // dX = dZ R.
+  Tensor dx = MatMul(dp, right_);  // (rows, V)
+  return dx.Reshape(cached_input_shape_);
+}
+
+std::vector<ParamRef> LearnableHyperedgeMix::Params() {
+  return {{"edge_weights", &weights_, &weights_grad_}};
+}
+
+std::string LearnableHyperedgeMix::name() const {
+  return StrCat("LearnableHyperedgeMix(V=", left_.dim(0),
+                ", E=", left_.dim(1), ")");
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,70 @@
+#include "hypergraph/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace dhgcn {
+
+Tensor PairwiseDistances(const Tensor& features) {
+  DHGCN_CHECK_EQ(features.ndim(), 2);
+  int64_t v = features.dim(0), f = features.dim(1);
+  Tensor dist({v, v});
+  const float* px = features.data();
+  float* pd = dist.data();
+  for (int64_t i = 0; i < v; ++i) {
+    const float* xi = px + i * f;
+    for (int64_t j = i + 1; j < v; ++j) {
+      const float* xj = px + j * f;
+      double acc = 0.0;
+      for (int64_t d = 0; d < f; ++d) {
+        double diff = static_cast<double>(xi[d]) - xj[d];
+        acc += diff * diff;
+      }
+      float dd = static_cast<float>(std::sqrt(acc));
+      pd[i * v + j] = dd;
+      pd[j * v + i] = dd;
+    }
+  }
+  return dist;
+}
+
+std::vector<int64_t> NearestNeighbors(const Tensor& distances, int64_t vertex,
+                                      int64_t k) {
+  DHGCN_CHECK_EQ(distances.ndim(), 2);
+  int64_t v = distances.dim(0);
+  DHGCN_CHECK(vertex >= 0 && vertex < v);
+  DHGCN_CHECK(k >= 0 && k <= v - 1);
+  std::vector<int64_t> order;
+  order.reserve(static_cast<size_t>(v - 1));
+  for (int64_t j = 0; j < v; ++j) {
+    if (j != vertex) order.push_back(j);
+  }
+  const float* row = distances.data() + vertex * v;
+  std::stable_sort(order.begin(), order.end(), [row](int64_t a, int64_t b) {
+    if (row[a] != row[b]) return row[a] < row[b];
+    return a < b;
+  });
+  order.resize(static_cast<size_t>(k));
+  return order;
+}
+
+std::vector<Hyperedge> KnnHyperedges(const Tensor& features, int64_t k) {
+  DHGCN_CHECK_EQ(features.ndim(), 2);
+  int64_t v = features.dim(0);
+  DHGCN_CHECK(k >= 1 && k <= v);
+  Tensor dist = PairwiseDistances(features);
+  std::vector<Hyperedge> edges;
+  edges.reserve(static_cast<size_t>(v));
+  for (int64_t i = 0; i < v; ++i) {
+    Hyperedge e = {i};
+    std::vector<int64_t> nn = NearestNeighbors(dist, i, k - 1);
+    e.insert(e.end(), nn.begin(), nn.end());
+    edges.push_back(std::move(e));
+  }
+  return edges;
+}
+
+}  // namespace dhgcn

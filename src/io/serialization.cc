@@ -1,0 +1,200 @@
+#include "io/serialization.h"
+
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace dhgcn {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'H', 'G', 'W'};
+constexpr uint32_t kVersion = 1;
+
+Status WriteRaw(std::ostream& os, const void* data, size_t bytes) {
+  os.write(static_cast<const char*>(data),
+           static_cast<std::streamsize>(bytes));
+  if (!os.good()) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status ReadRaw(std::istream& is, void* data, size_t bytes) {
+  is.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (is.gcount() != static_cast<std::streamsize>(bytes)) {
+    return Status::IOError("unexpected end of file");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WriteScalar(std::ostream& os, T value) {
+  return WriteRaw(os, &value, sizeof(T));
+}
+
+template <typename T>
+Result<T> ReadScalar(std::istream& is) {
+  T value;
+  DHGCN_RETURN_IF_ERROR(ReadRaw(is, &value, sizeof(T)));
+  return value;
+}
+
+Status WriteString(std::ostream& os, const std::string& text) {
+  DHGCN_RETURN_IF_ERROR(WriteScalar<uint64_t>(os, text.size()));
+  return WriteRaw(os, text.data(), text.size());
+}
+
+Result<std::string> ReadString(std::istream& is) {
+  DHGCN_ASSIGN_OR_RETURN(uint64_t length, ReadScalar<uint64_t>(is));
+  if (length > (1ULL << 20)) {
+    return Status::IOError(StrCat("implausible string length ", length));
+  }
+  std::string text(length, '\0');
+  DHGCN_RETURN_IF_ERROR(ReadRaw(is, text.data(), length));
+  return text;
+}
+
+Status WriteHeader(std::ostream& os, uint64_t entry_count) {
+  DHGCN_RETURN_IF_ERROR(WriteRaw(os, kMagic, sizeof(kMagic)));
+  DHGCN_RETURN_IF_ERROR(WriteScalar<uint32_t>(os, kVersion));
+  return WriteScalar<uint64_t>(os, entry_count);
+}
+
+Result<uint64_t> ReadHeader(std::istream& is) {
+  char magic[4];
+  DHGCN_RETURN_IF_ERROR(ReadRaw(is, magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    return Status::IOError("not a DHGCN weight file (bad magic)");
+  }
+  DHGCN_ASSIGN_OR_RETURN(uint32_t version, ReadScalar<uint32_t>(is));
+  if (version != kVersion) {
+    return Status::IOError(StrCat("unsupported version ", version));
+  }
+  return ReadScalar<uint64_t>(is);
+}
+
+}  // namespace
+
+Status WriteTensor(std::ostream& os, const Tensor& tensor) {
+  DHGCN_RETURN_IF_ERROR(
+      WriteScalar<uint64_t>(os, static_cast<uint64_t>(tensor.ndim())));
+  for (int64_t d = 0; d < tensor.ndim(); ++d) {
+    DHGCN_RETURN_IF_ERROR(WriteScalar<int64_t>(os, tensor.dim(d)));
+  }
+  return WriteRaw(os, tensor.data(),
+                  static_cast<size_t>(tensor.numel()) * sizeof(float));
+}
+
+Result<Tensor> ReadTensor(std::istream& is) {
+  DHGCN_ASSIGN_OR_RETURN(uint64_t ndim, ReadScalar<uint64_t>(is));
+  if (ndim > 16) {
+    return Status::IOError(StrCat("implausible tensor rank ", ndim));
+  }
+  Shape shape(ndim);
+  for (uint64_t d = 0; d < ndim; ++d) {
+    DHGCN_ASSIGN_OR_RETURN(shape[d], ReadScalar<int64_t>(is));
+    if (shape[d] < 0 || shape[d] > (1LL << 32)) {
+      return Status::IOError(StrCat("implausible dimension ", shape[d]));
+    }
+  }
+  Tensor tensor(shape);
+  DHGCN_RETURN_IF_ERROR(
+      ReadRaw(is, tensor.data(),
+              static_cast<size_t>(tensor.numel()) * sizeof(float)));
+  return tensor;
+}
+
+Status SaveParameters(const std::string& path, Layer& layer) {
+  std::vector<ParamRef> params = layer.Params();
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os.is_open()) {
+    return Status::IOError(StrCat("cannot open ", path, " for writing"));
+  }
+  DHGCN_RETURN_IF_ERROR(WriteHeader(os, params.size()));
+  std::set<std::string> names;
+  for (const ParamRef& param : params) {
+    if (!names.insert(param.name).second) {
+      return Status::Internal(
+          StrCat("duplicate parameter name: ", param.name));
+    }
+    DHGCN_RETURN_IF_ERROR(WriteString(os, param.name));
+    DHGCN_RETURN_IF_ERROR(WriteTensor(os, *param.value));
+  }
+  os.flush();
+  if (!os.good()) return Status::IOError(StrCat("flush failed for ", path));
+  return Status::OK();
+}
+
+Result<std::map<std::string, Tensor>> LoadParameterMap(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) {
+    return Status::IOError(StrCat("cannot open ", path));
+  }
+  DHGCN_ASSIGN_OR_RETURN(uint64_t count, ReadHeader(is));
+  std::map<std::string, Tensor> entries;
+  for (uint64_t i = 0; i < count; ++i) {
+    DHGCN_ASSIGN_OR_RETURN(std::string name, ReadString(is));
+    DHGCN_ASSIGN_OR_RETURN(Tensor tensor, ReadTensor(is));
+    if (!entries.emplace(name, std::move(tensor)).second) {
+      return Status::IOError(StrCat("duplicate entry ", name));
+    }
+  }
+  return entries;
+}
+
+Status LoadParameters(const std::string& path, Layer& layer) {
+  DHGCN_ASSIGN_OR_RETURN(auto entries, LoadParameterMap(path));
+  std::vector<ParamRef> params = layer.Params();
+  if (entries.size() != params.size()) {
+    return Status::InvalidArgument(
+        StrCat("checkpoint has ", entries.size(), " entries but model has ",
+               params.size(), " parameters"));
+  }
+  for (ParamRef& param : params) {
+    auto it = entries.find(param.name);
+    if (it == entries.end()) {
+      return Status::InvalidArgument(
+          StrCat("checkpoint missing parameter ", param.name));
+    }
+    if (!ShapesEqual(it->second.shape(), param.value->shape())) {
+      return Status::InvalidArgument(
+          StrCat("shape mismatch for ", param.name, ": checkpoint ",
+                 ShapeToString(it->second.shape()), " vs model ",
+                 ShapeToString(param.value->shape())));
+    }
+  }
+  // Validate-then-commit: only mutate the model once everything matched.
+  for (ParamRef& param : params) {
+    param.value->CopyFrom(entries.at(param.name));
+  }
+  return Status::OK();
+}
+
+Status SaveCheckpoint(const std::string& path, Layer& layer,
+                      const Checkpoint& meta) {
+  DHGCN_RETURN_IF_ERROR(SaveParameters(path, layer));
+  std::ofstream os(path + ".meta", std::ios::trunc);
+  if (!os.is_open()) {
+    return Status::IOError(StrCat("cannot open ", path, ".meta"));
+  }
+  os << meta.epoch << "\n" << meta.best_metric << "\n";
+  if (!os.good()) return Status::IOError("meta write failed");
+  return Status::OK();
+}
+
+Result<Checkpoint> LoadCheckpoint(const std::string& path, Layer& layer) {
+  DHGCN_RETURN_IF_ERROR(LoadParameters(path, layer));
+  std::ifstream is(path + ".meta");
+  if (!is.is_open()) {
+    return Status::IOError(StrCat("cannot open ", path, ".meta"));
+  }
+  Checkpoint meta;
+  is >> meta.epoch >> meta.best_metric;
+  if (is.fail()) return Status::IOError("meta parse failed");
+  return meta;
+}
+
+}  // namespace dhgcn

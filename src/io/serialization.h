@@ -1,0 +1,58 @@
+#ifndef DHGCN_IO_SERIALIZATION_H_
+#define DHGCN_IO_SERIALIZATION_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "base/result.h"
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// \brief Binary tensor / checkpoint (de)serialization.
+///
+/// Format (little-endian, native float32):
+///   file      := magic("DHGW") version(u32) entry_count(u64) entry*
+///   entry     := name_len(u64) name(bytes) tensor
+///   tensor    := ndim(u64) dims(i64 * ndim) data(f32 * numel)
+///
+/// Parameters are matched **by name**: loading requires every entry to
+/// exist in the target layer with the same shape, and every layer
+/// parameter to be present in the file, so checkpoints are exchangeable
+/// only between identical architectures — mismatches produce a
+/// descriptive error instead of silent corruption.
+
+/// Writes one tensor (without the file header).
+Status WriteTensor(std::ostream& os, const Tensor& tensor);
+/// Reads one tensor (without the file header).
+Result<Tensor> ReadTensor(std::istream& is);
+
+/// Saves all parameters of `layer` to `path`.
+Status SaveParameters(const std::string& path, Layer& layer);
+
+/// Loads parameters saved by SaveParameters into `layer` (strict
+/// name/shape matching in both directions).
+Status LoadParameters(const std::string& path, Layer& layer);
+
+/// Reads a checkpoint into a name->tensor map (for tools/inspection).
+Result<std::map<std::string, Tensor>> LoadParameterMap(
+    const std::string& path);
+
+/// \brief Training checkpoint: parameters plus trainer metadata.
+struct Checkpoint {
+  int64_t epoch = 0;
+  double best_metric = 0.0;
+};
+
+/// Saves parameters and metadata side by side (path and path + ".meta").
+Status SaveCheckpoint(const std::string& path, Layer& layer,
+                      const Checkpoint& meta);
+/// Loads a checkpoint saved by SaveCheckpoint.
+Result<Checkpoint> LoadCheckpoint(const std::string& path, Layer& layer);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_IO_SERIALIZATION_H_

@@ -1,0 +1,31 @@
+#include "models/ahgcn.h"
+
+#include "core/static_hypergraph.h"
+#include "hypergraph/hypergraph_conv.h"
+#include "models/agcn.h"
+
+namespace dhgcn {
+
+LayerPtr MakeAhgcnModel(SkeletonLayoutType layout, int64_t num_classes,
+                        const BaselineScale& scale, uint64_t seed) {
+  const SkeletonLayout& l = GetSkeletonLayout(layout);
+  Tensor hypergraph_op =
+      NormalizedHypergraphOperator(StaticSkeletonHypergraph(l));
+  Rng rng(seed);
+  std::vector<LayerPtr> blocks;
+  int64_t in_channels = 3;
+  for (size_t i = 0; i < scale.channels.size(); ++i) {
+    int64_t out_channels = scale.channels[i];
+    auto spatial = std::make_unique<AdaptiveSpatial>(
+        in_channels, out_channels, hypergraph_op.Clone(), rng);
+    blocks.push_back(std::make_unique<StBlock>(
+        std::move(spatial), in_channels, out_channels, scale.strides[i],
+        rng));
+    in_channels = out_channels;
+  }
+  return std::make_unique<BackboneClassifier>(
+      "2s-AHGCN", 3, in_channels, num_classes, std::move(blocks),
+      scale.dropout, rng);
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,20 @@
+#ifndef DHGCN_MODELS_AHGCN_H_
+#define DHGCN_MODELS_AHGCN_H_
+
+#include "data/skeleton.h"
+#include "models/st_common.h"
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+/// \brief 2s-AHGCN single-stream model (Tab. 1 ablation): identical to
+/// 2s-AGCN except that the fixed structural operator A is the normalized
+/// *static-hypergraph* operator (Eq. 5) instead of the skeleton-graph
+/// adjacency — "replace the graph convolutional networks with the
+/// hypergraph convolutional networks".
+LayerPtr MakeAhgcnModel(SkeletonLayoutType layout, int64_t num_classes,
+                        const BaselineScale& scale, uint64_t seed);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_MODELS_AHGCN_H_

@@ -1,0 +1,113 @@
+#include "models/model_zoo.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/string_util.h"
+#include "core/dhgcn_model.h"
+#include "models/agcn.h"
+#include "models/ahgcn.h"
+#include "models/pbgcn.h"
+#include "models/stgcn.h"
+#include "models/tcn_model.h"
+
+namespace dhgcn {
+
+std::string ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kTcn:
+      return "TCN";
+    case ModelKind::kStgcn:
+      return "ST-GCN";
+    case ModelKind::kAgcn:
+      return "2s-AGCN";
+    case ModelKind::kAhgcn:
+      return "2s-AHGCN";
+    case ModelKind::kPbgcn2:
+      return "PB-GCN(two)";
+    case ModelKind::kPbgcn4:
+      return "PB-GCN(four)";
+    case ModelKind::kPbgcn6:
+      return "PB-GCN(six)";
+    case ModelKind::kPbhgcn2:
+      return "PB-HGCN(two)";
+    case ModelKind::kPbhgcn4:
+      return "PB-HGCN(four)";
+    case ModelKind::kPbhgcn6:
+      return "PB-HGCN(six)";
+    case ModelKind::kDhgcn:
+      return "DHGCN";
+  }
+  return "Unknown";
+}
+
+Result<ModelKind> ParseModelKind(const std::string& text) {
+  std::string key;
+  for (char c : text) {
+    if (c == '-' || c == '_' || c == ' ') continue;
+    key.push_back(static_cast<char>(std::tolower(c)));
+  }
+  if (key == "tcn") return ModelKind::kTcn;
+  if (key == "stgcn") return ModelKind::kStgcn;
+  if (key == "agcn" || key == "2sagcn") return ModelKind::kAgcn;
+  if (key == "ahgcn" || key == "2sahgcn") return ModelKind::kAhgcn;
+  if (key == "pbgcn2") return ModelKind::kPbgcn2;
+  if (key == "pbgcn4") return ModelKind::kPbgcn4;
+  if (key == "pbgcn6") return ModelKind::kPbgcn6;
+  if (key == "pbhgcn2") return ModelKind::kPbhgcn2;
+  if (key == "pbhgcn4") return ModelKind::kPbhgcn4;
+  if (key == "pbhgcn6") return ModelKind::kPbhgcn6;
+  if (key == "dhgcn") return ModelKind::kDhgcn;
+  return Status::InvalidArgument(StrCat("unknown model kind: ", text));
+}
+
+LayerPtr CreateModel(ModelKind kind, SkeletonLayoutType layout,
+                     int64_t num_classes, const ModelZooOptions& options) {
+  switch (kind) {
+    case ModelKind::kTcn:
+      return MakeTcnModel(layout, num_classes, options.scale, options.seed);
+    case ModelKind::kStgcn:
+      return MakeStgcnModel(layout, num_classes, options.scale,
+                            options.seed);
+    case ModelKind::kAgcn:
+      return MakeAgcnModel(layout, num_classes, options.scale, options.seed);
+    case ModelKind::kAhgcn:
+      return MakeAhgcnModel(layout, num_classes, options.scale,
+                            options.seed);
+    case ModelKind::kPbgcn2:
+      return MakePbGcnModel(layout, num_classes, 2, options.scale,
+                            options.seed);
+    case ModelKind::kPbgcn4:
+      return MakePbGcnModel(layout, num_classes, 4, options.scale,
+                            options.seed);
+    case ModelKind::kPbgcn6:
+      return MakePbGcnModel(layout, num_classes, 6, options.scale,
+                            options.seed);
+    case ModelKind::kPbhgcn2:
+      return MakePbHgcnModel(layout, num_classes, 2, options.scale,
+                             options.seed);
+    case ModelKind::kPbhgcn4:
+      return MakePbHgcnModel(layout, num_classes, 4, options.scale,
+                             options.seed);
+    case ModelKind::kPbhgcn6:
+      return MakePbHgcnModel(layout, num_classes, 6, options.scale,
+                             options.seed);
+    case ModelKind::kDhgcn: {
+      DhgcnConfig config = DhgcnConfig::Small(layout, num_classes);
+      config.blocks.clear();
+      for (size_t i = 0; i < options.scale.channels.size(); ++i) {
+        config.blocks.push_back(
+            {options.scale.channels[i], options.scale.strides[i], 1});
+      }
+      config.dropout = options.scale.dropout;
+      config.topology.kn = options.kn;
+      config.topology.km = options.km;
+      config.seed = options.seed;
+      return DhgcnModel::Make(config).MoveValue();
+    }
+  }
+  DHGCN_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace dhgcn

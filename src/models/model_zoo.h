@@ -1,0 +1,51 @@
+#ifndef DHGCN_MODELS_MODEL_ZOO_H_
+#define DHGCN_MODELS_MODEL_ZOO_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "data/skeleton.h"
+#include "models/st_common.h"
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+/// All classifier architectures implemented in this repository.
+enum class ModelKind {
+  kTcn,
+  kStgcn,
+  kAgcn,
+  kAhgcn,
+  kPbgcn2,
+  kPbgcn4,
+  kPbgcn6,
+  kPbhgcn2,
+  kPbhgcn4,
+  kPbhgcn6,
+  kDhgcn,
+};
+
+std::string ModelKindName(ModelKind kind);
+
+/// Parses "tcn", "st-gcn", "2s-agcn", "dhgcn", "pb-gcn4", ... (case
+/// insensitive; dashes optional).
+Result<ModelKind> ParseModelKind(const std::string& text);
+
+/// \brief Options applied to any model built by the zoo.
+struct ModelZooOptions {
+  BaselineScale scale;
+  /// DHGCN dynamic-topology parameters.
+  int64_t kn = 3;
+  int64_t km = 4;
+  uint64_t seed = 7;
+};
+
+/// \brief Builds a single-stream classifier of the requested kind, with
+/// capacity matched across kinds (same channel/stride plan). DHGCN uses
+/// its Small configuration with the zoo's channel plan.
+LayerPtr CreateModel(ModelKind kind, SkeletonLayoutType layout,
+                     int64_t num_classes, const ModelZooOptions& options);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_MODELS_MODEL_ZOO_H_

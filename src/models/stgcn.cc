@@ -1,0 +1,27 @@
+#include "models/stgcn.h"
+
+#include "hypergraph/graph.h"
+
+namespace dhgcn {
+
+LayerPtr MakeStgcnModel(SkeletonLayoutType layout, int64_t num_classes,
+                        const BaselineScale& scale, uint64_t seed) {
+  const SkeletonLayout& l = GetSkeletonLayout(layout);
+  Tensor adjacency = SkeletonGraph(l).NormalizedAdjacency();
+  Rng rng(seed);
+  std::vector<LayerPtr> blocks;
+  int64_t in_channels = 3;
+  for (size_t i = 0; i < scale.channels.size(); ++i) {
+    int64_t out_channels = scale.channels[i];
+    blocks.push_back(std::make_unique<StBlock>(
+        MakeFixedOperatorSpatial(in_channels, out_channels,
+                                 adjacency.Clone(), rng),
+        in_channels, out_channels, scale.strides[i], rng));
+    in_channels = out_channels;
+  }
+  return std::make_unique<BackboneClassifier>(
+      "ST-GCN", 3, in_channels, num_classes, std::move(blocks),
+      scale.dropout, rng);
+}
+
+}  // namespace dhgcn

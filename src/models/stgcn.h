@@ -1,0 +1,24 @@
+#ifndef DHGCN_MODELS_STGCN_H_
+#define DHGCN_MODELS_STGCN_H_
+
+#include "data/skeleton.h"
+#include "models/st_common.h"
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+/// \brief ST-GCN (Yan et al. 2018) single-stream model: StBlocks whose
+/// spatial half is a 1x1 convolution followed by the fixed normalized
+/// skeleton adjacency (Eq. 1 update rule).
+///
+/// Note: the original ST-GCN partitions neighbors into three subsets
+/// (spatial-configuration partitioning); we implement its uni-labeling
+/// variant — a single normalized adjacency — which the ST-GCN paper
+/// itself evaluates. This keeps the baseline capacity-matched to the
+/// other small-scale models.
+LayerPtr MakeStgcnModel(SkeletonLayoutType layout, int64_t num_classes,
+                        const BaselineScale& scale, uint64_t seed);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_MODELS_STGCN_H_

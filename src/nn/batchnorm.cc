@@ -1,0 +1,163 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "base/string_util.h"
+
+namespace dhgcn {
+
+namespace {
+
+// Interprets (N,C), (N,C,L) or (N,C,H,W) uniformly as (N, C, spatial).
+struct NormView {
+  int64_t n;
+  int64_t c;
+  int64_t spatial;
+};
+
+NormView MakeView(const Shape& shape) {
+  DHGCN_CHECK_GE(shape.size(), 2u);
+  NormView v{shape[0], shape[1], 1};
+  for (size_t i = 2; i < shape.size(); ++i) v.spatial *= shape[i];
+  return v;
+}
+
+}  // namespace
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(Tensor::Ones({channels})),
+      gamma_grad_({channels}),
+      beta_({channels}),
+      beta_grad_({channels}),
+      running_mean_({channels}),
+      running_var_(Tensor::Ones({channels})) {
+  DHGCN_CHECK_GT(channels, 0);
+}
+
+Tensor BatchNorm2d::Forward(const Tensor& input) {
+  NormView v = MakeView(input.shape());
+  DHGCN_CHECK_EQ(v.c, channels_);
+  cached_shape_ = input.shape();
+  cached_was_training_ = training();
+  Tensor out(input.shape());
+  const float* px = input.data();
+  float* po = out.data();
+
+  if (training()) {
+    int64_t count = v.n * v.spatial;
+    DHGCN_CHECK_GT(count, 0);
+    cached_xhat_ = Tensor(input.shape());
+    cached_inv_std_ = Tensor({channels_});
+    float* pxhat = cached_xhat_.data();
+    for (int64_t c = 0; c < channels_; ++c) {
+      double sum = 0.0, sum_sq = 0.0;
+      for (int64_t b = 0; b < v.n; ++b) {
+        const float* base = px + (b * v.c + c) * v.spatial;
+        for (int64_t s = 0; s < v.spatial; ++s) {
+          sum += base[s];
+          sum_sq += static_cast<double>(base[s]) * base[s];
+        }
+      }
+      double mean = sum / count;
+      double var = sum_sq / count - mean * mean;
+      var = std::max(var, 0.0);
+      float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+      cached_inv_std_.flat(c) = inv_std;
+      float g = gamma_.flat(c), bta = beta_.flat(c);
+      for (int64_t b = 0; b < v.n; ++b) {
+        const float* base = px + (b * v.c + c) * v.spatial;
+        float* xhat_base = pxhat + (b * v.c + c) * v.spatial;
+        float* obase = po + (b * v.c + c) * v.spatial;
+        for (int64_t s = 0; s < v.spatial; ++s) {
+          float xhat = (base[s] - static_cast<float>(mean)) * inv_std;
+          xhat_base[s] = xhat;
+          obase[s] = g * xhat + bta;
+        }
+      }
+      // Unbiased variance for the running estimate, as in PyTorch.
+      double unbiased =
+          count > 1 ? var * count / static_cast<double>(count - 1) : var;
+      running_mean_.flat(c) =
+          (1.0f - momentum_) * running_mean_.flat(c) +
+          momentum_ * static_cast<float>(mean);
+      running_var_.flat(c) =
+          (1.0f - momentum_) * running_var_.flat(c) +
+          momentum_ * static_cast<float>(unbiased);
+    }
+  } else {
+    for (int64_t c = 0; c < channels_; ++c) {
+      float mean = running_mean_.flat(c);
+      float inv_std = 1.0f / std::sqrt(running_var_.flat(c) + eps_);
+      float g = gamma_.flat(c), bta = beta_.flat(c);
+      for (int64_t b = 0; b < v.n; ++b) {
+        const float* base = px + (b * v.c + c) * v.spatial;
+        float* obase = po + (b * v.c + c) * v.spatial;
+        for (int64_t s = 0; s < v.spatial; ++s) {
+          obase[s] = g * (base[s] - mean) * inv_std + bta;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::Backward(const Tensor& grad_output) {
+  DHGCN_CHECK(ShapesEqual(grad_output.shape(), cached_shape_));
+  DHGCN_CHECK(cached_was_training_);  // backward only defined for training
+  NormView v = MakeView(cached_shape_);
+  int64_t count = v.n * v.spatial;
+  Tensor grad_input(cached_shape_);
+  const float* pg = grad_output.data();
+  const float* pxhat = cached_xhat_.data();
+  float* pgi = grad_input.data();
+
+  for (int64_t c = 0; c < channels_; ++c) {
+    // Accumulate dL/dgamma, dL/dbeta and the two reduction terms of the
+    // standard batch-norm backward formula.
+    double sum_g = 0.0, sum_g_xhat = 0.0;
+    for (int64_t b = 0; b < v.n; ++b) {
+      const float* gbase = pg + (b * v.c + c) * v.spatial;
+      const float* xbase = pxhat + (b * v.c + c) * v.spatial;
+      for (int64_t s = 0; s < v.spatial; ++s) {
+        sum_g += gbase[s];
+        sum_g_xhat += static_cast<double>(gbase[s]) * xbase[s];
+      }
+    }
+    gamma_grad_.flat(c) += static_cast<float>(sum_g_xhat);
+    beta_grad_.flat(c) += static_cast<float>(sum_g);
+    float g = gamma_.flat(c);
+    float inv_std = cached_inv_std_.flat(c);
+    float mean_g = static_cast<float>(sum_g / count);
+    float mean_g_xhat = static_cast<float>(sum_g_xhat / count);
+    for (int64_t b = 0; b < v.n; ++b) {
+      const float* gbase = pg + (b * v.c + c) * v.spatial;
+      const float* xbase = pxhat + (b * v.c + c) * v.spatial;
+      float* gibase = pgi + (b * v.c + c) * v.spatial;
+      for (int64_t s = 0; s < v.spatial; ++s) {
+        gibase[s] =
+            g * inv_std * (gbase[s] - mean_g - xbase[s] * mean_g_xhat);
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> BatchNorm2d::Params() {
+  return {{"gamma", &gamma_, &gamma_grad_, /*trainable=*/true},
+          {"beta", &beta_, &beta_grad_, /*trainable=*/true},
+          // Running statistics: persistent but not optimized. They must
+          // be serialized or a reloaded model evaluates with fresh
+          // (wrong) statistics.
+          {"running_mean", &running_mean_, nullptr, /*trainable=*/false},
+          {"running_var", &running_var_, nullptr, /*trainable=*/false}};
+}
+
+std::string BatchNorm2d::name() const {
+  return StrCat("BatchNorm2d(", channels_, ")");
+}
+
+}  // namespace dhgcn

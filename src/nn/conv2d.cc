@@ -1,0 +1,159 @@
+#include "nn/conv2d.h"
+
+#include "base/string_util.h"
+#include "nn/initializer.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels,
+               const Conv2dOptions& options, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      options_(options),
+      weight_({out_channels, in_channels, options.kernel_h, options.kernel_w}),
+      weight_grad_(weight_.shape()),
+      bias_({out_channels}),
+      bias_grad_({out_channels}) {
+  DHGCN_CHECK_GT(in_channels, 0);
+  DHGCN_CHECK_GT(out_channels, 0);
+  DHGCN_CHECK_GT(options.kernel_h, 0);
+  DHGCN_CHECK_GT(options.kernel_w, 0);
+  DHGCN_CHECK_GT(options.stride_h, 0);
+  DHGCN_CHECK_GT(options.stride_w, 0);
+  DHGCN_CHECK_GT(options.dilation_h, 0);
+  DHGCN_CHECK_GT(options.dilation_w, 0);
+  int64_t fan_in = in_channels * options.kernel_h * options.kernel_w;
+  KaimingUniform(weight_, fan_in, rng);
+  if (options.has_bias) BiasUniform(bias_, fan_in, rng);
+}
+
+int64_t Conv2d::OutputDim(int64_t in, int64_t kernel, int64_t stride,
+                          int64_t pad, int64_t dilation) {
+  int64_t effective = dilation * (kernel - 1) + 1;
+  int64_t out = (in + 2 * pad - effective) / stride + 1;
+  DHGCN_CHECK_GT(out, 0);
+  return out;
+}
+
+Tensor Conv2d::Forward(const Tensor& input) {
+  DHGCN_CHECK_EQ(input.ndim(), 4);
+  DHGCN_CHECK_EQ(input.dim(1), in_channels_);
+  cached_input_ = input;
+  const Conv2dOptions& o = options_;
+  int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  int64_t oh = OutputDim(h, o.kernel_h, o.stride_h, o.pad_h, o.dilation_h);
+  int64_t ow = OutputDim(w, o.kernel_w, o.stride_w, o.pad_w, o.dilation_w);
+  Tensor out({n, out_channels_, oh, ow});
+
+  const float* px = input.data();
+  const float* pw = weight_.data();
+  float* po = out.data();
+  int64_t in_plane = h * w;
+  int64_t out_plane = oh * ow;
+  int64_t kernel_plane = o.kernel_h * o.kernel_w;
+
+  for (int64_t b = 0; b < n; ++b) {
+    const float* xb = px + b * in_channels_ * in_plane;
+    float* ob = po + b * out_channels_ * out_plane;
+    for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      const float* wc = pw + oc * in_channels_ * kernel_plane;
+      float* oplane = ob + oc * out_plane;
+      float bias_v = o.has_bias ? bias_.flat(oc) : 0.0f;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          double acc = bias_v;
+          int64_t iy0 = oy * o.stride_h - o.pad_h;
+          int64_t ix0 = ox * o.stride_w - o.pad_w;
+          for (int64_t ic = 0; ic < in_channels_; ++ic) {
+            const float* xplane = xb + ic * in_plane;
+            const float* wplane = wc + ic * kernel_plane;
+            for (int64_t ky = 0; ky < o.kernel_h; ++ky) {
+              int64_t iy = iy0 + ky * o.dilation_h;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < o.kernel_w; ++kx) {
+                int64_t ix = ix0 + kx * o.dilation_w;
+                if (ix < 0 || ix >= w) continue;
+                acc += static_cast<double>(xplane[iy * w + ix]) *
+                       wplane[ky * o.kernel_w + kx];
+              }
+            }
+          }
+          oplane[oy * ow + ox] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  const Conv2dOptions& o = options_;
+  const Tensor& input = cached_input_;
+  int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  DHGCN_CHECK_EQ(grad_output.dim(0), n);
+  DHGCN_CHECK_EQ(grad_output.dim(1), out_channels_);
+
+  Tensor grad_input(input.shape());
+  const float* px = input.data();
+  const float* pw = weight_.data();
+  const float* pg = grad_output.data();
+  float* pgi = grad_input.data();
+  float* pgw = weight_grad_.data();
+  int64_t in_plane = h * w;
+  int64_t out_plane = oh * ow;
+  int64_t kernel_plane = o.kernel_h * o.kernel_w;
+
+  for (int64_t b = 0; b < n; ++b) {
+    const float* xb = px + b * in_channels_ * in_plane;
+    float* gib = pgi + b * in_channels_ * in_plane;
+    const float* gb = pg + b * out_channels_ * out_plane;
+    for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      const float* wc = pw + oc * in_channels_ * kernel_plane;
+      float* gwc = pgw + oc * in_channels_ * kernel_plane;
+      const float* gplane = gb + oc * out_plane;
+      double bias_acc = 0.0;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float g = gplane[oy * ow + ox];
+          if (g == 0.0f) continue;
+          bias_acc += g;
+          int64_t iy0 = oy * o.stride_h - o.pad_h;
+          int64_t ix0 = ox * o.stride_w - o.pad_w;
+          for (int64_t ic = 0; ic < in_channels_; ++ic) {
+            const float* xplane = xb + ic * in_plane;
+            float* giplane = gib + ic * in_plane;
+            const float* wplane = wc + ic * kernel_plane;
+            float* gwplane = gwc + ic * kernel_plane;
+            for (int64_t ky = 0; ky < o.kernel_h; ++ky) {
+              int64_t iy = iy0 + ky * o.dilation_h;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < o.kernel_w; ++kx) {
+                int64_t ix = ix0 + kx * o.dilation_w;
+                if (ix < 0 || ix >= w) continue;
+                gwplane[ky * o.kernel_w + kx] += g * xplane[iy * w + ix];
+                giplane[iy * w + ix] += g * wplane[ky * o.kernel_w + kx];
+              }
+            }
+          }
+        }
+      }
+      if (o.has_bias) bias_grad_.flat(oc) += static_cast<float>(bias_acc);
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Conv2d::Params() {
+  std::vector<ParamRef> params = {{"weight", &weight_, &weight_grad_}};
+  if (options_.has_bias) params.push_back({"bias", &bias_, &bias_grad_});
+  return params;
+}
+
+std::string Conv2d::name() const {
+  return StrCat("Conv2d(", in_channels_, "->", out_channels_, ", ",
+                options_.kernel_h, "x", options_.kernel_w, ")");
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,66 @@
+#ifndef DHGCN_NN_CONV2D_H_
+#define DHGCN_NN_CONV2D_H_
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+/// \brief Configuration of a 2-D convolution.
+///
+/// The skeleton models convolve over (T, V) planes: temporal convolutions
+/// use kernels of shape (k, 1) with dilation on the time axis, and 1x1
+/// convolutions implement per-joint channel mixing.
+struct Conv2dOptions {
+  int64_t kernel_h = 1;
+  int64_t kernel_w = 1;
+  int64_t stride_h = 1;
+  int64_t stride_w = 1;
+  int64_t pad_h = 0;
+  int64_t pad_w = 0;
+  int64_t dilation_h = 1;
+  int64_t dilation_w = 1;
+  bool has_bias = true;
+};
+
+/// \brief 2-D convolution over (N, C, H, W) inputs.
+///
+/// Direct (loop-based) implementation; output spatial size follows the
+/// usual formula out = (in + 2*pad - dilation*(k-1) - 1)/stride + 1.
+class Conv2d : public Layer {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels,
+         const Conv2dOptions& options, Rng& rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> Params() override;
+  std::string name() const override;
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+  const Conv2dOptions& options() const { return options_; }
+
+  /// Output length along one spatial axis for the given input length.
+  static int64_t OutputDim(int64_t in, int64_t kernel, int64_t stride,
+                           int64_t pad, int64_t dilation);
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  Conv2dOptions options_;
+
+  Tensor weight_;       // (out, in, kh, kw)
+  Tensor weight_grad_;
+  Tensor bias_;         // (out)
+  Tensor bias_grad_;
+
+  Tensor cached_input_;  // (N, C, H, W)
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_NN_CONV2D_H_

@@ -1,0 +1,32 @@
+#ifndef DHGCN_NN_DROPOUT_H_
+#define DHGCN_NN_DROPOUT_H_
+
+#include <string>
+
+#include "base/rng.h"
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+/// \brief Inverted dropout: zeroes activations with probability `p` during
+/// training and rescales survivors by 1/(1-p); identity during inference.
+class Dropout : public Layer {
+ public:
+  Dropout(float p, Rng& rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override;
+
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  Rng rng_;
+  Tensor cached_mask_;  // already scaled by 1/(1-p)
+  bool cached_was_training_ = false;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_NN_DROPOUT_H_

@@ -1,0 +1,42 @@
+#include "nn/initializer.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace dhgcn {
+
+void KaimingUniform(Tensor& weight, int64_t fan_in, Rng& rng) {
+  DHGCN_CHECK_GT(fan_in, 0);
+  float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  for (int64_t i = 0; i < weight.numel(); ++i) {
+    weight.flat(i) = rng.Uniform(-bound, bound);
+  }
+}
+
+void KaimingNormal(Tensor& weight, int64_t fan_in, Rng& rng) {
+  DHGCN_CHECK_GT(fan_in, 0);
+  float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (int64_t i = 0; i < weight.numel(); ++i) {
+    weight.flat(i) = rng.Normal(0.0f, stddev);
+  }
+}
+
+void XavierUniform(Tensor& weight, int64_t fan_in, int64_t fan_out,
+                   Rng& rng) {
+  DHGCN_CHECK_GT(fan_in + fan_out, 0);
+  float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (int64_t i = 0; i < weight.numel(); ++i) {
+    weight.flat(i) = rng.Uniform(-bound, bound);
+  }
+}
+
+void BiasUniform(Tensor& bias, int64_t fan_in, Rng& rng) {
+  DHGCN_CHECK_GT(fan_in, 0);
+  float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  for (int64_t i = 0; i < bias.numel(); ++i) {
+    bias.flat(i) = rng.Uniform(-bound, bound);
+  }
+}
+
+}  // namespace dhgcn

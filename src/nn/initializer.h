@@ -1,0 +1,29 @@
+#ifndef DHGCN_NN_INITIALIZER_H_
+#define DHGCN_NN_INITIALIZER_H_
+
+#include "base/rng.h"
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// Weight initialization schemes used by layers.
+///
+/// `fan_in` / `fan_out` follow the PyTorch conventions: for a Linear(I,O)
+/// weight, fan_in = I; for a Conv2d weight (O,I,kh,kw), fan_in = I*kh*kw.
+
+/// He/Kaiming uniform: U(-b, b) with b = sqrt(6 / fan_in). Default for
+/// layers followed by ReLU.
+void KaimingUniform(Tensor& weight, int64_t fan_in, Rng& rng);
+
+/// He/Kaiming normal: N(0, 2 / fan_in).
+void KaimingNormal(Tensor& weight, int64_t fan_in, Rng& rng);
+
+/// Glorot/Xavier uniform: U(-b, b) with b = sqrt(6 / (fan_in + fan_out)).
+void XavierUniform(Tensor& weight, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+/// Uniform bias init U(-b, b) with b = 1/sqrt(fan_in) (PyTorch default).
+void BiasUniform(Tensor& bias, int64_t fan_in, Rng& rng);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_NN_INITIALIZER_H_

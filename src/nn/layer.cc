@@ -1,0 +1,19 @@
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+void Layer::ZeroGrad() {
+  for (ParamRef& p : Params()) {
+    if (p.grad != nullptr) p.grad->Fill(0.0f);
+  }
+}
+
+int64_t Layer::ParameterCount() {
+  int64_t count = 0;
+  for (ParamRef& p : Params()) {
+    if (p.trainable) count += p.value->numel();
+  }
+  return count;
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,80 @@
+#ifndef DHGCN_NN_LAYER_H_
+#define DHGCN_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// \brief A named parameter with its gradient accumulator.
+///
+/// `value` and `grad` point into the owning layer; they stay valid for the
+/// lifetime of that layer. Optimizers mutate `value` and read/clear `grad`
+/// for trainable entries. Non-trainable entries (`trainable == false`,
+/// e.g. batch-norm running statistics) carry persistent state that must be
+/// serialized with the model but never optimized; their `grad` may be
+/// null.
+struct ParamRef {
+  std::string name;
+  Tensor* value;
+  Tensor* grad;
+  bool trainable = true;
+};
+
+/// \brief Base class for differentiable network modules.
+///
+/// This library uses explicit reverse-mode layers (Caffe-style) rather than
+/// a taped autograd: `Forward` caches whatever the layer needs, `Backward`
+/// consumes the gradient w.r.t. the layer output, *accumulates* gradients
+/// into its parameters' `grad` tensors, and returns the gradient w.r.t. the
+/// layer input. Call order within a training step must therefore be
+/// Forward -> Backward on each layer, innermost activations first.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output, caching state needed by Backward.
+  virtual Tensor Forward(const Tensor& input) = 0;
+
+  /// Propagates `grad_output` (d loss / d output) through the layer;
+  /// returns d loss / d input and accumulates parameter gradients.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// All persistent state: learnable parameters plus non-trainable
+  /// buffers (see ParamRef::trainable). References remain valid while
+  /// the layer is alive. Optimizers must filter on `trainable`;
+  /// serialization saves everything.
+  virtual std::vector<ParamRef> Params() { return {}; }
+
+  /// Switches between training and inference behaviour (dropout,
+  /// batch-norm statistics).
+  virtual void SetTraining(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// Diagnostic name, e.g. "Conv2d(16->32, 3x1)".
+  virtual std::string name() const = 0;
+
+  /// Clears all parameter gradients to zero.
+  void ZeroGrad();
+
+  /// Total number of *trainable* scalars.
+  int64_t ParameterCount();
+
+ protected:
+  Layer() = default;
+
+ private:
+  bool training_ = true;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_NN_LAYER_H_

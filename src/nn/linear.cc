@@ -1,0 +1,72 @@
+#include "nn/linear.h"
+
+#include "base/string_util.h"
+#include "nn/initializer.h"
+#include "tensor/linalg.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
+               bool has_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(has_bias),
+      weight_({out_features, in_features}),
+      weight_grad_({out_features, in_features}),
+      bias_({out_features}),
+      bias_grad_({out_features}) {
+  KaimingUniform(weight_, in_features, rng);
+  if (has_bias_) BiasUniform(bias_, in_features, rng);
+}
+
+Tensor Linear::Forward(const Tensor& input) {
+  DHGCN_CHECK_GE(input.ndim(), 2);
+  DHGCN_CHECK_EQ(input.dim(-1), in_features_);
+  cached_input_shape_ = input.shape();
+  Tensor x2d = input.Reshape({-1, in_features_});
+  cached_input_2d_ = x2d;
+  // y = x W^T: (rows,in) x (out,in)^T -> (rows,out)
+  Tensor y = MatMulTransposedB(x2d, weight_);
+  if (has_bias_) {
+    float* py = y.data();
+    const float* pb = bias_.data();
+    int64_t rows = y.dim(0);
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < out_features_; ++c) {
+        py[r * out_features_ + c] += pb[c];
+      }
+    }
+  }
+  Shape out_shape = cached_input_shape_;
+  out_shape.back() = out_features_;
+  return y.Reshape(std::move(out_shape));
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  DHGCN_CHECK_EQ(grad_output.dim(-1), out_features_);
+  Tensor g2d = grad_output.Reshape({-1, out_features_});
+  DHGCN_CHECK_EQ(g2d.dim(0), cached_input_2d_.dim(0));
+  // dW = g^T x : (out, rows) x (rows, in) -> (out, in)
+  Tensor dw = MatMulTransposedA(g2d, cached_input_2d_);
+  AddInPlace(weight_grad_, dw);
+  if (has_bias_) {
+    Tensor db = ReduceSum(g2d, 0);
+    AddInPlace(bias_grad_, db);
+  }
+  // dx = g W : (rows, out) x (out, in) -> (rows, in)
+  Tensor dx = MatMul(g2d, weight_);
+  return dx.Reshape(cached_input_shape_);
+}
+
+std::vector<ParamRef> Linear::Params() {
+  std::vector<ParamRef> params = {{"weight", &weight_, &weight_grad_}};
+  if (has_bias_) params.push_back({"bias", &bias_, &bias_grad_});
+  return params;
+}
+
+std::string Linear::name() const {
+  return StrCat("Linear(", in_features_, "->", out_features_, ")");
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,48 @@
+#ifndef DHGCN_NN_LINEAR_H_
+#define DHGCN_NN_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+/// \brief Fully-connected layer: y = x W^T + b.
+///
+/// Input (N, in_features) -> output (N, out_features). Inputs with more
+/// than two dimensions are treated as (prod(leading dims), in_features)
+/// and the leading dims are restored on output, matching torch.nn.Linear.
+class Linear : public Layer {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool has_bias = true);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> Params() override;
+  std::string name() const override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool has_bias_;
+
+  Tensor weight_;       // (out, in)
+  Tensor weight_grad_;  // (out, in)
+  Tensor bias_;         // (out)
+  Tensor bias_grad_;    // (out)
+
+  Tensor cached_input_2d_;  // (rows, in)
+  Shape cached_input_shape_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_NN_LINEAR_H_

@@ -1,0 +1,64 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+
+SoftmaxCrossEntropy::SoftmaxCrossEntropy(float label_smoothing)
+    : label_smoothing_(label_smoothing) {
+  DHGCN_CHECK(label_smoothing >= 0.0f && label_smoothing < 1.0f);
+}
+
+float SoftmaxCrossEntropy::Forward(const Tensor& logits,
+                                   const std::vector<int64_t>& labels) {
+  DHGCN_CHECK_EQ(logits.ndim(), 2);
+  int64_t n = logits.dim(0), k = logits.dim(1);
+  DHGCN_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  cached_labels_ = labels;
+
+  Tensor log_probs = LogSoftmax(logits, /*axis=*/1);
+  cached_probs_ = Exp(log_probs);
+  double total = 0.0;
+  float off_weight = label_smoothing_ / static_cast<float>(k);
+  float on_weight = 1.0f - label_smoothing_ + off_weight;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t y = labels[static_cast<size_t>(i)];
+    DHGCN_CHECK(y >= 0 && y < k);
+    if (label_smoothing_ == 0.0f) {
+      total -= log_probs.at(i, y);
+    } else {
+      // Cross-entropy against the smoothed target distribution.
+      for (int64_t c = 0; c < k; ++c) {
+        float weight = c == y ? on_weight : off_weight;
+        total -= static_cast<double>(weight) * log_probs.at(i, c);
+      }
+    }
+  }
+  return static_cast<float>(total / n);
+}
+
+Tensor SoftmaxCrossEntropy::Backward() const {
+  DHGCN_CHECK_GT(cached_probs_.numel(), 0);
+  int64_t n = cached_probs_.dim(0), k = cached_probs_.dim(1);
+  Tensor grad = cached_probs_.Clone();
+  float inv = 1.0f / static_cast<float>(n);
+  float off_weight = label_smoothing_ / static_cast<float>(k);
+  float on_weight = 1.0f - label_smoothing_ + off_weight;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t y = cached_labels_[static_cast<size_t>(i)];
+    if (label_smoothing_ == 0.0f) {
+      grad.at(i, y) -= 1.0f;
+    } else {
+      for (int64_t c = 0; c < k; ++c) {
+        grad.at(i, c) -= c == y ? on_weight : off_weight;
+      }
+    }
+  }
+  MulScalarInPlace(grad, inv);
+  return grad;
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,38 @@
+#ifndef DHGCN_NN_LOSS_H_
+#define DHGCN_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// \brief Softmax cross-entropy over logits, averaged across the batch,
+/// with optional label smoothing.
+///
+/// `Forward(logits, labels)` takes (N, K) logits and N integer labels in
+/// [0, K); `Backward()` returns d loss / d logits of shape (N, K). Uses a
+/// numerically stable log-sum-exp formulation. With smoothing epsilon,
+/// the target distribution is (1 - eps) * onehot + eps / K, and the
+/// gradient is (softmax(logits) - target) / N.
+class SoftmaxCrossEntropy {
+ public:
+  explicit SoftmaxCrossEntropy(float label_smoothing = 0.0f);
+
+  float Forward(const Tensor& logits, const std::vector<int64_t>& labels);
+  Tensor Backward() const;
+
+  /// Softmax probabilities from the most recent Forward call.
+  const Tensor& probabilities() const { return cached_probs_; }
+  float label_smoothing() const { return label_smoothing_; }
+
+ private:
+  float label_smoothing_;
+  Tensor cached_probs_;  // (N, K)
+  std::vector<int64_t> cached_labels_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_NN_LOSS_H_

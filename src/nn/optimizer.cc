@@ -1,0 +1,134 @@
+#include "nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace dhgcn {
+
+namespace {
+
+// Optimizers act on trainable parameters only; non-trainable entries
+// (batch-norm running statistics) are persistent state, not weights.
+std::vector<ParamRef> TrainableOnly(std::vector<ParamRef> params) {
+  std::vector<ParamRef> filtered;
+  filtered.reserve(params.size());
+  for (ParamRef& p : params) {
+    if (p.trainable) filtered.push_back(p);
+  }
+  return filtered;
+}
+
+}  // namespace
+
+SgdOptimizer::SgdOptimizer(std::vector<ParamRef> params,
+                           const Options& options)
+    : params_(TrainableOnly(std::move(params))), options_(options) {
+  velocity_.reserve(params_.size());
+  for (const ParamRef& p : params_) {
+    DHGCN_CHECK(p.value != nullptr);
+    DHGCN_CHECK(p.grad != nullptr);
+    DHGCN_CHECK(ShapesEqual(p.value->shape(), p.grad->shape()));
+    velocity_.emplace_back(p.value->shape());
+  }
+}
+
+void SgdOptimizer::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& w = *params_[i].value;
+    const Tensor& g = *params_[i].grad;
+    Tensor& v = velocity_[i];
+    float* pw = w.data();
+    const float* pg = g.data();
+    float* pv = v.data();
+    for (int64_t j = 0; j < w.numel(); ++j) {
+      float grad = pg[j] + options_.weight_decay * pw[j];
+      pv[j] = options_.momentum * pv[j] + grad;
+      pw[j] -= options_.lr * pv[j];
+    }
+  }
+}
+
+void SgdOptimizer::ZeroGrad() {
+  for (ParamRef& p : params_) p.grad->Fill(0.0f);
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<ParamRef> params,
+                             const Options& options)
+    : params_(TrainableOnly(std::move(params))), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ParamRef& p : params_) {
+    DHGCN_CHECK(p.value != nullptr);
+    DHGCN_CHECK(p.grad != nullptr);
+    DHGCN_CHECK(ShapesEqual(p.value->shape(), p.grad->shape()));
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++step_count_;
+  // Bias correction folded into the step size.
+  float bc1 = 1.0f - std::pow(options_.beta1,
+                              static_cast<float>(step_count_));
+  float bc2 = 1.0f - std::pow(options_.beta2,
+                              static_cast<float>(step_count_));
+  float step_size = options_.lr * std::sqrt(bc2) / bc1;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& w = *params_[i].value;
+    const Tensor& g = *params_[i].grad;
+    float* pw = w.data();
+    const float* pg = g.data();
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    for (int64_t j = 0; j < w.numel(); ++j) {
+      float grad = pg[j] + options_.weight_decay * pw[j];
+      pm[j] = options_.beta1 * pm[j] + (1.0f - options_.beta1) * grad;
+      pv[j] = options_.beta2 * pv[j] +
+              (1.0f - options_.beta2) * grad * grad;
+      pw[j] -= step_size * pm[j] / (std::sqrt(pv[j]) + options_.eps);
+    }
+  }
+}
+
+void AdamOptimizer::ZeroGrad() {
+  for (ParamRef& p : params_) p.grad->Fill(0.0f);
+}
+
+StepLrSchedule::StepLrSchedule(float initial_lr,
+                               std::vector<int64_t> milestones, float factor)
+    : initial_lr_(initial_lr),
+      milestones_(std::move(milestones)),
+      factor_(factor) {
+  DHGCN_CHECK_GT(factor_, 0.0f);
+  DHGCN_CHECK(std::is_sorted(milestones_.begin(), milestones_.end()));
+}
+
+float StepLrSchedule::LrForEpoch(int64_t epoch) const {
+  float lr = initial_lr_;
+  for (int64_t m : milestones_) {
+    if (epoch >= m) lr /= factor_;
+  }
+  return lr;
+}
+
+CosineLrSchedule::CosineLrSchedule(float max_lr, int64_t total_epochs,
+                                   float min_lr)
+    : max_lr_(max_lr), min_lr_(min_lr), total_epochs_(total_epochs) {
+  DHGCN_CHECK_GT(total_epochs_, 0);
+  DHGCN_CHECK_LE(min_lr_, max_lr_);
+}
+
+float CosineLrSchedule::LrForEpoch(int64_t epoch) const {
+  constexpr float kPi = 3.14159265358979323846f;
+  if (epoch >= total_epochs_) return min_lr_;
+  if (epoch < 0) epoch = 0;
+  float progress =
+      static_cast<float>(epoch) / static_cast<float>(total_epochs_);
+  return min_lr_ +
+         0.5f * (max_lr_ - min_lr_) * (1.0f + std::cos(kPi * progress));
+}
+
+}  // namespace dhgcn

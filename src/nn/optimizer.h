@@ -1,0 +1,103 @@
+#ifndef DHGCN_NN_OPTIMIZER_H_
+#define DHGCN_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+/// \brief SGD with momentum and L2 weight decay — the optimizer used by the
+/// paper (momentum 0.9, initial LR 0.1, step decay by 10x).
+///
+/// Update: v <- momentum * v + (grad + weight_decay * w); w <- w - lr * v.
+class SgdOptimizer {
+ public:
+  struct Options {
+    float lr = 0.1f;
+    float momentum = 0.9f;
+    float weight_decay = 0.0f;
+  };
+
+  SgdOptimizer(std::vector<ParamRef> params, const Options& options);
+
+  /// Applies one update using the accumulated gradients.
+  void Step();
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  float lr() const { return options_.lr; }
+  void set_lr(float lr) { options_.lr = lr; }
+
+  const std::vector<ParamRef>& params() const { return params_; }
+
+ private:
+  std::vector<ParamRef> params_;
+  Options options_;
+  std::vector<Tensor> velocity_;
+};
+
+/// \brief Adam optimizer (Kingma & Ba) — provided as an alternative to
+/// the paper's SGD for users fine-tuning on other data; not used by the
+/// reproduction experiments.
+class AdamOptimizer {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  AdamOptimizer(std::vector<ParamRef> params, const Options& options);
+
+  void Step();
+  void ZeroGrad();
+
+  float lr() const { return options_.lr; }
+  void set_lr(float lr) { options_.lr = lr; }
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  std::vector<ParamRef> params_;
+  Options options_;
+  std::vector<Tensor> m_;  // first-moment estimates
+  std::vector<Tensor> v_;  // second-moment estimates
+  int64_t step_count_ = 0;
+};
+
+/// \brief Step LR schedule: divides the LR by `factor` at each milestone
+/// epoch, mirroring the paper's "divide by 10 at epoch 30/40" recipe.
+class StepLrSchedule {
+ public:
+  StepLrSchedule(float initial_lr, std::vector<int64_t> milestones,
+                 float factor = 10.0f);
+
+  /// LR to use for `epoch` (0-based).
+  float LrForEpoch(int64_t epoch) const;
+
+ private:
+  float initial_lr_;
+  std::vector<int64_t> milestones_;
+  float factor_;
+};
+
+/// \brief Cosine-annealing LR: lr(e) = min + 0.5 (max - min)
+/// (1 + cos(pi e / total)). Common modern alternative to step decay.
+class CosineLrSchedule {
+ public:
+  CosineLrSchedule(float max_lr, int64_t total_epochs, float min_lr = 0.0f);
+
+  float LrForEpoch(int64_t epoch) const;
+
+ private:
+  float max_lr_;
+  float min_lr_;
+  int64_t total_epochs_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_NN_OPTIMIZER_H_

@@ -1,0 +1,111 @@
+#include "nn/pooling.h"
+
+#include "base/check.h"
+#include "base/string_util.h"
+
+namespace dhgcn {
+
+Tensor GlobalAvgPool2d::Forward(const Tensor& input) {
+  DHGCN_CHECK_EQ(input.ndim(), 4);
+  cached_input_shape_ = input.shape();
+  int64_t n = input.dim(0), c = input.dim(1);
+  int64_t spatial = input.dim(2) * input.dim(3);
+  Tensor out({n, c});
+  const float* px = input.data();
+  float* po = out.data();
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* base = px + (b * c + ch) * spatial;
+      double sum = 0.0;
+      for (int64_t s = 0; s < spatial; ++s) sum += base[s];
+      po[b * c + ch] = static_cast<float>(sum / spatial);
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool2d::Backward(const Tensor& grad_output) {
+  DHGCN_CHECK_EQ(grad_output.ndim(), 2);
+  int64_t n = cached_input_shape_[0], c = cached_input_shape_[1];
+  int64_t spatial = cached_input_shape_[2] * cached_input_shape_[3];
+  DHGCN_CHECK_EQ(grad_output.dim(0), n);
+  DHGCN_CHECK_EQ(grad_output.dim(1), c);
+  Tensor grad_input(cached_input_shape_);
+  const float* pg = grad_output.data();
+  float* po = grad_input.data();
+  float inv = 1.0f / static_cast<float>(spatial);
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float g = pg[b * c + ch] * inv;
+      float* base = po + (b * c + ch) * spatial;
+      for (int64_t s = 0; s < spatial; ++s) base[s] = g;
+    }
+  }
+  return grad_input;
+}
+
+TemporalAvgPool::TemporalAvgPool(int64_t kernel, int64_t stride)
+    : kernel_(kernel), stride_(stride) {
+  DHGCN_CHECK_GT(kernel, 0);
+  DHGCN_CHECK_GT(stride, 0);
+}
+
+Tensor TemporalAvgPool::Forward(const Tensor& input) {
+  DHGCN_CHECK_EQ(input.ndim(), 4);
+  cached_input_shape_ = input.shape();
+  int64_t n = input.dim(0), c = input.dim(1), t = input.dim(2),
+          v = input.dim(3);
+  int64_t ot = (t - kernel_) / stride_ + 1;
+  DHGCN_CHECK_GT(ot, 0);
+  Tensor out({n, c, ot, v});
+  const float* px = input.data();
+  float* po = out.data();
+  float inv = 1.0f / static_cast<float>(kernel_);
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = px + (b * c + ch) * t * v;
+      float* oplane = po + (b * c + ch) * ot * v;
+      for (int64_t oy = 0; oy < ot; ++oy) {
+        for (int64_t x = 0; x < v; ++x) {
+          double sum = 0.0;
+          for (int64_t k = 0; k < kernel_; ++k) {
+            sum += plane[(oy * stride_ + k) * v + x];
+          }
+          oplane[oy * v + x] = static_cast<float>(sum) * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor TemporalAvgPool::Backward(const Tensor& grad_output) {
+  int64_t n = cached_input_shape_[0], c = cached_input_shape_[1],
+          t = cached_input_shape_[2], v = cached_input_shape_[3];
+  int64_t ot = grad_output.dim(2);
+  Tensor grad_input(cached_input_shape_);
+  const float* pg = grad_output.data();
+  float* po = grad_input.data();
+  float inv = 1.0f / static_cast<float>(kernel_);
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* gplane = pg + (b * c + ch) * ot * v;
+      float* iplane = po + (b * c + ch) * t * v;
+      for (int64_t oy = 0; oy < ot; ++oy) {
+        for (int64_t x = 0; x < v; ++x) {
+          float g = gplane[oy * v + x] * inv;
+          for (int64_t k = 0; k < kernel_; ++k) {
+            iplane[(oy * stride_ + k) * v + x] += g;
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::string TemporalAvgPool::name() const {
+  return StrCat("TemporalAvgPool(k=", kernel_, ", s=", stride_, ")");
+}
+
+}  // namespace dhgcn

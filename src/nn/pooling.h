@@ -1,0 +1,42 @@
+#ifndef DHGCN_NN_POOLING_H_
+#define DHGCN_NN_POOLING_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+/// \brief Global average pooling over the spatial axes of (N, C, H, W),
+/// producing (N, C). Used as the model head before the classifier FC.
+class GlobalAvgPool2d : public Layer {
+ public:
+  GlobalAvgPool2d() = default;
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "GlobalAvgPool2d"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+/// \brief Average pooling over the time axis only: (N, C, T, V) ->
+/// (N, C, T/stride, V) with a (k,1) window. Used by down-sampling variants.
+class TemporalAvgPool : public Layer {
+ public:
+  TemporalAvgPool(int64_t kernel, int64_t stride);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override;
+
+ private:
+  int64_t kernel_;
+  int64_t stride_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_NN_POOLING_H_

@@ -1,0 +1,31 @@
+#include "nn/relu.h"
+
+#include "base/check.h"
+
+namespace dhgcn {
+
+Tensor ReLU::Forward(const Tensor& input) {
+  Tensor out(input.shape());
+  cached_mask_ = Tensor(input.shape());
+  const float* px = input.data();
+  float* po = out.data();
+  float* pm = cached_mask_.data();
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    bool positive = px[i] > 0.0f;
+    po[i] = positive ? px[i] : 0.0f;
+    pm[i] = positive ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  DHGCN_CHECK(ShapesEqual(grad_output.shape(), cached_mask_.shape()));
+  Tensor grad_input(grad_output.shape());
+  const float* pg = grad_output.data();
+  const float* pm = cached_mask_.data();
+  float* po = grad_input.data();
+  for (int64_t i = 0; i < grad_output.numel(); ++i) po[i] = pg[i] * pm[i];
+  return grad_input;
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,25 @@
+#ifndef DHGCN_NN_RELU_H_
+#define DHGCN_NN_RELU_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+/// \brief Rectified linear unit, y = max(x, 0), applied elementwise.
+class ReLU : public Layer {
+ public:
+  ReLU() = default;
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_mask_;  // 1 where input > 0
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_NN_RELU_H_

@@ -1,0 +1,41 @@
+#include "nn/sequential.h"
+
+#include "base/string_util.h"
+
+namespace dhgcn {
+
+Tensor Sequential::Forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<ParamRef> Sequential::Params() {
+  std::vector<ParamRef> params;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    for (ParamRef p : layers_[i]->Params()) {
+      p.name = StrCat(i, ".", layers_[i]->name(), ".", p.name);
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+void Sequential::SetTraining(bool training) {
+  Layer::SetTraining(training);
+  for (auto& layer : layers_) layer->SetTraining(training);
+}
+
+std::string Sequential::name() const {
+  return StrCat("Sequential[", layers_.size(), "]");
+}
+
+}  // namespace dhgcn

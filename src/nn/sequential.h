@@ -1,0 +1,44 @@
+#ifndef DHGCN_NN_SEQUENTIAL_H_
+#define DHGCN_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+/// \brief Runs child layers in order; Backward runs them in reverse.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a raw pointer for further configuration.
+  template <typename L, typename... Args>
+  L* Emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  void Append(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> Params() override;
+  void SetTraining(bool training) override;
+  std::string name() const override;
+
+  size_t size() const { return layers_.size(); }
+  Layer* layer(size_t i) { return layers_.at(i).get(); }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_NN_SEQUENTIAL_H_

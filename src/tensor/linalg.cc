@@ -1,0 +1,119 @@
+#include "tensor/linalg.h"
+
+#include "base/check.h"
+
+namespace dhgcn {
+
+namespace {
+
+// Inner kernel: C (M,N) += A (M,K) * B (K,N), all row-major raw pointers.
+// i-k-j loop order keeps the innermost scan contiguous in both B and C.
+void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      float av = arow[p];
+      if (av == 0.0f) continue;  // sparse-ish operands (incidence matrices)
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  DHGCN_CHECK_EQ(a.ndim(), 2);
+  DHGCN_CHECK_EQ(b.ndim(), 2);
+  DHGCN_CHECK_EQ(a.dim(1), b.dim(0));
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  GemmAccumulate(a.data(), b.data(), out.data(), m, k, n);
+  return out;
+}
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
+  DHGCN_CHECK_EQ(a.ndim(), 3);
+  int64_t batch = a.dim(0), m = a.dim(1), k = a.dim(2);
+  if (b.ndim() == 2) {
+    DHGCN_CHECK_EQ(b.dim(0), k);
+    int64_t n = b.dim(1);
+    Tensor out({batch, m, n});
+    for (int64_t i = 0; i < batch; ++i) {
+      GemmAccumulate(a.data() + i * m * k, b.data(),
+                     out.data() + i * m * n, m, k, n);
+    }
+    return out;
+  }
+  DHGCN_CHECK_EQ(b.ndim(), 3);
+  DHGCN_CHECK_EQ(b.dim(0), batch);
+  DHGCN_CHECK_EQ(b.dim(1), k);
+  int64_t n = b.dim(2);
+  Tensor out({batch, m, n});
+  for (int64_t i = 0; i < batch; ++i) {
+    GemmAccumulate(a.data() + i * m * k, b.data() + i * k * n,
+                   out.data() + i * m * n, m, k, n);
+  }
+  return out;
+}
+
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  DHGCN_CHECK_EQ(a.ndim(), 2);
+  DHGCN_CHECK_EQ(b.ndim(), 2);
+  DHGCN_CHECK_EQ(a.dim(0), b.dim(0));
+  int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  float* c = out.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = pa + p * m;
+    const float* brow = pb + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  DHGCN_CHECK_EQ(a.ndim(), 2);
+  DHGCN_CHECK_EQ(b.ndim(), 2);
+  DHGCN_CHECK_EQ(a.dim(1), b.dim(1));
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor out({m, n});
+  float* c = out.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(arow[p]) * brow[p];
+      }
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  DHGCN_CHECK_EQ(a.ndim(), 2);
+  DHGCN_CHECK_EQ(b.ndim(), 2);
+  DHGCN_CHECK_EQ(out.ndim(), 2);
+  DHGCN_CHECK_EQ(a.dim(1), b.dim(0));
+  DHGCN_CHECK_EQ(out.dim(0), a.dim(0));
+  DHGCN_CHECK_EQ(out.dim(1), b.dim(1));
+  GemmAccumulate(a.data(), b.data(), out.data(), a.dim(0), a.dim(1),
+                 b.dim(1));
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,28 @@
+#ifndef DHGCN_TENSOR_LINALG_H_
+#define DHGCN_TENSOR_LINALG_H_
+
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// Matrix product of a (M,K) and b (K,N) -> (M,N).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Batched matrix product.
+///
+/// a is (B,M,K). b is either (B,K,N) (per-batch matrices) or (K,N)
+/// (one matrix broadcast across the batch). Result is (B,M,N).
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b);
+
+/// a^T * b for 2-D a (K,M), b (K,N) -> (M,N), without materializing a^T.
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+
+/// a * b^T for 2-D a (M,K), b (N,K) -> (M,N), without materializing b^T.
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+
+/// out += a * b for 2-D operands (shapes as MatMul).
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_TENSOR_LINALG_H_

@@ -1,0 +1,220 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <tuple>
+
+#include "base/check.h"
+
+namespace dhgcn {
+
+CsrMatrix::CsrMatrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols),
+      row_ptr_(static_cast<size_t>(rows) + 1, 0) {
+  DHGCN_CHECK_GT(rows, 0);
+  DHGCN_CHECK_GT(cols, 0);
+}
+
+CsrMatrix CsrMatrix::FromDense(const Tensor& dense, float tolerance) {
+  DHGCN_CHECK_EQ(dense.ndim(), 2);
+  CsrMatrix csr(dense.dim(0), dense.dim(1));
+  const float* data = dense.data();
+  for (int64_t r = 0; r < csr.rows_; ++r) {
+    for (int64_t c = 0; c < csr.cols_; ++c) {
+      float v = data[r * csr.cols_ + c];
+      if (std::fabs(v) > tolerance) {
+        csr.col_idx_.push_back(c);
+        csr.values_.push_back(v);
+      }
+    }
+    csr.row_ptr_[static_cast<size_t>(r) + 1] =
+        static_cast<int64_t>(csr.values_.size());
+  }
+  return csr;
+}
+
+CsrMatrix CsrMatrix::FromTriplets(
+    int64_t rows, int64_t cols,
+    std::vector<std::tuple<int64_t, int64_t, float>> triplets) {
+  CsrMatrix csr(rows, cols);
+  std::sort(triplets.begin(), triplets.end(),
+            [](const auto& a, const auto& b) {
+              if (std::get<0>(a) != std::get<0>(b)) {
+                return std::get<0>(a) < std::get<0>(b);
+              }
+              return std::get<1>(a) < std::get<1>(b);
+            });
+  int64_t previous_row = -1, previous_col = -1;
+  for (const auto& [r, c, v] : triplets) {
+    DHGCN_CHECK(r >= 0 && r < rows);
+    DHGCN_CHECK(c >= 0 && c < cols);
+    if (r == previous_row && c == previous_col) {
+      csr.values_.back() += v;  // sum duplicates
+      continue;
+    }
+    while (previous_row < r) {
+      ++previous_row;
+      csr.row_ptr_[static_cast<size_t>(previous_row)] =
+          static_cast<int64_t>(csr.values_.size());
+    }
+    csr.col_idx_.push_back(c);
+    csr.values_.push_back(v);
+    previous_col = c;
+  }
+  while (previous_row < rows - 1) {
+    ++previous_row;
+    csr.row_ptr_[static_cast<size_t>(previous_row)] =
+        static_cast<int64_t>(csr.values_.size());
+  }
+  // row_ptr_[0] must be 0; fix the off-by-one of the fill loop above.
+  // The loop sets row_ptr_[r] to the count *before* row r's entries,
+  // which is exactly the CSR convention given sorted input; the final
+  // sentinel holds the total.
+  csr.row_ptr_[static_cast<size_t>(rows)] =
+      static_cast<int64_t>(csr.values_.size());
+  return csr;
+}
+
+double CsrMatrix::Density() const {
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+Tensor CsrMatrix::ToDense() const {
+  Tensor dense({rows_, cols_});
+  float* data = dense.data();
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      data[r * cols_ + col_idx_[static_cast<size_t>(k)]] +=
+          values_[static_cast<size_t>(k)];
+    }
+  }
+  return dense;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  std::vector<std::tuple<int64_t, int64_t, float>> triplets;
+  triplets.reserve(values_.size());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      triplets.emplace_back(col_idx_[static_cast<size_t>(k)], r,
+                            values_[static_cast<size_t>(k)]);
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+Tensor CsrMatrix::MatVec(const Tensor& x) const {
+  DHGCN_CHECK_EQ(x.numel(), cols_);
+  Tensor y({rows_});
+  const float* px = x.data();
+  float* py = y.data();
+  for (int64_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      acc += static_cast<double>(values_[static_cast<size_t>(k)]) *
+             px[col_idx_[static_cast<size_t>(k)]];
+    }
+    py[r] = static_cast<float>(acc);
+  }
+  return y;
+}
+
+std::string CsrMatrix::ToString() const {
+  std::ostringstream oss;
+  oss << "CsrMatrix(" << rows_ << "x" << cols_ << ", nnz=" << nnz()
+      << ", density=" << Density() << ")";
+  return oss.str();
+}
+
+Tensor SpMM(const CsrMatrix& a, const Tensor& b) {
+  DHGCN_CHECK_EQ(b.ndim(), 2);
+  DHGCN_CHECK_EQ(b.dim(0), a.cols());
+  Tensor c({a.rows(), b.dim(1)});
+  SpMMAccumulate(a, b, c);
+  return c;
+}
+
+void SpMMAccumulate(const CsrMatrix& a, const Tensor& b, Tensor& c) {
+  DHGCN_CHECK_EQ(b.ndim(), 2);
+  DHGCN_CHECK_EQ(c.ndim(), 2);
+  DHGCN_CHECK_EQ(b.dim(0), a.cols());
+  DHGCN_CHECK_EQ(c.dim(0), a.rows());
+  DHGCN_CHECK_EQ(c.dim(1), b.dim(1));
+  int64_t n = b.dim(1);
+  const float* pb = b.data();
+  float* pc = c.data();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    float* crow = pc + r * n;
+    for (int64_t k = row_ptr[static_cast<size_t>(r)];
+         k < row_ptr[static_cast<size_t>(r) + 1]; ++k) {
+      float v = values[static_cast<size_t>(k)];
+      const float* brow = pb + col_idx[static_cast<size_t>(k)] * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+    }
+  }
+}
+
+SparseVertexMix::SparseVertexMix(CsrMatrix op)
+    : op_(std::move(op)), op_transposed_(op_.Transposed()) {
+  DHGCN_CHECK_EQ(op_.rows(), op_.cols());
+}
+
+SparseVertexMix::SparseVertexMix(const Tensor& dense_op, float tolerance)
+    : SparseVertexMix(CsrMatrix::FromDense(dense_op, tolerance)) {}
+
+namespace {
+
+// Y[row, v] = sum_u A[v, u] X[row, u] for every leading row: equivalent
+// to X * A^T, computed as row-wise sparse dots over the CSR of A.
+Tensor ApplyOnVertexAxis(const CsrMatrix& op, const Tensor& x) {
+  int64_t v = x.dim(3);
+  DHGCN_CHECK_EQ(v, op.cols());
+  int64_t rows = x.numel() / v;
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  const auto& row_ptr = op.row_ptr();
+  const auto& col_idx = op.col_idx();
+  const auto& values = op.values();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xrow = px + r * v;
+    float* yrow = py + r * v;
+    for (int64_t vi = 0; vi < op.rows(); ++vi) {
+      double acc = 0.0;
+      for (int64_t k = row_ptr[static_cast<size_t>(vi)];
+           k < row_ptr[static_cast<size_t>(vi) + 1]; ++k) {
+        acc += static_cast<double>(values[static_cast<size_t>(k)]) *
+               xrow[col_idx[static_cast<size_t>(k)]];
+      }
+      yrow[vi] = static_cast<float>(acc);
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+Tensor SparseVertexMix::Forward(const Tensor& input) {
+  DHGCN_CHECK_EQ(input.ndim(), 4);
+  return ApplyOnVertexAxis(op_, input);
+}
+
+Tensor SparseVertexMix::Backward(const Tensor& grad_output) {
+  DHGCN_CHECK_EQ(grad_output.ndim(), 4);
+  // dX[..., u] = sum_v A[v, u] dY[..., v]  ==  apply A^T.
+  return ApplyOnVertexAxis(op_transposed_, grad_output);
+}
+
+std::string SparseVertexMix::name() const {
+  return "SparseVertexMix(" + op_.ToString() + ")";
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,89 @@
+#ifndef DHGCN_TENSOR_SPARSE_H_
+#define DHGCN_TENSOR_SPARSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// \brief Compressed-sparse-row matrix.
+///
+/// The structural operators of graph/hypergraph convolution (normalized
+/// adjacency, incidence products, K-NN operators) are sparse; this class
+/// provides the storage plus the SpMM kernels to exploit that. Values
+/// are float32, indices are int64, rows are stored in ascending column
+/// order.
+class CsrMatrix {
+ public:
+  /// Empty rows x cols matrix (all zero).
+  CsrMatrix(int64_t rows, int64_t cols);
+
+  /// Compresses a dense (rows, cols) tensor, dropping entries with
+  /// |value| <= tolerance.
+  static CsrMatrix FromDense(const Tensor& dense, float tolerance = 0.0f);
+
+  /// Builds from coordinate triplets (duplicates are summed).
+  static CsrMatrix FromTriplets(
+      int64_t rows, int64_t cols,
+      std::vector<std::tuple<int64_t, int64_t, float>> triplets);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+  /// Fraction of nonzero entries.
+  double Density() const;
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  Tensor ToDense() const;
+  CsrMatrix Transposed() const;
+
+  /// y = A x for a dense vector x (cols) -> (rows).
+  Tensor MatVec(const Tensor& x) const;
+
+  std::string ToString() const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;  // rows + 1 entries
+  std::vector<int64_t> col_idx_;  // nnz entries
+  std::vector<float> values_;     // nnz entries
+};
+
+/// Dense C (M,N) = sparse A (M,K) * dense B (K,N).
+Tensor SpMM(const CsrMatrix& a, const Tensor& b);
+
+/// C += A * B (shapes as SpMM).
+void SpMMAccumulate(const CsrMatrix& a, const Tensor& b, Tensor& c);
+
+/// \brief Vertex aggregation with a fixed *sparse* (V, V) operator —
+/// the sparse counterpart of `VertexMix` for structural operators:
+/// Y[n,c,t,v] = sum_u A[v,u] X[n,c,t,u]. Exact same semantics, different
+/// kernel; the bench_kernels binary compares the two.
+class SparseVertexMix : public Layer {
+ public:
+  explicit SparseVertexMix(CsrMatrix op);
+  /// Convenience: compress a dense operator.
+  explicit SparseVertexMix(const Tensor& dense_op, float tolerance = 0.0f);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override;
+
+  const CsrMatrix& op() const { return op_; }
+
+ private:
+  CsrMatrix op_;
+  CsrMatrix op_transposed_;  // for the backward pass
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_TENSOR_SPARSE_H_

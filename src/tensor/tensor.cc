@@ -1,0 +1,151 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+#include "base/string_util.h"
+
+namespace dhgcn {
+
+std::string ShapeToString(const Shape& shape) {
+  return StrCat("(", StrJoin(shape, ", "), ")");
+}
+
+int64_t ShapeNumel(const Shape& shape) {
+  int64_t numel = 1;
+  for (int64_t d : shape) {
+    DHGCN_CHECK_GE(d, 0);
+    numel *= d;
+  }
+  return numel;
+}
+
+bool ShapesEqual(const Shape& a, const Shape& b) { return a == b; }
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(ShapeNumel(shape_)),
+      data_(std::make_shared<std::vector<float>>(
+          static_cast<size_t>(numel_), 0.0f)) {}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
+  DHGCN_CHECK_EQ(ShapeNumel(shape), static_cast<int64_t>(values.size()));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = static_cast<int64_t>(values.size());
+  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::FromList(std::initializer_list<float> values) {
+  return FromVector({static_cast<int64_t>(values.size())},
+                    std::vector<float>(values));
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t{Shape{}};
+  t.flat(0) = value;
+  return t;
+}
+
+Tensor Tensor::RandomNormal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) t.flat(i) = rng.Normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::RandomUniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) t.flat(i) = rng.Uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::Eye(int64_t n) {
+  Tensor t({n, n});
+  for (int64_t i = 0; i < n; ++i) t.at(i, i) = 1.0f;
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t count, float start, float step) {
+  Tensor t({count});
+  float v = start;
+  for (int64_t i = 0; i < count; ++i, v += step) t.flat(i) = v;
+  return t;
+}
+
+int64_t Tensor::dim(int64_t axis) const {
+  if (axis < 0) axis += ndim();
+  DHGCN_CHECK(axis >= 0 && axis < ndim());
+  return shape_[static_cast<size_t>(axis)];
+}
+
+int64_t Tensor::Offset(const std::vector<int64_t>& indices) const {
+  DHGCN_DCHECK_EQ(static_cast<int64_t>(indices.size()), ndim());
+  int64_t offset = 0;
+  for (size_t axis = 0; axis < indices.size(); ++axis) {
+    DHGCN_DCHECK(indices[axis] >= 0 && indices[axis] < shape_[axis]);
+    offset = offset * shape_[axis] + indices[axis];
+  }
+  return offset;
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  int64_t known = 1;
+  int64_t infer_axis = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      DHGCN_CHECK_EQ(infer_axis, -1);  // at most one inferred dim
+      infer_axis = static_cast<int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer_axis >= 0) {
+    DHGCN_CHECK_GT(known, 0);
+    DHGCN_CHECK_EQ(numel_ % known, 0);
+    new_shape[static_cast<size_t>(infer_axis)] = numel_ / known;
+  }
+  DHGCN_CHECK_EQ(ShapeNumel(new_shape), numel_);
+  Tensor view = *this;
+  view.shape_ = std::move(new_shape);
+  return view;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor copy;
+  copy.shape_ = shape_;
+  copy.numel_ = numel_;
+  copy.data_ = std::make_shared<std::vector<float>>(*data_);
+  return copy;
+}
+
+void Tensor::CopyFrom(const Tensor& src) {
+  DHGCN_CHECK(ShapesEqual(shape_, src.shape_));
+  *data_ = *src.data_;
+}
+
+void Tensor::Fill(float value) {
+  for (auto& x : *data_) x = value;
+}
+
+std::vector<float> Tensor::ToVector() const { return *data_; }
+
+std::string Tensor::ToString(int64_t max_items) const {
+  std::ostringstream oss;
+  oss << "Tensor" << ShapeToString(shape_) << " [";
+  int64_t n = std::min<int64_t>(numel_, max_items);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) oss << ", ";
+    oss << flat(i);
+  }
+  if (n < numel_) oss << ", ...";
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,133 @@
+#ifndef DHGCN_TENSOR_TENSOR_H_
+#define DHGCN_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "base/rng.h"
+
+namespace dhgcn {
+
+/// Shape of a tensor; an empty shape denotes a scalar.
+using Shape = std::vector<int64_t>;
+
+std::string ShapeToString(const Shape& shape);
+int64_t ShapeNumel(const Shape& shape);
+bool ShapesEqual(const Shape& a, const Shape& b);
+
+/// \brief Dense row-major float32 tensor.
+///
+/// Storage is always contiguous and shared between tensors produced by
+/// `Reshape` (which aliases) — all other operations allocate fresh storage.
+/// The class is cheap to copy (shared storage); use `Clone()` for a deep
+/// copy before in-place mutation of a tensor that may be aliased.
+///
+/// Dimension-order convention used by the model code: activations are
+/// (N, C, T, V) = (batch, channels, frames, joints).
+class Tensor {
+ public:
+  /// An empty (0-d, 1-element) tensor holding 0.0f.
+  Tensor() : Tensor(Shape{}) {}
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+
+  // -- Factories -----------------------------------------------------------
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+  static Tensor Full(Shape shape, float value);
+  /// Wraps `values` (copied) into the given shape; sizes must match.
+  static Tensor FromVector(Shape shape, std::vector<float> values);
+  /// 1-D tensor from an initializer list.
+  static Tensor FromList(std::initializer_list<float> values);
+  /// Scalar tensor.
+  static Tensor Scalar(float value);
+  /// I.i.d. N(mean, stddev^2) entries.
+  static Tensor RandomNormal(Shape shape, Rng& rng, float mean = 0.0f,
+                             float stddev = 1.0f);
+  /// I.i.d. Uniform[lo, hi) entries.
+  static Tensor RandomUniform(Shape shape, Rng& rng, float lo = 0.0f,
+                              float hi = 1.0f);
+  /// Identity matrix of size n x n.
+  static Tensor Eye(int64_t n);
+  /// 1-D tensor [start, start+step, ...) of `count` entries.
+  static Tensor Arange(int64_t count, float start = 0.0f, float step = 1.0f);
+
+  // -- Introspection -------------------------------------------------------
+
+  const Shape& shape() const { return shape_; }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int64_t axis) const;
+  int64_t numel() const { return numel_; }
+
+  float* data() { return data_->data(); }
+  const float* data() const { return data_->data(); }
+
+  /// Element access by flat row-major index.
+  float& flat(int64_t index) {
+    DHGCN_DCHECK(index >= 0 && index < numel_);
+    return (*data_)[static_cast<size_t>(index)];
+  }
+  float flat(int64_t index) const {
+    DHGCN_DCHECK(index >= 0 && index < numel_);
+    return (*data_)[static_cast<size_t>(index)];
+  }
+
+  /// Multi-index element access; the number of indices must equal ndim().
+  template <typename... Ix>
+  float& at(Ix... indices) {
+    return flat(Offset({static_cast<int64_t>(indices)...}));
+  }
+  template <typename... Ix>
+  float at(Ix... indices) const {
+    return flat(Offset({static_cast<int64_t>(indices)...}));
+  }
+
+  /// Row-major flat offset of a multi-index.
+  int64_t Offset(const std::vector<int64_t>& indices) const;
+
+  /// True when both tensors view the same storage.
+  bool SharesStorageWith(const Tensor& other) const {
+    return data_ == other.data_;
+  }
+
+  // -- Shape manipulation / copies -----------------------------------------
+
+  /// Returns a tensor viewing the same storage with a new shape
+  /// (numel must match). At most one dimension may be -1 (inferred).
+  Tensor Reshape(Shape new_shape) const;
+
+  /// Deep copy.
+  Tensor Clone() const;
+
+  /// Copies the contents of `src` into this tensor (shapes must match).
+  void CopyFrom(const Tensor& src);
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Copies the elements into a std::vector.
+  std::vector<float> ToVector() const;
+
+  /// Human-readable rendering (shape plus up to `max_items` leading values).
+  std::string ToString(int64_t max_items = 16) const;
+
+ private:
+  Shape shape_;
+  int64_t numel_ = 1;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_TENSOR_TENSOR_H_

@@ -1,0 +1,126 @@
+#ifndef DHGCN_TENSOR_TENSOR_OPS_H_
+#define DHGCN_TENSOR_TENSOR_OPS_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+// ---------------------------------------------------------------------------
+// Elementwise binary operations (NumPy-style broadcasting).
+//
+// Two shapes broadcast if, aligning from the trailing axis, each pair of
+// dimensions is equal or one of them is 1. Shape mismatches are programming
+// errors and abort via DHGCN_CHECK; model entry points validate user input
+// with Status before reaching these kernels.
+// ---------------------------------------------------------------------------
+
+/// Returns the broadcasted result shape; aborts when not broadcastable.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+/// True when the two shapes are broadcast-compatible.
+bool CanBroadcast(const Shape& a, const Shape& b);
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+Tensor Minimum(const Tensor& a, const Tensor& b);
+
+/// Generic broadcasted elementwise combine.
+Tensor BinaryOp(const Tensor& a, const Tensor& b,
+                const std::function<float(float, float)>& op);
+
+// In-place (no broadcasting; shapes must match exactly).
+void AddInPlace(Tensor& a, const Tensor& b);
+void SubInPlace(Tensor& a, const Tensor& b);
+void MulInPlace(Tensor& a, const Tensor& b);
+/// a += alpha * b (shapes must match).
+void Axpy(float alpha, const Tensor& b, Tensor& a);
+
+// Scalar variants.
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+void MulScalarInPlace(Tensor& a, float s);
+
+// ---------------------------------------------------------------------------
+// Elementwise unary operations.
+// ---------------------------------------------------------------------------
+
+Tensor UnaryOp(const Tensor& a, const std::function<float(float)>& op);
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+// ---------------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------------
+
+float SumAll(const Tensor& a);
+float MeanAll(const Tensor& a);
+float MaxAll(const Tensor& a);
+float MinAll(const Tensor& a);
+
+/// Sum over `axis`; `keepdim` keeps a size-1 axis in the output shape.
+Tensor ReduceSum(const Tensor& a, int64_t axis, bool keepdim = false);
+Tensor ReduceMean(const Tensor& a, int64_t axis, bool keepdim = false);
+Tensor ReduceMax(const Tensor& a, int64_t axis, bool keepdim = false);
+
+/// Index of the maximum along `axis` (ties -> lowest index), returned as
+/// float values in a tensor whose shape drops `axis`.
+Tensor ArgMax(const Tensor& a, int64_t axis);
+
+// ---------------------------------------------------------------------------
+// Normalization-style ops.
+// ---------------------------------------------------------------------------
+
+/// Numerically-stable softmax along `axis`.
+Tensor Softmax(const Tensor& a, int64_t axis);
+/// Numerically-stable log-softmax along `axis`.
+Tensor LogSoftmax(const Tensor& a, int64_t axis);
+
+// ---------------------------------------------------------------------------
+// Shape/layout ops.
+// ---------------------------------------------------------------------------
+
+/// Permutes axes; `perm` is a permutation of {0, ..., ndim-1}.
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm);
+/// 2-D transpose.
+Tensor Transpose2D(const Tensor& a);
+/// Concatenates along `axis`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
+/// Slices [start, start+length) along `axis`.
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t length);
+/// Stacks equal-shaped tensors along a new leading axis.
+Tensor Stack(const std::vector<Tensor>& parts);
+
+/// Broadcasts `a` to `target` shape (copying).
+Tensor BroadcastTo(const Tensor& a, const Shape& target);
+
+/// Sums a gradient tensor of broadcasted shape back down to `target` shape.
+/// This is the adjoint of BroadcastTo and is used by layer backward passes.
+Tensor ReduceToShape(const Tensor& grad, const Shape& target);
+
+// ---------------------------------------------------------------------------
+// Comparisons and scalar queries.
+// ---------------------------------------------------------------------------
+
+/// True when all elements differ by at most `atol + rtol * |b|`.
+bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+/// True when any element is NaN or infinite.
+bool HasNonFinite(const Tensor& a);
+/// L2 norm over all elements.
+float Norm2(const Tensor& a);
+/// Dot product of the flattened tensors (shapes must have equal numel).
+float Dot(const Tensor& a, const Tensor& b);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_TENSOR_TENSOR_OPS_H_

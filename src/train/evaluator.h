@@ -1,0 +1,56 @@
+#ifndef DHGCN_TRAIN_EVALUATOR_H_
+#define DHGCN_TRAIN_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "nn/layer.h"
+#include "train/metrics.h"
+
+namespace dhgcn {
+
+/// Evaluates a classifier over a loader (inference mode; loader should be
+/// non-shuffling). Reports Top-1/Top-5 accuracy and mean cross-entropy.
+EvalMetrics Evaluate(Layer& model, DataLoader& loader);
+
+/// \brief Two-stream fused evaluation (Sec. 3.5): sums the joint model's
+/// and bone model's logits per sample. The two loaders must iterate the
+/// same sample indices in the same order (both non-shuffling over the
+/// same split).
+EvalMetrics EvaluateFused(Layer& joint_model, Layer& bone_model,
+                          DataLoader& joint_loader,
+                          DataLoader& bone_loader);
+
+/// \brief N-stream fused evaluation: sums the logits of `models[i]` fed
+/// from `loaders[i]`. Generalizes EvaluateFused to the 4-stream
+/// (joint / bone / joint-motion / bone-motion) extension. All loaders
+/// must iterate the same samples in the same order.
+EvalMetrics EvaluateFusedN(const std::vector<Layer*>& models,
+                           const std::vector<DataLoader*>& loaders);
+
+/// \brief Per-class evaluation report.
+struct ClassReport {
+  int64_t label = 0;
+  int64_t support = 0;      // true samples of this class
+  double precision = 0.0;   // TP / predicted-as-class
+  double recall = 0.0;      // TP / support
+  double f1 = 0.0;
+};
+
+struct ClassificationReport {
+  std::vector<ClassReport> classes;
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;
+  int64_t total = 0;
+
+  std::string ToString() const;
+};
+
+/// Runs inference over the loader and builds the per-class report.
+ClassificationReport EvaluatePerClass(Layer& model, DataLoader& loader,
+                                      int64_t num_classes);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_TRAIN_EVALUATOR_H_

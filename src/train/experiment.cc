@@ -1,0 +1,159 @@
+#include "train/experiment.h"
+
+#include <memory>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "base/check.h"
+#include "base/logging.h"
+#include "train/evaluator.h"
+
+namespace dhgcn {
+
+std::string SplitProtocolName(SplitProtocol protocol) {
+  switch (protocol) {
+    case SplitProtocol::kCrossSubject:
+      return "X-Sub";
+    case SplitProtocol::kCrossView:
+      return "X-View";
+    case SplitProtocol::kCrossSetup:
+      return "X-Set";
+    case SplitProtocol::kRandom:
+      return "holdout";
+  }
+  return "?";
+}
+
+DatasetSplit MakeSplit(const SkeletonDataset& dataset,
+                       SplitProtocol protocol, uint64_t seed) {
+  switch (protocol) {
+    case SplitProtocol::kCrossSubject:
+      return dataset.CrossSubjectSplit();
+    case SplitProtocol::kCrossView:
+      return dataset.CrossViewSplit(/*test_camera=*/0);
+    case SplitProtocol::kCrossSetup:
+      return dataset.CrossSetupSplit();
+    case SplitProtocol::kRandom:
+      return dataset.RandomSplit(/*test_fraction=*/0.25f, seed);
+  }
+  DHGCN_CHECK(false);
+  return {};
+}
+
+EvalMetrics TrainAndEvaluateStream(Layer& model,
+                                   const SkeletonDataset& dataset,
+                                   const DatasetSplit& split,
+                                   InputStream stream,
+                                   const TrainOptions& train_options,
+                                   int64_t batch_size, uint64_t seed) {
+  DHGCN_CHECK(!split.train.empty());
+  DHGCN_CHECK(!split.test.empty());
+  DataLoader train_loader(&dataset, split.train, batch_size, stream,
+                          /*shuffle=*/true, Rng(seed));
+  DataLoader test_loader(&dataset, split.test, batch_size, stream,
+                         /*shuffle=*/false);
+  Trainer trainer(&model, train_options);
+  trainer.Train(train_loader);
+  return Evaluate(model, test_loader);
+}
+
+TwoStreamEval RunTwoStreamExperiment(const ModelFactory& factory,
+                                     const SkeletonDataset& dataset,
+                                     const DatasetSplit& split,
+                                     const TrainOptions& train_options,
+                                     int64_t batch_size, uint64_t seed) {
+  TwoStreamEval result;
+  LayerPtr joint_model = factory();
+  LayerPtr bone_model = factory();
+  result.joint = TrainAndEvaluateStream(*joint_model, dataset, split,
+                                        InputStream::kJoint, train_options,
+                                        batch_size, seed);
+  result.bone = TrainAndEvaluateStream(*bone_model, dataset, split,
+                                       InputStream::kBone, train_options,
+                                       batch_size, seed + 1);
+  DataLoader joint_test(&dataset, split.test, batch_size,
+                        InputStream::kJoint, /*shuffle=*/false);
+  DataLoader bone_test(&dataset, split.test, batch_size, InputStream::kBone,
+                       /*shuffle=*/false);
+  result.fused =
+      EvaluateFused(*joint_model, *bone_model, joint_test, bone_test);
+  return result;
+}
+
+FourStreamEval RunFourStreamExperiment(const ModelFactory& factory,
+                                       const SkeletonDataset& dataset,
+                                       const DatasetSplit& split,
+                                       const TrainOptions& train_options,
+                                       int64_t batch_size, uint64_t seed) {
+  const InputStream streams[4] = {
+      InputStream::kJoint, InputStream::kBone, InputStream::kJointMotion,
+      InputStream::kBoneMotion};
+  std::vector<LayerPtr> models;
+  std::vector<EvalMetrics> per_stream;
+  for (int s = 0; s < 4; ++s) {
+    models.push_back(factory());
+    per_stream.push_back(TrainAndEvaluateStream(
+        *models.back(), dataset, split, streams[s], train_options,
+        batch_size, seed + static_cast<uint64_t>(s)));
+  }
+  std::vector<std::unique_ptr<DataLoader>> test_loaders;
+  std::vector<DataLoader*> loader_ptrs;
+  std::vector<Layer*> model_ptrs;
+  for (int s = 0; s < 4; ++s) {
+    test_loaders.push_back(std::make_unique<DataLoader>(
+        &dataset, split.test, batch_size, streams[s], /*shuffle=*/false));
+    loader_ptrs.push_back(test_loaders.back().get());
+    model_ptrs.push_back(models[static_cast<size_t>(s)].get());
+  }
+  FourStreamEval result;
+  result.joint = per_stream[0];
+  result.bone = per_stream[1];
+  result.joint_motion = per_stream[2];
+  result.bone_motion = per_stream[3];
+  result.fused_two = EvaluateFusedN({model_ptrs[0], model_ptrs[1]},
+                                    {loader_ptrs[0], loader_ptrs[1]});
+  result.fused_four = EvaluateFusedN(model_ptrs, loader_ptrs);
+  return result;
+}
+
+BenchScale GetBenchScale() {
+  BenchScale scale;
+  scale.num_classes = 5;
+  scale.samples_per_class = 16;
+  scale.num_frames = 16;
+  scale.epochs = 14;
+  scale.batch_size = 8;
+  const char* env = std::getenv("DHGCN_BENCH_SCALE");
+  if (env != nullptr && std::strcmp(env, "smoke") == 0) {
+    scale.num_classes = 3;
+    scale.samples_per_class = 6;
+    scale.num_frames = 12;
+    scale.epochs = 2;
+    scale.batch_size = 4;
+    scale.name = "smoke";
+  } else if (env != nullptr && std::strcmp(env, "full") == 0) {
+    scale.num_classes = 8;
+    scale.samples_per_class = 40;
+    scale.num_frames = 16;
+    scale.epochs = 28;
+    scale.batch_size = 8;
+    scale.name = "full";
+  }
+  return scale;
+}
+
+TrainOptions BenchTrainOptions(const BenchScale& scale) {
+  TrainOptions options;
+  options.epochs = scale.epochs;
+  // Paper schedule shape (SGD momentum 0.9, step decay /10); LR 0.05 is
+  // the stable setting for the CPU-scale models (the paper's 0.1 assumes
+  // batch 16 and the full-depth network).
+  options.initial_lr = 0.05f;
+  options.lr_milestones = {scale.epochs * 3 / 5, scale.epochs * 4 / 5};
+  options.momentum = 0.9f;
+  options.weight_decay = 1e-4f;
+  return options;
+}
+
+}  // namespace dhgcn

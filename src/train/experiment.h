@@ -1,0 +1,105 @@
+#ifndef DHGCN_TRAIN_EXPERIMENT_H_
+#define DHGCN_TRAIN_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+
+#include "base/result.h"
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "nn/layer.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+
+namespace dhgcn {
+
+/// Benchmark evaluation protocols (Sec. 4.1).
+enum class SplitProtocol {
+  kCrossSubject,  // NTU X-Sub
+  kCrossView,     // NTU X-View
+  kCrossSetup,    // NTU-120 X-Set
+  kRandom,        // Kinetics-style stratified holdout
+};
+
+std::string SplitProtocolName(SplitProtocol protocol);
+
+/// Builds the train/test split for a protocol. `seed` only affects
+/// kRandom; the holdout fraction is 25%.
+DatasetSplit MakeSplit(const SkeletonDataset& dataset,
+                       SplitProtocol protocol, uint64_t seed = 11);
+
+/// Produces a fresh, untrained model; called once per stream so the two
+/// streams do not share parameters.
+using ModelFactory = std::function<LayerPtr()>;
+
+/// \brief Trains `model` on the split's train half of one input stream
+/// and evaluates on the test half.
+EvalMetrics TrainAndEvaluateStream(Layer& model,
+                                   const SkeletonDataset& dataset,
+                                   const DatasetSplit& split,
+                                   InputStream stream,
+                                   const TrainOptions& train_options,
+                                   int64_t batch_size, uint64_t seed);
+
+/// Results of a full two-stream experiment.
+struct TwoStreamEval {
+  EvalMetrics joint;
+  EvalMetrics bone;
+  EvalMetrics fused;
+};
+
+/// \brief Full two-stream pipeline (Sec. 3.5): trains independent joint
+/// and bone models from `factory`, evaluates each stream, and evaluates
+/// the score-sum fusion.
+TwoStreamEval RunTwoStreamExperiment(const ModelFactory& factory,
+                                     const SkeletonDataset& dataset,
+                                     const DatasetSplit& split,
+                                     const TrainOptions& train_options,
+                                     int64_t batch_size, uint64_t seed);
+
+/// Results of the four-stream extension experiment (joint, bone, and
+/// their temporal-difference "motion" variants — the multi-stream
+/// direction the paper's conclusion points to).
+struct FourStreamEval {
+  EvalMetrics joint;
+  EvalMetrics bone;
+  EvalMetrics joint_motion;
+  EvalMetrics bone_motion;
+  /// Paper's two-stream fusion (joint + bone).
+  EvalMetrics fused_two;
+  /// All four streams fused.
+  EvalMetrics fused_four;
+};
+
+/// \brief Trains four independent models (one per stream) and evaluates
+/// every stream, the paper's two-stream fusion, and the four-stream
+/// fusion.
+FourStreamEval RunFourStreamExperiment(const ModelFactory& factory,
+                                       const SkeletonDataset& dataset,
+                                       const DatasetSplit& split,
+                                       const TrainOptions& train_options,
+                                       int64_t batch_size, uint64_t seed);
+
+/// \brief Workload scale knobs for the benchmark binaries.
+///
+/// Controlled by the DHGCN_BENCH_SCALE environment variable:
+/// "smoke" (seconds, shape-check only), "default" (a few minutes per
+/// table on one core), "full" (longer runs, tighter accuracy numbers).
+struct BenchScale {
+  int64_t num_classes = 8;
+  int64_t samples_per_class = 24;
+  int64_t num_frames = 24;
+  int64_t epochs = 8;
+  int64_t batch_size = 8;
+  std::string name = "default";
+};
+
+BenchScale GetBenchScale();
+
+/// Standard TrainOptions for a bench at the given scale (paper schedule
+/// shape: LR 0.1 stepped down at 60%/80% of the epochs).
+TrainOptions BenchTrainOptions(const BenchScale& scale);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_TRAIN_EXPERIMENT_H_

@@ -1,0 +1,92 @@
+#include "train/metrics.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace dhgcn {
+
+namespace {
+
+// True when the label's score ranks within the top k (lower class index
+// wins ties, so equal scores before the label count against it).
+bool InTopK(const float* row, int64_t num_classes, int64_t label,
+            int64_t k) {
+  float label_score = row[label];
+  int64_t better = 0;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    if (row[c] > label_score || (row[c] == label_score && c < label)) {
+      ++better;
+    }
+  }
+  return better < k;
+}
+
+}  // namespace
+
+double TopKAccuracy(const Tensor& logits, const std::vector<int64_t>& labels,
+                    int64_t k) {
+  DHGCN_CHECK_EQ(logits.ndim(), 2);
+  int64_t n = logits.dim(0), num_classes = logits.dim(1);
+  DHGCN_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  DHGCN_CHECK_GE(k, 1);
+  if (n == 0) return 0.0;
+  int64_t hits = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (InTopK(logits.data() + i * num_classes, num_classes,
+               labels[static_cast<size_t>(i)], k)) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+void MetricsAccumulator::Add(const Tensor& logits,
+                             const std::vector<int64_t>& labels,
+                             double loss) {
+  DHGCN_CHECK_EQ(logits.ndim(), 2);
+  int64_t n = logits.dim(0), num_classes = logits.dim(1);
+  DHGCN_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * num_classes;
+    int64_t label = labels[static_cast<size_t>(i)];
+    if (InTopK(row, num_classes, label, 1)) ++top1_hits_;
+    if (InTopK(row, num_classes, label, std::min<int64_t>(5, num_classes))) {
+      ++top5_hits_;
+    }
+  }
+  count_ += n;
+  loss_sum_ += loss;
+  ++loss_batches_;
+}
+
+EvalMetrics MetricsAccumulator::Finalize() const {
+  EvalMetrics metrics;
+  metrics.count = count_;
+  if (count_ > 0) {
+    metrics.top1 = static_cast<double>(top1_hits_) / count_;
+    metrics.top5 = static_cast<double>(top5_hits_) / count_;
+  }
+  if (loss_batches_ > 0) metrics.loss = loss_sum_ / loss_batches_;
+  return metrics;
+}
+
+Tensor ConfusionMatrix(const Tensor& logits,
+                       const std::vector<int64_t>& labels,
+                       int64_t num_classes) {
+  DHGCN_CHECK_EQ(logits.ndim(), 2);
+  DHGCN_CHECK_EQ(logits.dim(1), num_classes);
+  Tensor confusion({num_classes, num_classes});
+  int64_t n = logits.dim(0);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * num_classes;
+    int64_t pred = 0;
+    for (int64_t c = 1; c < num_classes; ++c) {
+      if (row[c] > row[pred]) pred = c;
+    }
+    confusion.at(labels[static_cast<size_t>(i)], pred) += 1.0f;
+  }
+  return confusion;
+}
+
+}  // namespace dhgcn

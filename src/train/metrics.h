@@ -1,0 +1,49 @@
+#ifndef DHGCN_TRAIN_METRICS_H_
+#define DHGCN_TRAIN_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// \brief Classification quality over an evaluation pass.
+struct EvalMetrics {
+  double top1 = 0.0;
+  double top5 = 0.0;
+  double loss = 0.0;
+  int64_t count = 0;
+};
+
+/// Fraction of rows whose true label is within the top-k scores.
+/// `logits` is (N, K); ties are broken toward lower class index.
+double TopKAccuracy(const Tensor& logits, const std::vector<int64_t>& labels,
+                    int64_t k);
+
+/// \brief Streaming accumulator for Top-1/Top-5 accuracy and mean loss.
+class MetricsAccumulator {
+ public:
+  /// Adds one batch; `loss` is the batch-mean loss (optional, pass 0).
+  void Add(const Tensor& logits, const std::vector<int64_t>& labels,
+           double loss);
+
+  EvalMetrics Finalize() const;
+  int64_t count() const { return count_; }
+
+ private:
+  int64_t count_ = 0;
+  int64_t top1_hits_ = 0;
+  int64_t top5_hits_ = 0;
+  double loss_sum_ = 0.0;
+  int64_t loss_batches_ = 0;
+};
+
+/// Per-class confusion matrix (K, K): rows = true class, cols = predicted.
+Tensor ConfusionMatrix(const Tensor& logits,
+                       const std::vector<int64_t>& labels,
+                       int64_t num_classes);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_TRAIN_METRICS_H_

@@ -1,0 +1,70 @@
+#include "train/summary.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/check.h"
+#include "base/string_util.h"
+#include "train/table.h"
+
+namespace dhgcn {
+
+std::string ParameterSummary(Layer& layer) {
+  TextTable table({"Parameter", "Shape", "Count"});
+  int64_t total = 0;
+  for (ParamRef& p : layer.Params()) {
+    table.AddRow({p.trainable ? p.name : p.name + " (buffer)",
+                  ShapeToString(p.value->shape()),
+                  StrCat(p.value->numel())});
+    if (p.trainable) total += p.value->numel();
+  }
+  table.AddSeparator();
+  table.AddRow({layer.name(), "trainable total", StrCat(total)});
+  return table.ToString();
+}
+
+int64_t TotalParameters(Layer& layer) { return layer.ParameterCount(); }
+
+namespace {
+
+double SumSquares(const Tensor& t) {
+  double total = 0.0;
+  const float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    total += static_cast<double>(p[i]) * p[i];
+  }
+  return total;
+}
+
+}  // namespace
+
+float ParameterNorm(Layer& layer) {
+  double total = 0.0;
+  for (ParamRef& p : layer.Params()) {
+    if (p.trainable) total += SumSquares(*p.value);
+  }
+  return static_cast<float>(std::sqrt(total));
+}
+
+float GradientNorm(Layer& layer) {
+  double total = 0.0;
+  for (ParamRef& p : layer.Params()) {
+    if (p.trainable) total += SumSquares(*p.grad);
+  }
+  return static_cast<float>(std::sqrt(total));
+}
+
+float ClipGradientNorm(Layer& layer, float max_norm) {
+  DHGCN_CHECK_GT(max_norm, 0.0f);
+  float norm = GradientNorm(layer);
+  if (norm <= max_norm || norm == 0.0f) return norm;
+  float scale = max_norm / norm;
+  for (ParamRef& p : layer.Params()) {
+    if (!p.trainable) continue;
+    float* g = p.grad->data();
+    for (int64_t i = 0; i < p.grad->numel(); ++i) g[i] *= scale;
+  }
+  return norm;
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,29 @@
+#ifndef DHGCN_TRAIN_SUMMARY_H_
+#define DHGCN_TRAIN_SUMMARY_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+/// \brief Per-parameter model summary: name, shape, element count, plus
+/// totals — the `model.summary()` of this library.
+std::string ParameterSummary(Layer& layer);
+
+/// Total learnable scalars (same as Layer::ParameterCount, exposed as a
+/// free function for symmetry with ParameterSummary).
+int64_t TotalParameters(Layer& layer);
+
+/// L2 norm of all parameters / all gradients — handy training
+/// diagnostics (exploding/vanishing gradient checks).
+float ParameterNorm(Layer& layer);
+float GradientNorm(Layer& layer);
+
+/// Rescales gradients so their global L2 norm is at most `max_norm`;
+/// returns the pre-clip norm. Standard gradient clipping.
+float ClipGradientNorm(Layer& layer, float max_norm);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_TRAIN_SUMMARY_H_

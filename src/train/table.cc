@@ -1,0 +1,63 @@
+#include "train/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace dhgcn {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DHGCN_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  DHGCN_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddSeparator() { rows_.emplace_back(); }
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_line = [&os, &widths] {
+    os << "+";
+    for (size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+  auto print_row = [&os, &widths](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      os << " " << cell << std::string(widths[c] - cell.size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  print_line();
+  print_row(header_);
+  print_line();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_line();
+    } else {
+      print_row(row);
+    }
+  }
+  print_line();
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,31 @@
+#ifndef DHGCN_TRAIN_TABLE_H_
+#define DHGCN_TRAIN_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dhgcn {
+
+/// \brief Minimal fixed-width text table used by the benchmark harness to
+/// print paper-style result tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// A horizontal separator line before the next row.
+  void AddSeparator();
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  // A row is either cells, or empty => separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_TRAIN_TABLE_H_

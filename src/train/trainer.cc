@@ -1,0 +1,143 @@
+#include "train/trainer.h"
+
+#include "base/check.h"
+#include "base/logging.h"
+#include "base/timer.h"
+#include "train/evaluator.h"
+#include "train/summary.h"
+
+namespace dhgcn {
+
+Trainer::Trainer(Layer* model, const TrainOptions& options)
+    : model_(model),
+      options_(options),
+      loss_(options.label_smoothing),
+      schedule_(options.initial_lr, options.lr_milestones,
+                options.lr_decay_factor) {
+  DHGCN_CHECK(model != nullptr);
+  DHGCN_CHECK_GT(options.epochs, 0);
+  switch (options_.optimizer) {
+    case OptimizerKind::kSgd: {
+      SgdOptimizer::Options sgd_options;
+      sgd_options.lr = options.initial_lr;
+      sgd_options.momentum = options.momentum;
+      sgd_options.weight_decay = options.weight_decay;
+      sgd_ = std::make_unique<SgdOptimizer>(model->Params(), sgd_options);
+      break;
+    }
+    case OptimizerKind::kAdam: {
+      AdamOptimizer::Options adam_options;
+      adam_options.lr = options.initial_lr;
+      adam_options.weight_decay = options.weight_decay;
+      adam_ =
+          std::make_unique<AdamOptimizer>(model->Params(), adam_options);
+      break;
+    }
+  }
+}
+
+void Trainer::ApplyLr(int64_t epoch) {
+  float lr = schedule_.LrForEpoch(epoch);
+  if (sgd_ != nullptr) sgd_->set_lr(lr);
+  if (adam_ != nullptr) adam_->set_lr(lr);
+}
+
+void Trainer::OptimizerZeroGrad() {
+  if (sgd_ != nullptr) sgd_->ZeroGrad();
+  if (adam_ != nullptr) adam_->ZeroGrad();
+}
+
+void Trainer::OptimizerStep() {
+  if (sgd_ != nullptr) sgd_->Step();
+  if (adam_ != nullptr) adam_->Step();
+}
+
+double Trainer::CurrentLr() const {
+  if (sgd_ != nullptr) return sgd_->lr();
+  return adam_->lr();
+}
+
+EpochStats Trainer::TrainEpoch(DataLoader& loader, int64_t epoch) {
+  WallTimer timer;
+  model_->SetTraining(true);
+  loader.StartEpoch();
+  ApplyLr(epoch);
+
+  MetricsAccumulator accumulator;
+  double loss_sum = 0.0;
+  int64_t batches = loader.NumBatches();
+  for (int64_t b = 0; b < batches; ++b) {
+    Batch batch = loader.GetBatch(b);
+    OptimizerZeroGrad();
+    Tensor logits = model_->Forward(batch.x);
+    float loss = loss_.Forward(logits, batch.labels);
+    accumulator.Add(logits, batch.labels, loss);
+    loss_sum += loss;
+    model_->Backward(loss_.Backward());
+    if (options_.clip_grad_norm > 0.0f) {
+      ClipGradientNorm(*model_, options_.clip_grad_norm);
+    }
+    OptimizerStep();
+  }
+
+  EpochStats stats;
+  stats.epoch = epoch;
+  stats.mean_loss = batches > 0 ? loss_sum / batches : 0.0;
+  stats.train_top1 = accumulator.Finalize().top1;
+  stats.lr = CurrentLr();
+  stats.seconds = timer.ElapsedSeconds();
+  if (options_.verbose) {
+    DHGCN_LOG(kInfo) << model_->name() << " epoch " << epoch
+                     << " loss=" << stats.mean_loss
+                     << " top1=" << stats.train_top1 << " lr=" << stats.lr
+                     << " (" << stats.seconds << "s)";
+  }
+  return stats;
+}
+
+std::vector<EpochStats> Trainer::Train(DataLoader& loader) {
+  std::vector<EpochStats> history;
+  history.reserve(static_cast<size_t>(options_.epochs));
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    history.push_back(TrainEpoch(loader, epoch));
+  }
+  return history;
+}
+
+ValidatedTraining Trainer::TrainWithValidation(DataLoader& train_loader,
+                                               DataLoader& val_loader,
+                                               int64_t patience) {
+  ValidatedTraining result;
+  std::vector<Tensor> best_params;
+  int64_t epochs_since_best = 0;
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    result.history.push_back(TrainEpoch(train_loader, epoch));
+    EvalMetrics val = Evaluate(*model_, val_loader);
+    if (val.top1 > result.best_val_top1 || result.best_epoch < 0) {
+      result.best_val_top1 = val.top1;
+      result.best_epoch = epoch;
+      epochs_since_best = 0;
+      best_params.clear();
+      for (ParamRef& p : model_->Params()) {
+        best_params.push_back(p.value->Clone());
+      }
+    } else {
+      ++epochs_since_best;
+      if (patience > 0 && epochs_since_best >= patience) {
+        result.early_stopped = true;
+        break;
+      }
+    }
+  }
+  // Restore the best snapshot.
+  if (!best_params.empty()) {
+    std::vector<ParamRef> params = model_->Params();
+    DHGCN_CHECK_EQ(params.size(), best_params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].value->CopyFrom(best_params[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace dhgcn

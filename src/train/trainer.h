@@ -1,0 +1,97 @@
+#ifndef DHGCN_TRAIN_TRAINER_H_
+#define DHGCN_TRAIN_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "train/metrics.h"
+
+namespace dhgcn {
+
+/// Optimizer used by the Trainer. The paper uses SGD with momentum;
+/// Adam is provided for convenience.
+enum class OptimizerKind {
+  kSgd,
+  kAdam,
+};
+
+/// \brief Training hyper-parameters (paper defaults: SGD momentum 0.9,
+/// cross-entropy loss, initial LR 0.1 divided by 10 at the milestones).
+struct TrainOptions {
+  int64_t epochs = 10;
+  float initial_lr = 0.1f;
+  std::vector<int64_t> lr_milestones;
+  float lr_decay_factor = 10.0f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  /// Log per-epoch progress at INFO level.
+  bool verbose = false;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  /// Label-smoothing epsilon for the cross-entropy loss (0 = off).
+  float label_smoothing = 0.0f;
+  /// Global gradient-norm clip (0 = off).
+  float clip_grad_norm = 0.0f;
+};
+
+/// \brief Per-epoch training statistics.
+struct EpochStats {
+  int64_t epoch = 0;
+  double mean_loss = 0.0;
+  double train_top1 = 0.0;
+  double lr = 0.0;
+  double seconds = 0.0;
+};
+
+/// \brief Result of TrainWithValidation.
+struct ValidatedTraining {
+  std::vector<EpochStats> history;
+  /// Best validation Top-1 seen, and the epoch it occurred at.
+  double best_val_top1 = 0.0;
+  int64_t best_epoch = -1;
+  /// True when training stopped before the epoch budget.
+  bool early_stopped = false;
+};
+
+/// \brief Minibatch training loop for any `Layer` classifier.
+class Trainer {
+ public:
+  Trainer(Layer* model, const TrainOptions& options);
+
+  /// Runs one epoch over the loader (reshuffling it).
+  EpochStats TrainEpoch(DataLoader& loader, int64_t epoch);
+
+  /// Runs the full schedule.
+  std::vector<EpochStats> Train(DataLoader& loader);
+
+  /// Runs the schedule with per-epoch validation; keeps a snapshot of
+  /// the best-validation parameters and restores it at the end. Stops
+  /// early when validation Top-1 has not improved for `patience`
+  /// consecutive epochs (patience <= 0 disables early stopping).
+  ValidatedTraining TrainWithValidation(DataLoader& train_loader,
+                                        DataLoader& val_loader,
+                                        int64_t patience = 0);
+
+  Layer* model() { return model_; }
+  const TrainOptions& options() const { return options_; }
+
+ private:
+  void ApplyLr(int64_t epoch);
+  void OptimizerZeroGrad();
+  void OptimizerStep();
+  double CurrentLr() const;
+
+  Layer* model_;
+  TrainOptions options_;
+  SoftmaxCrossEntropy loss_;
+  std::unique_ptr<SgdOptimizer> sgd_;
+  std::unique_ptr<AdamOptimizer> adam_;
+  StepLrSchedule schedule_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_TRAIN_TRAINER_H_

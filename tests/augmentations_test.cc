@@ -1,0 +1,235 @@
+#include "data/augmentations.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+
+#include "data/csv_io.h"
+#include "data/skeleton.h"
+#include "data/synthetic_generator.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+namespace {
+
+Tensor MakeSample(uint64_t seed = 1) {
+  Rng rng(seed);
+  return Tensor::RandomNormal({3, 6, 10}, rng);
+}
+
+double PairDistance(const Tensor& x, int64_t t, int64_t a, int64_t b) {
+  double acc = 0.0;
+  for (int64_t c = 0; c < 3; ++c) {
+    double diff = x.at(c, t, a) - x.at(c, t, b);
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+// --- RandomRotationY -------------------------------------------------------
+
+TEST(RotationTest, PreservesPairwiseDistances) {
+  Tensor sample = MakeSample();
+  Rng rng(2);
+  Tensor rotated = RandomRotationY(sample, 1.0f, rng);
+  for (int64_t t = 0; t < 6; ++t) {
+    for (int64_t a = 0; a < 10; ++a) {
+      for (int64_t b = a + 1; b < 10; b += 3) {
+        EXPECT_NEAR(PairDistance(rotated, t, a, b),
+                    PairDistance(sample, t, a, b), 1e-4);
+      }
+    }
+  }
+}
+
+TEST(RotationTest, LeavesYCoordinateUnchanged) {
+  Tensor sample = MakeSample();
+  Rng rng(3);
+  Tensor rotated = RandomRotationY(sample, 1.0f, rng);
+  for (int64_t t = 0; t < 6; ++t) {
+    for (int64_t j = 0; j < 10; ++j) {
+      EXPECT_FLOAT_EQ(rotated.at(1, t, j), sample.at(1, t, j));
+    }
+  }
+}
+
+TEST(RotationTest, ZeroAngleIsIdentity) {
+  Tensor sample = MakeSample();
+  Rng rng(4);
+  Tensor rotated = RandomRotationY(sample, 0.0f, rng);
+  EXPECT_TRUE(AllClose(rotated, sample, 1e-6f, 1e-7f));
+}
+
+// --- RandomScale -----------------------------------------------------------
+
+TEST(ScaleTest, ScalesAllCoordinatesUniformly) {
+  Tensor sample = MakeSample();
+  Rng rng(5);
+  Tensor scaled = RandomScale(sample, 2.0f, 2.0f, rng);  // exactly 2x
+  for (int64_t i = 0; i < sample.numel(); ++i) {
+    EXPECT_NEAR(scaled.flat(i), 2.0f * sample.flat(i), 1e-5f);
+  }
+}
+
+TEST(ScaleTest, FactorWithinBounds) {
+  Tensor sample = Tensor::Ones({3, 2, 2});
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tensor scaled = RandomScale(sample, 0.9f, 1.1f, rng);
+    float factor = scaled.at(0, 0, 0);
+    EXPECT_GE(factor, 0.9f);
+    EXPECT_LE(factor, 1.1f);
+  }
+}
+
+// --- RandomTemporalCrop ------------------------------------------------------
+
+TEST(TemporalCropTest, PreservesShape) {
+  Tensor sample = MakeSample();
+  Rng rng(7);
+  Tensor cropped = RandomTemporalCrop(sample, 4, rng);
+  EXPECT_EQ(cropped.shape(), sample.shape());
+}
+
+TEST(TemporalCropTest, FullWindowIsIdentity) {
+  Tensor sample = MakeSample();
+  Rng rng(8);
+  Tensor cropped = RandomTemporalCrop(sample, 6, rng);
+  EXPECT_TRUE(AllClose(cropped, sample));
+}
+
+TEST(TemporalCropTest, OutputFramesComeFromWindow) {
+  // Frames hold their own index; after cropping to [start, start+3) the
+  // output can only contain values from that window.
+  Tensor sample({3, 8, 1});
+  for (int64_t t = 0; t < 8; ++t) {
+    for (int64_t c = 0; c < 3; ++c) sample.at(c, t, 0) = float(t);
+  }
+  Rng rng(9);
+  Tensor cropped = RandomTemporalCrop(sample, 3, rng);
+  float lo = cropped.at(0, 0, 0);
+  for (int64_t t = 0; t < 8; ++t) {
+    float v = cropped.at(0, t, 0);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, lo + 2.0f);
+  }
+}
+
+// --- JointJitter ---------------------------------------------------------------
+
+TEST(JitterTest, NoiseHasRequestedScale) {
+  Tensor sample({3, 50, 25});
+  Rng rng(10);
+  Tensor jittered = JointJitter(sample, 0.1f, rng);
+  double sum_sq = 0.0;
+  for (int64_t i = 0; i < jittered.numel(); ++i) {
+    sum_sq += static_cast<double>(jittered.flat(i)) * jittered.flat(i);
+  }
+  double std_dev = std::sqrt(sum_sq / jittered.numel());
+  EXPECT_NEAR(std_dev, 0.1, 0.01);
+}
+
+// --- RandomJointDropout -----------------------------------------------------------
+
+TEST(JointDropoutTest, ZeroesWholeJointColumns) {
+  Tensor sample = Tensor::Ones({3, 40, 20});
+  Rng rng(11);
+  Tensor dropped = RandomJointDropout(sample, 0.25f, rng);
+  int64_t zero_columns = 0, total = 0;
+  for (int64_t t = 0; t < 40; ++t) {
+    for (int64_t j = 0; j < 20; ++j) {
+      ++total;
+      bool all_zero = dropped.at(0, t, j) == 0.0f &&
+                      dropped.at(1, t, j) == 0.0f &&
+                      dropped.at(2, t, j) == 0.0f;
+      bool all_one = dropped.at(0, t, j) == 1.0f &&
+                     dropped.at(1, t, j) == 1.0f &&
+                     dropped.at(2, t, j) == 1.0f;
+      EXPECT_TRUE(all_zero || all_one);  // columns drop atomically
+      if (all_zero) ++zero_columns;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zero_columns) / total, 0.25, 0.05);
+}
+
+// --- Pipeline ---------------------------------------------------------------------
+
+TEST(PipelineTest, AppliesStepsInOrder) {
+  AugmentationPipeline pipeline;
+  pipeline
+      .Add([](const Tensor& x, Rng&) { return AddScalar(x, 1.0f); })
+      .Add([](const Tensor& x, Rng&) { return MulScalar(x, 2.0f); });
+  Rng rng(12);
+  Tensor out = pipeline.Apply(Tensor::Zeros({3, 1, 1}), rng);
+  EXPECT_FLOAT_EQ(out.flat(0), 2.0f);  // (0 + 1) * 2
+  EXPECT_EQ(pipeline.size(), 2u);
+}
+
+TEST(PipelineTest, EmptyPipelineIsIdentity) {
+  AugmentationPipeline pipeline;
+  Rng rng(13);
+  Tensor sample = MakeSample();
+  EXPECT_TRUE(AllClose(pipeline.Apply(sample, rng), sample));
+}
+
+TEST(PipelineTest, StandardPipelinePreservesShapeAndFiniteness) {
+  AugmentationPipeline pipeline = AugmentationPipeline::Standard(6);
+  Rng rng(14);
+  Tensor sample = MakeSample();
+  for (int trial = 0; trial < 5; ++trial) {
+    Tensor out = pipeline.Apply(sample, rng);
+    EXPECT_EQ(out.shape(), sample.shape());
+    EXPECT_FALSE(HasNonFinite(out));
+  }
+}
+
+// --- CSV dataset round-trip (exercised here since both are data I/O) ---------
+
+TEST(CsvIoTest, RoundTripPreservesDataset) {
+  SyntheticDataConfig config = NtuLikeConfig(3, 4, 6, 33);
+  SkeletonDataset original = SkeletonDataset::Generate(config).MoveValue();
+  std::string path = ::testing::TempDir() + "/roundtrip.csv";
+  ASSERT_TRUE(SaveDatasetCsv(path, original).ok());
+  Result<SkeletonDataset> loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->num_classes(), original.num_classes());
+  EXPECT_EQ(loaded->layout_type(), original.layout_type());
+  for (int64_t i = 0; i < original.size(); ++i) {
+    const SkeletonSample& a = original.sample(i);
+    const SkeletonSample& b = loaded->sample(i);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.subject, b.subject);
+    EXPECT_EQ(a.camera, b.camera);
+    EXPECT_EQ(a.setup, b.setup);
+    EXPECT_TRUE(AllClose(a.data, b.data, 1e-4f, 1e-5f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, RejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/garbage.csv";
+  {
+    std::ofstream os(path);
+    os << "not a dataset\n1,2,3\n";
+  }
+  EXPECT_FALSE(LoadDatasetCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, RejectsWrongColumnCount) {
+  std::string path = ::testing::TempDir() + "/short.csv";
+  {
+    std::ofstream os(path);
+    os << "# dhgcn-dataset v1 layout=ntu25 classes=2 frames=4\n";
+    os << "0,0,0,0,1.0,2.0\n";  // far too few data columns
+  }
+  Result<SkeletonDataset> loaded = LoadDatasetCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dhgcn

@@ -1,0 +1,111 @@
+// Edge-case and regression tests that cut across modules.
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "nn/conv2d.h"
+#include "nn/loss.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+namespace {
+
+TEST(StatusStreamTest, StreamOperatorPrintsToString) {
+  std::ostringstream oss;
+  oss << Status::NotFound("thing");
+  EXPECT_EQ(oss.str(), "NotFound: thing");
+}
+
+TEST(TensorEdgeTest, SingleElementReductions) {
+  Tensor t = Tensor::Scalar(5.0f).Reshape({1, 1});
+  EXPECT_FLOAT_EQ(ReduceSum(t, 0).flat(0), 5.0f);
+  EXPECT_FLOAT_EQ(ReduceMean(t, 1).flat(0), 5.0f);
+  EXPECT_FLOAT_EQ(ArgMax(t, 1).flat(0), 0.0f);
+}
+
+TEST(TensorEdgeTest, SoftmaxOfSingleClassIsOne) {
+  Tensor t = Tensor::FromVector({2, 1}, {3.0f, -5.0f});
+  Tensor p = Softmax(t, 1);
+  EXPECT_FLOAT_EQ(p.flat(0), 1.0f);
+  EXPECT_FLOAT_EQ(p.flat(1), 1.0f);
+}
+
+TEST(TensorEdgeTest, ConcatSingleTensorIsCopy) {
+  Tensor a = Tensor::Arange(6).Reshape({2, 3});
+  Tensor c = Concat({a}, 1);
+  EXPECT_TRUE(AllClose(c, a));
+  EXPECT_FALSE(c.SharesStorageWith(a));
+}
+
+TEST(TensorEdgeTest, SliceZeroLength) {
+  Tensor a = Tensor::Arange(6).Reshape({2, 3});
+  Tensor s = Slice(a, 1, 1, 0);
+  EXPECT_EQ(s.shape(), (Shape{2, 0}));
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(ConvEdgeTest, BatchSizeOneAndSingleFrame) {
+  Rng rng(1);
+  Conv2dOptions options;  // 1x1
+  Conv2d conv(3, 2, options, rng);
+  Tensor x = Tensor::RandomNormal({1, 3, 1, 5}, rng);
+  Tensor y = conv.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 1, 5}));
+  Tensor g = conv.Backward(Tensor::Ones(y.shape()));
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(LossEdgeTest, SingleSampleBatch) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 2});
+  logits.at(0, 0) = 1.0f;
+  float value = loss.Forward(logits, {0});
+  EXPECT_GT(value, 0.0f);
+  Tensor grad = loss.Backward();
+  EXPECT_EQ(grad.shape(), (Shape{1, 2}));
+}
+
+TEST(DataLoaderEdgeTest, SingleSampleDataset) {
+  SyntheticDataConfig config = NtuLikeConfig(1, 1, 8, 5);
+  SkeletonDataset dataset = SkeletonDataset::Generate(config).MoveValue();
+  DataLoader loader(&dataset, {0}, 4, InputStream::kJoint, true, Rng(1));
+  EXPECT_EQ(loader.NumBatches(), 1);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    loader.StartEpoch();
+    Batch batch = loader.GetBatch(0);
+    EXPECT_EQ(batch.x.dim(0), 1);
+  }
+}
+
+TEST(DataLoaderEdgeTest, BatchLargerThanDataset) {
+  SyntheticDataConfig config = NtuLikeConfig(2, 2, 8, 6);
+  SkeletonDataset dataset = SkeletonDataset::Generate(config).MoveValue();
+  std::vector<int64_t> all = {0, 1, 2, 3};
+  DataLoader loader(&dataset, all, 100, InputStream::kBone, false);
+  EXPECT_EQ(loader.NumBatches(), 1);
+  EXPECT_EQ(loader.GetBatch(0).x.dim(0), 4);
+}
+
+TEST(DatasetEdgeTest, SingleCameraCrossViewHasEmptyTrain) {
+  // Degenerate protocol request: all samples from the test camera. The
+  // split is returned as-is; the experiment helpers CHECK non-emptiness
+  // before training.
+  SyntheticDataConfig config = KineticsLikeConfig(2, 3, 8, 7);
+  SkeletonDataset dataset = SkeletonDataset::Generate(config).MoveValue();
+  DatasetSplit split = dataset.CrossViewSplit(0);
+  EXPECT_TRUE(split.train.empty());
+  EXPECT_EQ(split.test.size(), 6u);
+}
+
+TEST(RngEdgeTest, UniformIntSingleValue) {
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+}  // namespace
+}  // namespace dhgcn

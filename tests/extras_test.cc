@@ -1,0 +1,425 @@
+// Tests for the extension features layered on the core reproduction:
+// Adam, cosine LR, label smoothing, gradient clipping, model summaries,
+// per-class reports, N-stream fusion, view normalization and the
+// validated training loop.
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+#include "base/rng.h"
+#include "data/transforms.h"
+#include "models/model_zoo.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+#include "train/evaluator.h"
+#include "train/experiment.h"
+#include "train/summary.h"
+#include "train/trainer.h"
+
+namespace dhgcn {
+namespace {
+
+// --- AdamOptimizer -----------------------------------------------------------
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor w = Tensor::FromList({5.0f, -3.0f});
+  Tensor g({2});
+  Tensor target = Tensor::FromList({1.0f, 2.0f});
+  AdamOptimizer::Options options;
+  options.lr = 0.1f;
+  AdamOptimizer adam({{"w", &w, &g}}, options);
+  for (int step = 0; step < 300; ++step) {
+    for (int64_t i = 0; i < 2; ++i) g.flat(i) = w.flat(i) - target.flat(i);
+    adam.Step();
+  }
+  EXPECT_NEAR(w.flat(0), 1.0f, 1e-2f);
+  EXPECT_NEAR(w.flat(1), 2.0f, 1e-2f);
+  EXPECT_EQ(adam.step_count(), 300);
+}
+
+TEST(AdamTest, FirstStepIsLrSized) {
+  // With bias correction, the first Adam step magnitude is ~lr
+  // regardless of the gradient scale.
+  for (float scale : {0.01f, 1.0f, 100.0f}) {
+    Tensor w = Tensor::FromList({0.0f});
+    Tensor g = Tensor::FromList({scale});
+    AdamOptimizer::Options options;
+    options.lr = 0.5f;
+    AdamOptimizer adam({{"w", &w, &g}}, options);
+    adam.Step();
+    EXPECT_NEAR(std::fabs(w.flat(0)), 0.5f, 0.05f) << "scale " << scale;
+  }
+}
+
+TEST(AdamTest, ZeroGradClears) {
+  Tensor w({2});
+  Tensor g = Tensor::Ones({2});
+  AdamOptimizer adam({{"w", &w, &g}}, {});
+  adam.ZeroGrad();
+  EXPECT_FLOAT_EQ(Norm2(g), 0.0f);
+}
+
+// --- CosineLrSchedule ----------------------------------------------------------
+
+TEST(CosineScheduleTest, EndpointsAndMonotonicity) {
+  CosineLrSchedule schedule(0.1f, 10, 0.001f);
+  EXPECT_FLOAT_EQ(schedule.LrForEpoch(0), 0.1f);
+  EXPECT_NEAR(schedule.LrForEpoch(10), 0.001f, 1e-6f);
+  EXPECT_NEAR(schedule.LrForEpoch(100), 0.001f, 1e-6f);
+  for (int64_t e = 1; e <= 10; ++e) {
+    EXPECT_LE(schedule.LrForEpoch(e), schedule.LrForEpoch(e - 1) + 1e-7f);
+  }
+}
+
+TEST(CosineScheduleTest, HalfwayIsMidpoint) {
+  CosineLrSchedule schedule(0.2f, 10, 0.0f);
+  EXPECT_NEAR(schedule.LrForEpoch(5), 0.1f, 1e-5f);
+}
+
+// --- Label smoothing -------------------------------------------------------------
+
+TEST(LabelSmoothingTest, ZeroEpsilonMatchesPlainCrossEntropy) {
+  Rng rng(20);
+  Tensor logits = Tensor::RandomNormal({3, 5}, rng);
+  SoftmaxCrossEntropy plain(0.0f);
+  SoftmaxCrossEntropy smooth(0.0f);
+  std::vector<int64_t> labels = {1, 0, 4};
+  EXPECT_FLOAT_EQ(plain.Forward(logits, labels),
+                  smooth.Forward(logits, labels));
+}
+
+TEST(LabelSmoothingTest, SmoothedLossIsHigherOnConfidentCorrect) {
+  Tensor logits({1, 4});
+  logits.at(0, 2) = 30.0f;
+  SoftmaxCrossEntropy plain(0.0f);
+  SoftmaxCrossEntropy smooth(0.2f);
+  float plain_loss = plain.Forward(logits, {2});
+  float smooth_loss = smooth.Forward(logits, {2});
+  EXPECT_LT(plain_loss, 1e-4f);
+  EXPECT_GT(smooth_loss, 1.0f);  // penalizes over-confidence
+}
+
+TEST(LabelSmoothingTest, GradientMatchesFiniteDifference) {
+  Rng rng(21);
+  Tensor logits = Tensor::RandomNormal({2, 4}, rng);
+  std::vector<int64_t> labels = {3, 1};
+  SoftmaxCrossEntropy loss(0.1f);
+  loss.Forward(logits, labels);
+  Tensor analytic = loss.Backward();
+  const float eps = 1e-3f;
+  for (int64_t idx = 0; idx < logits.numel(); ++idx) {
+    float original = logits.flat(idx);
+    logits.flat(idx) = original + eps;
+    float up = loss.Forward(logits, labels);
+    logits.flat(idx) = original - eps;
+    float down = loss.Forward(logits, labels);
+    logits.flat(idx) = original;
+    EXPECT_NEAR(analytic.flat(idx), (up - down) / (2.0f * eps), 5e-3f);
+  }
+}
+
+TEST(LabelSmoothingTest, GradientRowsStillSumToZero) {
+  Rng rng(22);
+  Tensor logits = Tensor::RandomNormal({3, 6}, rng);
+  SoftmaxCrossEntropy loss(0.3f);
+  loss.Forward(logits, {0, 2, 5});
+  Tensor grad = loss.Backward();
+  for (int64_t i = 0; i < 3; ++i) {
+    double sum = 0.0;
+    for (int64_t k = 0; k < 6; ++k) sum += grad.at(i, k);
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+// --- Summary / gradient utilities ---------------------------------------------------
+
+TEST(SummaryTest, ListsAllParamsAndTotal) {
+  Rng rng(23);
+  Linear model(4, 3, rng);
+  std::string summary = ParameterSummary(model);
+  EXPECT_NE(summary.find("weight"), std::string::npos);
+  EXPECT_NE(summary.find("bias"), std::string::npos);
+  EXPECT_NE(summary.find("15"), std::string::npos);  // 12 + 3 total
+  EXPECT_EQ(TotalParameters(model), 15);
+}
+
+TEST(GradientUtilsTest, NormsAndClipping) {
+  Rng rng(24);
+  Linear model(2, 2, rng);
+  EXPECT_GT(ParameterNorm(model), 0.0f);
+  EXPECT_FLOAT_EQ(GradientNorm(model), 0.0f);
+
+  // Fill gradients with known values: norm = sqrt(6 * 4) = ~4.9.
+  for (ParamRef& p : model.Params()) p.grad->Fill(2.0f);
+  float norm = GradientNorm(model);
+  EXPECT_NEAR(norm, std::sqrt(6.0f * 4.0f), 1e-4f);
+
+  float pre_clip = ClipGradientNorm(model, 1.0f);
+  EXPECT_NEAR(pre_clip, norm, 1e-4f);
+  EXPECT_NEAR(GradientNorm(model), 1.0f, 1e-4f);
+
+  // A second clip with a large bound is a no-op.
+  ClipGradientNorm(model, 10.0f);
+  EXPECT_NEAR(GradientNorm(model), 1.0f, 1e-4f);
+}
+
+// --- View normalization --------------------------------------------------------------
+
+TEST(ViewNormalizeTest, RemovesCameraRotation) {
+  // The same motion seen from two cameras must agree after
+  // view-normalization (up to noise).
+  SyntheticDataConfig config = NtuLikeConfig(2, 2, 8, 55);
+  config.sensor_noise = 0.0f;
+  SyntheticSkeletonGenerator generator(config);
+  SkeletonSample cam0 = generator.GenerateSample(0, 0, 0, 0, 77);
+  SkeletonSample cam2 = generator.GenerateSample(0, 0, 2, 0, 77);
+  const SkeletonLayout& layout = generator.layout();
+  EXPECT_FALSE(AllClose(cam0.data, cam2.data, 1e-2f, 1e-2f));
+  Tensor norm0 = ViewNormalize(cam0.data, layout);
+  Tensor norm2 = ViewNormalize(cam2.data, layout);
+  // Small per-sample camera jitter (elevation/azimuth noise) remains, so
+  // compare with a loose tolerance.
+  EXPECT_LT(Norm2(Sub(norm0, norm2)), 0.15f * Norm2(norm0));
+}
+
+TEST(ViewNormalizeTest, PreservesPairwiseGeometry) {
+  SyntheticDataConfig config = NtuLikeConfig(2, 2, 4, 56);
+  SyntheticSkeletonGenerator generator(config);
+  SkeletonSample sample = generator.GenerateSample(1, 0, 1, 0, 5);
+  const SkeletonLayout& layout = generator.layout();
+  Tensor normalized = ViewNormalize(sample.data, layout);
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t a = 0; a < 25; a += 5) {
+      for (int64_t b = a + 1; b < 25; b += 7) {
+        double before = 0.0, after = 0.0;
+        for (int64_t c = 0; c < 3; ++c) {
+          double d1 = sample.data.at(c, t, a) - sample.data.at(c, t, b);
+          double d2 = normalized.at(c, t, a) - normalized.at(c, t, b);
+          before += d1 * d1;
+          after += d2 * d2;
+        }
+        EXPECT_NEAR(std::sqrt(after), std::sqrt(before), 1e-3);
+      }
+    }
+  }
+}
+
+TEST(ViewNormalizeTest, DegenerateSkeletonUnchanged) {
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kNtu25);
+  Tensor zeros({3, 2, 25});
+  Tensor out = ViewNormalize(zeros, layout);
+  EXPECT_TRUE(AllClose(out, zeros));
+}
+
+// --- Trainer extensions ------------------------------------------------------------
+
+SkeletonDataset SmallDataset() {
+  SyntheticDataConfig config = NtuLikeConfig(3, 8, 10, 60);
+  return SkeletonDataset::Generate(config).MoveValue();
+}
+
+ModelZooOptions TinyZoo() {
+  ModelZooOptions zoo;
+  zoo.scale.channels = {6, 12};
+  zoo.scale.strides = {1, 2};
+  zoo.scale.dropout = 0.0f;
+  return zoo;
+}
+
+TEST(TrainerExtensionsTest, AdamTrainerRuns) {
+  SkeletonDataset dataset = SmallDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+  LayerPtr model =
+      CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kNtu25, 3,
+                  TinyZoo());
+  TrainOptions options;
+  options.epochs = 3;
+  options.initial_lr = 1e-3f;
+  options.optimizer = OptimizerKind::kAdam;
+  DataLoader loader(&dataset, split.train, 8, InputStream::kJoint, true,
+                    Rng(2));
+  Trainer trainer(model.get(), options);
+  std::vector<EpochStats> history = trainer.Train(loader);
+  EXPECT_EQ(history.size(), 3u);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss + 0.5);
+}
+
+TEST(TrainerExtensionsTest, GradClipAndSmoothingRun) {
+  SkeletonDataset dataset = SmallDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+  LayerPtr model =
+      CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kNtu25, 3,
+                  TinyZoo());
+  TrainOptions options;
+  options.epochs = 2;
+  options.initial_lr = 0.05f;
+  options.clip_grad_norm = 1.0f;
+  options.label_smoothing = 0.1f;
+  DataLoader loader(&dataset, split.train, 8, InputStream::kJoint, true,
+                    Rng(3));
+  Trainer trainer(model.get(), options);
+  std::vector<EpochStats> history = trainer.Train(loader);
+  EXPECT_EQ(history.size(), 2u);
+  EXPECT_TRUE(std::isfinite(history.back().mean_loss));
+}
+
+TEST(TrainerExtensionsTest, ValidationTracksBestAndRestores) {
+  SkeletonDataset dataset = SmallDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+  LayerPtr model =
+      CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kNtu25, 3,
+                  TinyZoo());
+  TrainOptions options;
+  options.epochs = 5;
+  options.initial_lr = 0.05f;
+  DataLoader train_loader(&dataset, split.train, 8, InputStream::kJoint,
+                          true, Rng(4));
+  DataLoader val_loader(&dataset, split.test, 8, InputStream::kJoint,
+                        false);
+  Trainer trainer(model.get(), options);
+  ValidatedTraining result =
+      trainer.TrainWithValidation(train_loader, val_loader);
+  EXPECT_GE(result.best_epoch, 0);
+  EXPECT_LE(result.best_epoch, 4);
+  EXPECT_GE(result.best_val_top1, 0.0);
+  // The restored model must reproduce the recorded best metric.
+  EvalMetrics check = Evaluate(*model, val_loader);
+  EXPECT_NEAR(check.top1, result.best_val_top1, 1e-9);
+}
+
+TEST(TrainerExtensionsTest, EarlyStoppingStopsBeforeBudget) {
+  SkeletonDataset dataset = SmallDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+  LayerPtr model =
+      CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kNtu25, 3,
+                  TinyZoo());
+  TrainOptions options;
+  options.epochs = 50;
+  options.initial_lr = 1e-6f;  // effectively frozen: no improvement
+  DataLoader train_loader(&dataset, split.train, 8, InputStream::kJoint,
+                          true, Rng(5));
+  DataLoader val_loader(&dataset, split.test, 8, InputStream::kJoint,
+                        false);
+  Trainer trainer(model.get(), options);
+  ValidatedTraining result =
+      trainer.TrainWithValidation(train_loader, val_loader, /*patience=*/2);
+  EXPECT_TRUE(result.early_stopped);
+  EXPECT_LT(result.history.size(), 50u);
+}
+
+// --- Per-class report / fused-N -------------------------------------------------------
+
+TEST(PerClassReportTest, PerfectPredictorHasUnitScores) {
+  // A fake "model" is overkill; test the report via a trained-enough
+  // model on trivially separable data is flaky. Instead check report
+  // arithmetic through the public API with an untrained model: support
+  // must sum to the split size and metrics stay in [0, 1].
+  SkeletonDataset dataset = SmallDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+  LayerPtr model =
+      CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kNtu25, 3,
+                  TinyZoo());
+  DataLoader loader(&dataset, split.test, 8, InputStream::kJoint, false);
+  ClassificationReport report = EvaluatePerClass(*model, loader, 3);
+  EXPECT_EQ(report.total, static_cast<int64_t>(split.test.size()));
+  int64_t support_sum = 0;
+  for (const ClassReport& c : report.classes) {
+    support_sum += c.support;
+    EXPECT_GE(c.precision, 0.0);
+    EXPECT_LE(c.precision, 1.0);
+    EXPECT_GE(c.recall, 0.0);
+    EXPECT_LE(c.recall, 1.0);
+    EXPECT_GE(c.f1, 0.0);
+    EXPECT_LE(c.f1, 1.0);
+  }
+  EXPECT_EQ(support_sum, report.total);
+  EXPECT_GE(report.macro_f1, 0.0);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("Precision"), std::string::npos);
+}
+
+TEST(FusedNTest, SingleStreamFusionMatchesEvaluate) {
+  SkeletonDataset dataset = SmallDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+  LayerPtr model =
+      CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kNtu25, 3,
+                  TinyZoo());
+  DataLoader loader_a(&dataset, split.test, 8, InputStream::kJoint, false);
+  DataLoader loader_b(&dataset, split.test, 8, InputStream::kJoint, false);
+  EvalMetrics direct = Evaluate(*model, loader_a);
+  EvalMetrics fused = EvaluateFusedN({model.get()}, {&loader_b});
+  EXPECT_DOUBLE_EQ(fused.top1, direct.top1);
+  EXPECT_DOUBLE_EQ(fused.top5, direct.top5);
+}
+
+TEST(FourStreamTest, RunsAndReportsAllStreams) {
+  SkeletonDataset dataset = SmallDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+  TrainOptions options;
+  options.epochs = 2;
+  options.initial_lr = 0.05f;
+  ModelZooOptions zoo = TinyZoo();
+  FourStreamEval result = RunFourStreamExperiment(
+      [&] {
+        return CreateModel(ModelKind::kStgcn, dataset.layout_type(),
+                           dataset.num_classes(), zoo);
+      },
+      dataset, split, options, 8, 71);
+  int64_t n = static_cast<int64_t>(split.test.size());
+  EXPECT_EQ(result.joint.count, n);
+  EXPECT_EQ(result.bone.count, n);
+  EXPECT_EQ(result.joint_motion.count, n);
+  EXPECT_EQ(result.bone_motion.count, n);
+  EXPECT_EQ(result.fused_two.count, n);
+  EXPECT_EQ(result.fused_four.count, n);
+}
+
+// --- Motion streams in the DataLoader --------------------------------------------------
+
+TEST(MotionStreamTest, JointMotionIsTemporalDifference) {
+  SkeletonDataset dataset = SmallDataset();
+  DataLoader joint_loader(&dataset, {0}, 1, InputStream::kJoint, false);
+  DataLoader motion_loader(&dataset, {0}, 1, InputStream::kJointMotion,
+                           false);
+  Tensor joint_x = joint_loader.GetBatch(0).x;   // (1, 3, T, V)
+  Tensor motion_x = motion_loader.GetBatch(0).x;
+  int64_t t = joint_x.dim(2), v = joint_x.dim(3);
+  for (int64_t frame = 0; frame + 1 < t; ++frame) {
+    for (int64_t j = 0; j < v; j += 5) {
+      EXPECT_NEAR(motion_x.at(0, 0, frame, j),
+                  joint_x.at(0, 0, frame + 1, j) -
+                      joint_x.at(0, 0, frame, j),
+                  1e-5f);
+    }
+  }
+  // Last frame is zero motion.
+  for (int64_t j = 0; j < v; ++j) {
+    EXPECT_FLOAT_EQ(motion_x.at(0, 0, t - 1, j), 0.0f);
+  }
+}
+
+TEST(MotionStreamTest, StreamNames) {
+  EXPECT_EQ(InputStreamName(InputStream::kJoint), "joint");
+  EXPECT_EQ(InputStreamName(InputStream::kBone), "bone");
+  EXPECT_EQ(InputStreamName(InputStream::kJointMotion), "joint-motion");
+  EXPECT_EQ(InputStreamName(InputStream::kBoneMotion), "bone-motion");
+}
+
+TEST(AugmentedLoaderTest, AugmentationOnlyChangesTrainingData) {
+  SkeletonDataset dataset = SmallDataset();
+  DataLoader plain(&dataset, {0, 1}, 2, InputStream::kJoint, false);
+  DataLoader augmented(&dataset, {0, 1}, 2, InputStream::kJoint, false,
+                       Rng(9));
+  augmented.SetAugmentation(AugmentationPipeline::Standard(10));
+  Tensor a = plain.GetBatch(0).x;
+  Tensor b = augmented.GetBatch(0).x;
+  EXPECT_EQ(a.shape(), b.shape());
+  EXPECT_FALSE(AllClose(a, b, 1e-4f, 1e-4f));
+}
+
+}  // namespace
+}  // namespace dhgcn

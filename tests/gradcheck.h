@@ -1,0 +1,101 @@
+#ifndef DHGCN_TESTS_GRADCHECK_H_
+#define DHGCN_TESTS_GRADCHECK_H_
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "base/rng.h"
+#include "nn/layer.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn::testing {
+
+/// Finite-difference gradient checking for explicit-backward layers.
+///
+/// Builds the scalar loss L = <w, layer.Forward(x)> for a fixed random
+/// weighting w, obtains analytic gradients from layer.Backward(w), and
+/// compares them against central differences for a random sample of
+/// input coordinates and of every parameter's coordinates.
+struct GradCheckOptions {
+  float epsilon = 2e-3f;
+  float rtol = 6e-2f;
+  float atol = 3e-4f;
+  int64_t samples_per_tensor = 24;
+  uint64_t seed = 1234;
+};
+
+inline void ExpectGradientsMatch(Layer& layer, const Tensor& input,
+                                 const GradCheckOptions& options = {}) {
+  Rng rng(options.seed);
+  Tensor x = input.Clone();
+
+  // Deterministic forward is required; caller must configure the layer
+  // accordingly (e.g. Dropout in eval mode).
+  Tensor out0 = layer.Forward(x);
+  Tensor w = Tensor::RandomNormal(out0.shape(), rng);
+
+  layer.ZeroGrad();
+  Tensor out = layer.Forward(x);
+  Tensor analytic_dx = layer.Backward(w);
+  ASSERT_TRUE(ShapesEqual(analytic_dx.shape(), x.shape()));
+
+  // Snapshot analytic gradients of the trainable parameters before any
+  // perturbation (non-trainable buffers carry no gradient).
+  std::vector<ParamRef> params;
+  for (ParamRef& p : layer.Params()) {
+    if (p.trainable) params.push_back(p);
+  }
+  std::vector<Tensor> param_grads;
+  for (ParamRef& p : params) param_grads.push_back(p.grad->Clone());
+
+  auto loss_at = [&layer, &w](const Tensor& point) {
+    Tensor y = layer.Forward(point);
+    return static_cast<double>(Dot(y, w));
+  };
+
+  auto check_coordinate = [&](float* value, float analytic,
+                              const std::string& what) {
+    float original = *value;
+    float eps = options.epsilon * std::max(1.0f, std::fabs(original));
+    *value = original + eps;
+    double up = loss_at(x);
+    *value = original - eps;
+    double down = loss_at(x);
+    *value = original;
+    double numeric = (up - down) / (2.0 * eps);
+    double tolerance =
+        options.atol + options.rtol * std::max(std::fabs(numeric),
+                                               std::fabs(analytic) * 1.0);
+    EXPECT_NEAR(analytic, numeric, tolerance)
+        << what << " (analytic=" << analytic << ", numeric=" << numeric
+        << ")";
+  };
+
+  // Sampled input coordinates.
+  int64_t n_input = std::min<int64_t>(options.samples_per_tensor, x.numel());
+  for (int64_t s = 0; s < n_input; ++s) {
+    int64_t idx = rng.UniformInt(0, x.numel() - 1);
+    check_coordinate(&x.flat(idx), analytic_dx.flat(idx),
+                     "input[" + std::to_string(idx) + "]");
+  }
+
+  // Sampled parameter coordinates.
+  for (size_t p = 0; p < params.size(); ++p) {
+    Tensor* value = params[p].value;
+    int64_t n_param =
+        std::min<int64_t>(options.samples_per_tensor, value->numel());
+    for (int64_t s = 0; s < n_param; ++s) {
+      int64_t idx = rng.UniformInt(0, value->numel() - 1);
+      check_coordinate(&value->flat(idx), param_grads[p].flat(idx),
+                       params[p].name + "[" + std::to_string(idx) + "]");
+    }
+  }
+}
+
+}  // namespace dhgcn::testing
+
+#endif  // DHGCN_TESTS_GRADCHECK_H_

@@ -1,0 +1,219 @@
+// Finite-difference gradient checks for every differentiable layer in the
+// library — the backbone property suite validating all hand-written
+// Backward implementations.
+
+#include "tests/gradcheck.h"
+
+#include "gtest/gtest.h"
+
+#include "base/rng.h"
+#include "core/static_hypergraph.h"
+#include "data/skeleton.h"
+#include "hypergraph/hypergraph_conv.h"
+#include "models/agcn.h"
+#include "models/pbgcn.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/relu.h"
+#include "nn/sequential.h"
+
+namespace dhgcn {
+namespace {
+
+using ::dhgcn::testing::ExpectGradientsMatch;
+using ::dhgcn::testing::GradCheckOptions;
+
+TEST(GradCheck, Linear) {
+  Rng rng(100);
+  Linear layer(5, 3, rng);
+  Tensor x = Tensor::RandomNormal({4, 5}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheck, LinearNoBias3d) {
+  Rng rng(101);
+  Linear layer(4, 6, rng, /*has_bias=*/false);
+  Tensor x = Tensor::RandomNormal({2, 3, 4}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheck, Conv1x1) {
+  Rng rng(102);
+  Conv2d layer(3, 4, Conv2dOptions{}, rng);
+  Tensor x = Tensor::RandomNormal({2, 3, 4, 5}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheck, ConvTemporalPadded) {
+  Rng rng(103);
+  Conv2dOptions options;
+  options.kernel_h = 3;
+  options.pad_h = 1;
+  Conv2d layer(2, 3, options, rng);
+  Tensor x = Tensor::RandomNormal({2, 2, 6, 4}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheck, ConvStridedDilated) {
+  Rng rng(104);
+  Conv2dOptions options;
+  options.kernel_h = 3;
+  options.pad_h = 2;
+  options.stride_h = 2;
+  options.dilation_h = 2;
+  Conv2d layer(2, 2, options, rng);
+  Tensor x = Tensor::RandomNormal({2, 2, 9, 3}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheck, ConvSpatialKernel) {
+  Rng rng(105);
+  Conv2dOptions options;
+  options.kernel_h = 3;
+  options.kernel_w = 3;
+  options.pad_h = 1;
+  options.pad_w = 1;
+  Conv2d layer(2, 2, options, rng);
+  Tensor x = Tensor::RandomNormal({1, 2, 5, 5}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheck, BatchNormTraining) {
+  Rng rng(106);
+  BatchNorm2d layer(3);
+  layer.SetTraining(true);
+  // Non-unit gamma/beta so their gradients are exercised non-trivially.
+  layer.gamma() = Tensor::RandomUniform({3}, rng, 0.5f, 1.5f);
+  layer.beta() = Tensor::RandomNormal({3}, rng);
+  Tensor x = Tensor::RandomNormal({4, 3, 3, 2}, rng);
+  // BatchNorm gradients involve batch-statistic terms that amplify
+  // float32 noise; use slightly looser tolerances.
+  GradCheckOptions options;
+  options.rtol = 8e-2f;
+  options.atol = 1e-3f;
+  ExpectGradientsMatch(layer, x, options);
+}
+
+TEST(GradCheck, BatchNorm2dInput) {
+  Rng rng(107);
+  BatchNorm2d layer(4);
+  Tensor x = Tensor::RandomNormal({8, 4}, rng);
+  GradCheckOptions options;
+  options.rtol = 8e-2f;
+  options.atol = 1e-3f;
+  ExpectGradientsMatch(layer, x, options);
+}
+
+TEST(GradCheck, Relu) {
+  Rng rng(108);
+  ReLU layer;
+  // Keep inputs away from the kink at 0 where the derivative jumps.
+  Tensor x = Tensor::RandomNormal({3, 4}, rng);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x.flat(i)) < 0.1f) x.flat(i) = 0.5f;
+  }
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  Rng rng(109);
+  GlobalAvgPool2d layer;
+  Tensor x = Tensor::RandomNormal({2, 3, 4, 5}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheck, TemporalAvgPool) {
+  Rng rng(110);
+  TemporalAvgPool layer(2, 2);
+  Tensor x = Tensor::RandomNormal({2, 2, 8, 3}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheck, VertexMixFixed) {
+  Rng rng(111);
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kKinetics18);
+  Tensor op = NormalizedHypergraphOperator(StaticSkeletonHypergraph(layout));
+  VertexMix layer(op, /*learnable=*/false);
+  Tensor x = Tensor::RandomNormal({2, 3, 4, 18}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheck, VertexMixLearnable) {
+  Rng rng(112);
+  VertexMix layer(Tensor::RandomNormal({6, 6}, rng, 0.0f, 0.3f),
+                  /*learnable=*/true);
+  Tensor x = Tensor::RandomNormal({2, 2, 3, 6}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+// DynamicVertexMix needs its operators configured before Forward; wrap it
+// so the gradcheck's repeated Forward calls reuse the same operators.
+class DynamicVertexMixHarness : public Layer {
+ public:
+  DynamicVertexMixHarness(Tensor ops) { mix_.SetOperators(std::move(ops)); }
+  Tensor Forward(const Tensor& x) override { return mix_.Forward(x); }
+  Tensor Backward(const Tensor& g) override { return mix_.Backward(g); }
+  std::string name() const override { return "DynamicVertexMixHarness"; }
+
+ private:
+  DynamicVertexMix mix_;
+};
+
+TEST(GradCheck, DynamicVertexMix) {
+  Rng rng(113);
+  Tensor ops = Tensor::RandomNormal({2, 4, 5, 5}, rng, 0.0f, 0.4f);
+  DynamicVertexMixHarness layer(ops);
+  Tensor x = Tensor::RandomNormal({2, 3, 4, 5}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheck, SequentialComposition) {
+  Rng rng(114);
+  Sequential seq;
+  seq.Emplace<Linear>(4, 8, rng);
+  seq.Emplace<ReLU>();
+  seq.Emplace<Linear>(8, 3, rng);
+  Tensor x = Tensor::RandomNormal({3, 4}, rng);
+  // Shift away from ReLU kinks.
+  ExpectGradientsMatch(seq, x);
+}
+
+TEST(GradCheck, AdaptiveSpatialFullAttention) {
+  Rng rng(115);
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kKinetics18);
+  Tensor adjacency = SkeletonGraph(layout).NormalizedAdjacency();
+  AdaptiveSpatial layer(3, 4, adjacency, rng, /*embed_channels=*/3);
+  Tensor x = Tensor::RandomNormal({2, 3, 3, 18}, rng);
+  GradCheckOptions options;
+  options.rtol = 8e-2f;
+  options.atol = 1e-3f;
+  ExpectGradientsMatch(layer, x, options);
+}
+
+TEST(GradCheck, LearnableHyperedgeMix) {
+  Rng rng(117);
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kKinetics18);
+  LearnableHyperedgeMix layer(StaticSkeletonHypergraph(layout));
+  // Non-unit weights so the weight gradients are exercised non-trivially.
+  Tensor& w = *layer.Params()[0].value;
+  for (int64_t e = 0; e < w.numel(); ++e) w.flat(e) = rng.Uniform(0.5f, 1.5f);
+  Tensor x = Tensor::RandomNormal({2, 3, 3, 18}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheck, PartSumSpatial) {
+  Rng rng(116);
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kKinetics18);
+  PartSumSpatial layer(3, 4, layout, /*num_parts=*/4, rng);
+  Tensor x = Tensor::RandomNormal({2, 3, 3, 18}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+}  // namespace
+}  // namespace dhgcn

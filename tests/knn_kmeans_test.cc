@@ -1,0 +1,247 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+
+#include "base/rng.h"
+#include "hypergraph/kmeans.h"
+#include "hypergraph/knn.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+namespace {
+
+// Three well-separated 2-D clusters of 4 points each.
+Tensor ClusteredPoints() {
+  Tensor points({12, 2});
+  const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Rng rng(50);
+  for (int64_t i = 0; i < 12; ++i) {
+    int64_t c = i / 4;
+    points.at(i, 0) = centers[c][0] + rng.Uniform(-0.5f, 0.5f);
+    points.at(i, 1) = centers[c][1] + rng.Uniform(-0.5f, 0.5f);
+  }
+  return points;
+}
+
+// --- PairwiseDistances -------------------------------------------------------
+
+TEST(PairwiseDistancesTest, MatchesManual) {
+  Tensor points = Tensor::FromVector({3, 2}, {0, 0, 3, 4, 0, 1});
+  Tensor dist = PairwiseDistances(points);
+  EXPECT_FLOAT_EQ(dist.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(dist.at(0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(dist.at(0, 2), 1.0f);
+  EXPECT_NEAR(dist.at(1, 2), std::sqrt(9.0f + 9.0f), 1e-5f);
+}
+
+TEST(PairwiseDistancesTest, SymmetricZeroDiagonal) {
+  Rng rng(51);
+  Tensor points = Tensor::RandomNormal({8, 3}, rng);
+  Tensor dist = PairwiseDistances(points);
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(dist.at(i, i), 0.0f);
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_FLOAT_EQ(dist.at(i, j), dist.at(j, i));
+      EXPECT_GE(dist.at(i, j), 0.0f);
+    }
+  }
+}
+
+TEST(PairwiseDistancesTest, TriangleInequality) {
+  Rng rng(52);
+  Tensor points = Tensor::RandomNormal({6, 4}, rng);
+  Tensor dist = PairwiseDistances(points);
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < 6; ++j) {
+      for (int64_t k = 0; k < 6; ++k) {
+        EXPECT_LE(dist.at(i, j),
+                  dist.at(i, k) + dist.at(k, j) + 1e-4f);
+      }
+    }
+  }
+}
+
+// --- NearestNeighbors ---------------------------------------------------------
+
+TEST(NearestNeighborsTest, ExcludesSelfAndSorts) {
+  Tensor points = Tensor::FromVector({4, 1}, {0, 1, 3, 10});
+  Tensor dist = PairwiseDistances(points);
+  std::vector<int64_t> nn = NearestNeighbors(dist, 0, 3);
+  EXPECT_EQ(nn, (std::vector<int64_t>{1, 2, 3}));
+  std::vector<int64_t> nn2 = NearestNeighbors(dist, 2, 2);
+  EXPECT_EQ(nn2, (std::vector<int64_t>{1, 0}));
+}
+
+TEST(NearestNeighborsTest, TieBreaksByIndex) {
+  Tensor points = Tensor::FromVector({3, 1}, {0, 1, -1});  // equidistant
+  Tensor dist = PairwiseDistances(points);
+  std::vector<int64_t> nn = NearestNeighbors(dist, 0, 1);
+  EXPECT_EQ(nn[0], 1);  // lower index wins the tie
+}
+
+// --- KnnHyperedges -------------------------------------------------------------
+
+TEST(KnnHyperedgesTest, StructureInvariants) {
+  Tensor points = ClusteredPoints();
+  std::vector<Hyperedge> edges = KnnHyperedges(points, 3);
+  ASSERT_EQ(edges.size(), 12u);  // one hyperedge per vertex
+  for (int64_t i = 0; i < 12; ++i) {
+    const Hyperedge& e = edges[static_cast<size_t>(i)];
+    ASSERT_EQ(e.size(), 3u);           // k_n vertices per hyperedge
+    EXPECT_EQ(e[0], i);                // anchored at the vertex
+    std::set<int64_t> distinct(e.begin(), e.end());
+    EXPECT_EQ(distinct.size(), 3u);    // no duplicates
+  }
+}
+
+TEST(KnnHyperedgesTest, NeighborsComeFromSameCluster) {
+  Tensor points = ClusteredPoints();
+  std::vector<Hyperedge> edges = KnnHyperedges(points, 3);
+  for (int64_t i = 0; i < 12; ++i) {
+    int64_t cluster = i / 4;
+    for (int64_t v : edges[static_cast<size_t>(i)]) {
+      EXPECT_EQ(v / 4, cluster) << "vertex " << i;
+    }
+  }
+}
+
+TEST(KnnHyperedgesTest, KOneIsSingletons) {
+  Tensor points = ClusteredPoints();
+  std::vector<Hyperedge> edges = KnnHyperedges(points, 1);
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(edges[static_cast<size_t>(i)], Hyperedge{i});
+  }
+}
+
+TEST(KnnHyperedgesTest, KEqualsVIncludesEveryone) {
+  Tensor points = ClusteredPoints();
+  std::vector<Hyperedge> edges = KnnHyperedges(points, 12);
+  for (const Hyperedge& e : edges) {
+    std::set<int64_t> distinct(e.begin(), e.end());
+    EXPECT_EQ(distinct.size(), 12u);
+  }
+}
+
+// --- KMeans ----------------------------------------------------------------------
+
+TEST(KMeansTest, ClustersAreDisjointCover) {
+  Tensor points = ClusteredPoints();
+  Rng rng(53);
+  KMeansResult result = KMeansClusters(points, 3, rng);
+  ASSERT_EQ(result.clusters.size(), 3u);
+  std::set<int64_t> all;
+  for (const Hyperedge& c : result.clusters) {
+    EXPECT_FALSE(c.empty());
+    for (int64_t v : c) {
+      EXPECT_TRUE(all.insert(v).second) << "vertex in two clusters";
+    }
+  }
+  EXPECT_EQ(all.size(), 12u);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Tensor points = ClusteredPoints();
+  Rng rng(54);
+  KMeansResult result = KMeansClusters(points, 3, rng);
+  // Each result cluster must be exactly one ground-truth group.
+  for (const Hyperedge& c : result.clusters) {
+    ASSERT_EQ(c.size(), 4u);
+    int64_t group = c[0] / 4;
+    for (int64_t v : c) EXPECT_EQ(v / 4, group);
+  }
+}
+
+TEST(KMeansTest, ConvergesAndReportsIterations) {
+  Tensor points = ClusteredPoints();
+  Rng rng(55);
+  KMeansResult result = KMeansClusters(points, 3, rng, /*max_iters=*/50);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GE(result.iterations, 1);
+  EXPECT_LE(result.iterations, 50);
+}
+
+TEST(KMeansTest, MedoidsAreClusterMembers) {
+  Tensor points = ClusteredPoints();
+  Rng rng(56);
+  KMeansResult result = KMeansClusters(points, 3, rng);
+  ASSERT_EQ(result.medoids.size(), 3u);
+  for (size_t c = 0; c < 3; ++c) {
+    const Hyperedge& members = result.clusters[c];
+    EXPECT_NE(std::find(members.begin(), members.end(), result.medoids[c]),
+              members.end());
+  }
+}
+
+TEST(KMeansTest, MedoidMinimizesMeanDistance) {
+  Tensor points = ClusteredPoints();
+  Rng rng(57);
+  KMeansResult result = KMeansClusters(points, 3, rng);
+  Tensor dist = PairwiseDistances(points);
+  for (size_t c = 0; c < 3; ++c) {
+    const Hyperedge& members = result.clusters[c];
+    int64_t medoid = result.medoids[c];
+    auto mean_dist = [&](int64_t candidate) {
+      double total = 0.0;
+      for (int64_t other : members) total += dist.at(candidate, other);
+      return total / static_cast<double>(members.size());
+    };
+    double medoid_mean = mean_dist(medoid);
+    for (int64_t candidate : members) {
+      EXPECT_LE(medoid_mean, mean_dist(candidate) + 1e-6);
+    }
+  }
+}
+
+TEST(KMeansTest, KEqualsVGivesSingletons) {
+  Tensor points = ClusteredPoints();
+  Rng rng(58);
+  KMeansResult result = KMeansClusters(points, 12, rng);
+  EXPECT_EQ(result.clusters.size(), 12u);
+  for (const Hyperedge& c : result.clusters) EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(KMeansTest, KOneGivesEverything) {
+  Tensor points = ClusteredPoints();
+  Rng rng(59);
+  KMeansResult result = KMeansClusters(points, 1, rng);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_EQ(result.clusters[0].size(), 12u);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Tensor points = ClusteredPoints();
+  Rng rng1(60), rng2(60);
+  KMeansResult a = KMeansClusters(points, 3, rng1);
+  KMeansResult b = KMeansClusters(points, 3, rng2);
+  EXPECT_EQ(a.medoids, b.medoids);
+  for (size_t c = 0; c < 3; ++c) EXPECT_EQ(a.clusters[c], b.clusters[c]);
+}
+
+TEST(KMeansTest, NoEmptyClustersEvenWithDuplicatePoints) {
+  // All points identical: assignments collapse to cluster 0, the reseeding
+  // logic must still emit k non-empty clusters.
+  Tensor points = Tensor::Ones({6, 2});
+  Rng rng(61);
+  KMeansResult result = KMeansClusters(points, 3, rng);
+  ASSERT_EQ(result.clusters.size(), 3u);
+  for (const Hyperedge& c : result.clusters) EXPECT_FALSE(c.empty());
+  std::set<int64_t> all;
+  for (const Hyperedge& c : result.clusters) all.insert(c.begin(), c.end());
+  EXPECT_EQ(all.size(), 6u);
+}
+
+TEST(KMeansHyperedgesTest, MatchesClusters) {
+  Tensor points = ClusteredPoints();
+  Rng rng1(62), rng2(62);
+  std::vector<Hyperedge> edges = KMeansHyperedges(points, 3, rng1);
+  KMeansResult result = KMeansClusters(points, 3, rng2);
+  ASSERT_EQ(edges.size(), result.clusters.size());
+  for (size_t c = 0; c < edges.size(); ++c) {
+    EXPECT_EQ(edges[c], result.clusters[c]);
+  }
+}
+
+}  // namespace
+}  // namespace dhgcn

@@ -1,0 +1,214 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+#include "base/rng.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+namespace {
+
+// --- SoftmaxCrossEntropy ----------------------------------------------------
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogK) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({4, 10});  // all zeros -> uniform distribution
+  std::vector<int64_t> labels = {0, 3, 7, 9};
+  float value = loss.Forward(logits, labels);
+  EXPECT_NEAR(value, std::log(10.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectIsNearZero) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  logits.at(0, 1) = 50.0f;
+  float value = loss.Forward(logits, {1});
+  EXPECT_NEAR(value, 0.0f, 1e-4f);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentWrongIsLarge) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  logits.at(0, 1) = 20.0f;
+  float value = loss.Forward(logits, {0});
+  EXPECT_GT(value, 10.0f);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientIsProbsMinusOnehotOverN) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(30);
+  Tensor logits = Tensor::RandomNormal({2, 4}, rng);
+  loss.Forward(logits, {1, 3});
+  Tensor grad = loss.Backward();
+  Tensor probs = Softmax(logits, 1);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t k = 0; k < 4; ++k) {
+      float expected = probs.at(i, k);
+      if ((i == 0 && k == 1) || (i == 1 && k == 3)) expected -= 1.0f;
+      EXPECT_NEAR(grad.at(i, k), expected / 2.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(31);
+  Tensor logits = Tensor::RandomNormal({3, 5}, rng);
+  std::vector<int64_t> labels = {0, 2, 4};
+  loss.Forward(logits, labels);
+  Tensor analytic = loss.Backward();
+  const float eps = 1e-3f;
+  for (int64_t idx = 0; idx < logits.numel(); idx += 3) {
+    float original = logits.flat(idx);
+    logits.flat(idx) = original + eps;
+    float up = loss.Forward(logits, labels);
+    logits.flat(idx) = original - eps;
+    float down = loss.Forward(logits, labels);
+    logits.flat(idx) = original;
+    float numeric = (up - down) / (2.0f * eps);
+    EXPECT_NEAR(analytic.flat(idx), numeric, 5e-3f);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientRowsSumToZero) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(32);
+  Tensor logits = Tensor::RandomNormal({4, 6}, rng);
+  loss.Forward(logits, {0, 1, 2, 3});
+  Tensor grad = loss.Backward();
+  for (int64_t i = 0; i < 4; ++i) {
+    double sum = 0.0;
+    for (int64_t k = 0; k < 6; ++k) sum += grad.at(i, k);
+    EXPECT_NEAR(sum, 0.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxCrossEntropyDeathTest, LabelOutOfRange) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  EXPECT_DEATH(loss.Forward(logits, {3}), "DHGCN_CHECK");
+}
+
+// --- SgdOptimizer -------------------------------------------------------------
+
+TEST(SgdTest, PlainGradientStep) {
+  Tensor w = Tensor::FromList({1.0f, 2.0f});
+  Tensor g = Tensor::FromList({0.5f, -1.0f});
+  SgdOptimizer::Options options;
+  options.lr = 0.1f;
+  options.momentum = 0.0f;
+  SgdOptimizer sgd({{"w", &w, &g}}, options);
+  sgd.Step();
+  EXPECT_FLOAT_EQ(w.flat(0), 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(w.flat(1), 2.0f + 0.1f * 1.0f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Tensor w = Tensor::FromList({0.0f});
+  Tensor g = Tensor::FromList({1.0f});
+  SgdOptimizer::Options options;
+  options.lr = 1.0f;
+  options.momentum = 0.5f;
+  SgdOptimizer sgd({{"w", &w, &g}}, options);
+  sgd.Step();  // v = 1, w = -1
+  EXPECT_FLOAT_EQ(w.flat(0), -1.0f);
+  sgd.Step();  // v = 1.5, w = -2.5
+  EXPECT_FLOAT_EQ(w.flat(0), -2.5f);
+}
+
+TEST(SgdTest, WeightDecayPullsTowardZero) {
+  Tensor w = Tensor::FromList({10.0f});
+  Tensor g = Tensor::FromList({0.0f});
+  SgdOptimizer::Options options;
+  options.lr = 0.1f;
+  options.momentum = 0.0f;
+  options.weight_decay = 0.5f;
+  SgdOptimizer sgd({{"w", &w, &g}}, options);
+  sgd.Step();
+  EXPECT_FLOAT_EQ(w.flat(0), 10.0f - 0.1f * 0.5f * 10.0f);
+}
+
+TEST(SgdTest, ZeroGradClearsAll) {
+  Tensor w({3});
+  Tensor g = Tensor::Ones({3});
+  SgdOptimizer sgd({{"w", &w, &g}}, {});
+  sgd.ZeroGrad();
+  EXPECT_FLOAT_EQ(Norm2(g), 0.0f);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // Minimize f(w) = 0.5 * ||w - target||^2 by explicit gradient steps.
+  Tensor w = Tensor::FromList({5.0f, -3.0f});
+  Tensor g({2});
+  Tensor target = Tensor::FromList({1.0f, 2.0f});
+  SgdOptimizer::Options options;
+  options.lr = 0.2f;
+  options.momentum = 0.5f;
+  SgdOptimizer sgd({{"w", &w, &g}}, options);
+  for (int step = 0; step < 120; ++step) {
+    for (int64_t i = 0; i < 2; ++i) g.flat(i) = w.flat(i) - target.flat(i);
+    sgd.Step();
+  }
+  EXPECT_NEAR(w.flat(0), 1.0f, 1e-3f);
+  EXPECT_NEAR(w.flat(1), 2.0f, 1e-3f);
+}
+
+// --- StepLrSchedule -------------------------------------------------------------
+
+TEST(StepLrTest, DecaysAtMilestones) {
+  StepLrSchedule schedule(0.1f, {30, 40}, 10.0f);
+  EXPECT_FLOAT_EQ(schedule.LrForEpoch(0), 0.1f);
+  EXPECT_FLOAT_EQ(schedule.LrForEpoch(29), 0.1f);
+  EXPECT_FLOAT_EQ(schedule.LrForEpoch(30), 0.01f);
+  EXPECT_FLOAT_EQ(schedule.LrForEpoch(39), 0.01f);
+  EXPECT_FLOAT_EQ(schedule.LrForEpoch(40), 0.001f);
+  EXPECT_FLOAT_EQ(schedule.LrForEpoch(100), 0.001f);
+}
+
+TEST(StepLrTest, NoMilestonesConstant) {
+  StepLrSchedule schedule(0.05f, {});
+  EXPECT_FLOAT_EQ(schedule.LrForEpoch(1000), 0.05f);
+}
+
+// --- End-to-end: logistic regression learns a linear rule --------------------
+
+TEST(TrainingSmokeTest, LinearClassifierSeparatesTwoGaussians) {
+  Rng rng(33);
+  Linear model(2, 2, rng);
+  SoftmaxCrossEntropy loss;
+  SgdOptimizer::Options options;
+  options.lr = 0.5f;
+  options.momentum = 0.9f;
+  SgdOptimizer sgd(model.Params(), options);
+
+  auto make_batch = [&rng](Tensor& x, std::vector<int64_t>& y) {
+    x = Tensor({32, 2});
+    y.resize(32);
+    for (int64_t i = 0; i < 32; ++i) {
+      int64_t label = i % 2;
+      float cx = label == 0 ? -1.0f : 1.0f;
+      x.at(i, 0) = rng.Normal(cx, 0.4f);
+      x.at(i, 1) = rng.Normal(-cx, 0.4f);
+      y[static_cast<size_t>(i)] = label;
+    }
+  };
+
+  float final_loss = 1e9f;
+  for (int step = 0; step < 60; ++step) {
+    Tensor x;
+    std::vector<int64_t> y;
+    make_batch(x, y);
+    sgd.ZeroGrad();
+    Tensor logits = model.Forward(x);
+    final_loss = loss.Forward(logits, y);
+    model.Backward(loss.Backward());
+    sgd.Step();
+  }
+  EXPECT_LT(final_loss, 0.15f);
+}
+
+}  // namespace
+}  // namespace dhgcn

@@ -1,0 +1,298 @@
+#include <set>
+
+#include "gtest/gtest.h"
+
+#include "base/rng.h"
+#include "core/two_stream.h"
+#include "models/agcn.h"
+#include "models/ahgcn.h"
+#include "models/model_zoo.h"
+#include "models/pbgcn.h"
+#include "models/st_common.h"
+#include "models/stgcn.h"
+#include "models/tcn_model.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+namespace {
+
+BaselineScale TinyScale() {
+  BaselineScale scale;
+  scale.channels = {4, 8};
+  scale.strides = {1, 2};
+  scale.dropout = 0.0f;
+  return scale;
+}
+
+ModelZooOptions TinyZoo() {
+  ModelZooOptions options;
+  options.scale = TinyScale();
+  options.kn = 2;
+  options.km = 2;
+  options.seed = 5;
+  return options;
+}
+
+// --- Model zoo ------------------------------------------------------------------
+
+TEST(ModelZooTest, ParseModelKind) {
+  EXPECT_EQ(ParseModelKind("tcn").ValueOrDie(), ModelKind::kTcn);
+  EXPECT_EQ(ParseModelKind("ST-GCN").ValueOrDie(), ModelKind::kStgcn);
+  EXPECT_EQ(ParseModelKind("2s-AGCN").ValueOrDie(), ModelKind::kAgcn);
+  EXPECT_EQ(ParseModelKind("ahgcn").ValueOrDie(), ModelKind::kAhgcn);
+  EXPECT_EQ(ParseModelKind("pb_gcn4").ValueOrDie(), ModelKind::kPbgcn4);
+  EXPECT_EQ(ParseModelKind("PBHGCN6").ValueOrDie(), ModelKind::kPbhgcn6);
+  EXPECT_EQ(ParseModelKind("DHGCN").ValueOrDie(), ModelKind::kDhgcn);
+  EXPECT_FALSE(ParseModelKind("resnet").ok());
+}
+
+TEST(ModelZooTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (ModelKind kind :
+       {ModelKind::kTcn, ModelKind::kStgcn, ModelKind::kAgcn,
+        ModelKind::kAhgcn, ModelKind::kPbgcn2, ModelKind::kPbgcn4,
+        ModelKind::kPbgcn6, ModelKind::kPbhgcn2, ModelKind::kPbhgcn4,
+        ModelKind::kPbhgcn6, ModelKind::kDhgcn}) {
+    EXPECT_TRUE(names.insert(ModelKindName(kind)).second);
+  }
+}
+
+class AllModelsParamTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(AllModelsParamTest, ForwardBackwardShapes) {
+  LayerPtr model = CreateModel(GetParam(), SkeletonLayoutType::kKinetics18,
+                               6, TinyZoo());
+  ASSERT_NE(model, nullptr);
+  Rng rng(6);
+  Tensor x = Tensor::RandomNormal({2, 3, 8, 18}, rng, 0.0f, 0.5f);
+  Tensor logits = model->Forward(x);
+  EXPECT_EQ(logits.shape(), (Shape{2, 6}));
+  EXPECT_FALSE(HasNonFinite(logits));
+  Tensor g = model->Backward(Tensor::Ones({2, 6}));
+  EXPECT_EQ(g.shape(), x.shape());
+  EXPECT_FALSE(HasNonFinite(g));
+}
+
+TEST_P(AllModelsParamTest, HasTrainableParams) {
+  LayerPtr model = CreateModel(GetParam(), SkeletonLayoutType::kNtu25, 4,
+                               TinyZoo());
+  EXPECT_GT(model->ParameterCount(), 50);
+  for (ParamRef& p : model->Params()) {
+    if (!p.trainable) {
+      EXPECT_EQ(p.grad, nullptr) << p.name;
+      continue;
+    }
+    EXPECT_TRUE(ShapesEqual(p.value->shape(), p.grad->shape())) << p.name;
+  }
+}
+
+TEST_P(AllModelsParamTest, OneSgdStepReducesLossOnFixedBatch) {
+  LayerPtr model = CreateModel(GetParam(), SkeletonLayoutType::kKinetics18,
+                               3, TinyZoo());
+  Rng rng(7);
+  Tensor x = Tensor::RandomNormal({6, 3, 8, 18}, rng, 0.0f, 0.5f);
+  std::vector<int64_t> labels = {0, 1, 2, 0, 1, 2};
+  SoftmaxCrossEntropy loss;
+  SgdOptimizer::Options sgd_options;
+  sgd_options.lr = 0.05f;
+  sgd_options.momentum = 0.0f;
+  SgdOptimizer sgd(model->Params(), sgd_options);
+
+  model->SetTraining(true);
+  float initial = 0.0f;
+  // A few steps on the same batch must reduce the loss (overfit check).
+  float current = 0.0f;
+  for (int step = 0; step < 8; ++step) {
+    sgd.ZeroGrad();
+    Tensor logits = model->Forward(x);
+    current = loss.Forward(logits, labels);
+    if (step == 0) initial = current;
+    model->Backward(loss.Backward());
+    sgd.Step();
+  }
+  EXPECT_LT(current, initial) << ModelKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, AllModelsParamTest,
+    ::testing::Values(ModelKind::kTcn, ModelKind::kStgcn, ModelKind::kAgcn,
+                      ModelKind::kAhgcn, ModelKind::kPbgcn2,
+                      ModelKind::kPbgcn4, ModelKind::kPbhgcn4,
+                      ModelKind::kPbhgcn6, ModelKind::kDhgcn),
+    [](const ::testing::TestParamInfo<ModelKind>& info) {
+      std::string name = ModelKindName(info.param);
+      std::string clean;
+      for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) clean.push_back(c);
+      }
+      return clean;
+    });
+
+// --- AdaptiveSpatial specifics -----------------------------------------------------
+
+TEST(AdaptiveSpatialTest, AttentionRowsSumToOne) {
+  Rng rng(8);
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kKinetics18);
+  AdaptiveSpatial layer(3, 4, SkeletonGraph(layout).NormalizedAdjacency(),
+                        rng);
+  Tensor x = Tensor::RandomNormal({2, 3, 4, 18}, rng);
+  layer.Forward(x);
+  const Tensor& attention = layer.attention();
+  EXPECT_EQ(attention.shape(), (Shape{2, 18, 18}));
+  for (int64_t n = 0; n < 2; ++n) {
+    for (int64_t v = 0; v < 18; ++v) {
+      double sum = 0.0;
+      for (int64_t u = 0; u < 18; ++u) sum += attention.at(n, v, u);
+      EXPECT_NEAR(sum, 1.0, 1e-4);
+    }
+  }
+}
+
+TEST(AdaptiveSpatialTest, AttentionIsSampleDependent) {
+  Rng rng(9);
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kKinetics18);
+  AdaptiveSpatial layer(3, 4, SkeletonGraph(layout).NormalizedAdjacency(),
+                        rng);
+  Tensor x = Tensor::RandomNormal({2, 3, 4, 18}, rng);
+  layer.Forward(x);
+  Tensor a0 = Slice(layer.attention(), 0, 0, 1);
+  Tensor a1 = Slice(layer.attention(), 0, 1, 1);
+  EXPECT_FALSE(AllClose(a0, a1, 1e-4f, 1e-5f));
+}
+
+TEST(AdaptiveSpatialTest, HasLearnableBMatrix) {
+  Rng rng(10);
+  AdaptiveSpatial layer(2, 3, Tensor::Eye(5), rng);
+  bool has_b = false;
+  for (ParamRef& p : layer.Params()) {
+    if (p.name == "B") {
+      has_b = true;
+      EXPECT_EQ(p.value->shape(), (Shape{5, 5}));
+    }
+  }
+  EXPECT_TRUE(has_b);
+}
+
+// --- PB models -------------------------------------------------------------------------
+
+TEST(PartSubgraphOperatorTest, ZeroOutsidePart) {
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kKinetics18);
+  std::vector<int64_t> part = {1, 2, 3, 4};  // right arm + neck
+  Tensor op = PartSubgraphOperator(layout, part);
+  std::set<int64_t> members(part.begin(), part.end());
+  for (int64_t i = 0; i < 18; ++i) {
+    for (int64_t j = 0; j < 18; ++j) {
+      if (members.count(i) == 0 || members.count(j) == 0) {
+        EXPECT_FLOAT_EQ(op.at(i, j), 0.0f) << i << "," << j;
+      }
+    }
+  }
+  // Connected members interact.
+  EXPECT_GT(op.at(2, 3), 0.0f);
+}
+
+TEST(PartSubgraphOperatorTest, SymmetricWithinPart) {
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kNtu25);
+  std::vector<std::vector<int64_t>> parts = PartPartition(layout, 4);
+  for (const auto& part : parts) {
+    Tensor op = PartSubgraphOperator(layout, part);
+    EXPECT_TRUE(AllClose(op, Transpose2D(op), 1e-5f, 1e-6f));
+  }
+}
+
+TEST(PbModelsTest, MoreParamsForMoreParts) {
+  ModelZooOptions zoo = TinyZoo();
+  LayerPtr two = CreateModel(ModelKind::kPbgcn2, SkeletonLayoutType::kNtu25,
+                             4, zoo);
+  LayerPtr six = CreateModel(ModelKind::kPbgcn6, SkeletonLayoutType::kNtu25,
+                             4, zoo);
+  EXPECT_GT(six->ParameterCount(), two->ParameterCount());
+}
+
+TEST(PbModelsTest, PbHgcnIsCapacityMatchedToPbGcn) {
+  // PB-HGCN removes the per-part convolutions ("eliminates the
+  // aggregation function"); its layers are widened so the two models
+  // compare topology at a comparable parameter budget (within ~40%).
+  ModelZooOptions zoo = TinyZoo();
+  for (auto [gcn_kind, hgcn_kind] :
+       {std::pair{ModelKind::kPbgcn2, ModelKind::kPbhgcn2},
+        std::pair{ModelKind::kPbgcn4, ModelKind::kPbhgcn4},
+        std::pair{ModelKind::kPbgcn6, ModelKind::kPbhgcn6}}) {
+    LayerPtr gcn =
+        CreateModel(gcn_kind, SkeletonLayoutType::kNtu25, 4, zoo);
+    LayerPtr hgcn =
+        CreateModel(hgcn_kind, SkeletonLayoutType::kNtu25, 4, zoo);
+    double ratio = static_cast<double>(hgcn->ParameterCount()) /
+                   static_cast<double>(gcn->ParameterCount());
+    EXPECT_GT(ratio, 0.6) << ModelKindName(hgcn_kind);
+    EXPECT_LT(ratio, 1.4) << ModelKindName(hgcn_kind);
+  }
+}
+
+// --- TwoStream ----------------------------------------------------------------------------
+
+TEST(TwoStreamTest, FusedLogitsAreSums) {
+  ModelZooOptions zoo = TinyZoo();
+  TwoStream two_stream(
+      CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kKinetics18, 4,
+                  zoo),
+      CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kKinetics18, 4,
+                  zoo));
+  two_stream.SetTraining(false);
+  Rng rng(11);
+  Tensor joint_x = Tensor::RandomNormal({2, 3, 8, 18}, rng);
+  Tensor bone_x = Tensor::RandomNormal({2, 3, 8, 18}, rng);
+  Tensor fused = two_stream.FusedLogits(joint_x, bone_x);
+  Tensor expected = Add(two_stream.joint().Forward(joint_x),
+                        two_stream.bone().Forward(bone_x));
+  EXPECT_TRUE(AllClose(fused, expected, 1e-5f, 1e-6f));
+}
+
+TEST(TwoStreamTest, NameMentionsBothStreams) {
+  ModelZooOptions zoo = TinyZoo();
+  TwoStream two_stream(
+      CreateModel(ModelKind::kAgcn, SkeletonLayoutType::kKinetics18, 4, zoo),
+      CreateModel(ModelKind::kAgcn, SkeletonLayoutType::kKinetics18, 4,
+                  zoo));
+  EXPECT_NE(two_stream.name().find("2s-AGCN"), std::string::npos);
+}
+
+// --- StBlock / BackboneClassifier ----------------------------------------------------------
+
+TEST(StBlockTest, StridedResidualProjects) {
+  Rng rng(12);
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kKinetics18);
+  Tensor adjacency = SkeletonGraph(layout).NormalizedAdjacency();
+  StBlock block(MakeFixedOperatorSpatial(3, 5, adjacency, rng), 3, 5, 2,
+                rng);
+  Tensor x = Tensor::RandomNormal({2, 3, 8, 18}, rng);
+  Tensor y = block.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 4, 18}));
+  Tensor g = block.Backward(Tensor::Ones(y.shape()));
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(BackboneClassifierTest, TrainingFlagReachesChildren) {
+  ModelZooOptions zoo = TinyZoo();
+  LayerPtr model =
+      CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kKinetics18, 4,
+                  zoo);
+  model->SetTraining(false);
+  EXPECT_FALSE(model->training());
+  Rng rng(13);
+  Tensor x = Tensor::RandomNormal({1, 3, 8, 18}, rng);
+  // Eval forward twice must agree (BN running stats, no dropout noise).
+  Tensor a = model->Forward(x);
+  Tensor b = model->Forward(x);
+  EXPECT_TRUE(AllClose(a, b));
+}
+
+}  // namespace
+}  // namespace dhgcn

@@ -1,0 +1,206 @@
+#include "io/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+#include "base/rng.h"
+#include "core/dhgcn_model.h"
+#include "nn/linear.h"
+#include "nn/sequential.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TensorIoTest, RoundTripPreservesShapeAndData) {
+  Rng rng(1);
+  Tensor original = Tensor::RandomNormal({3, 4, 5}, rng);
+  std::stringstream stream;
+  ASSERT_TRUE(WriteTensor(stream, original).ok());
+  Result<Tensor> loaded = ReadTensor(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(AllClose(*loaded, original, 0.0f, 0.0f));
+}
+
+TEST(TensorIoTest, ScalarRoundTrip) {
+  std::stringstream stream;
+  ASSERT_TRUE(WriteTensor(stream, Tensor::Scalar(-2.5f)).ok());
+  Result<Tensor> loaded = ReadTensor(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->ndim(), 0);
+  EXPECT_FLOAT_EQ(loaded->flat(0), -2.5f);
+}
+
+TEST(TensorIoTest, TruncatedStreamFails) {
+  Rng rng(2);
+  Tensor original = Tensor::RandomNormal({8, 8}, rng);
+  std::stringstream stream;
+  ASSERT_TRUE(WriteTensor(stream, original).ok());
+  std::string bytes = stream.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  Result<Tensor> loaded = ReadTensor(truncated);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(ParametersIoTest, SaveLoadRoundTrip) {
+  Rng rng(3);
+  Linear source(6, 4, rng);
+  Linear target(6, 4, rng);  // different random init
+  std::string path = TempPath("linear.ckpt");
+  ASSERT_TRUE(SaveParameters(path, source).ok());
+  ASSERT_TRUE(LoadParameters(path, target).ok());
+  EXPECT_TRUE(AllClose(target.weight(), source.weight(), 0.0f, 0.0f));
+  EXPECT_TRUE(AllClose(target.bias(), source.bias(), 0.0f, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(ParametersIoTest, LoadRejectsWrongArchitecture) {
+  Rng rng(4);
+  Linear source(6, 4, rng);
+  Linear wrong_shape(6, 5, rng);
+  Sequential wrong_count;
+  wrong_count.Emplace<Linear>(6, 4, rng);
+  wrong_count.Emplace<Linear>(4, 2, rng);
+
+  std::string path = TempPath("linear2.ckpt");
+  ASSERT_TRUE(SaveParameters(path, source).ok());
+  Status shape_status = LoadParameters(path, wrong_shape);
+  EXPECT_TRUE(shape_status.IsInvalidArgument());
+  EXPECT_NE(shape_status.message().find("shape mismatch"),
+            std::string::npos);
+  Status count_status = LoadParameters(path, wrong_count);
+  EXPECT_TRUE(count_status.IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(ParametersIoTest, LoadDoesNotMutateOnFailure) {
+  // Validate-then-commit: a failed load must leave the target untouched.
+  Rng rng(5);
+  Linear source(3, 3, rng);
+  Linear target(3, 2, rng);
+  Tensor before = target.weight().Clone();
+  std::string path = TempPath("linear3.ckpt");
+  ASSERT_TRUE(SaveParameters(path, source).ok());
+  EXPECT_FALSE(LoadParameters(path, target).ok());
+  EXPECT_TRUE(AllClose(target.weight(), before, 0.0f, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(ParametersIoTest, MissingFileIsIoError) {
+  Rng rng(6);
+  Linear model(2, 2, rng);
+  Status status = LoadParameters(TempPath("does_not_exist.ckpt"), model);
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+TEST(ParametersIoTest, CorruptMagicRejected) {
+  std::string path = TempPath("corrupt.ckpt");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "NOPE garbage";
+  }
+  Rng rng(7);
+  Linear model(2, 2, rng);
+  Status status = LoadParameters(path, model);
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ParametersIoTest, LoadParameterMapListsEntries) {
+  Rng rng(8);
+  Linear model(3, 2, rng);
+  std::string path = TempPath("map.ckpt");
+  ASSERT_TRUE(SaveParameters(path, model).ok());
+  auto entries = LoadParameterMap(path);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+  EXPECT_EQ(entries->count("weight"), 1u);
+  EXPECT_EQ(entries->count("bias"), 1u);
+  EXPECT_EQ(entries->at("weight").shape(), (Shape{2, 3}));
+  std::remove(path.c_str());
+}
+
+TEST(ParametersIoTest, FullDhgcnModelRoundTrip) {
+  DhgcnConfig config = DhgcnConfig::Tiny(SkeletonLayoutType::kKinetics18, 4);
+  config.topology.kn = 2;
+  config.topology.km = 2;
+  auto source = DhgcnModel::Make(config).MoveValue();
+  config.seed = 999;  // different init
+  auto target = DhgcnModel::Make(config).MoveValue();
+
+  Rng rng(9);
+  Tensor x = Tensor::RandomNormal({1, 3, 8, 18}, rng, 0.0f, 0.4f);
+  source->SetTraining(false);
+  target->SetTraining(false);
+  Tensor before = target->Forward(x);
+
+  std::string path = TempPath("dhgcn.ckpt");
+  ASSERT_TRUE(SaveParameters(path, *source).ok());
+  ASSERT_TRUE(LoadParameters(path, *target).ok());
+  // After loading, the two models must agree exactly on any input.
+  Tensor source_logits = source->Forward(x);
+  Tensor target_logits = target->Forward(x);
+  EXPECT_TRUE(AllClose(target_logits, source_logits, 1e-6f, 1e-7f));
+  EXPECT_FALSE(AllClose(before, source_logits, 1e-3f, 1e-3f));
+  std::remove(path.c_str());
+}
+
+TEST(ParametersIoTest, BatchNormRunningStatsAreCheckpointed) {
+  // Regression test: running statistics are non-trainable state but must
+  // survive a save/load cycle, or a reloaded model evaluates with fresh
+  // (wrong) statistics.
+  DhgcnConfig config = DhgcnConfig::Tiny(SkeletonLayoutType::kKinetics18, 3);
+  config.topology.kn = 2;
+  config.topology.km = 2;
+  auto source = DhgcnModel::Make(config).MoveValue();
+  Rng rng(11);
+  // A few training-mode forwards move the running statistics away from
+  // their (0, 1) initialization.
+  source->SetTraining(true);
+  for (int step = 0; step < 3; ++step) {
+    Tensor x = Tensor::RandomNormal({4, 3, 8, 18}, rng, 1.0f, 2.0f);
+    source->Forward(x);
+  }
+  source->SetTraining(false);
+  Tensor probe = Tensor::RandomNormal({2, 3, 8, 18}, rng);
+  Tensor expected = source->Forward(probe);
+
+  std::string path = TempPath("bn_stats.ckpt");
+  ASSERT_TRUE(SaveParameters(path, *source).ok());
+  config.seed = 123;
+  auto target = DhgcnModel::Make(config).MoveValue();
+  ASSERT_TRUE(LoadParameters(path, *target).ok());
+  target->SetTraining(false);
+  EXPECT_TRUE(AllClose(target->Forward(probe), expected, 1e-6f, 1e-7f));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MetadataRoundTrip) {
+  Rng rng(10);
+  Linear model(4, 4, rng);
+  std::string path = TempPath("meta.ckpt");
+  Checkpoint saved;
+  saved.epoch = 17;
+  saved.best_metric = 0.875;
+  ASSERT_TRUE(SaveCheckpoint(path, model, saved).ok());
+  Linear target(4, 4, rng);
+  Result<Checkpoint> loaded = LoadCheckpoint(path, target);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->epoch, 17);
+  EXPECT_DOUBLE_EQ(loaded->best_metric, 0.875);
+  EXPECT_TRUE(AllClose(target.weight(), model.weight(), 0.0f, 0.0f));
+  std::remove(path.c_str());
+  std::remove((path + ".meta").c_str());
+}
+
+}  // namespace
+}  // namespace dhgcn

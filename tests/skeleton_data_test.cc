@@ -1,0 +1,456 @@
+#include <set>
+
+#include "gtest/gtest.h"
+
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "data/skeleton.h"
+#include "data/synthetic_generator.h"
+#include "data/transforms.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+namespace {
+
+// --- Skeleton layouts -----------------------------------------------------------
+
+class SkeletonLayoutParamTest
+    : public ::testing::TestWithParam<SkeletonLayoutType> {};
+
+TEST_P(SkeletonLayoutParamTest, StructureIsConsistent) {
+  const SkeletonLayout& layout = GetSkeletonLayout(GetParam());
+  EXPECT_GT(layout.num_joints, 0);
+  ASSERT_EQ(static_cast<int64_t>(layout.parents.size()), layout.num_joints);
+  ASSERT_EQ(static_cast<int64_t>(layout.joint_names.size()),
+            layout.num_joints);
+  EXPECT_EQ(layout.rest_pose.shape(), (Shape{layout.num_joints, 3}));
+  EXPECT_FALSE(HasNonFinite(layout.rest_pose));
+  // Root is its own parent; everyone else's parent is in range.
+  EXPECT_EQ(layout.parents[static_cast<size_t>(layout.root)], layout.root);
+  for (int64_t j = 0; j < layout.num_joints; ++j) {
+    EXPECT_GE(layout.parents[static_cast<size_t>(j)], 0);
+    EXPECT_LT(layout.parents[static_cast<size_t>(j)], layout.num_joints);
+  }
+  // A tree has V-1 bones.
+  EXPECT_EQ(static_cast<int64_t>(layout.bones.size()),
+            layout.num_joints - 1);
+}
+
+TEST_P(SkeletonLayoutParamTest, ParentChainsReachRoot) {
+  const SkeletonLayout& layout = GetSkeletonLayout(GetParam());
+  for (int64_t j = 0; j < layout.num_joints; ++j) {
+    int64_t node = j;
+    int64_t hops = 0;
+    while (node != layout.root) {
+      node = layout.parents[static_cast<size_t>(node)];
+      ASSERT_LE(++hops, layout.num_joints) << "cycle at joint " << j;
+    }
+  }
+}
+
+TEST_P(SkeletonLayoutParamTest, TreeDistancesAreMetric) {
+  const SkeletonLayout& layout = GetSkeletonLayout(GetParam());
+  Tensor dist = TreeDistances(layout);
+  int64_t v = layout.num_joints;
+  for (int64_t i = 0; i < v; ++i) {
+    EXPECT_FLOAT_EQ(dist.at(i, i), 0.0f);
+    for (int64_t j = 0; j < v; ++j) {
+      EXPECT_FLOAT_EQ(dist.at(i, j), dist.at(j, i));
+      if (i != j) EXPECT_GE(dist.at(i, j), 1.0f);
+    }
+  }
+  // Bone-connected joints are at distance exactly 1.
+  for (const auto& [child, parent] : layout.bones) {
+    EXPECT_FLOAT_EQ(dist.at(child, parent), 1.0f);
+  }
+}
+
+TEST_P(SkeletonLayoutParamTest, SkeletonGraphMatchesBones) {
+  const SkeletonLayout& layout = GetSkeletonLayout(GetParam());
+  Graph graph = SkeletonGraph(layout);
+  EXPECT_EQ(graph.num_vertices(), layout.num_joints);
+  EXPECT_EQ(graph.edges().size(), layout.bones.size());
+}
+
+TEST_P(SkeletonLayoutParamTest, PartPartitionsCoverAllJoints) {
+  const SkeletonLayout& layout = GetSkeletonLayout(GetParam());
+  for (int64_t parts : {2, 4, 6}) {
+    std::vector<std::vector<int64_t>> partition =
+        PartPartition(layout, parts);
+    ASSERT_EQ(static_cast<int64_t>(partition.size()), parts);
+    std::set<int64_t> covered;
+    for (const auto& part : partition) {
+      EXPECT_FALSE(part.empty());
+      for (int64_t j : part) {
+        EXPECT_GE(j, 0);
+        EXPECT_LT(j, layout.num_joints);
+        covered.insert(j);
+      }
+    }
+    EXPECT_EQ(static_cast<int64_t>(covered.size()), layout.num_joints)
+        << parts << " parts";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, SkeletonLayoutParamTest,
+                         ::testing::Values(SkeletonLayoutType::kNtu25,
+                                           SkeletonLayoutType::kKinetics18));
+
+TEST(SkeletonLayoutTest, ExpectedJointCounts) {
+  EXPECT_EQ(GetSkeletonLayout(SkeletonLayoutType::kNtu25).num_joints, 25);
+  EXPECT_EQ(GetSkeletonLayout(SkeletonLayoutType::kKinetics18).num_joints,
+            18);
+}
+
+// --- Synthetic generator -----------------------------------------------------------
+
+TEST(SyntheticGeneratorTest, ConfigValidation) {
+  SyntheticDataConfig config = NtuLikeConfig(5, 4, 16, 1);
+  EXPECT_TRUE(SyntheticSkeletonGenerator::Make(config).ok());
+
+  config.num_classes = 0;
+  EXPECT_FALSE(SyntheticSkeletonGenerator::Make(config).ok());
+  config = NtuLikeConfig(5, 4, 16, 1);
+  config.num_frames = 1;
+  EXPECT_FALSE(SyntheticSkeletonGenerator::Make(config).ok());
+  config = NtuLikeConfig(5, 4, 16, 1);
+  config.joint_dropout_prob = 1.5f;
+  EXPECT_FALSE(SyntheticSkeletonGenerator::Make(config).ok());
+  config = NtuLikeConfig(5, 4, 16, 1);
+  config.propagation_alpha = 1.0f;
+  EXPECT_FALSE(SyntheticSkeletonGenerator::Make(config).ok());
+}
+
+TEST(SyntheticGeneratorTest, SampleShapeAndAnnotations) {
+  SyntheticSkeletonGenerator generator(NtuLikeConfig(3, 2, 20, 7));
+  SkeletonSample sample = generator.GenerateSample(2, 1, 0, 3, 99);
+  EXPECT_EQ(sample.data.shape(), (Shape{3, 20, 25}));
+  EXPECT_EQ(sample.label, 2);
+  EXPECT_EQ(sample.subject, 1);
+  EXPECT_EQ(sample.camera, 0);
+  EXPECT_EQ(sample.setup, 3);
+  EXPECT_FALSE(HasNonFinite(sample.data));
+}
+
+TEST(SyntheticGeneratorTest, DeterministicForSameInstanceSeed) {
+  SyntheticSkeletonGenerator generator(NtuLikeConfig(3, 2, 16, 7));
+  SkeletonSample a = generator.GenerateSample(0, 0, 0, 0, 5);
+  SkeletonSample b = generator.GenerateSample(0, 0, 0, 0, 5);
+  EXPECT_TRUE(AllClose(a.data, b.data));
+  SkeletonSample c = generator.GenerateSample(0, 0, 0, 0, 6);
+  EXPECT_FALSE(AllClose(a.data, c.data));
+}
+
+TEST(SyntheticGeneratorTest, PrototypesAreClassSpecific) {
+  SyntheticSkeletonGenerator generator(NtuLikeConfig(6, 2, 16, 7));
+  const MotionPrototype& p0 = generator.PrototypeFor(0);
+  const MotionPrototype& p1 = generator.PrototypeFor(1);
+  EXPECT_GE(p0.drivers.size(), 1u);
+  EXPECT_LE(p0.drivers.size(), 3u);
+  // Different classes should differ somewhere in their driver sets.
+  bool differ = p0.drivers.size() != p1.drivers.size();
+  for (size_t i = 0; !differ && i < p0.drivers.size(); ++i) {
+    differ = p0.drivers[i].joint != p1.drivers[i].joint ||
+             p0.drivers[i].frequency != p1.drivers[i].frequency;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(SyntheticGeneratorTest, MotionConcentratesNearDrivers) {
+  SyntheticDataConfig config = NtuLikeConfig(1, 1, 32, 123);
+  config.sensor_noise = 0.0f;
+  SyntheticSkeletonGenerator generator(config);
+  const MotionPrototype& proto = generator.PrototypeFor(0);
+  SkeletonSample sample = generator.GenerateSample(0, 0, 1, 0, 1);
+  // Per-joint total displacement across frames.
+  const Tensor& x = sample.data;
+  std::vector<double> motion(25, 0.0);
+  for (int64_t t = 1; t < 32; ++t) {
+    for (int64_t j = 0; j < 25; ++j) {
+      for (int64_t c = 0; c < 3; ++c) {
+        double diff = x.at(c, t, j) - x.at(c, t - 1, j);
+        motion[static_cast<size_t>(j)] += diff * diff;
+      }
+    }
+  }
+  // Driver joints move at least as much as the (attenuated) root.
+  const SkeletonLayout& layout = GetSkeletonLayout(config.layout);
+  for (const MotionDriver& driver : proto.drivers) {
+    EXPECT_GT(motion[static_cast<size_t>(driver.joint)],
+              motion[static_cast<size_t>(layout.root)] * 0.9);
+  }
+}
+
+TEST(SyntheticGeneratorTest, KineticsConfigProducesConfidenceChannel) {
+  SyntheticDataConfig config = KineticsLikeConfig(3, 2, 16, 11);
+  SyntheticSkeletonGenerator generator(config);
+  SkeletonSample sample = generator.GenerateSample(0, 0, 0, 0, 3);
+  EXPECT_EQ(sample.data.shape(), (Shape{3, 16, 18}));
+  // Channel 2 holds confidences in [0, 1].
+  for (int64_t t = 0; t < 16; ++t) {
+    for (int64_t j = 0; j < 18; ++j) {
+      float conf = sample.data.at(2, t, j);
+      EXPECT_GE(conf, 0.0f);
+      EXPECT_LE(conf, 1.0f);
+    }
+  }
+}
+
+TEST(SyntheticGeneratorTest, JointDropoutZeroesCoordinates) {
+  SyntheticDataConfig config = KineticsLikeConfig(2, 2, 64, 13);
+  config.joint_dropout_prob = 0.3f;
+  SyntheticSkeletonGenerator generator(config);
+  SkeletonSample sample = generator.GenerateSample(0, 0, 0, 0, 17);
+  int64_t dropped = 0, total = 0;
+  for (int64_t t = 0; t < 64; ++t) {
+    for (int64_t j = 0; j < 18; ++j) {
+      ++total;
+      if (sample.data.at(2, t, j) == 0.0f) {
+        ++dropped;
+        EXPECT_FLOAT_EQ(sample.data.at(0, t, j), 0.0f);
+        EXPECT_FLOAT_EQ(sample.data.at(1, t, j), 0.0f);
+      }
+    }
+  }
+  double rate = static_cast<double>(dropped) / total;
+  EXPECT_NEAR(rate, 0.3, 0.06);
+}
+
+TEST(SyntheticGeneratorTest, GenerateAllProducesBalancedClasses) {
+  SyntheticSkeletonGenerator generator(NtuLikeConfig(4, 6, 16, 19));
+  std::vector<SkeletonSample> samples = generator.GenerateAll();
+  ASSERT_EQ(samples.size(), 24u);
+  std::vector<int64_t> per_class(4, 0);
+  for (const SkeletonSample& s : samples) {
+    ++per_class[static_cast<size_t>(s.label)];
+  }
+  for (int64_t count : per_class) EXPECT_EQ(count, 6);
+}
+
+TEST(SyntheticGeneratorTest, CamerasChangeTheView) {
+  SyntheticDataConfig config = NtuLikeConfig(2, 2, 16, 23);
+  config.sensor_noise = 0.0f;
+  SyntheticSkeletonGenerator generator(config);
+  SkeletonSample cam0 = generator.GenerateSample(0, 0, 0, 0, 7);
+  SkeletonSample cam2 = generator.GenerateSample(0, 0, 2, 0, 7);
+  EXPECT_FALSE(AllClose(cam0.data, cam2.data, 1e-3f, 1e-3f));
+}
+
+// --- Dataset and splits -------------------------------------------------------------
+
+SkeletonDataset MakeDataset() {
+  SyntheticDataConfig config = NtuLikeConfig(4, 12, 12, 31);
+  return SkeletonDataset::Generate(config).MoveValue();
+}
+
+TEST(DatasetTest, GenerateBasics) {
+  SkeletonDataset dataset = MakeDataset();
+  EXPECT_EQ(dataset.size(), 48);
+  EXPECT_EQ(dataset.num_classes(), 4);
+  EXPECT_EQ(dataset.layout().num_joints, 25);
+}
+
+TEST(DatasetTest, GenerateRejectsBadConfig) {
+  SyntheticDataConfig config = NtuLikeConfig(0, 1, 16, 1);
+  EXPECT_FALSE(SkeletonDataset::Generate(config).ok());
+}
+
+void ExpectValidSplit(const SkeletonDataset& dataset,
+                      const DatasetSplit& split) {
+  EXPECT_FALSE(split.train.empty());
+  EXPECT_FALSE(split.test.empty());
+  std::set<int64_t> seen;
+  for (int64_t i : split.train) EXPECT_TRUE(seen.insert(i).second);
+  for (int64_t i : split.test) EXPECT_TRUE(seen.insert(i).second);
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), dataset.size());
+}
+
+TEST(DatasetTest, CrossSubjectSplitsBySubject) {
+  SkeletonDataset dataset = MakeDataset();
+  DatasetSplit split = dataset.CrossSubjectSplit({0, 2, 4, 6});
+  ExpectValidSplit(dataset, split);
+  for (int64_t i : split.train) {
+    EXPECT_EQ(dataset.sample(i).subject % 2, 0);
+  }
+  for (int64_t i : split.test) {
+    EXPECT_EQ(dataset.sample(i).subject % 2, 1);
+  }
+}
+
+TEST(DatasetTest, CrossViewHoldsOutCamera) {
+  SkeletonDataset dataset = MakeDataset();
+  DatasetSplit split = dataset.CrossViewSplit(1);
+  ExpectValidSplit(dataset, split);
+  for (int64_t i : split.test) EXPECT_EQ(dataset.sample(i).camera, 1);
+  for (int64_t i : split.train) EXPECT_NE(dataset.sample(i).camera, 1);
+}
+
+TEST(DatasetTest, CrossSetupSplitsByParity) {
+  SkeletonDataset dataset = MakeDataset();
+  DatasetSplit split = dataset.CrossSetupSplit();
+  ExpectValidSplit(dataset, split);
+  for (int64_t i : split.train) EXPECT_EQ(dataset.sample(i).setup % 2, 0);
+  for (int64_t i : split.test) EXPECT_EQ(dataset.sample(i).setup % 2, 1);
+}
+
+TEST(DatasetTest, RandomSplitIsStratifiedAndDeterministic) {
+  SkeletonDataset dataset = MakeDataset();
+  DatasetSplit a = dataset.RandomSplit(0.25f, 77);
+  DatasetSplit b = dataset.RandomSplit(0.25f, 77);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+  ExpectValidSplit(dataset, a);
+  // Every class appears in the test set.
+  std::set<int64_t> test_classes;
+  for (int64_t i : a.test) test_classes.insert(dataset.sample(i).label);
+  EXPECT_EQ(test_classes.size(), 4u);
+}
+
+// --- Transforms ------------------------------------------------------------------------
+
+TEST(TransformsTest, JointToBoneRootIsZero) {
+  SkeletonDataset dataset = MakeDataset();
+  const SkeletonLayout& layout = dataset.layout();
+  Tensor bones = JointToBone(dataset.sample(0).data, layout);
+  EXPECT_EQ(bones.shape(), dataset.sample(0).data.shape());
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t t = 0; t < bones.dim(1); ++t) {
+      EXPECT_FLOAT_EQ(bones.at(c, t, layout.root), 0.0f);
+    }
+  }
+}
+
+TEST(TransformsTest, JointToBoneMatchesManualDifference) {
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kNtu25);
+  Rng rng(80);
+  Tensor joints = Tensor::RandomNormal({3, 2, 25}, rng);
+  Tensor bones = JointToBone(joints, layout);
+  for (int64_t j = 0; j < 25; ++j) {
+    int64_t parent = layout.parents[static_cast<size_t>(j)];
+    EXPECT_FLOAT_EQ(bones.at(0, 1, j),
+                    joints.at(0, 1, j) - joints.at(0, 1, parent));
+  }
+}
+
+TEST(TransformsTest, JointToBoneBatched) {
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kKinetics18);
+  Rng rng(81);
+  Tensor joints = Tensor::RandomNormal({2, 3, 4, 18}, rng);
+  Tensor bones = JointToBone(joints, layout);
+  EXPECT_EQ(bones.shape(), joints.shape());
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_FLOAT_EQ(bones.at(1, c, 2, layout.root), 0.0f);
+  }
+}
+
+TEST(TransformsTest, CenterOnRootZeroesRoot) {
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kNtu25);
+  Rng rng(82);
+  Tensor joints = Tensor::RandomNormal({3, 5, 25}, rng);
+  Tensor centered = CenterOnRoot(joints, layout);
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t t = 0; t < 5; ++t) {
+      EXPECT_FLOAT_EQ(centered.at(c, t, layout.root), 0.0f);
+    }
+  }
+  // Relative geometry is preserved.
+  EXPECT_NEAR(centered.at(0, 0, 3) - centered.at(0, 0, 5),
+              joints.at(0, 0, 3) - joints.at(0, 0, 5), 1e-5f);
+}
+
+TEST(TransformsTest, TemporalDifference) {
+  Tensor joints({1, 3, 2});
+  joints.at(0, 0, 0) = 1.0f;
+  joints.at(0, 1, 0) = 4.0f;
+  joints.at(0, 2, 0) = 9.0f;
+  Tensor motion = TemporalDifference(joints);
+  EXPECT_FLOAT_EQ(motion.at(0, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(motion.at(0, 1, 0), 5.0f);
+  EXPECT_FLOAT_EQ(motion.at(0, 2, 0), 0.0f);  // last frame zero
+}
+
+TEST(TransformsTest, ResampleFramesUpAndDown) {
+  Tensor joints = Tensor::Arange(8).Reshape({1, 8, 1});
+  Tensor down = ResampleFrames(joints, 4);
+  EXPECT_EQ(down.shape(), (Shape{1, 4, 1}));
+  EXPECT_FLOAT_EQ(down.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(down.at(0, 3, 0), 6.0f);
+  Tensor up = ResampleFrames(joints, 16);
+  EXPECT_EQ(up.shape(), (Shape{1, 16, 1}));
+  EXPECT_FLOAT_EQ(up.at(0, 15, 0), 7.0f);
+}
+
+// --- DataLoader --------------------------------------------------------------------------
+
+TEST(DataLoaderTest, BatchShapesAndLabels) {
+  SkeletonDataset dataset = MakeDataset();
+  DatasetSplit split = dataset.CrossSubjectSplit();
+  DataLoader loader(&dataset, split.train, 8, InputStream::kJoint,
+                    /*shuffle=*/false);
+  Batch batch = loader.GetBatch(0);
+  EXPECT_EQ(batch.x.shape(), (Shape{8, 3, 12, 25}));
+  EXPECT_EQ(batch.labels.size(), 8u);
+}
+
+TEST(DataLoaderTest, LastBatchMayBeShort) {
+  SkeletonDataset dataset = MakeDataset();
+  std::vector<int64_t> indices = {0, 1, 2, 3, 4};
+  DataLoader loader(&dataset, indices, 2, InputStream::kJoint, false);
+  EXPECT_EQ(loader.NumBatches(), 3);
+  EXPECT_EQ(loader.GetBatch(2).x.dim(0), 1);
+}
+
+TEST(DataLoaderTest, CoversAllSamplesEachEpoch) {
+  SkeletonDataset dataset = MakeDataset();
+  DatasetSplit split = dataset.CrossViewSplit(0);
+  DataLoader loader(&dataset, split.train, 7, InputStream::kJoint,
+                    /*shuffle=*/true, Rng(3));
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    loader.StartEpoch();
+    std::set<int64_t> seen;
+    for (int64_t b = 0; b < loader.NumBatches(); ++b) {
+      Batch batch = loader.GetBatch(b);
+      for (int64_t idx : batch.sample_indices) seen.insert(idx);
+    }
+    EXPECT_EQ(seen.size(), split.train.size());
+  }
+}
+
+TEST(DataLoaderTest, ShuffleChangesOrder) {
+  SkeletonDataset dataset = MakeDataset();
+  DatasetSplit split = dataset.CrossSubjectSplit();
+  DataLoader loader(&dataset, split.train, 100, InputStream::kJoint,
+                    /*shuffle=*/true, Rng(5));
+  Batch first = loader.GetBatch(0);
+  loader.StartEpoch();
+  Batch second = loader.GetBatch(0);
+  EXPECT_NE(first.sample_indices, second.sample_indices);
+}
+
+TEST(DataLoaderTest, BoneStreamDiffersFromJointStream) {
+  SkeletonDataset dataset = MakeDataset();
+  std::vector<int64_t> indices = {0};
+  DataLoader joint_loader(&dataset, indices, 1, InputStream::kJoint, false);
+  DataLoader bone_loader(&dataset, indices, 1, InputStream::kBone, false);
+  Tensor joint_x = joint_loader.GetBatch(0).x;
+  Tensor bone_x = bone_loader.GetBatch(0).x;
+  EXPECT_FALSE(AllClose(joint_x, bone_x, 1e-3f, 1e-3f));
+}
+
+TEST(DataLoaderTest, JointStreamIsRootCentered) {
+  SkeletonDataset dataset = MakeDataset();
+  const SkeletonLayout& layout = dataset.layout();
+  DataLoader loader(&dataset, {0, 1}, 2, InputStream::kJoint, false);
+  Tensor x = loader.GetBatch(0).x;
+  for (int64_t n = 0; n < 2; ++n) {
+    for (int64_t t = 0; t < x.dim(2); ++t) {
+      EXPECT_FLOAT_EQ(x.at(n, 0, t, layout.root), 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dhgcn

@@ -1,0 +1,183 @@
+#include "tensor/sparse.h"
+
+#include "gtest/gtest.h"
+
+#include "base/rng.h"
+#include "core/static_hypergraph.h"
+#include "data/skeleton.h"
+#include "hypergraph/hypergraph_conv.h"
+#include "tensor/linalg.h"
+#include "tensor/tensor_ops.h"
+#include "tests/gradcheck.h"
+
+namespace dhgcn {
+namespace {
+
+Tensor RandomSparseDense(int64_t rows, int64_t cols, float keep_prob,
+                         Rng& rng) {
+  Tensor dense({rows, cols});
+  for (int64_t i = 0; i < dense.numel(); ++i) {
+    if (rng.Bernoulli(keep_prob)) dense.flat(i) = rng.Normal();
+  }
+  return dense;
+}
+
+// --- CsrMatrix construction ---------------------------------------------------
+
+TEST(CsrMatrixTest, EmptyMatrixHasNoEntries) {
+  CsrMatrix csr(3, 4);
+  EXPECT_EQ(csr.rows(), 3);
+  EXPECT_EQ(csr.cols(), 4);
+  EXPECT_EQ(csr.nnz(), 0);
+  EXPECT_DOUBLE_EQ(csr.Density(), 0.0);
+  EXPECT_TRUE(AllClose(csr.ToDense(), Tensor::Zeros({3, 4})));
+}
+
+TEST(CsrMatrixTest, FromDenseRoundTrip) {
+  Rng rng(1);
+  Tensor dense = RandomSparseDense(7, 9, 0.3f, rng);
+  CsrMatrix csr = CsrMatrix::FromDense(dense);
+  EXPECT_TRUE(AllClose(csr.ToDense(), dense, 0.0f, 0.0f));
+}
+
+TEST(CsrMatrixTest, FromDenseDropsBelowTolerance) {
+  Tensor dense = Tensor::FromVector({2, 2}, {0.5f, 0.01f, -0.02f, 0.0f});
+  CsrMatrix csr = CsrMatrix::FromDense(dense, /*tolerance=*/0.05f);
+  EXPECT_EQ(csr.nnz(), 1);
+  EXPECT_FLOAT_EQ(csr.ToDense().at(0, 0), 0.5f);
+}
+
+TEST(CsrMatrixTest, RowPtrIsMonotoneAndConsistent) {
+  Rng rng(2);
+  Tensor dense = RandomSparseDense(10, 6, 0.25f, rng);
+  CsrMatrix csr = CsrMatrix::FromDense(dense);
+  const auto& row_ptr = csr.row_ptr();
+  ASSERT_EQ(row_ptr.size(), 11u);
+  EXPECT_EQ(row_ptr.front(), 0);
+  EXPECT_EQ(row_ptr.back(), csr.nnz());
+  for (size_t r = 0; r + 1 < row_ptr.size(); ++r) {
+    EXPECT_LE(row_ptr[r], row_ptr[r + 1]);
+  }
+}
+
+TEST(CsrMatrixTest, FromTripletsMatchesDense) {
+  CsrMatrix csr = CsrMatrix::FromTriplets(
+      3, 3, {{2, 0, 5.0f}, {0, 1, 1.0f}, {1, 2, -2.0f}, {0, 0, 3.0f}});
+  Tensor expected({3, 3});
+  expected.at(0, 0) = 3.0f;
+  expected.at(0, 1) = 1.0f;
+  expected.at(1, 2) = -2.0f;
+  expected.at(2, 0) = 5.0f;
+  EXPECT_TRUE(AllClose(csr.ToDense(), expected, 0.0f, 0.0f));
+}
+
+TEST(CsrMatrixTest, FromTripletsSumsDuplicates) {
+  CsrMatrix csr = CsrMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0f}, {0, 0, 2.5f}, {1, 1, -1.0f}});
+  EXPECT_EQ(csr.nnz(), 2);
+  EXPECT_FLOAT_EQ(csr.ToDense().at(0, 0), 3.5f);
+}
+
+TEST(CsrMatrixTest, TransposedMatchesDenseTranspose) {
+  Rng rng(3);
+  Tensor dense = RandomSparseDense(5, 8, 0.3f, rng);
+  CsrMatrix csr = CsrMatrix::FromDense(dense);
+  EXPECT_TRUE(AllClose(csr.Transposed().ToDense(), Transpose2D(dense),
+                       0.0f, 0.0f));
+}
+
+TEST(CsrMatrixTest, MatVecMatchesDense) {
+  Rng rng(4);
+  Tensor dense = RandomSparseDense(6, 4, 0.4f, rng);
+  CsrMatrix csr = CsrMatrix::FromDense(dense);
+  Tensor x = Tensor::RandomNormal({4}, rng);
+  Tensor expected = MatMul(dense, x.Reshape({4, 1})).Reshape({6});
+  EXPECT_TRUE(AllClose(csr.MatVec(x), expected, 1e-5f, 1e-6f));
+}
+
+// --- SpMM -----------------------------------------------------------------------
+
+TEST(SpMMTest, MatchesDenseMatMul) {
+  Rng rng(5);
+  Tensor a_dense = RandomSparseDense(6, 10, 0.3f, rng);
+  Tensor b = Tensor::RandomNormal({10, 7}, rng);
+  CsrMatrix a = CsrMatrix::FromDense(a_dense);
+  EXPECT_TRUE(AllClose(SpMM(a, b), MatMul(a_dense, b), 1e-4f, 1e-5f));
+}
+
+TEST(SpMMTest, AccumulateAddsIntoExisting) {
+  CsrMatrix a = CsrMatrix::FromTriplets(2, 2, {{0, 0, 2.0f}});
+  Tensor b = Tensor::Ones({2, 1});
+  Tensor c = Tensor::Full({2, 1}, 10.0f);
+  SpMMAccumulate(a, b, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 12.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 10.0f);
+}
+
+TEST(SpMMTest, IdentityIsNeutral) {
+  Rng rng(6);
+  CsrMatrix eye = CsrMatrix::FromDense(Tensor::Eye(5));
+  Tensor b = Tensor::RandomNormal({5, 3}, rng);
+  EXPECT_TRUE(AllClose(SpMM(eye, b), b, 1e-6f, 1e-7f));
+}
+
+// --- SparseVertexMix ----------------------------------------------------------------
+
+TEST(SparseVertexMixTest, MatchesDenseVertexMix) {
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kNtu25);
+  Tensor op = NormalizedHypergraphOperator(StaticSkeletonHypergraph(layout));
+  VertexMix dense_mix(op);
+  SparseVertexMix sparse_mix(op);
+  Rng rng(7);
+  Tensor x = Tensor::RandomNormal({2, 4, 3, 25}, rng);
+  EXPECT_TRUE(AllClose(sparse_mix.Forward(x), dense_mix.Forward(x), 1e-4f,
+                       1e-5f));
+}
+
+TEST(SparseVertexMixTest, BackwardMatchesDense) {
+  Rng rng(8);
+  Tensor op = RandomSparseDense(6, 6, 0.4f, rng);
+  VertexMix dense_mix(op);
+  SparseVertexMix sparse_mix(op);
+  Tensor x = Tensor::RandomNormal({1, 2, 3, 6}, rng);
+  dense_mix.Forward(x);
+  sparse_mix.Forward(x);
+  Tensor g = Tensor::RandomNormal({1, 2, 3, 6}, rng);
+  EXPECT_TRUE(AllClose(sparse_mix.Backward(g), dense_mix.Backward(g),
+                       1e-4f, 1e-5f));
+}
+
+TEST(SparseVertexMixTest, GradCheck) {
+  Rng rng(9);
+  Tensor op = RandomSparseDense(5, 5, 0.5f, rng);
+  SparseVertexMix mix(op);
+  Tensor x = Tensor::RandomNormal({1, 2, 2, 5}, rng);
+  testing::ExpectGradientsMatch(mix, x);
+}
+
+TEST(SparseVertexMixTest, StaticHypergraphOperatorIsActuallySparse) {
+  // The design-choice rationale: structural operators have exploitable
+  // sparsity. The NTU static-hypergraph operator must be well under half
+  // dense.
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kNtu25);
+  CsrMatrix csr = CsrMatrix::FromDense(
+      NormalizedHypergraphOperator(StaticSkeletonHypergraph(layout)),
+      1e-8f);
+  EXPECT_LT(csr.Density(), 0.5);
+  EXPECT_GT(csr.nnz(), 25);  // but not diagonal either
+}
+
+TEST(SparseVertexMixTest, SkeletonAdjacencyIsVerySparse) {
+  const SkeletonLayout& layout =
+      GetSkeletonLayout(SkeletonLayoutType::kNtu25);
+  CsrMatrix csr = CsrMatrix::FromDense(
+      SkeletonGraph(layout).NormalizedAdjacency(), 1e-8f);
+  // Tree adjacency + self loops: nnz = 2 * 24 + 25 = 73 of 625.
+  EXPECT_EQ(csr.nnz(), 73);
+  EXPECT_LT(csr.Density(), 0.15);
+}
+
+}  // namespace
+}  // namespace dhgcn

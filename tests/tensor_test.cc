@@ -1,0 +1,164 @@
+#include "tensor/tensor.h"
+
+#include "gtest/gtest.h"
+
+#include "base/rng.h"
+
+namespace dhgcn {
+namespace {
+
+TEST(ShapeTest, NumelAndToString) {
+  EXPECT_EQ(ShapeNumel({2, 3, 4}), 24);
+  EXPECT_EQ(ShapeNumel({}), 1);
+  EXPECT_EQ(ShapeNumel({5, 0, 2}), 0);
+  EXPECT_EQ(ShapeToString({2, 3}), "(2, 3)");
+  EXPECT_EQ(ShapeToString({}), "()");
+}
+
+TEST(TensorTest, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.ndim(), 0);
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_FLOAT_EQ(t.flat(0), 0.0f);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({3, 4});
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t.flat(i), 0.0f);
+}
+
+TEST(TensorTest, FullAndOnes) {
+  Tensor full = Tensor::Full({2, 2}, 3.5f);
+  EXPECT_FLOAT_EQ(full.at(1, 1), 3.5f);
+  Tensor ones = Tensor::Ones({5});
+  EXPECT_FLOAT_EQ(ones.flat(4), 1.0f);
+}
+
+TEST(TensorTest, FromVectorRoundTrip) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 4.0f);
+  std::vector<float> back = t.ToVector();
+  EXPECT_EQ(back, (std::vector<float>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(TensorDeathTest, FromVectorSizeMismatch) {
+  EXPECT_DEATH(Tensor::FromVector({2, 2}, {1, 2, 3}), "DHGCN_CHECK");
+}
+
+TEST(TensorTest, FromListAndScalar) {
+  Tensor list = Tensor::FromList({7, 8, 9});
+  EXPECT_EQ(list.ndim(), 1);
+  EXPECT_FLOAT_EQ(list.flat(2), 9.0f);
+  Tensor scalar = Tensor::Scalar(-2.0f);
+  EXPECT_EQ(scalar.ndim(), 0);
+  EXPECT_FLOAT_EQ(scalar.flat(0), -2.0f);
+}
+
+TEST(TensorTest, EyeIsIdentity) {
+  Tensor eye = Tensor::Eye(4);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(eye.at(i, j), i == j ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(TensorTest, ArangeValues) {
+  Tensor t = Tensor::Arange(4, 1.0f, 0.5f);
+  EXPECT_FLOAT_EQ(t.flat(0), 1.0f);
+  EXPECT_FLOAT_EQ(t.flat(3), 2.5f);
+}
+
+TEST(TensorTest, RandomNormalDeterministicForSeed) {
+  Rng rng1(3), rng2(3);
+  Tensor a = Tensor::RandomNormal({10}, rng1);
+  Tensor b = Tensor::RandomNormal({10}, rng2);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_FLOAT_EQ(a.flat(i), b.flat(i));
+}
+
+TEST(TensorTest, RandomUniformBounds) {
+  Rng rng(4);
+  Tensor t = Tensor::RandomUniform({100}, rng, -2.0f, 5.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t.flat(i), -2.0f);
+    EXPECT_LT(t.flat(i), 5.0f);
+  }
+}
+
+TEST(TensorTest, MultiIndexMatchesRowMajorFlat) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.Offset({0, 0, 0}), 0);
+  EXPECT_EQ(t.Offset({0, 0, 3}), 3);
+  EXPECT_EQ(t.Offset({0, 2, 0}), 8);
+  EXPECT_EQ(t.Offset({1, 0, 0}), 12);
+  EXPECT_EQ(t.Offset({1, 2, 3}), 23);
+  t.at(1, 2, 3) = 42.0f;
+  EXPECT_FLOAT_EQ(t.flat(23), 42.0f);
+}
+
+TEST(TensorTest, DimSupportsNegativeAxes) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor view = t.Reshape({3, 2});
+  EXPECT_TRUE(view.SharesStorageWith(t));
+  view.at(0, 0) = 100.0f;
+  EXPECT_FLOAT_EQ(t.at(0, 0), 100.0f);
+}
+
+TEST(TensorTest, ReshapeInfersDimension) {
+  Tensor t({4, 6});
+  EXPECT_EQ(t.Reshape({-1, 8}).shape(), (Shape{3, 8}));
+  EXPECT_EQ(t.Reshape({2, -1}).shape(), (Shape{2, 12}));
+  EXPECT_EQ(t.Reshape({-1}).shape(), (Shape{24}));
+}
+
+TEST(TensorDeathTest, ReshapeBadNumel) {
+  Tensor t({4});
+  EXPECT_DEATH(t.Reshape({3}), "DHGCN_CHECK");
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor t = Tensor::Ones({3});
+  Tensor copy = t.Clone();
+  EXPECT_FALSE(copy.SharesStorageWith(t));
+  copy.flat(0) = 9.0f;
+  EXPECT_FLOAT_EQ(t.flat(0), 1.0f);
+}
+
+TEST(TensorTest, CopyConstructorSharesStorage) {
+  Tensor t = Tensor::Ones({3});
+  Tensor alias = t;
+  EXPECT_TRUE(alias.SharesStorageWith(t));
+}
+
+TEST(TensorTest, CopyFromReplacesContents) {
+  Tensor dst({2, 2});
+  Tensor src = Tensor::Full({2, 2}, 5.0f);
+  dst.CopyFrom(src);
+  EXPECT_FLOAT_EQ(dst.at(1, 1), 5.0f);
+  EXPECT_FALSE(dst.SharesStorageWith(src));
+}
+
+TEST(TensorTest, FillSetsEverything) {
+  Tensor t({2, 5});
+  t.Fill(-1.5f);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t.flat(i), -1.5f);
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t = Tensor::Arange(100);
+  std::string text = t.ToString(4);
+  EXPECT_NE(text.find("Tensor(100)"), std::string::npos);
+  EXPECT_NE(text.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dhgcn

@@ -1,0 +1,241 @@
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+
+#include "base/rng.h"
+#include "models/model_zoo.h"
+#include "train/evaluator.h"
+#include "train/experiment.h"
+#include "train/metrics.h"
+#include "train/table.h"
+#include "train/trainer.h"
+
+namespace dhgcn {
+namespace {
+
+// --- Metrics ---------------------------------------------------------------------
+
+TEST(TopKAccuracyTest, Top1Manual) {
+  Tensor logits = Tensor::FromVector({3, 3},
+                                     {5, 1, 0,    // pred 0
+                                      0, 2, 9,    // pred 2
+                                      1, 8, 3});  // pred 1
+  EXPECT_DOUBLE_EQ(TopKAccuracy(logits, {0, 2, 1}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(TopKAccuracy(logits, {1, 2, 1}, 1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(TopKAccuracy(logits, {1, 1, 2}, 1), 0.0);
+}
+
+TEST(TopKAccuracyTest, Top2CountsRunnerUp) {
+  Tensor logits = Tensor::FromVector({2, 3}, {5, 4, 0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(TopKAccuracy(logits, {1, 1}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(TopKAccuracy(logits, {2, 0}, 2), 0.0);
+}
+
+TEST(TopKAccuracyTest, TieBreaksTowardLowerIndex) {
+  Tensor logits = Tensor::FromVector({1, 3}, {1, 1, 0});
+  // Class 0 and 1 tie; top-1 counts class 0 as the prediction.
+  EXPECT_DOUBLE_EQ(TopKAccuracy(logits, {0}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(TopKAccuracy(logits, {1}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(TopKAccuracy(logits, {1}, 2), 1.0);
+}
+
+TEST(MetricsAccumulatorTest, AggregatesAcrossBatches) {
+  MetricsAccumulator accumulator;
+  Tensor batch1 = Tensor::FromVector({2, 6}, {9, 0, 0, 0, 0, 0,   // hit
+                                              0, 9, 0, 0, 0, 0}); // hit
+  accumulator.Add(batch1, {0, 1}, 0.5);
+  Tensor batch2 = Tensor::FromVector({1, 6}, {0, 0, 0, 0, 0, 9});
+  accumulator.Add(batch2, {0}, 1.5);  // top1 miss, top5 miss (label 0 is
+                                      // ranked 2nd among ties 0..4 -> hit)
+  EvalMetrics metrics = accumulator.Finalize();
+  EXPECT_EQ(metrics.count, 3);
+  EXPECT_NEAR(metrics.top1, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(metrics.top5, 1.0, 1e-9);  // label 0 within top-5 of batch2
+  EXPECT_NEAR(metrics.loss, 1.0, 1e-9);
+}
+
+TEST(MetricsAccumulatorTest, EmptyFinalizeIsZero) {
+  MetricsAccumulator accumulator;
+  EvalMetrics metrics = accumulator.Finalize();
+  EXPECT_EQ(metrics.count, 0);
+  EXPECT_DOUBLE_EQ(metrics.top1, 0.0);
+}
+
+TEST(ConfusionMatrixTest, CountsPredictions) {
+  Tensor logits = Tensor::FromVector({3, 2}, {2, 1, 1, 2, 2, 1});
+  Tensor confusion = ConfusionMatrix(logits, {0, 0, 1}, 2);
+  EXPECT_FLOAT_EQ(confusion.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(confusion.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(confusion.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(confusion.at(1, 1), 0.0f);
+}
+
+// --- TextTable -------------------------------------------------------------------
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"Method", "Top1"});
+  table.AddRow({"ST-GCN", "30.7"});
+  table.AddRow({"DHGCN(Ours)", "37.7"});
+  std::string text = table.ToString();
+  EXPECT_NE(text.find("| Method      | Top1 |"), std::string::npos);
+  EXPECT_NE(text.find("| DHGCN(Ours) | 37.7 |"), std::string::npos);
+  EXPECT_NE(text.find("+-------------+------+"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorRows) {
+  TextTable table({"A"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::string text = table.ToString();
+  // Header line + top + below-header + separator + bottom = 4 rules.
+  size_t count = 0;
+  for (size_t pos = text.find("+---"); pos != std::string::npos;
+       pos = text.find("+---", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(TextTableDeathTest, RowWidthMismatch) {
+  TextTable table({"A", "B"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "DHGCN_CHECK");
+}
+
+// --- Experiment helpers -------------------------------------------------------------
+
+TEST(SplitProtocolTest, Names) {
+  EXPECT_EQ(SplitProtocolName(SplitProtocol::kCrossSubject), "X-Sub");
+  EXPECT_EQ(SplitProtocolName(SplitProtocol::kCrossView), "X-View");
+  EXPECT_EQ(SplitProtocolName(SplitProtocol::kCrossSetup), "X-Set");
+  EXPECT_EQ(SplitProtocolName(SplitProtocol::kRandom), "holdout");
+}
+
+TEST(BenchScaleTest, EnvironmentOverrides) {
+  // Note: test mutates the environment; restore afterwards.
+  const char* saved = std::getenv("DHGCN_BENCH_SCALE");
+  setenv("DHGCN_BENCH_SCALE", "smoke", 1);
+  BenchScale smoke = GetBenchScale();
+  EXPECT_EQ(smoke.name, "smoke");
+  EXPECT_LT(smoke.epochs, 5);
+  setenv("DHGCN_BENCH_SCALE", "full", 1);
+  BenchScale full = GetBenchScale();
+  EXPECT_EQ(full.name, "full");
+  EXPECT_GT(full.epochs, smoke.epochs);
+  unsetenv("DHGCN_BENCH_SCALE");
+  BenchScale normal = GetBenchScale();
+  EXPECT_EQ(normal.name, "default");
+  if (saved != nullptr) setenv("DHGCN_BENCH_SCALE", saved, 1);
+}
+
+TEST(BenchTrainOptionsTest, MilestonesInsideSchedule) {
+  BenchScale scale;
+  scale.epochs = 10;
+  TrainOptions options = BenchTrainOptions(scale);
+  EXPECT_EQ(options.epochs, 10);
+  ASSERT_EQ(options.lr_milestones.size(), 2u);
+  EXPECT_EQ(options.lr_milestones[0], 6);
+  EXPECT_EQ(options.lr_milestones[1], 8);
+}
+
+// --- Trainer end-to-end on a tiny separable dataset ------------------------------------
+
+SkeletonDataset TinyDataset() {
+  SyntheticDataConfig config = NtuLikeConfig(3, 10, 12, 99);
+  config.sensor_noise = 0.005f;
+  return SkeletonDataset::Generate(config).MoveValue();
+}
+
+TEST(TrainerTest, LossDecreasesOverEpochs) {
+  SkeletonDataset dataset = TinyDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+  DataLoader loader(&dataset, split.train, 8, InputStream::kJoint,
+                    /*shuffle=*/true, Rng(2));
+  ModelZooOptions zoo;
+  zoo.scale.channels = {8, 16};
+  zoo.scale.strides = {1, 2};
+  zoo.scale.dropout = 0.0f;
+  LayerPtr model =
+      CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kNtu25, 3, zoo);
+  TrainOptions options;
+  options.epochs = 6;
+  options.initial_lr = 0.05f;
+  options.lr_milestones = {4};
+  Trainer trainer(model.get(), options);
+  std::vector<EpochStats> history = trainer.Train(loader);
+  ASSERT_EQ(history.size(), 6u);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+  EXPECT_GT(history.back().train_top1, 0.4);
+}
+
+TEST(TrainerTest, LrFollowsSchedule) {
+  SkeletonDataset dataset = TinyDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+  DataLoader loader(&dataset, split.train, 16, InputStream::kJoint, true,
+                    Rng(3));
+  ModelZooOptions zoo;
+  zoo.scale.channels = {4};
+  zoo.scale.strides = {1};
+  zoo.scale.dropout = 0.0f;
+  LayerPtr model =
+      CreateModel(ModelKind::kTcn, SkeletonLayoutType::kNtu25, 3, zoo);
+  TrainOptions options;
+  options.epochs = 4;
+  options.initial_lr = 0.1f;
+  options.lr_milestones = {2};
+  Trainer trainer(model.get(), options);
+  std::vector<EpochStats> history = trainer.Train(loader);
+  EXPECT_FLOAT_EQ(history[0].lr, 0.1f);
+  EXPECT_FLOAT_EQ(history[1].lr, 0.1f);
+  EXPECT_FLOAT_EQ(history[2].lr, 0.01f);
+  EXPECT_FLOAT_EQ(history[3].lr, 0.01f);
+}
+
+TEST(EvaluatorTest, MetricsOnHeldOutData) {
+  SkeletonDataset dataset = TinyDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+  ModelZooOptions zoo;
+  zoo.scale.channels = {8, 16, 24};
+  zoo.scale.strides = {1, 2, 1};
+  zoo.scale.dropout = 0.0f;
+  LayerPtr model =
+      CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kNtu25, 3, zoo);
+  EvalMetrics metrics = TrainAndEvaluateStream(
+      *model, dataset, split, InputStream::kJoint,
+      TrainOptions{.epochs = 28,
+                   .initial_lr = 0.05f,
+                   .lr_milestones = {16, 22},
+                   .lr_decay_factor = 10.0f,
+                   .momentum = 0.9f,
+                   .weight_decay = 1e-4f,
+                   .verbose = false},
+      8, 7);
+  EXPECT_EQ(metrics.count, static_cast<int64_t>(split.test.size()));
+  // 3 well-separated synthetic classes: should beat chance comfortably.
+  EXPECT_GT(metrics.top1, 0.45);
+  EXPECT_GE(metrics.top5, metrics.top1);
+}
+
+TEST(EvaluatorTest, FusedConsistencyChecks) {
+  SkeletonDataset dataset = TinyDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+  ModelZooOptions zoo;
+  zoo.scale.channels = {4};
+  zoo.scale.strides = {1};
+  zoo.scale.dropout = 0.0f;
+  LayerPtr joint_model =
+      CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kNtu25, 3, zoo);
+  LayerPtr bone_model =
+      CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kNtu25, 3, zoo);
+  DataLoader joint_loader(&dataset, split.test, 8, InputStream::kJoint,
+                          false);
+  DataLoader bone_loader(&dataset, split.test, 8, InputStream::kBone,
+                         false);
+  EvalMetrics fused =
+      EvaluateFused(*joint_model, *bone_model, joint_loader, bone_loader);
+  EXPECT_EQ(fused.count, static_cast<int64_t>(split.test.size()));
+  EXPECT_GE(fused.top5, fused.top1);
+}
+
+}  // namespace
+}  // namespace dhgcn
