@@ -60,7 +60,7 @@ int main() {
   train_options.verbose = false;
   Trainer trainer(model->get(), train_options);
   for (int64_t epoch = 0; epoch < train_options.epochs; ++epoch) {
-    EpochStats stats = trainer.TrainEpoch(train_loader, epoch);
+    EpochStats stats = trainer.TrainEpoch(train_loader, epoch).ValueOrDie();
     std::printf("epoch %2lld  loss %.3f  train-top1 %.1f%%\n",
                 static_cast<long long>(epoch), stats.mean_loss,
                 100.0 * stats.train_top1);

@@ -1,0 +1,28 @@
+#ifndef DHGCN_BASE_CRC32_H_
+#define DHGCN_BASE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dhgcn {
+
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+///
+/// Used by the v2 checkpoint format to detect torn writes and bit flips
+/// before corrupt bytes reach the model. Incremental use:
+///
+///   uint32_t crc = 0;
+///   crc = Crc32Update(crc, a, a_bytes);
+///   crc = Crc32Update(crc, b, b_bytes);
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t bytes);
+
+/// One-shot checksum of a buffer.
+uint32_t Crc32(const void* data, size_t bytes);
+inline uint32_t Crc32(std::string_view text) {
+  return Crc32(text.data(), text.size());
+}
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_BASE_CRC32_H_

@@ -1,0 +1,112 @@
+#include "base/fault_injection.h"
+
+#include <cstdlib>
+
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace dhgcn {
+
+namespace {
+
+size_t Index(FaultSite site) { return static_cast<size_t>(site); }
+
+Result<FaultSite> ParseSiteName(const std::string& name) {
+  if (name == "grad-nan") return FaultSite::kGradientNaN;
+  if (name == "grad-inf") return FaultSite::kGradientInf;
+  if (name == "write-fail") return FaultSite::kFileWrite;
+  if (name == "truncate") return FaultSite::kCheckpointTruncate;
+  if (name == "batch-nan") return FaultSite::kBatchNaN;
+  return Status::InvalidArgument(
+      StrCat("unknown fault site '", name,
+             "' (grad-nan|grad-inf|write-fail|truncate|batch-nan)"));
+}
+
+}  // namespace
+
+std::string FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kGradientNaN:
+      return "grad-nan";
+    case FaultSite::kGradientInf:
+      return "grad-inf";
+    case FaultSite::kFileWrite:
+      return "write-fail";
+    case FaultSite::kCheckpointTruncate:
+      return "truncate";
+    case FaultSite::kBatchNaN:
+      return "batch-nan";
+    case FaultSite::kSiteCount:
+      break;
+  }
+  return "?";
+}
+
+FaultInjection& FaultInjection::Get() {
+  static FaultInjection* instance = new FaultInjection();
+  return *instance;
+}
+
+void FaultInjection::Arm(FaultSite site, int64_t nth, int64_t payload) {
+  Site& s = sites_[Index(site)];
+  if (!s.armed) ++armed_count_;
+  s.armed = true;
+  s.fire_at = nth < 1 ? 1 : nth;
+  s.passes = 0;
+  s.payload = payload;
+}
+
+void FaultInjection::Disarm(FaultSite site) {
+  Site& s = sites_[Index(site)];
+  if (s.armed) --armed_count_;
+  s.armed = false;
+}
+
+void FaultInjection::Reset() {
+  sites_ = {};
+  armed_count_ = 0;
+}
+
+bool FaultInjection::ShouldFire(FaultSite site) {
+  if (armed_count_ == 0) return false;
+  Site& s = sites_[Index(site)];
+  if (!s.armed) return false;
+  if (++s.passes < s.fire_at) return false;
+  s.armed = false;
+  --armed_count_;
+  ++s.fires;
+  DHGCN_LOG(kWarning) << "fault injection: firing '" << FaultSiteName(site)
+                      << "' at pass " << s.passes;
+  return true;
+}
+
+int64_t FaultInjection::payload(FaultSite site) const {
+  return sites_[Index(site)].payload;
+}
+
+int64_t FaultInjection::fire_count(FaultSite site) const {
+  return sites_[Index(site)].fires;
+}
+
+Status FaultInjection::ArmFromSpec(const std::string& spec) {
+  for (const std::string& item : StrSplit(spec, ',')) {
+    if (item.empty()) continue;
+    std::vector<std::string> parts = StrSplit(item, ':');
+    if (parts.size() < 2 || parts.size() > 3) {
+      return Status::InvalidArgument(
+          StrCat("bad fault spec '", item, "' (want site:nth[:payload])"));
+    }
+    DHGCN_ASSIGN_OR_RETURN(FaultSite site, ParseSiteName(parts[0]));
+    int64_t nth = std::atoll(parts[1].c_str());
+    if (nth < 1) {
+      return Status::InvalidArgument(
+          StrCat("fault spec '", item, "': nth must be >= 1"));
+    }
+    int64_t payload =
+        parts.size() == 3 ? std::atoll(parts[2].c_str()) : 0;
+    Arm(site, nth, payload);
+  }
+  return Status::OK();
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,75 @@
+#ifndef DHGCN_BASE_FAULT_INJECTION_H_
+#define DHGCN_BASE_FAULT_INJECTION_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "base/result.h"
+
+namespace dhgcn {
+
+/// Deterministic fault sites instrumented across the library. Each armed
+/// site counts the passes over it and fires exactly once, at the armed
+/// (1-based) Nth pass. Tests — and `dhgcn_train --fault_inject` — use
+/// these to prove that every recovery path actually executes.
+enum class FaultSite : int {
+  kGradientNaN = 0,     ///< trainer: overwrite a gradient value with NaN
+  kGradientInf,         ///< trainer: overwrite a gradient value with +Inf
+  kFileWrite,           ///< serialization: fail the Nth atomic file write
+  kCheckpointTruncate,  ///< serialization: drop `payload` trailing bytes
+  kBatchNaN,            ///< dataloader: poison a batch tensor with NaN
+  kSiteCount,           // sentinel, keep last
+};
+
+std::string FaultSiteName(FaultSite site);
+
+/// \brief Global registry of armed faults.
+///
+/// Single-threaded by design (like the rest of the training stack); a
+/// disarmed site costs one branch per pass. Pass counting starts when a
+/// site is armed, so arming `nth = 1` always fires on the next pass.
+class FaultInjection {
+ public:
+  static FaultInjection& Get();
+
+  /// Arms `site` to fire at the `nth` (1-based) pass from now.
+  /// `payload` is site-specific (kCheckpointTruncate: bytes to drop).
+  void Arm(FaultSite site, int64_t nth, int64_t payload = 0);
+  void Disarm(FaultSite site);
+  /// Disarms every site and clears all pass/fire counters.
+  void Reset();
+
+  /// Counts one pass over `site`; returns true when the armed pass is
+  /// reached. One-shot: the site disarms after firing until re-armed.
+  bool ShouldFire(FaultSite site);
+
+  int64_t payload(FaultSite site) const;
+  /// Times `site` has fired since construction / Reset().
+  int64_t fire_count(FaultSite site) const;
+  bool any_armed() const { return armed_count_ > 0; }
+
+  /// Arms sites from a comma-separated spec, e.g.
+  /// "grad-nan:3,write-fail:1,truncate:1:7". Each item is
+  /// `site:nth[:payload]` with site one of grad-nan | grad-inf |
+  /// write-fail | truncate | batch-nan.
+  Status ArmFromSpec(const std::string& spec);
+
+ private:
+  struct Site {
+    bool armed = false;
+    int64_t fire_at = 0;  // 1-based pass index counted from Arm()
+    int64_t passes = 0;
+    int64_t payload = 0;
+    int64_t fires = 0;
+  };
+
+  FaultInjection() = default;
+
+  std::array<Site, static_cast<size_t>(FaultSite::kSiteCount)> sites_;
+  int64_t armed_count_ = 0;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_BASE_FAULT_INJECTION_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 
 #include "base/check.h"
 
@@ -28,6 +29,23 @@ std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
   }
   pool.resize(static_cast<size_t>(k));
   return pool;
+}
+
+std::string Rng::SerializeState() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+Status Rng::DeserializeState(const std::string& text) {
+  std::istringstream is(text);
+  std::mt19937_64 engine;
+  is >> engine;
+  if (is.fail()) {
+    return Status::InvalidArgument("malformed RNG state string");
+  }
+  engine_ = engine;
+  return Status::OK();
 }
 
 }  // namespace dhgcn

@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "base/status.h"
 
 namespace dhgcn {
 
@@ -50,6 +53,13 @@ class Rng {
 
   /// Samples k distinct indices from {0, ..., n-1} (k <= n).
   std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  /// Serializes the full engine state as text (space-separated, no
+  /// newlines); checkpointing uses this so a resumed run consumes the
+  /// exact same random stream as an uninterrupted one.
+  std::string SerializeState() const;
+  /// Restores a state produced by SerializeState.
+  Status DeserializeState(const std::string& text);
 
   std::mt19937_64& engine() { return engine_; }
 

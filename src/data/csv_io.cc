@@ -6,7 +6,9 @@
 #include <sstream>
 #include <vector>
 
+#include "base/logging.h"
 #include "base/string_util.h"
+#include "data/validation.h"
 
 namespace dhgcn {
 
@@ -111,11 +113,6 @@ Result<SkeletonDataset> LoadDatasetCsv(const std::string& path) {
     sample.subject = std::atoll(fields[1].c_str());
     sample.camera = std::atoll(fields[2].c_str());
     sample.setup = std::atoll(fields[3].c_str());
-    if (sample.label < 0 || sample.label >= num_classes) {
-      return Status::IOError(
-          StrCat("line ", line_number, ": label ", sample.label,
-                 " outside [0, ", num_classes, ")"));
-    }
     sample.data = Tensor({3, frames, layout.num_joints});
     for (int64_t j = 0; j < sample.data.numel(); ++j) {
       sample.data.flat(j) =
@@ -123,7 +120,24 @@ Result<SkeletonDataset> LoadDatasetCsv(const std::string& path) {
     }
     samples.push_back(std::move(sample));
   }
-  if (samples.empty()) return Status::IOError("no samples in file");
+  // Corrupt rows (out-of-range labels, NaN/Inf coordinates) are
+  // quarantined rather than failing the whole load: one bad capture in a
+  // million-sample file should cost one sample, not the run. Structural
+  // damage (wrong field count) still fails hard above.
+  SampleValidationReport report =
+      QuarantineInvalidSamples(&samples, num_classes);
+  if (report.quarantined() > 0) {
+    DHGCN_LOG(kWarning) << path
+                        << ": quarantined corrupt samples: "
+                        << report.ToString();
+  }
+  if (samples.empty()) {
+    return Status::IOError(
+        report.checked > 0
+            ? StrCat("no valid samples in ", path, " (",
+                     report.quarantined(), " quarantined)")
+            : "no samples in file");
+  }
   return SkeletonDataset(layout_type, num_classes, std::move(samples));
 }
 

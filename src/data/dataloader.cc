@@ -1,9 +1,14 @@
 #include "data/dataloader.h"
 
+#include <limits>
 #include <numeric>
 
 #include "base/check.h"
+#include "base/fault_injection.h"
+#include "base/result.h"
+#include "base/logging.h"
 #include "data/transforms.h"
+#include "data/validation.h"
 #include "tensor/tensor_ops.h"
 
 namespace dhgcn {
@@ -38,6 +43,14 @@ DataLoader::DataLoader(const SkeletonDataset* dataset,
   for (int64_t i : indices_) {
     DHGCN_CHECK(i >= 0 && i < dataset_->size());
   }
+  SampleValidationReport report =
+      QuarantineInvalidIndices(*dataset_, &indices_);
+  quarantined_samples_ = report.quarantined();
+  if (quarantined_samples_ > 0) {
+    DHGCN_LOG(kWarning) << "DataLoader quarantined invalid samples: "
+                        << report.ToString();
+  }
+  DHGCN_CHECK(!indices_.empty());  // every sample invalid = unusable input
   order_.resize(indices_.size());
   std::iota(order_.begin(), order_.end(), 0);
 }
@@ -100,7 +113,26 @@ Batch DataLoader::GetBatch(int64_t b) {
     batch.sample_indices.push_back(sample_index);
   }
   batch.x = Stack(parts);  // (N, C, T, V)
+  if (FaultInjection::Get().ShouldFire(FaultSite::kBatchNaN)) {
+    batch.x.Fill(std::numeric_limits<float>::quiet_NaN());
+  }
   return batch;
+}
+
+std::string DataLoader::SerializeRngState() const {
+  // mt19937_64's text state is space-separated with no newlines, so a
+  // newline cleanly joins the two streams.
+  return rng_.SerializeState() + "\n" + augmentation_rng_.SerializeState();
+}
+
+Status DataLoader::DeserializeRngState(const std::string& text) {
+  size_t split = text.find('\n');
+  if (split == std::string::npos) {
+    return Status::InvalidArgument(
+        "loader RNG state must hold two newline-separated streams");
+  }
+  DHGCN_RETURN_IF_ERROR(rng_.DeserializeState(text.substr(0, split)));
+  return augmentation_rng_.DeserializeState(text.substr(split + 1));
 }
 
 }  // namespace dhgcn

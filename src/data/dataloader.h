@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "base/status.h"
 #include "data/augmentations.h"
 #include "data/dataset.h"
 #include "tensor/tensor.h"
@@ -40,6 +41,10 @@ struct Batch {
 /// temporal difference of either (motion streams) — then stacking into
 /// (N, C, T, V). Shuffling (training) re-permutes the subset each epoch
 /// with the provided RNG; the final short batch is kept.
+///
+/// Invalid samples (non-finite coordinates, labels outside the class
+/// range) are quarantined at construction: their indices are dropped and
+/// the count is logged, so one corrupt capture cannot poison training.
 class DataLoader {
  public:
   DataLoader(const SkeletonDataset* dataset, std::vector<int64_t> indices,
@@ -67,6 +72,15 @@ class DataLoader {
   /// Batch `b` of the current epoch, b in [0, NumBatches()).
   Batch GetBatch(int64_t b);
 
+  /// Serializes the shuffle + augmentation RNG streams; restoring them
+  /// from a checkpoint replays the exact data order of an uninterrupted
+  /// run, which is what makes resumed training bit-exact.
+  std::string SerializeRngState() const;
+  Status DeserializeRngState(const std::string& text);
+
+  /// Samples dropped at construction for failing ingest validation.
+  int64_t quarantined_samples() const { return quarantined_samples_; }
+
   /// Stream transform for raw (C, T, V) sample data, without
   /// augmentation (exposed for tests and single-sample inference).
   Tensor TransformData(const Tensor& data) const;
@@ -82,6 +96,7 @@ class DataLoader {
   std::optional<AugmentationPipeline> augmentation_;
   Rng augmentation_rng_;
   bool view_normalize_ = true;
+  int64_t quarantined_samples_ = 0;
 };
 
 }  // namespace dhgcn

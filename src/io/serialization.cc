@@ -1,10 +1,20 @@
 #include "io/serialization.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "base/crc32.h"
+#include "base/fault_injection.h"
 #include "base/string_util.h"
 
 namespace dhgcn {
@@ -12,7 +22,13 @@ namespace dhgcn {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'H', 'G', 'W'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
+constexpr uint32_t kFlagTrainerState = 1u;
+// Upper bound for one CRC-framed block: the biggest DHGCN checkpoints are
+// tens of MB, so 1 GiB catches garbage length fields without refusing any
+// legitimate file.
+constexpr uint64_t kMaxBlockBytes = 1ULL << 30;
 
 Status WriteRaw(std::ostream& os, const void* data, size_t bytes) {
   os.write(static_cast<const char*>(data),
@@ -56,23 +72,196 @@ Result<std::string> ReadString(std::istream& is) {
   return text;
 }
 
-Status WriteHeader(std::ostream& os, uint64_t entry_count) {
+struct Header {
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  uint64_t entry_count = 0;
+};
+
+Status WriteHeader(std::ostream& os, uint32_t flags, uint64_t entry_count) {
   DHGCN_RETURN_IF_ERROR(WriteRaw(os, kMagic, sizeof(kMagic)));
-  DHGCN_RETURN_IF_ERROR(WriteScalar<uint32_t>(os, kVersion));
+  DHGCN_RETURN_IF_ERROR(WriteScalar<uint32_t>(os, kVersionV2));
+  DHGCN_RETURN_IF_ERROR(WriteScalar<uint32_t>(os, flags));
   return WriteScalar<uint64_t>(os, entry_count);
 }
 
-Result<uint64_t> ReadHeader(std::istream& is) {
+Result<Header> ReadHeader(std::istream& is) {
   char magic[4];
   DHGCN_RETURN_IF_ERROR(ReadRaw(is, magic, sizeof(magic)));
   if (std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
     return Status::IOError("not a DHGCN weight file (bad magic)");
   }
-  DHGCN_ASSIGN_OR_RETURN(uint32_t version, ReadScalar<uint32_t>(is));
-  if (version != kVersion) {
-    return Status::IOError(StrCat("unsupported version ", version));
+  Header header;
+  DHGCN_ASSIGN_OR_RETURN(header.version, ReadScalar<uint32_t>(is));
+  if (header.version != kVersionV1 && header.version != kVersionV2) {
+    return Status::IOError(
+        StrCat("unsupported version ", header.version));
   }
-  return ReadScalar<uint64_t>(is);
+  if (header.version >= kVersionV2) {
+    DHGCN_ASSIGN_OR_RETURN(header.flags, ReadScalar<uint32_t>(is));
+  }
+  DHGCN_ASSIGN_OR_RETURN(header.entry_count, ReadScalar<uint64_t>(is));
+  return header;
+}
+
+/// Frames `payload` as length + bytes + CRC-32.
+Status AppendBlock(std::ostream& os, const std::string& payload) {
+  DHGCN_RETURN_IF_ERROR(WriteScalar<uint64_t>(os, payload.size()));
+  DHGCN_RETURN_IF_ERROR(WriteRaw(os, payload.data(), payload.size()));
+  return WriteScalar<uint32_t>(os, Crc32(payload));
+}
+
+/// Reads one CRC-framed block and verifies its checksum.
+Result<std::string> ReadBlock(std::istream& is, const char* what) {
+  DHGCN_ASSIGN_OR_RETURN(uint64_t length, ReadScalar<uint64_t>(is));
+  if (length > kMaxBlockBytes) {
+    return Status::IOError(
+        StrCat("implausible ", what, " block size ", length));
+  }
+  std::string payload(length, '\0');
+  DHGCN_RETURN_IF_ERROR(ReadRaw(is, payload.data(), length));
+  DHGCN_ASSIGN_OR_RETURN(uint32_t stored, ReadScalar<uint32_t>(is));
+  uint32_t computed = Crc32(payload);
+  if (stored != computed) {
+    return Status::IOError(
+        StrCat("CRC mismatch in ", what, " block (stored ", stored,
+               ", computed ", computed, "): corrupt checkpoint"));
+  }
+  return payload;
+}
+
+Result<std::string> BuildNamedTensorPayload(const std::string& name,
+                                            const Tensor& tensor) {
+  std::ostringstream payload;
+  DHGCN_RETURN_IF_ERROR(WriteString(payload, name));
+  DHGCN_RETURN_IF_ERROR(WriteTensor(payload, tensor));
+  return payload.str();
+}
+
+Status ParseNamedTensorPayload(const std::string& payload,
+                               std::string* name, Tensor* tensor) {
+  std::istringstream is(payload);
+  DHGCN_ASSIGN_OR_RETURN(*name, ReadString(is));
+  DHGCN_ASSIGN_OR_RETURN(*tensor, ReadTensor(is));
+  return Status::OK();
+}
+
+Result<std::map<std::string, Tensor>> ReadEntries(std::istream& is,
+                                                  const Header& header) {
+  std::map<std::string, Tensor> entries;
+  for (uint64_t i = 0; i < header.entry_count; ++i) {
+    std::string name;
+    Tensor tensor;
+    if (header.version >= kVersionV2) {
+      DHGCN_ASSIGN_OR_RETURN(std::string payload,
+                             ReadBlock(is, "parameter"));
+      DHGCN_RETURN_IF_ERROR(
+          ParseNamedTensorPayload(payload, &name, &tensor));
+    } else {
+      DHGCN_ASSIGN_OR_RETURN(name, ReadString(is));
+      DHGCN_ASSIGN_OR_RETURN(tensor, ReadTensor(is));
+    }
+    if (!entries.emplace(name, std::move(tensor)).second) {
+      return Status::IOError(StrCat("duplicate entry ", name));
+    }
+  }
+  return entries;
+}
+
+/// Validate-then-commit: only mutate the model once everything matched.
+Status CommitEntriesToLayer(const std::map<std::string, Tensor>& entries,
+                            Layer& layer) {
+  std::vector<ParamRef> params = layer.Params();
+  if (entries.size() != params.size()) {
+    return Status::InvalidArgument(
+        StrCat("checkpoint has ", entries.size(), " entries but model has ",
+               params.size(), " parameters"));
+  }
+  for (ParamRef& param : params) {
+    auto it = entries.find(param.name);
+    if (it == entries.end()) {
+      return Status::InvalidArgument(
+          StrCat("checkpoint missing parameter ", param.name));
+    }
+    if (!ShapesEqual(it->second.shape(), param.value->shape())) {
+      return Status::InvalidArgument(
+          StrCat("shape mismatch for ", param.name, ": checkpoint ",
+                 ShapeToString(it->second.shape()), " vs model ",
+                 ShapeToString(param.value->shape())));
+    }
+  }
+  for (ParamRef& param : params) {
+    param.value->CopyFrom(entries.at(param.name));
+  }
+  return Status::OK();
+}
+
+Status AppendParameterEntries(std::ostream& os, Layer& layer) {
+  std::set<std::string> names;
+  for (const ParamRef& param : layer.Params()) {
+    if (!names.insert(param.name).second) {
+      return Status::Internal(
+          StrCat("duplicate parameter name: ", param.name));
+    }
+    DHGCN_ASSIGN_OR_RETURN(
+        std::string payload,
+        BuildNamedTensorPayload(param.name, *param.value));
+    DHGCN_RETURN_IF_ERROR(AppendBlock(os, payload));
+  }
+  return Status::OK();
+}
+
+Result<std::string> BuildTrainerPayload(const Checkpoint& meta) {
+  std::ostringstream payload;
+  DHGCN_RETURN_IF_ERROR(WriteScalar<int64_t>(payload, meta.epoch));
+  DHGCN_RETURN_IF_ERROR(WriteScalar<double>(payload, meta.best_metric));
+  DHGCN_RETURN_IF_ERROR(WriteString(payload, meta.trainer.optimizer));
+  DHGCN_RETURN_IF_ERROR(
+      WriteScalar<int64_t>(payload, meta.trainer.adam_step_count));
+  DHGCN_RETURN_IF_ERROR(WriteString(payload, meta.trainer.loader_rng));
+  DHGCN_RETURN_IF_ERROR(WriteScalar<uint64_t>(
+      payload, meta.trainer.slots.size()));
+  for (const OptimizerSlot& slot : meta.trainer.slots) {
+    DHGCN_RETURN_IF_ERROR(WriteString(payload, slot.name));
+    DHGCN_RETURN_IF_ERROR(WriteTensor(payload, slot.value));
+  }
+  return payload.str();
+}
+
+Status ParseTrainerPayload(const std::string& payload, Checkpoint* meta) {
+  std::istringstream is(payload);
+  DHGCN_ASSIGN_OR_RETURN(meta->epoch, ReadScalar<int64_t>(is));
+  DHGCN_ASSIGN_OR_RETURN(meta->best_metric, ReadScalar<double>(is));
+  DHGCN_ASSIGN_OR_RETURN(meta->trainer.optimizer, ReadString(is));
+  DHGCN_ASSIGN_OR_RETURN(meta->trainer.adam_step_count,
+                         ReadScalar<int64_t>(is));
+  DHGCN_ASSIGN_OR_RETURN(meta->trainer.loader_rng, ReadString(is));
+  DHGCN_ASSIGN_OR_RETURN(uint64_t slot_count, ReadScalar<uint64_t>(is));
+  if (slot_count > (1ULL << 20)) {
+    return Status::IOError(
+        StrCat("implausible optimizer slot count ", slot_count));
+  }
+  meta->trainer.slots.clear();
+  for (uint64_t i = 0; i < slot_count; ++i) {
+    OptimizerSlot slot;
+    DHGCN_ASSIGN_OR_RETURN(slot.name, ReadString(is));
+    DHGCN_ASSIGN_OR_RETURN(slot.value, ReadTensor(is));
+    meta->trainer.slots.push_back(std::move(slot));
+  }
+  return Status::OK();
+}
+
+Status SyncToDisk(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return Status::IOError(StrCat("cannot fsync ", path));
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError(StrCat("fsync failed for ", path));
+#else
+  (void)path;  // best effort on non-POSIX platforms
+#endif
+  return Status::OK();
 }
 
 }  // namespace
@@ -106,25 +295,54 @@ Result<Tensor> ReadTensor(std::istream& is) {
   return tensor;
 }
 
-Status SaveParameters(const std::string& path, Layer& layer) {
-  std::vector<ParamRef> params = layer.Params();
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os.is_open()) {
-    return Status::IOError(StrCat("cannot open ", path, " for writing"));
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  FaultInjection& faults = FaultInjection::Get();
+  if (faults.ShouldFire(FaultSite::kFileWrite)) {
+    return Status::IOError(
+        StrCat("fault injection: write failure for ", path));
   }
-  DHGCN_RETURN_IF_ERROR(WriteHeader(os, params.size()));
-  std::set<std::string> names;
-  for (const ParamRef& param : params) {
-    if (!names.insert(param.name).second) {
-      return Status::Internal(
-          StrCat("duplicate parameter name: ", param.name));
+  std::string content = bytes;
+  if (faults.ShouldFire(FaultSite::kCheckpointTruncate)) {
+    // Simulates a torn write that still got renamed into place: the
+    // reader must detect the damage via CRC / EOF, never crash.
+    size_t drop = static_cast<size_t>(
+        std::min<int64_t>(faults.payload(FaultSite::kCheckpointTruncate),
+                          static_cast<int64_t>(content.size())));
+    content.resize(content.size() - drop);
+  }
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os.is_open()) {
+      return Status::IOError(
+          StrCat("cannot open ", tmp_path, " for writing"));
     }
-    DHGCN_RETURN_IF_ERROR(WriteString(os, param.name));
-    DHGCN_RETURN_IF_ERROR(WriteTensor(os, *param.value));
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+    os.flush();
+    if (!os.good()) {
+      std::remove(tmp_path.c_str());
+      return Status::IOError(StrCat("write failed for ", tmp_path));
+    }
   }
-  os.flush();
-  if (!os.good()) return Status::IOError(StrCat("flush failed for ", path));
+  Status sync = SyncToDisk(tmp_path);
+  if (!sync.ok()) {
+    std::remove(tmp_path.c_str());
+    return sync;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError(
+        StrCat("cannot rename ", tmp_path, " to ", path));
+  }
   return Status::OK();
+}
+
+Status SaveParameters(const std::string& path, Layer& layer) {
+  std::ostringstream os;
+  DHGCN_RETURN_IF_ERROR(
+      WriteHeader(os, /*flags=*/0, layer.Params().size()));
+  DHGCN_RETURN_IF_ERROR(AppendParameterEntries(os, layer));
+  return WriteFileAtomic(path, os.str());
 }
 
 Result<std::map<std::string, Tensor>> LoadParameterMap(
@@ -133,67 +351,57 @@ Result<std::map<std::string, Tensor>> LoadParameterMap(
   if (!is.is_open()) {
     return Status::IOError(StrCat("cannot open ", path));
   }
-  DHGCN_ASSIGN_OR_RETURN(uint64_t count, ReadHeader(is));
-  std::map<std::string, Tensor> entries;
-  for (uint64_t i = 0; i < count; ++i) {
-    DHGCN_ASSIGN_OR_RETURN(std::string name, ReadString(is));
-    DHGCN_ASSIGN_OR_RETURN(Tensor tensor, ReadTensor(is));
-    if (!entries.emplace(name, std::move(tensor)).second) {
-      return Status::IOError(StrCat("duplicate entry ", name));
-    }
-  }
-  return entries;
+  DHGCN_ASSIGN_OR_RETURN(Header header, ReadHeader(is));
+  return ReadEntries(is, header);
 }
 
 Status LoadParameters(const std::string& path, Layer& layer) {
   DHGCN_ASSIGN_OR_RETURN(auto entries, LoadParameterMap(path));
-  std::vector<ParamRef> params = layer.Params();
-  if (entries.size() != params.size()) {
-    return Status::InvalidArgument(
-        StrCat("checkpoint has ", entries.size(), " entries but model has ",
-               params.size(), " parameters"));
-  }
-  for (ParamRef& param : params) {
-    auto it = entries.find(param.name);
-    if (it == entries.end()) {
-      return Status::InvalidArgument(
-          StrCat("checkpoint missing parameter ", param.name));
-    }
-    if (!ShapesEqual(it->second.shape(), param.value->shape())) {
-      return Status::InvalidArgument(
-          StrCat("shape mismatch for ", param.name, ": checkpoint ",
-                 ShapeToString(it->second.shape()), " vs model ",
-                 ShapeToString(param.value->shape())));
-    }
-  }
-  // Validate-then-commit: only mutate the model once everything matched.
-  for (ParamRef& param : params) {
-    param.value->CopyFrom(entries.at(param.name));
-  }
-  return Status::OK();
+  return CommitEntriesToLayer(entries, layer);
 }
 
 Status SaveCheckpoint(const std::string& path, Layer& layer,
                       const Checkpoint& meta) {
-  DHGCN_RETURN_IF_ERROR(SaveParameters(path, layer));
-  std::ofstream os(path + ".meta", std::ios::trunc);
-  if (!os.is_open()) {
-    return Status::IOError(StrCat("cannot open ", path, ".meta"));
-  }
-  os << meta.epoch << "\n" << meta.best_metric << "\n";
-  if (!os.good()) return Status::IOError("meta write failed");
-  return Status::OK();
+  std::ostringstream os;
+  DHGCN_RETURN_IF_ERROR(
+      WriteHeader(os, kFlagTrainerState, layer.Params().size()));
+  DHGCN_RETURN_IF_ERROR(AppendParameterEntries(os, layer));
+  DHGCN_ASSIGN_OR_RETURN(std::string trainer_payload,
+                         BuildTrainerPayload(meta));
+  DHGCN_RETURN_IF_ERROR(AppendBlock(os, trainer_payload));
+  return WriteFileAtomic(path, os.str());
 }
 
 Result<Checkpoint> LoadCheckpoint(const std::string& path, Layer& layer) {
-  DHGCN_RETURN_IF_ERROR(LoadParameters(path, layer));
-  std::ifstream is(path + ".meta");
+  std::ifstream is(path, std::ios::binary);
   if (!is.is_open()) {
-    return Status::IOError(StrCat("cannot open ", path, ".meta"));
+    return Status::IOError(StrCat("cannot open ", path));
   }
+  DHGCN_ASSIGN_OR_RETURN(Header header, ReadHeader(is));
+  DHGCN_ASSIGN_OR_RETURN(auto entries, ReadEntries(is, header));
+  if (header.version < kVersionV2) {
+    // v1 layout: parameters file plus sidecar text metadata.
+    DHGCN_RETURN_IF_ERROR(CommitEntriesToLayer(entries, layer));
+    std::ifstream meta_is(path + ".meta");
+    if (!meta_is.is_open()) {
+      return Status::IOError(StrCat("cannot open ", path, ".meta"));
+    }
+    Checkpoint meta;
+    meta_is >> meta.epoch >> meta.best_metric;
+    if (meta_is.fail()) return Status::IOError("meta parse failed");
+    return meta;
+  }
+  if ((header.flags & kFlagTrainerState) == 0) {
+    return Status::IOError(
+        StrCat(path, " is a weights-only file, not a training checkpoint"));
+  }
+  // Read (and CRC-check) the trainer block before mutating the model, so
+  // a checkpoint truncated inside the trailer leaves the model untouched.
+  DHGCN_ASSIGN_OR_RETURN(std::string trainer_payload,
+                         ReadBlock(is, "trainer-state"));
   Checkpoint meta;
-  is >> meta.epoch >> meta.best_metric;
-  if (is.fail()) return Status::IOError("meta parse failed");
+  DHGCN_RETURN_IF_ERROR(ParseTrainerPayload(trainer_payload, &meta));
+  DHGCN_RETURN_IF_ERROR(CommitEntriesToLayer(entries, layer));
   return meta;
 }
 

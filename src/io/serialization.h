@@ -5,6 +5,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "base/result.h"
 #include "nn/layer.h"
@@ -14,10 +15,26 @@ namespace dhgcn {
 
 /// \brief Binary tensor / checkpoint (de)serialization.
 ///
-/// Format (little-endian, native float32):
-///   file      := magic("DHGW") version(u32) entry_count(u64) entry*
-///   entry     := name_len(u64) name(bytes) tensor
-///   tensor    := ndim(u64) dims(i64 * ndim) data(f32 * numel)
+/// Format v2 (little-endian, native float32):
+///   file    := magic("DHGW") version(u32=2) flags(u32)
+///              entry_count(u64) entry* [trainer_block]
+///   entry   := block
+///   block   := payload_len(u64) payload crc32(u32)
+///   payload := name_len(u64) name(bytes) tensor      (for entries)
+///   tensor  := ndim(u64) dims(i64 * ndim) data(f32 * numel)
+///
+/// Every block carries a CRC-32 of its payload, so truncation, torn
+/// writes, and bit flips are detected at load time with a descriptive
+/// IOError instead of silently corrupting the model. When
+/// `flags & kCheckpointHasTrainerState`, a trainer block follows the
+/// entries carrying epoch, best metric, optimizer slots (SGD momentum /
+/// Adam moments + step count), and the dataloader RNG state — everything
+/// `Trainer::TrainWithResume` needs to continue a killed run bit-exactly.
+///
+/// All writers are atomic: content is staged to `path + ".tmp"`, fsynced,
+/// and renamed over `path`, so a crash mid-save never destroys the
+/// previous checkpoint. Version-1 files (no CRCs, sidecar `.meta`) remain
+/// readable.
 ///
 /// Parameters are matched **by name**: loading requires every entry to
 /// exist in the target layer with the same shape, and every layer
@@ -30,27 +47,53 @@ Status WriteTensor(std::ostream& os, const Tensor& tensor);
 /// Reads one tensor (without the file header).
 Result<Tensor> ReadTensor(std::istream& is);
 
-/// Saves all parameters of `layer` to `path`.
+/// Writes `bytes` to `path` atomically (tmp file + fsync + rename).
+Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+
+/// Saves all parameters of `layer` to `path` (format v2, atomic).
 Status SaveParameters(const std::string& path, Layer& layer);
 
 /// Loads parameters saved by SaveParameters into `layer` (strict
-/// name/shape matching in both directions).
+/// name/shape matching in both directions; reads v1 and v2 files).
 Status LoadParameters(const std::string& path, Layer& layer);
 
 /// Reads a checkpoint into a name->tensor map (for tools/inspection).
 Result<std::map<std::string, Tensor>> LoadParameterMap(
     const std::string& path);
 
-/// \brief Training checkpoint: parameters plus trainer metadata.
-struct Checkpoint {
-  int64_t epoch = 0;
-  double best_metric = 0.0;
+/// \brief Optimizer slot tensor stored alongside the parameters, keyed
+/// like "sgd_velocity/<param>" or "adam_m/<param>".
+struct OptimizerSlot {
+  std::string name;
+  Tensor value;
 };
 
-/// Saves parameters and metadata side by side (path and path + ".meta").
+/// \brief Trainer-internal state captured for bit-exact resume.
+struct TrainerState {
+  /// "sgd", "adam", or "" when no optimizer state was saved (v1 files).
+  std::string optimizer;
+  int64_t adam_step_count = 0;
+  /// Opaque serialized DataLoader RNG state ("" when not captured).
+  std::string loader_rng;
+  std::vector<OptimizerSlot> slots;
+};
+
+/// \brief Training checkpoint: parameters plus trainer metadata.
+struct Checkpoint {
+  /// Number of *completed* epochs (training resumes at this epoch).
+  int64_t epoch = 0;
+  double best_metric = 0.0;
+  TrainerState trainer;
+};
+
+/// Saves parameters and the full trainer state to a single v2 file
+/// (atomic write). Replaces the v1 two-file (`path` + `path + ".meta"`)
+/// layout.
 Status SaveCheckpoint(const std::string& path, Layer& layer,
                       const Checkpoint& meta);
-/// Loads a checkpoint saved by SaveCheckpoint.
+/// Loads a checkpoint written by SaveCheckpoint. Also reads v1
+/// checkpoints (parameters file + sidecar `.meta`), returning an empty
+/// TrainerState for them.
 Result<Checkpoint> LoadCheckpoint(const std::string& path, Layer& layer);
 
 }  // namespace dhgcn

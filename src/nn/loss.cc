@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/check.h"
+#include "base/string_util.h"
 #include "tensor/tensor_ops.h"
 
 namespace dhgcn {
@@ -12,11 +13,30 @@ SoftmaxCrossEntropy::SoftmaxCrossEntropy(float label_smoothing)
   DHGCN_CHECK(label_smoothing >= 0.0f && label_smoothing < 1.0f);
 }
 
-float SoftmaxCrossEntropy::Forward(const Tensor& logits,
-                                   const std::vector<int64_t>& labels) {
-  DHGCN_CHECK_EQ(logits.ndim(), 2);
+Result<float> SoftmaxCrossEntropy::TryForward(
+    const Tensor& logits, const std::vector<int64_t>& labels) {
+  if (logits.ndim() != 2) {
+    return Status::InvalidArgument(
+        StrCat("cross-entropy expects (N, K) logits, got rank ",
+               logits.ndim()));
+  }
   int64_t n = logits.dim(0), k = logits.dim(1);
-  DHGCN_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  if (static_cast<int64_t>(labels.size()) != n) {
+    return Status::InvalidArgument(
+        StrCat("batch has ", n, " logit rows but ", labels.size(),
+               " labels"));
+  }
+  // Validate every label against the class count before touching the
+  // cache: a corrupt label must not index out of bounds, and a failed
+  // call must not clobber the state of the previous clean one.
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t y = labels[static_cast<size_t>(i)];
+    if (y < 0 || y >= k) {
+      return Status::InvalidArgument(
+          StrCat("label ", y, " at batch index ", i, " outside [0, ", k,
+                 "): corrupt sample?"));
+    }
+  }
   cached_labels_ = labels;
 
   Tensor log_probs = LogSoftmax(logits, /*axis=*/1);
@@ -26,7 +46,6 @@ float SoftmaxCrossEntropy::Forward(const Tensor& logits,
   float on_weight = 1.0f - label_smoothing_ + off_weight;
   for (int64_t i = 0; i < n; ++i) {
     int64_t y = labels[static_cast<size_t>(i)];
-    DHGCN_CHECK(y >= 0 && y < k);
     if (label_smoothing_ == 0.0f) {
       total -= log_probs.at(i, y);
     } else {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/result.h"
 #include "tensor/tensor.h"
 
 namespace dhgcn {
@@ -20,7 +21,18 @@ class SoftmaxCrossEntropy {
  public:
   explicit SoftmaxCrossEntropy(float label_smoothing = 0.0f);
 
-  float Forward(const Tensor& logits, const std::vector<int64_t>& labels);
+  /// Validating entry point: labels are checked against the logit class
+  /// count and batch size, returning a descriptive InvalidArgument for
+  /// corrupt labels instead of indexing out of bounds. The Trainer uses
+  /// this so one bad label surfaces as a Status, not a crash.
+  Result<float> TryForward(const Tensor& logits,
+                           const std::vector<int64_t>& labels);
+
+  /// Convenience wrapper for tests/examples: aborts on invalid labels.
+  float Forward(const Tensor& logits, const std::vector<int64_t>& labels) {
+    return TryForward(logits, labels).ValueOrDie();
+  }
+
   Tensor Backward() const;
 
   /// Softmax probabilities from the most recent Forward call.

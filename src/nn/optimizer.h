@@ -32,6 +32,11 @@ class SgdOptimizer {
 
   const std::vector<ParamRef>& params() const { return params_; }
 
+  /// Momentum buffers, one per trainable parameter (same order as
+  /// `params()`); exposed mutably so checkpoints can capture/restore the
+  /// full optimizer state for bit-exact resume.
+  std::vector<Tensor>& velocity() { return velocity_; }
+
  private:
   std::vector<ParamRef> params_;
   Options options_;
@@ -59,6 +64,15 @@ class AdamOptimizer {
   float lr() const { return options_.lr; }
   void set_lr(float lr) { options_.lr = lr; }
   int64_t step_count() const { return step_count_; }
+
+  const std::vector<ParamRef>& params() const { return params_; }
+
+  /// Moment estimates and the step counter are part of the checkpointed
+  /// trainer state: restoring them (plus parameters) makes a resumed run
+  /// bit-exact with an uninterrupted one.
+  std::vector<Tensor>& moment1() { return m_; }
+  std::vector<Tensor>& moment2() { return v_; }
+  void set_step_count(int64_t step_count) { step_count_ = step_count; }
 
  private:
   std::vector<ParamRef> params_;

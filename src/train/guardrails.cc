@@ -1,0 +1,172 @@
+#include "train/guardrails.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "base/logging.h"
+#include "base/string_util.h"
+#include "tensor/tensor_ops.h"  // HasNonFinite
+
+namespace dhgcn {
+
+std::string GuardrailPolicyName(GuardrailPolicy policy) {
+  switch (policy) {
+    case GuardrailPolicy::kSkipBatch:
+      return "skip";
+    case GuardrailPolicy::kHalveLr:
+      return "halve-lr";
+    case GuardrailPolicy::kRollback:
+      return "rollback";
+    case GuardrailPolicy::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+Result<GuardrailPolicy> ParseGuardrailPolicy(const std::string& name) {
+  if (name == "skip") return GuardrailPolicy::kSkipBatch;
+  if (name == "halve-lr") return GuardrailPolicy::kHalveLr;
+  if (name == "rollback") return GuardrailPolicy::kRollback;
+  if (name == "abort") return GuardrailPolicy::kAbort;
+  return Status::InvalidArgument(
+      StrCat("unknown guardrail policy '", name,
+             "' (skip|halve-lr|rollback|abort)"));
+}
+
+std::optional<std::string> FindNonFiniteGradient(Layer& layer) {
+  for (ParamRef& param : layer.Params()) {
+    if (!param.trainable || param.grad == nullptr) continue;
+    if (HasNonFinite(*param.grad)) return param.name;
+  }
+  return std::nullopt;
+}
+
+Guardrails::Guardrails(Layer* model, const GuardrailOptions& options)
+    : model_(model), options_(options) {
+  DHGCN_CHECK(model != nullptr);
+  // The rollback policy must always have a restore point, even when the
+  // very first batch is poisoned.
+  if (options_.policy == GuardrailPolicy::kRollback) TakeSnapshot();
+  TakeBufferSnapshot();
+}
+
+std::optional<std::string> Guardrails::CheckForward(const Tensor& logits,
+                                                    float loss) {
+  if (!std::isfinite(loss)) {
+    return StrCat("non-finite loss (", loss, ")");
+  }
+  if (HasNonFinite(logits)) {
+    return std::string("non-finite logits");
+  }
+  if (options_.spike_factor > 0.0f &&
+      static_cast<int64_t>(recent_losses_.size()) >=
+          options_.spike_min_history) {
+    double mean = recent_sum_ / static_cast<double>(recent_losses_.size());
+    if (static_cast<double>(loss) >
+        static_cast<double>(options_.spike_factor) * mean) {
+      return StrCat("loss spike (", loss, " vs running mean ", mean, ")");
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Guardrails::CheckBackward() {
+  std::optional<std::string> param = FindNonFiniteGradient(*model_);
+  if (param.has_value()) {
+    return StrCat("non-finite gradient in parameter '", *param, "'");
+  }
+  return std::nullopt;
+}
+
+Result<Guardrails::Action> Guardrails::OnAnomaly(const std::string& what) {
+  ++counters_.anomalies;
+  if (options_.policy == GuardrailPolicy::kAbort) {
+    return Status::FailedPrecondition(
+        StrCat("guardrail abort: ", what));
+  }
+  if (options_.max_anomalies > 0 &&
+      counters_.anomalies >= options_.max_anomalies) {
+    return Status::FailedPrecondition(
+        StrCat("guardrail anomaly budget exhausted (", counters_.anomalies,
+               " anomalies, limit ", options_.max_anomalies, "); last: ",
+               what));
+  }
+  switch (options_.policy) {
+    case GuardrailPolicy::kSkipBatch:
+      break;
+    case GuardrailPolicy::kHalveLr:
+      ++counters_.lr_halvings;
+      lr_halve_requested_ = true;
+      break;
+    case GuardrailPolicy::kRollback:
+      if (RestoreSnapshot()) ++counters_.rollbacks;
+      break;
+    case GuardrailPolicy::kAbort:
+      break;  // unreachable, handled above
+  }
+  // The poisoned forward pass already updated batch-norm running
+  // statistics; put the last clean values back for every policy.
+  RestoreBufferSnapshot();
+  ++counters_.skipped_batches;
+  DHGCN_LOG(kWarning) << "guardrail [" << GuardrailPolicyName(options_.policy)
+                      << "] " << what;
+  return Action::kSkipBatch;
+}
+
+void Guardrails::OnCleanStep(float loss) {
+  TakeBufferSnapshot();
+  recent_losses_.push_back(loss);
+  recent_sum_ += static_cast<double>(loss);
+  while (static_cast<int64_t>(recent_losses_.size()) >
+         options_.spike_window) {
+    recent_sum_ -= static_cast<double>(recent_losses_.front());
+    recent_losses_.pop_front();
+  }
+  if (options_.policy == GuardrailPolicy::kRollback &&
+      options_.snapshot_every > 0 &&
+      ++steps_since_snapshot_ >= options_.snapshot_every) {
+    TakeSnapshot();
+    steps_since_snapshot_ = 0;
+  }
+}
+
+bool Guardrails::ConsumeLrHalveRequest() {
+  bool requested = lr_halve_requested_;
+  lr_halve_requested_ = false;
+  return requested;
+}
+
+void Guardrails::TakeSnapshot() {
+  snapshot_.clear();
+  for (ParamRef& param : model_->Params()) {
+    snapshot_.push_back(param.value->Clone());
+  }
+}
+
+bool Guardrails::RestoreSnapshot() {
+  if (snapshot_.empty()) return false;
+  std::vector<ParamRef> params = model_->Params();
+  DHGCN_CHECK_EQ(params.size(), snapshot_.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].value->CopyFrom(snapshot_[i]);
+  }
+  return true;
+}
+
+void Guardrails::TakeBufferSnapshot() {
+  buffer_snapshot_.clear();
+  for (ParamRef& param : model_->Params()) {
+    if (!param.trainable) buffer_snapshot_.push_back(param.value->Clone());
+  }
+}
+
+void Guardrails::RestoreBufferSnapshot() {
+  size_t i = 0;
+  for (ParamRef& param : model_->Params()) {
+    if (param.trainable) continue;
+    DHGCN_CHECK(i < buffer_snapshot_.size());
+    param.value->CopyFrom(buffer_snapshot_[i++]);
+  }
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,117 @@
+#ifndef DHGCN_TRAIN_GUARDRAILS_H_
+#define DHGCN_TRAIN_GUARDRAILS_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+/// What the trainer does when a step anomaly (non-finite loss / logits /
+/// gradients, or a loss spike) is detected.
+enum class GuardrailPolicy {
+  kSkipBatch,  ///< drop the poisoned update, keep training
+  kHalveLr,    ///< drop the update and halve the LR until the next epoch
+  kRollback,   ///< restore the last-good parameter snapshot, then skip
+  kAbort,      ///< stop training with a descriptive Status
+};
+
+std::string GuardrailPolicyName(GuardrailPolicy policy);
+Result<GuardrailPolicy> ParseGuardrailPolicy(const std::string& name);
+
+/// \brief Guardrail configuration, carried inside TrainOptions.
+struct GuardrailOptions {
+  /// Master switch; when false the trainer runs unguarded (seed behaviour).
+  bool enabled = false;
+  GuardrailPolicy policy = GuardrailPolicy::kSkipBatch;
+  /// Loss-spike detector: anomaly when loss > spike_factor * running mean
+  /// of the last `spike_window` clean losses. 0 disables the detector;
+  /// it needs at least `spike_min_history` clean steps before it arms.
+  float spike_factor = 0.0f;
+  int64_t spike_window = 32;
+  int64_t spike_min_history = 4;
+  /// Clean steps between last-good snapshots kept for kRollback (an
+  /// initial snapshot is always taken when the policy is kRollback).
+  int64_t snapshot_every = 1;
+  /// Abort with a descriptive Status after this many anomalies in one
+  /// run regardless of policy; 0 = unlimited.
+  int64_t max_anomalies = 0;
+};
+
+/// Anomaly counters, reported per epoch in EpochStats.
+struct GuardrailCounters {
+  int64_t anomalies = 0;
+  int64_t skipped_batches = 0;
+  int64_t lr_halvings = 0;
+  int64_t rollbacks = 0;
+};
+
+/// Name of the first trainable parameter with a non-finite gradient
+/// (uses `HasNonFinite` from tensor_ops.h for the element scan).
+std::optional<std::string> FindNonFiniteGradient(Layer& layer);
+
+/// \brief Per-step sentinels plus the anomaly policy engine.
+///
+/// Owned by the Trainer (one instance per training run). The trainer
+/// calls CheckForward / CheckBackward around each step; on an anomaly it
+/// calls OnAnomaly and either skips the batch or propagates the error
+/// Status. LR mechanics stay in the trainer (it owns the optimizer), so
+/// kHalveLr is surfaced through ConsumeLrHalveRequest.
+class Guardrails {
+ public:
+  Guardrails(Layer* model, const GuardrailOptions& options);
+
+  /// Checks logits and loss for non-finite values and loss spikes;
+  /// returns a description of the anomaly, if any.
+  std::optional<std::string> CheckForward(const Tensor& logits, float loss);
+
+  /// Checks parameter gradients after the backward pass.
+  std::optional<std::string> CheckBackward();
+
+  enum class Action { kSkipBatch };
+  /// Applies the policy for one detected anomaly. kRollback restores the
+  /// last-good snapshot here; kAbort (and the max_anomalies cap) return a
+  /// descriptive error Status instead of an action. All recoverable
+  /// policies also restore non-trainable buffers (batch-norm running
+  /// statistics) to their last clean values — the forward pass mutates
+  /// them before the anomaly is detectable, so skipping the optimizer
+  /// step alone would leave poisoned statistics behind.
+  Result<Action> OnAnomaly(const std::string& what);
+
+  /// Records a clean step: feeds the spike window and refreshes the
+  /// rollback snapshot on its cadence.
+  void OnCleanStep(float loss);
+
+  /// True once after each kHalveLr anomaly; the trainer applies the
+  /// actual LR change.
+  bool ConsumeLrHalveRequest();
+
+  const GuardrailCounters& counters() const { return counters_; }
+
+ private:
+  void TakeSnapshot();
+  bool RestoreSnapshot();
+  void TakeBufferSnapshot();
+  void RestoreBufferSnapshot();
+
+  Layer* model_;
+  GuardrailOptions options_;
+  GuardrailCounters counters_;
+  std::deque<float> recent_losses_;
+  double recent_sum_ = 0.0;
+  std::vector<Tensor> snapshot_;
+  // Last-clean copies of the non-trainable buffers, kept for every
+  // policy (buffers are tiny next to the weights).
+  std::vector<Tensor> buffer_snapshot_;
+  int64_t steps_since_snapshot_ = 0;
+  bool lr_halve_requested_ = false;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_TRAIN_GUARDRAILS_H_

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "base/check.h"
+#include "base/logging.h"
 #include "base/string_util.h"
 #include "train/table.h"
 
@@ -57,6 +58,14 @@ float GradientNorm(Layer& layer) {
 float ClipGradientNorm(Layer& layer, float max_norm) {
   DHGCN_CHECK_GT(max_norm, 0.0f);
   float norm = GradientNorm(layer);
+  // A NaN/Inf global norm would make `max_norm / norm` non-finite and
+  // spread NaN into *every* parameter gradient; leave the gradients
+  // untouched and let the caller's guardrails decide what to do.
+  if (!std::isfinite(norm)) {
+    DHGCN_LOG(kWarning) << "gradient norm is non-finite (" << norm
+                        << "); skipping gradient clip";
+    return norm;
+  }
   if (norm <= max_norm || norm == 0.0f) return norm;
   float scale = max_norm / norm;
   for (ParamRef& p : layer.Params()) {

@@ -243,7 +243,7 @@ TEST(TrainerExtensionsTest, AdamTrainerRuns) {
   DataLoader loader(&dataset, split.train, 8, InputStream::kJoint, true,
                     Rng(2));
   Trainer trainer(model.get(), options);
-  std::vector<EpochStats> history = trainer.Train(loader);
+  std::vector<EpochStats> history = trainer.Train(loader).ValueOrDie();
   EXPECT_EQ(history.size(), 3u);
   EXPECT_LT(history.back().mean_loss, history.front().mean_loss + 0.5);
 }
@@ -262,7 +262,7 @@ TEST(TrainerExtensionsTest, GradClipAndSmoothingRun) {
   DataLoader loader(&dataset, split.train, 8, InputStream::kJoint, true,
                     Rng(3));
   Trainer trainer(model.get(), options);
-  std::vector<EpochStats> history = trainer.Train(loader);
+  std::vector<EpochStats> history = trainer.Train(loader).ValueOrDie();
   EXPECT_EQ(history.size(), 2u);
   EXPECT_TRUE(std::isfinite(history.back().mean_loss));
 }
@@ -282,7 +282,7 @@ TEST(TrainerExtensionsTest, ValidationTracksBestAndRestores) {
                         false);
   Trainer trainer(model.get(), options);
   ValidatedTraining result =
-      trainer.TrainWithValidation(train_loader, val_loader);
+      trainer.TrainWithValidation(train_loader, val_loader).ValueOrDie();
   EXPECT_GE(result.best_epoch, 0);
   EXPECT_LE(result.best_epoch, 4);
   EXPECT_GE(result.best_val_top1, 0.0);
@@ -306,7 +306,8 @@ TEST(TrainerExtensionsTest, EarlyStoppingStopsBeforeBudget) {
                         false);
   Trainer trainer(model.get(), options);
   ValidatedTraining result =
-      trainer.TrainWithValidation(train_loader, val_loader, /*patience=*/2);
+      trainer.TrainWithValidation(train_loader, val_loader, /*patience=*/2)
+          .ValueOrDie();
   EXPECT_TRUE(result.early_stopped);
   EXPECT_LT(result.history.size(), 50u);
 }

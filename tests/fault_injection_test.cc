@@ -1,0 +1,146 @@
+#include "base/fault_injection.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+
+#include "base/rng.h"
+#include "data/dataloader.h"
+#include "data/synthetic_generator.h"
+#include "io/serialization.h"
+#include "nn/linear.h"
+#include "tensor/tensor_ops.h"
+
+namespace dhgcn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Every test resets the global registry so armed sites cannot leak
+// between tests (the registry is process-global by design).
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjection::Get().Reset(); }
+  void TearDown() override { FaultInjection::Get().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, FiresOnceAtNthPass) {
+  FaultInjection& faults = FaultInjection::Get();
+  faults.Arm(FaultSite::kBatchNaN, /*nth=*/3);
+  EXPECT_FALSE(faults.ShouldFire(FaultSite::kBatchNaN));
+  EXPECT_FALSE(faults.ShouldFire(FaultSite::kBatchNaN));
+  EXPECT_TRUE(faults.ShouldFire(FaultSite::kBatchNaN));
+  // One-shot: disarmed after firing.
+  EXPECT_FALSE(faults.ShouldFire(FaultSite::kBatchNaN));
+  EXPECT_EQ(faults.fire_count(FaultSite::kBatchNaN), 1);
+  EXPECT_FALSE(faults.any_armed());
+}
+
+TEST_F(FaultInjectionTest, DisarmedSitesNeverFire) {
+  FaultInjection& faults = FaultInjection::Get();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(faults.ShouldFire(FaultSite::kGradientNaN));
+  }
+  faults.Arm(FaultSite::kGradientNaN, 1);
+  faults.Disarm(FaultSite::kGradientNaN);
+  EXPECT_FALSE(faults.ShouldFire(FaultSite::kGradientNaN));
+  EXPECT_EQ(faults.fire_count(FaultSite::kGradientNaN), 0);
+}
+
+TEST_F(FaultInjectionTest, PassCountingStartsAtArm) {
+  FaultInjection& faults = FaultInjection::Get();
+  faults.Arm(FaultSite::kFileWrite, 2);
+  EXPECT_FALSE(faults.ShouldFire(FaultSite::kFileWrite));
+  // Re-arming restarts the count.
+  faults.Arm(FaultSite::kFileWrite, 2);
+  EXPECT_FALSE(faults.ShouldFire(FaultSite::kFileWrite));
+  EXPECT_TRUE(faults.ShouldFire(FaultSite::kFileWrite));
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecParsesSitesAndPayloads) {
+  FaultInjection& faults = FaultInjection::Get();
+  ASSERT_TRUE(
+      faults.ArmFromSpec("grad-nan:2,truncate:1:17,batch-nan:1").ok());
+  EXPECT_TRUE(faults.any_armed());
+  EXPECT_EQ(faults.payload(FaultSite::kCheckpointTruncate), 17);
+  EXPECT_FALSE(faults.ShouldFire(FaultSite::kGradientNaN));
+  EXPECT_TRUE(faults.ShouldFire(FaultSite::kGradientNaN));
+  EXPECT_TRUE(faults.ShouldFire(FaultSite::kBatchNaN));
+  EXPECT_TRUE(faults.ShouldFire(FaultSite::kCheckpointTruncate));
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecRejectsGarbage) {
+  FaultInjection& faults = FaultInjection::Get();
+  EXPECT_EQ(faults.ArmFromSpec("frobnicate:1").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(faults.ArmFromSpec("grad-nan").ok());       // missing nth
+  EXPECT_FALSE(faults.ArmFromSpec("grad-nan:0").ok());     // nth < 1
+  EXPECT_FALSE(faults.ArmFromSpec("grad-nan:1:2:3").ok()); // too many fields
+}
+
+TEST_F(FaultInjectionTest, WriteFailureLeavesPreviousCheckpointIntact) {
+  Rng rng(1);
+  Linear model(4, 4, rng);
+  std::string path = TempPath("fi_write.ckpt");
+  Checkpoint meta;
+  meta.epoch = 1;
+  ASSERT_TRUE(SaveCheckpoint(path, model, meta).ok());
+
+  FaultInjection::Get().Arm(FaultSite::kFileWrite, 1);
+  meta.epoch = 2;
+  Status failed = SaveCheckpoint(path, model, meta);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIOError);
+  EXPECT_NE(failed.message().find("fault injection"), std::string::npos);
+
+  // The atomic protocol means the old file is still complete and loadable.
+  Linear target(4, 4, rng);
+  Result<Checkpoint> loaded = LoadCheckpoint(path, target);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, TruncatedWriteIsDetectedAtLoad) {
+  Rng rng(2);
+  Linear model(4, 4, rng);
+  std::string path = TempPath("fi_truncate.ckpt");
+  // Drop 9 trailing bytes but let the rename land: a torn-but-renamed
+  // file, the worst case the CRC/EOF checks must catch.
+  FaultInjection::Get().Arm(FaultSite::kCheckpointTruncate, 1,
+                            /*payload=*/9);
+  Checkpoint meta;
+  ASSERT_TRUE(SaveCheckpoint(path, model, meta).ok());
+
+  Linear target(4, 4, rng);
+  Result<Checkpoint> loaded = LoadCheckpoint(path, target);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, BatchPoisonFillsBatchWithNaN) {
+  SkeletonDataset dataset =
+      SkeletonDataset::Generate(NtuLikeConfig(2, 4, 6, 7)).MoveValue();
+  std::vector<int64_t> indices(static_cast<size_t>(dataset.size()));
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<int64_t>(i);
+  }
+  DataLoader loader(&dataset, indices, 4, InputStream::kJoint,
+                    /*shuffle=*/false);
+  Batch clean = loader.GetBatch(0);
+  EXPECT_FALSE(HasNonFinite(clean.x));
+
+  FaultInjection::Get().Arm(FaultSite::kBatchNaN, 1);
+  Batch poisoned = loader.GetBatch(0);
+  EXPECT_TRUE(HasNonFinite(poisoned.x));
+  // One-shot: the next batch is clean again.
+  Batch after = loader.GetBatch(0);
+  EXPECT_FALSE(HasNonFinite(after.x));
+}
+
+}  // namespace
+}  // namespace dhgcn

@@ -89,7 +89,23 @@ TEST(SoftmaxCrossEntropyTest, GradientRowsSumToZero) {
 TEST(SoftmaxCrossEntropyDeathTest, LabelOutOfRange) {
   SoftmaxCrossEntropy loss;
   Tensor logits({1, 3});
-  EXPECT_DEATH(loss.Forward(logits, {3}), "DHGCN_CHECK");
+  // Forward is the aborting wrapper; TryForward returns the Status.
+  EXPECT_DEATH(loss.Forward(logits, {3}), "label 3");
+}
+
+TEST(SoftmaxCrossEntropyTest, TryForwardRejectsCorruptLabels) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 3});
+  Result<float> bad = loss.TryForward(logits, {1, 7});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().message().find("label 7"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("batch index 1"),
+            std::string::npos);
+  Result<float> negative = loss.TryForward(logits, {-1, 0});
+  ASSERT_FALSE(negative.ok());
+  // Batch-size mismatch is also caught before any indexing.
+  EXPECT_FALSE(loss.TryForward(logits, {0}).ok());
 }
 
 // --- SgdOptimizer -------------------------------------------------------------

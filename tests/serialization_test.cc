@@ -202,5 +202,172 @@ TEST(CheckpointTest, MetadataRoundTrip) {
   std::remove((path + ".meta").c_str());
 }
 
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+Checkpoint MakeTrainerCheckpoint() {
+  Rng rng(20);
+  Checkpoint saved;
+  saved.epoch = 5;
+  saved.best_metric = 0.5;
+  saved.trainer.optimizer = "adam";
+  saved.trainer.adam_step_count = 123;
+  saved.trainer.loader_rng = "17 42\n4711 8";
+  saved.trainer.slots.push_back(
+      {"adam_m/weight", Tensor::RandomNormal({4, 4}, rng)});
+  saved.trainer.slots.push_back(
+      {"adam_v/weight", Tensor::RandomNormal({4, 4}, rng)});
+  return saved;
+}
+
+TEST(CheckpointTest, TrainerStateRoundTrip) {
+  Rng rng(11);
+  Linear model(4, 4, rng);
+  std::string path = TempPath("trainer_state.ckpt");
+  Checkpoint saved = MakeTrainerCheckpoint();
+  ASSERT_TRUE(SaveCheckpoint(path, model, saved).ok());
+  Linear target(4, 4, rng);
+  Result<Checkpoint> loaded = LoadCheckpoint(path, target);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->epoch, 5);
+  EXPECT_EQ(loaded->trainer.optimizer, "adam");
+  EXPECT_EQ(loaded->trainer.adam_step_count, 123);
+  EXPECT_EQ(loaded->trainer.loader_rng, saved.trainer.loader_rng);
+  ASSERT_EQ(loaded->trainer.slots.size(), 2u);
+  EXPECT_EQ(loaded->trainer.slots[0].name, "adam_m/weight");
+  EXPECT_TRUE(AllClose(loaded->trainer.slots[0].value,
+                       saved.trainer.slots[0].value, 0.0f, 0.0f));
+  EXPECT_TRUE(AllClose(loaded->trainer.slots[1].value,
+                       saved.trainer.slots[1].value, 0.0f, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncatedFileIsIoErrorAndLeavesModelIntact) {
+  Rng rng(12);
+  Linear model(4, 4, rng);
+  std::string path = TempPath("truncated.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(path, model, MakeTrainerCheckpoint()).ok());
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 32u);
+  for (size_t keep : {bytes.size() - 3, bytes.size() / 2, size_t{7}}) {
+    WriteFileBytes(path, bytes.substr(0, keep));
+    Linear target(4, 4, rng);
+    Tensor before = target.weight().Clone();
+    Result<Checkpoint> loaded = LoadCheckpoint(path, target);
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+    // Validate-then-commit: a torn file must not half-update the model.
+    EXPECT_TRUE(AllClose(target.weight(), before, 0.0f, 0.0f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, FlippedByteFailsCrc) {
+  Rng rng(13);
+  Linear model(4, 4, rng);
+  std::string path = TempPath("bitflip.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(path, model, MakeTrainerCheckpoint()).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Flip one payload byte past the header (magic+version+flags+count=20).
+  bytes[40] = static_cast<char>(bytes[40] ^ 0x5a);
+  WriteFileBytes(path, bytes);
+  Linear target(4, 4, rng);
+  Result<Checkpoint> loaded = LoadCheckpoint(path, target);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(loaded.status().message().find("CRC"), std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, WrongArchitectureRejected) {
+  Rng rng(14);
+  Linear model(4, 4, rng);
+  std::string path = TempPath("wrong_arch.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(path, model, MakeTrainerCheckpoint()).ok());
+  Linear target(6, 4, rng);  // different input width
+  Result<Checkpoint> loaded = LoadCheckpoint(path, target);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, WeightsOnlyFileRejectedWithClearMessage) {
+  Rng rng(15);
+  Linear model(4, 4, rng);
+  std::string path = TempPath("weights_only.ckpt");
+  ASSERT_TRUE(SaveParameters(path, model).ok());
+  Linear target(4, 4, rng);
+  Result<Checkpoint> loaded = LoadCheckpoint(path, target);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("weights-only"),
+            std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
+// Handcrafts a v1 file (no flags word, no CRC framing, sidecar .meta) to
+// pin the backward-compat read path against bytes from older releases.
+TEST(CheckpointTest, ReadsV1FilesWithSidecarMeta) {
+  Rng rng(16);
+  Linear model(4, 4, rng);
+  Linear source(4, 4, rng);  // weights to embed, distinct from `model`
+  std::string path = TempPath("v1.ckpt");
+
+  std::ostringstream os;
+  os.write("DHGW", 4);
+  auto write_u32 = [&os](uint32_t v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto write_u64 = [&os](uint64_t v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  write_u32(1);  // version: v1 has no flags word after this
+  std::vector<ParamRef> params = source.Params();
+  write_u64(params.size());
+  for (ParamRef& p : params) {
+    write_u64(p.name.size());
+    os.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    ASSERT_TRUE(WriteTensor(os, *p.value).ok());
+  }
+  WriteFileBytes(path, os.str());
+  {
+    std::ofstream meta(path + ".meta");
+    meta << 9 << " " << 0.25;
+  }
+
+  Result<Checkpoint> loaded = LoadCheckpoint(path, model);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 9);
+  EXPECT_DOUBLE_EQ(loaded->best_metric, 0.25);
+  EXPECT_TRUE(loaded->trainer.optimizer.empty());  // v1 has no trainer state
+  EXPECT_TRUE(AllClose(model.weight(), source.weight(), 0.0f, 0.0f));
+
+  // LoadParameters also still accepts the v1 byte layout.
+  Linear again(4, 4, rng);
+  ASSERT_TRUE(LoadParameters(path, again).ok());
+  EXPECT_TRUE(AllClose(again.weight(), source.weight(), 0.0f, 0.0f));
+  std::remove(path.c_str());
+  std::remove((path + ".meta").c_str());
+}
+
+TEST(AtomicWriteTest, LeavesNoTmpFileBehind) {
+  std::string path = TempPath("atomic.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "payload").ok());
+  EXPECT_EQ(ReadFileBytes(path), "payload");
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.is_open());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace dhgcn

@@ -3,6 +3,7 @@
 #include "gtest/gtest.h"
 
 #include "base/rng.h"
+#include "tensor/tensor_ops.h"
 #include "models/model_zoo.h"
 #include "train/evaluator.h"
 #include "train/experiment.h"
@@ -162,7 +163,7 @@ TEST(TrainerTest, LossDecreasesOverEpochs) {
   options.initial_lr = 0.05f;
   options.lr_milestones = {4};
   Trainer trainer(model.get(), options);
-  std::vector<EpochStats> history = trainer.Train(loader);
+  std::vector<EpochStats> history = trainer.Train(loader).ValueOrDie();
   ASSERT_EQ(history.size(), 6u);
   EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
   EXPECT_GT(history.back().train_top1, 0.4);
@@ -184,11 +185,182 @@ TEST(TrainerTest, LrFollowsSchedule) {
   options.initial_lr = 0.1f;
   options.lr_milestones = {2};
   Trainer trainer(model.get(), options);
-  std::vector<EpochStats> history = trainer.Train(loader);
+  std::vector<EpochStats> history = trainer.Train(loader).ValueOrDie();
   EXPECT_FLOAT_EQ(history[0].lr, 0.1f);
   EXPECT_FLOAT_EQ(history[1].lr, 0.1f);
   EXPECT_FLOAT_EQ(history[2].lr, 0.01f);
   EXPECT_FLOAT_EQ(history[3].lr, 0.01f);
+}
+
+// --- Checkpoint / resume ---------------------------------------------------------
+
+namespace resume_test {
+
+LayerPtr MakeModel() {
+  ModelZooOptions zoo;
+  zoo.scale.channels = {8, 16};
+  zoo.scale.strides = {1, 2};
+  zoo.scale.dropout = 0.0f;
+  return CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kNtu25, 3, zoo);
+}
+
+TrainOptions MakeOptions() {
+  TrainOptions options;
+  options.epochs = 6;
+  options.initial_lr = 0.05f;
+  options.lr_milestones = {4};
+  return options;
+}
+
+}  // namespace resume_test
+
+// The acceptance bar for checkpoint v2: kill a run mid-schedule, resume
+// it in a fresh process (fresh model, fresh optimizer, fresh loader), and
+// reproduce the uninterrupted run's final parameters bit-for-bit.
+TEST(TrainerResumeTest, ResumedRunIsBitExactWithUninterrupted) {
+  std::string path = ::testing::TempDir() + "/resume_bitexact.ckpt";
+  std::remove(path.c_str());
+  SkeletonDataset dataset = TinyDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+
+  // Uninterrupted reference run.
+  LayerPtr straight = resume_test::MakeModel();
+  {
+    DataLoader loader(&dataset, split.train, 8, InputStream::kJoint,
+                      /*shuffle=*/true, Rng(2));
+    Trainer trainer(straight.get(), resume_test::MakeOptions());
+    trainer.Train(loader).ValueOrDie();
+  }
+
+  // Same schedule, but the process "dies" after 3 epochs...
+  LayerPtr killed = resume_test::MakeModel();
+  {
+    DataLoader loader(&dataset, split.train, 8, InputStream::kJoint,
+                      /*shuffle=*/true, Rng(2));
+    Trainer trainer(killed.get(), resume_test::MakeOptions());
+    ResumeOptions resume;
+    resume.checkpoint_path = path;
+    resume.stop_after_epochs = 3;
+    ResumedTraining first = trainer.TrainWithResume(loader, resume)
+                                .ValueOrDie();
+    EXPECT_FALSE(first.resumed);
+    EXPECT_EQ(first.completed_epochs, 3);
+  }
+  // ...and a brand-new trainer picks the checkpoint up.
+  LayerPtr revived = resume_test::MakeModel();
+  {
+    DataLoader loader(&dataset, split.train, 8, InputStream::kJoint,
+                      /*shuffle=*/true, Rng(2));
+    Trainer trainer(revived.get(), resume_test::MakeOptions());
+    ResumeOptions resume;
+    resume.checkpoint_path = path;
+    ResumedTraining second = trainer.TrainWithResume(loader, resume)
+                                 .ValueOrDie();
+    EXPECT_TRUE(second.resumed);
+    EXPECT_EQ(second.start_epoch, 3);
+    EXPECT_EQ(second.completed_epochs, 6);
+    ASSERT_EQ(second.history.size(), 3u);
+    EXPECT_EQ(second.history.front().epoch, 3);
+  }
+
+  std::vector<ParamRef> expected = straight->Params();
+  std::vector<ParamRef> actual = revived->Params();
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(AllClose(*actual[i].value, *expected[i].value, 0.0f, 0.0f))
+        << "parameter " << expected[i].name << " diverged after resume";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TrainerResumeTest, AdamStateSurvivesResume) {
+  std::string path = ::testing::TempDir() + "/resume_adam.ckpt";
+  std::remove(path.c_str());
+  SkeletonDataset dataset = TinyDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+  TrainOptions options = resume_test::MakeOptions();
+  options.optimizer = OptimizerKind::kAdam;
+  options.initial_lr = 1e-3f;
+  options.epochs = 4;
+
+  LayerPtr straight = resume_test::MakeModel();
+  {
+    DataLoader loader(&dataset, split.train, 8, InputStream::kJoint, true,
+                      Rng(2));
+    Trainer trainer(straight.get(), options);
+    trainer.Train(loader).ValueOrDie();
+  }
+  LayerPtr revived = resume_test::MakeModel();
+  {
+    DataLoader loader(&dataset, split.train, 8, InputStream::kJoint, true,
+                      Rng(2));
+    Trainer trainer(revived.get(), options);
+    ResumeOptions resume;
+    resume.checkpoint_path = path;
+    resume.stop_after_epochs = 2;
+    trainer.TrainWithResume(loader, resume).ValueOrDie();
+  }
+  {
+    DataLoader loader(&dataset, split.train, 8, InputStream::kJoint, true,
+                      Rng(2));
+    Trainer trainer(revived.get(), options);
+    ResumeOptions resume;
+    resume.checkpoint_path = path;
+    trainer.TrainWithResume(loader, resume).ValueOrDie();
+  }
+  std::vector<ParamRef> expected = straight->Params();
+  std::vector<ParamRef> actual = revived->Params();
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(AllClose(*actual[i].value, *expected[i].value, 0.0f, 0.0f))
+        << "parameter " << expected[i].name << " diverged after resume";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TrainerResumeTest, OptimizerMismatchIsDescriptiveError) {
+  std::string path = ::testing::TempDir() + "/resume_mismatch.ckpt";
+  std::remove(path.c_str());
+  SkeletonDataset dataset = TinyDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+
+  LayerPtr model = resume_test::MakeModel();
+  {
+    DataLoader loader(&dataset, split.train, 8, InputStream::kJoint, true,
+                      Rng(2));
+    Trainer trainer(model.get(), resume_test::MakeOptions());
+    ResumeOptions resume;
+    resume.checkpoint_path = path;
+    resume.stop_after_epochs = 1;
+    trainer.TrainWithResume(loader, resume).ValueOrDie();
+  }
+  TrainOptions adam_options = resume_test::MakeOptions();
+  adam_options.optimizer = OptimizerKind::kAdam;
+  LayerPtr other = resume_test::MakeModel();
+  DataLoader loader(&dataset, split.train, 8, InputStream::kJoint, true,
+                    Rng(2));
+  Trainer trainer(other.get(), adam_options);
+  ResumeOptions resume;
+  resume.checkpoint_path = path;
+  Result<ResumedTraining> resumed = trainer.TrainWithResume(loader, resume);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(resumed.status().message().find("optimizer"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TrainerResumeTest, RejectsBadResumeOptions) {
+  SkeletonDataset dataset = TinyDataset();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+  LayerPtr model = resume_test::MakeModel();
+  DataLoader loader(&dataset, split.train, 8, InputStream::kJoint, true,
+                    Rng(2));
+  Trainer trainer(model.get(), resume_test::MakeOptions());
+  EXPECT_FALSE(trainer.TrainWithResume(loader, ResumeOptions{}).ok());
+  ResumeOptions bad_cadence;
+  bad_cadence.checkpoint_path = ::testing::TempDir() + "/never.ckpt";
+  bad_cadence.checkpoint_every = 0;
+  EXPECT_FALSE(trainer.TrainWithResume(loader, bad_cadence).ok());
 }
 
 TEST(EvaluatorTest, MetricsOnHeldOutData) {

@@ -8,10 +8,13 @@
 //   dhgcn_train --model stgcn --dataset kinetics --report
 //   dhgcn_train --data_csv exported.csv --model agcn --stream bone
 //   dhgcn_train --model dhgcn --load /tmp/dhgcn.ckpt --eval_only
+//   dhgcn_train --model dhgcn --checkpoint /tmp/run.ckpt --resume
+//       ... --checkpoint_every 5 --guardrails skip
 
 #include <cstdio>
 #include <string>
 
+#include "base/fault_injection.h"
 #include "base/flags.h"
 #include "base/string_util.h"
 #include "data/csv_io.h"
@@ -51,6 +54,13 @@ Status RunMain(int argc, const char* const* argv) {
   std::string stream_name = "joint";
   std::string save_path;
   std::string load_path;
+  std::string checkpoint_path;
+  std::string guardrails_name = "off";
+  std::string fault_spec;
+  int64_t checkpoint_every = 1;
+  int64_t max_anomalies = 0;
+  double loss_spike_factor = 0.0;
+  bool resume = true;
   int64_t classes = 5;
   int64_t samples_per_class = 20;
   int64_t frames = 16;
@@ -76,8 +86,22 @@ Status RunMain(int argc, const char* const* argv) {
   flags.AddString("split", &split_name, "xsub|xview|xset|random");
   flags.AddString("stream", &stream_name,
                   "joint|bone|joint-motion|bone-motion");
-  flags.AddString("save", &save_path, "checkpoint path to write");
-  flags.AddString("load", &load_path, "checkpoint path to read");
+  flags.AddString("save", &save_path, "weights path to write after training");
+  flags.AddString("load", &load_path, "weights path to read before training");
+  flags.AddString("checkpoint", &checkpoint_path,
+                  "resumable training checkpoint path (atomic v2 format)");
+  flags.AddInt64("checkpoint_every", &checkpoint_every,
+                 "epochs between checkpoint writes");
+  flags.AddBool("resume", &resume,
+                "continue from --checkpoint when it exists");
+  flags.AddString("guardrails", &guardrails_name,
+                  "anomaly policy: off|skip|halve-lr|rollback|abort");
+  flags.AddDouble("loss_spike_factor", &loss_spike_factor,
+                  "flag loss > factor * running mean as anomaly (0 = off)");
+  flags.AddInt64("max_anomalies", &max_anomalies,
+                 "abort after this many anomalies (0 = unlimited)");
+  flags.AddString("fault_inject", &fault_spec,
+                  "arm deterministic faults, e.g. grad-nan:3,write-fail:1");
   flags.AddInt64("classes", &classes, "synthetic classes");
   flags.AddInt64("samples_per_class", &samples_per_class,
                  "synthetic samples per class");
@@ -97,6 +121,10 @@ Status RunMain(int argc, const char* const* argv) {
   if (help) {
     std::printf("%s", flags.Usage().c_str());
     return Status::OK();
+  }
+  if (!fault_spec.empty()) {
+    DHGCN_RETURN_IF_ERROR(FaultInjection::Get().ArmFromSpec(fault_spec));
+    std::printf("fault injection armed: %s\n", fault_spec.c_str());
   }
 
   // --- Dataset -----------------------------------------------------------
@@ -171,8 +199,44 @@ Status RunMain(int argc, const char* const* argv) {
     train_options.initial_lr = static_cast<float>(lr);
     train_options.lr_milestones = {epochs * 3 / 5, epochs * 4 / 5};
     train_options.verbose = true;
+    if (guardrails_name != "off") {
+      train_options.guardrails.enabled = true;
+      DHGCN_ASSIGN_OR_RETURN(train_options.guardrails.policy,
+                             ParseGuardrailPolicy(guardrails_name));
+      train_options.guardrails.spike_factor =
+          static_cast<float>(loss_spike_factor);
+      train_options.guardrails.max_anomalies = max_anomalies;
+    }
     Trainer trainer(model.get(), train_options);
-    trainer.Train(train_loader);
+    if (!checkpoint_path.empty()) {
+      ResumeOptions resume_options;
+      resume_options.checkpoint_path = checkpoint_path;
+      resume_options.checkpoint_every = checkpoint_every;
+      resume_options.resume = resume;
+      DHGCN_ASSIGN_OR_RETURN(ResumedTraining resumed,
+                             trainer.TrainWithResume(train_loader,
+                                                     resume_options));
+      if (resumed.resumed) {
+        std::printf("resumed at epoch %lld from %s\n",
+                    static_cast<long long>(resumed.start_epoch),
+                    checkpoint_path.c_str());
+      }
+      std::printf("checkpoint: %s (%lld/%lld epochs complete)\n",
+                  checkpoint_path.c_str(),
+                  static_cast<long long>(resumed.completed_epochs),
+                  static_cast<long long>(epochs));
+    } else {
+      DHGCN_RETURN_IF_ERROR(trainer.Train(train_loader).status());
+    }
+    const GuardrailCounters& guard = trainer.guardrail_counters();
+    if (guard.anomalies > 0) {
+      std::printf("guardrails: %lld anomalies, %lld skipped batches, "
+                  "%lld LR halvings, %lld rollbacks\n",
+                  static_cast<long long>(guard.anomalies),
+                  static_cast<long long>(guard.skipped_batches),
+                  static_cast<long long>(guard.lr_halvings),
+                  static_cast<long long>(guard.rollbacks));
+    }
   }
 
   // --- Evaluate / save ----------------------------------------------------
