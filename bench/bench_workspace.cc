@@ -1,0 +1,156 @@
+// Planned (workspace-arena) vs legacy (allocating) execution benchmarks.
+//
+// The pairs below measure the same computation through both paths: the
+// legacy path allocates a fresh owning tensor for every activation, the
+// planned path borrows everything from a per-step arena that is reset at
+// the step boundary. Values are bit-identical; only allocation behavior
+// and therefore throughput differ.
+//
+//   ./bench_workspace --benchmark_filter=TrainingStep
+
+#include <vector>
+
+#include "benchmark/benchmark.h"
+
+#include "base/rng.h"
+#include "core/dhgcn_model.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor.h"
+#include "tensor/workspace.h"
+
+namespace dhgcn {
+namespace {
+
+DhgcnModel MakeBenchModel() {
+  DhgcnConfig config =
+      DhgcnConfig::Tiny(SkeletonLayoutType::kKinetics18, /*num_classes=*/8);
+  return DhgcnModel(config);
+}
+
+Tensor MakeBenchInput(uint64_t seed = 3) {
+  Rng rng(seed);
+  return Tensor::RandomNormal({4, 3, 16, 18}, rng);
+}
+
+// --- Full training step (forward + loss + backward + SGD update) ----------------------
+
+void BM_TrainingStepLegacy(benchmark::State& state) {
+  DhgcnModel model = MakeBenchModel();
+  SoftmaxCrossEntropy loss;
+  SgdOptimizer optimizer(model.Params(), {.lr = 0.01f});
+  Tensor x = MakeBenchInput();
+  std::vector<int64_t> labels = {0, 2, 5, 7};
+  for (auto _ : state) {
+    optimizer.ZeroGrad();
+    Tensor logits = model.Forward(x);
+    benchmark::DoNotOptimize(loss.TryForward(logits, labels).ValueOrDie());
+    benchmark::DoNotOptimize(model.Backward(loss.Backward()));
+    optimizer.Step();
+  }
+}
+BENCHMARK(BM_TrainingStepLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_TrainingStepPlanned(benchmark::State& state) {
+  DhgcnModel model = MakeBenchModel();
+  SoftmaxCrossEntropy loss;
+  SgdOptimizer optimizer(model.Params(), {.lr = 0.01f});
+  Tensor x = MakeBenchInput();
+  std::vector<int64_t> labels = {0, 2, 5, 7};
+  Workspace ws;
+  for (auto _ : state) {
+    ws.Reset();
+    optimizer.ZeroGrad();
+    Tensor logits;
+    model.ForwardInto(x, ws, &logits);
+    benchmark::DoNotOptimize(loss.TryForward(logits, labels, ws).ValueOrDie());
+    Tensor grad_input;
+    model.BackwardInto(loss.Backward(ws), ws, &grad_input);
+    benchmark::DoNotOptimize(grad_input);
+    optimizer.Step();
+  }
+}
+BENCHMARK(BM_TrainingStepPlanned)->Unit(benchmark::kMillisecond);
+
+// --- Inference step -------------------------------------------------------------------
+
+void BM_InferenceLegacy(benchmark::State& state) {
+  DhgcnModel model = MakeBenchModel();
+  model.SetTraining(false);
+  Tensor x = MakeBenchInput();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(x));
+  }
+}
+BENCHMARK(BM_InferenceLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_InferencePlanned(benchmark::State& state) {
+  DhgcnModel model = MakeBenchModel();
+  model.SetTraining(false);
+  Tensor x = MakeBenchInput();
+  Workspace ws;
+  for (auto _ : state) {
+    ws.Reset();
+    Tensor logits;
+    model.ForwardInto(x, ws, &logits);
+    benchmark::DoNotOptimize(logits);
+  }
+}
+BENCHMARK(BM_InferencePlanned)->Unit(benchmark::kMillisecond);
+
+// --- Single-layer pairs (isolate the allocator's share per op) ------------------------
+
+void BM_LinearForwardLegacy(benchmark::State& state) {
+  Rng rng(5);
+  Linear layer(256, 256, rng);
+  Tensor x = Tensor::RandomNormal({64, 256}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.Forward(x));
+  }
+}
+BENCHMARK(BM_LinearForwardLegacy);
+
+void BM_LinearForwardPlanned(benchmark::State& state) {
+  Rng rng(5);
+  Linear layer(256, 256, rng);
+  Tensor x = Tensor::RandomNormal({64, 256}, rng);
+  Workspace ws;
+  for (auto _ : state) {
+    ws.Reset();
+    Tensor y;
+    layer.ForwardInto(x, ws, &y);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_LinearForwardPlanned);
+
+void BM_ConvPointwiseLegacy(benchmark::State& state) {
+  Rng rng(6);
+  Conv2d conv(32, 32, Conv2dOptions{}, rng);
+  Tensor x = Tensor::RandomNormal({4, 32, 16, 18}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x));
+  }
+}
+BENCHMARK(BM_ConvPointwiseLegacy);
+
+void BM_ConvPointwisePlanned(benchmark::State& state) {
+  Rng rng(6);
+  Conv2d conv(32, 32, Conv2dOptions{}, rng);
+  Tensor x = Tensor::RandomNormal({4, 32, 16, 18}, rng);
+  Workspace ws;
+  for (auto _ : state) {
+    ws.Reset();
+    Tensor y;
+    conv.ForwardInto(x, ws, &y);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_ConvPointwisePlanned);
+
+}  // namespace
+}  // namespace dhgcn
+
+BENCHMARK_MAIN();

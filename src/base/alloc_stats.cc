@@ -1,0 +1,10 @@
+#include "base/alloc_stats.h"
+
+namespace dhgcn {
+
+AllocStats::Counters& AllocStats::counters() {
+  static Counters instance;
+  return instance;
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,68 @@
+#ifndef DHGCN_BASE_ALLOC_STATS_H_
+#define DHGCN_BASE_ALLOC_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dhgcn {
+
+/// \brief Process-wide counters of owning tensor-buffer allocations.
+///
+/// Every time a Tensor allocates a fresh owning buffer (construction,
+/// FromVector, Clone, ...) the counters advance; workspace-borrowed
+/// tensors do not touch them, so the delta across a training step
+/// measures exactly the heap traffic the workspace path is meant to
+/// eliminate. Counters are monotonic and thread-safe (relaxed atomics);
+/// read them via Snapshot() and subtract two snapshots for a delta.
+struct AllocStatsSnapshot {
+  uint64_t allocations = 0;
+  uint64_t bytes = 0;
+
+  AllocStatsSnapshot operator-(const AllocStatsSnapshot& other) const {
+    return {allocations - other.allocations, bytes - other.bytes};
+  }
+};
+
+class AllocStats {
+ public:
+  /// Records one owning buffer allocation of `bytes` bytes.
+  static void Record(uint64_t bytes) {
+    counters().allocations.fetch_add(1, std::memory_order_relaxed);
+    counters().bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// Current cumulative totals since process start.
+  static AllocStatsSnapshot Snapshot() {
+    return {counters().allocations.load(std::memory_order_relaxed),
+            counters().bytes.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  struct Counters {
+    std::atomic<uint64_t> allocations{0};
+    std::atomic<uint64_t> bytes{0};
+  };
+  static Counters& counters();
+};
+
+/// \brief Scoped allocation meter: captures the totals at construction,
+/// `Delta()` reports how many owning tensor allocations (and bytes)
+/// happened since. Used by the allocation-budget tests.
+class AllocStatsGuard {
+ public:
+  AllocStatsGuard() : start_(AllocStats::Snapshot()) {}
+
+  AllocStatsSnapshot Delta() const { return AllocStats::Snapshot() - start_; }
+  uint64_t allocations() const { return Delta().allocations; }
+  uint64_t bytes() const { return Delta().bytes; }
+
+  /// Re-arms the guard at the current totals.
+  void Reset() { start_ = AllocStats::Snapshot(); }
+
+ private:
+  AllocStatsSnapshot start_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_BASE_ALLOC_STATS_H_

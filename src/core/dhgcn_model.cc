@@ -3,6 +3,7 @@
 #include "base/string_util.h"
 #include "core/dynamic_joint_weight.h"
 #include "core/static_hypergraph.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
@@ -110,7 +111,7 @@ DhgcnModel::DhgcnModel(const DhgcnConfig& config)
                                          rng);
 }
 
-Tensor DhgcnModel::Forward(const Tensor& input) {
+Tensor DhgcnModel::ForwardImpl(const Tensor& input, Workspace* ws) {
   DHGCN_CHECK_EQ(input.ndim(), 4);
   DHGCN_CHECK_EQ(input.dim(1), config_.in_channels);
   DHGCN_CHECK_EQ(input.dim(3),
@@ -120,31 +121,64 @@ Tensor DhgcnModel::Forward(const Tensor& input) {
   // (Eqs. 6-9), re-strided as blocks shrink the time axis.
   Tensor joint_ops;
   if (config_.enable_joint_weight) {
-    joint_ops = DynamicJointWeightOperators(input, static_hypergraph_);
+    joint_ops = DynamicJointWeightOperators(input, static_hypergraph_, ws);
   }
 
-  Tensor x = input_bn_->Forward(input);
+  Tensor x = LayerForward(*input_bn_, input, ws);
   for (auto& block : blocks_) {
-    x = block->Forward(x, joint_ops);
+    if (ws != nullptr) {
+      Tensor y;
+      block->ForwardInto(x, joint_ops, *ws, &y);
+      x = std::move(y);
+    } else {
+      x = block->Forward(x, joint_ops);
+    }
     if (config_.enable_joint_weight &&
         block->options().temporal_stride != 1) {
       joint_ops = StrideOperatorsInTime(joint_ops,
-                                        block->options().temporal_stride);
+                                        block->options().temporal_stride,
+                                        ws);
     }
   }
-  Tensor pooled = pool_.Forward(x);
-  if (dropout_ != nullptr) pooled = dropout_->Forward(pooled);
-  return classifier_->Forward(pooled);
+  Tensor pooled = LayerForward(pool_, x, ws);
+  if (dropout_ != nullptr) pooled = LayerForward(*dropout_, pooled, ws);
+  return LayerForward(*classifier_, pooled, ws);
+}
+
+Tensor DhgcnModel::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
+  Tensor g = LayerBackward(*classifier_, grad_output, ws);
+  if (dropout_ != nullptr) g = LayerBackward(*dropout_, g, ws);
+  g = LayerBackward(pool_, g, ws);
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    if (ws != nullptr) {
+      Tensor next;
+      (*it)->BackwardInto(g, *ws, &next);
+      g = std::move(next);
+    } else {
+      g = (*it)->Backward(g);
+    }
+  }
+  return LayerBackward(*input_bn_, g, ws);
+}
+
+Tensor DhgcnModel::Forward(const Tensor& input) {
+  return ForwardImpl(input, nullptr);
 }
 
 Tensor DhgcnModel::Backward(const Tensor& grad_output) {
-  Tensor g = classifier_->Backward(grad_output);
-  if (dropout_ != nullptr) g = dropout_->Backward(g);
-  g = pool_.Backward(g);
-  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
-    g = (*it)->Backward(g);
-  }
-  return input_bn_->Backward(g);
+  return BackwardImpl(grad_output, nullptr);
+}
+
+void DhgcnModel::ForwardInto(const Tensor& input, Workspace& ws,
+                             Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  *out = ForwardImpl(input, &ws);
+}
+
+void DhgcnModel::BackwardInto(const Tensor& grad_output, Workspace& ws,
+                              Tensor* grad_input) {
+  DHGCN_CHECK(grad_input != nullptr);
+  *grad_input = BackwardImpl(grad_output, &ws);
 }
 
 std::vector<ParamRef> DhgcnModel::Params() {

@@ -64,6 +64,9 @@ class DhgcnModel : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Workspace& ws,
+                    Tensor* grad_input) override;
   std::vector<ParamRef> Params() override;
   void SetTraining(bool training) override;
   std::string name() const override;
@@ -72,6 +75,9 @@ class DhgcnModel : public Layer {
   const Hypergraph& static_hypergraph() const { return static_hypergraph_; }
 
  private:
+  Tensor ForwardImpl(const Tensor& input, Workspace* ws);
+  Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
+
   DhgcnConfig config_;
   Hypergraph static_hypergraph_;
 

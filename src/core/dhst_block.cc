@@ -2,6 +2,7 @@
 
 #include "base/check.h"
 #include "tensor/tensor_ops.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
@@ -70,7 +71,8 @@ int64_t DhstBlock::OutputFrames(int64_t in_frames) const {
   return (in_frames - 1) / options_.temporal_stride + 1;
 }
 
-Tensor DhstBlock::Forward(const Tensor& x, const Tensor& joint_ops) {
+Tensor DhstBlock::ForwardImpl(const Tensor& x, const Tensor& joint_ops,
+                              Workspace* ws) {
   DHGCN_CHECK_EQ(x.ndim(), 4);
   DHGCN_CHECK_EQ(x.dim(1), options_.in_channels);
 
@@ -78,7 +80,8 @@ Tensor DhstBlock::Forward(const Tensor& x, const Tensor& joint_ops) {
   Tensor branch_sum;
   bool first = true;
   if (options_.enable_static) {
-    Tensor b = static_mix_->Forward(static_theta_->Forward(x));
+    Tensor b =
+        LayerForward(*static_mix_, LayerForward(*static_theta_, x, ws), ws);
     branch_sum = std::move(b);
     first = false;
   }
@@ -86,7 +89,8 @@ Tensor DhstBlock::Forward(const Tensor& x, const Tensor& joint_ops) {
     DHGCN_CHECK_EQ(joint_ops.ndim(), 4);
     DHGCN_CHECK_EQ(joint_ops.dim(1), x.dim(2));
     weight_mix_->SetOperators(joint_ops);
-    Tensor b = weight_mix_->Forward(weight_theta_->Forward(x));
+    Tensor b =
+        LayerForward(*weight_mix_, LayerForward(*weight_theta_, x, ws), ws);
     if (first) {
       branch_sum = std::move(b);
       first = false;
@@ -95,10 +99,10 @@ Tensor DhstBlock::Forward(const Tensor& x, const Tensor& joint_ops) {
     }
   }
   if (options_.enable_topology) {
-    Tensor mapped = topology_map_->Forward(x);
+    Tensor mapped = LayerForward(*topology_map_, x, ws);
     topology_mix_->SetOperators(
-        DynamicTopologyOperators(mapped, options_.topology));
-    Tensor b = topology_mix_->Forward(mapped);
+        DynamicTopologyOperators(mapped, options_.topology, ws));
+    Tensor b = LayerForward(*topology_mix_, mapped, ws);
     if (first) {
       branch_sum = std::move(b);
       first = false;
@@ -107,49 +111,80 @@ Tensor DhstBlock::Forward(const Tensor& x, const Tensor& joint_ops) {
     }
   }
 
-  Tensor s_pre = spatial_bn_->Forward(branch_sum);
+  Tensor s_pre = LayerForward(*spatial_bn_, branch_sum, ws);
   if (spatial_residual_ != nullptr) {
-    AddInPlace(s_pre, spatial_residual_->Forward(x));
+    AddInPlace(s_pre, LayerForward(*spatial_residual_, x, ws));
   } else {
     AddInPlace(s_pre, x);
   }
-  Tensor s = spatial_relu_.Forward(s_pre);
+  Tensor s = LayerForward(spatial_relu_, s_pre, ws);
 
   // --- Temporal half. ---
-  Tensor t_pre = temporal_bn_->Forward(temporal_conv_->Forward(s));
+  Tensor t_pre =
+      LayerForward(*temporal_bn_, LayerForward(*temporal_conv_, s, ws), ws);
   if (temporal_residual_ != nullptr) {
-    AddInPlace(t_pre, temporal_residual_->Forward(s));
+    AddInPlace(t_pre, LayerForward(*temporal_residual_, s, ws));
   } else {
     AddInPlace(t_pre, s);
   }
-  return temporal_relu_.Forward(t_pre);
+  return LayerForward(temporal_relu_, t_pre, ws);
 }
 
-Tensor DhstBlock::Backward(const Tensor& grad_output) {
-  Tensor g_tpre = temporal_relu_.Backward(grad_output);
-  Tensor g_s = temporal_conv_->Backward(temporal_bn_->Backward(g_tpre));
+Tensor DhstBlock::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
+  Tensor g_tpre = LayerBackward(temporal_relu_, grad_output, ws);
+  Tensor g_s = LayerBackward(*temporal_conv_,
+                             LayerBackward(*temporal_bn_, g_tpre, ws), ws);
   if (temporal_residual_ != nullptr) {
-    AddInPlace(g_s, temporal_residual_->Backward(g_tpre));
+    AddInPlace(g_s, LayerBackward(*temporal_residual_, g_tpre, ws));
   } else {
     AddInPlace(g_s, g_tpre);
   }
 
-  Tensor g_spre = spatial_relu_.Backward(g_s);
-  Tensor g_sum = spatial_bn_->Backward(g_spre);
-  Tensor g_x = spatial_residual_ != nullptr
-                   ? spatial_residual_->Backward(g_spre)
-                   : g_spre.Clone();
+  Tensor g_spre = LayerBackward(spatial_relu_, g_s, ws);
+  Tensor g_sum = LayerBackward(*spatial_bn_, g_spre, ws);
+  Tensor g_x;
+  if (spatial_residual_ != nullptr) {
+    g_x = LayerBackward(*spatial_residual_, g_spre, ws);
+  } else {
+    g_x = NewTensor(ws, g_spre.shape());
+    g_x.CopyFrom(g_spre);
+  }
   if (options_.enable_static) {
-    AddInPlace(g_x, static_theta_->Backward(static_mix_->Backward(g_sum)));
+    AddInPlace(g_x, LayerBackward(*static_theta_,
+                                  LayerBackward(*static_mix_, g_sum, ws),
+                                  ws));
   }
   if (options_.enable_joint_weight) {
-    AddInPlace(g_x, weight_theta_->Backward(weight_mix_->Backward(g_sum)));
+    AddInPlace(g_x, LayerBackward(*weight_theta_,
+                                  LayerBackward(*weight_mix_, g_sum, ws),
+                                  ws));
   }
   if (options_.enable_topology) {
-    AddInPlace(g_x,
-               topology_map_->Backward(topology_mix_->Backward(g_sum)));
+    AddInPlace(g_x, LayerBackward(*topology_map_,
+                                  LayerBackward(*topology_mix_, g_sum, ws),
+                                  ws));
   }
   return g_x;
+}
+
+Tensor DhstBlock::Forward(const Tensor& x, const Tensor& joint_ops) {
+  return ForwardImpl(x, joint_ops, nullptr);
+}
+
+Tensor DhstBlock::Backward(const Tensor& grad_output) {
+  return BackwardImpl(grad_output, nullptr);
+}
+
+void DhstBlock::ForwardInto(const Tensor& x, const Tensor& joint_ops,
+                            Workspace& ws, Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  *out = ForwardImpl(x, joint_ops, &ws);
+}
+
+void DhstBlock::BackwardInto(const Tensor& grad_output, Workspace& ws,
+                             Tensor* grad_input) {
+  DHGCN_CHECK(grad_input != nullptr);
+  *grad_input = BackwardImpl(grad_output, &ws);
 }
 
 std::vector<ParamRef> DhstBlock::Params() {

@@ -66,6 +66,13 @@ class DhstBlock {
   /// Returns d loss / d x for the previous block.
   Tensor Backward(const Tensor& grad_output);
 
+  /// Workspace-planned variants: activations (and the dynamic-topology
+  /// operators) are arena-backed; same kernels as the allocating path.
+  void ForwardInto(const Tensor& x, const Tensor& joint_ops, Workspace& ws,
+                   Tensor* out);
+  void BackwardInto(const Tensor& grad_output, Workspace& ws,
+                    Tensor* grad_input);
+
   std::vector<ParamRef> Params();
   void SetTraining(bool training);
   void ZeroGrad();
@@ -77,6 +84,9 @@ class DhstBlock {
   int64_t OutputFrames(int64_t in_frames) const;
 
  private:
+  Tensor ForwardImpl(const Tensor& x, const Tensor& joint_ops, Workspace* ws);
+  Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
+
   DhstBlockOptions options_;
 
   // Spatial branches (each: 1x1 conv Theta, then vertex aggregation).

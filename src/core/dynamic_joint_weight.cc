@@ -5,16 +5,17 @@
 
 #include "base/check.h"
 #include "hypergraph/hypergraph_conv.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
-Tensor MovingDistances(const Tensor& coords) {
+Tensor MovingDistances(const Tensor& coords, Workspace* ws) {
   DHGCN_CHECK_EQ(coords.ndim(), 4);
   int64_t n = coords.dim(0), c = coords.dim(1), t = coords.dim(2),
           v = coords.dim(3);
   DHGCN_CHECK_GE(t, 2);
   int64_t coord_channels = std::min<int64_t>(c, 3);
-  Tensor dist({n, t, v});
+  Tensor dist = NewTensor(ws, {n, t, v});
   const float* px = coords.data();
   float* pd = dist.data();
   int64_t plane = t * v;
@@ -40,11 +41,11 @@ Tensor MovingDistances(const Tensor& coords) {
 }
 
 Tensor JointWeightIncidence(const Tensor& frame_distances,
-                            const Hypergraph& hypergraph) {
+                            const Hypergraph& hypergraph, Workspace* ws) {
   DHGCN_CHECK_EQ(frame_distances.ndim(), 1);
   DHGCN_CHECK_EQ(frame_distances.dim(0), hypergraph.num_vertices());
   int64_t num_edges = hypergraph.num_edges();
-  Tensor imp({hypergraph.num_vertices(), num_edges});
+  Tensor imp = NewZeroedTensor(ws, {hypergraph.num_vertices(), num_edges});
   constexpr float kEps = 1e-6f;
   for (int64_t e = 0; e < num_edges; ++e) {
     const Hyperedge& edge = hypergraph.edges()[static_cast<size_t>(e)];
@@ -65,33 +66,35 @@ Tensor JointWeightIncidence(const Tensor& frame_distances,
 }
 
 Tensor DynamicJointWeightOperators(const Tensor& coords,
-                                   const Hypergraph& hypergraph) {
+                                   const Hypergraph& hypergraph,
+                                   Workspace* ws) {
   DHGCN_CHECK_EQ(coords.ndim(), 4);
   int64_t n = coords.dim(0), t = coords.dim(2), v = coords.dim(3);
   DHGCN_CHECK_EQ(v, hypergraph.num_vertices());
-  Tensor distances = MovingDistances(coords);  // (N, T, V)
-  Tensor ops({n, t, v, v});
+  Tensor distances = MovingDistances(coords, ws);  // (N, T, V)
+  Tensor ops = NewTensor(ws, {n, t, v, v});
   float* po = ops.data();
   for (int64_t b = 0; b < n; ++b) {
     for (int64_t tt = 0; tt < t; ++tt) {
-      Tensor frame({v});
+      Tensor frame = NewTensor(ws, {v});
       const float* pd = distances.data() + (b * t + tt) * v;
       std::copy(pd, pd + v, frame.data());
-      Tensor imp = JointWeightIncidence(frame, hypergraph);
-      Tensor op = WeightedIncidenceOperator(imp);  // (V, V)
+      Tensor imp = JointWeightIncidence(frame, hypergraph, ws);
+      Tensor op = WeightedIncidenceOperator(imp, ws);  // (V, V)
       std::copy(op.data(), op.data() + v * v, po + (b * t + tt) * v * v);
     }
   }
   return ops;
 }
 
-Tensor StrideOperatorsInTime(const Tensor& ops, int64_t stride) {
+Tensor StrideOperatorsInTime(const Tensor& ops, int64_t stride,
+                             Workspace* ws) {
   DHGCN_CHECK_EQ(ops.ndim(), 4);
   DHGCN_CHECK_GT(stride, 0);
   if (stride == 1) return ops;
   int64_t n = ops.dim(0), t = ops.dim(1), v = ops.dim(2);
   int64_t out_t = (t - 1) / stride + 1;
-  Tensor out({n, out_t, v, v});
+  Tensor out = NewTensor(ws, {n, out_t, v, v});
   const float* pi = ops.data();
   float* po = out.data();
   int64_t mat = v * v;

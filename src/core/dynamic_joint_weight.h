@@ -6,12 +6,14 @@
 
 namespace dhgcn {
 
+class Workspace;
+
 /// \brief Per-joint moving distance (Eq. 6):
 ///   dis[n,t,v] = || x[n,:,t,v] - x[n,:,t-1,v] ||_2
 /// for t >= 1; frame 0 copies frame 1's distance so every frame carries a
 /// meaningful weight. Input is (N, C, T, V) with the first
 /// min(C, 3) channels treated as coordinates.
-Tensor MovingDistances(const Tensor& coords);
+Tensor MovingDistances(const Tensor& coords, Workspace* ws = nullptr);
 
 /// \brief The weighted incidence matrix Imp = W_all ⊙ H (Eqs. 7–8) for one
 /// frame: entry (v, e) is dis_v / sum_{u in e} dis_u when v in e, else 0.
@@ -22,16 +24,19 @@ Tensor MovingDistances(const Tensor& coords);
 /// (near-)zero motion fall back to uniform weights 1/|e| so the operator
 /// never degenerates.
 Tensor JointWeightIncidence(const Tensor& frame_distances,
-                            const Hypergraph& hypergraph);
+                            const Hypergraph& hypergraph,
+                            Workspace* ws = nullptr);
 
 /// \brief The dynamic joint-weight operators Imp Imp^T (Eq. 9) for every
 /// sample and frame: coords (N, C, T, V) -> operators (N, T, V, V).
 Tensor DynamicJointWeightOperators(const Tensor& coords,
-                                   const Hypergraph& hypergraph);
+                                   const Hypergraph& hypergraph,
+                                   Workspace* ws = nullptr);
 
 /// \brief Strides operator tensors (N, T, V, V) along T (keeping frames
 /// 0, s, 2s, ...) so they track temporal down-sampling inside the model.
-Tensor StrideOperatorsInTime(const Tensor& ops, int64_t stride);
+Tensor StrideOperatorsInTime(const Tensor& ops, int64_t stride,
+                             Workspace* ws = nullptr);
 
 }  // namespace dhgcn
 

@@ -7,21 +7,22 @@
 #include "hypergraph/hypergraph_conv.h"
 #include "hypergraph/kmeans.h"
 #include "hypergraph/knn.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
 Hypergraph DynamicTopologyHypergraph(const Tensor& features,
                                      const DynamicTopologyOptions& options,
-                                     uint64_t frame_seed) {
+                                     uint64_t frame_seed, Workspace* ws) {
   DHGCN_CHECK_EQ(features.ndim(), 2);
   int64_t v = features.dim(0);
   DHGCN_CHECK(options.kn >= 1 && options.kn <= v);
   DHGCN_CHECK(options.km >= 1 && options.km <= v);
 
-  std::vector<Hyperedge> common = KnnHyperedges(features, options.kn);
+  std::vector<Hyperedge> common = KnnHyperedges(features, options.kn, ws);
   Rng kmeans_rng(options.seed * 1000003ULL + frame_seed);
   std::vector<Hyperedge> global = KMeansHyperedges(
-      features, options.km, kmeans_rng, options.kmeans_max_iters);
+      features, options.km, kmeans_rng, options.kmeans_max_iters, ws);
 
   Hypergraph common_graph(v, std::move(common));
   Hypergraph global_graph(v, std::move(global));
@@ -29,15 +30,16 @@ Hypergraph DynamicTopologyHypergraph(const Tensor& features,
 }
 
 Tensor DynamicTopologyOperators(const Tensor& features,
-                                const DynamicTopologyOptions& options) {
+                                const DynamicTopologyOptions& options,
+                                Workspace* ws) {
   DHGCN_CHECK_EQ(features.ndim(), 4);
   int64_t n = features.dim(0), c = features.dim(1), t = features.dim(2),
           v = features.dim(3);
-  Tensor ops({n, t, v, v});
+  Tensor ops = NewTensor(ws, {n, t, v, v});
   const float* px = features.data();
   float* po = ops.data();
   int64_t plane = t * v;
-  Tensor frame_features({v, c});
+  Tensor frame_features = NewTensor(ws, {v, c});
   for (int64_t b = 0; b < n; ++b) {
     for (int64_t tt = 0; tt < t; ++tt) {
       // Gather the frame's vertex features (V, C) from (C, T, V) layout.
@@ -48,8 +50,8 @@ Tensor DynamicTopologyOperators(const Tensor& features,
         }
       }
       Hypergraph hypergraph = DynamicTopologyHypergraph(
-          frame_features, options, static_cast<uint64_t>(tt));
-      Tensor op = NormalizedHypergraphOperator(hypergraph);
+          frame_features, options, static_cast<uint64_t>(tt), ws);
+      Tensor op = NormalizedHypergraphOperator(hypergraph, ws);
       std::copy(op.data(), op.data() + v * v, po + (b * t + tt) * v * v);
     }
   }

@@ -6,6 +6,8 @@
 
 namespace dhgcn {
 
+class Workspace;
+
 /// Parameters of the dynamic-topology construction (Sec. 3.4).
 struct DynamicTopologyOptions {
   /// k_n: joints per common-information (K-NN) hyperedge. Paper best: 3.
@@ -24,7 +26,8 @@ struct DynamicTopologyOptions {
 /// and the K-means "global information" hyperedges.
 Hypergraph DynamicTopologyHypergraph(const Tensor& features,
                                      const DynamicTopologyOptions& options,
-                                     uint64_t frame_seed = 0);
+                                     uint64_t frame_seed = 0,
+                                     Workspace* ws = nullptr);
 
 /// \brief Dynamic-topology operators for a feature map (N, C, T, V):
 /// per sample and frame, vertices are embedded with their C-dim feature
@@ -35,7 +38,8 @@ Hypergraph DynamicTopologyHypergraph(const Tensor& features,
 /// non-differentiable; gradients flow through the returned operators'
 /// *application* to features, not through the topology itself.
 Tensor DynamicTopologyOperators(const Tensor& features,
-                                const DynamicTopologyOptions& options);
+                                const DynamicTopologyOptions& options,
+                                Workspace* ws = nullptr);
 
 }  // namespace dhgcn
 

@@ -6,40 +6,45 @@
 #include "base/string_util.h"
 #include "tensor/linalg.h"
 #include "tensor/tensor_ops.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
-Tensor NormalizedHypergraphOperator(const Hypergraph& hypergraph) {
+Tensor NormalizedHypergraphOperator(const Hypergraph& hypergraph,
+                                    Workspace* ws) {
   int64_t nv = hypergraph.num_vertices();
   int64_t ne = hypergraph.num_edges();
-  Tensor h = hypergraph.IncidenceMatrix();  // (V, E)
   std::vector<float> dv = hypergraph.VertexDegrees();
   std::vector<int64_t> de = hypergraph.EdgeDegrees();
   const std::vector<float>& w = hypergraph.edge_weights();
 
   // Left factor L = Dv^{-1/2} H W De^{-1}, shape (V, E); then
-  // Omega = L * (Dv^{-1/2} H)^T.
-  Tensor left({nv, ne});
-  Tensor right({nv, ne});
-  for (int64_t v = 0; v < nv; ++v) {
-    float inv_sqrt_dv =
-        dv[static_cast<size_t>(v)] > 0.0f
-            ? 1.0f / std::sqrt(dv[static_cast<size_t>(v)])
-            : 0.0f;
-    for (int64_t e = 0; e < ne; ++e) {
-      float he = h.at(v, e);
-      if (he == 0.0f) continue;
-      float inv_de = 1.0f / static_cast<float>(de[static_cast<size_t>(e)]);
-      left.at(v, e) = inv_sqrt_dv * he * w[static_cast<size_t>(e)] * inv_de;
-      right.at(v, e) = inv_sqrt_dv * he;
+  // Omega = L * (Dv^{-1/2} H)^T. H is sparse (h(v,e)=1 iff v in e), so
+  // the factors are filled straight from the edge lists instead of
+  // materializing the incidence matrix.
+  Tensor left = NewZeroedTensor(ws, {nv, ne});
+  Tensor right = NewZeroedTensor(ws, {nv, ne});
+  for (int64_t e = 0; e < ne; ++e) {
+    float inv_de = 1.0f / static_cast<float>(de[static_cast<size_t>(e)]);
+    for (int64_t v : hypergraph.edges()[static_cast<size_t>(e)]) {
+      float inv_sqrt_dv =
+          dv[static_cast<size_t>(v)] > 0.0f
+              ? 1.0f / std::sqrt(dv[static_cast<size_t>(v)])
+              : 0.0f;
+      left.at(v, e) = inv_sqrt_dv * w[static_cast<size_t>(e)] * inv_de;
+      right.at(v, e) = inv_sqrt_dv;
     }
   }
-  return MatMulTransposedB(left, right);  // (V, V)
+  Tensor omega = NewTensor(ws, {nv, nv});  // (V, V)
+  MatMulTransposedBInto(left, right, &omega);
+  return omega;
 }
 
-Tensor WeightedIncidenceOperator(const Tensor& imp) {
+Tensor WeightedIncidenceOperator(const Tensor& imp, Workspace* ws) {
   DHGCN_CHECK_EQ(imp.ndim(), 2);
-  return MatMulTransposedB(imp, imp);
+  Tensor out = NewTensor(ws, {imp.dim(0), imp.dim(0)});
+  MatMulTransposedBInto(imp, imp, &out);
+  return out;
 }
 
 VertexMix::VertexMix(Tensor op, bool learnable)
@@ -49,13 +54,13 @@ VertexMix::VertexMix(Tensor op, bool learnable)
   op_grad_ = Tensor(op_.shape());
 }
 
-Tensor VertexMix::Forward(const Tensor& input) {
+Tensor VertexMix::ForwardImpl(const Tensor& input, Workspace* ws) {
   DHGCN_CHECK_EQ(input.ndim(), 4);
   DHGCN_CHECK_EQ(input.dim(3), op_.dim(0));
   cached_input_ = input;
   int64_t n = input.dim(0), c = input.dim(1), t = input.dim(2),
           v = input.dim(3);
-  Tensor out(input.shape());
+  Tensor out = NewTensor(ws, input.shape());
   const float* px = input.data();
   const float* pm = op_.data();
   float* po = out.data();
@@ -76,12 +81,12 @@ Tensor VertexMix::Forward(const Tensor& input) {
   return out;
 }
 
-Tensor VertexMix::Backward(const Tensor& grad_output) {
+Tensor VertexMix::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
   const Tensor& input = cached_input_;
   DHGCN_CHECK(ShapesEqual(grad_output.shape(), input.shape()));
   int64_t v = input.dim(3);
   int64_t rows = input.numel() / v;
-  Tensor grad_input(input.shape());
+  Tensor grad_input = NewZeroedTensor(ws, input.shape());
   const float* pg = grad_output.data();
   const float* pm = op_.data();
   const float* px = input.data();
@@ -105,6 +110,25 @@ Tensor VertexMix::Backward(const Tensor& grad_output) {
   return grad_input;
 }
 
+Tensor VertexMix::Forward(const Tensor& input) {
+  return ForwardImpl(input, nullptr);
+}
+
+Tensor VertexMix::Backward(const Tensor& grad_output) {
+  return BackwardImpl(grad_output, nullptr);
+}
+
+void VertexMix::ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  *out = ForwardImpl(input, &ws);
+}
+
+void VertexMix::BackwardInto(const Tensor& grad_output, Workspace& ws,
+                             Tensor* grad_input) {
+  DHGCN_CHECK(grad_input != nullptr);
+  *grad_input = BackwardImpl(grad_output, &ws);
+}
+
 std::vector<ParamRef> VertexMix::Params() {
   if (!learnable_) return {};
   return {{"op", &op_, &op_grad_}};
@@ -121,7 +145,7 @@ void DynamicVertexMix::SetOperators(Tensor ops) {
   ops_ = std::move(ops);
 }
 
-Tensor DynamicVertexMix::Forward(const Tensor& input) {
+Tensor DynamicVertexMix::ForwardImpl(const Tensor& input, Workspace* ws) {
   DHGCN_CHECK_EQ(input.ndim(), 4);
   DHGCN_CHECK_GT(ops_.numel(), 0);  // SetOperators must precede Forward
   int64_t n = input.dim(0), c = input.dim(1), t = input.dim(2),
@@ -129,7 +153,7 @@ Tensor DynamicVertexMix::Forward(const Tensor& input) {
   DHGCN_CHECK_EQ(ops_.dim(0), n);
   DHGCN_CHECK_EQ(ops_.dim(1), t);
   DHGCN_CHECK_EQ(ops_.dim(2), v);
-  Tensor out(input.shape());
+  Tensor out = NewTensor(ws, input.shape());
   const float* px = input.data();
   const float* pops = ops_.data();
   float* po = out.data();
@@ -153,10 +177,10 @@ Tensor DynamicVertexMix::Forward(const Tensor& input) {
   return out;
 }
 
-Tensor DynamicVertexMix::Backward(const Tensor& grad_output) {
+Tensor DynamicVertexMix::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
   int64_t n = grad_output.dim(0), c = grad_output.dim(1),
           t = grad_output.dim(2), v = grad_output.dim(3);
-  Tensor grad_input(grad_output.shape());
+  Tensor grad_input = NewZeroedTensor(ws, grad_output.shape());
   const float* pg = grad_output.data();
   const float* pops = ops_.data();
   float* pgi = grad_input.data();
@@ -177,6 +201,26 @@ Tensor DynamicVertexMix::Backward(const Tensor& grad_output) {
     }
   }
   return grad_input;
+}
+
+Tensor DynamicVertexMix::Forward(const Tensor& input) {
+  return ForwardImpl(input, nullptr);
+}
+
+Tensor DynamicVertexMix::Backward(const Tensor& grad_output) {
+  return BackwardImpl(grad_output, nullptr);
+}
+
+void DynamicVertexMix::ForwardInto(const Tensor& input, Workspace& ws,
+                                   Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  *out = ForwardImpl(input, &ws);
+}
+
+void DynamicVertexMix::BackwardInto(const Tensor& grad_output, Workspace& ws,
+                                    Tensor* grad_input) {
+  DHGCN_CHECK(grad_input != nullptr);
+  *grad_input = BackwardImpl(grad_output, &ws);
 }
 
 LearnableHyperedgeMix::LearnableHyperedgeMix(const Hypergraph& hypergraph) {
@@ -204,7 +248,8 @@ LearnableHyperedgeMix::LearnableHyperedgeMix(const Hypergraph& hypergraph) {
   weights_grad_ = Tensor({ne});
 }
 
-Tensor LearnableHyperedgeMix::Forward(const Tensor& input) {
+Tensor LearnableHyperedgeMix::ForwardImpl(const Tensor& input,
+                                          Workspace* ws) {
   DHGCN_CHECK_EQ(input.ndim(), 4);
   int64_t v = input.dim(3);
   DHGCN_CHECK_EQ(v, left_.dim(0));
@@ -214,26 +259,31 @@ Tensor LearnableHyperedgeMix::Forward(const Tensor& input) {
 
   // Z = R X^T-per-row: edge features per leading row.
   Tensor x2d = input.Reshape({rows, v});
-  cached_edge_features_ = MatMulTransposedB(x2d, right_);  // (rows, E)
+  cached_edge_features_ = NewTensor(ws, {rows, ne});  // (rows, E)
+  MatMulTransposedBInto(x2d, right_, &cached_edge_features_);
   // Y = (w .* Z) L^T.
-  Tensor scaled = cached_edge_features_.Clone();
+  Tensor scaled = NewTensor(ws, {rows, ne});
+  scaled.CopyFrom(cached_edge_features_);
   float* ps = scaled.data();
   const float* pw = weights_.data();
   for (int64_t r = 0; r < rows; ++r) {
     for (int64_t e = 0; e < ne; ++e) ps[r * ne + e] *= pw[e];
   }
-  Tensor y = MatMulTransposedB(scaled, left_);  // (rows, V)
+  Tensor y = NewTensor(ws, {rows, v});
+  MatMulTransposedBInto(scaled, left_, &y);
   return y.Reshape(cached_input_shape_);
 }
 
-Tensor LearnableHyperedgeMix::Backward(const Tensor& grad_output) {
+Tensor LearnableHyperedgeMix::BackwardImpl(const Tensor& grad_output,
+                                           Workspace* ws) {
   DHGCN_CHECK(ShapesEqual(grad_output.shape(), cached_input_shape_));
   int64_t v = left_.dim(0);
   int64_t ne = left_.dim(1);
   int64_t rows = grad_output.numel() / v;
   Tensor g2d = grad_output.Reshape({rows, v});
   // dP = dY L, where P = w .* Z.
-  Tensor dp = MatMul(g2d, left_);  // (rows, E)
+  Tensor dp = NewTensor(ws, {rows, ne});  // (rows, E)
+  MatMulInto(g2d, left_, &dp);
   // dw[e] += sum_r dP[r,e] Z[r,e];  dZ = w .* dP.
   const float* pz = cached_edge_features_.data();
   const float* pw = weights_.data();
@@ -250,8 +300,29 @@ Tensor LearnableHyperedgeMix::Backward(const Tensor& grad_output) {
     for (int64_t e = 0; e < ne; ++e) pdp[r * ne + e] *= pw[e];
   }
   // dX = dZ R.
-  Tensor dx = MatMul(dp, right_);  // (rows, V)
+  Tensor dx = NewTensor(ws, {rows, v});  // (rows, V)
+  MatMulInto(dp, right_, &dx);
   return dx.Reshape(cached_input_shape_);
+}
+
+Tensor LearnableHyperedgeMix::Forward(const Tensor& input) {
+  return ForwardImpl(input, nullptr);
+}
+
+Tensor LearnableHyperedgeMix::Backward(const Tensor& grad_output) {
+  return BackwardImpl(grad_output, nullptr);
+}
+
+void LearnableHyperedgeMix::ForwardInto(const Tensor& input, Workspace& ws,
+                                        Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  *out = ForwardImpl(input, &ws);
+}
+
+void LearnableHyperedgeMix::BackwardInto(const Tensor& grad_output,
+                                         Workspace& ws, Tensor* grad_input) {
+  DHGCN_CHECK(grad_input != nullptr);
+  *grad_input = BackwardImpl(grad_output, &ws);
 }
 
 std::vector<ParamRef> LearnableHyperedgeMix::Params() {

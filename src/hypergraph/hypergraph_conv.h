@@ -17,11 +17,14 @@ namespace dhgcn {
 /// al. 2019, the paper's reference [6]) uses Dv^{-1/2}, which is what we
 /// implement — the positive exponent would amplify high-degree vertices
 /// and is a typo. Isolated vertices (degree 0) map to zero rows/columns.
-Tensor NormalizedHypergraphOperator(const Hypergraph& hypergraph);
+/// With a workspace, the operator and its factors are arena-backed.
+Tensor NormalizedHypergraphOperator(const Hypergraph& hypergraph,
+                                    Workspace* ws = nullptr);
 
 /// \brief Operator from a weighted incidence matrix (Eqs. 8–9):
 /// given Imp = W_all ⊙ H of shape (V, E), returns Imp Imp^T of shape (V, V).
-Tensor WeightedIncidenceOperator(const Tensor& imp);
+Tensor WeightedIncidenceOperator(const Tensor& imp,
+                                 Workspace* ws = nullptr);
 
 /// \brief Applies a (V, V) vertex-mixing operator to (N, C, T, V) inputs:
 ///   Y[n,c,t,v] = sum_u M[v,u] X[n,c,t,u].
@@ -37,6 +40,9 @@ class VertexMix : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Workspace& ws,
+                    Tensor* grad_input) override;
   std::vector<ParamRef> Params() override;
   std::string name() const override;
 
@@ -44,6 +50,9 @@ class VertexMix : public Layer {
   Tensor& mutable_op() { return op_; }
 
  private:
+  Tensor ForwardImpl(const Tensor& input, Workspace* ws);
+  Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
+
   Tensor op_;       // (V, V)
   Tensor op_grad_;  // (V, V)
   bool learnable_;
@@ -66,9 +75,15 @@ class DynamicVertexMix : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Workspace& ws,
+                    Tensor* grad_input) override;
   std::string name() const override { return "DynamicVertexMix"; }
 
  private:
+  Tensor ForwardImpl(const Tensor& input, Workspace* ws);
+  Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
+
   Tensor ops_;  // (N, T, V, V)
 };
 
@@ -89,12 +104,18 @@ class LearnableHyperedgeMix : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Workspace& ws,
+                    Tensor* grad_input) override;
   std::vector<ParamRef> Params() override;
   std::string name() const override;
 
   const Tensor& edge_weights() const { return weights_; }
 
  private:
+  Tensor ForwardImpl(const Tensor& input, Workspace* ws);
+  Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
+
   Tensor left_;      // (V, E)
   Tensor right_;     // (E, V)
   Tensor weights_;   // (E), learnable

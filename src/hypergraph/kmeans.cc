@@ -5,6 +5,7 @@
 
 #include "base/check.h"
 #include "hypergraph/knn.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
@@ -36,13 +37,13 @@ int64_t ClusterMedoid(const Tensor& dist, const Hyperedge& members) {
 }  // namespace
 
 KMeansResult KMeansClusters(const Tensor& features, int64_t k, Rng& rng,
-                            int64_t max_iters) {
+                            int64_t max_iters, Workspace* ws) {
   DHGCN_CHECK_EQ(features.ndim(), 2);
   int64_t v = features.dim(0);
   DHGCN_CHECK(k >= 1 && k <= v);
   DHGCN_CHECK_GT(max_iters, 0);
 
-  Tensor dist = PairwiseDistances(features);
+  Tensor dist = PairwiseDistances(features, ws);
   KMeansResult result;
   result.medoids = rng.SampleWithoutReplacement(v, k);
   std::sort(result.medoids.begin(), result.medoids.end());
@@ -103,8 +104,9 @@ KMeansResult KMeansClusters(const Tensor& features, int64_t k, Rng& rng,
 }
 
 std::vector<Hyperedge> KMeansHyperedges(const Tensor& features, int64_t k,
-                                        Rng& rng, int64_t max_iters) {
-  return KMeansClusters(features, k, rng, max_iters).clusters;
+                                        Rng& rng, int64_t max_iters,
+                                        Workspace* ws) {
+  return KMeansClusters(features, k, rng, max_iters, ws).clusters;
 }
 
 }  // namespace dhgcn

@@ -10,6 +10,8 @@
 
 namespace dhgcn {
 
+class Workspace;
+
 /// \brief Result of a medoid-based K-means run over vertex features.
 struct KMeansResult {
   /// Disjoint clusters covering all vertices; cluster i's vertices.
@@ -35,11 +37,13 @@ struct KMeansResult {
 ///
 /// `features` is (V, F); requires 1 <= k <= V.
 KMeansResult KMeansClusters(const Tensor& features, int64_t k, Rng& rng,
-                            int64_t max_iters = 20);
+                            int64_t max_iters = 20,
+                            Workspace* ws = nullptr);
 
 /// Convenience: the clusters of KMeansClusters as hyperedges.
 std::vector<Hyperedge> KMeansHyperedges(const Tensor& features, int64_t k,
-                                        Rng& rng, int64_t max_iters = 20);
+                                        Rng& rng, int64_t max_iters = 20,
+                                        Workspace* ws = nullptr);
 
 }  // namespace dhgcn
 

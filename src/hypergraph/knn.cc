@@ -5,17 +5,19 @@
 #include <numeric>
 
 #include "base/check.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
-Tensor PairwiseDistances(const Tensor& features) {
+Tensor PairwiseDistances(const Tensor& features, Workspace* ws) {
   DHGCN_CHECK_EQ(features.ndim(), 2);
   int64_t v = features.dim(0), f = features.dim(1);
-  Tensor dist({v, v});
+  Tensor dist = NewTensor(ws, {v, v});
   const float* px = features.data();
   float* pd = dist.data();
   for (int64_t i = 0; i < v; ++i) {
     const float* xi = px + i * f;
+    pd[i * v + i] = 0.0f;  // arena buffers are uninitialized
     for (int64_t j = i + 1; j < v; ++j) {
       const float* xj = px + j * f;
       double acc = 0.0;
@@ -51,11 +53,12 @@ std::vector<int64_t> NearestNeighbors(const Tensor& distances, int64_t vertex,
   return order;
 }
 
-std::vector<Hyperedge> KnnHyperedges(const Tensor& features, int64_t k) {
+std::vector<Hyperedge> KnnHyperedges(const Tensor& features, int64_t k,
+                                     Workspace* ws) {
   DHGCN_CHECK_EQ(features.ndim(), 2);
   int64_t v = features.dim(0);
   DHGCN_CHECK(k >= 1 && k <= v);
-  Tensor dist = PairwiseDistances(features);
+  Tensor dist = PairwiseDistances(features, ws);
   std::vector<Hyperedge> edges;
   edges.reserve(static_cast<size_t>(v));
   for (int64_t i = 0; i < v; ++i) {

@@ -9,9 +9,12 @@
 
 namespace dhgcn {
 
+class Workspace;
+
 /// \brief Pairwise Euclidean distance matrix (V, V) of row-vector features
 /// (V, F) (Eq. 11, generalized from 3-D coordinates to F-dim features).
-Tensor PairwiseDistances(const Tensor& features);
+/// With a workspace, the matrix is arena-backed (valid until Reset).
+Tensor PairwiseDistances(const Tensor& features, Workspace* ws = nullptr);
 
 /// \brief K-NN hyperedge construction (Sec. 3.4, "common information"
 /// hyperedges).
@@ -21,7 +24,8 @@ Tensor PairwiseDistances(const Tensor& features);
 /// hyperedge has exactly k vertices — the paper's "set containing N
 /// hyperedges with k_n nodes on each hyperedge". Requires 1 <= k <= V.
 /// Ties are broken toward lower vertex index for determinism.
-std::vector<Hyperedge> KnnHyperedges(const Tensor& features, int64_t k);
+std::vector<Hyperedge> KnnHyperedges(const Tensor& features, int64_t k,
+                                     Workspace* ws = nullptr);
 
 /// \brief Indices of the `k` nearest other vertices of `vertex` (excluding
 /// itself), sorted by ascending distance.

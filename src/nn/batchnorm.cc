@@ -4,6 +4,7 @@
 
 #include "base/check.h"
 #include "base/string_util.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
@@ -38,20 +39,20 @@ BatchNorm2d::BatchNorm2d(int64_t channels, float eps, float momentum)
   DHGCN_CHECK_GT(channels, 0);
 }
 
-Tensor BatchNorm2d::Forward(const Tensor& input) {
+Tensor BatchNorm2d::ForwardImpl(const Tensor& input, Workspace* ws) {
   NormView v = MakeView(input.shape());
   DHGCN_CHECK_EQ(v.c, channels_);
   cached_shape_ = input.shape();
   cached_was_training_ = training();
-  Tensor out(input.shape());
+  Tensor out = NewTensor(ws, input.shape());
   const float* px = input.data();
   float* po = out.data();
 
   if (training()) {
     int64_t count = v.n * v.spatial;
     DHGCN_CHECK_GT(count, 0);
-    cached_xhat_ = Tensor(input.shape());
-    cached_inv_std_ = Tensor({channels_});
+    cached_xhat_ = NewTensor(ws, input.shape());
+    cached_inv_std_ = NewTensor(ws, {channels_});
     float* pxhat = cached_xhat_.data();
     for (int64_t c = 0; c < channels_; ++c) {
       double sum = 0.0, sum_sq = 0.0;
@@ -105,12 +106,12 @@ Tensor BatchNorm2d::Forward(const Tensor& input) {
   return out;
 }
 
-Tensor BatchNorm2d::Backward(const Tensor& grad_output) {
+Tensor BatchNorm2d::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
   DHGCN_CHECK(ShapesEqual(grad_output.shape(), cached_shape_));
   DHGCN_CHECK(cached_was_training_);  // backward only defined for training
   NormView v = MakeView(cached_shape_);
   int64_t count = v.n * v.spatial;
-  Tensor grad_input(cached_shape_);
+  Tensor grad_input = NewTensor(ws, cached_shape_);
   const float* pg = grad_output.data();
   const float* pxhat = cached_xhat_.data();
   float* pgi = grad_input.data();
@@ -144,6 +145,26 @@ Tensor BatchNorm2d::Backward(const Tensor& grad_output) {
     }
   }
   return grad_input;
+}
+
+Tensor BatchNorm2d::Forward(const Tensor& input) {
+  return ForwardImpl(input, nullptr);
+}
+
+Tensor BatchNorm2d::Backward(const Tensor& grad_output) {
+  return BackwardImpl(grad_output, nullptr);
+}
+
+void BatchNorm2d::ForwardInto(const Tensor& input, Workspace& ws,
+                              Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  *out = ForwardImpl(input, &ws);
+}
+
+void BatchNorm2d::BackwardInto(const Tensor& grad_output, Workspace& ws,
+                               Tensor* grad_input) {
+  DHGCN_CHECK(grad_input != nullptr);
+  *grad_input = BackwardImpl(grad_output, &ws);
 }
 
 std::vector<ParamRef> BatchNorm2d::Params() {

@@ -21,6 +21,9 @@ class BatchNorm2d : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Workspace& ws,
+                    Tensor* grad_input) override;
   std::vector<ParamRef> Params() override;
   std::string name() const override;
 
@@ -30,6 +33,9 @@ class BatchNorm2d : public Layer {
   Tensor& beta() { return beta_; }
 
  private:
+  Tensor ForwardImpl(const Tensor& input, Workspace* ws);
+  Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
+
   int64_t channels_;
   float eps_;
   float momentum_;

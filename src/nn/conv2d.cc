@@ -2,7 +2,9 @@
 
 #include "base/string_util.h"
 #include "nn/initializer.h"
+#include "tensor/linalg.h"
 #include "tensor/tensor_ops.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
@@ -36,7 +38,13 @@ int64_t Conv2d::OutputDim(int64_t in, int64_t kernel, int64_t stride,
   return out;
 }
 
-Tensor Conv2d::Forward(const Tensor& input) {
+bool Conv2d::IsPointwise() const {
+  const Conv2dOptions& o = options_;
+  return o.kernel_h == 1 && o.kernel_w == 1 && o.stride_h == 1 &&
+         o.stride_w == 1 && o.pad_h == 0 && o.pad_w == 0;
+}
+
+Tensor Conv2d::ForwardImpl(const Tensor& input, Workspace* ws) {
   DHGCN_CHECK_EQ(input.ndim(), 4);
   DHGCN_CHECK_EQ(input.dim(1), in_channels_);
   cached_input_ = input;
@@ -44,8 +52,32 @@ Tensor Conv2d::Forward(const Tensor& input) {
   int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
   int64_t oh = OutputDim(h, o.kernel_h, o.stride_h, o.pad_h, o.dilation_h);
   int64_t ow = OutputDim(w, o.kernel_w, o.stride_w, o.pad_w, o.dilation_w);
-  Tensor out({n, out_channels_, oh, ow});
 
+  if (IsPointwise()) {
+    // out_b (C_out, HW) = W (C_out, C_in) x_b (C_in, HW), per batch.
+    Tensor out = NewZeroedTensor(ws, {n, out_channels_, oh, ow});
+    const float* px = input.data();
+    float* po = out.data();
+    int64_t plane = h * w;
+    for (int64_t b = 0; b < n; ++b) {
+      detail::GemmAccumulate(weight_.data(), px + b * in_channels_ * plane,
+                             po + b * out_channels_ * plane, out_channels_,
+                             in_channels_, plane);
+    }
+    if (o.has_bias) {
+      const float* pb = bias_.data();
+      for (int64_t b = 0; b < n; ++b) {
+        for (int64_t oc = 0; oc < out_channels_; ++oc) {
+          float* oplane = po + (b * out_channels_ + oc) * plane;
+          float bias_v = pb[oc];
+          for (int64_t i = 0; i < plane; ++i) oplane[i] += bias_v;
+        }
+      }
+    }
+    return out;
+  }
+
+  Tensor out = NewTensor(ws, {n, out_channels_, oh, ow});
   const float* px = input.data();
   const float* pw = weight_.data();
   float* po = out.data();
@@ -87,7 +119,7 @@ Tensor Conv2d::Forward(const Tensor& input) {
   return out;
 }
 
-Tensor Conv2d::Backward(const Tensor& grad_output) {
+Tensor Conv2d::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
   const Conv2dOptions& o = options_;
   const Tensor& input = cached_input_;
   int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
@@ -95,7 +127,41 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
   DHGCN_CHECK_EQ(grad_output.dim(0), n);
   DHGCN_CHECK_EQ(grad_output.dim(1), out_channels_);
 
-  Tensor grad_input(input.shape());
+  if (IsPointwise()) {
+    // dX_b = W^T g_b; dW += g_b x_b^T (per batch, transposed GEMMs — no
+    // scratch product tensors).
+    Tensor grad_input = NewZeroedTensor(ws, input.shape());
+    const float* px = input.data();
+    const float* pg = grad_output.data();
+    float* pgi = grad_input.data();
+    int64_t plane = h * w;
+    Tensor weight_2d = weight_.Reshape({out_channels_, in_channels_});
+    Tensor weight_grad_2d =
+        weight_grad_.Reshape({out_channels_, in_channels_});
+    for (int64_t b = 0; b < n; ++b) {
+      const float* gb = pg + b * out_channels_ * plane;
+      detail::GemmTransposedAAccumulate(weight_2d.data(), gb,
+                                        pgi + b * in_channels_ * plane,
+                                        out_channels_, in_channels_, plane);
+      detail::GemmTransposedB(gb, px + b * in_channels_ * plane,
+                              weight_grad_2d.data(), out_channels_, plane,
+                              in_channels_, /*accumulate=*/true);
+    }
+    if (o.has_bias) {
+      float* pbg = bias_grad_.data();
+      for (int64_t oc = 0; oc < out_channels_; ++oc) {
+        double acc = 0.0;
+        for (int64_t b = 0; b < n; ++b) {
+          const float* gplane = pg + (b * out_channels_ + oc) * plane;
+          for (int64_t i = 0; i < plane; ++i) acc += gplane[i];
+        }
+        pbg[oc] += static_cast<float>(acc);
+      }
+    }
+    return grad_input;
+  }
+
+  Tensor grad_input = NewZeroedTensor(ws, input.shape());
   const float* px = input.data();
   const float* pw = weight_.data();
   const float* pg = grad_output.data();
@@ -143,6 +209,25 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
     }
   }
   return grad_input;
+}
+
+Tensor Conv2d::Forward(const Tensor& input) {
+  return ForwardImpl(input, nullptr);
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  return BackwardImpl(grad_output, nullptr);
+}
+
+void Conv2d::ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  *out = ForwardImpl(input, &ws);
+}
+
+void Conv2d::BackwardInto(const Tensor& grad_output, Workspace& ws,
+                          Tensor* grad_input) {
+  DHGCN_CHECK(grad_input != nullptr);
+  *grad_input = BackwardImpl(grad_output, &ws);
 }
 
 std::vector<ParamRef> Conv2d::Params() {

@@ -37,6 +37,9 @@ class Conv2d : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Workspace& ws,
+                    Tensor* grad_input) override;
   std::vector<ParamRef> Params() override;
   std::string name() const override;
 
@@ -49,6 +52,13 @@ class Conv2d : public Layer {
                            int64_t pad, int64_t dilation);
 
  private:
+  Tensor ForwardImpl(const Tensor& input, Workspace* ws);
+  Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
+
+  /// 1x1/stride-1/unpadded convolutions (the channel mixers, which
+  /// dominate the skeleton models) reduce to per-batch GEMMs.
+  bool IsPointwise() const;
+
   int64_t in_channels_;
   int64_t out_channels_;
   Conv2dOptions options_;

@@ -2,6 +2,7 @@
 
 #include "base/check.h"
 #include "base/string_util.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
@@ -9,12 +10,12 @@ Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(rng.Split()) {
   DHGCN_CHECK(p >= 0.0f && p < 1.0f);
 }
 
-Tensor Dropout::Forward(const Tensor& input) {
+Tensor Dropout::ForwardImpl(const Tensor& input, Workspace* ws) {
   cached_was_training_ = training();
   if (!training() || p_ == 0.0f) return input;
   float scale = 1.0f / (1.0f - p_);
-  cached_mask_ = Tensor(input.shape());
-  Tensor out(input.shape());
+  cached_mask_ = NewTensor(ws, input.shape());
+  Tensor out = NewTensor(ws, input.shape());
   const float* px = input.data();
   float* po = out.data();
   float* pm = cached_mask_.data();
@@ -26,15 +27,34 @@ Tensor Dropout::Forward(const Tensor& input) {
   return out;
 }
 
-Tensor Dropout::Backward(const Tensor& grad_output) {
+Tensor Dropout::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
   if (!cached_was_training_ || p_ == 0.0f) return grad_output;
   DHGCN_CHECK(ShapesEqual(grad_output.shape(), cached_mask_.shape()));
-  Tensor grad_input(grad_output.shape());
+  Tensor grad_input = NewTensor(ws, grad_output.shape());
   const float* pg = grad_output.data();
   const float* pm = cached_mask_.data();
   float* po = grad_input.data();
   for (int64_t i = 0; i < grad_output.numel(); ++i) po[i] = pg[i] * pm[i];
   return grad_input;
+}
+
+Tensor Dropout::Forward(const Tensor& input) {
+  return ForwardImpl(input, nullptr);
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  return BackwardImpl(grad_output, nullptr);
+}
+
+void Dropout::ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  *out = ForwardImpl(input, &ws);
+}
+
+void Dropout::BackwardInto(const Tensor& grad_output, Workspace& ws,
+                           Tensor* grad_input) {
+  DHGCN_CHECK(grad_input != nullptr);
+  *grad_input = BackwardImpl(grad_output, &ws);
 }
 
 std::string Dropout::name() const { return StrCat("Dropout(", p_, ")"); }

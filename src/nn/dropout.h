@@ -16,11 +16,17 @@ class Dropout : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Workspace& ws,
+                    Tensor* grad_input) override;
   std::string name() const override;
 
   float p() const { return p_; }
 
  private:
+  Tensor ForwardImpl(const Tensor& input, Workspace* ws);
+  Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
+
   float p_;
   Rng rng_;
   Tensor cached_mask_;  // already scaled by 1/(1-p)

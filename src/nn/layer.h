@@ -9,6 +9,8 @@
 
 namespace dhgcn {
 
+class Workspace;
+
 /// \brief A named parameter with its gradient accumulator.
 ///
 /// `value` and `grad` point into the owning layer; they stay valid for the
@@ -46,6 +48,20 @@ class Layer {
   /// returns d loss / d input and accumulates parameter gradients.
   virtual Tensor Backward(const Tensor& grad_output) = 0;
 
+  /// Workspace-planned forward: assigns the output (typically a tensor
+  /// borrowed from `ws`, valid until the next `ws.Reset()`) to `*out`.
+  /// Migrated layers run the same kernels as `Forward` on arena storage
+  /// (bit-identical outputs, no heap allocation); the default delegates
+  /// to `Forward`, so unmigrated layers keep working on the workspace
+  /// path — they just still allocate.
+  virtual void ForwardInto(const Tensor& input, Workspace& ws, Tensor* out);
+
+  /// Workspace-planned backward; mirrors ForwardInto. Parameter
+  /// gradients are always accumulated into owning storage — only the
+  /// returned activation gradient may live in `ws`.
+  virtual void BackwardInto(const Tensor& grad_output, Workspace& ws,
+                            Tensor* grad_input);
+
   /// All persistent state: learnable parameters plus non-trainable
   /// buffers (see ParamRef::trainable). References remain valid while
   /// the layer is alive. Optimizers must filter on `trainable`;
@@ -74,6 +90,12 @@ class Layer {
 };
 
 using LayerPtr = std::unique_ptr<Layer>;
+
+/// Runs `layer` forward through the Into path when `ws` is non-null,
+/// the legacy allocating path otherwise. Composite blocks use these so
+/// one control flow serves both execution modes.
+Tensor LayerForward(Layer& layer, const Tensor& input, Workspace* ws);
+Tensor LayerBackward(Layer& layer, const Tensor& grad_output, Workspace* ws);
 
 }  // namespace dhgcn
 

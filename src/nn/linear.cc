@@ -4,6 +4,7 @@
 #include "nn/initializer.h"
 #include "tensor/linalg.h"
 #include "tensor/tensor_ops.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
@@ -20,14 +21,15 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
   if (has_bias_) BiasUniform(bias_, in_features, rng);
 }
 
-Tensor Linear::Forward(const Tensor& input) {
+Tensor Linear::ForwardImpl(const Tensor& input, Workspace* ws) {
   DHGCN_CHECK_GE(input.ndim(), 2);
   DHGCN_CHECK_EQ(input.dim(-1), in_features_);
   cached_input_shape_ = input.shape();
   Tensor x2d = input.Reshape({-1, in_features_});
   cached_input_2d_ = x2d;
   // y = x W^T: (rows,in) x (out,in)^T -> (rows,out)
-  Tensor y = MatMulTransposedB(x2d, weight_);
+  Tensor y = NewTensor(ws, {x2d.dim(0), out_features_});
+  MatMulTransposedBInto(x2d, weight_, &y);
   if (has_bias_) {
     float* py = y.data();
     const float* pb = bias_.data();
@@ -43,20 +45,42 @@ Tensor Linear::Forward(const Tensor& input) {
   return y.Reshape(std::move(out_shape));
 }
 
-Tensor Linear::Backward(const Tensor& grad_output) {
+Tensor Linear::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
   DHGCN_CHECK_EQ(grad_output.dim(-1), out_features_);
   Tensor g2d = grad_output.Reshape({-1, out_features_});
   DHGCN_CHECK_EQ(g2d.dim(0), cached_input_2d_.dim(0));
-  // dW = g^T x : (out, rows) x (rows, in) -> (out, in)
-  Tensor dw = MatMulTransposedA(g2d, cached_input_2d_);
-  AddInPlace(weight_grad_, dw);
+  // dW = g^T x : (out, rows) x (rows, in) -> (out, in), accumulated
+  // directly into the gradient without a scratch product.
+  MatMulTransposedAInto(g2d, cached_input_2d_, &weight_grad_,
+                        /*accumulate=*/true);
   if (has_bias_) {
-    Tensor db = ReduceSum(g2d, 0);
+    Tensor db = NewTensor(ws, {out_features_});
+    ReduceSumInto(g2d, 0, /*keepdim=*/false, &db);
     AddInPlace(bias_grad_, db);
   }
   // dx = g W : (rows, out) x (out, in) -> (rows, in)
-  Tensor dx = MatMul(g2d, weight_);
+  Tensor dx = NewTensor(ws, {g2d.dim(0), in_features_});
+  MatMulInto(g2d, weight_, &dx);
   return dx.Reshape(cached_input_shape_);
+}
+
+Tensor Linear::Forward(const Tensor& input) {
+  return ForwardImpl(input, nullptr);
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  return BackwardImpl(grad_output, nullptr);
+}
+
+void Linear::ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  *out = ForwardImpl(input, &ws);
+}
+
+void Linear::BackwardInto(const Tensor& grad_output, Workspace& ws,
+                          Tensor* grad_input) {
+  DHGCN_CHECK(grad_input != nullptr);
+  *grad_input = BackwardImpl(grad_output, &ws);
 }
 
 std::vector<ParamRef> Linear::Params() {

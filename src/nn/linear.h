@@ -21,6 +21,9 @@ class Linear : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Workspace& ws,
+                    Tensor* grad_input) override;
   std::vector<ParamRef> Params() override;
   std::string name() const override;
 
@@ -30,6 +33,12 @@ class Linear : public Layer {
   Tensor& bias() { return bias_; }
 
  private:
+  // Shared kernels behind both execution modes: `ws == nullptr` runs on
+  // fresh owning tensors (legacy), otherwise on arena storage. One code
+  // path keeps the two modes bit-identical.
+  Tensor ForwardImpl(const Tensor& input, Workspace* ws);
+  Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
+
   int64_t in_features_;
   int64_t out_features_;
   bool has_bias_;

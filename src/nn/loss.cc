@@ -5,6 +5,7 @@
 #include "base/check.h"
 #include "base/string_util.h"
 #include "tensor/tensor_ops.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
@@ -13,8 +14,8 @@ SoftmaxCrossEntropy::SoftmaxCrossEntropy(float label_smoothing)
   DHGCN_CHECK(label_smoothing >= 0.0f && label_smoothing < 1.0f);
 }
 
-Result<float> SoftmaxCrossEntropy::TryForward(
-    const Tensor& logits, const std::vector<int64_t>& labels) {
+Result<float> SoftmaxCrossEntropy::TryForwardImpl(
+    const Tensor& logits, const std::vector<int64_t>& labels, Workspace* ws) {
   if (logits.ndim() != 2) {
     return Status::InvalidArgument(
         StrCat("cross-entropy expects (N, K) logits, got rank ",
@@ -39,8 +40,10 @@ Result<float> SoftmaxCrossEntropy::TryForward(
   }
   cached_labels_ = labels;
 
-  Tensor log_probs = LogSoftmax(logits, /*axis=*/1);
-  cached_probs_ = Exp(log_probs);
+  Tensor log_probs = NewTensor(ws, logits.shape());
+  LogSoftmaxInto(logits, /*axis=*/1, &log_probs);
+  cached_probs_ = NewTensor(ws, logits.shape());
+  ExpInto(log_probs, &cached_probs_);
   double total = 0.0;
   float off_weight = label_smoothing_ / static_cast<float>(k);
   float on_weight = 1.0f - label_smoothing_ + off_weight;
@@ -59,10 +62,11 @@ Result<float> SoftmaxCrossEntropy::TryForward(
   return static_cast<float>(total / n);
 }
 
-Tensor SoftmaxCrossEntropy::Backward() const {
+Tensor SoftmaxCrossEntropy::BackwardImpl(Workspace* ws) const {
   DHGCN_CHECK_GT(cached_probs_.numel(), 0);
   int64_t n = cached_probs_.dim(0), k = cached_probs_.dim(1);
-  Tensor grad = cached_probs_.Clone();
+  Tensor grad = NewTensor(ws, cached_probs_.shape());
+  grad.CopyFrom(cached_probs_);
   float inv = 1.0f / static_cast<float>(n);
   float off_weight = label_smoothing_ / static_cast<float>(k);
   float on_weight = 1.0f - label_smoothing_ + off_weight;

@@ -9,6 +9,8 @@
 
 namespace dhgcn {
 
+class Workspace;
+
 /// \brief Softmax cross-entropy over logits, averaged across the batch,
 /// with optional label smoothing.
 ///
@@ -17,6 +19,11 @@ namespace dhgcn {
 /// numerically stable log-sum-exp formulation. With smoothing epsilon,
 /// the target distribution is (1 - eps) * onehot + eps / K, and the
 /// gradient is (softmax(logits) - target) / N.
+///
+/// The workspace-aware overloads place the softmax probabilities and the
+/// gradient in the given arena; they are valid until the next
+/// `Workspace::Reset()`, which must not happen between Forward and
+/// Backward of the same step.
 class SoftmaxCrossEntropy {
  public:
   explicit SoftmaxCrossEntropy(float label_smoothing = 0.0f);
@@ -26,20 +33,35 @@ class SoftmaxCrossEntropy {
   /// corrupt labels instead of indexing out of bounds. The Trainer uses
   /// this so one bad label surfaces as a Status, not a crash.
   Result<float> TryForward(const Tensor& logits,
-                           const std::vector<int64_t>& labels);
+                           const std::vector<int64_t>& labels) {
+    return TryForwardImpl(logits, labels, nullptr);
+  }
+
+  /// Workspace-planned variant: intermediate buffers live in `ws`.
+  Result<float> TryForward(const Tensor& logits,
+                           const std::vector<int64_t>& labels,
+                           Workspace& ws) {
+    return TryForwardImpl(logits, labels, &ws);
+  }
 
   /// Convenience wrapper for tests/examples: aborts on invalid labels.
   float Forward(const Tensor& logits, const std::vector<int64_t>& labels) {
     return TryForward(logits, labels).ValueOrDie();
   }
 
-  Tensor Backward() const;
+  Tensor Backward() const { return BackwardImpl(nullptr); }
+  Tensor Backward(Workspace& ws) const { return BackwardImpl(&ws); }
 
   /// Softmax probabilities from the most recent Forward call.
   const Tensor& probabilities() const { return cached_probs_; }
   float label_smoothing() const { return label_smoothing_; }
 
  private:
+  Result<float> TryForwardImpl(const Tensor& logits,
+                               const std::vector<int64_t>& labels,
+                               Workspace* ws);
+  Tensor BackwardImpl(Workspace* ws) const;
+
   float label_smoothing_;
   Tensor cached_probs_;  // (N, K)
   std::vector<int64_t> cached_labels_;

@@ -2,15 +2,16 @@
 
 #include "base/check.h"
 #include "base/string_util.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
-Tensor GlobalAvgPool2d::Forward(const Tensor& input) {
+Tensor GlobalAvgPool2d::ForwardImpl(const Tensor& input, Workspace* ws) {
   DHGCN_CHECK_EQ(input.ndim(), 4);
   cached_input_shape_ = input.shape();
   int64_t n = input.dim(0), c = input.dim(1);
   int64_t spatial = input.dim(2) * input.dim(3);
-  Tensor out({n, c});
+  Tensor out = NewTensor(ws, {n, c});
   const float* px = input.data();
   float* po = out.data();
   for (int64_t b = 0; b < n; ++b) {
@@ -24,13 +25,13 @@ Tensor GlobalAvgPool2d::Forward(const Tensor& input) {
   return out;
 }
 
-Tensor GlobalAvgPool2d::Backward(const Tensor& grad_output) {
+Tensor GlobalAvgPool2d::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
   DHGCN_CHECK_EQ(grad_output.ndim(), 2);
   int64_t n = cached_input_shape_[0], c = cached_input_shape_[1];
   int64_t spatial = cached_input_shape_[2] * cached_input_shape_[3];
   DHGCN_CHECK_EQ(grad_output.dim(0), n);
   DHGCN_CHECK_EQ(grad_output.dim(1), c);
-  Tensor grad_input(cached_input_shape_);
+  Tensor grad_input = NewTensor(ws, cached_input_shape_);
   const float* pg = grad_output.data();
   float* po = grad_input.data();
   float inv = 1.0f / static_cast<float>(spatial);
@@ -50,14 +51,14 @@ TemporalAvgPool::TemporalAvgPool(int64_t kernel, int64_t stride)
   DHGCN_CHECK_GT(stride, 0);
 }
 
-Tensor TemporalAvgPool::Forward(const Tensor& input) {
+Tensor TemporalAvgPool::ForwardImpl(const Tensor& input, Workspace* ws) {
   DHGCN_CHECK_EQ(input.ndim(), 4);
   cached_input_shape_ = input.shape();
   int64_t n = input.dim(0), c = input.dim(1), t = input.dim(2),
           v = input.dim(3);
   int64_t ot = (t - kernel_) / stride_ + 1;
   DHGCN_CHECK_GT(ot, 0);
-  Tensor out({n, c, ot, v});
+  Tensor out = NewTensor(ws, {n, c, ot, v});
   const float* px = input.data();
   float* po = out.data();
   float inv = 1.0f / static_cast<float>(kernel_);
@@ -79,11 +80,11 @@ Tensor TemporalAvgPool::Forward(const Tensor& input) {
   return out;
 }
 
-Tensor TemporalAvgPool::Backward(const Tensor& grad_output) {
+Tensor TemporalAvgPool::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
   int64_t n = cached_input_shape_[0], c = cached_input_shape_[1],
           t = cached_input_shape_[2], v = cached_input_shape_[3];
   int64_t ot = grad_output.dim(2);
-  Tensor grad_input(cached_input_shape_);
+  Tensor grad_input = NewZeroedTensor(ws, cached_input_shape_);
   const float* pg = grad_output.data();
   float* po = grad_input.data();
   float inv = 1.0f / static_cast<float>(kernel_);
@@ -102,6 +103,47 @@ Tensor TemporalAvgPool::Backward(const Tensor& grad_output) {
     }
   }
   return grad_input;
+}
+
+
+Tensor GlobalAvgPool2d::Forward(const Tensor& input) {
+  return ForwardImpl(input, nullptr);
+}
+
+Tensor GlobalAvgPool2d::Backward(const Tensor& grad_output) {
+  return BackwardImpl(grad_output, nullptr);
+}
+
+void GlobalAvgPool2d::ForwardInto(const Tensor& input, Workspace& ws,
+                                  Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  *out = ForwardImpl(input, &ws);
+}
+
+void GlobalAvgPool2d::BackwardInto(const Tensor& grad_output, Workspace& ws,
+                                   Tensor* grad_input) {
+  DHGCN_CHECK(grad_input != nullptr);
+  *grad_input = BackwardImpl(grad_output, &ws);
+}
+
+Tensor TemporalAvgPool::Forward(const Tensor& input) {
+  return ForwardImpl(input, nullptr);
+}
+
+Tensor TemporalAvgPool::Backward(const Tensor& grad_output) {
+  return BackwardImpl(grad_output, nullptr);
+}
+
+void TemporalAvgPool::ForwardInto(const Tensor& input, Workspace& ws,
+                                  Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  *out = ForwardImpl(input, &ws);
+}
+
+void TemporalAvgPool::BackwardInto(const Tensor& grad_output, Workspace& ws,
+                                   Tensor* grad_input) {
+  DHGCN_CHECK(grad_input != nullptr);
+  *grad_input = BackwardImpl(grad_output, &ws);
 }
 
 std::string TemporalAvgPool::name() const {

@@ -15,9 +15,15 @@ class GlobalAvgPool2d : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Workspace& ws,
+                    Tensor* grad_input) override;
   std::string name() const override { return "GlobalAvgPool2d"; }
 
  private:
+  Tensor ForwardImpl(const Tensor& input, Workspace* ws);
+  Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
+
   Shape cached_input_shape_;
 };
 
@@ -29,9 +35,15 @@ class TemporalAvgPool : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Workspace& ws,
+                    Tensor* grad_input) override;
   std::string name() const override;
 
  private:
+  Tensor ForwardImpl(const Tensor& input, Workspace* ws);
+  Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
+
   int64_t kernel_;
   int64_t stride_;
   Shape cached_input_shape_;

@@ -1,12 +1,15 @@
 #include "nn/relu.h"
 
 #include "base/check.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
-Tensor ReLU::Forward(const Tensor& input) {
-  Tensor out(input.shape());
-  cached_mask_ = Tensor(input.shape());
+Tensor ReLU::ForwardImpl(const Tensor& input, Workspace* ws) {
+  Tensor out = NewTensor(ws, input.shape());
+  // The mask only lives until Backward, well before the next Reset, so
+  // it can ride the arena too.
+  cached_mask_ = NewTensor(ws, input.shape());
   const float* px = input.data();
   float* po = out.data();
   float* pm = cached_mask_.data();
@@ -18,14 +21,33 @@ Tensor ReLU::Forward(const Tensor& input) {
   return out;
 }
 
-Tensor ReLU::Backward(const Tensor& grad_output) {
+Tensor ReLU::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
   DHGCN_CHECK(ShapesEqual(grad_output.shape(), cached_mask_.shape()));
-  Tensor grad_input(grad_output.shape());
+  Tensor grad_input = NewTensor(ws, grad_output.shape());
   const float* pg = grad_output.data();
   const float* pm = cached_mask_.data();
   float* po = grad_input.data();
   for (int64_t i = 0; i < grad_output.numel(); ++i) po[i] = pg[i] * pm[i];
   return grad_input;
+}
+
+Tensor ReLU::Forward(const Tensor& input) {
+  return ForwardImpl(input, nullptr);
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  return BackwardImpl(grad_output, nullptr);
+}
+
+void ReLU::ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  *out = ForwardImpl(input, &ws);
+}
+
+void ReLU::BackwardInto(const Tensor& grad_output, Workspace& ws,
+                        Tensor* grad_input) {
+  DHGCN_CHECK(grad_input != nullptr);
+  *grad_input = BackwardImpl(grad_output, &ws);
 }
 
 }  // namespace dhgcn

@@ -1,6 +1,7 @@
 #include "nn/sequential.h"
 
 #include "base/string_util.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
@@ -16,6 +17,30 @@ Tensor Sequential::Backward(const Tensor& grad_output) {
     g = (*it)->Backward(g);
   }
   return g;
+}
+
+void Sequential::ForwardInto(const Tensor& input, Workspace& ws,
+                             Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  Tensor x = input;
+  for (auto& layer : layers_) {
+    Tensor y;
+    layer->ForwardInto(x, ws, &y);
+    x = std::move(y);
+  }
+  *out = std::move(x);
+}
+
+void Sequential::BackwardInto(const Tensor& grad_output, Workspace& ws,
+                              Tensor* grad_input) {
+  DHGCN_CHECK(grad_input != nullptr);
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    Tensor next;
+    (*it)->BackwardInto(g, ws, &next);
+    g = std::move(next);
+  }
+  *grad_input = std::move(g);
 }
 
 std::vector<ParamRef> Sequential::Params() {

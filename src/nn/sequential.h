@@ -28,6 +28,9 @@ class Sequential : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Workspace& ws, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Workspace& ws,
+                    Tensor* grad_input) override;
   std::vector<ParamRef> Params() override;
   void SetTraining(bool training) override;
   std::string name() const override;

@@ -4,7 +4,7 @@
 
 namespace dhgcn {
 
-namespace {
+namespace detail {
 
 // Inner kernel: C (M,N) += A (M,K) * B (K,N), all row-major raw pointers.
 // i-k-j loop order keeps the innermost scan contiguous in both B and C.
@@ -22,6 +22,57 @@ void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
   }
 }
 
+// C (M,N) += A^T (for A (K,M)) * B (K,N); p-i-j order scans A and B rows
+// contiguously.
+void GemmTransposedAAccumulate(const float* a, const float* b, float* c,
+                               int64_t k, int64_t m, int64_t n) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C (M,N) = or += A (M,K) * B^T (for B (N,K)); each output element is a
+// contiguous dot product, accumulated in double.
+void GemmTransposedB(const float* a, const float* b, float* c, int64_t m,
+                     int64_t k, int64_t n, bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(arow[p]) * brow[p];
+      }
+      if (accumulate) {
+        crow[j] += static_cast<float>(acc);
+      } else {
+        crow[j] = static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::GemmAccumulate;
+using detail::GemmTransposedAAccumulate;
+using detail::GemmTransposedB;
+
+void ZeroFill(Tensor* out) {
+  float* p = out->data();
+  for (int64_t i = 0; i < out->numel(); ++i) p[i] = 0.0f;
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -34,86 +85,103 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out,
+                bool accumulate) {
+  DHGCN_CHECK(out != nullptr);
+  DHGCN_CHECK_EQ(a.ndim(), 2);
+  DHGCN_CHECK_EQ(b.ndim(), 2);
+  DHGCN_CHECK_EQ(a.dim(1), b.dim(0));
+  DHGCN_CHECK_EQ(out->ndim(), 2);
+  DHGCN_CHECK_EQ(out->dim(0), a.dim(0));
+  DHGCN_CHECK_EQ(out->dim(1), b.dim(1));
+  if (!accumulate) ZeroFill(out);
+  GemmAccumulate(a.data(), b.data(), out->data(), a.dim(0), a.dim(1),
+                 b.dim(1));
+}
+
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
   DHGCN_CHECK_EQ(a.ndim(), 3);
-  int64_t batch = a.dim(0), m = a.dim(1), k = a.dim(2);
-  if (b.ndim() == 2) {
-    DHGCN_CHECK_EQ(b.dim(0), k);
-    int64_t n = b.dim(1);
-    Tensor out({batch, m, n});
-    for (int64_t i = 0; i < batch; ++i) {
-      GemmAccumulate(a.data() + i * m * k, b.data(),
-                     out.data() + i * m * n, m, k, n);
-    }
-    return out;
-  }
-  DHGCN_CHECK_EQ(b.ndim(), 3);
-  DHGCN_CHECK_EQ(b.dim(0), batch);
-  DHGCN_CHECK_EQ(b.dim(1), k);
-  int64_t n = b.dim(2);
-  Tensor out({batch, m, n});
-  for (int64_t i = 0; i < batch; ++i) {
-    GemmAccumulate(a.data() + i * m * k, b.data() + i * k * n,
-                   out.data() + i * m * n, m, k, n);
-  }
+  int64_t n = b.ndim() == 2 ? b.dim(1) : b.dim(2);
+  Tensor out({a.dim(0), a.dim(1), n});
+  BatchedMatMulInto(a, b, &out, /*accumulate=*/true);  // out is zeroed
   return out;
+}
+
+void BatchedMatMulInto(const Tensor& a, const Tensor& b, Tensor* out,
+                       bool accumulate) {
+  DHGCN_CHECK(out != nullptr);
+  DHGCN_CHECK_EQ(a.ndim(), 3);
+  int64_t batch = a.dim(0), m = a.dim(1), k = a.dim(2);
+  const bool shared_b = b.ndim() == 2;
+  if (shared_b) {
+    DHGCN_CHECK_EQ(b.dim(0), k);
+  } else {
+    DHGCN_CHECK_EQ(b.ndim(), 3);
+    DHGCN_CHECK_EQ(b.dim(0), batch);
+    DHGCN_CHECK_EQ(b.dim(1), k);
+  }
+  int64_t n = shared_b ? b.dim(1) : b.dim(2);
+  DHGCN_CHECK_EQ(out->ndim(), 3);
+  DHGCN_CHECK_EQ(out->dim(0), batch);
+  DHGCN_CHECK_EQ(out->dim(1), m);
+  DHGCN_CHECK_EQ(out->dim(2), n);
+  if (!accumulate) ZeroFill(out);
+  for (int64_t i = 0; i < batch; ++i) {
+    const float* bi = shared_b ? b.data() : b.data() + i * k * n;
+    GemmAccumulate(a.data() + i * m * k, bi, out->data() + i * m * n, m, k,
+                   n);
+  }
 }
 
 Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
   DHGCN_CHECK_EQ(a.ndim(), 2);
   DHGCN_CHECK_EQ(b.ndim(), 2);
   DHGCN_CHECK_EQ(a.dim(0), b.dim(0));
-  int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  Tensor out({m, n});
-  float* c = out.data();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = pa + p * m;
-    const float* brow = pb + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  Tensor out({a.dim(1), b.dim(1)});
+  GemmTransposedAAccumulate(a.data(), b.data(), out.data(), a.dim(0),
+                            a.dim(1), b.dim(1));
   return out;
+}
+
+void MatMulTransposedAInto(const Tensor& a, const Tensor& b, Tensor* out,
+                           bool accumulate) {
+  DHGCN_CHECK(out != nullptr);
+  DHGCN_CHECK_EQ(a.ndim(), 2);
+  DHGCN_CHECK_EQ(b.ndim(), 2);
+  DHGCN_CHECK_EQ(a.dim(0), b.dim(0));
+  DHGCN_CHECK_EQ(out->ndim(), 2);
+  DHGCN_CHECK_EQ(out->dim(0), a.dim(1));
+  DHGCN_CHECK_EQ(out->dim(1), b.dim(1));
+  if (!accumulate) ZeroFill(out);
+  GemmTransposedAAccumulate(a.data(), b.data(), out->data(), a.dim(0),
+                            a.dim(1), b.dim(1));
 }
 
 Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   DHGCN_CHECK_EQ(a.ndim(), 2);
   DHGCN_CHECK_EQ(b.ndim(), 2);
   DHGCN_CHECK_EQ(a.dim(1), b.dim(1));
-  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  Tensor out({m, n});
-  float* c = out.data();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (int64_t p = 0; p < k; ++p) {
-        acc += static_cast<double>(arow[p]) * brow[p];
-      }
-      crow[j] = static_cast<float>(acc);
-    }
-  }
+  Tensor out({a.dim(0), b.dim(0)});
+  GemmTransposedB(a.data(), b.data(), out.data(), a.dim(0), a.dim(1),
+                  b.dim(0), /*accumulate=*/false);
   return out;
 }
 
-void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+void MatMulTransposedBInto(const Tensor& a, const Tensor& b, Tensor* out,
+                           bool accumulate) {
+  DHGCN_CHECK(out != nullptr);
   DHGCN_CHECK_EQ(a.ndim(), 2);
   DHGCN_CHECK_EQ(b.ndim(), 2);
-  DHGCN_CHECK_EQ(out.ndim(), 2);
-  DHGCN_CHECK_EQ(a.dim(1), b.dim(0));
-  DHGCN_CHECK_EQ(out.dim(0), a.dim(0));
-  DHGCN_CHECK_EQ(out.dim(1), b.dim(1));
-  GemmAccumulate(a.data(), b.data(), out.data(), a.dim(0), a.dim(1),
-                 b.dim(1));
+  DHGCN_CHECK_EQ(a.dim(1), b.dim(1));
+  DHGCN_CHECK_EQ(out->ndim(), 2);
+  DHGCN_CHECK_EQ(out->dim(0), a.dim(0));
+  DHGCN_CHECK_EQ(out->dim(1), b.dim(0));
+  GemmTransposedB(a.data(), b.data(), out->data(), a.dim(0), a.dim(1),
+                  b.dim(0), accumulate);
+}
+
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  MatMulInto(a, b, &out, /*accumulate=*/true);
 }
 
 }  // namespace dhgcn

@@ -23,6 +23,36 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
 /// out += a * b for 2-D operands (shapes as MatMul).
 void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
 
+// ---------------------------------------------------------------------------
+// Out-parameter variants. `out` must be non-null with the exact result
+// shape and must not alias an input. With `accumulate` the product is
+// added to the existing contents of `out`; otherwise `out` is fully
+// (re)written — callers may pass uninitialized workspace buffers.
+// All variants use the same kernels (and accumulation order) as the
+// allocating functions above, so results are bit-identical.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+// Raw-pointer GEMM kernels shared by every entry point above/below (one
+// accumulation order everywhere => bit-identical results across APIs).
+// All operands row-major; Gemm and GemmTransposedA accumulate into c.
+void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n);
+void GemmTransposedAAccumulate(const float* a, const float* b, float* c,
+                               int64_t k, int64_t m, int64_t n);
+void GemmTransposedB(const float* a, const float* b, float* c, int64_t m,
+                     int64_t k, int64_t n, bool accumulate);
+}  // namespace detail
+
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out,
+                bool accumulate = false);
+void BatchedMatMulInto(const Tensor& a, const Tensor& b, Tensor* out,
+                       bool accumulate = false);
+void MatMulTransposedAInto(const Tensor& a, const Tensor& b, Tensor* out,
+                           bool accumulate = false);
+void MatMulTransposedBInto(const Tensor& a, const Tensor& b, Tensor* out,
+                           bool accumulate = false);
+
 }  // namespace dhgcn
 
 #endif  // DHGCN_TENSOR_LINALG_H_

@@ -1,5 +1,6 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/string_util.h"
@@ -21,11 +22,49 @@ int64_t ShapeNumel(const Shape& shape) {
 
 bool ShapesEqual(const Shape& a, const Shape& b) { return a == b; }
 
+namespace {
+
+// Backing storage shared by all default-constructed tensors. Immutable:
+// Tensor::Detach() swaps in a private copy before any write.
+const std::shared_ptr<std::vector<float>>& DefaultScalarBuffer() {
+  static const std::shared_ptr<std::vector<float>> buffer =
+      std::make_shared<std::vector<float>>(1, 0.0f);
+  return buffer;
+}
+
+}  // namespace
+
+Tensor::Tensor() : shape_(), numel_(1), data_(DefaultScalarBuffer()) {
+  shared_default_ = true;
+}
+
+void Tensor::Detach() {
+  data_ = std::make_shared<std::vector<float>>(*data_);
+  shared_default_ = false;
+  ::dhgcn::AllocStats::Record(static_cast<uint64_t>(numel_) * sizeof(float));
+}
+
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
       numel_(ShapeNumel(shape_)),
       data_(std::make_shared<std::vector<float>>(
-          static_cast<size_t>(numel_), 0.0f)) {}
+          static_cast<size_t>(numel_), 0.0f)) {
+  ::dhgcn::AllocStats::Record(static_cast<uint64_t>(numel_) * sizeof(float));
+}
+
+Tensor::Tensor(BorrowTag, Shape shape)
+    : shape_(std::move(shape)), numel_(ShapeNumel(shape_)) {}
+
+Tensor Tensor::Borrowed(Shape shape, float* data,
+                        std::shared_ptr<const uint64_t> live_epoch,
+                        uint64_t borrow_epoch) {
+  DHGCN_CHECK(data != nullptr);
+  Tensor t(BorrowTag{}, std::move(shape));
+  t.borrowed_ = data;
+  t.live_epoch_ = std::move(live_epoch);
+  t.borrow_epoch_ = borrow_epoch;
+  return t;
+}
 
 Tensor Tensor::Full(Shape shape, float value) {
   Tensor t(std::move(shape));
@@ -35,10 +74,9 @@ Tensor Tensor::Full(Shape shape, float value) {
 
 Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
   DHGCN_CHECK_EQ(ShapeNumel(shape), static_cast<int64_t>(values.size()));
-  Tensor t;
-  t.shape_ = std::move(shape);
-  t.numel_ = static_cast<int64_t>(values.size());
+  Tensor t(BorrowTag{}, std::move(shape));
   t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  ::dhgcn::AllocStats::Record(static_cast<uint64_t>(t.numel_) * sizeof(float));
   return t;
 }
 
@@ -117,23 +155,28 @@ Tensor Tensor::Reshape(Shape new_shape) const {
 }
 
 Tensor Tensor::Clone() const {
-  Tensor copy;
-  copy.shape_ = shape_;
-  copy.numel_ = numel_;
-  copy.data_ = std::make_shared<std::vector<float>>(*data_);
+  Tensor copy(BorrowTag{}, shape_);
+  const float* src = data();
+  copy.data_ = std::make_shared<std::vector<float>>(src, src + numel_);
+  ::dhgcn::AllocStats::Record(static_cast<uint64_t>(numel_) * sizeof(float));
   return copy;
 }
 
 void Tensor::CopyFrom(const Tensor& src) {
   DHGCN_CHECK(ShapesEqual(shape_, src.shape_));
-  *data_ = *src.data_;
+  const float* from = src.data();
+  std::copy(from, from + numel_, data());
 }
 
 void Tensor::Fill(float value) {
-  for (auto& x : *data_) x = value;
+  float* p = data();
+  std::fill(p, p + numel_, value);
 }
 
-std::vector<float> Tensor::ToVector() const { return *data_; }
+std::vector<float> Tensor::ToVector() const {
+  const float* p = data();
+  return std::vector<float>(p, p + numel_);
+}
 
 std::string Tensor::ToString(int64_t max_items) const {
   std::ostringstream oss;
@@ -146,6 +189,10 @@ std::string Tensor::ToString(int64_t max_items) const {
   if (n < numel_) oss << ", ...";
   oss << "]";
   return oss.str();
+}
+
+AllocStatsSnapshot Tensor::AllocStats() {
+  return ::dhgcn::AllocStats::Snapshot();
 }
 
 }  // namespace dhgcn

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "base/alloc_stats.h"
 #include "base/check.h"
 #include "base/rng.h"
 
@@ -21,17 +22,30 @@ bool ShapesEqual(const Shape& a, const Shape& b);
 
 /// \brief Dense row-major float32 tensor.
 ///
-/// Storage is always contiguous and shared between tensors produced by
-/// `Reshape` (which aliases) — all other operations allocate fresh storage.
-/// The class is cheap to copy (shared storage); use `Clone()` for a deep
-/// copy before in-place mutation of a tensor that may be aliased.
+/// Storage comes in two modes:
+///  - **owning** (the default): a shared heap buffer, kept alive by
+///    reference counting. Every owning allocation advances
+///    `Tensor::AllocStats()`.
+///  - **workspace-borrowed**: a raw pointer into a `Workspace` arena,
+///    created via `Tensor::Borrowed()` (normally through
+///    `NewTensor(Workspace*, ...)`). Borrowed tensors are only valid
+///    until the arena's next `Reset()`; touching one afterwards aborts
+///    with a check failure (the borrow epoch is validated on access).
+///
+/// Storage is shared between tensors produced by `Reshape` (which
+/// aliases); all other operations write fresh storage. The class is
+/// cheap to copy (shared or borrowed storage); use `Clone()` for a deep
+/// owning copy before in-place mutation of a tensor that may be aliased.
 ///
 /// Dimension-order convention used by the model code: activations are
 /// (N, C, T, V) = (batch, channels, frames, joints).
 class Tensor {
  public:
-  /// An empty (0-d, 1-element) tensor holding 0.0f.
-  Tensor() : Tensor(Shape{}) {}
+  /// An empty (0-d, 1-element) tensor holding 0.0f. Allocation-free:
+  /// all default-constructed tensors share one immutable zero buffer
+  /// and detach (copy-on-write) on first mutable access, so declaring
+  /// `Tensor out;` slots on the workspace path costs nothing.
+  Tensor();
 
   /// Allocates a zero-initialized tensor of the given shape.
   explicit Tensor(Shape shape);
@@ -63,6 +77,16 @@ class Tensor {
   /// 1-D tensor [start, start+step, ...) of `count` entries.
   static Tensor Arange(int64_t count, float start = 0.0f, float step = 1.0f);
 
+  /// Wraps externally managed storage (a `Workspace` slice) without
+  /// allocating. `live_epoch` is the arena's epoch cell and
+  /// `borrow_epoch` its value at borrow time: any access after the
+  /// arena has been Reset (epoch advanced) aborts. The buffer is NOT
+  /// zero-initialized — callers must fully overwrite it (use
+  /// `Workspace::AcquireZeroed` / `NewZeroedTensor` for accumulators).
+  static Tensor Borrowed(Shape shape, float* data,
+                         std::shared_ptr<const uint64_t> live_epoch,
+                         uint64_t borrow_epoch);
+
   // -- Introspection -------------------------------------------------------
 
   const Shape& shape() const { return shape_; }
@@ -70,17 +94,28 @@ class Tensor {
   int64_t dim(int64_t axis) const;
   int64_t numel() const { return numel_; }
 
-  float* data() { return data_->data(); }
-  const float* data() const { return data_->data(); }
+  /// True for owning storage, false for workspace-borrowed storage.
+  bool owns_storage() const { return borrowed_ == nullptr; }
+
+  float* data() {
+    CheckLive();
+    if (borrowed_ != nullptr) return borrowed_;
+    if (shared_default_) Detach();
+    return data_->data();
+  }
+  const float* data() const {
+    CheckLive();
+    return borrowed_ != nullptr ? borrowed_ : data_->data();
+  }
 
   /// Element access by flat row-major index.
   float& flat(int64_t index) {
     DHGCN_DCHECK(index >= 0 && index < numel_);
-    return (*data_)[static_cast<size_t>(index)];
+    return data()[static_cast<size_t>(index)];
   }
   float flat(int64_t index) const {
     DHGCN_DCHECK(index >= 0 && index < numel_);
-    return (*data_)[static_cast<size_t>(index)];
+    return data()[static_cast<size_t>(index)];
   }
 
   /// Multi-index element access; the number of indices must equal ndim().
@@ -98,7 +133,7 @@ class Tensor {
 
   /// True when both tensors view the same storage.
   bool SharesStorageWith(const Tensor& other) const {
-    return data_ == other.data_;
+    return raw_data() == other.raw_data();
   }
 
   // -- Shape manipulation / copies -----------------------------------------
@@ -107,7 +142,7 @@ class Tensor {
   /// (numel must match). At most one dimension may be -1 (inferred).
   Tensor Reshape(Shape new_shape) const;
 
-  /// Deep copy.
+  /// Deep copy; the result always owns its storage.
   Tensor Clone() const;
 
   /// Copies the contents of `src` into this tensor (shapes must match).
@@ -122,10 +157,48 @@ class Tensor {
   /// Human-readable rendering (shape plus up to `max_items` leading values).
   std::string ToString(int64_t max_items = 16) const;
 
+  // -- Instrumentation -----------------------------------------------------
+
+  /// Cumulative owning-buffer allocation totals since process start;
+  /// borrowed (workspace) tensors never advance these. Use
+  /// `AllocStatsGuard` for a scoped delta.
+  static AllocStatsSnapshot AllocStats();
+
  private:
+  struct BorrowTag {};
+  /// Non-allocating constructor used by Borrowed().
+  Tensor(BorrowTag, Shape shape);
+
+  /// Effective storage pointer without the liveness check (identity
+  /// comparisons only — never dereferenced through this path).
+  const float* raw_data() const {
+    return borrowed_ != nullptr ? borrowed_ : data_->data();
+  }
+
+  /// Aborts when a borrowed buffer is accessed after its arena was
+  /// Reset. Always on (also in release builds): a stale borrow reads
+  /// recycled memory, which is silent corruption otherwise.
+  void CheckLive() const {
+    if (borrowed_ != nullptr) {
+      DHGCN_CHECK(live_epoch_ != nullptr && *live_epoch_ == borrow_epoch_);
+    }
+  }
+
+  /// Replaces the shared default-scalar buffer with a private owning
+  /// copy before the first mutation (copy-on-write).
+  void Detach();
+
   Shape shape_;
   int64_t numel_ = 1;
+  /// Owning mode: shared heap buffer (null in borrowed mode).
   std::shared_ptr<std::vector<float>> data_;
+  /// True while aliasing the process-wide default-scalar buffer.
+  bool shared_default_ = false;
+  /// Borrowed mode: raw arena pointer (null in owning mode).
+  float* borrowed_ = nullptr;
+  /// Borrowed mode: arena epoch cell + the epoch at borrow time.
+  std::shared_ptr<const uint64_t> live_epoch_;
+  uint64_t borrow_epoch_ = 0;
 };
 
 }  // namespace dhgcn

@@ -6,10 +6,8 @@
 
 namespace dhgcn {
 
-namespace {
+namespace detail {
 
-// Row-major strides for a shape, with stride 0 on broadcasted (size-1) axes
-// relative to an output rank. `shape` is right-aligned within `out_rank`.
 std::vector<int64_t> BroadcastStrides(const Shape& shape, size_t out_rank,
                                       const Shape& out_shape) {
   std::vector<int64_t> strides(out_rank, 0);
@@ -31,7 +29,7 @@ std::vector<int64_t> BroadcastStrides(const Shape& shape, size_t out_rank,
   return strides;
 }
 
-}  // namespace
+}  // namespace detail
 
 bool CanBroadcast(const Shape& a, const Shape& b) {
   size_t rank = std::max(a.size(), b.size());
@@ -55,60 +53,56 @@ Shape BroadcastShapes(const Shape& a, const Shape& b) {
   return out;
 }
 
+namespace {
+
+struct AddOp {
+  float operator()(float x, float y) const { return x + y; }
+};
+struct SubOp {
+  float operator()(float x, float y) const { return x - y; }
+};
+struct MulOp {
+  float operator()(float x, float y) const { return x * y; }
+};
+struct DivOp {
+  float operator()(float x, float y) const { return x / y; }
+};
+struct MaxOp {
+  float operator()(float x, float y) const { return std::max(x, y); }
+};
+struct MinOp {
+  float operator()(float x, float y) const { return std::min(x, y); }
+};
+
+}  // namespace
+
 Tensor BinaryOp(const Tensor& a, const Tensor& b,
                 const std::function<float(float, float)>& op) {
-  // Fast path: identical shapes.
-  if (ShapesEqual(a.shape(), b.shape())) {
-    Tensor out(a.shape());
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-    for (int64_t i = 0; i < a.numel(); ++i) po[i] = op(pa[i], pb[i]);
-    return out;
-  }
-  Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out(out_shape);
-  size_t rank = out_shape.size();
-  std::vector<int64_t> sa = BroadcastStrides(a.shape(), rank, out_shape);
-  std::vector<int64_t> sb = BroadcastStrides(b.shape(), rank, out_shape);
-  std::vector<int64_t> index(rank, 0);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  int64_t oa = 0, ob = 0;
-  for (int64_t flat = 0; flat < out.numel(); ++flat) {
-    po[flat] = op(pa[oa], pb[ob]);
-    // Odometer increment from the last axis.
-    for (size_t axis = rank; axis-- > 0;) {
-      ++index[axis];
-      oa += sa[axis];
-      ob += sb[axis];
-      if (index[axis] < out_shape[axis]) break;
-      oa -= sa[axis] * out_shape[axis];
-      ob -= sb[axis] * out_shape[axis];
-      index[axis] = 0;
-    }
-  }
-  return out;
+  return BinaryOpT(a, b, op);
 }
 
-Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x + y; });
-}
-Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x - y; });
-}
-Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x * y; });
-}
-Tensor Div(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x / y; });
-}
+Tensor Add(const Tensor& a, const Tensor& b) { return BinaryOpT(a, b, AddOp{}); }
+Tensor Sub(const Tensor& a, const Tensor& b) { return BinaryOpT(a, b, SubOp{}); }
+Tensor Mul(const Tensor& a, const Tensor& b) { return BinaryOpT(a, b, MulOp{}); }
+Tensor Div(const Tensor& a, const Tensor& b) { return BinaryOpT(a, b, DivOp{}); }
 Tensor Maximum(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return std::max(x, y); });
+  return BinaryOpT(a, b, MaxOp{});
 }
 Tensor Minimum(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return std::min(x, y); });
+  return BinaryOpT(a, b, MinOp{});
+}
+
+void AddInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  BinaryOpInto(a, b, AddOp{}, out);
+}
+void SubInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  BinaryOpInto(a, b, SubOp{}, out);
+}
+void MulInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  BinaryOpInto(a, b, MulOp{}, out);
+}
+void DivInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  BinaryOpInto(a, b, DivOp{}, out);
 }
 
 void AddInPlace(Tensor& a, const Tensor& b) {
@@ -140,44 +134,47 @@ void Axpy(float alpha, const Tensor& b, Tensor& a) {
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x + s; });
+  return UnaryOpT(a, [s](float x) { return x + s; });
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x * s; });
+  return UnaryOpT(a, [s](float x) { return x * s; });
 }
 void MulScalarInPlace(Tensor& a, float s) {
   float* pa = a.data();
   for (int64_t i = 0; i < a.numel(); ++i) pa[i] *= s;
 }
+void MulScalarInto(const Tensor& a, float s, Tensor* out) {
+  UnaryOpInto(a, [s](float x) { return x * s; }, out);
+}
 
 Tensor UnaryOp(const Tensor& a, const std::function<float(float)>& op) {
-  Tensor out(a.shape());
-  const float* pa = a.data();
-  float* po = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = op(pa[i]);
-  return out;
+  return UnaryOpT(a, op);
 }
 
 Tensor Neg(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return -x; });
+  return UnaryOpT(a, [](float x) { return -x; });
 }
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::exp(x); });
+  return UnaryOpT(a, [](float x) { return std::exp(x); });
 }
 Tensor Log(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::log(x); });
+  return UnaryOpT(a, [](float x) { return std::log(x); });
 }
 Tensor Sqrt(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+  return UnaryOpT(a, [](float x) { return std::sqrt(x); });
 }
 Tensor Abs(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::fabs(x); });
+  return UnaryOpT(a, [](float x) { return std::fabs(x); });
 }
 Tensor Square(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x * x; });
+  return UnaryOpT(a, [](float x) { return x * x; });
 }
 Tensor Clamp(const Tensor& a, float lo, float hi) {
-  return UnaryOp(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+  return UnaryOpT(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+}
+
+void ExpInto(const Tensor& a, Tensor* out) {
+  UnaryOpInto(a, [](float x) { return std::exp(x); }, out);
 }
 
 float SumAll(const Tensor& a) {
@@ -241,14 +238,17 @@ Shape DropOrKeepAxis(const Shape& shape, int64_t axis, bool keepdim) {
   return out;
 }
 
+// Statically-dispatched reduction core writing into `*out`.
 template <typename Init, typename Fold, typename Finish>
-Tensor ReduceAxis(const Tensor& a, int64_t axis, bool keepdim, Init init,
-                  Fold fold, Finish finish) {
+void ReduceAxisInto(const Tensor& a, int64_t axis, bool keepdim, Init init,
+                    Fold fold, Finish finish, Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
   axis = NormalizeAxis(axis, a.ndim());
   AxisSplit s = SplitAtAxis(a.shape(), axis);
-  Tensor out(DropOrKeepAxis(a.shape(), axis, keepdim));
+  DHGCN_CHECK(
+      ShapesEqual(out->shape(), DropOrKeepAxis(a.shape(), axis, keepdim)));
   const float* pa = a.data();
-  float* po = out.data();
+  float* po = out->data();
   for (int64_t o = 0; o < s.outer; ++o) {
     for (int64_t in = 0; in < s.inner; ++in) {
       auto acc = init();
@@ -257,22 +257,42 @@ Tensor ReduceAxis(const Tensor& a, int64_t axis, bool keepdim, Init init,
       po[o * s.inner + in] = finish(acc, s.size);
     }
   }
+}
+
+template <typename Init, typename Fold, typename Finish>
+Tensor ReduceAxis(const Tensor& a, int64_t axis, bool keepdim, Init init,
+                  Fold fold, Finish finish) {
+  int64_t norm = NormalizeAxis(axis, a.ndim());
+  Tensor out(DropOrKeepAxis(a.shape(), norm, keepdim));
+  ReduceAxisInto(a, norm, keepdim, init, fold, finish, &out);
   return out;
 }
+
+struct SumInit {
+  double operator()() const { return 0.0; }
+};
+struct SumFold {
+  double operator()(double acc, float x) const { return acc + x; }
+};
+struct SumFinish {
+  float operator()(double acc, int64_t) const {
+    return static_cast<float>(acc);
+  }
+};
 
 }  // namespace
 
 Tensor ReduceSum(const Tensor& a, int64_t axis, bool keepdim) {
-  return ReduceAxis(
-      a, axis, keepdim, [] { return 0.0; },
-      [](double acc, float x) { return acc + x; },
-      [](double acc, int64_t) { return static_cast<float>(acc); });
+  return ReduceAxis(a, axis, keepdim, SumInit{}, SumFold{}, SumFinish{});
+}
+
+void ReduceSumInto(const Tensor& a, int64_t axis, bool keepdim, Tensor* out) {
+  ReduceAxisInto(a, axis, keepdim, SumInit{}, SumFold{}, SumFinish{}, out);
 }
 
 Tensor ReduceMean(const Tensor& a, int64_t axis, bool keepdim) {
   return ReduceAxis(
-      a, axis, keepdim, [] { return 0.0; },
-      [](double acc, float x) { return acc + x; },
+      a, axis, keepdim, SumInit{}, SumFold{},
       [](double acc, int64_t n) {
         return static_cast<float>(acc / static_cast<double>(n));
       });
@@ -310,12 +330,13 @@ Tensor ArgMax(const Tensor& a, int64_t axis) {
   return out;
 }
 
-Tensor Softmax(const Tensor& a, int64_t axis) {
+void SoftmaxInto(const Tensor& a, int64_t axis, Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  DHGCN_CHECK(ShapesEqual(out->shape(), a.shape()));
   axis = NormalizeAxis(axis, a.ndim());
   AxisSplit s = SplitAtAxis(a.shape(), axis);
-  Tensor out(a.shape());
   const float* pa = a.data();
-  float* po = out.data();
+  float* po = out->data();
   for (int64_t o = 0; o < s.outer; ++o) {
     for (int64_t in = 0; in < s.inner; ++in) {
       const float* base = pa + (o * s.size) * s.inner + in;
@@ -334,15 +355,21 @@ Tensor Softmax(const Tensor& a, int64_t axis) {
       for (int64_t k = 0; k < s.size; ++k) obase[k * s.inner] *= inv;
     }
   }
+}
+
+Tensor Softmax(const Tensor& a, int64_t axis) {
+  Tensor out(a.shape());
+  SoftmaxInto(a, axis, &out);
   return out;
 }
 
-Tensor LogSoftmax(const Tensor& a, int64_t axis) {
+void LogSoftmaxInto(const Tensor& a, int64_t axis, Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
+  DHGCN_CHECK(ShapesEqual(out->shape(), a.shape()));
   axis = NormalizeAxis(axis, a.ndim());
   AxisSplit s = SplitAtAxis(a.shape(), axis);
-  Tensor out(a.shape());
   const float* pa = a.data();
-  float* po = out.data();
+  float* po = out->data();
   for (int64_t o = 0; o < s.outer; ++o) {
     for (int64_t in = 0; in < s.inner; ++in) {
       const float* base = pa + (o * s.size) * s.inner + in;
@@ -361,10 +388,17 @@ Tensor LogSoftmax(const Tensor& a, int64_t axis) {
       }
     }
   }
+}
+
+Tensor LogSoftmax(const Tensor& a, int64_t axis) {
+  Tensor out(a.shape());
+  LogSoftmaxInto(a, axis, &out);
   return out;
 }
 
-Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
+void PermuteInto(const Tensor& a, const std::vector<int64_t>& perm,
+                 Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
   DHGCN_CHECK_EQ(static_cast<int64_t>(perm.size()), a.ndim());
   size_t rank = perm.size();
   std::vector<bool> seen(rank, false);
@@ -376,7 +410,8 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
     seen[static_cast<size_t>(p)] = true;
     out_shape[i] = a.shape()[static_cast<size_t>(p)];
   }
-  Tensor out(out_shape);
+  DHGCN_CHECK(ShapesEqual(out->shape(), out_shape));
+  DHGCN_CHECK(!out->SharesStorageWith(a));  // gather pattern cannot alias
   // Source strides.
   std::vector<int64_t> src_strides(rank, 1);
   for (size_t i = rank - 1; i-- > 0;) {
@@ -390,9 +425,9 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
   }
   std::vector<int64_t> index(rank, 0);
   const float* pa = a.data();
-  float* po = out.data();
+  float* po = out->data();
   int64_t src = 0;
-  for (int64_t flat = 0; flat < out.numel(); ++flat) {
+  for (int64_t flat = 0; flat < out->numel(); ++flat) {
     po[flat] = pa[src];
     for (size_t axis = rank; axis-- > 0;) {
       ++index[axis];
@@ -402,6 +437,16 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
       index[axis] = 0;
     }
   }
+}
+
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
+  DHGCN_CHECK_EQ(static_cast<int64_t>(perm.size()), a.ndim());
+  Shape out_shape(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    out_shape[i] = a.dim(perm[i]);
+  }
+  Tensor out(out_shape);
+  PermuteInto(a, perm, &out);
   return out;
 }
 
@@ -441,22 +486,32 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
   return out;
 }
 
-Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t length) {
+void SliceInto(const Tensor& a, int64_t axis, int64_t start, int64_t length,
+               Tensor* out) {
+  DHGCN_CHECK(out != nullptr);
   axis = NormalizeAxis(axis, a.ndim());
   DHGCN_CHECK_GE(start, 0);
   DHGCN_CHECK_GE(length, 0);
   DHGCN_CHECK_LE(start + length, a.dim(axis));
   Shape out_shape = a.shape();
   out_shape[static_cast<size_t>(axis)] = length;
-  Tensor out(out_shape);
+  DHGCN_CHECK(ShapesEqual(out->shape(), out_shape));
   AxisSplit sa = SplitAtAxis(a.shape(), axis);
   const float* pa = a.data();
-  float* po = out.data();
+  float* po = out->data();
   for (int64_t o = 0; o < sa.outer; ++o) {
     const float* src = pa + (o * sa.size + start) * sa.inner;
     float* dst = po + o * length * sa.inner;
     std::copy(src, src + length * sa.inner, dst);
   }
+}
+
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t length) {
+  int64_t norm = NormalizeAxis(axis, a.ndim());
+  Shape out_shape = a.shape();
+  out_shape[static_cast<size_t>(norm)] = length;
+  Tensor out(out_shape);
+  SliceInto(a, norm, start, length, &out);
   return out;
 }
 
@@ -476,8 +531,8 @@ Tensor Stack(const std::vector<Tensor>& parts) {
 }
 
 Tensor BroadcastTo(const Tensor& a, const Shape& target) {
-  return BinaryOp(a, Tensor::Zeros(target),
-                  [](float x, float) { return x; });
+  return BinaryOpT(a, Tensor::Zeros(target),
+                   [](float x, float) { return x; });
 }
 
 Tensor ReduceToShape(const Tensor& grad, const Shape& target) {

@@ -1,0 +1,106 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+#include <new>
+
+#include "base/check.h"
+
+namespace dhgcn {
+namespace {
+
+constexpr size_t kMinBlockBytes = size_t{1} << 16;  // 64 KiB
+
+size_t AlignUp(size_t bytes) {
+  return (bytes + Workspace::kAlignment - 1) & ~(Workspace::kAlignment - 1);
+}
+
+}  // namespace
+
+Workspace::Workspace(size_t initial_bytes)
+    : live_epoch_(std::make_shared<uint64_t>(1)) {
+  if (initial_bytes > 0) {
+    size_t bytes = AlignUp(std::max(initial_bytes, kMinBlockBytes));
+    blocks_.push_back(Block{AllocateBlock(bytes), bytes, 0});
+  }
+}
+
+Workspace::~Workspace() {
+  // Invalidate any borrows that (incorrectly) outlive the arena: the
+  // epoch cell itself stays alive through the tensors' shared_ptr, so
+  // their next access trips the liveness check instead of reading
+  // freed memory.
+  ++*live_epoch_;
+  for (Block& block : blocks_) FreeBlock(block.data);
+}
+
+float* Workspace::AllocateBlock(size_t bytes) {
+  return static_cast<float*>(
+      ::operator new(bytes, std::align_val_t(kAlignment)));
+}
+
+void Workspace::FreeBlock(float* data) {
+  ::operator delete(data, std::align_val_t(kAlignment));
+}
+
+float* Workspace::AllocateBytes(size_t bytes) {
+  bytes = AlignUp(std::max<size_t>(bytes, 1));
+  if (blocks_.empty() ||
+      blocks_.back().used_bytes + bytes > blocks_.back().capacity_bytes) {
+    // Grow: the new block at least doubles total capacity so the number
+    // of growth events is logarithmic in the peak working set.
+    size_t grow = std::max({bytes, capacity_bytes(), kMinBlockBytes});
+    blocks_.push_back(Block{AllocateBlock(grow), grow, 0});
+  }
+  Block& block = blocks_.back();
+  float* out = reinterpret_cast<float*>(
+      reinterpret_cast<char*>(block.data) + block.used_bytes);
+  block.used_bytes += bytes;
+  bytes_in_use_ += bytes;
+  return out;
+}
+
+Tensor Workspace::Acquire(Shape shape) {
+  int64_t numel = ShapeNumel(shape);
+  float* data =
+      AllocateBytes(static_cast<size_t>(numel) * sizeof(float));
+  return Tensor::Borrowed(std::move(shape), data, live_epoch_, *live_epoch_);
+}
+
+Tensor Workspace::AcquireZeroed(Shape shape) {
+  Tensor t = Acquire(std::move(shape));
+  std::fill(t.data(), t.data() + t.numel(), 0.0f);
+  return t;
+}
+
+void Workspace::Reset() {
+  ++*live_epoch_;
+  bytes_in_use_ = 0;
+  if (blocks_.size() > 1) {
+    // Coalesce into one block of the combined capacity so steady state
+    // is a single allocation-free bump region.
+    size_t total = capacity_bytes();
+    for (Block& block : blocks_) FreeBlock(block.data);
+    blocks_.clear();
+    blocks_.push_back(Block{AllocateBlock(total), total, 0});
+  } else if (!blocks_.empty()) {
+    blocks_.back().used_bytes = 0;
+  }
+}
+
+size_t Workspace::capacity_bytes() const {
+  size_t total = 0;
+  for (const Block& block : blocks_) total += block.capacity_bytes;
+  return total;
+}
+
+Tensor NewTensor(Workspace* ws, Shape shape) {
+  if (ws != nullptr) return ws->Acquire(std::move(shape));
+  return Tensor(std::move(shape));
+}
+
+Tensor NewZeroedTensor(Workspace* ws, Shape shape) {
+  if (ws != nullptr) return ws->AcquireZeroed(std::move(shape));
+  return Tensor(std::move(shape));
+}
+
+}  // namespace dhgcn

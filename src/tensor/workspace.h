@@ -1,0 +1,93 @@
+#ifndef DHGCN_TENSOR_WORKSPACE_H_
+#define DHGCN_TENSOR_WORKSPACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// \brief Bump-allocator arena backing transient (activation) tensors.
+///
+/// `Acquire` hands out 64-byte-aligned slices of large heap blocks as
+/// borrowed `Tensor`s; `Reset()` rewinds the whole arena in O(1) at a
+/// step boundary so the next step reuses the same memory. The arena
+/// grows by appending blocks (each at least doubling total capacity);
+/// `Reset()` coalesces multiple blocks into one, so after a warmup step
+/// or two the steady state is a single block and zero heap traffic.
+///
+/// Lifetime rule: a borrowed tensor must not outlive the `Reset()` (or
+/// destruction) of its arena. This is enforced, not just documented —
+/// every `Reset()` advances an epoch counter that borrowed tensors
+/// validate on access, so use-after-reset aborts deterministically
+/// instead of silently reading recycled memory.
+///
+/// Not thread-safe: one Workspace per trainer/evaluator thread.
+class Workspace {
+ public:
+  /// Alignment of every handed-out buffer, in bytes.
+  static constexpr size_t kAlignment = 64;
+
+  /// `initial_bytes` pre-reserves capacity (0 = grow on demand).
+  explicit Workspace(size_t initial_bytes = 0);
+  ~Workspace();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Borrows an **uninitialized** tensor from the arena. The caller
+  /// must overwrite every element before reading.
+  Tensor Acquire(Shape shape);
+
+  /// Borrows a zero-filled tensor (for accumulation kernels).
+  Tensor AcquireZeroed(Shape shape);
+
+  /// Invalidates all outstanding borrows, rewinds the bump pointer and
+  /// coalesces multi-block arenas into a single block of the combined
+  /// capacity. Steady state (capacity sufficient): no heap activity.
+  void Reset();
+
+  /// Bytes currently handed out (aligned) since the last Reset.
+  size_t bytes_in_use() const { return bytes_in_use_; }
+  /// Total bytes owned by the arena across all blocks.
+  size_t capacity_bytes() const;
+  /// Number of backing blocks (1 in steady state).
+  size_t block_count() const { return blocks_.size(); }
+  /// Current borrow epoch (advances on every Reset).
+  uint64_t epoch() const { return *live_epoch_; }
+
+ private:
+  struct Block {
+    float* data = nullptr;
+    size_t capacity_bytes = 0;
+    size_t used_bytes = 0;
+  };
+
+  static float* AllocateBlock(size_t bytes);
+  static void FreeBlock(float* data);
+
+  /// Returns an aligned slice of `bytes` bytes, growing the arena when
+  /// the current block cannot fit it.
+  float* AllocateBytes(size_t bytes);
+
+  std::vector<Block> blocks_;
+  size_t bytes_in_use_ = 0;
+  std::shared_ptr<uint64_t> live_epoch_;
+};
+
+/// \brief Borrows an uninitialized tensor from `ws`, or allocates a
+/// fresh owning (zeroed) tensor when `ws` is null. The shared-impl
+/// layers use this so one kernel serves both the legacy and the
+/// workspace path; callers must fully overwrite the buffer.
+Tensor NewTensor(Workspace* ws, Shape shape);
+
+/// \brief Like NewTensor but zero-filled in both modes — for kernels
+/// that accumulate with `+=`.
+Tensor NewZeroedTensor(Workspace* ws, Shape shape);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_TENSOR_WORKSPACE_H_

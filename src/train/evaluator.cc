@@ -6,18 +6,26 @@
 #include "base/string_util.h"
 #include "nn/loss.h"
 #include "tensor/tensor_ops.h"
+#include "tensor/workspace.h"
 #include "train/table.h"
 
 namespace dhgcn {
 
-EvalMetrics Evaluate(Layer& model, DataLoader& loader) {
+EvalMetrics Evaluate(Layer& model, DataLoader& loader,
+                     bool use_workspace) {
   model.SetTraining(false);
   SoftmaxCrossEntropy loss;
   MetricsAccumulator accumulator;
+  Workspace workspace;
+  Workspace* ws = use_workspace ? &workspace : nullptr;
   for (int64_t b = 0; b < loader.NumBatches(); ++b) {
     Batch batch = loader.GetBatch(b);
-    Tensor logits = model.Forward(batch.x);
-    float batch_loss = loss.Forward(logits, batch.labels);
+    if (ws != nullptr) ws->Reset();
+    Tensor logits = LayerForward(model, batch.x, ws);
+    float batch_loss =
+        ws != nullptr
+            ? loss.TryForward(logits, batch.labels, *ws).ValueOrDie()
+            : loss.Forward(logits, batch.labels);
     accumulator.Add(logits, batch.labels, batch_loss);
   }
   model.SetTraining(true);

@@ -12,7 +12,11 @@ namespace dhgcn {
 
 /// Evaluates a classifier over a loader (inference mode; loader should be
 /// non-shuffling). Reports Top-1/Top-5 accuracy and mean cross-entropy.
-EvalMetrics Evaluate(Layer& model, DataLoader& loader);
+/// By default, inference runs on the workspace-planned path (a local
+/// arena reset per batch, bit-identical outputs); pass
+/// `use_workspace = false` for the legacy allocating path.
+EvalMetrics Evaluate(Layer& model, DataLoader& loader,
+                     bool use_workspace = true);
 
 /// \brief Two-stream fused evaluation (Sec. 3.5): sums the joint model's
 /// and bone model's logits per sample. The two loaders must iterate the

@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "base/alloc_stats.h"
 #include "base/check.h"
 #include "base/fault_injection.h"
 #include "base/logging.h"
@@ -115,15 +116,26 @@ Result<EpochStats> Trainer::TrainEpoch(DataLoader& loader, int64_t epoch) {
   if (guardrails_ != nullptr) at_start = guardrails_->counters();
 
   MetricsAccumulator accumulator;
+  AllocStatsGuard alloc_guard;
   double loss_sum = 0.0;
   int64_t clean_batches = 0;
   int64_t batches = loader.NumBatches();
+  const bool planned = options_.use_workspace;
   for (int64_t b = 0; b < batches; ++b) {
     Batch batch = loader.GetBatch(b);
     OptimizerZeroGrad();
-    Tensor logits = model_->Forward(batch.x);
-    DHGCN_ASSIGN_OR_RETURN(float loss,
-                           loss_.TryForward(logits, batch.labels));
+    Tensor logits;
+    if (planned) {
+      // Step boundary: recycle every activation of the previous step.
+      workspace_.Reset();
+      model_->ForwardInto(batch.x, workspace_, &logits);
+    } else {
+      logits = model_->Forward(batch.x);
+    }
+    DHGCN_ASSIGN_OR_RETURN(
+        float loss, planned ? loss_.TryForward(logits, batch.labels,
+                                               workspace_)
+                            : loss_.TryForward(logits, batch.labels));
     if (guardrails_ != nullptr) {
       if (std::optional<std::string> anomaly =
               guardrails_->CheckForward(logits, loss)) {
@@ -136,7 +148,13 @@ Result<EpochStats> Trainer::TrainEpoch(DataLoader& loader, int64_t epoch) {
         continue;
       }
     }
-    model_->Backward(loss_.Backward());
+    if (planned) {
+      Tensor grad_input;
+      model_->BackwardInto(loss_.Backward(workspace_), workspace_,
+                           &grad_input);
+    } else {
+      model_->Backward(loss_.Backward());
+    }
     MaybeInjectGradientFault(*model_);
     if (guardrails_ != nullptr) {
       if (std::optional<std::string> anomaly = guardrails_->CheckBackward()) {
@@ -166,6 +184,9 @@ Result<EpochStats> Trainer::TrainEpoch(DataLoader& loader, int64_t epoch) {
       clean_batches > 0 ? accumulator.Finalize().top1 : 0.0;
   stats.lr = CurrentLr();
   stats.seconds = timer.ElapsedSeconds();
+  AllocStatsSnapshot allocs = alloc_guard.Delta();
+  stats.tensor_allocations = allocs.allocations;
+  stats.tensor_alloc_bytes = allocs.bytes;
   if (guardrails_ != nullptr) {
     const GuardrailCounters& now = guardrails_->counters();
     stats.guardrails.anomalies = now.anomalies - at_start.anomalies;
@@ -178,7 +199,9 @@ Result<EpochStats> Trainer::TrainEpoch(DataLoader& loader, int64_t epoch) {
     DHGCN_LOG(kInfo) << model_->name() << " epoch " << epoch
                      << " loss=" << stats.mean_loss
                      << " top1=" << stats.train_top1 << " lr=" << stats.lr
-                     << " (" << stats.seconds << "s)";
+                     << " allocs=" << stats.tensor_allocations << " ("
+                     << (stats.tensor_alloc_bytes >> 10) << " KiB) ("
+                     << stats.seconds << "s)";
   }
   return stats;
 }

@@ -11,6 +11,7 @@
 #include "nn/layer.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "tensor/workspace.h"
 #include "train/guardrails.h"
 #include "train/metrics.h"
 
@@ -41,6 +42,12 @@ struct TrainOptions {
   float clip_grad_norm = 0.0f;
   /// Per-step anomaly sentinels and recovery policy (see guardrails.h).
   GuardrailOptions guardrails;
+  /// Run training steps through the workspace-planned (arena-backed)
+  /// execution path: activations live in a per-trainer arena that is
+  /// reset at each step boundary, making steady-state steps
+  /// (near-)allocation-free. Outputs are bit-identical to the legacy
+  /// allocating path; disable only for debugging.
+  bool use_workspace = true;
 };
 
 /// \brief Per-epoch training statistics.
@@ -52,6 +59,11 @@ struct EpochStats {
   double seconds = 0.0;
   /// Guardrail activity during this epoch (all zero when disabled).
   GuardrailCounters guardrails;
+  /// Owning tensor-buffer allocations (count / bytes) during this epoch,
+  /// from Tensor::AllocStats(). Near zero per steady-state step on the
+  /// workspace path.
+  uint64_t tensor_allocations = 0;
+  uint64_t tensor_alloc_bytes = 0;
 };
 
 /// \brief Result of TrainWithValidation.
@@ -153,6 +165,8 @@ class Trainer {
   std::unique_ptr<AdamOptimizer> adam_;
   std::unique_ptr<Guardrails> guardrails_;
   StepLrSchedule schedule_;
+  /// Arena for workspace-planned steps; Reset at every step boundary.
+  Workspace workspace_;
 };
 
 }  // namespace dhgcn

@@ -1,0 +1,177 @@
+#include "tensor/workspace.h"
+
+#include <cstdint>
+
+#include "base/alloc_stats.h"
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+namespace {
+
+bool IsAligned(const float* p) {
+  return reinterpret_cast<uintptr_t>(p) % Workspace::kAlignment == 0;
+}
+
+TEST(WorkspaceTest, AcquireHandsOutAlignedBuffers) {
+  Workspace ws;
+  // Odd element counts force unaligned raw sizes; every buffer must
+  // still start on a kAlignment boundary.
+  Tensor a = ws.Acquire({3});
+  Tensor b = ws.Acquire({5, 7});
+  Tensor c = ws.Acquire({1});
+  EXPECT_TRUE(IsAligned(a.data()));
+  EXPECT_TRUE(IsAligned(b.data()));
+  EXPECT_TRUE(IsAligned(c.data()));
+  EXPECT_FALSE(a.owns_storage());
+  EXPECT_FALSE(b.owns_storage());
+}
+
+TEST(WorkspaceTest, BytesInUseTracksAlignedSlices) {
+  Workspace ws(1 << 16);
+  EXPECT_EQ(ws.bytes_in_use(), 0u);
+  ws.Acquire({3});  // 12 raw bytes -> one 64-byte slice
+  EXPECT_EQ(ws.bytes_in_use(), Workspace::kAlignment);
+  ws.Acquire({17});  // 68 raw bytes -> two 64-byte slices
+  EXPECT_EQ(ws.bytes_in_use(), 3 * Workspace::kAlignment);
+  ws.Reset();
+  EXPECT_EQ(ws.bytes_in_use(), 0u);
+}
+
+TEST(WorkspaceTest, GrowsByAppendingBlocksAndResetCoalesces) {
+  Workspace ws;
+  EXPECT_EQ(ws.block_count(), 0u);  // default ctor allocates lazily
+  ws.Acquire({16});                 // creates the first (minimum) block
+  EXPECT_EQ(ws.block_count(), 1u);
+  size_t initial_capacity = ws.capacity_bytes();
+  // Each request is larger than the 64 KiB minimum block, forcing growth.
+  constexpr int64_t kBig = 20000;  // ~80 KB per tensor
+  for (int i = 0; i < 4; ++i) ws.Acquire({kBig});
+  EXPECT_GT(ws.block_count(), 1u);
+  size_t grown_capacity = ws.capacity_bytes();
+  EXPECT_GT(grown_capacity, initial_capacity);
+
+  ws.Reset();
+  EXPECT_EQ(ws.block_count(), 1u);
+  EXPECT_GE(ws.capacity_bytes(), grown_capacity);
+
+  // The coalesced block now fits the same working set without growing.
+  size_t capacity_after_reset = ws.capacity_bytes();
+  for (int i = 0; i < 4; ++i) ws.Acquire({kBig});
+  EXPECT_EQ(ws.block_count(), 1u);
+  EXPECT_EQ(ws.capacity_bytes(), capacity_after_reset);
+}
+
+TEST(WorkspaceTest, SteadyStateHasNoOwningAllocations) {
+  Workspace ws;
+  for (int i = 0; i < 4; ++i) ws.Acquire({64, 64});
+  ws.Reset();
+  AllocStatsGuard guard;
+  for (int step = 0; step < 3; ++step) {
+    for (int i = 0; i < 4; ++i) {
+      Tensor t = ws.Acquire({64, 64});
+      t.flat(0) = 1.0f;  // touch the buffer
+    }
+    ws.Reset();
+  }
+  EXPECT_EQ(guard.allocations(), 0u);
+  EXPECT_EQ(guard.bytes(), 0u);
+}
+
+TEST(WorkspaceTest, AcquireZeroedZeroesAndAcquireReusesMemory) {
+  Workspace ws;
+  Tensor dirty = ws.Acquire({32});
+  for (int64_t i = 0; i < dirty.numel(); ++i) dirty.flat(i) = 123.0f;
+  ws.Reset();
+  Tensor zeroed = ws.AcquireZeroed({32});
+  for (int64_t i = 0; i < zeroed.numel(); ++i) {
+    ASSERT_EQ(zeroed.flat(i), 0.0f) << "index " << i;
+  }
+}
+
+TEST(WorkspaceTest, ResetAdvancesEpoch) {
+  Workspace ws;
+  uint64_t e0 = ws.epoch();
+  ws.Reset();
+  EXPECT_EQ(ws.epoch(), e0 + 1);
+  ws.Reset();
+  EXPECT_EQ(ws.epoch(), e0 + 2);
+}
+
+TEST(WorkspaceTest, BorrowSurvivesUntilReset) {
+  Workspace ws;
+  Tensor t = ws.Acquire({4});
+  for (int64_t i = 0; i < 4; ++i) t.flat(i) = static_cast<float>(i);
+  // Copies share the same borrowed storage and stay valid pre-Reset.
+  Tensor alias = t;
+  EXPECT_EQ(alias.flat(3), 3.0f);
+}
+
+TEST(WorkspaceDeathTest, BorrowAfterResetAborts) {
+  Workspace ws;
+  Tensor t = ws.Acquire({4});
+  t.flat(0) = 1.0f;
+  ws.Reset();
+  EXPECT_DEATH({ float v = t.flat(0); (void)v; }, "DHGCN_CHECK");
+}
+
+TEST(WorkspaceDeathTest, BorrowAfterArenaDestructionAborts) {
+  Tensor t;
+  {
+    Workspace ws;
+    t = ws.Acquire({4});
+    t.flat(0) = 1.0f;
+  }
+  EXPECT_DEATH({ float v = t.flat(0); (void)v; }, "DHGCN_CHECK");
+}
+
+TEST(WorkspaceTest, NewTensorFallsBackToOwningWithoutArena) {
+  AllocStatsGuard guard;
+  Tensor owned = NewTensor(nullptr, {8});
+  EXPECT_TRUE(owned.owns_storage());
+  EXPECT_EQ(guard.allocations(), 1u);
+  // Owning fallback is zero-initialized (Tensor(Shape) semantics).
+  for (int64_t i = 0; i < owned.numel(); ++i) EXPECT_EQ(owned.flat(i), 0.0f);
+
+  Tensor zeroed = NewZeroedTensor(nullptr, {8});
+  EXPECT_TRUE(zeroed.owns_storage());
+  for (int64_t i = 0; i < zeroed.numel(); ++i) EXPECT_EQ(zeroed.flat(i), 0.0f);
+}
+
+TEST(WorkspaceTest, NewTensorBorrowsFromArena) {
+  Workspace ws;
+  ws.Acquire({1});  // warm the arena so the next call cannot grow it
+  ws.Reset();
+  AllocStatsGuard guard;
+  Tensor borrowed = NewTensor(&ws, {8});
+  EXPECT_FALSE(borrowed.owns_storage());
+  EXPECT_EQ(guard.allocations(), 0u);
+  Tensor z = NewZeroedTensor(&ws, {8});
+  EXPECT_FALSE(z.owns_storage());
+  for (int64_t i = 0; i < z.numel(); ++i) EXPECT_EQ(z.flat(i), 0.0f);
+}
+
+TEST(WorkspaceTest, BorrowedReshapeAliasesSameStorage) {
+  Workspace ws;
+  Tensor t = ws.Acquire({2, 6});
+  for (int64_t i = 0; i < t.numel(); ++i) t.flat(i) = static_cast<float>(i);
+  Tensor r = t.Reshape({3, 4});
+  EXPECT_FALSE(r.owns_storage());
+  EXPECT_EQ(r.data(), t.data());
+  r.flat(0) = 42.0f;
+  EXPECT_EQ(t.flat(0), 42.0f);
+}
+
+TEST(WorkspaceTest, CloneOfBorrowedTensorIsOwningAndIndependent) {
+  Workspace ws;
+  Tensor t = ws.Acquire({4});
+  for (int64_t i = 0; i < 4; ++i) t.flat(i) = static_cast<float>(i + 1);
+  Tensor c = t.Clone();
+  EXPECT_TRUE(c.owns_storage());
+  ws.Reset();
+  // The clone survives the reset that invalidated the borrow.
+  EXPECT_EQ(c.flat(3), 4.0f);
+}
+
+}  // namespace
+}  // namespace dhgcn

@@ -74,6 +74,7 @@ Status RunMain(int argc, const char* const* argv) {
   bool report = false;
   bool summary = false;
   bool augment = false;
+  bool workspace = true;
   bool help = false;
 
   FlagSet flags("dhgcn_train");
@@ -116,6 +117,9 @@ Status RunMain(int argc, const char* const* argv) {
   flags.AddBool("report", &report, "print per-class report");
   flags.AddBool("summary", &summary, "print the parameter summary");
   flags.AddBool("augment", &augment, "enable training augmentation");
+  flags.AddBool("workspace", &workspace,
+                "arena-backed (near-)zero-allocation training steps "
+                "(bit-identical results; disable for debugging)");
   flags.AddBool("help", &help, "show usage");
   DHGCN_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (help) {
@@ -199,6 +203,7 @@ Status RunMain(int argc, const char* const* argv) {
     train_options.initial_lr = static_cast<float>(lr);
     train_options.lr_milestones = {epochs * 3 / 5, epochs * 4 / 5};
     train_options.verbose = true;
+    train_options.use_workspace = workspace;
     if (guardrails_name != "off") {
       train_options.guardrails.enabled = true;
       DHGCN_ASSIGN_OR_RETURN(train_options.guardrails.policy,
