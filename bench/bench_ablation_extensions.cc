@@ -67,7 +67,7 @@ int Run() {
     train_loader.SetViewNormalization(view_normalize);
     test_loader.SetViewNormalization(view_normalize);
     Trainer trainer(model.get(), train_options);
-    trainer.Train(train_loader).ValueOrDie();
+    trainer.Train(train_loader).status().AbortIfNotOk();
     return Evaluate(*model, test_loader);
   };
   EvalMetrics with_norm = run_view(true);
@@ -94,7 +94,7 @@ int Run() {
     DataLoader test_loader(&ntu, xsub.test, scale.batch_size,
                            InputStream::kJoint, /*shuffle=*/false);
     Trainer trainer(model.get(), train_options);
-    trainer.Train(train_loader).ValueOrDie();
+    trainer.Train(train_loader).status().AbortIfNotOk();
     return Evaluate(*model, test_loader);
   };
   EvalMetrics augmented = run_augment(true);

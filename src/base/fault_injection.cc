@@ -43,6 +43,7 @@ std::string FaultSiteName(FaultSite site) {
 }
 
 FaultInjection& FaultInjection::Get() {
+  // lint: allow-naked-new — leaky singleton, lives for the process lifetime.
   static FaultInjection* instance = new FaultInjection();
   return *instance;
 }

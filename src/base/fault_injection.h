@@ -42,7 +42,9 @@ class FaultInjection {
 
   /// Counts one pass over `site`; returns true when the armed pass is
   /// reached. One-shot: the site disarms after firing until re-armed.
-  bool ShouldFire(FaultSite site);
+  /// Discarding the result consumes a pass without handling the fault,
+  /// so callers must consume it.
+  [[nodiscard]] bool ShouldFire(FaultSite site);
 
   int64_t payload(FaultSite site) const;
   /// Times `site` has fired since construction / Reset().

@@ -14,8 +14,11 @@ namespace dhgcn {
 /// `Status`. Access the value with `ValueOrDie()` (aborts on error, for
 /// tests/examples) or `MoveValue()` after checking `ok()`, or use the
 /// DHGCN_ASSIGN_OR_RETURN macro in Status-returning code.
+///
+/// `[[nodiscard]]` like `Status`: callers must consume the returned value or
+/// error; see tools/repo_lint for the discard policy.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit on purpose, like arrow::Result).
   Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -33,28 +36,28 @@ class Result {
   Result(Result&&) noexcept = default;
   Result& operator=(Result&&) noexcept = default;
 
-  bool ok() const { return std::holds_alternative<T>(rep_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(rep_); }
 
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(rep_);
   }
 
   /// Returns the value; aborts the process when holding an error.
-  const T& ValueOrDie() const& {
+  [[nodiscard]] const T& ValueOrDie() const& {
     if (!ok()) std::get<Status>(rep_).Abort();
     return std::get<T>(rep_);
   }
-  T& ValueOrDie() & {
+  [[nodiscard]] T& ValueOrDie() & {
     if (!ok()) std::get<Status>(rep_).Abort();
     return std::get<T>(rep_);
   }
-  T ValueOrDie() && {
+  [[nodiscard]] T ValueOrDie() && {
     if (!ok()) std::get<Status>(rep_).Abort();
     return std::move(std::get<T>(rep_));
   }
 
   /// Moves the value out. Requires ok().
-  T MoveValue() {
+  [[nodiscard]] T MoveValue() {
     if (!ok()) std::get<Status>(rep_).Abort();
     return std::move(std::get<T>(rep_));
   }

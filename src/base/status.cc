@@ -37,7 +37,7 @@ std::string Status::ToString() const {
   return out;
 }
 
-void Status::Abort() const {
+[[noreturn]] void Status::Abort() const {
   std::fprintf(stderr, "Fatal status: %s\n", ToString().c_str());
   std::abort();
 }

@@ -27,13 +27,18 @@ enum class StatusCode : int {
 };
 
 /// \brief Returns a human-readable name for a status code ("InvalidArgument").
-std::string_view StatusCodeToString(StatusCode code);
+[[nodiscard]] std::string_view StatusCodeToString(StatusCode code);
 
 /// \brief A success-or-error outcome carried by value.
 ///
 /// An OK status stores no heap state; error statuses carry a code plus a
 /// message. `Status` is cheap to move and to copy in the OK case.
-class Status {
+///
+/// The class is `[[nodiscard]]`: every function returning `Status` must have
+/// its return value consumed. Intentional discards require a
+/// `(void)` cast plus an adjacent `// lint: allow-discard` justification
+/// (enforced by tools/repo_lint).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -75,9 +80,11 @@ class Status {
     return Status(StatusCode::kIOError, std::move(msg));
   }
 
-  bool ok() const { return rep_ == nullptr; }
-  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
-  const std::string& message() const {
+  [[nodiscard]] bool ok() const { return rep_ == nullptr; }
+  [[nodiscard]] StatusCode code() const {
+    return rep_ ? rep_->code : StatusCode::kOk;
+  }
+  [[nodiscard]] const std::string& message() const {
     static const std::string kEmpty;
     return rep_ ? rep_->message : kEmpty;
   }
@@ -94,10 +101,10 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
 
   /// "OK" or "<Code>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
-  /// Aborts the process with the status message if not OK.
-  void Abort() const;
+  /// Aborts the process with the status message.
+  [[noreturn]] void Abort() const;
   void AbortIfNotOk() const {
     if (!ok()) Abort();
   }

@@ -1,6 +1,9 @@
 #ifndef DHGCN_BASE_TIMER_H_
 #define DHGCN_BASE_TIMER_H_
 
+// lint: allow-wallclock-file — wall-clock timing is reporting-only here;
+// it never feeds training state or checkpoints.
+
 #include <chrono>
 
 namespace dhgcn {

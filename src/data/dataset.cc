@@ -102,8 +102,9 @@ DatasetSplit SkeletonDataset::RandomSplit(float test_fraction,
     std::vector<int64_t> perm =
         rng.Permutation(static_cast<int64_t>(members.size()));
     int64_t num_test = std::max<int64_t>(
-        1, static_cast<int64_t>(
-               std::lround(test_fraction * members.size())));
+        1, static_cast<int64_t>(std::lround(
+               static_cast<double>(test_fraction) *
+               static_cast<double>(members.size()))));
     num_test = std::min<int64_t>(num_test,
                                  static_cast<int64_t>(members.size()) - 1);
     for (size_t p = 0; p < members.size(); ++p) {

@@ -130,16 +130,19 @@ const SkeletonLayout& GetSkeletonLayout(SkeletonLayoutType type) {
   // static-storage rules for non-trivially-destructible objects).
   switch (type) {
     case SkeletonLayoutType::kNtu25: {
+      // lint: allow-naked-new — intentionally leaked static storage.
       static const SkeletonLayout& layout = *new SkeletonLayout(MakeNtu25());
       return layout;
     }
     case SkeletonLayoutType::kKinetics18: {
+      // lint: allow-naked-new — intentionally leaked static storage.
       static const SkeletonLayout& layout =
           *new SkeletonLayout(MakeKinetics18());
       return layout;
     }
   }
   DHGCN_CHECK(false);
+  // lint: allow-naked-new — intentionally leaked static storage.
   static const SkeletonLayout& unreachable = *new SkeletonLayout();
   return unreachable;
 }

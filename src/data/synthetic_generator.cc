@@ -199,11 +199,11 @@ SkeletonSample SyntheticSkeletonGenerator::GenerateSample(
                  static_cast<float>(t_frames);
     for (int64_t j = 0; j < v; ++j) {
       float px = layout_->rest_pose.at(j, 0) * scale +
-                 proto.global_velocity[0] * frame;
+                 proto.global_velocity[0] * static_cast<float>(frame);
       float py = layout_->rest_pose.at(j, 1) * scale +
-                 proto.global_velocity[1] * frame;
+                 proto.global_velocity[1] * static_cast<float>(frame);
       float pz = layout_->rest_pose.at(j, 2) * scale +
-                 proto.global_velocity[2] * frame;
+                 proto.global_velocity[2] * static_cast<float>(frame);
       for (size_t d = 0; d < proto.drivers.size(); ++d) {
         const MotionDriver& driver = proto.drivers[d];
         float w = weights[d][static_cast<size_t>(j)];

@@ -174,7 +174,8 @@ LayerPtr MakePbHgcnModel(SkeletonLayoutType layout, int64_t num_classes,
       std::sqrt((static_cast<double>(num_parts) + 3.0) / 4.0);
   auto widen = [width_factor](int64_t channels) {
     return std::max<int64_t>(
-        1, static_cast<int64_t>(std::lround(channels * width_factor)));
+        1, static_cast<int64_t>(std::lround(
+               static_cast<double>(channels) * width_factor)));
   };
   int64_t in_channels = 3;
   for (size_t i = 0; i < scale.channels.size(); ++i) {

@@ -51,6 +51,7 @@ Tensor BatchNorm2d::ForwardImpl(const Tensor& input, Workspace* ws) {
   if (training()) {
     int64_t count = v.n * v.spatial;
     DHGCN_CHECK_GT(count, 0);
+    const double count_d = static_cast<double>(count);
     cached_xhat_ = NewTensor(ws, input.shape());
     cached_inv_std_ = NewTensor(ws, {channels_});
     float* pxhat = cached_xhat_.data();
@@ -63,8 +64,8 @@ Tensor BatchNorm2d::ForwardImpl(const Tensor& input, Workspace* ws) {
           sum_sq += static_cast<double>(base[s]) * base[s];
         }
       }
-      double mean = sum / count;
-      double var = sum_sq / count - mean * mean;
+      double mean = sum / count_d;
+      double var = sum_sq / count_d - mean * mean;
       var = std::max(var, 0.0);
       float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
       cached_inv_std_.flat(c) = inv_std;
@@ -81,7 +82,7 @@ Tensor BatchNorm2d::ForwardImpl(const Tensor& input, Workspace* ws) {
       }
       // Unbiased variance for the running estimate, as in PyTorch.
       double unbiased =
-          count > 1 ? var * count / static_cast<double>(count - 1) : var;
+          count > 1 ? var * count_d / static_cast<double>(count - 1) : var;
       running_mean_.flat(c) =
           (1.0f - momentum_) * running_mean_.flat(c) +
           momentum_ * static_cast<float>(mean);
@@ -110,7 +111,7 @@ Tensor BatchNorm2d::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
   DHGCN_CHECK(ShapesEqual(grad_output.shape(), cached_shape_));
   DHGCN_CHECK(cached_was_training_);  // backward only defined for training
   NormView v = MakeView(cached_shape_);
-  int64_t count = v.n * v.spatial;
+  const double count_d = static_cast<double>(v.n * v.spatial);
   Tensor grad_input = NewTensor(ws, cached_shape_);
   const float* pg = grad_output.data();
   const float* pxhat = cached_xhat_.data();
@@ -132,8 +133,8 @@ Tensor BatchNorm2d::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
     beta_grad_.flat(c) += static_cast<float>(sum_g);
     float g = gamma_.flat(c);
     float inv_std = cached_inv_std_.flat(c);
-    float mean_g = static_cast<float>(sum_g / count);
-    float mean_g_xhat = static_cast<float>(sum_g_xhat / count);
+    float mean_g = static_cast<float>(sum_g / count_d);
+    float mean_g_xhat = static_cast<float>(sum_g_xhat / count_d);
     for (int64_t b = 0; b < v.n; ++b) {
       const float* gbase = pg + (b * v.c + c) * v.spatial;
       const float* xbase = pxhat + (b * v.c + c) * v.spatial;

@@ -59,7 +59,7 @@ Result<float> SoftmaxCrossEntropy::TryForwardImpl(
       }
     }
   }
-  return static_cast<float>(total / n);
+  return static_cast<float>(total / static_cast<double>(n));
 }
 
 Tensor SoftmaxCrossEntropy::BackwardImpl(Workspace* ws) const {

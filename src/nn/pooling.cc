@@ -19,7 +19,7 @@ Tensor GlobalAvgPool2d::ForwardImpl(const Tensor& input, Workspace* ws) {
       const float* base = px + (b * c + ch) * spatial;
       double sum = 0.0;
       for (int64_t s = 0; s < spatial; ++s) sum += base[s];
-      po[b * c + ch] = static_cast<float>(sum / spatial);
+      po[b * c + ch] = static_cast<float>(sum / static_cast<double>(spatial));
     }
   }
   return out;

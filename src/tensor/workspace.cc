@@ -34,6 +34,7 @@ Workspace::~Workspace() {
 }
 
 float* Workspace::AllocateBlock(size_t bytes) {
+  // lint: allow-naked-new — the arena IS the owner; raw aligned storage.
   return static_cast<float*>(
       ::operator new(bytes, std::align_val_t(kAlignment)));
 }

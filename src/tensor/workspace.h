@@ -39,11 +39,12 @@ class Workspace {
   Workspace& operator=(const Workspace&) = delete;
 
   /// Borrows an **uninitialized** tensor from the arena. The caller
-  /// must overwrite every element before reading.
-  Tensor Acquire(Shape shape);
+  /// must overwrite every element before reading. Discarding the
+  /// returned borrow leaks arena bytes until the next Reset().
+  [[nodiscard]] Tensor Acquire(Shape shape);
 
   /// Borrows a zero-filled tensor (for accumulation kernels).
-  Tensor AcquireZeroed(Shape shape);
+  [[nodiscard]] Tensor AcquireZeroed(Shape shape);
 
   /// Invalidates all outstanding borrows, rewinds the bump pointer and
   /// coalesces multi-block arenas into a single block of the combined
@@ -82,11 +83,11 @@ class Workspace {
 /// fresh owning (zeroed) tensor when `ws` is null. The shared-impl
 /// layers use this so one kernel serves both the legacy and the
 /// workspace path; callers must fully overwrite the buffer.
-Tensor NewTensor(Workspace* ws, Shape shape);
+[[nodiscard]] Tensor NewTensor(Workspace* ws, Shape shape);
 
 /// \brief Like NewTensor but zero-filled in both modes — for kernels
 /// that accumulate with `+=`.
-Tensor NewZeroedTensor(Workspace* ws, Shape shape);
+[[nodiscard]] Tensor NewZeroedTensor(Workspace* ws, Shape shape);
 
 }  // namespace dhgcn
 

@@ -117,7 +117,9 @@ ClassificationReport EvaluatePerClass(Layer& model, DataLoader& loader,
     f1_sum += entry.f1;
     report.classes.push_back(entry);
   }
-  report.accuracy = total > 0 ? correct / total : 0.0;
+  report.accuracy =
+      total > 0 ? static_cast<double>(correct) / static_cast<double>(total)
+                : 0.0;
   report.macro_f1 = f1_sum / static_cast<double>(num_classes);
   return report;
 }

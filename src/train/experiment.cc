@@ -54,7 +54,7 @@ EvalMetrics TrainAndEvaluateStream(Layer& model,
   DataLoader test_loader(&dataset, split.test, batch_size, stream,
                          /*shuffle=*/false);
   Trainer trainer(&model, train_options);
-  trainer.Train(train_loader).ValueOrDie();
+  trainer.Train(train_loader).status().AbortIfNotOk();
   return Evaluate(model, test_loader);
 }
 

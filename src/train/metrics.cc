@@ -64,10 +64,14 @@ EvalMetrics MetricsAccumulator::Finalize() const {
   EvalMetrics metrics;
   metrics.count = count_;
   if (count_ > 0) {
-    metrics.top1 = static_cast<double>(top1_hits_) / count_;
-    metrics.top5 = static_cast<double>(top5_hits_) / count_;
+    metrics.top1 =
+        static_cast<double>(top1_hits_) / static_cast<double>(count_);
+    metrics.top5 =
+        static_cast<double>(top5_hits_) / static_cast<double>(count_);
   }
-  if (loss_batches_ > 0) metrics.loss = loss_sum_ / loss_batches_;
+  if (loss_batches_ > 0) {
+    metrics.loss = loss_sum_ / static_cast<double>(loss_batches_);
+  }
   return metrics;
 }
 

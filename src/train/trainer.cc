@@ -179,7 +179,8 @@ Result<EpochStats> Trainer::TrainEpoch(DataLoader& loader, int64_t epoch) {
 
   EpochStats stats;
   stats.epoch = epoch;
-  stats.mean_loss = clean_batches > 0 ? loss_sum / clean_batches : 0.0;
+  stats.mean_loss =
+      clean_batches > 0 ? loss_sum / static_cast<double>(clean_batches) : 0.0;
   stats.train_top1 =
       clean_batches > 0 ? accumulator.Finalize().top1 : 0.0;
   stats.lr = CurrentLr();

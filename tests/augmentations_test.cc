@@ -127,7 +127,8 @@ TEST(JitterTest, NoiseHasRequestedScale) {
   for (int64_t i = 0; i < jittered.numel(); ++i) {
     sum_sq += static_cast<double>(jittered.flat(i)) * jittered.flat(i);
   }
-  double std_dev = std::sqrt(sum_sq / jittered.numel());
+  double std_dev =
+      std::sqrt(sum_sq / static_cast<double>(jittered.numel()));
   EXPECT_NEAR(std_dev, 0.1, 0.01);
 }
 
@@ -151,7 +152,8 @@ TEST(JointDropoutTest, ZeroesWholeJointColumns) {
       if (all_zero) ++zero_columns;
     }
   }
-  EXPECT_NEAR(static_cast<double>(zero_columns) / total, 0.25, 0.05);
+  EXPECT_NEAR(static_cast<double>(zero_columns) / static_cast<double>(total),
+              0.25, 0.05);
 }
 
 // --- Pipeline ---------------------------------------------------------------------

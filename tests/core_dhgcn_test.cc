@@ -433,7 +433,9 @@ TEST(DhgcnModelTest, ParamsAreNamedAndNonEmpty) {
   for (const ParamRef& p : params) {
     EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
     EXPECT_NE(p.value, nullptr);
-    if (p.trainable) EXPECT_NE(p.grad, nullptr);
+    if (p.trainable) {
+      EXPECT_NE(p.grad, nullptr);
+    }
   }
   EXPECT_GT(model->ParameterCount(), 100);
 }

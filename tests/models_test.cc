@@ -121,8 +121,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ModelKind::kAhgcn, ModelKind::kPbgcn2,
                       ModelKind::kPbgcn4, ModelKind::kPbhgcn4,
                       ModelKind::kPbhgcn6, ModelKind::kDhgcn),
-    [](const ::testing::TestParamInfo<ModelKind>& info) {
-      std::string name = ModelKindName(info.param);
+    [](const ::testing::TestParamInfo<ModelKind>& param_info) {
+      std::string name = ModelKindName(param_info.param);
       std::string clean;
       for (char c : name) {
         if (std::isalnum(static_cast<unsigned char>(c))) clean.push_back(c);

@@ -39,7 +39,7 @@ TEST(InitializerTest, KaimingNormalVariance) {
   for (int64_t i = 0; i < w.numel(); ++i) {
     var += static_cast<double>(w.flat(i)) * w.flat(i);
   }
-  var /= w.numel();
+  var /= static_cast<double>(w.numel());
   EXPECT_NEAR(var, 2.0 / 50.0, 0.01);
 }
 
@@ -238,8 +238,8 @@ TEST(BatchNormTest, TrainingNormalizesBatch) {
         }
       }
     }
-    double mean = sum / count;
-    double var = sum_sq / count - mean * mean;
+    double mean = sum / static_cast<double>(count);
+    double var = sum_sq / static_cast<double>(count) - mean * mean;
     EXPECT_NEAR(mean, 0.0, 1e-4);
     EXPECT_NEAR(var, 1.0, 1e-2);
   }
@@ -254,7 +254,7 @@ TEST(BatchNormTest, GammaBetaApply) {
   Tensor y = bn.Forward(x);
   double mean = 0.0;
   for (int64_t i = 0; i < y.numel(); ++i) mean += y.flat(i);
-  mean /= y.numel();
+  mean /= static_cast<double>(y.numel());
   EXPECT_NEAR(mean, -1.0, 1e-4);  // beta shifts the normalized mean
 }
 
@@ -269,7 +269,7 @@ TEST(BatchNormTest, EvalUsesRunningStats) {
   // output is ~normalized too (up to the biased/unbiased var correction).
   double mean = 0.0;
   for (int64_t i = 0; i < y.numel(); ++i) mean += y.flat(i);
-  mean /= y.numel();
+  mean /= static_cast<double>(y.numel());
   EXPECT_NEAR(mean, 0.0, 1e-3);
 }
 
@@ -329,7 +329,8 @@ TEST(DropoutTest, TrainingZeroesAboutPFraction) {
       EXPECT_NEAR(y.flat(i), scale, 1e-5f);
     }
   }
-  EXPECT_NEAR(static_cast<double>(zeros) / y.numel(), 0.3, 0.03);
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.numel()),
+              0.3, 0.03);
 }
 
 TEST(DropoutTest, BackwardUsesSameMask) {

@@ -149,7 +149,9 @@ TEST_P(KnnSweepTest, EveryEdgeAnchoredWithKDistinctVertices) {
     }
     for (int64_t u = 0; u < 25; ++u) {
       bool is_member = std::find(e.begin(), e.end(), u) != e.end();
-      if (!is_member) EXPECT_GE(dist.at(i, u), worst_member - 1e-6f);
+      if (!is_member) {
+        EXPECT_GE(dist.at(i, u), worst_member - 1e-6f);
+      }
     }
   }
 }

@@ -56,7 +56,9 @@ TEST_P(SkeletonLayoutParamTest, TreeDistancesAreMetric) {
     EXPECT_FLOAT_EQ(dist.at(i, i), 0.0f);
     for (int64_t j = 0; j < v; ++j) {
       EXPECT_FLOAT_EQ(dist.at(i, j), dist.at(j, i));
-      if (i != j) EXPECT_GE(dist.at(i, j), 1.0f);
+      if (i != j) {
+        EXPECT_GE(dist.at(i, j), 1.0f);
+      }
     }
   }
   // Bone-connected joints are at distance exactly 1.
@@ -212,7 +214,7 @@ TEST(SyntheticGeneratorTest, JointDropoutZeroesCoordinates) {
       }
     }
   }
-  double rate = static_cast<double>(dropped) / total;
+  double rate = static_cast<double>(dropped) / static_cast<double>(total);
   EXPECT_NEAR(rate, 0.3, 0.06);
 }
 

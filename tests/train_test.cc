@@ -163,7 +163,9 @@ TEST(TrainerTest, LossDecreasesOverEpochs) {
   options.initial_lr = 0.05f;
   options.lr_milestones = {4};
   Trainer trainer(model.get(), options);
-  std::vector<EpochStats> history = trainer.Train(loader).ValueOrDie();
+  Result<std::vector<EpochStats>> train_result = trainer.Train(loader);
+  ASSERT_TRUE(train_result.ok()) << train_result.status();
+  std::vector<EpochStats> history = train_result.MoveValue();
   ASSERT_EQ(history.size(), 6u);
   EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
   EXPECT_GT(history.back().train_top1, 0.4);
@@ -185,11 +187,13 @@ TEST(TrainerTest, LrFollowsSchedule) {
   options.initial_lr = 0.1f;
   options.lr_milestones = {2};
   Trainer trainer(model.get(), options);
-  std::vector<EpochStats> history = trainer.Train(loader).ValueOrDie();
-  EXPECT_FLOAT_EQ(history[0].lr, 0.1f);
-  EXPECT_FLOAT_EQ(history[1].lr, 0.1f);
-  EXPECT_FLOAT_EQ(history[2].lr, 0.01f);
-  EXPECT_FLOAT_EQ(history[3].lr, 0.01f);
+  Result<std::vector<EpochStats>> train_result = trainer.Train(loader);
+  ASSERT_TRUE(train_result.ok()) << train_result.status();
+  std::vector<EpochStats> history = train_result.MoveValue();
+  EXPECT_FLOAT_EQ(static_cast<float>(history[0].lr), 0.1f);
+  EXPECT_FLOAT_EQ(static_cast<float>(history[1].lr), 0.1f);
+  EXPECT_FLOAT_EQ(static_cast<float>(history[2].lr), 0.01f);
+  EXPECT_FLOAT_EQ(static_cast<float>(history[3].lr), 0.01f);
 }
 
 // --- Checkpoint / resume ---------------------------------------------------------
@@ -229,7 +233,7 @@ TEST(TrainerResumeTest, ResumedRunIsBitExactWithUninterrupted) {
     DataLoader loader(&dataset, split.train, 8, InputStream::kJoint,
                       /*shuffle=*/true, Rng(2));
     Trainer trainer(straight.get(), resume_test::MakeOptions());
-    trainer.Train(loader).ValueOrDie();
+    ASSERT_TRUE(trainer.Train(loader).ok());
   }
 
   // Same schedule, but the process "dies" after 3 epochs...
@@ -288,7 +292,7 @@ TEST(TrainerResumeTest, AdamStateSurvivesResume) {
     DataLoader loader(&dataset, split.train, 8, InputStream::kJoint, true,
                       Rng(2));
     Trainer trainer(straight.get(), options);
-    trainer.Train(loader).ValueOrDie();
+    ASSERT_TRUE(trainer.Train(loader).ok());
   }
   LayerPtr revived = resume_test::MakeModel();
   {
@@ -298,7 +302,7 @@ TEST(TrainerResumeTest, AdamStateSurvivesResume) {
     ResumeOptions resume;
     resume.checkpoint_path = path;
     resume.stop_after_epochs = 2;
-    trainer.TrainWithResume(loader, resume).ValueOrDie();
+    ASSERT_TRUE(trainer.TrainWithResume(loader, resume).ok());
   }
   {
     DataLoader loader(&dataset, split.train, 8, InputStream::kJoint, true,
@@ -306,7 +310,7 @@ TEST(TrainerResumeTest, AdamStateSurvivesResume) {
     Trainer trainer(revived.get(), options);
     ResumeOptions resume;
     resume.checkpoint_path = path;
-    trainer.TrainWithResume(loader, resume).ValueOrDie();
+    ASSERT_TRUE(trainer.TrainWithResume(loader, resume).ok());
   }
   std::vector<ParamRef> expected = straight->Params();
   std::vector<ParamRef> actual = revived->Params();
@@ -332,7 +336,7 @@ TEST(TrainerResumeTest, OptimizerMismatchIsDescriptiveError) {
     ResumeOptions resume;
     resume.checkpoint_path = path;
     resume.stop_after_epochs = 1;
-    trainer.TrainWithResume(loader, resume).ValueOrDie();
+    ASSERT_TRUE(trainer.TrainWithResume(loader, resume).ok());
   }
   TrainOptions adam_options = resume_test::MakeOptions();
   adam_options.optimizer = OptimizerKind::kAdam;
@@ -372,16 +376,16 @@ TEST(EvaluatorTest, MetricsOnHeldOutData) {
   zoo.scale.dropout = 0.0f;
   LayerPtr model =
       CreateModel(ModelKind::kStgcn, SkeletonLayoutType::kNtu25, 3, zoo);
+  TrainOptions train_options;
+  train_options.epochs = 28;
+  train_options.initial_lr = 0.05f;
+  train_options.lr_milestones = {16, 22};
+  train_options.lr_decay_factor = 10.0f;
+  train_options.momentum = 0.9f;
+  train_options.weight_decay = 1e-4f;
+  train_options.verbose = false;
   EvalMetrics metrics = TrainAndEvaluateStream(
-      *model, dataset, split, InputStream::kJoint,
-      TrainOptions{.epochs = 28,
-                   .initial_lr = 0.05f,
-                   .lr_milestones = {16, 22},
-                   .lr_decay_factor = 10.0f,
-                   .momentum = 0.9f,
-                   .weight_decay = 1e-4f,
-                   .verbose = false},
-      8, 7);
+      *model, dataset, split, InputStream::kJoint, train_options, 8, 7);
   EXPECT_EQ(metrics.count, static_cast<int64_t>(split.test.size()));
   // 3 well-separated synthetic classes: should beat chance comfortably.
   EXPECT_GT(metrics.top1, 0.45);

@@ -30,9 +30,10 @@ TEST(WorkspaceTest, AcquireHandsOutAlignedBuffers) {
 TEST(WorkspaceTest, BytesInUseTracksAlignedSlices) {
   Workspace ws(1 << 16);
   EXPECT_EQ(ws.bytes_in_use(), 0u);
-  ws.Acquire({3});  // 12 raw bytes -> one 64-byte slice
+  // lint: allow-discard — advancing the bump pointer is the point.
+  (void)ws.Acquire({3});  // 12 raw bytes -> one 64-byte slice
   EXPECT_EQ(ws.bytes_in_use(), Workspace::kAlignment);
-  ws.Acquire({17});  // 68 raw bytes -> two 64-byte slices
+  (void)ws.Acquire({17});  // 68 raw bytes -> two 64-byte slices  // lint: allow-discard
   EXPECT_EQ(ws.bytes_in_use(), 3 * Workspace::kAlignment);
   ws.Reset();
   EXPECT_EQ(ws.bytes_in_use(), 0u);
@@ -41,12 +42,13 @@ TEST(WorkspaceTest, BytesInUseTracksAlignedSlices) {
 TEST(WorkspaceTest, GrowsByAppendingBlocksAndResetCoalesces) {
   Workspace ws;
   EXPECT_EQ(ws.block_count(), 0u);  // default ctor allocates lazily
-  ws.Acquire({16});                 // creates the first (minimum) block
+  (void)ws.Acquire({16});  // creates the first block  // lint: allow-discard
   EXPECT_EQ(ws.block_count(), 1u);
   size_t initial_capacity = ws.capacity_bytes();
   // Each request is larger than the 64 KiB minimum block, forcing growth.
   constexpr int64_t kBig = 20000;  // ~80 KB per tensor
-  for (int i = 0; i < 4; ++i) ws.Acquire({kBig});
+  // lint: allow-discard — only arena growth is under test.
+  for (int i = 0; i < 4; ++i) (void)ws.Acquire({kBig});
   EXPECT_GT(ws.block_count(), 1u);
   size_t grown_capacity = ws.capacity_bytes();
   EXPECT_GT(grown_capacity, initial_capacity);
@@ -57,14 +59,16 @@ TEST(WorkspaceTest, GrowsByAppendingBlocksAndResetCoalesces) {
 
   // The coalesced block now fits the same working set without growing.
   size_t capacity_after_reset = ws.capacity_bytes();
-  for (int i = 0; i < 4; ++i) ws.Acquire({kBig});
+  // lint: allow-discard — only arena growth is under test.
+  for (int i = 0; i < 4; ++i) (void)ws.Acquire({kBig});
   EXPECT_EQ(ws.block_count(), 1u);
   EXPECT_EQ(ws.capacity_bytes(), capacity_after_reset);
 }
 
 TEST(WorkspaceTest, SteadyStateHasNoOwningAllocations) {
   Workspace ws;
-  for (int i = 0; i < 4; ++i) ws.Acquire({64, 64});
+  // lint: allow-discard — only allocation counters are under test.
+  for (int i = 0; i < 4; ++i) (void)ws.Acquire({64, 64});
   ws.Reset();
   AllocStatsGuard guard;
   for (int step = 0; step < 3; ++step) {
@@ -140,7 +144,8 @@ TEST(WorkspaceTest, NewTensorFallsBackToOwningWithoutArena) {
 
 TEST(WorkspaceTest, NewTensorBorrowsFromArena) {
   Workspace ws;
-  ws.Acquire({1});  // warm the arena so the next call cannot grow it
+  // lint: allow-discard — warm the arena so the next call cannot grow it.
+  (void)ws.Acquire({1});
   ws.Reset();
   AllocStatsGuard guard;
   Tensor borrowed = NewTensor(&ws, {8});

@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""repo_lint: in-tree static checks for repo invariants clang cannot see.
+
+Rules (see DESIGN.md §7 for the rationale):
+
+  throw          `throw` / `try` blocks are banned outside tests/. The
+                 library reports recoverable failures through Status /
+                 Result<T> and programming errors through DHGCN_CHECK.
+  naked-new      `new` / `malloc`-family calls are banned in src/ and
+                 tools/. Owning allocations go through std::make_unique /
+                 containers; arena memory goes through Workspace.
+  wallclock      `rand()` / `srand()` / `std::random_device` /
+                 `std::chrono` are banned in src/ (library code): hidden
+                 entropy or wall-clock reads break deterministic resume.
+                 Seeded dhgcn::Rng and base/timer.h are the blessed paths.
+  fwd-bwd-pair   Every file in src/ that mentions `ForwardInto` must also
+                 implement `BackwardInto` (the shared-impl contract from
+                 the workspace-planned execution design).
+  discard        `(void)expr(...)` / `static_cast<void>(expr(...))` casts
+                 that swallow a call result need an adjacent
+                 `// lint: allow-discard` justification.
+
+Escape hatches: a finding on line N is suppressed when line N, N-1 or N-2
+contains `lint: allow-<rule>` (e.g. `// lint: allow-naked-new — arena`).
+A file-level `// lint: allow-<rule>-file` anywhere in the file suppresses
+the rule for the whole file.
+
+Usage:
+  repo_lint.py [--root DIR] [paths...]   lint the tree (or just `paths`)
+  repo_lint.py --self-test               run against the bundled fixtures
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# (rule id, path prefixes the rule applies to, compiled pattern)
+TESTS = ("tests/",)
+LIBRARY = ("src/",)
+LIBRARY_AND_TOOLS = ("src/", "tools/")
+NON_TEST = ("src/", "tools/", "bench/", "examples/")
+
+RULES = [
+    (
+        "throw",
+        NON_TEST,
+        re.compile(r"\bthrow\b|\btry\s*\{|\bcatch\s*\("),
+        "exceptions are banned outside tests/ (use Status/Result or DHGCN_CHECK)",
+    ),
+    (
+        "naked-new",
+        LIBRARY_AND_TOOLS,
+        re.compile(r"\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\("),
+        "naked allocation (use make_unique/containers or Workspace)",
+    ),
+    (
+        "wallclock",
+        LIBRARY,
+        re.compile(r"std::chrono\b|\brand\s*\(|\bsrand\s*\(|std::random_device\b"),
+        "hidden entropy / wall clock in library code breaks deterministic resume",
+    ),
+    (
+        "discard",
+        NON_TEST + TESTS,
+        re.compile(r"(\(void\)|static_cast<\s*void\s*>\s*\()\s*[A-Za-z_:][\w:.\->]*\s*\("),
+        "discarded call result needs a `// lint: allow-discard` justification",
+    ),
+]
+
+PAIR_RULE = "fwd-bwd-pair"
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
+SKIP_DIRS = {"build", "build-asan", ".git", "repo_lint_testdata", "third_party"}
+
+# `new` legitimately appears in includes of <new> and in nothrow/new-expression
+# machinery we do not want to flag.
+NEW_FALSE_POSITIVES = re.compile(r"#include\s*<new>|std::nothrow")
+
+STRING_OR_CHAR = re.compile(r'"(\\.|[^"\\])*"|' + r"'(\\.|[^'\\])*'")
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def strip_code_line(line, in_block_comment):
+    """Returns (code-only text, still-in-block-comment) for one line."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        start = line.find("/*", i)
+        if start < 0:
+            out.append(line[i:])
+            break
+        out.append(line[i:start])
+        in_block_comment = True
+        i = start + 2
+    code = "".join(out)
+    code = STRING_OR_CHAR.sub('""', code)
+    code = LINE_COMMENT.sub("", code)
+    return code, in_block_comment
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def rule_applies(prefixes, rel_path):
+    return any(rel_path.startswith(p) for p in prefixes)
+
+
+def lint_file(root, rel_path):
+    findings = []
+    abs_path = os.path.join(root, rel_path)
+    try:
+        with open(abs_path, encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as e:
+        return [Finding(rel_path, 0, "io", f"cannot read file: {e}")]
+
+    file_allows = set()
+    for line in raw_lines:
+        for m in re.finditer(r"lint:\s*allow-([\w-]+)-file", line):
+            file_allows.add(m.group(1))
+
+    code_lines = []
+    in_block = False
+    for line in raw_lines:
+        code, in_block = strip_code_line(line, in_block)
+        code_lines.append(code)
+
+    def allowed(rule, idx):
+        if rule in file_allows:
+            return True
+        lo = max(0, idx - 2)
+        return any(
+            f"lint: allow-{rule}" in raw_lines[j] for j in range(lo, idx + 1)
+        )
+
+    for rule, prefixes, pattern, message in RULES:
+        if not rule_applies(prefixes, rel_path):
+            continue
+        for idx, code in enumerate(code_lines):
+            if not pattern.search(code):
+                continue
+            if rule == "naked-new" and NEW_FALSE_POSITIVES.search(
+                raw_lines[idx]
+            ):
+                continue
+            if allowed(rule, idx):
+                continue
+            findings.append(Finding(rel_path, idx + 1, rule, message))
+
+    if rule_applies(LIBRARY, rel_path) and PAIR_RULE not in file_allows:
+        joined = "\n".join(code_lines)
+        if "ForwardInto" in joined and "BackwardInto" not in joined:
+            line_no = next(
+                i + 1 for i, c in enumerate(code_lines) if "ForwardInto" in c
+            )
+            findings.append(
+                Finding(
+                    rel_path,
+                    line_no,
+                    PAIR_RULE,
+                    "file uses ForwardInto but implements no BackwardInto "
+                    "(shared-impl contract)",
+                )
+            )
+    return findings
+
+
+def collect_files(root):
+    out = []
+    for scope in ("src", "tools", "bench", "examples", "tests"):
+        scope_dir = os.path.join(root, scope)
+        if not os.path.isdir(scope_dir):
+            continue
+        for dirpath, dirnames, filenames in os.walk(scope_dir):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    out.append(
+                        os.path.relpath(os.path.join(dirpath, name), root)
+                    )
+    return sorted(out)
+
+
+def run_lint(root, paths=None):
+    rel_paths = paths if paths else collect_files(root)
+    findings = []
+    for rel in rel_paths:
+        findings.extend(lint_file(root, rel))
+    return findings
+
+
+def self_test():
+    """Lints the bundled fixture tree and checks each rule fires once."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    fixture_root = os.path.join(here, "repo_lint_testdata")
+    if not os.path.isdir(fixture_root):
+        print(f"repo_lint self-test: missing fixtures at {fixture_root}")
+        return 2
+
+    findings = run_lint(fixture_root)
+    by_rule = {}
+    for f in findings:
+        by_rule.setdefault(f.rule, []).append(f)
+
+    expected = {
+        "throw": "src/bad_throw.cc",
+        "naked-new": "src/bad_new.cc",
+        "wallclock": "src/bad_wallclock.cc",
+        "discard": "src/bad_discard.cc",
+        PAIR_RULE: "src/bad_unpaired_forward.cc",
+    }
+    failures = []
+    for rule, path in expected.items():
+        hits = by_rule.get(rule, [])
+        if len(hits) != 1:
+            failures.append(
+                f"rule {rule}: expected exactly 1 finding, got "
+                f"{len(hits)}: {[str(h) for h in hits]}"
+            )
+        elif hits[0].path != path:
+            failures.append(
+                f"rule {rule}: expected finding in {path}, got {hits[0].path}"
+            )
+    unexpected = [f for f in findings if f.rule not in expected]
+    if unexpected:
+        failures.append(f"unexpected findings: {[str(f) for f in unexpected]}")
+
+    # The escape-hatch fixture must produce no findings at all: it commits
+    # every violation, each with an adjacent or file-level allow comment.
+    allowed_hits = [f for f in findings if "allowed_" in f.path]
+    if allowed_hits:
+        failures.append(
+            "escape hatches ignored: " + ", ".join(str(f) for f in allowed_hits)
+        )
+
+    if failures:
+        print("repo_lint self-test FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"repo_lint self-test OK ({len(findings)} expected findings)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None, help="repo root to lint")
+    parser.add_argument(
+        "--self-test", action="store_true", help="run the fixture self-test"
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="root-relative files to lint (default: all)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    findings = run_lint(root, args.paths or None)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"repo_lint: {len(findings)} finding(s)")
+        return 1
+    print("repo_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

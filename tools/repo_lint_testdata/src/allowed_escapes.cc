@@ -1,0 +1,32 @@
+// Fixture: every rule violated once, every violation justified — the
+// self-test asserts this file produces zero findings.
+// lint: allow-throw-file — exercising the file-level escape hatch.
+#include <chrono>
+#include <stdexcept>
+
+namespace dhgcn {
+
+int SideEffect();
+
+void Run() {
+  if (SideEffect() < 0) throw std::runtime_error("file-level allow");
+  // lint: allow-discard — called for its side effect only.
+  (void)SideEffect();
+  // lint: allow-naked-new — fixture for the adjacent-line escape hatch.
+  float* buffer = new float[4];
+  delete[] buffer;
+  // lint: allow-wallclock — wall-clock time never reaches training state.
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+}
+
+class Tensor;
+class Workspace;
+
+// lint: allow-fwd-bwd-pair-file — inference-only layer, no backward.
+class InferenceOnlyLayer {
+ public:
+  void ForwardInto(const Tensor& input, Workspace& ws, Tensor* out);
+};
+
+}  // namespace dhgcn

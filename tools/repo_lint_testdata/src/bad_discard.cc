@@ -1,0 +1,10 @@
+// Fixture: discarded call result without justification (rule discard).
+namespace dhgcn {
+
+int SideEffect();
+
+void Run() {
+  (void)SideEffect();
+}
+
+}  // namespace dhgcn

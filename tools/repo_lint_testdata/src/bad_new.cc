@@ -1,0 +1,8 @@
+// Fixture: naked allocation in library code (rule no-naked-new).
+namespace dhgcn {
+
+float* Allocate(int n) {
+  return new float[n];
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,11 @@
+// Fixture: exceptions are banned in library code (rule no-throw).
+#include <stdexcept>
+
+namespace dhgcn {
+
+int Parse(int x) {
+  if (x < 0) throw std::runtime_error("negative");
+  return x;
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,13 @@
+// Fixture: ForwardInto without a shared-impl BackwardInto (rule
+// fwd-bwd-pair).
+namespace dhgcn {
+
+class Tensor;
+class Workspace;
+
+class HalfLayer {
+ public:
+  void ForwardInto(const Tensor& input, Workspace& ws, Tensor* out);
+};
+
+}  // namespace dhgcn

@@ -1,0 +1,10 @@
+// Fixture: hidden entropy in library code (rule no-wallclock).
+#include <cstdlib>
+
+namespace dhgcn {
+
+int Entropy() {
+  return rand();
+}
+
+}  // namespace dhgcn
