@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "base/rng.h"
+#include "base/thread_pool.h"
 #include "core/dhgcn_model.h"
 #include "core/dhst_block.h"
 #include "core/dynamic_joint_weight.h"
@@ -309,6 +310,57 @@ void BM_DhgcnTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DhgcnTrainStep);
+
+// --- Thread sweep ------------------------------------------------------------------
+//
+// The same kernels at 1/2/4/8 intra-op threads. Results are bit-identical
+// at every width (the determinism contract); these measure only the
+// speedup, which is bounded by the physical core count of the machine the
+// sweep runs on — see BENCH_threads.json for recorded numbers.
+
+void BM_MatMulThreads(benchmark::State& state) {
+  ThreadPool::Get().SetThreads(state.range(1));
+  int64_t n = state.range(0);
+  Rng rng(19);
+  Tensor a = Tensor::RandomNormal({n, n}, rng);
+  Tensor b = Tensor::RandomNormal({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  ThreadPool::Get().SetThreads(1);
+}
+BENCHMARK(BM_MatMulThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8});
+
+void BM_Conv2dThreads(benchmark::State& state) {
+  ThreadPool::Get().SetThreads(state.range(0));
+  Rng rng(20);
+  Conv2dOptions options;
+  options.kernel_h = 3;
+  options.pad_h = 1;
+  Conv2d conv(32, 32, options, rng);
+  Tensor x = Tensor::RandomNormal({4, 32, 16, 25}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x));
+  }
+  ThreadPool::Get().SetThreads(1);
+}
+BENCHMARK(BM_Conv2dThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PairwiseDistancesThreads(benchmark::State& state) {
+  ThreadPool::Get().SetThreads(state.range(0));
+  Rng rng(21);
+  Tensor features = Tensor::RandomNormal({256, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PairwiseDistances(features));
+  }
+  ThreadPool::Get().SetThreads(1);
+}
+BENCHMARK(BM_PairwiseDistancesThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 // --- Data pipeline -----------------------------------------------------------------
 

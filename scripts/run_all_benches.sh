@@ -15,4 +15,7 @@ for b in build/bench/bench_table*_* build/bench/bench_ablation_extensions; do
 done
 echo "===== build/bench/bench_kernels =====" | tee -a "$out"
 build/bench/bench_kernels 2>&1 | tee -a "$out"
-echo "wrote $out"
+echo "===== thread sweep -> BENCH_threads.json ====="
+build/bench/bench_kernels --benchmark_filter='Threads' \
+  --benchmark_format=json > BENCH_threads.json
+echo "wrote $out and BENCH_threads.json"

@@ -1,0 +1,149 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace dhgcn {
+
+namespace {
+
+// Set while the thread (worker or caller) is executing task chunks;
+// ParallelFor checks it to reject nested parallel regions.
+thread_local bool tls_in_parallel = false;
+
+int64_t DefaultThreadCount() {
+  if (const char* env = std::getenv("DHGCN_THREADS")) {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<int64_t>(parsed);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int64_t>(hw) : 1;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Get() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::InParallelRegion() { return tls_in_parallel; }
+
+ThreadPool::ThreadPool() { SetThreads(DefaultThreadCount()); }
+
+ThreadPool::~ThreadPool() { StopWorkers(); }
+
+void ThreadPool::SetThreads(int64_t n) {
+  DHGCN_CHECK_GE(n, 1);
+  DHGCN_CHECK(!tls_in_parallel);  // reconfiguring inside a task deadlocks
+  if (n == threads_ && static_cast<int64_t>(workers_.size()) == n - 1) {
+    return;
+  }
+  StopWorkers();
+  threads_ = n;
+  StartWorkers(n - 1);
+}
+
+void ThreadPool::StopWorkers() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    shutdown_ = true;
+  }
+  worker_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  shutdown_ = false;
+}
+
+void ThreadPool::StartWorkers(int64_t worker_count) {
+  workers_.reserve(static_cast<size_t>(worker_count));
+  for (int64_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Run(TaskFn fn, void* ctx, int64_t begin, int64_t end,
+                     int64_t grain) {
+  DHGCN_CHECK_GT(grain, 0);
+  DHGCN_CHECK(!tls_in_parallel);  // nested ParallelFor is rejected
+  if (end <= begin) return;
+
+  const int64_t chunks = (end - begin + grain - 1) / grain;
+  if (workers_.empty() || chunks == 1) {
+    // Serial fallback: same chunks, ascending order, calling thread.
+    tls_in_parallel = true;
+    for (int64_t c = 0; c < chunks; ++c) {
+      int64_t chunk_begin = begin + c * grain;
+      fn(ctx, chunk_begin, std::min(end, chunk_begin + grain));
+    }
+    tls_in_parallel = false;
+    return;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Let stragglers from the previous job leave the claim loop before
+    // the job fields they read are overwritten.
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    job_fn_ = fn;
+    job_ctx_ = ctx;
+    job_begin_ = begin;
+    job_end_ = end;
+    job_grain_ = grain;
+    job_chunks_ = chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    remaining_chunks_.store(chunks, std::memory_order_relaxed);
+    ++job_id_;
+  }
+  worker_cv_.notify_all();
+
+  RunChunks();  // the calling thread is one of the compute threads
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return remaining_chunks_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::RunChunks() {
+  tls_in_parallel = true;
+  for (;;) {
+    int64_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job_chunks_) break;
+    int64_t chunk_begin = job_begin_ + chunk * job_grain_;
+    int64_t chunk_end = std::min(job_end_, chunk_begin + job_grain_);
+    job_fn_(job_ctx_, chunk_begin, chunk_end);
+    if (remaining_chunks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+  tls_in_parallel = false;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t last_job = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      worker_cv_.wait(lock,
+                      [&] { return shutdown_ || job_id_ != last_job; });
+      if (shutdown_) return;
+      last_job = job_id_;
+      ++active_workers_;
+    }
+    RunChunks();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace dhgcn

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 #include "hypergraph/knn.h"
 #include "tensor/workspace.h"
 
@@ -48,22 +49,35 @@ KMeansResult KMeansClusters(const Tensor& features, int64_t k, Rng& rng,
   result.medoids = rng.SampleWithoutReplacement(v, k);
   std::sort(result.medoids.begin(), result.medoids.end());
 
+  const float* pdist = dist.data();
+  std::vector<int64_t> assignment(static_cast<size_t>(v));
   for (int64_t iter = 0; iter < max_iters; ++iter) {
     result.iterations = iter + 1;
     // Assignment step: each vertex joins its nearest medoid
-    // (ties -> lowest cluster index).
+    // (ties -> lowest cluster index). The per-node argmin fills a slot in
+    // `assignment` (node-parallel, disjoint writes); the gather into
+    // clusters stays serial in ascending node order so member lists are
+    // identical for every thread count.
+    const int64_t* pmedoids = result.medoids.data();
+    int64_t* passign = assignment.data();
+    ThreadPool::Get().ParallelFor(
+        0, v, GrainForFlops(k), [&](int64_t n0, int64_t n1) {
+          for (int64_t node = n0; node < n1; ++node) {
+            int64_t best_cluster = 0;
+            float best_dist = pdist[node * v + pmedoids[0]];
+            for (int64_t c = 1; c < k; ++c) {
+              float d = pdist[node * v + pmedoids[c]];
+              if (d < best_dist) {
+                best_dist = d;
+                best_cluster = c;
+              }
+            }
+            passign[node] = best_cluster;
+          }
+        });
     std::vector<Hyperedge> clusters(static_cast<size_t>(k));
     for (int64_t node = 0; node < v; ++node) {
-      int64_t best_cluster = 0;
-      float best_dist = dist.flat(node * v + result.medoids[0]);
-      for (int64_t c = 1; c < k; ++c) {
-        float d = dist.flat(node * v + result.medoids[static_cast<size_t>(c)]);
-        if (d < best_dist) {
-          best_dist = d;
-          best_cluster = c;
-        }
-      }
-      clusters[static_cast<size_t>(best_cluster)].push_back(node);
+      clusters[static_cast<size_t>(passign[node])].push_back(node);
     }
     // Reseed empty clusters with the vertex farthest from its own medoid,
     // stolen from a cluster with more than one member.

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 #include "tensor/workspace.h"
 
 namespace dhgcn {
@@ -15,21 +16,28 @@ Tensor PairwiseDistances(const Tensor& features, Workspace* ws) {
   Tensor dist = NewTensor(ws, {v, v});
   const float* px = features.data();
   float* pd = dist.data();
-  for (int64_t i = 0; i < v; ++i) {
-    const float* xi = px + i * f;
-    pd[i * v + i] = 0.0f;  // arena buffers are uninitialized
-    for (int64_t j = i + 1; j < v; ++j) {
-      const float* xj = px + j * f;
-      double acc = 0.0;
-      for (int64_t d = 0; d < f; ++d) {
-        double diff = static_cast<double>(xi[d]) - xj[d];
-        acc += diff * diff;
-      }
-      float dd = static_cast<float>(std::sqrt(acc));
-      pd[i * v + j] = dd;
-      pd[j * v + i] = dd;
-    }
-  }
+  // Row-parallel over i. Element (i, j) — and its mirror (j, i) — is
+  // written exactly once, by the chunk owning row min(i, j), so chunks
+  // never race and each element's value comes from one serial double
+  // accumulation.
+  ThreadPool::Get().ParallelFor(
+      0, v, GrainForFlops(v * f), [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* xi = px + i * f;
+          pd[i * v + i] = 0.0f;  // arena buffers are uninitialized
+          for (int64_t j = i + 1; j < v; ++j) {
+            const float* xj = px + j * f;
+            double acc = 0.0;
+            for (int64_t d = 0; d < f; ++d) {
+              double diff = static_cast<double>(xi[d]) - xj[d];
+              acc += diff * diff;
+            }
+            float dd = static_cast<float>(std::sqrt(acc));
+            pd[i * v + j] = dd;
+            pd[j * v + i] = dd;
+          }
+        }
+      });
   return dist;
 }
 

@@ -4,6 +4,7 @@
 
 #include "base/check.h"
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "tensor/workspace.h"
 
 namespace dhgcn {
@@ -48,6 +49,10 @@ Tensor BatchNorm2d::ForwardImpl(const Tensor& input, Workspace* ws) {
   const float* px = input.data();
   float* po = out.data();
 
+  // Channels are independent: each channel's chunk writes only its own
+  // slices of out/xhat and its own [c] statistics, and the per-channel
+  // moment reduction stays a single serial double accumulation — so the
+  // result is bit-identical for every thread count.
   if (training()) {
     int64_t count = v.n * v.spatial;
     DHGCN_CHECK_GT(count, 0);
@@ -55,54 +60,69 @@ Tensor BatchNorm2d::ForwardImpl(const Tensor& input, Workspace* ws) {
     cached_xhat_ = NewTensor(ws, input.shape());
     cached_inv_std_ = NewTensor(ws, {channels_});
     float* pxhat = cached_xhat_.data();
-    for (int64_t c = 0; c < channels_; ++c) {
-      double sum = 0.0, sum_sq = 0.0;
-      for (int64_t b = 0; b < v.n; ++b) {
-        const float* base = px + (b * v.c + c) * v.spatial;
-        for (int64_t s = 0; s < v.spatial; ++s) {
-          sum += base[s];
-          sum_sq += static_cast<double>(base[s]) * base[s];
-        }
-      }
-      double mean = sum / count_d;
-      double var = sum_sq / count_d - mean * mean;
-      var = std::max(var, 0.0);
-      float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
-      cached_inv_std_.flat(c) = inv_std;
-      float g = gamma_.flat(c), bta = beta_.flat(c);
-      for (int64_t b = 0; b < v.n; ++b) {
-        const float* base = px + (b * v.c + c) * v.spatial;
-        float* xhat_base = pxhat + (b * v.c + c) * v.spatial;
-        float* obase = po + (b * v.c + c) * v.spatial;
-        for (int64_t s = 0; s < v.spatial; ++s) {
-          float xhat = (base[s] - static_cast<float>(mean)) * inv_std;
-          xhat_base[s] = xhat;
-          obase[s] = g * xhat + bta;
-        }
-      }
-      // Unbiased variance for the running estimate, as in PyTorch.
-      double unbiased =
-          count > 1 ? var * count_d / static_cast<double>(count - 1) : var;
-      running_mean_.flat(c) =
-          (1.0f - momentum_) * running_mean_.flat(c) +
-          momentum_ * static_cast<float>(mean);
-      running_var_.flat(c) =
-          (1.0f - momentum_) * running_var_.flat(c) +
-          momentum_ * static_cast<float>(unbiased);
-    }
+    float* pinv_std = cached_inv_std_.data();
+    const float* pgamma = gamma_.data();
+    const float* pbeta = beta_.data();
+    float* prmean = running_mean_.data();
+    float* prvar = running_var_.data();
+    ThreadPool::Get().ParallelFor(
+        0, channels_, GrainForFlops(count), [&](int64_t c0, int64_t c1) {
+          for (int64_t c = c0; c < c1; ++c) {
+            double sum = 0.0, sum_sq = 0.0;
+            for (int64_t b = 0; b < v.n; ++b) {
+              const float* base = px + (b * v.c + c) * v.spatial;
+              for (int64_t s = 0; s < v.spatial; ++s) {
+                sum += base[s];
+                sum_sq += static_cast<double>(base[s]) * base[s];
+              }
+            }
+            double mean = sum / count_d;
+            double var = sum_sq / count_d - mean * mean;
+            var = std::max(var, 0.0);
+            float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+            pinv_std[c] = inv_std;
+            float g = pgamma[c], bta = pbeta[c];
+            for (int64_t b = 0; b < v.n; ++b) {
+              const float* base = px + (b * v.c + c) * v.spatial;
+              float* xhat_base = pxhat + (b * v.c + c) * v.spatial;
+              float* obase = po + (b * v.c + c) * v.spatial;
+              for (int64_t s = 0; s < v.spatial; ++s) {
+                float xhat = (base[s] - static_cast<float>(mean)) * inv_std;
+                xhat_base[s] = xhat;
+                obase[s] = g * xhat + bta;
+              }
+            }
+            // Unbiased variance for the running estimate, as in PyTorch.
+            double unbiased =
+                count > 1 ? var * count_d / static_cast<double>(count - 1)
+                          : var;
+            prmean[c] = (1.0f - momentum_) * prmean[c] +
+                        momentum_ * static_cast<float>(mean);
+            prvar[c] = (1.0f - momentum_) * prvar[c] +
+                       momentum_ * static_cast<float>(unbiased);
+          }
+        });
   } else {
-    for (int64_t c = 0; c < channels_; ++c) {
-      float mean = running_mean_.flat(c);
-      float inv_std = 1.0f / std::sqrt(running_var_.flat(c) + eps_);
-      float g = gamma_.flat(c), bta = beta_.flat(c);
-      for (int64_t b = 0; b < v.n; ++b) {
-        const float* base = px + (b * v.c + c) * v.spatial;
-        float* obase = po + (b * v.c + c) * v.spatial;
-        for (int64_t s = 0; s < v.spatial; ++s) {
-          obase[s] = g * (base[s] - mean) * inv_std + bta;
-        }
-      }
-    }
+    const float* pgamma = gamma_.data();
+    const float* pbeta = beta_.data();
+    const float* prmean = running_mean_.data();
+    const float* prvar = running_var_.data();
+    ThreadPool::Get().ParallelFor(
+        0, channels_, GrainForFlops(v.n * v.spatial),
+        [&](int64_t c0, int64_t c1) {
+          for (int64_t c = c0; c < c1; ++c) {
+            float mean = prmean[c];
+            float inv_std = 1.0f / std::sqrt(prvar[c] + eps_);
+            float g = pgamma[c], bta = pbeta[c];
+            for (int64_t b = 0; b < v.n; ++b) {
+              const float* base = px + (b * v.c + c) * v.spatial;
+              float* obase = po + (b * v.c + c) * v.spatial;
+              for (int64_t s = 0; s < v.spatial; ++s) {
+                obase[s] = g * (base[s] - mean) * inv_std + bta;
+              }
+            }
+          }
+        });
   }
   return out;
 }
@@ -117,34 +137,44 @@ Tensor BatchNorm2d::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
   const float* pxhat = cached_xhat_.data();
   float* pgi = grad_input.data();
 
-  for (int64_t c = 0; c < channels_; ++c) {
-    // Accumulate dL/dgamma, dL/dbeta and the two reduction terms of the
-    // standard batch-norm backward formula.
-    double sum_g = 0.0, sum_g_xhat = 0.0;
-    for (int64_t b = 0; b < v.n; ++b) {
-      const float* gbase = pg + (b * v.c + c) * v.spatial;
-      const float* xbase = pxhat + (b * v.c + c) * v.spatial;
-      for (int64_t s = 0; s < v.spatial; ++s) {
-        sum_g += gbase[s];
-        sum_g_xhat += static_cast<double>(gbase[s]) * xbase[s];
-      }
-    }
-    gamma_grad_.flat(c) += static_cast<float>(sum_g_xhat);
-    beta_grad_.flat(c) += static_cast<float>(sum_g);
-    float g = gamma_.flat(c);
-    float inv_std = cached_inv_std_.flat(c);
-    float mean_g = static_cast<float>(sum_g / count_d);
-    float mean_g_xhat = static_cast<float>(sum_g_xhat / count_d);
-    for (int64_t b = 0; b < v.n; ++b) {
-      const float* gbase = pg + (b * v.c + c) * v.spatial;
-      const float* xbase = pxhat + (b * v.c + c) * v.spatial;
-      float* gibase = pgi + (b * v.c + c) * v.spatial;
-      for (int64_t s = 0; s < v.spatial; ++s) {
-        gibase[s] =
-            g * inv_std * (gbase[s] - mean_g - xbase[s] * mean_g_xhat);
-      }
-    }
-  }
+  float* pgg = gamma_grad_.data();
+  float* pbg = beta_grad_.data();
+  const float* pgamma = gamma_.data();
+  const float* pinv_std = cached_inv_std_.data();
+  // Channel-parallel like the forward pass: per-channel reductions and
+  // writes touch only index [c] and that channel's slices.
+  ThreadPool::Get().ParallelFor(
+      0, channels_, GrainForFlops(v.n * v.spatial),
+      [&](int64_t c0, int64_t c1) {
+        for (int64_t c = c0; c < c1; ++c) {
+          // Accumulate dL/dgamma, dL/dbeta and the two reduction terms of
+          // the standard batch-norm backward formula.
+          double sum_g = 0.0, sum_g_xhat = 0.0;
+          for (int64_t b = 0; b < v.n; ++b) {
+            const float* gbase = pg + (b * v.c + c) * v.spatial;
+            const float* xbase = pxhat + (b * v.c + c) * v.spatial;
+            for (int64_t s = 0; s < v.spatial; ++s) {
+              sum_g += gbase[s];
+              sum_g_xhat += static_cast<double>(gbase[s]) * xbase[s];
+            }
+          }
+          pgg[c] += static_cast<float>(sum_g_xhat);
+          pbg[c] += static_cast<float>(sum_g);
+          float g = pgamma[c];
+          float inv_std = pinv_std[c];
+          float mean_g = static_cast<float>(sum_g / count_d);
+          float mean_g_xhat = static_cast<float>(sum_g_xhat / count_d);
+          for (int64_t b = 0; b < v.n; ++b) {
+            const float* gbase = pg + (b * v.c + c) * v.spatial;
+            const float* xbase = pxhat + (b * v.c + c) * v.spatial;
+            float* gibase = pgi + (b * v.c + c) * v.spatial;
+            for (int64_t s = 0; s < v.spatial; ++s) {
+              gibase[s] =
+                  g * inv_std * (gbase[s] - mean_g - xbase[s] * mean_g_xhat);
+            }
+          }
+        }
+      });
   return grad_input;
 }
 

@@ -1,6 +1,7 @@
 #include "nn/conv2d.h"
 
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "nn/initializer.h"
 #include "tensor/linalg.h"
 #include "tensor/tensor_ops.h"
@@ -55,67 +56,80 @@ Tensor Conv2d::ForwardImpl(const Tensor& input, Workspace* ws) {
 
   if (IsPointwise()) {
     // out_b (C_out, HW) = W (C_out, C_in) x_b (C_in, HW), per batch.
+    // Parallel over the n * C_out output rows: each row is one serial
+    // Gemm row (ascending ic) plus its bias add, so the per-element
+    // accumulation order matches the serial per-batch Gemm.
     Tensor out = NewZeroedTensor(ws, {n, out_channels_, oh, ow});
     const float* px = input.data();
+    const float* pw = weight_.data();
+    const float* pb = o.has_bias ? bias_.data() : nullptr;
     float* po = out.data();
     int64_t plane = h * w;
-    for (int64_t b = 0; b < n; ++b) {
-      detail::GemmAccumulate(weight_.data(), px + b * in_channels_ * plane,
-                             po + b * out_channels_ * plane, out_channels_,
-                             in_channels_, plane);
-    }
-    if (o.has_bias) {
-      const float* pb = bias_.data();
-      for (int64_t b = 0; b < n; ++b) {
-        for (int64_t oc = 0; oc < out_channels_; ++oc) {
-          float* oplane = po + (b * out_channels_ + oc) * plane;
-          float bias_v = pb[oc];
-          for (int64_t i = 0; i < plane; ++i) oplane[i] += bias_v;
-        }
-      }
-    }
+    ThreadPool::Get().ParallelFor(
+        0, n * out_channels_, GrainForFlops(in_channels_ * plane),
+        [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            int64_t b = r / out_channels_;
+            int64_t oc = r % out_channels_;
+            float* orow = po + r * plane;
+            detail::GemmAccumulate(pw + oc * in_channels_,
+                                   px + b * in_channels_ * plane, orow, 1,
+                                   in_channels_, plane);
+            if (pb != nullptr) {
+              float bias_v = pb[oc];
+              for (int64_t i = 0; i < plane; ++i) orow[i] += bias_v;
+            }
+          }
+        });
     return out;
   }
 
   Tensor out = NewTensor(ws, {n, out_channels_, oh, ow});
   const float* px = input.data();
   const float* pw = weight_.data();
+  const float* pbias = o.has_bias ? bias_.data() : nullptr;
   float* po = out.data();
   int64_t in_plane = h * w;
   int64_t out_plane = oh * ow;
   int64_t kernel_plane = o.kernel_h * o.kernel_w;
 
-  for (int64_t b = 0; b < n; ++b) {
-    const float* xb = px + b * in_channels_ * in_plane;
-    float* ob = po + b * out_channels_ * out_plane;
-    for (int64_t oc = 0; oc < out_channels_; ++oc) {
-      const float* wc = pw + oc * in_channels_ * kernel_plane;
-      float* oplane = ob + oc * out_plane;
-      float bias_v = o.has_bias ? bias_.flat(oc) : 0.0f;
-      for (int64_t oy = 0; oy < oh; ++oy) {
-        for (int64_t ox = 0; ox < ow; ++ox) {
-          double acc = bias_v;
-          int64_t iy0 = oy * o.stride_h - o.pad_h;
-          int64_t ix0 = ox * o.stride_w - o.pad_w;
-          for (int64_t ic = 0; ic < in_channels_; ++ic) {
-            const float* xplane = xb + ic * in_plane;
-            const float* wplane = wc + ic * kernel_plane;
-            for (int64_t ky = 0; ky < o.kernel_h; ++ky) {
-              int64_t iy = iy0 + ky * o.dilation_h;
-              if (iy < 0 || iy >= h) continue;
-              for (int64_t kx = 0; kx < o.kernel_w; ++kx) {
-                int64_t ix = ix0 + kx * o.dilation_w;
-                if (ix < 0 || ix >= w) continue;
-                acc += static_cast<double>(xplane[iy * w + ix]) *
-                       wplane[ky * o.kernel_w + kx];
+  // Direct convolution, parallel over the n * C_out output planes; each
+  // output element is an independent double accumulation.
+  ThreadPool::Get().ParallelFor(
+      0, n * out_channels_,
+      GrainForFlops(out_plane * in_channels_ * kernel_plane),
+      [&](int64_t p0, int64_t p1) {
+        for (int64_t p = p0; p < p1; ++p) {
+          int64_t b = p / out_channels_;
+          int64_t oc = p % out_channels_;
+          const float* xb = px + b * in_channels_ * in_plane;
+          const float* wc = pw + oc * in_channels_ * kernel_plane;
+          float* oplane = po + p * out_plane;
+          float bias_v = pbias != nullptr ? pbias[oc] : 0.0f;
+          for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+              double acc = bias_v;
+              int64_t iy0 = oy * o.stride_h - o.pad_h;
+              int64_t ix0 = ox * o.stride_w - o.pad_w;
+              for (int64_t ic = 0; ic < in_channels_; ++ic) {
+                const float* xplane = xb + ic * in_plane;
+                const float* wplane = wc + ic * kernel_plane;
+                for (int64_t ky = 0; ky < o.kernel_h; ++ky) {
+                  int64_t iy = iy0 + ky * o.dilation_h;
+                  if (iy < 0 || iy >= h) continue;
+                  for (int64_t kx = 0; kx < o.kernel_w; ++kx) {
+                    int64_t ix = ix0 + kx * o.dilation_w;
+                    if (ix < 0 || ix >= w) continue;
+                    acc += static_cast<double>(xplane[iy * w + ix]) *
+                           wplane[ky * o.kernel_w + kx];
+                  }
+                }
               }
+              oplane[oy * ow + ox] = static_cast<float>(acc);
             }
           }
-          oplane[oy * ow + ox] = static_cast<float>(acc);
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -129,7 +143,11 @@ Tensor Conv2d::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
 
   if (IsPointwise()) {
     // dX_b = W^T g_b; dW += g_b x_b^T (per batch, transposed GEMMs — no
-    // scratch product tensors).
+    // scratch product tensors). Two parallel phases so each phase's
+    // chunks write disjoint outputs: grad_input is batch-parallel,
+    // weight/bias grads are out-channel-parallel with an ascending batch
+    // loop inside (the same per-element accumulation order as the old
+    // single interleaved batch loop).
     Tensor grad_input = NewZeroedTensor(ws, input.shape());
     const float* px = input.data();
     const float* pg = grad_output.data();
@@ -138,25 +156,42 @@ Tensor Conv2d::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
     Tensor weight_2d = weight_.Reshape({out_channels_, in_channels_});
     Tensor weight_grad_2d =
         weight_grad_.Reshape({out_channels_, in_channels_});
-    for (int64_t b = 0; b < n; ++b) {
-      const float* gb = pg + b * out_channels_ * plane;
-      detail::GemmTransposedAAccumulate(weight_2d.data(), gb,
-                                        pgi + b * in_channels_ * plane,
-                                        out_channels_, in_channels_, plane);
-      detail::GemmTransposedB(gb, px + b * in_channels_ * plane,
-                              weight_grad_2d.data(), out_channels_, plane,
-                              in_channels_, /*accumulate=*/true);
-    }
+    const float* pw2 = weight_2d.data();
+    float* pwg2 = weight_grad_2d.data();
+    ThreadPool::Get().ParallelFor(
+        0, n, GrainForFlops(out_channels_ * in_channels_ * plane),
+        [&](int64_t b0, int64_t b1) {
+          for (int64_t b = b0; b < b1; ++b) {
+            detail::GemmTransposedAAccumulate(
+                pw2, pg + b * out_channels_ * plane,
+                pgi + b * in_channels_ * plane, out_channels_, in_channels_,
+                plane);
+          }
+        });
+    ThreadPool::Get().ParallelFor(
+        0, out_channels_, GrainForFlops(n * in_channels_ * plane),
+        [&](int64_t o0, int64_t o1) {
+          for (int64_t b = 0; b < n; ++b) {
+            detail::GemmTransposedB(pg + (b * out_channels_ + o0) * plane,
+                                    px + b * in_channels_ * plane,
+                                    pwg2 + o0 * in_channels_, o1 - o0, plane,
+                                    in_channels_, /*accumulate=*/true);
+          }
+        });
     if (o.has_bias) {
       float* pbg = bias_grad_.data();
-      for (int64_t oc = 0; oc < out_channels_; ++oc) {
-        double acc = 0.0;
-        for (int64_t b = 0; b < n; ++b) {
-          const float* gplane = pg + (b * out_channels_ + oc) * plane;
-          for (int64_t i = 0; i < plane; ++i) acc += gplane[i];
-        }
-        pbg[oc] += static_cast<float>(acc);
-      }
+      ThreadPool::Get().ParallelFor(
+          0, out_channels_, GrainForFlops(n * plane),
+          [&](int64_t o0, int64_t o1) {
+            for (int64_t oc = o0; oc < o1; ++oc) {
+              double acc = 0.0;
+              for (int64_t b = 0; b < n; ++b) {
+                const float* gplane = pg + (b * out_channels_ + oc) * plane;
+                for (int64_t i = 0; i < plane; ++i) acc += gplane[i];
+              }
+              pbg[oc] += static_cast<float>(acc);
+            }
+          });
     }
     return grad_input;
   }
@@ -167,47 +202,90 @@ Tensor Conv2d::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
   const float* pg = grad_output.data();
   float* pgi = grad_input.data();
   float* pgw = weight_grad_.data();
+  float* pbg = o.has_bias ? bias_grad_.data() : nullptr;
   int64_t in_plane = h * w;
   int64_t out_plane = oh * ow;
   int64_t kernel_plane = o.kernel_h * o.kernel_w;
+  int64_t flops_per_pair =
+      out_plane * in_channels_ * kernel_plane;  // one (b, oc) sweep
 
-  for (int64_t b = 0; b < n; ++b) {
-    const float* xb = px + b * in_channels_ * in_plane;
-    float* gib = pgi + b * in_channels_ * in_plane;
-    const float* gb = pg + b * out_channels_ * out_plane;
-    for (int64_t oc = 0; oc < out_channels_; ++oc) {
-      const float* wc = pw + oc * in_channels_ * kernel_plane;
-      float* gwc = pgw + oc * in_channels_ * kernel_plane;
-      const float* gplane = gb + oc * out_plane;
-      double bias_acc = 0.0;
-      for (int64_t oy = 0; oy < oh; ++oy) {
-        for (int64_t ox = 0; ox < ow; ++ox) {
-          float g = gplane[oy * ow + ox];
-          if (g == 0.0f) continue;
-          bias_acc += g;
-          int64_t iy0 = oy * o.stride_h - o.pad_h;
-          int64_t ix0 = ox * o.stride_w - o.pad_w;
-          for (int64_t ic = 0; ic < in_channels_; ++ic) {
-            const float* xplane = xb + ic * in_plane;
-            float* giplane = gib + ic * in_plane;
-            const float* wplane = wc + ic * kernel_plane;
-            float* gwplane = gwc + ic * kernel_plane;
-            for (int64_t ky = 0; ky < o.kernel_h; ++ky) {
-              int64_t iy = iy0 + ky * o.dilation_h;
-              if (iy < 0 || iy >= h) continue;
-              for (int64_t kx = 0; kx < o.kernel_w; ++kx) {
-                int64_t ix = ix0 + kx * o.dilation_w;
-                if (ix < 0 || ix >= w) continue;
-                gwplane[ky * o.kernel_w + kx] += g * xplane[iy * w + ix];
-                giplane[iy * w + ix] += g * wplane[ky * o.kernel_w + kx];
+  // Two passes over the same (b, oc, oy, ox, ic, ky, kx) traversal, so
+  // each parallel phase writes disjoint outputs while every gradient
+  // element still receives its contributions in the serial order:
+  // grad_input[b,...] accumulates over ascending oc (batch-parallel),
+  // weight/bias grads [oc,...] accumulate over ascending b
+  // (out-channel-parallel).
+  ThreadPool::Get().ParallelFor(
+      0, n, GrainForFlops(out_channels_ * flops_per_pair),
+      [&](int64_t b0, int64_t b1) {
+        for (int64_t b = b0; b < b1; ++b) {
+          float* gib = pgi + b * in_channels_ * in_plane;
+          const float* gb = pg + b * out_channels_ * out_plane;
+          for (int64_t oc = 0; oc < out_channels_; ++oc) {
+            const float* wc = pw + oc * in_channels_ * kernel_plane;
+            const float* gplane = gb + oc * out_plane;
+            for (int64_t oy = 0; oy < oh; ++oy) {
+              for (int64_t ox = 0; ox < ow; ++ox) {
+                float g = gplane[oy * ow + ox];
+                if (g == 0.0f) continue;
+                int64_t iy0 = oy * o.stride_h - o.pad_h;
+                int64_t ix0 = ox * o.stride_w - o.pad_w;
+                for (int64_t ic = 0; ic < in_channels_; ++ic) {
+                  float* giplane = gib + ic * in_plane;
+                  const float* wplane = wc + ic * kernel_plane;
+                  for (int64_t ky = 0; ky < o.kernel_h; ++ky) {
+                    int64_t iy = iy0 + ky * o.dilation_h;
+                    if (iy < 0 || iy >= h) continue;
+                    for (int64_t kx = 0; kx < o.kernel_w; ++kx) {
+                      int64_t ix = ix0 + kx * o.dilation_w;
+                      if (ix < 0 || ix >= w) continue;
+                      giplane[iy * w + ix] +=
+                          g * wplane[ky * o.kernel_w + kx];
+                    }
+                  }
+                }
               }
             }
           }
         }
-      }
-      if (o.has_bias) bias_grad_.flat(oc) += static_cast<float>(bias_acc);
-    }
-  }
+      });
+  ThreadPool::Get().ParallelFor(
+      0, out_channels_, GrainForFlops(n * flops_per_pair),
+      [&](int64_t o0, int64_t o1) {
+        for (int64_t oc = o0; oc < o1; ++oc) {
+          float* gwc = pgw + oc * in_channels_ * kernel_plane;
+          for (int64_t b = 0; b < n; ++b) {
+            const float* xb = px + b * in_channels_ * in_plane;
+            const float* gplane =
+                pg + (b * out_channels_ + oc) * out_plane;
+            double bias_acc = 0.0;
+            for (int64_t oy = 0; oy < oh; ++oy) {
+              for (int64_t ox = 0; ox < ow; ++ox) {
+                float g = gplane[oy * ow + ox];
+                if (g == 0.0f) continue;
+                bias_acc += g;
+                int64_t iy0 = oy * o.stride_h - o.pad_h;
+                int64_t ix0 = ox * o.stride_w - o.pad_w;
+                for (int64_t ic = 0; ic < in_channels_; ++ic) {
+                  const float* xplane = xb + ic * in_plane;
+                  float* gwplane = gwc + ic * kernel_plane;
+                  for (int64_t ky = 0; ky < o.kernel_h; ++ky) {
+                    int64_t iy = iy0 + ky * o.dilation_h;
+                    if (iy < 0 || iy >= h) continue;
+                    for (int64_t kx = 0; kx < o.kernel_w; ++kx) {
+                      int64_t ix = ix0 + kx * o.dilation_w;
+                      if (ix < 0 || ix >= w) continue;
+                      gwplane[ky * o.kernel_w + kx] +=
+                          g * xplane[iy * w + ix];
+                    }
+                  }
+                }
+              }
+            }
+            if (pbg != nullptr) pbg[oc] += static_cast<float>(bias_acc);
+          }
+        }
+      });
   return grad_input;
 }
 

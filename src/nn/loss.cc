@@ -4,6 +4,7 @@
 
 #include "base/check.h"
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/workspace.h"
 
@@ -44,21 +45,30 @@ Result<float> SoftmaxCrossEntropy::TryForwardImpl(
   LogSoftmaxInto(logits, /*axis=*/1, &log_probs);
   cached_probs_ = NewTensor(ws, logits.shape());
   ExpInto(log_probs, &cached_probs_);
-  double total = 0.0;
   float off_weight = label_smoothing_ / static_cast<float>(k);
   float on_weight = 1.0f - label_smoothing_ + off_weight;
-  for (int64_t i = 0; i < n; ++i) {
-    int64_t y = labels[static_cast<size_t>(i)];
-    if (label_smoothing_ == 0.0f) {
-      total -= log_probs.at(i, y);
-    } else {
-      // Cross-entropy against the smoothed target distribution.
-      for (int64_t c = 0; c < k; ++c) {
-        float weight = c == y ? on_weight : off_weight;
-        total -= static_cast<double>(weight) * log_probs.at(i, c);
-      }
-    }
-  }
+  const float* plp = log_probs.data();
+  const int64_t* plab = labels.data();
+  // Deterministic chunked reduction over the batch: per-chunk double
+  // partials combined in ascending chunk order (grain 8, so batches of
+  // up to 8 rows reduce in a single chunk exactly like the serial loop).
+  double total = ThreadPool::Get().ParallelReduceSum(
+      0, n, /*grain=*/8, [&](int64_t i0, int64_t i1) {
+        double t = 0.0;
+        for (int64_t i = i0; i < i1; ++i) {
+          int64_t y = plab[i];
+          if (label_smoothing_ == 0.0f) {
+            t -= plp[i * k + y];
+          } else {
+            // Cross-entropy against the smoothed target distribution.
+            for (int64_t c = 0; c < k; ++c) {
+              float weight = c == y ? on_weight : off_weight;
+              t -= static_cast<double>(weight) * plp[i * k + c];
+            }
+          }
+        }
+        return t;
+      });
   return static_cast<float>(total / static_cast<double>(n));
 }
 
@@ -70,16 +80,22 @@ Tensor SoftmaxCrossEntropy::BackwardImpl(Workspace* ws) const {
   float inv = 1.0f / static_cast<float>(n);
   float off_weight = label_smoothing_ / static_cast<float>(k);
   float on_weight = 1.0f - label_smoothing_ + off_weight;
-  for (int64_t i = 0; i < n; ++i) {
-    int64_t y = cached_labels_[static_cast<size_t>(i)];
-    if (label_smoothing_ == 0.0f) {
-      grad.at(i, y) -= 1.0f;
-    } else {
-      for (int64_t c = 0; c < k; ++c) {
-        grad.at(i, c) -= c == y ? on_weight : off_weight;
-      }
-    }
-  }
+  float* pgrad = grad.data();
+  const int64_t* plab = cached_labels_.data();
+  // Row chunks write disjoint rows of the gradient.
+  ThreadPool::Get().ParallelFor(
+      0, n, GrainForFlops(k), [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          int64_t y = plab[i];
+          if (label_smoothing_ == 0.0f) {
+            pgrad[i * k + y] -= 1.0f;
+          } else {
+            for (int64_t c = 0; c < k; ++c) {
+              pgrad[i * k + c] -= c == y ? on_weight : off_weight;
+            }
+          }
+        }
+      });
   MulScalarInPlace(grad, inv);
   return grad;
 }

@@ -1,6 +1,9 @@
 #include "tensor/linalg.h"
 
+#include <algorithm>
+
 #include "base/check.h"
+#include "base/thread_pool.h"
 
 namespace dhgcn {
 
@@ -22,10 +25,13 @@ void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
   }
 }
 
-// C (M,N) += A^T (for A (K,M)) * B (K,N); p-i-j order scans A and B rows
-// contiguously.
-void GemmTransposedAAccumulate(const float* a, const float* b, float* c,
-                               int64_t k, int64_t m, int64_t n) {
+// Column-range slice of the A^T * B kernel: updates only columns
+// [j0, j1) of C. The per-element accumulation order (ascending p) is
+// identical to the full kernel, so splitting the column range across
+// chunks is bit-exact.
+void GemmTransposedAAccumulateCols(const float* a, const float* b, float* c,
+                                   int64_t k, int64_t m, int64_t n,
+                                   int64_t j0, int64_t j1) {
   for (int64_t p = 0; p < k; ++p) {
     const float* arow = a + p * m;
     const float* brow = b + p * n;
@@ -33,9 +39,16 @@ void GemmTransposedAAccumulate(const float* a, const float* b, float* c,
       float av = arow[i];
       if (av == 0.0f) continue;
       float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
     }
   }
+}
+
+// C (M,N) += A^T (for A (K,M)) * B (K,N); p-i-j order scans A and B rows
+// contiguously.
+void GemmTransposedAAccumulate(const float* a, const float* b, float* c,
+                               int64_t k, int64_t m, int64_t n) {
+  GemmTransposedAAccumulateCols(a, b, c, k, m, n, 0, n);
 }
 
 // C (M,N) = or += A (M,K) * B^T (for B (N,K)); each output element is a
@@ -65,12 +78,22 @@ void GemmTransposedB(const float* a, const float* b, float* c, int64_t m,
 namespace {
 
 using detail::GemmAccumulate;
-using detail::GemmTransposedAAccumulate;
+using detail::GemmTransposedAAccumulateCols;
 using detail::GemmTransposedB;
 
 void ZeroFill(Tensor* out) {
   float* p = out->data();
   for (int64_t i = 0; i < out->numel(); ++i) p[i] = 0.0f;
+}
+
+// Shared core of MatMul/MatMulInto: row chunks of the output are
+// disjoint, each computed by the exact serial kernel.
+void ParallelGemm(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n) {
+  ThreadPool::Get().ParallelFor(
+      0, m, GrainForFlops(k * n), [&](int64_t r0, int64_t r1) {
+        GemmAccumulate(a + r0 * k, b, c + r0 * n, r1 - r0, k, n);
+      });
 }
 
 }  // namespace
@@ -81,7 +104,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   DHGCN_CHECK_EQ(a.dim(1), b.dim(0));
   int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor out({m, n});
-  GemmAccumulate(a.data(), b.data(), out.data(), m, k, n);
+  ParallelGemm(a.data(), b.data(), out.data(), m, k, n);
   return out;
 }
 
@@ -95,8 +118,8 @@ void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out,
   DHGCN_CHECK_EQ(out->dim(0), a.dim(0));
   DHGCN_CHECK_EQ(out->dim(1), b.dim(1));
   if (!accumulate) ZeroFill(out);
-  GemmAccumulate(a.data(), b.data(), out->data(), a.dim(0), a.dim(1),
-                 b.dim(1));
+  ParallelGemm(a.data(), b.data(), out->data(), a.dim(0), a.dim(1),
+               b.dim(1));
 }
 
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
@@ -126,11 +149,19 @@ void BatchedMatMulInto(const Tensor& a, const Tensor& b, Tensor* out,
   DHGCN_CHECK_EQ(out->dim(1), m);
   DHGCN_CHECK_EQ(out->dim(2), n);
   if (!accumulate) ZeroFill(out);
-  for (int64_t i = 0; i < batch; ++i) {
-    const float* bi = shared_b ? b.data() : b.data() + i * k * n;
-    GemmAccumulate(a.data() + i * m * k, bi, out->data() + i * m * n, m, k,
-                   n);
-  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out->data();
+  // Flattened (batch * m) output rows; row r of the flat view is row
+  // r % m of batch r / m, so chunks never straddle operand layout.
+  ThreadPool::Get().ParallelFor(
+      0, batch * m, GrainForFlops(k * n), [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* bi =
+              shared_b ? pb : pb + (r / m) * k * n;
+          GemmAccumulate(pa + r * k, bi, pc + r * n, 1, k, n);
+        }
+      });
 }
 
 Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
@@ -138,8 +169,7 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
   DHGCN_CHECK_EQ(b.ndim(), 2);
   DHGCN_CHECK_EQ(a.dim(0), b.dim(0));
   Tensor out({a.dim(1), b.dim(1)});
-  GemmTransposedAAccumulate(a.data(), b.data(), out.data(), a.dim(0),
-                            a.dim(1), b.dim(1));
+  MatMulTransposedAInto(a, b, &out, /*accumulate=*/true);  // out is zeroed
   return out;
 }
 
@@ -153,8 +183,16 @@ void MatMulTransposedAInto(const Tensor& a, const Tensor& b, Tensor* out,
   DHGCN_CHECK_EQ(out->dim(0), a.dim(1));
   DHGCN_CHECK_EQ(out->dim(1), b.dim(1));
   if (!accumulate) ZeroFill(out);
-  GemmTransposedAAccumulate(a.data(), b.data(), out->data(), a.dim(0),
-                            a.dim(1), b.dim(1));
+  int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out->data();
+  // Column chunks of the output are disjoint; every chunk scans all of
+  // A, so grain targets the per-column work (k * m accumulations).
+  ThreadPool::Get().ParallelFor(
+      0, n, GrainForFlops(k * m), [&](int64_t j0, int64_t j1) {
+        GemmTransposedAAccumulateCols(pa, pb, pc, k, m, n, j0, j1);
+      });
 }
 
 Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
@@ -162,8 +200,7 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   DHGCN_CHECK_EQ(b.ndim(), 2);
   DHGCN_CHECK_EQ(a.dim(1), b.dim(1));
   Tensor out({a.dim(0), b.dim(0)});
-  GemmTransposedB(a.data(), b.data(), out.data(), a.dim(0), a.dim(1),
-                  b.dim(0), /*accumulate=*/false);
+  MatMulTransposedBInto(a, b, &out, /*accumulate=*/false);
   return out;
 }
 
@@ -176,8 +213,15 @@ void MatMulTransposedBInto(const Tensor& a, const Tensor& b, Tensor* out,
   DHGCN_CHECK_EQ(out->ndim(), 2);
   DHGCN_CHECK_EQ(out->dim(0), a.dim(0));
   DHGCN_CHECK_EQ(out->dim(1), b.dim(0));
-  GemmTransposedB(a.data(), b.data(), out->data(), a.dim(0), a.dim(1),
-                  b.dim(0), accumulate);
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out->data();
+  ThreadPool::Get().ParallelFor(
+      0, m, GrainForFlops(k * n), [&](int64_t r0, int64_t r1) {
+        GemmTransposedB(pa + r0 * k, pb, pc + r0 * n, r1 - r0, k, n,
+                        accumulate);
+      });
 }
 
 void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {

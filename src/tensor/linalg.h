@@ -40,6 +40,11 @@ void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
                     int64_t k, int64_t n);
 void GemmTransposedAAccumulate(const float* a, const float* b, float* c,
                                int64_t k, int64_t m, int64_t n);
+// Column-range slice of GemmTransposedAAccumulate: touches only columns
+// [j0, j1) of c, with the same per-element accumulation order.
+void GemmTransposedAAccumulateCols(const float* a, const float* b, float* c,
+                                   int64_t k, int64_t m, int64_t n,
+                                   int64_t j0, int64_t j1);
 void GemmTransposedB(const float* a, const float* b, float* c, int64_t m,
                      int64_t k, int64_t n, bool accumulate);
 }  // namespace detail

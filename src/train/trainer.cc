@@ -11,6 +11,7 @@
 #include "base/fault_injection.h"
 #include "base/logging.h"
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "base/timer.h"
 #include "train/evaluator.h"
 #include "train/summary.h"
@@ -201,8 +202,9 @@ Result<EpochStats> Trainer::TrainEpoch(DataLoader& loader, int64_t epoch) {
                      << " loss=" << stats.mean_loss
                      << " top1=" << stats.train_top1 << " lr=" << stats.lr
                      << " allocs=" << stats.tensor_allocations << " ("
-                     << (stats.tensor_alloc_bytes >> 10) << " KiB) ("
-                     << stats.seconds << "s)";
+                     << (stats.tensor_alloc_bytes >> 10) << " KiB)"
+                     << " threads=" << ThreadPool::Get().thread_count()
+                     << " (" << stats.seconds << "s)";
   }
   return stats;
 }

@@ -7,6 +7,7 @@
 #include "gtest/gtest.h"
 
 #include "base/rng.h"
+#include "base/thread_pool.h"
 #include "core/static_hypergraph.h"
 #include "data/skeleton.h"
 #include "hypergraph/hypergraph_conv.h"
@@ -15,6 +16,7 @@
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
+#include "nn/loss.h"
 #include "nn/pooling.h"
 #include "nn/relu.h"
 #include "nn/sequential.h"
@@ -213,6 +215,102 @@ TEST(GradCheck, PartSumSpatial) {
   PartSumSpatial layer(3, 4, layout, /*num_parts=*/4, rng);
   Tensor x = Tensor::RandomNormal({2, 3, 3, 18}, rng);
   ExpectGradientsMatch(layer, x);
+}
+
+// ---------------------------------------------------------------------------
+// The same analytic-vs-numeric checks under a multi-threaded pool: the
+// parallelized Conv2d / BatchNorm2d / loss backward passes must agree
+// with finite differences regardless of the worker count.
+// ---------------------------------------------------------------------------
+
+// Sets the pool size for one test and restores the previous size on exit.
+class ThreadPoolGuard {
+ public:
+  explicit ThreadPoolGuard(int64_t n)
+      : previous_(ThreadPool::Get().thread_count()) {
+    ThreadPool::Get().SetThreads(n);
+  }
+  ~ThreadPoolGuard() { ThreadPool::Get().SetThreads(previous_); }
+
+ private:
+  int64_t previous_;
+};
+
+TEST(GradCheckThreaded, Conv1x1FourThreads) {
+  ThreadPoolGuard pool(4);
+  Rng rng(118);
+  Conv2d layer(3, 4, Conv2dOptions{}, rng);
+  Tensor x = Tensor::RandomNormal({2, 3, 4, 5}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheckThreaded, ConvSpatialKernelFourThreads) {
+  ThreadPoolGuard pool(4);
+  Rng rng(119);
+  Conv2dOptions options;
+  options.kernel_h = 3;
+  options.kernel_w = 3;
+  options.pad_h = 1;
+  options.pad_w = 1;
+  Conv2d layer(2, 2, options, rng);
+  Tensor x = Tensor::RandomNormal({1, 2, 5, 5}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheckThreaded, ConvStridedDilatedFourThreads) {
+  ThreadPoolGuard pool(4);
+  Rng rng(120);
+  Conv2dOptions options;
+  options.kernel_h = 3;
+  options.pad_h = 2;
+  options.stride_h = 2;
+  options.dilation_h = 2;
+  Conv2d layer(2, 2, options, rng);
+  Tensor x = Tensor::RandomNormal({2, 2, 9, 3}, rng);
+  ExpectGradientsMatch(layer, x);
+}
+
+TEST(GradCheckThreaded, BatchNormTrainingFourThreads) {
+  ThreadPoolGuard pool(4);
+  Rng rng(121);
+  BatchNorm2d layer(3);
+  layer.SetTraining(true);
+  layer.gamma() = Tensor::RandomUniform({3}, rng, 0.5f, 1.5f);
+  layer.beta() = Tensor::RandomNormal({3}, rng);
+  Tensor x = Tensor::RandomNormal({4, 3, 3, 2}, rng);
+  GradCheckOptions options;
+  options.rtol = 8e-2f;
+  options.atol = 1e-3f;
+  ExpectGradientsMatch(layer, x, options);
+}
+
+TEST(GradCheckThreaded, SoftmaxCrossEntropyFourThreads) {
+  ThreadPoolGuard pool(4);
+  Rng rng(122);
+  // Batch larger than the loss reduction grain (8) so the chunked
+  // reduction path is exercised, not just the single-chunk fast case.
+  const int64_t n = 11, k = 5;
+  Tensor logits = Tensor::RandomNormal({n, k}, rng);
+  std::vector<int64_t> labels;
+  for (int64_t i = 0; i < n; ++i) labels.push_back(i % k);
+
+  SoftmaxCrossEntropy loss(/*label_smoothing=*/0.1f);
+  loss.Forward(logits, labels);
+  Tensor analytic = loss.Backward();
+
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    float original = logits.flat(i);
+    logits.flat(i) = original + eps;
+    double up = loss.Forward(logits, labels);
+    logits.flat(i) = original - eps;
+    double down = loss.Forward(logits, labels);
+    logits.flat(i) = original;
+    double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic.flat(i), numeric,
+                1e-3 + 6e-2 * std::fabs(numeric))
+        << "logit " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,332 @@
+// Bit-exactness of every ThreadPool-parallelized kernel across thread
+// counts — the acceptance test for the static-partitioning determinism
+// contract. Each kernel runs with a serial pool (threads=1) and again
+// with 2 and 7 threads; outputs must match byte for byte, not just to
+// tolerance. A full training run (legacy and workspace-arena paths)
+// closes the loop: identical final parameters and losses end to end.
+
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "core/dhgcn_model.h"
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "data/synthetic_generator.h"
+#include "hypergraph/kmeans.h"
+#include "hypergraph/knn.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/loss.h"
+#include "tensor/linalg.h"
+#include "tensor/workspace.h"
+#include "train/trainer.h"
+
+namespace dhgcn {
+namespace {
+
+// Thread counts the contract is checked against: serial fallback, the
+// smallest real pool, and an odd size that cannot divide chunk counts
+// evenly.
+const int64_t kThreadCounts[] = {1, 2, 7};
+
+void ExpectBitEqual(const Tensor& expected, const Tensor& actual,
+                    const char* what, int64_t threads) {
+  ASSERT_TRUE(ShapesEqual(expected.shape(), actual.shape()))
+      << what << " shape changed at threads=" << threads;
+  EXPECT_EQ(std::memcmp(expected.data(), actual.data(),
+                        static_cast<size_t>(expected.numel()) *
+                            sizeof(float)),
+            0)
+      << what << " is not bit-identical at threads=" << threads;
+}
+
+// Runs `make` (a callable returning a Tensor) under every thread count
+// and asserts the results match the serial run bit for bit.
+template <typename Fn>
+void ExpectDeterministicAcrossThreadCounts(const char* what, Fn&& make) {
+  ThreadPool::Get().SetThreads(1);
+  Tensor serial = make();
+  for (int64_t threads : kThreadCounts) {
+    ThreadPool::Get().SetThreads(threads);
+    Tensor parallel = make();
+    ExpectBitEqual(serial, parallel, what, threads);
+  }
+  ThreadPool::Get().SetThreads(1);
+}
+
+TEST(ParallelDeterminism, MatMul) {
+  Rng rng(200);
+  Tensor a = Tensor::RandomNormal({64, 32}, rng);
+  Tensor b = Tensor::RandomNormal({32, 48}, rng);
+  ExpectDeterministicAcrossThreadCounts("MatMul",
+                                        [&] { return MatMul(a, b); });
+}
+
+TEST(ParallelDeterminism, MatMulIntoWorkspace) {
+  Rng rng(201);
+  Tensor a = Tensor::RandomNormal({64, 32}, rng);
+  Tensor b = Tensor::RandomNormal({32, 48}, rng);
+  Workspace ws;
+  ExpectDeterministicAcrossThreadCounts("MatMulInto", [&] {
+    ws.Reset();
+    Tensor out = NewTensor(&ws, {64, 48});
+    MatMulInto(a, b, &out, /*accumulate=*/false);
+    MatMulInto(a, b, &out, /*accumulate=*/true);  // accumulate path too
+    return out.Clone();  // clone: the arena is reset on the next run
+  });
+}
+
+TEST(ParallelDeterminism, BatchedMatMulPerBatch) {
+  Rng rng(202);
+  Tensor a = Tensor::RandomNormal({4, 40, 24}, rng);
+  Tensor b = Tensor::RandomNormal({4, 24, 16}, rng);
+  ExpectDeterministicAcrossThreadCounts(
+      "BatchedMatMul(3-D b)", [&] { return BatchedMatMul(a, b); });
+}
+
+TEST(ParallelDeterminism, BatchedMatMulSharedB) {
+  Rng rng(203);
+  Tensor a = Tensor::RandomNormal({4, 40, 24}, rng);
+  Tensor b = Tensor::RandomNormal({24, 16}, rng);
+  ExpectDeterministicAcrossThreadCounts(
+      "BatchedMatMul(2-D b)", [&] { return BatchedMatMul(a, b); });
+}
+
+TEST(ParallelDeterminism, MatMulTransposedA) {
+  Rng rng(204);
+  Tensor a = Tensor::RandomNormal({30, 40}, rng);
+  Tensor b = Tensor::RandomNormal({30, 50}, rng);
+  ExpectDeterministicAcrossThreadCounts(
+      "MatMulTransposedA", [&] { return MatMulTransposedA(a, b); });
+}
+
+TEST(ParallelDeterminism, MatMulTransposedB) {
+  Rng rng(205);
+  Tensor a = Tensor::RandomNormal({40, 30}, rng);
+  Tensor b = Tensor::RandomNormal({50, 30}, rng);
+  ExpectDeterministicAcrossThreadCounts(
+      "MatMulTransposedB", [&] { return MatMulTransposedB(a, b); });
+}
+
+// Forward + backward of a freshly seeded Conv2d; returns grad_input and
+// checks the accumulated weight/bias gradients inline.
+Tensor RunConvOnce(const Conv2dOptions& options, int64_t in_channels,
+                   int64_t out_channels, const Shape& x_shape,
+                   Tensor* weight_grad, Tensor* bias_grad) {
+  Rng rng(206);
+  Conv2d layer(in_channels, out_channels, options, rng);
+  Tensor x = Tensor::RandomNormal(x_shape, rng);
+  Tensor out = layer.Forward(x);
+  Tensor g = Tensor::RandomNormal(out.shape(), rng);
+  layer.ZeroGrad();
+  Tensor grad_input = layer.Backward(g);
+  *weight_grad = layer.Params()[0].grad->Clone();
+  *bias_grad = layer.Params()[1].grad->Clone();
+  return grad_input;
+}
+
+void CheckConvDeterminism(const char* what, const Conv2dOptions& options,
+                          int64_t in_channels, int64_t out_channels,
+                          const Shape& x_shape) {
+  ThreadPool::Get().SetThreads(1);
+  Tensor serial_wg, serial_bg;
+  Tensor serial_gi = RunConvOnce(options, in_channels, out_channels,
+                                 x_shape, &serial_wg, &serial_bg);
+  for (int64_t threads : kThreadCounts) {
+    ThreadPool::Get().SetThreads(threads);
+    Tensor wg, bg;
+    Tensor gi = RunConvOnce(options, in_channels, out_channels, x_shape,
+                            &wg, &bg);
+    ExpectBitEqual(serial_gi, gi, what, threads);
+    ExpectBitEqual(serial_wg, wg, what, threads);
+    ExpectBitEqual(serial_bg, bg, what, threads);
+  }
+  ThreadPool::Get().SetThreads(1);
+}
+
+TEST(ParallelDeterminism, Conv2dPointwise) {
+  CheckConvDeterminism("Conv2d 1x1", Conv2dOptions{}, 8, 16,
+                       {4, 8, 12, 10});
+}
+
+TEST(ParallelDeterminism, Conv2dGeneral) {
+  Conv2dOptions options;
+  options.kernel_h = 3;
+  options.kernel_w = 3;
+  options.pad_h = 1;
+  options.pad_w = 1;
+  CheckConvDeterminism("Conv2d 3x3", options, 4, 6, {2, 4, 7, 6});
+}
+
+Tensor RunBatchNormOnce(bool training, Tensor* grad_input,
+                        Tensor* gamma_grad, Tensor* running_mean) {
+  Rng rng(207);
+  BatchNorm2d layer(16);
+  layer.SetTraining(training);
+  layer.gamma() = Tensor::RandomUniform({16}, rng, 0.5f, 1.5f);
+  layer.beta() = Tensor::RandomNormal({16}, rng);
+  // Large spatial extent so the channel grain splits 16 channels into
+  // several chunks (grain shrinks as per-channel work grows).
+  Tensor x = Tensor::RandomNormal({8, 16, 32, 16}, rng);
+  Tensor out = layer.Forward(x);
+  if (training) {
+    Tensor g = Tensor::RandomNormal(out.shape(), rng);
+    layer.ZeroGrad();
+    *grad_input = layer.Backward(g);
+    *gamma_grad = layer.Params()[0].grad->Clone();
+  }
+  *running_mean = layer.Params()[2].value->Clone();
+  return out;
+}
+
+TEST(ParallelDeterminism, BatchNormTraining) {
+  ThreadPool::Get().SetThreads(1);
+  Tensor serial_gi, serial_gg, serial_rm;
+  Tensor serial =
+      RunBatchNormOnce(true, &serial_gi, &serial_gg, &serial_rm);
+  for (int64_t threads : kThreadCounts) {
+    ThreadPool::Get().SetThreads(threads);
+    Tensor gi, gg, rm;
+    Tensor out = RunBatchNormOnce(true, &gi, &gg, &rm);
+    ExpectBitEqual(serial, out, "BatchNorm2d forward", threads);
+    ExpectBitEqual(serial_gi, gi, "BatchNorm2d grad_input", threads);
+    ExpectBitEqual(serial_gg, gg, "BatchNorm2d gamma_grad", threads);
+    ExpectBitEqual(serial_rm, rm, "BatchNorm2d running_mean", threads);
+  }
+  ThreadPool::Get().SetThreads(1);
+}
+
+TEST(ParallelDeterminism, BatchNormEval) {
+  ThreadPool::Get().SetThreads(1);
+  Tensor unused_gi, unused_gg, rm0;
+  Tensor serial = RunBatchNormOnce(false, &unused_gi, &unused_gg, &rm0);
+  for (int64_t threads : kThreadCounts) {
+    ThreadPool::Get().SetThreads(threads);
+    Tensor rm;
+    Tensor out = RunBatchNormOnce(false, &unused_gi, &unused_gg, &rm);
+    ExpectBitEqual(serial, out, "BatchNorm2d eval forward", threads);
+  }
+  ThreadPool::Get().SetThreads(1);
+}
+
+TEST(ParallelDeterminism, SoftmaxCrossEntropy) {
+  Rng rng(208);
+  // Batch of 37 rows: five reduction chunks at the loss grain of 8.
+  Tensor logits = Tensor::RandomNormal({37, 10}, rng);
+  std::vector<int64_t> labels;
+  for (int64_t i = 0; i < 37; ++i) labels.push_back(i % 10);
+
+  for (float smoothing : {0.0f, 0.1f}) {
+    SoftmaxCrossEntropy loss(smoothing);
+    ThreadPool::Get().SetThreads(1);
+    float serial_value = loss.Forward(logits, labels);
+    Tensor serial_grad = loss.Backward();
+    for (int64_t threads : kThreadCounts) {
+      ThreadPool::Get().SetThreads(threads);
+      float value = loss.Forward(logits, labels);
+      Tensor grad = loss.Backward();
+      EXPECT_EQ(value, serial_value)
+          << "loss value at threads=" << threads
+          << " smoothing=" << smoothing;
+      ExpectBitEqual(serial_grad, grad, "loss gradient", threads);
+    }
+  }
+  ThreadPool::Get().SetThreads(1);
+}
+
+TEST(ParallelDeterminism, PairwiseDistances) {
+  Rng rng(209);
+  Tensor features = Tensor::RandomNormal({100, 16}, rng);
+  ExpectDeterministicAcrossThreadCounts(
+      "PairwiseDistances", [&] { return PairwiseDistances(features); });
+}
+
+TEST(ParallelDeterminism, PairwiseDistancesWorkspace) {
+  Rng rng(210);
+  Tensor features = Tensor::RandomNormal({100, 16}, rng);
+  Workspace ws;
+  ExpectDeterministicAcrossThreadCounts("PairwiseDistances(ws)", [&] {
+    ws.Reset();
+    return PairwiseDistances(features, &ws).Clone();
+  });
+}
+
+TEST(ParallelDeterminism, KMeansClusters) {
+  Rng feature_rng(211);
+  Tensor features = Tensor::RandomNormal({80, 8}, feature_rng);
+
+  auto run = [&] {
+    Rng rng(212);  // fresh, equally seeded Rng per run
+    return KMeansClusters(features, /*k=*/6, rng, /*max_iters=*/20);
+  };
+  ThreadPool::Get().SetThreads(1);
+  KMeansResult serial = run();
+  for (int64_t threads : kThreadCounts) {
+    ThreadPool::Get().SetThreads(threads);
+    KMeansResult parallel = run();
+    EXPECT_EQ(parallel.medoids, serial.medoids) << "threads=" << threads;
+    EXPECT_EQ(parallel.clusters, serial.clusters) << "threads=" << threads;
+    EXPECT_EQ(parallel.iterations, serial.iterations)
+        << "threads=" << threads;
+  }
+  ThreadPool::Get().SetThreads(1);
+}
+
+// --- End-to-end: a short training run must be bit-reproducible for any
+// thread count, on both the legacy and the workspace-arena path. -------
+
+struct TrainingFingerprint {
+  double final_loss = 0.0;
+  std::vector<Tensor> params;
+};
+
+TrainingFingerprint RunTraining(const SkeletonDataset& dataset,
+                                const DatasetSplit& split,
+                                bool use_workspace) {
+  DataLoader loader(&dataset, split.train, 4, InputStream::kJoint,
+                    /*shuffle=*/true, Rng(5));
+  DhgcnConfig config =
+      DhgcnConfig::Tiny(SkeletonLayoutType::kNtu25, /*num_classes=*/2);
+  DhgcnModel model(config);
+  TrainOptions options;
+  options.epochs = 3;
+  options.initial_lr = 0.01f;
+  options.use_workspace = use_workspace;
+  Trainer trainer(&model, options);
+  TrainingFingerprint fp;
+  fp.final_loss = trainer.Train(loader).ValueOrDie().back().mean_loss;
+  for (ParamRef& p : model.Params()) fp.params.push_back(p.value->Clone());
+  return fp;
+}
+
+TEST(ParallelDeterminism, ThreeEpochTrainingRun) {
+  SyntheticDataConfig data_config = NtuLikeConfig(2, 5, 8, 17);
+  SkeletonDataset dataset =
+      SkeletonDataset::Generate(data_config).MoveValue();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+
+  for (bool use_workspace : {true, false}) {
+    ThreadPool::Get().SetThreads(1);
+    TrainingFingerprint serial = RunTraining(dataset, split, use_workspace);
+    for (int64_t threads : kThreadCounts) {
+      ThreadPool::Get().SetThreads(threads);
+      TrainingFingerprint parallel =
+          RunTraining(dataset, split, use_workspace);
+      EXPECT_EQ(parallel.final_loss, serial.final_loss)
+          << "threads=" << threads << " workspace=" << use_workspace;
+      ASSERT_EQ(parallel.params.size(), serial.params.size());
+      for (size_t p = 0; p < serial.params.size(); ++p) {
+        ExpectBitEqual(serial.params[p], parallel.params[p],
+                       "trained parameter", threads);
+      }
+    }
+  }
+  ThreadPool::Get().SetThreads(1);
+}
+
+}  // namespace
+}  // namespace dhgcn

@@ -17,6 +17,7 @@
 #include "base/fault_injection.h"
 #include "base/flags.h"
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "data/csv_io.h"
 #include "io/serialization.h"
 #include "models/model_zoo.h"
@@ -69,6 +70,7 @@ Status RunMain(int argc, const char* const* argv) {
   int64_t kn = 3;
   int64_t km = 4;
   int64_t seed = 17;
+  int64_t threads = 0;
   double lr = 0.05;
   bool eval_only = false;
   bool report = false;
@@ -112,6 +114,9 @@ Status RunMain(int argc, const char* const* argv) {
   flags.AddInt64("kn", &kn, "DHGCN k_n (joints per K-NN hyperedge)");
   flags.AddInt64("km", &km, "DHGCN k_m (K-means hyperedges)");
   flags.AddInt64("seed", &seed, "random seed");
+  flags.AddInt64("threads", &threads,
+                 "intra-op compute threads; results are bit-identical for "
+                 "any value (0 = DHGCN_THREADS env or hardware default)");
   flags.AddDouble("lr", &lr, "initial learning rate");
   flags.AddBool("eval_only", &eval_only, "skip training");
   flags.AddBool("report", &report, "print per-class report");
@@ -130,6 +135,11 @@ Status RunMain(int argc, const char* const* argv) {
     DHGCN_RETURN_IF_ERROR(FaultInjection::Get().ArmFromSpec(fault_spec));
     std::printf("fault injection armed: %s\n", fault_spec.c_str());
   }
+  if (threads < 0) {
+    return Status::InvalidArgument(
+        StrCat("--threads must be >= 0, got ", threads));
+  }
+  if (threads > 0) ThreadPool::Get().SetThreads(threads);
 
   // --- Dataset -----------------------------------------------------------
   Result<SkeletonDataset> dataset_result = [&]() -> Result<SkeletonDataset> {

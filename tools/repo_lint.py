@@ -19,6 +19,12 @@ Rules (see DESIGN.md §7 for the rationale):
   discard        `(void)expr(...)` / `static_cast<void>(expr(...))` casts
                  that swallow a call result need an adjacent
                  `// lint: allow-discard` justification.
+  thread         Raw threading primitives (std::thread / std::async /
+                 std::mutex / std::condition_variable and friends) are
+                 banned everywhere except src/base/thread_pool.{h,cc}.
+                 All intra-op parallelism goes through ThreadPool so the
+                 static-partitioning determinism contract holds; ad-hoc
+                 threads would race it.
 
 Escape hatches: a finding on line N is suppressed when line N, N-1 or N-2
 contains `lint: allow-<rule>` (e.g. `// lint: allow-naked-new — arena`).
@@ -68,7 +74,23 @@ RULES = [
         re.compile(r"(\(void\)|static_cast<\s*void\s*>\s*\()\s*[A-Za-z_:][\w:.\->]*\s*\("),
         "discarded call result needs a `// lint: allow-discard` justification",
     ),
+    (
+        "thread",
+        NON_TEST + TESTS,
+        re.compile(
+            r"std::(thread|jthread|async|mutex|recursive_mutex|timed_mutex"
+            r"|shared_mutex|condition_variable|condition_variable_any)\b"
+        ),
+        "raw threading primitive (route parallelism through "
+        "base/thread_pool.h so determinism holds)",
+    ),
 ]
+
+# The one place threading primitives are allowed: the pool that wraps them.
+THREAD_RULE_EXEMPT = {
+    "src/base/thread_pool.h",
+    "src/base/thread_pool.cc",
+}
 
 PAIR_RULE = "fwd-bwd-pair"
 SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
@@ -154,6 +176,8 @@ def lint_file(root, rel_path):
     for rule, prefixes, pattern, message in RULES:
         if not rule_applies(prefixes, rel_path):
             continue
+        if rule == "thread" and rel_path in THREAD_RULE_EXEMPT:
+            continue
         for idx, code in enumerate(code_lines):
             if not pattern.search(code):
                 continue
@@ -225,6 +249,7 @@ def self_test():
         "naked-new": "src/bad_new.cc",
         "wallclock": "src/bad_wallclock.cc",
         "discard": "src/bad_discard.cc",
+        "thread": "src/bad_thread.cc",
         PAIR_RULE: "src/bad_unpaired_forward.cc",
     }
     failures = []

@@ -2,6 +2,7 @@
 // self-test asserts this file produces zero findings.
 // lint: allow-throw-file — exercising the file-level escape hatch.
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 
 namespace dhgcn {
@@ -18,6 +19,10 @@ void Run() {
   // lint: allow-wallclock — wall-clock time never reaches training state.
   auto t0 = std::chrono::steady_clock::now();
   (void)t0;
+  // lint: allow-thread — fixture exercising the thread-rule escape hatch.
+  static std::mutex escape_mu;
+  escape_mu.lock();
+  escape_mu.unlock();
 }
 
 class Tensor;

@@ -1,0 +1,8 @@
+// Fixture: raw threading primitive outside the pool (rule thread).
+#include <mutex>
+
+namespace dhgcn {
+
+std::mutex ad_hoc_mu;
+
+}  // namespace dhgcn
