@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "base/rng.h"
 #include "base/thread_pool.h"
 #include "core/dhgcn_model.h"
@@ -41,6 +43,101 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(25)->Arg(64)->Arg(128);
+
+// --- Blocked-GEMM ablation (recorded in BENCH_gemm.json) --------------------
+//
+// BM_GemmNaive runs the retained reference row kernel (the pre-blocking
+// implementation, still used for GemmHint::kSparse); BM_GemmBlocked runs
+// the packed cache-blocked micro-kernel through MatMul, pack time
+// included. Both single-threaded so the ratio isolates the kernel.
+
+void BM_GemmNaive(benchmark::State& state) {
+  ThreadPool::Get().SetThreads(1);
+  int64_t n = state.range(0);
+  Rng rng(22);
+  Tensor a = Tensor::RandomNormal({n, n}, rng);
+  Tensor b = Tensor::RandomNormal({n, n}, rng);
+  Tensor c = Tensor::Zeros({n, n});
+  for (auto _ : state) {
+    std::memset(c.data(), 0, static_cast<size_t>(c.numel()) * sizeof(float));
+    detail::GemmReferenceAccumulate(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  ThreadPool::Get().SetThreads(1);
+  int64_t n = state.range(0);
+  Rng rng(23);
+  Tensor a = Tensor::RandomNormal({n, n}, rng);
+  Tensor b = Tensor::RandomNormal({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+// Conv2d general-path lowering ablation: the original direct loop nest vs
+// the im2col + blocked-GEMM lowering, on the DHGCN temporal-conv shape
+// (9x1 kernel over (T, V) planes).
+
+Conv2dOptions TemporalConvOptions() {
+  Conv2dOptions options;
+  options.kernel_h = 9;
+  options.pad_h = 4;
+  return options;
+}
+
+void BM_Conv2dDirect(benchmark::State& state) {
+  Conv2d::SetUseIm2col(false);
+  Rng rng(24);
+  Conv2d conv(32, 32, TemporalConvOptions(), rng);
+  Tensor x = Tensor::RandomNormal({4, 32, 32, 25}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x));
+  }
+  Conv2d::SetUseIm2col(true);
+}
+BENCHMARK(BM_Conv2dDirect);
+
+void BM_Conv2dIm2col(benchmark::State& state) {
+  Conv2d::SetUseIm2col(true);
+  Rng rng(24);  // same seed: identical layer and input as BM_Conv2dDirect
+  Conv2d conv(32, 32, TemporalConvOptions(), rng);
+  Tensor x = Tensor::RandomNormal({4, 32, 32, 25}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x));
+  }
+}
+BENCHMARK(BM_Conv2dIm2col);
+
+void BM_Conv2dDirectBackward(benchmark::State& state) {
+  Conv2d::SetUseIm2col(false);
+  Rng rng(25);
+  Conv2d conv(32, 32, TemporalConvOptions(), rng);
+  Tensor x = Tensor::RandomNormal({4, 32, 32, 25}, rng);
+  Tensor g = Tensor::RandomNormal(conv.Forward(x).shape(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Backward(g));
+  }
+  Conv2d::SetUseIm2col(true);
+}
+BENCHMARK(BM_Conv2dDirectBackward);
+
+void BM_Conv2dIm2colBackward(benchmark::State& state) {
+  Conv2d::SetUseIm2col(true);
+  Rng rng(25);
+  Conv2d conv(32, 32, TemporalConvOptions(), rng);
+  Tensor x = Tensor::RandomNormal({4, 32, 32, 25}, rng);
+  Tensor g = Tensor::RandomNormal(conv.Forward(x).shape(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Backward(g));
+  }
+}
+BENCHMARK(BM_Conv2dIm2colBackward);
 
 void BM_Softmax(benchmark::State& state) {
   Rng rng(2);

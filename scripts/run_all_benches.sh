@@ -18,4 +18,8 @@ build/bench/bench_kernels 2>&1 | tee -a "$out"
 echo "===== thread sweep -> BENCH_threads.json ====="
 build/bench/bench_kernels --benchmark_filter='Threads' \
   --benchmark_format=json > BENCH_threads.json
-echo "wrote $out and BENCH_threads.json"
+echo "===== gemm/conv lowering ablation -> BENCH_gemm.json ====="
+build/bench/bench_kernels \
+  --benchmark_filter='Gemm(Naive|Blocked)|Conv2d(Direct|Im2col)' \
+  --benchmark_format=json > BENCH_gemm.json
+echo "wrote $out, BENCH_threads.json and BENCH_gemm.json"

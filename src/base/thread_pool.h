@@ -166,15 +166,22 @@ class ThreadPool {
   std::atomic<int64_t> remaining_chunks_{0};
 };
 
-/// Grain (units per chunk) targeting roughly 16k multiply-accumulates
+/// Grain (units per chunk) targeting `target_flops` multiply-accumulates
 /// per ParallelFor chunk, given the per-unit cost. Depends only on the
 /// workload shape — never on the pool size — so chunk boundaries stay
-/// thread-count-independent.
-inline int64_t GrainForFlops(int64_t flops_per_unit) {
-  constexpr int64_t kChunkFlops = 16384;
+/// thread-count-independent. Kernels with per-chunk setup cost (e.g. the
+/// blocked GEMM re-streaming its packed panels) pass a larger target
+/// than the 16k default below.
+inline int64_t GrainForFlopsTarget(int64_t flops_per_unit,
+                                   int64_t target_flops) {
   if (flops_per_unit < 1) flops_per_unit = 1;
-  int64_t grain = kChunkFlops / flops_per_unit;
+  int64_t grain = target_flops / flops_per_unit;
   return grain < 1 ? 1 : grain;
+}
+
+/// Default grain policy: roughly 16k multiply-accumulates per chunk.
+inline int64_t GrainForFlops(int64_t flops_per_unit) {
+  return GrainForFlopsTarget(flops_per_unit, 16384);
 }
 
 }  // namespace dhgcn

@@ -281,9 +281,11 @@ Tensor LearnableHyperedgeMix::BackwardImpl(const Tensor& grad_output,
   int64_t ne = left_.dim(1);
   int64_t rows = grad_output.numel() / v;
   Tensor g2d = grad_output.Reshape({rows, v});
-  // dP = dY L, where P = w .* Z.
+  // dP = dY L, where P = w .* Z. L is the scaled incidence matrix —
+  // mostly zeros — so hint the sparse row kernel instead of the dense
+  // blocked path (which would pack the zeros into panels).
   Tensor dp = NewTensor(ws, {rows, ne});  // (rows, E)
-  MatMulInto(g2d, left_, &dp);
+  MatMulInto(g2d, left_, &dp, /*accumulate=*/false, GemmHint::kSparse);
   // dw[e] += sum_r dP[r,e] Z[r,e];  dZ = w .* dP.
   const float* pz = cached_edge_features_.data();
   const float* pw = weights_.data();
@@ -299,9 +301,9 @@ Tensor LearnableHyperedgeMix::BackwardImpl(const Tensor& grad_output,
   for (int64_t r = 0; r < rows; ++r) {
     for (int64_t e = 0; e < ne; ++e) pdp[r * ne + e] *= pw[e];
   }
-  // dX = dZ R.
+  // dX = dZ R, with R the other incidence-sparse operator.
   Tensor dx = NewTensor(ws, {rows, v});  // (rows, V)
-  MatMulInto(dp, right_, &dx);
+  MatMulInto(dp, right_, &dx, /*accumulate=*/false, GemmHint::kSparse);
   return dx.Reshape(cached_input_shape_);
 }
 

@@ -6,6 +6,8 @@
 
 #include "base/check.h"
 #include "base/thread_pool.h"
+#include "tensor/gemm_kernel.h"
+#include "tensor/linalg.h"
 #include "tensor/workspace.h"
 
 namespace dhgcn {
@@ -16,28 +18,36 @@ Tensor PairwiseDistances(const Tensor& features, Workspace* ws) {
   Tensor dist = NewTensor(ws, {v, v});
   const float* px = features.data();
   float* pd = dist.data();
-  // Row-parallel over i. Element (i, j) — and its mirror (j, i) — is
-  // written exactly once, by the chunk owning row min(i, j), so chunks
-  // never race and each element's value comes from one serial double
-  // accumulation.
+  // GEMM formulation: dist(i, j) = sqrt(G_ii + G_jj - 2 G_ij) for the
+  // Gram matrix G = X X^T, so the O(v² f) work rides the blocked matmul
+  // kernel instead of a scalar difference loop. X^T is staged in the
+  // kernel scratch arena (no owning allocations). G is bitwise symmetric
+  // — G_ij and G_ji run the identical ascending-p accumulation with the
+  // factors swapped inside a commutative multiply — so the distance
+  // matrix stays exactly symmetric, and the diagonal is written as an
+  // exact zero rather than computed. max(., 0) guards the tiny negative
+  // residuals cancellation can leave for near-duplicate rows.
+  Workspace& scratch = detail::KernelOpScratch();
+  Tensor xt = scratch.Acquire({f, v});
+  detail::GemmPackTransposed(px, v, f, xt.data());
+  Tensor gram = scratch.Acquire({v, v});
+  MatMulInto(features, xt, &gram);
+  const float* pg = gram.data();
   ThreadPool::Get().ParallelFor(
-      0, v, GrainForFlops(v * f), [&](int64_t i0, int64_t i1) {
+      0, v, GrainForFlops(v), [&](int64_t i0, int64_t i1) {
         for (int64_t i = i0; i < i1; ++i) {
-          const float* xi = px + i * f;
-          pd[i * v + i] = 0.0f;  // arena buffers are uninitialized
-          for (int64_t j = i + 1; j < v; ++j) {
-            const float* xj = px + j * f;
-            double acc = 0.0;
-            for (int64_t d = 0; d < f; ++d) {
-              double diff = static_cast<double>(xi[d]) - xj[d];
-              acc += diff * diff;
-            }
-            float dd = static_cast<float>(std::sqrt(acc));
-            pd[i * v + j] = dd;
-            pd[j * v + i] = dd;
+          const double gii = pg[i * v + i];
+          float* drow = pd + i * v;
+          const float* grow = pg + i * v;
+          for (int64_t j = 0; j < v; ++j) {
+            const double g2 =
+                gii + pg[j * v + j] - 2.0 * static_cast<double>(grow[j]);
+            drow[j] = static_cast<float>(std::sqrt(std::max(g2, 0.0)));
           }
+          drow[i] = 0.0f;
         }
       });
+  scratch.Reset();
   return dist;
 }
 

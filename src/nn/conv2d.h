@@ -51,9 +51,25 @@ class Conv2d : public Layer {
   static int64_t OutputDim(int64_t in, int64_t kernel, int64_t stride,
                            int64_t pad, int64_t dilation);
 
+  /// Process-wide toggle between the im2col+GEMM lowering (default) and
+  /// the direct loop nest for the general (non-pointwise) path. The
+  /// direct path is retained as the equivalence/benchmark baseline; the
+  /// two differ numerically only within float-rounding tolerance.
+  static void SetUseIm2col(bool use);
+  static bool use_im2col();
+
  private:
   Tensor ForwardImpl(const Tensor& input, Workspace* ws);
   Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
+  /// General-path implementations: im2col lowers each batch onto the
+  /// blocked GEMM (scratch columns from detail::KernelOpScratch), direct
+  /// is the original seven-deep loop nest.
+  Tensor ForwardIm2col(const Tensor& input, Workspace* ws, int64_t oh,
+                       int64_t ow);
+  Tensor ForwardDirect(const Tensor& input, Workspace* ws, int64_t oh,
+                       int64_t ow);
+  Tensor BackwardIm2col(const Tensor& grad_output, Workspace* ws);
+  Tensor BackwardDirect(const Tensor& grad_output, Workspace* ws);
 
   /// 1x1/stride-1/unpadded convolutions (the channel mixers, which
   /// dominate the skeleton models) reduce to per-batch GEMMs.
@@ -69,6 +85,8 @@ class Conv2d : public Layer {
   Tensor bias_grad_;
 
   Tensor cached_input_;  // (N, C, H, W)
+
+  static bool use_im2col_;
 };
 
 }  // namespace dhgcn

@@ -1,0 +1,296 @@
+#include "tensor/gemm_kernel.h"
+
+#include <algorithm>
+
+namespace dhgcn {
+namespace detail {
+namespace {
+
+// The blocked loop nest below is compiled twice on x86 — once with the
+// build's baseline ISA and once (via the `target` attribute) with
+// AVX+FMA codegen, selected at runtime. `always_inline` forces the whole
+// nest, micro-kernel included, into each wrapper so it is re-vectorized
+// under that wrapper's target options; an out-of-line copy would silently
+// keep baseline codegen.
+#if defined(__GNUC__)
+#define DHGCN_GEMM_INLINE inline __attribute__((always_inline))
+#else
+#define DHGCN_GEMM_INLINE inline
+#endif
+
+// GNU vector extension for the accumulator tile. This is deliberate: the
+// auto-vectorizer alone refuses to register-allocate a kGemmMR x kGemmNR
+// float array (it spills the tile to the stack and the kernel runs at
+// scalar speed), while vector-typed values are register candidates like
+// any other scalar. The types lower to whatever the active target
+// provides — SSE pairs in baseline builds, ymm registers in the AVX+FMA
+// clone — so no ISA is hard-coded.
+#if defined(__GNUC__)
+#define DHGCN_GEMM_VECTOR_EXT 1
+// Vectors never cross a (non-inlined) function boundary — passing or
+// returning one from baseline-ISA code would change ABI (-Wpsabi).
+typedef float V8f __attribute__((vector_size(32), aligned(4), may_alias));
+#else
+#define DHGCN_GEMM_VECTOR_EXT 0
+#endif
+
+static_assert(kGemmNR == 16, "micro-kernels assume two 8-wide columns");
+
+#if DHGCN_GEMM_VECTOR_EXT
+// Full-panel register tile: kRows x kGemmNR accumulators held in vector
+// registers across the kc-deep reduction slice. `a` is unpacked
+// row-major with leading dimension `lda`; `bp` points at the packed
+// panel slice for this k block (kGemmNR floats per k step, 64-byte
+// aligned rows); `c` is row-major with leading dimension `ldc`. Each C
+// row's arithmetic is independent of the other rows in the tile, so the
+// per-element rounding sequence depends only on (k, n) — never on how
+// callers group rows into tiles or tasks.
+// The accumulators are NAMED variables, not an array: GCC's
+// scalar-replacement pass runs before loop unrolling, so a
+// variable-indexed acc[r][j] tile stays addressable and every FMA gets
+// bracketed by a stack spill/reload. Named vectors guarded by
+// `if constexpr` are plain register candidates.
+template <int kRows>
+DHGCN_GEMM_INLINE void MicroKernelTileFull(const float* a, int64_t lda,
+                                           const float* bp, int64_t kc,
+                                           float* c, int64_t ldc) {
+  V8f c00{}, c01{}, c10{}, c11{}, c20{}, c21{};
+  V8f c30{}, c31{}, c40{}, c41{}, c50{}, c51{};
+  for (int64_t p = 0; p < kc; ++p) {
+    const V8f* brow = reinterpret_cast<const V8f*>(bp + p * kGemmNR);
+    const V8f b0 = brow[0];
+    const V8f b1 = brow[1];
+    const float a0 = a[p];  // broadcast by scalar-vector mul
+    c00 += b0 * a0;
+    c01 += b1 * a0;
+    if constexpr (kRows > 1) {
+      const float a1 = a[lda + p];
+      c10 += b0 * a1;
+      c11 += b1 * a1;
+    }
+    if constexpr (kRows > 2) {
+      const float a2 = a[2 * lda + p];
+      c20 += b0 * a2;
+      c21 += b1 * a2;
+    }
+    if constexpr (kRows > 3) {
+      const float a3 = a[3 * lda + p];
+      c30 += b0 * a3;
+      c31 += b1 * a3;
+    }
+    if constexpr (kRows > 4) {
+      const float a4 = a[4 * lda + p];
+      c40 += b0 * a4;
+      c41 += b1 * a4;
+    }
+    if constexpr (kRows > 5) {
+      const float a5 = a[5 * lda + p];
+      c50 += b0 * a5;
+      c51 += b1 * a5;
+    }
+  }
+  // Explicit stores (a helper taking V8f parameters would re-raise the
+  // vector-ABI warning in baseline-ISA code).
+  V8f* crow = reinterpret_cast<V8f*>(c);
+  crow[0] += c00;
+  crow[1] += c01;
+  if constexpr (kRows > 1) {
+    crow = reinterpret_cast<V8f*>(c + ldc);
+    crow[0] += c10;
+    crow[1] += c11;
+  }
+  if constexpr (kRows > 2) {
+    crow = reinterpret_cast<V8f*>(c + 2 * ldc);
+    crow[0] += c20;
+    crow[1] += c21;
+  }
+  if constexpr (kRows > 3) {
+    crow = reinterpret_cast<V8f*>(c + 3 * ldc);
+    crow[0] += c30;
+    crow[1] += c31;
+  }
+  if constexpr (kRows > 4) {
+    crow = reinterpret_cast<V8f*>(c + 4 * ldc);
+    crow[0] += c40;
+    crow[1] += c41;
+  }
+  if constexpr (kRows > 5) {
+    crow = reinterpret_cast<V8f*>(c + 5 * ldc);
+    crow[0] += c50;
+    crow[1] += c51;
+  }
+}
+#endif
+
+// Partial-panel (and non-GNU fallback) tile: same loop structure with a
+// column guard on the stores. Only the final, zero-padded panel of a
+// product ever takes this path, so its (shape-pure) different rounding
+// costs nothing in throughput.
+template <int kRows>
+DHGCN_GEMM_INLINE void MicroKernelTileEdge(const float* a, int64_t lda,
+                                           const float* bp, int64_t kc,
+                                           float* c, int64_t ldc,
+                                           int64_t cols) {
+  float acc[kRows][kGemmNR] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* brow = bp + p * kGemmNR;
+    for (int r = 0; r < kRows; ++r) {
+      const float av = a[r * lda + p];
+      for (int64_t j = 0; j < kGemmNR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int r = 0; r < kRows; ++r) {
+    float* crow = c + r * ldc;
+    for (int64_t j = 0; j < cols; ++j) crow[j] += acc[r][j];
+  }
+}
+
+template <int kRows>
+DHGCN_GEMM_INLINE void MicroKernelTile(const float* a, int64_t lda,
+                                       const float* bp, int64_t kc, float* c,
+                                       int64_t ldc, int64_t cols) {
+#if DHGCN_GEMM_VECTOR_EXT
+  if (cols == kGemmNR) {
+    MicroKernelTileFull<kRows>(a, lda, bp, kc, c, ldc);
+    return;
+  }
+#endif
+  MicroKernelTileEdge<kRows>(a, lda, bp, kc, c, ldc, cols);
+}
+
+// Full blocked nest: k blocks outermost (one packed panel k-slice stays
+// L1-resident across the whole row sweep), then panels, then kGemmMR row
+// tiles. Every C element receives its k-block partials in ascending-k
+// order regardless of the panel/row iteration, so splitting m across
+// ParallelFor tasks cannot change any element's accumulation order.
+DHGCN_GEMM_INLINE void GemmBlockedImpl(const float* a, const float* bp,
+                                       float* c, int64_t m, int64_t k,
+                                       int64_t n) {
+  const int64_t panels = (n + kGemmNR - 1) / kGemmNR;
+  for (int64_t k0 = 0; k0 < k; k0 += kGemmKC) {
+    const int64_t kc = std::min(kGemmKC, k - k0);
+    for (int64_t panel = 0; panel < panels; ++panel) {
+      const int64_t j0 = panel * kGemmNR;
+      const int64_t cols = std::min(kGemmNR, n - j0);
+      const float* bpk = bp + (panel * k + k0) * kGemmNR;
+      for (int64_t i = 0; i < m; i += kGemmMR) {
+        const int64_t rows = std::min(kGemmMR, m - i);
+        const float* ai = a + i * k + k0;
+        float* ci = c + i * n + j0;
+        switch (rows) {
+          case 6:
+            MicroKernelTile<6>(ai, k, bpk, kc, ci, n, cols);
+            break;
+          case 5:
+            MicroKernelTile<5>(ai, k, bpk, kc, ci, n, cols);
+            break;
+          case 4:
+            MicroKernelTile<4>(ai, k, bpk, kc, ci, n, cols);
+            break;
+          case 3:
+            MicroKernelTile<3>(ai, k, bpk, kc, ci, n, cols);
+            break;
+          case 2:
+            MicroKernelTile<2>(ai, k, bpk, kc, ci, n, cols);
+            break;
+          default:
+            MicroKernelTile<1>(ai, k, bpk, kc, ci, n, cols);
+            break;
+        }
+      }
+    }
+  }
+}
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__) && \
+    !(defined(__AVX__) && defined(__FMA__))
+#define DHGCN_GEMM_DISPATCH 1
+#else
+#define DHGCN_GEMM_DISPATCH 0
+#endif
+
+#if DHGCN_GEMM_DISPATCH
+// Second compilation of the nest with AVX+FMA codegen for baseline-ISA
+// builds running on capable CPUs. Which clone runs is fixed per process
+// (and both are pure functions of shape), so the determinism contract —
+// bit-identical results across thread counts — is unaffected; only
+// cross-machine bit-compat varies, which was never promised (the
+// baseline build already lets the compiler contract a*b+c per ISA).
+__attribute__((target("avx,fma"))) void GemmBlockedAvxFma(const float* a,
+                                                          const float* bp,
+                                                          float* c, int64_t m,
+                                                          int64_t k,
+                                                          int64_t n) {
+  GemmBlockedImpl(a, bp, c, m, k, n);
+}
+
+// Resolved during static initialization (single-threaded), so tasks
+// calling the kernel never touch a function-local init guard.
+const bool kHaveAvxFma =
+    __builtin_cpu_supports("avx") && __builtin_cpu_supports("fma");
+#endif
+
+}  // namespace
+
+bool GemmUseBlocked(int64_t m, int64_t k, int64_t n) {
+  return m >= kGemmMR && n >= kGemmNR / 2 &&
+         m * k * n >= kGemmBlockedMinFlops;
+}
+
+int64_t GemmPackedBCount(int64_t k, int64_t n) {
+  return (n + kGemmNR - 1) / kGemmNR * kGemmNR * k;
+}
+
+void GemmPackB(const float* b, int64_t k, int64_t n, float* bp) {
+  const int64_t panels = (n + kGemmNR - 1) / kGemmNR;
+  for (int64_t panel = 0; panel < panels; ++panel) {
+    const int64_t j0 = panel * kGemmNR;
+    const int64_t cols = std::min(kGemmNR, n - j0);
+    float* dst = bp + panel * k * kGemmNR;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* src = b + p * n + j0;
+      float* out = dst + p * kGemmNR;
+      for (int64_t j = 0; j < cols; ++j) out[j] = src[j];
+      for (int64_t j = cols; j < kGemmNR; ++j) out[j] = 0.0f;
+    }
+  }
+}
+
+void GemmPackTransposed(const float* a, int64_t k, int64_t m, float* at) {
+  // Square tiles keep both the strided reads and the contiguous writes
+  // cache-resident; the write side (at) is the one the kernel streams.
+  constexpr int64_t kBlock = 32;
+  for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    const int64_t i1 = std::min(m, i0 + kBlock);
+    for (int64_t p0 = 0; p0 < k; p0 += kBlock) {
+      const int64_t p1 = std::min(k, p0 + kBlock);
+      for (int64_t i = i0; i < i1; ++i) {
+        for (int64_t p = p0; p < p1; ++p) at[i * k + p] = a[p * m + i];
+      }
+    }
+  }
+}
+
+void GemmBlockedPackedB(const float* a, const float* bp, float* c, int64_t m,
+                        int64_t k, int64_t n) {
+#if DHGCN_GEMM_DISPATCH
+  if (kHaveAvxFma) {
+    GemmBlockedAvxFma(a, bp, c, m, k, n);
+    return;
+  }
+#endif
+  GemmBlockedImpl(a, bp, c, m, k, n);
+}
+
+Workspace& GemmPackScratch() {
+  static Workspace scratch;
+  return scratch;
+}
+
+Workspace& KernelOpScratch() {
+  static Workspace scratch;
+  return scratch;
+}
+
+}  // namespace detail
+}  // namespace dhgcn

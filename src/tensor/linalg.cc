@@ -4,15 +4,36 @@
 
 #include "base/check.h"
 #include "base/thread_pool.h"
+#include "tensor/gemm_kernel.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
 namespace detail {
 
-// Inner kernel: C (M,N) += A (M,K) * B (K,N), all row-major raw pointers.
-// i-k-j loop order keeps the innermost scan contiguous in both B and C.
+// Dense row kernel: C (M,N) += A (M,K) * B (K,N), all row-major raw
+// pointers. i-k-j loop order keeps the innermost scan contiguous in both
+// B and C, and the body is branch-free so it vectorizes cleanly. Used
+// for shapes below the blocked-kernel threshold and for single rows.
 void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
                     int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// The original kernel, zero-skip included: the GemmHint::kSparse path
+// for incidence-style operands, and the reference the equivalence tests
+// measure the blocked kernel against. Per-element accumulation order is
+// identical to GemmAccumulate (the skip only elides exact-zero terms).
+void GemmReferenceAccumulate(const float* a, const float* b, float* c,
+                             int64_t m, int64_t k, int64_t n) {
   for (int64_t i = 0; i < m; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * n;
@@ -52,7 +73,9 @@ void GemmTransposedAAccumulate(const float* a, const float* b, float* c,
 }
 
 // C (M,N) = or += A (M,K) * B^T (for B (N,K)); each output element is a
-// contiguous dot product, accumulated in double.
+// contiguous dot product, accumulated in double. Deliberately not
+// routed through the blocked kernel: weight gradients and loss-path
+// reductions lean on the extra precision.
 void GemmTransposedB(const float* a, const float* b, float* c, int64_t m,
                      int64_t k, int64_t n, bool accumulate) {
   for (int64_t i = 0; i < m; ++i) {
@@ -80,16 +103,56 @@ namespace {
 using detail::GemmAccumulate;
 using detail::GemmTransposedAAccumulateCols;
 using detail::GemmTransposedB;
+using detail::kGemmMR;
 
 void ZeroFill(Tensor* out) {
   float* p = out->data();
   for (int64_t i = 0; i < out->numel(); ++i) p[i] = 0.0f;
 }
 
+// Blocked core: packs B into panels staged in the process-wide scratch
+// arena (zero owning allocations in steady state), then hands kGemmMR-row
+// blocks of C to the pool. Chunk boundaries fall on row-tile multiples —
+// a pure function of shape — and each C element's accumulation order is
+// fixed by (k, n) alone, so results are bit-identical for every thread
+// count. Must run on the driving thread (the pack scratch is not
+// task-safe), which ParallelFor's no-nesting rule already guarantees.
+void ParallelGemmBlocked(const float* a, const float* b, float* c, int64_t m,
+                         int64_t k, int64_t n) {
+  Workspace& scratch = detail::GemmPackScratch();
+  Tensor bp = scratch.Acquire({detail::GemmPackedBCount(k, n)});
+  float* pbp = bp.data();
+  detail::GemmPackB(b, k, n, pbp);
+  const int64_t row_blocks = (m + kGemmMR - 1) / kGemmMR;
+  ThreadPool::Get().ParallelFor(
+      0, row_blocks,
+      GrainForFlopsTarget(kGemmMR * k * n, detail::kGemmChunkFlops),
+      [&](int64_t b0, int64_t b1) {
+        const int64_t r0 = b0 * kGemmMR;
+        const int64_t r1 = std::min(m, b1 * kGemmMR);
+        detail::GemmBlockedPackedB(a + r0 * k, pbp, c + r0 * n, r1 - r0, k,
+                                   n);
+      });
+  scratch.Reset();
+}
+
 // Shared core of MatMul/MatMulInto: row chunks of the output are
 // disjoint, each computed by the exact serial kernel.
 void ParallelGemm(const float* a, const float* b, float* c, int64_t m,
-                  int64_t k, int64_t n) {
+                  int64_t k, int64_t n, GemmHint hint) {
+  if (hint == GemmHint::kSparse) {
+    // Zero-skipping row kernel; packing would densify the operand.
+    ThreadPool::Get().ParallelFor(
+        0, m, GrainForFlops(k * n), [&](int64_t r0, int64_t r1) {
+          detail::GemmReferenceAccumulate(a + r0 * k, b, c + r0 * n, r1 - r0,
+                                          k, n);
+        });
+    return;
+  }
+  if (detail::GemmUseBlocked(m, k, n)) {
+    ParallelGemmBlocked(a, b, c, m, k, n);
+    return;
+  }
   ThreadPool::Get().ParallelFor(
       0, m, GrainForFlops(k * n), [&](int64_t r0, int64_t r1) {
         GemmAccumulate(a + r0 * k, b, c + r0 * n, r1 - r0, k, n);
@@ -104,12 +167,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   DHGCN_CHECK_EQ(a.dim(1), b.dim(0));
   int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor out({m, n});
-  ParallelGemm(a.data(), b.data(), out.data(), m, k, n);
+  ParallelGemm(a.data(), b.data(), out.data(), m, k, n, GemmHint::kDense);
   return out;
 }
 
 void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out,
-                bool accumulate) {
+                bool accumulate, GemmHint hint) {
   DHGCN_CHECK(out != nullptr);
   DHGCN_CHECK_EQ(a.ndim(), 2);
   DHGCN_CHECK_EQ(b.ndim(), 2);
@@ -118,8 +181,8 @@ void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out,
   DHGCN_CHECK_EQ(out->dim(0), a.dim(0));
   DHGCN_CHECK_EQ(out->dim(1), b.dim(1));
   if (!accumulate) ZeroFill(out);
-  ParallelGemm(a.data(), b.data(), out->data(), a.dim(0), a.dim(1),
-               b.dim(1));
+  ParallelGemm(a.data(), b.data(), out->data(), a.dim(0), a.dim(1), b.dim(1),
+               hint);
 }
 
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
@@ -152,6 +215,31 @@ void BatchedMatMulInto(const Tensor& a, const Tensor& b, Tensor* out,
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out->data();
+  if (shared_b && detail::GemmUseBlocked(m, k, n)) {
+    // One packed copy of the broadcast B serves every batch. Work items
+    // are kGemmMR-row tiles of the flattened (batch * m) output; tiles
+    // never straddle a batch, so each maps to one plain blocked GEMM.
+    Workspace& scratch = detail::GemmPackScratch();
+    Tensor bpacked = scratch.Acquire({detail::GemmPackedBCount(k, n)});
+    float* pbp = bpacked.data();
+    detail::GemmPackB(pb, k, n, pbp);
+    const int64_t blocks_per_batch = (m + kGemmMR - 1) / kGemmMR;
+    ThreadPool::Get().ParallelFor(
+        0, batch * blocks_per_batch,
+        GrainForFlopsTarget(kGemmMR * k * n, detail::kGemmChunkFlops),
+        [&](int64_t t0, int64_t t1) {
+          for (int64_t t = t0; t < t1; ++t) {
+            const int64_t bi = t / blocks_per_batch;
+            const int64_t r0 = (t % blocks_per_batch) * kGemmMR;
+            const int64_t r1 = std::min(m, r0 + kGemmMR);
+            detail::GemmBlockedPackedB(pa + (bi * m + r0) * k, pbp,
+                                       pc + (bi * m + r0) * n, r1 - r0, k,
+                                       n);
+          }
+        });
+    scratch.Reset();
+    return;
+  }
   // Flattened (batch * m) output rows; row r of the flat view is row
   // r % m of batch r / m, so chunks never straddle operand layout.
   ThreadPool::Get().ParallelFor(
@@ -187,6 +275,29 @@ void MatMulTransposedAInto(const Tensor& a, const Tensor& b, Tensor* out,
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out->data();
+  if (detail::GemmUseBlocked(m, k, n)) {
+    // Transpose-pack A so the blocked kernel reads it with unit stride,
+    // then run the same row-tile split as the plain product.
+    Workspace& scratch = detail::GemmPackScratch();
+    Tensor at = scratch.Acquire({m, k});
+    Tensor bp = scratch.Acquire({detail::GemmPackedBCount(k, n)});
+    float* pat = at.data();
+    float* pbp = bp.data();
+    detail::GemmPackTransposed(pa, k, m, pat);
+    detail::GemmPackB(pb, k, n, pbp);
+    const int64_t row_blocks = (m + kGemmMR - 1) / kGemmMR;
+    ThreadPool::Get().ParallelFor(
+        0, row_blocks,
+        GrainForFlopsTarget(kGemmMR * k * n, detail::kGemmChunkFlops),
+        [&](int64_t b0, int64_t b1) {
+          const int64_t r0 = b0 * kGemmMR;
+          const int64_t r1 = std::min(m, b1 * kGemmMR);
+          detail::GemmBlockedPackedB(pat + r0 * k, pbp, pc + r0 * n, r1 - r0,
+                                     k, n);
+        });
+    scratch.Reset();
+    return;
+  }
   // Column chunks of the output are disjoint; every chunk scans all of
   // A, so grain targets the per-column work (k * m accumulations).
   ThreadPool::Get().ParallelFor(

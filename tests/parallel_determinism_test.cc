@@ -80,6 +80,25 @@ TEST(ParallelDeterminism, MatMulIntoWorkspace) {
   });
 }
 
+// Prime, tile-straddling shape large enough for the cache-blocked
+// kernel: row tasks never align with the kGemmMR x kGemmNR micro-tiles,
+// so any order-dependence in the blocked accumulation would show here.
+TEST(ParallelDeterminism, MatMulBlockedOddShape) {
+  Rng rng(220);
+  Tensor a = Tensor::RandomNormal({61, 67}, rng);
+  Tensor b = Tensor::RandomNormal({67, 53}, rng);
+  ExpectDeterministicAcrossThreadCounts("MatMul(61x67x53)",
+                                        [&] { return MatMul(a, b); });
+}
+
+TEST(ParallelDeterminism, BatchedMatMulSharedBBlocked) {
+  Rng rng(221);
+  Tensor a = Tensor::RandomNormal({3, 48, 32}, rng);
+  Tensor b = Tensor::RandomNormal({32, 40}, rng);
+  ExpectDeterministicAcrossThreadCounts(
+      "BatchedMatMul(blocked 2-D b)", [&] { return BatchedMatMul(a, b); });
+}
+
 TEST(ParallelDeterminism, BatchedMatMulPerBatch) {
   Rng rng(202);
   Tensor a = Tensor::RandomNormal({4, 40, 24}, rng);
@@ -160,6 +179,19 @@ TEST(ParallelDeterminism, Conv2dGeneral) {
   options.pad_h = 1;
   options.pad_w = 1;
   CheckConvDeterminism("Conv2d 3x3", options, 4, 6, {2, 4, 7, 6});
+}
+
+// Strided + dilated temporal conv, large enough that the im2col GEMM
+// takes the cache-blocked kernel; exercises the Col2Im scatter and the
+// per-batch packed-buffer reuse under every thread count.
+TEST(ParallelDeterminism, Conv2dStridedDilatedIm2col) {
+  Conv2dOptions options;
+  options.kernel_h = 9;
+  options.pad_h = 8;
+  options.dilation_h = 2;
+  options.stride_h = 2;
+  CheckConvDeterminism("Conv2d 9x1 s2 d2", options, 8, 12,
+                       {3, 8, 24, 25});
 }
 
 Tensor RunBatchNormOnce(bool training, Tensor* grad_input,

@@ -84,12 +84,35 @@ RULES = [
         "raw threading primitive (route parallelism through "
         "base/thread_pool.h so determinism holds)",
     ),
+    (
+        "simd",
+        NON_TEST + TESTS,
+        re.compile(
+            r"#\s*include\s*<\w*intrin\.h>"
+            r"|\b_mm\d*_\w+\s*\("
+            r"|__builtin_cpu_supports\b"
+            r"|__attribute__\s*\(\(\s*target\b"
+            r"|\bvector_size\s*\("
+            r"|#\s*pragma\s+(GCC\s+(ivdep|unroll|target)|omp\s+simd"
+            r"|clang\s+loop)"
+        ),
+        "SIMD intrinsics / ISA-specific codegen are confined to the "
+        "blocked GEMM kernel TU (src/tensor/gemm_kernel.*)",
+    ),
 ]
 
 # The one place threading primitives are allowed: the pool that wraps them.
 THREAD_RULE_EXEMPT = {
     "src/base/thread_pool.h",
     "src/base/thread_pool.cc",
+}
+
+# The one place ISA-specific codegen is allowed: the micro-kernel TU,
+# where the runtime-dispatch and register-tile idioms live. Everything
+# else must stay portable C++ and inherit vectorization through it.
+SIMD_RULE_EXEMPT = {
+    "src/tensor/gemm_kernel.h",
+    "src/tensor/gemm_kernel.cc",
 }
 
 PAIR_RULE = "fwd-bwd-pair"
@@ -178,6 +201,8 @@ def lint_file(root, rel_path):
             continue
         if rule == "thread" and rel_path in THREAD_RULE_EXEMPT:
             continue
+        if rule == "simd" and rel_path in SIMD_RULE_EXEMPT:
+            continue
         for idx, code in enumerate(code_lines):
             if not pattern.search(code):
                 continue
@@ -250,6 +275,7 @@ def self_test():
         "wallclock": "src/bad_wallclock.cc",
         "discard": "src/bad_discard.cc",
         "thread": "src/bad_thread.cc",
+        "simd": "src/bad_simd.cc",
         PAIR_RULE: "src/bad_unpaired_forward.cc",
     }
     failures = []

@@ -23,6 +23,9 @@ void Run() {
   static std::mutex escape_mu;
   escape_mu.lock();
   escape_mu.unlock();
+  // lint: allow-simd — fixture exercising the simd-rule escape hatch.
+  int supports_avx = __builtin_cpu_supports("avx");
+  if (supports_avx < 0) SideEffect();
 }
 
 class Tensor;

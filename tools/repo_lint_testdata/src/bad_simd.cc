@@ -1,0 +1,8 @@
+// Fixture: SIMD intrinsic outside the GEMM kernel TU (rule simd).
+namespace dhgcn {
+
+float FirstLane(const float* x) {
+  return _mm_cvtss_f32(_mm_loadu_ps(x));
+}
+
+}  // namespace dhgcn
