@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/alloc_stats.cc" "src/CMakeFiles/dhgcn.dir/base/alloc_stats.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/base/alloc_stats.cc.o.d"
+  "/root/repo/src/base/crc32.cc" "src/CMakeFiles/dhgcn.dir/base/crc32.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/base/crc32.cc.o.d"
+  "/root/repo/src/base/fault_injection.cc" "src/CMakeFiles/dhgcn.dir/base/fault_injection.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/base/fault_injection.cc.o.d"
+  "/root/repo/src/base/flags.cc" "src/CMakeFiles/dhgcn.dir/base/flags.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/base/flags.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/dhgcn.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/rng.cc" "src/CMakeFiles/dhgcn.dir/base/rng.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/base/rng.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/dhgcn.dir/base/status.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/base/status.cc.o.d"
+  "/root/repo/src/base/string_util.cc" "src/CMakeFiles/dhgcn.dir/base/string_util.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/base/string_util.cc.o.d"
+  "/root/repo/src/base/thread_pool.cc" "src/CMakeFiles/dhgcn.dir/base/thread_pool.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/base/thread_pool.cc.o.d"
+  "/root/repo/src/core/dhgcn_model.cc" "src/CMakeFiles/dhgcn.dir/core/dhgcn_model.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/core/dhgcn_model.cc.o.d"
+  "/root/repo/src/core/dhst_block.cc" "src/CMakeFiles/dhgcn.dir/core/dhst_block.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/core/dhst_block.cc.o.d"
+  "/root/repo/src/core/dynamic_joint_weight.cc" "src/CMakeFiles/dhgcn.dir/core/dynamic_joint_weight.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/core/dynamic_joint_weight.cc.o.d"
+  "/root/repo/src/core/dynamic_topology.cc" "src/CMakeFiles/dhgcn.dir/core/dynamic_topology.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/core/dynamic_topology.cc.o.d"
+  "/root/repo/src/core/static_hypergraph.cc" "src/CMakeFiles/dhgcn.dir/core/static_hypergraph.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/core/static_hypergraph.cc.o.d"
+  "/root/repo/src/core/two_stream.cc" "src/CMakeFiles/dhgcn.dir/core/two_stream.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/core/two_stream.cc.o.d"
+  "/root/repo/src/data/augmentations.cc" "src/CMakeFiles/dhgcn.dir/data/augmentations.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/data/augmentations.cc.o.d"
+  "/root/repo/src/data/csv_io.cc" "src/CMakeFiles/dhgcn.dir/data/csv_io.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/data/csv_io.cc.o.d"
+  "/root/repo/src/data/dataloader.cc" "src/CMakeFiles/dhgcn.dir/data/dataloader.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/data/dataloader.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/dhgcn.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/skeleton.cc" "src/CMakeFiles/dhgcn.dir/data/skeleton.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/data/skeleton.cc.o.d"
+  "/root/repo/src/data/synthetic_generator.cc" "src/CMakeFiles/dhgcn.dir/data/synthetic_generator.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/data/synthetic_generator.cc.o.d"
+  "/root/repo/src/data/transforms.cc" "src/CMakeFiles/dhgcn.dir/data/transforms.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/data/transforms.cc.o.d"
+  "/root/repo/src/data/validation.cc" "src/CMakeFiles/dhgcn.dir/data/validation.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/data/validation.cc.o.d"
+  "/root/repo/src/hypergraph/graph.cc" "src/CMakeFiles/dhgcn.dir/hypergraph/graph.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/hypergraph/graph.cc.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cc" "src/CMakeFiles/dhgcn.dir/hypergraph/hypergraph.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/hypergraph/hypergraph.cc.o.d"
+  "/root/repo/src/hypergraph/hypergraph_conv.cc" "src/CMakeFiles/dhgcn.dir/hypergraph/hypergraph_conv.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/hypergraph/hypergraph_conv.cc.o.d"
+  "/root/repo/src/hypergraph/kmeans.cc" "src/CMakeFiles/dhgcn.dir/hypergraph/kmeans.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/hypergraph/kmeans.cc.o.d"
+  "/root/repo/src/hypergraph/knn.cc" "src/CMakeFiles/dhgcn.dir/hypergraph/knn.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/hypergraph/knn.cc.o.d"
+  "/root/repo/src/io/serialization.cc" "src/CMakeFiles/dhgcn.dir/io/serialization.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/io/serialization.cc.o.d"
+  "/root/repo/src/models/agcn.cc" "src/CMakeFiles/dhgcn.dir/models/agcn.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/models/agcn.cc.o.d"
+  "/root/repo/src/models/ahgcn.cc" "src/CMakeFiles/dhgcn.dir/models/ahgcn.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/models/ahgcn.cc.o.d"
+  "/root/repo/src/models/model_zoo.cc" "src/CMakeFiles/dhgcn.dir/models/model_zoo.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/models/model_zoo.cc.o.d"
+  "/root/repo/src/models/pbgcn.cc" "src/CMakeFiles/dhgcn.dir/models/pbgcn.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/models/pbgcn.cc.o.d"
+  "/root/repo/src/models/st_common.cc" "src/CMakeFiles/dhgcn.dir/models/st_common.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/models/st_common.cc.o.d"
+  "/root/repo/src/models/stgcn.cc" "src/CMakeFiles/dhgcn.dir/models/stgcn.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/models/stgcn.cc.o.d"
+  "/root/repo/src/models/tcn_model.cc" "src/CMakeFiles/dhgcn.dir/models/tcn_model.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/models/tcn_model.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/CMakeFiles/dhgcn.dir/nn/batchnorm.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/nn/batchnorm.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/CMakeFiles/dhgcn.dir/nn/conv2d.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/nn/conv2d.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/dhgcn.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/initializer.cc" "src/CMakeFiles/dhgcn.dir/nn/initializer.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/nn/initializer.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/CMakeFiles/dhgcn.dir/nn/layer.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/nn/layer.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/dhgcn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/dhgcn.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/dhgcn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/CMakeFiles/dhgcn.dir/nn/pooling.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/nn/pooling.cc.o.d"
+  "/root/repo/src/nn/relu.cc" "src/CMakeFiles/dhgcn.dir/nn/relu.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/nn/relu.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/CMakeFiles/dhgcn.dir/nn/sequential.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/nn/sequential.cc.o.d"
+  "/root/repo/src/tensor/gemm_kernel.cc" "src/CMakeFiles/dhgcn.dir/tensor/gemm_kernel.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/tensor/gemm_kernel.cc.o.d"
+  "/root/repo/src/tensor/linalg.cc" "src/CMakeFiles/dhgcn.dir/tensor/linalg.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/tensor/linalg.cc.o.d"
+  "/root/repo/src/tensor/sparse.cc" "src/CMakeFiles/dhgcn.dir/tensor/sparse.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/tensor/sparse.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/dhgcn.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/tensor_ops.cc" "src/CMakeFiles/dhgcn.dir/tensor/tensor_ops.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/tensor/tensor_ops.cc.o.d"
+  "/root/repo/src/tensor/workspace.cc" "src/CMakeFiles/dhgcn.dir/tensor/workspace.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/tensor/workspace.cc.o.d"
+  "/root/repo/src/train/evaluator.cc" "src/CMakeFiles/dhgcn.dir/train/evaluator.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/train/evaluator.cc.o.d"
+  "/root/repo/src/train/experiment.cc" "src/CMakeFiles/dhgcn.dir/train/experiment.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/train/experiment.cc.o.d"
+  "/root/repo/src/train/guardrails.cc" "src/CMakeFiles/dhgcn.dir/train/guardrails.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/train/guardrails.cc.o.d"
+  "/root/repo/src/train/metrics.cc" "src/CMakeFiles/dhgcn.dir/train/metrics.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/train/metrics.cc.o.d"
+  "/root/repo/src/train/summary.cc" "src/CMakeFiles/dhgcn.dir/train/summary.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/train/summary.cc.o.d"
+  "/root/repo/src/train/table.cc" "src/CMakeFiles/dhgcn.dir/train/table.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/train/table.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/dhgcn.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/train/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

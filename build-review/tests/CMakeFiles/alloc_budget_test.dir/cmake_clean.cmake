@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_budget_test.dir/alloc_budget_test.cc.o"
+  "CMakeFiles/alloc_budget_test.dir/alloc_budget_test.cc.o.d"
+  "alloc_budget_test"
+  "alloc_budget_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augmentations_test.dir/augmentations_test.cc.o"
+  "CMakeFiles/augmentations_test.dir/augmentations_test.cc.o.d"
+  "augmentations_test"
+  "augmentations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augmentations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dhgcn_test.dir/core_dhgcn_test.cc.o"
+  "CMakeFiles/core_dhgcn_test.dir/core_dhgcn_test.cc.o.d"
+  "core_dhgcn_test"
+  "core_dhgcn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dhgcn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

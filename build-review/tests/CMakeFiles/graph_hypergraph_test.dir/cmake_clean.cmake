@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_hypergraph_test.dir/graph_hypergraph_test.cc.o"
+  "CMakeFiles/graph_hypergraph_test.dir/graph_hypergraph_test.cc.o.d"
+  "graph_hypergraph_test"
+  "graph_hypergraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_hypergraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardrails_test.dir/guardrails_test.cc.o"
+  "CMakeFiles/guardrails_test.dir/guardrails_test.cc.o.d"
+  "guardrails_test"
+  "guardrails_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardrails_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skeleton_data_test.dir/skeleton_data_test.cc.o"
+  "CMakeFiles/skeleton_data_test.dir/skeleton_data_test.cc.o.d"
+  "skeleton_data_test"
+  "skeleton_data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skeleton_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workspace_into_test.dir/workspace_into_test.cc.o"
+  "CMakeFiles/workspace_into_test.dir/workspace_into_test.cc.o.d"
+  "workspace_into_test"
+  "workspace_into_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workspace_into_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workspace_test.dir/workspace_test.cc.o"
+  "CMakeFiles/workspace_test.dir/workspace_test.cc.o.d"
+  "workspace_test"
+  "workspace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhgcn_dataset.dir/dhgcn_dataset.cc.o"
+  "CMakeFiles/dhgcn_dataset.dir/dhgcn_dataset.cc.o.d"
+  "dhgcn_dataset"
+  "dhgcn_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhgcn_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

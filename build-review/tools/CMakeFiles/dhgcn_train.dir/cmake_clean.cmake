@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhgcn_train.dir/dhgcn_train.cc.o"
+  "CMakeFiles/dhgcn_train.dir/dhgcn_train.cc.o.d"
+  "dhgcn_train"
+  "dhgcn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhgcn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

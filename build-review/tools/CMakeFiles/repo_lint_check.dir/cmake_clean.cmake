@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repo_lint_check"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/repo_lint_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
