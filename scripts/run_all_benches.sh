@@ -22,4 +22,14 @@ echo "===== gemm/conv lowering ablation -> BENCH_gemm.json ====="
 build/bench/bench_kernels \
   --benchmark_filter='Gemm(Naive|Blocked)|Conv2d(Direct|Im2col)' \
   --benchmark_format=json > BENCH_gemm.json
-echo "wrote $out, BENCH_threads.json and BENCH_gemm.json"
+echo "===== serving load test -> BENCH_serving.json ====="
+# Baseline / 4x-overload-with-faults / recovery phases; --strict makes
+# the overload contract (explicit sheds, bounded p99, ladder recovery)
+# a hard failure rather than a number to eyeball.
+build/tools/dhgcn_serve --config tiny --classes 5 --frames 16 \
+  --workers 2 --queue_capacity 32 --max_batch 8 \
+  --qps 150 --deadline_ms 50 --overload_factor 6 --duration_ms 1500 \
+  --fault_inject worker-stall:5:40 --poison_every 97 \
+  --bench_json BENCH_serving.json --strict \
+  2>&1 | tee -a "$out"
+echo "wrote $out, BENCH_threads.json, BENCH_gemm.json and BENCH_serving.json"

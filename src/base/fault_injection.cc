@@ -1,5 +1,9 @@
 #include "base/fault_injection.h"
 
+// lint: allow-thread-file — see the header: the registry is queried from
+// serving worker and client threads concurrently, so pass counting takes
+// an internal mutex (no parallel compute routes through here).
+
 #include <cstdlib>
 
 #include "base/logging.h"
@@ -17,9 +21,14 @@ Result<FaultSite> ParseSiteName(const std::string& name) {
   if (name == "write-fail") return FaultSite::kFileWrite;
   if (name == "truncate") return FaultSite::kCheckpointTruncate;
   if (name == "batch-nan") return FaultSite::kBatchNaN;
+  if (name == "queue-full") return FaultSite::kServeQueueFull;
+  if (name == "worker-stall") return FaultSite::kServeWorkerStall;
+  if (name == "deadline-miss") return FaultSite::kServeDeadlineMiss;
+  if (name == "poison-input") return FaultSite::kServePoisonInput;
   return Status::InvalidArgument(
       StrCat("unknown fault site '", name,
-             "' (grad-nan|grad-inf|write-fail|truncate|batch-nan)"));
+             "' (grad-nan|grad-inf|write-fail|truncate|batch-nan|"
+             "queue-full|worker-stall|deadline-miss|poison-input)"));
 }
 
 }  // namespace
@@ -36,6 +45,14 @@ std::string FaultSiteName(FaultSite site) {
       return "truncate";
     case FaultSite::kBatchNaN:
       return "batch-nan";
+    case FaultSite::kServeQueueFull:
+      return "queue-full";
+    case FaultSite::kServeWorkerStall:
+      return "worker-stall";
+    case FaultSite::kServeDeadlineMiss:
+      return "deadline-miss";
+    case FaultSite::kServePoisonInput:
+      return "poison-input";
     case FaultSite::kSiteCount:
       break;
   }
@@ -49,8 +66,9 @@ FaultInjection& FaultInjection::Get() {
 }
 
 void FaultInjection::Arm(FaultSite site, int64_t nth, int64_t payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   Site& s = sites_[Index(site)];
-  if (!s.armed) ++armed_count_;
+  if (!s.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
   s.armed = true;
   s.fire_at = nth < 1 ? 1 : nth;
   s.passes = 0;
@@ -58,23 +76,27 @@ void FaultInjection::Arm(FaultSite site, int64_t nth, int64_t payload) {
 }
 
 void FaultInjection::Disarm(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mu_);
   Site& s = sites_[Index(site)];
-  if (s.armed) --armed_count_;
+  if (s.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
   s.armed = false;
 }
 
 void FaultInjection::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   sites_ = {};
-  armed_count_ = 0;
+  armed_count_.store(0, std::memory_order_relaxed);
 }
 
 bool FaultInjection::ShouldFire(FaultSite site) {
-  if (armed_count_ == 0) return false;
+  // Fast path: nothing armed anywhere, skip the lock entirely.
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
   Site& s = sites_[Index(site)];
   if (!s.armed) return false;
   if (++s.passes < s.fire_at) return false;
   s.armed = false;
-  --armed_count_;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
   ++s.fires;
   DHGCN_LOG(kWarning) << "fault injection: firing '" << FaultSiteName(site)
                       << "' at pass " << s.passes;
@@ -82,10 +104,12 @@ bool FaultInjection::ShouldFire(FaultSite site) {
 }
 
 int64_t FaultInjection::payload(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return sites_[Index(site)].payload;
 }
 
 int64_t FaultInjection::fire_count(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return sites_[Index(site)].fires;
 }
 

@@ -24,6 +24,11 @@ enum class StatusCode : int {
   kUnimplemented = 6,
   kInternal = 7,
   kIOError = 8,
+  /// A per-request deadline expired before (or while) serving it.
+  kDeadlineExceeded = 9,
+  /// Load shedding: the admission queue rejected the request. Retry
+  /// later or against another replica; the request did no work.
+  kOverloaded = 10,
 };
 
 /// \brief Returns a human-readable name for a status code ("InvalidArgument").
@@ -79,6 +84,12 @@ class [[nodiscard]] Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return rep_ == nullptr; }
   [[nodiscard]] StatusCode code() const {
@@ -99,6 +110,10 @@ class [[nodiscard]] Status {
   }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
 
   /// "OK" or "<Code>: <message>".
   [[nodiscard]] std::string ToString() const;

@@ -13,12 +13,16 @@ std::string SampleValidationReport::ToString() const {
                 " out-of-range labels)");
 }
 
-bool SampleHasFiniteData(const SkeletonSample& sample) {
-  const float* p = sample.data.data();
-  for (int64_t i = 0; i < sample.data.numel(); ++i) {
+bool TensorHasFiniteValues(const Tensor& tensor) {
+  const float* p = tensor.data();
+  for (int64_t i = 0; i < tensor.numel(); ++i) {
     if (!std::isfinite(p[i])) return false;
   }
   return true;
+}
+
+bool SampleHasFiniteData(const SkeletonSample& sample) {
+  return TensorHasFiniteValues(sample.data);
 }
 
 bool SampleIsValid(const SkeletonSample& sample, int64_t num_classes) {

@@ -25,6 +25,11 @@ struct SampleValidationReport {
   std::string ToString() const;
 };
 
+/// True when every element of `tensor` is finite. The shared core of the
+/// ingest-quarantine rules, also used by the serving admission path so a
+/// NaN-poisoned request fails alone instead of poisoning its micro-batch.
+bool TensorHasFiniteValues(const Tensor& tensor);
+
 /// True when every coordinate of `sample.data` is finite.
 bool SampleHasFiniteData(const SkeletonSample& sample);
 

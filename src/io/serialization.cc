@@ -99,6 +99,11 @@ Result<Header> ReadHeader(std::istream& is) {
   }
   if (header.version >= kVersionV2) {
     DHGCN_ASSIGN_OR_RETURN(header.flags, ReadScalar<uint32_t>(is));
+    if ((header.flags & ~kFlagTrainerState) != 0) {
+      return Status::IOError(
+          StrCat("unknown header flags 0x", header.flags,
+                 " (corrupt file or newer format)"));
+    }
   }
   DHGCN_ASSIGN_OR_RETURN(header.entry_count, ReadScalar<uint64_t>(is));
   return header;
@@ -282,11 +287,23 @@ Result<Tensor> ReadTensor(std::istream& is) {
     return Status::IOError(StrCat("implausible tensor rank ", ndim));
   }
   Shape shape(ndim);
+  // Validate the element count with overflow-checked arithmetic BEFORE
+  // constructing the tensor: corrupt dimension fields (bit flips in v1
+  // files, or garbage that slips past framing) must produce an error,
+  // not a multi-terabyte allocation or a signed-overflow numel.
+  constexpr int64_t kMaxElements =
+      static_cast<int64_t>(kMaxBlockBytes / sizeof(float));
+  int64_t numel = 1;
   for (uint64_t d = 0; d < ndim; ++d) {
     DHGCN_ASSIGN_OR_RETURN(shape[d], ReadScalar<int64_t>(is));
     if (shape[d] < 0 || shape[d] > (1LL << 32)) {
       return Status::IOError(StrCat("implausible dimension ", shape[d]));
     }
+    if (shape[d] != 0 && numel > kMaxElements / shape[d]) {
+      return Status::IOError(
+          StrCat("implausible tensor size ", ShapeToString(shape)));
+    }
+    numel *= shape[d];
   }
   Tensor tensor(shape);
   DHGCN_RETURN_IF_ERROR(
@@ -352,7 +369,16 @@ Result<std::map<std::string, Tensor>> LoadParameterMap(
     return Status::IOError(StrCat("cannot open ", path));
   }
   DHGCN_ASSIGN_OR_RETURN(Header header, ReadHeader(is));
-  return ReadEntries(is, header);
+  DHGCN_ASSIGN_OR_RETURN(auto entries, ReadEntries(is, header));
+  if (header.version >= kVersionV2 &&
+      (header.flags & kFlagTrainerState) != 0) {
+    // The header promises a trainer-state trailer; verify it exists and
+    // CRC-checks even though the caller only wants weights. A flipped
+    // flags bit in a weights-only file fails here instead of being
+    // silently ignored.
+    DHGCN_RETURN_IF_ERROR(ReadBlock(is, "trainer-state").status());
+  }
+  return entries;
 }
 
 Status LoadParameters(const std::string& path, Layer& layer) {

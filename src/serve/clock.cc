@@ -1,0 +1,11 @@
+#include "serve/clock.h"
+
+namespace dhgcn {
+
+ServeClock* ServeClock::Real() {
+  // lint: allow-naked-new — leaky singleton, lives for the process lifetime.
+  static RealServeClock* clock = new RealServeClock();
+  return clock;
+}
+
+}  // namespace dhgcn

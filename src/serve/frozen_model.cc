@@ -1,0 +1,56 @@
+#include "serve/frozen_model.h"
+
+#include <utility>
+
+#include "base/string_util.h"
+#include "data/skeleton.h"
+#include "io/serialization.h"
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+FrozenModel::FrozenModel(std::unique_ptr<DhgcnModel> model,
+                         const DhgcnConfig& config, int64_t frames,
+                         int64_t num_joints)
+    : model_(std::move(model)),
+      config_(config),
+      frames_(frames),
+      num_joints_(num_joints) {}
+
+Result<std::unique_ptr<FrozenModel>> FrozenModel::Load(
+    const std::string& checkpoint_path, const DhgcnConfig& config,
+    int64_t frames) {
+  if (frames < 2) {
+    return Status::InvalidArgument(
+        StrCat("serving frames must be >= 2, got ", frames));
+  }
+  DHGCN_ASSIGN_OR_RETURN(std::unique_ptr<DhgcnModel> model,
+                         DhgcnModel::Make(config));
+  if (!checkpoint_path.empty()) {
+    DHGCN_RETURN_IF_ERROR(LoadParameters(checkpoint_path, *model));
+  }
+  model->SetTraining(false);
+  int64_t num_joints = GetSkeletonLayout(config.layout).num_joints;
+  return std::unique_ptr<FrozenModel>(
+      // lint: allow-naked-new — private ctor is unreachable by
+      // make_unique; the pointer lands in unique_ptr immediately.
+      new FrozenModel(std::move(model), config, frames, num_joints));
+}
+
+Status FrozenModel::ValidateClipShape(const Tensor& clip) const {
+  if (clip.ndim() != 3 || clip.dim(0) != config_.in_channels ||
+      clip.dim(1) != frames_ || clip.dim(2) != num_joints_) {
+    return Status::InvalidArgument(
+        StrCat("clip shape ", ShapeToString(clip.shape()),
+               " does not match the served model's (C, T, V) = (",
+               config_.in_channels, ", ", frames_, ", ", num_joints_,
+               ")"));
+  }
+  return Status::OK();
+}
+
+Tensor FrozenModel::Forward(const Tensor& batch, Workspace& ws) {
+  return LayerForward(*model_, batch, &ws);
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,61 @@
+#ifndef DHGCN_SERVE_LOAD_GENERATOR_H_
+#define DHGCN_SERVE_LOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "serve/server.h"
+
+namespace dhgcn {
+
+/// \brief Open-loop synthetic load for InferenceServer.
+///
+/// Arrivals are scheduled on a fixed wall-clock grid derived from `qps`
+/// and submitted regardless of how the server is keeping up — the
+/// open-loop property that makes overload visible as shed/expired
+/// counts instead of silently slowing the generator down.
+struct LoadGenOptions {
+  double qps = 200.0;
+  int64_t duration_ms = 1000;
+  /// Per-request relative deadline; 0 uses the server default.
+  int64_t deadline_ms = 0;
+  /// Poison every Nth clip with NaN (0 = never): exercises the
+  /// per-request quarantine under sustained load.
+  int64_t poison_every_n = 0;
+  /// Seed for the synthetic clips.
+  uint64_t seed = 42;
+};
+
+/// \brief Outcome of one load run.
+struct LoadGenReport {
+  int64_t offered = 0;        ///< requests the schedule called for
+  int64_t accepted = 0;       ///< Submit() returned OK
+  int64_t ok = 0;             ///< completed with OK
+  int64_t shed = 0;           ///< kOverloaded (at admission)
+  int64_t expired = 0;        ///< kDeadlineExceeded (any stage)
+  int64_t invalid = 0;        ///< kInvalidArgument (quarantined)
+  int64_t other_errors = 0;
+  double wall_seconds = 0.0;
+  double throughput_qps = 0.0;  ///< OK completions per wall second
+  double p50_ms = 0.0;          ///< over OK total latencies
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double mean_batch = 0.0;      ///< mean executed micro-batch size
+};
+
+/// Runs `options` against `server` and blocks until every in-flight
+/// request has completed. Thread-safe with other clients of the server.
+LoadGenReport RunLoad(InferenceServer& server, const LoadGenOptions& options);
+
+/// Renders `report` (plus a label and the server's post-run stats) as a
+/// JSON object string — one phase entry for BENCH_serving.json.
+std::string LoadGenReportJson(const std::string& label,
+                              const LoadGenReport& report,
+                              const ServeStats& stats,
+                              const HealthReport& health);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_SERVE_LOAD_GENERATOR_H_

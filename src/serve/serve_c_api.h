@@ -1,0 +1,83 @@
+#ifndef DHGCN_SERVE_SERVE_C_API_H_
+#define DHGCN_SERVE_SERVE_C_API_H_
+
+/// \file Stable flat-C ABI for the dhgcn inference server, so non-C++
+/// hosts (Python ctypes, Go cgo, a sidecar process) can embed serving
+/// without seeing any C++ type. All functions are thread-safe once the
+/// handle is open; every call returns immediately except
+/// `dhgcn_serve_infer`, which blocks until its request completes or is
+/// rejected. No exceptions cross this boundary.
+
+#include <stdint.h>  // NOLINT(modernize-deprecated-headers): C ABI
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/// Opaque server handle.
+typedef struct dhgcn_serve_server dhgcn_serve_server;
+
+/// Status codes mirrored from the C++ Status taxonomy.
+enum dhgcn_serve_status {
+  DHGCN_SERVE_OK = 0,
+  DHGCN_SERVE_INVALID_ARGUMENT = 1,  /* bad args or quarantined input */
+  DHGCN_SERVE_DEADLINE_EXCEEDED = 2, /* expired before or after compute */
+  DHGCN_SERVE_OVERLOADED = 3,        /* shed by admission control */
+  DHGCN_SERVE_UNAVAILABLE = 4,       /* server shutting down */
+  DHGCN_SERVE_INTERNAL = 5,          /* anything else; see last_error */
+};
+
+/// Health states mirrored from ServeHealth.
+enum dhgcn_serve_health {
+  DHGCN_SERVE_HEALTH_STARTING = 0,
+  DHGCN_SERVE_HEALTH_READY = 1,
+  DHGCN_SERVE_HEALTH_DEGRADED = 2,
+  DHGCN_SERVE_HEALTH_UNHEALTHY = 3,
+  DHGCN_SERVE_HEALTH_SHUTTING_DOWN = 4,
+};
+
+/// Opens a server. `checkpoint_path` may be NULL or "" to serve fresh
+/// weights. `config_name` is "tiny" | "small" | "paper"; `layout` is
+/// "ntu" | "kinetics". `workers`, `queue_capacity` and `max_batch`
+/// accept 0 for the built-in defaults. On failure returns NULL and, when
+/// `err_buf` is non-NULL, writes a NUL-terminated reason into it
+/// (truncated to `err_buf_len`).
+dhgcn_serve_server* dhgcn_serve_open(const char* checkpoint_path,
+                                     const char* config_name,
+                                     const char* layout,
+                                     int64_t num_classes, int64_t frames,
+                                     int64_t workers,
+                                     int64_t queue_capacity,
+                                     int64_t max_batch, char* err_buf,
+                                     int64_t err_buf_len);
+
+/// Elements of one input clip (channels * frames * joints).
+int64_t dhgcn_serve_clip_len(const dhgcn_serve_server* server);
+
+/// Number of output classes (= required `logits_len`).
+int64_t dhgcn_serve_num_classes(const dhgcn_serve_server* server);
+
+/// Blocking single-clip inference. `clip` holds `clip_len` floats in
+/// (C, T, V) order; `logits_out` receives `num_classes` floats on
+/// DHGCN_SERVE_OK. `deadline_ms <= 0` uses the server default. Rejections
+/// (overload, deadline, quarantine) come back as their status code with
+/// `logits_out` untouched.
+int dhgcn_serve_infer(dhgcn_serve_server* server, const float* clip,
+                      int64_t clip_len, int64_t deadline_ms,
+                      float* logits_out, int64_t logits_len);
+
+/// Current health state (dhgcn_serve_health).
+int dhgcn_serve_health_state(const dhgcn_serve_server* server);
+
+/// Human-readable detail for the most recent non-OK call on this handle.
+/// Valid until the next call on the handle from any thread; never NULL.
+const char* dhgcn_serve_last_error(const dhgcn_serve_server* server);
+
+/// Drains, stops the workers and frees the handle. NULL is a no-op.
+void dhgcn_serve_close(dhgcn_serve_server* server);
+
+#ifdef __cplusplus
+}  /* extern "C" */
+#endif
+
+#endif  // DHGCN_SERVE_SERVE_C_API_H_

@@ -81,6 +81,44 @@ TEST_F(FaultInjectionTest, ArmFromSpecRejectsGarbage) {
   EXPECT_FALSE(faults.ArmFromSpec("grad-nan:1:2:3").ok()); // too many fields
 }
 
+TEST_F(FaultInjectionTest, ServingSitesParseAndRoundTripNames) {
+  // Registry coverage for the serving sites added with src/serve.
+  FaultInjection& faults = FaultInjection::Get();
+  ASSERT_TRUE(faults
+                  .ArmFromSpec("queue-full:1,worker-stall:2:40,"
+                               "deadline-miss:3,poison-input:4")
+                  .ok());
+  EXPECT_TRUE(faults.any_armed());
+  EXPECT_EQ(faults.payload(FaultSite::kServeWorkerStall), 40);
+  EXPECT_EQ(FaultSiteName(FaultSite::kServeQueueFull), "queue-full");
+  EXPECT_EQ(FaultSiteName(FaultSite::kServeWorkerStall), "worker-stall");
+  EXPECT_EQ(FaultSiteName(FaultSite::kServeDeadlineMiss),
+            "deadline-miss");
+  EXPECT_EQ(FaultSiteName(FaultSite::kServePoisonInput), "poison-input");
+
+  EXPECT_TRUE(faults.ShouldFire(FaultSite::kServeQueueFull));
+  EXPECT_FALSE(faults.ShouldFire(FaultSite::kServeWorkerStall));
+  EXPECT_TRUE(faults.ShouldFire(FaultSite::kServeWorkerStall));
+  EXPECT_EQ(faults.fire_count(FaultSite::kServeQueueFull), 1);
+  faults.Reset();
+  EXPECT_FALSE(faults.any_armed());
+  EXPECT_EQ(faults.fire_count(FaultSite::kServeQueueFull), 0);
+}
+
+TEST_F(FaultInjectionTest, EverySiteHasANameAndSpecCoverage) {
+  // Guards against adding an enum value without wiring the name table
+  // or the spec parser: every site must round-trip through both.
+  FaultInjection& faults = FaultInjection::Get();
+  for (int s = 0; s < static_cast<int>(FaultSite::kSiteCount); ++s) {
+    FaultSite site = static_cast<FaultSite>(s);
+    std::string name = FaultSiteName(site);
+    EXPECT_NE(name, "?") << "site " << s << " has no name";
+    ASSERT_TRUE(faults.ArmFromSpec(name + ":1").ok())
+        << "site name " << name << " not accepted by ArmFromSpec";
+    EXPECT_TRUE(faults.ShouldFire(site)) << name;
+  }
+}
+
 TEST_F(FaultInjectionTest, WriteFailureLeavesPreviousCheckpointIntact) {
   Rng rng(1);
   Linear model(4, 4, rng);

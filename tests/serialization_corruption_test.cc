@@ -1,0 +1,235 @@
+// Checkpoint-corruption robustness: bit-flip and truncate a v2
+// checkpoint at every section boundary (magic, version, flags,
+// entry_count, and each block's length field / payload start / CRC).
+// Every corruption must come back as a descriptive error Status — never
+// an abort, a crash, or a huge allocation — and must leave the target
+// model untouched (validate-then-commit).
+
+#include "io/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/dhgcn_model.h"
+
+namespace dhgcn {
+namespace {
+
+DhgcnConfig TestConfig() {
+  return DhgcnConfig::Tiny(SkeletonLayoutType::kNtu25, /*num_classes=*/3);
+}
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+uint64_t ReadU64At(const std::string& bytes, size_t offset) {
+  uint64_t value = 0;
+  std::memcpy(&value, bytes.data() + offset, sizeof(value));
+  return value;
+}
+
+/// Section boundaries of a v2 file: header fields, then per block the
+/// length field, the payload start, and the trailing CRC.
+std::vector<size_t> SectionBoundaries(const std::string& bytes) {
+  std::vector<size_t> out = {0, 4, 8, 12};  // magic/version/flags/count
+  size_t offset = 20;                       // first block's length field
+  while (offset + 8 <= bytes.size()) {
+    out.push_back(offset);  // payload_len
+    uint64_t len = ReadU64At(bytes, offset);
+    if (offset + 8 + len + 4 > bytes.size()) break;  // malformed tail
+    out.push_back(offset + 8);            // payload start
+    out.push_back(offset + 8 + len);      // crc
+    offset += 8 + len + 4;
+  }
+  return out;
+}
+
+class SerializationCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("dhgcn_corruption_test.ckpt");
+    auto model = DhgcnModel::Make(TestConfig());
+    ASSERT_TRUE(model.ok());
+    model_ = model.MoveValue();
+    ASSERT_TRUE(SaveParameters(path_, *model_).ok());
+    bytes_ = ReadFileBytes(path_);
+    ASSERT_GT(bytes_.size(), 24u);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Loads `corrupt` into a fresh model; returns the load status.
+  Status LoadCorrupt(const std::string& corrupt) {
+    WriteFileBytes(path_, corrupt);
+    auto victim = DhgcnModel::Make(TestConfig());
+    EXPECT_TRUE(victim.ok());
+    return LoadParameters(path_, **victim);
+  }
+
+  std::string path_;
+  std::unique_ptr<DhgcnModel> model_;
+  std::string bytes_;
+};
+
+TEST_F(SerializationCorruptionTest, IntactFileRoundTrips) {
+  auto victim = DhgcnModel::Make(TestConfig());
+  ASSERT_TRUE(victim.ok());
+  EXPECT_TRUE(LoadParameters(path_, **victim).ok());
+}
+
+TEST_F(SerializationCorruptionTest, BitFlipAtEveryBoundaryIsRejected) {
+  std::vector<size_t> boundaries = SectionBoundaries(bytes_);
+  ASSERT_GE(boundaries.size(), 7u);  // header + at least one full block
+  for (size_t offset : boundaries) {
+    std::string corrupt = bytes_;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x01);
+    Status status = LoadCorrupt(corrupt);
+    EXPECT_FALSE(status.ok()) << "bit flip at offset " << offset
+                              << " was not detected";
+    EXPECT_FALSE(status.ToString().empty());
+  }
+}
+
+TEST_F(SerializationCorruptionTest, BitFlipInEveryPayloadIsCaughtByCrc) {
+  // Flip a byte in the middle of each block payload: framing stays
+  // intact, so only the CRC can catch it.
+  size_t offset = 20;
+  int blocks = 0;
+  while (offset + 8 <= bytes_.size()) {
+    uint64_t len = ReadU64At(bytes_, offset);
+    if (len == 0 || offset + 8 + len + 4 > bytes_.size()) break;
+    std::string corrupt = bytes_;
+    size_t mid = offset + 8 + len / 2;
+    corrupt[mid] = static_cast<char>(corrupt[mid] ^ 0x40);
+    Status status = LoadCorrupt(corrupt);
+    EXPECT_FALSE(status.ok())
+        << "payload flip in block at " << offset << " undetected";
+    EXPECT_NE(status.ToString().find("CRC"), std::string::npos)
+        << status.ToString();
+    offset += 8 + len + 4;
+    ++blocks;
+  }
+  EXPECT_GT(blocks, 1);
+}
+
+TEST_F(SerializationCorruptionTest, UnknownHeaderFlagBitsAreRejected) {
+  // Offset 8 is the v2 flags word; only bit 0 (trainer state) is
+  // defined. Any other bit means corruption or a newer format, and the
+  // loader must say so rather than guess.
+  std::string corrupt = bytes_;
+  corrupt[8] = static_cast<char>(corrupt[8] ^ 0x40);
+  Status status = LoadCorrupt(corrupt);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("flags"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(SerializationCorruptionTest, TruncationAtEveryBoundaryIsRejected) {
+  std::vector<size_t> cuts = SectionBoundaries(bytes_);
+  cuts.push_back(bytes_.size() - 1);  // torn final CRC
+  cuts.push_back(bytes_.size() / 2);  // mid-payload tear
+  for (size_t cut : cuts) {
+    Status status = LoadCorrupt(bytes_.substr(0, cut));
+    EXPECT_FALSE(status.ok())
+        << "truncation to " << cut << " bytes was not detected";
+  }
+}
+
+TEST_F(SerializationCorruptionTest, GarbageLengthFieldIsBounded) {
+  // Blow up the first block's length field: the reader must reject it as
+  // implausible instead of attempting a giant allocation.
+  std::string corrupt = bytes_;
+  uint64_t huge = 1ULL << 60;
+  std::memcpy(&corrupt[20], &huge, sizeof(huge));
+  Status status = LoadCorrupt(corrupt);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("implausible"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(SerializationCorruptionTest, CorruptLoadLeavesModelUntouched) {
+  // Validate-then-commit: a load that fails after parsing some entries
+  // must not have modified any parameter.
+  auto victim_result = DhgcnModel::Make(TestConfig());
+  ASSERT_TRUE(victim_result.ok());
+  std::unique_ptr<DhgcnModel> victim = victim_result.MoveValue();
+  std::vector<ParamRef> params = victim->Params();
+  std::vector<Tensor> before;
+  for (ParamRef& p : params) before.push_back(p.value->Clone());
+
+  // Corrupt the LAST block so earlier entries parse cleanly.
+  std::string corrupt = bytes_;
+  corrupt[corrupt.size() - 2] =
+      static_cast<char>(corrupt[corrupt.size() - 2] ^ 0x10);
+  WriteFileBytes(path_, corrupt);
+  ASSERT_FALSE(LoadParameters(path_, *victim).ok());
+
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Tensor& now = *params[i].value;
+    const Tensor& old = before[i];
+    ASSERT_EQ(now.numel(), old.numel());
+    for (int64_t j = 0; j < now.numel(); ++j) {
+      ASSERT_EQ(now.flat(j), old.flat(j))
+          << params[i].name << " changed by a failed load";
+    }
+  }
+}
+
+TEST_F(SerializationCorruptionTest, ReadTensorRejectsImplausibleDims) {
+  // Direct ReadTensor hardening: corrupt dimension fields must error out
+  // before any allocation, including products that overflow int64.
+  struct Case {
+    uint64_t ndim;
+    std::vector<int64_t> dims;
+  };
+  std::vector<Case> cases = {
+      {2, {1LL << 31, 1LL << 31}},          // product overflows
+      {1, {-4}},                            // negative
+      {1, {1LL << 40}},                     // single huge dim
+      {3, {1 << 20, 1 << 20, 1 << 20}},     // petabyte request
+      {17, {}},                             // implausible rank
+  };
+  for (const Case& c : cases) {
+    std::ostringstream os;
+    uint64_t ndim = c.ndim;
+    os.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (int64_t d : c.dims) {
+      os.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    std::istringstream is(os.str());
+    Result<Tensor> tensor = ReadTensor(is);
+    EXPECT_FALSE(tensor.ok()) << "ndim=" << c.ndim << " accepted";
+  }
+}
+
+TEST_F(SerializationCorruptionTest, EmptyAndForeignFilesAreRejected) {
+  EXPECT_FALSE(LoadCorrupt("").ok());
+  EXPECT_FALSE(LoadCorrupt("not a checkpoint at all").ok());
+  std::string wrong_magic = bytes_;
+  wrong_magic[0] = 'X';
+  Status status = LoadCorrupt(wrong_magic);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("magic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dhgcn

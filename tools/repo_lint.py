@@ -24,7 +24,14 @@ Rules (see DESIGN.md §7 for the rationale):
                  banned everywhere except src/base/thread_pool.{h,cc}.
                  All intra-op parallelism goes through ThreadPool so the
                  static-partitioning determinism contract holds; ad-hoc
-                 threads would race it.
+                 threads would race it. (The serving core carries
+                 file-level allows: its inter-request concurrency is the
+                 reviewed exception, see DESIGN.md §11.)
+  serve-wait     In src/serve/, unbounded blocking is banned: condition
+                 waits must be `wait_for`/`wait_until` (a bare `.wait(`
+                 can deadlock the serving loop forever) and queues must
+                 be bounded preallocated vectors, never std::queue /
+                 std::deque / std::list.
 
 Escape hatches: a finding on line N is suppressed when line N, N-1 or N-2
 contains `lint: allow-<rule>` (e.g. `// lint: allow-naked-new — arena`).
@@ -48,6 +55,7 @@ TESTS = ("tests/",)
 LIBRARY = ("src/",)
 LIBRARY_AND_TOOLS = ("src/", "tools/")
 NON_TEST = ("src/", "tools/", "bench/", "examples/")
+SERVING = ("src/serve/",)
 
 RULES = [
     (
@@ -83,6 +91,13 @@ RULES = [
         ),
         "raw threading primitive (route parallelism through "
         "base/thread_pool.h so determinism holds)",
+    ),
+    (
+        "serve-wait",
+        SERVING,
+        re.compile(r"\.wait\s*\(|std::(queue|deque|list)\b"),
+        "unbounded blocking in serving code: use wait_for/wait_until "
+        "with a deadline and bounded vector-backed queues",
     ),
     (
         "simd",
@@ -275,6 +290,7 @@ def self_test():
         "wallclock": "src/bad_wallclock.cc",
         "discard": "src/bad_discard.cc",
         "thread": "src/bad_thread.cc",
+        "serve-wait": "src/serve/bad_serve_wait.cc",
         "simd": "src/bad_simd.cc",
         PAIR_RULE: "src/bad_unpaired_forward.cc",
     }

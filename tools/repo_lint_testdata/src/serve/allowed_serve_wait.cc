@@ -1,0 +1,14 @@
+// Fixture: serve-wait violation justified by the adjacent escape hatch —
+// the self-test asserts this file produces zero findings.
+namespace dhgcn {
+
+struct FixtureEscapeCv {
+  void wait(int& lock);
+};
+
+void DrainForever(FixtureEscapeCv& cv, int& lock) {
+  // lint: allow-serve-wait — fixture exercising the escape hatch.
+  cv.wait(lock);
+}
+
+}  // namespace dhgcn

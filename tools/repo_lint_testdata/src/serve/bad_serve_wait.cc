@@ -1,0 +1,14 @@
+// Fixture: unbounded condition wait in serving code (rule serve-wait).
+namespace dhgcn {
+
+struct FixtureCv {
+  void wait(int& lock);
+  void wait_for(int& lock, long timeout_ns);
+};
+
+void ServeLoop(FixtureCv& cv, int& lock) {
+  cv.wait_for(lock, 50);  // bounded: allowed
+  cv.wait(lock);          // unbounded: the finding
+}
+
+}  // namespace dhgcn
