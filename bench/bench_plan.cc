@@ -1,0 +1,165 @@
+// Compiled execution-plan vs layer-by-layer inference benchmarks.
+//
+// Three paths over the same eval-mode model and input:
+//   Layerwise — virtual Layer dispatch, workspace arena reset per step.
+//   PlanUnfused — record-once replay: flat op list, pre-resolved slot
+//     offsets, zero per-step dispatch/allocation. Bit-identical output.
+//   PlanFused — the unfused plan plus Conv→BN folding and elementwise
+//     fusion (kBnAddRelu / kAddRelu): fewer ops, fewer memory sweeps.
+//     Output is rtol-equivalent (float re-association).
+//
+// The Capture benchmark prices the record+resolve step itself, which a
+// server amortizes over every request of one batch size.
+//
+//   ./bench_plan --benchmark_filter=Inference
+
+#include <utility>
+
+#include "benchmark/benchmark.h"
+
+#include "base/rng.h"
+#include "core/dhgcn_model.h"
+#include "nn/batchnorm.h"
+#include "nn/relu.h"
+#include "plan/fused_kernels.h"
+#include "plan/plan_builder.h"
+#include "plan/plan_runner.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "tensor/workspace.h"
+
+namespace dhgcn {
+namespace {
+
+DhgcnConfig BenchConfig() {
+  return DhgcnConfig::Small(SkeletonLayoutType::kKinetics18,
+                            /*num_classes=*/8);
+}
+
+Tensor MakeBenchInput(uint64_t seed = 3) {
+  Rng rng(seed);
+  return Tensor::RandomNormal({4, 3, 16, 18}, rng);
+}
+
+void BM_InferenceLayerwise(benchmark::State& state) {
+  DhgcnModel model(BenchConfig());
+  model.SetTraining(false);
+  Tensor x = MakeBenchInput();
+  Workspace ws;
+  for (auto _ : state) {
+    ws.Reset();
+    Tensor logits;
+    model.ForwardInto(x, ws, &logits);
+    benchmark::DoNotOptimize(logits);
+  }
+}
+BENCHMARK(BM_InferenceLayerwise)->Unit(benchmark::kMillisecond);
+
+void BM_InferencePlanUnfused(benchmark::State& state) {
+  DhgcnModel model(BenchConfig());
+  model.SetTraining(false);
+  Tensor x = MakeBenchInput();
+  PlanRunner runner(
+      BuildInferencePlan(model, x.shape(), PlanMode::kUnfused).ValueOrDie());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.Run(x));
+  }
+}
+BENCHMARK(BM_InferencePlanUnfused)->Unit(benchmark::kMillisecond);
+
+void BM_InferencePlanFused(benchmark::State& state) {
+  DhgcnModel model(BenchConfig());
+  model.SetTraining(false);
+  Tensor x = MakeBenchInput();
+  PlanRunner runner(
+      BuildInferencePlan(model, x.shape(), PlanMode::kFused).ValueOrDie());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.Run(x));
+  }
+}
+BENCHMARK(BM_InferencePlanFused)->Unit(benchmark::kMillisecond);
+
+// One-time cost of capture + fusion + offset resolution (no replay).
+void BM_CaptureAndResolve(benchmark::State& state) {
+  DhgcnModel model(BenchConfig());
+  model.SetTraining(false);
+  for (auto _ : state) {
+    ExecutionPlan plan =
+        BuildInferencePlan(model, {4, 3, 16, 18}, PlanMode::kFused)
+            .ValueOrDie();
+    benchmark::DoNotOptimize(plan.arena_bytes);
+  }
+}
+BENCHMARK(BM_CaptureAndResolve)->Unit(benchmark::kMicrosecond);
+
+// The residual BN tail in isolation: relu(bn(a) + r). End-to-end the
+// model is GEMM-dominated, so fusing this tail moves the total only a
+// few percent — these two benches price the tail itself, where the
+// three-sweep → one-sweep reduction is the whole story.
+void BM_ResidualTailUnfused(benchmark::State& state) {
+  Rng rng(11);
+  const Shape shape = {8, 64, 32, 25};
+  Tensor a = Tensor::RandomNormal(shape, rng);
+  Tensor r = Tensor::RandomNormal(shape, rng);
+  Tensor tmp = Tensor::Zeros(shape);
+  Tensor out = Tensor::Zeros(shape);
+  BatchNorm2d bn(/*channels=*/64);
+  bn.SetTraining(false);
+  for (auto _ : state) {
+    // Mirrors the unfused plan: kBatchNormEval, kAccumulate, kRelu.
+    bn.EvalPlan(a, &tmp);
+    AddInPlace(tmp, r);
+    ReLU::EvalPlan(tmp, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ResidualTailUnfused)->Unit(benchmark::kMicrosecond);
+
+void BM_ResidualTailFused(benchmark::State& state) {
+  Rng rng(11);
+  const Shape shape = {8, 64, 32, 25};
+  Tensor a = Tensor::RandomNormal(shape, rng);
+  Tensor r = Tensor::RandomNormal(shape, rng);
+  Tensor out = Tensor::Zeros(shape);
+  Tensor scale = Tensor::RandomUniform({64}, rng, 0.5f, 1.5f);
+  Tensor shift = Tensor::RandomNormal({64}, rng);
+  for (auto _ : state) {
+    BnAddReluKernel(scale, shift, a, r, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ResidualTailFused)->Unit(benchmark::kMicrosecond);
+
+// Batch-1 latency, the serving-relevant shape.
+void BM_InferenceBatch1Layerwise(benchmark::State& state) {
+  DhgcnModel model(BenchConfig());
+  model.SetTraining(false);
+  Rng rng(7);
+  Tensor one = Tensor::RandomNormal({1, 3, 16, 18}, rng);
+  Workspace ws;
+  for (auto _ : state) {
+    ws.Reset();
+    Tensor logits;
+    model.ForwardInto(one, ws, &logits);
+    benchmark::DoNotOptimize(logits);
+  }
+}
+BENCHMARK(BM_InferenceBatch1Layerwise)->Unit(benchmark::kMillisecond);
+
+void BM_InferenceBatch1PlanFused(benchmark::State& state) {
+  DhgcnModel model(BenchConfig());
+  model.SetTraining(false);
+  Rng rng(7);
+  Tensor one = Tensor::RandomNormal({1, 3, 16, 18}, rng);
+  PlanRunner runner(
+      BuildInferencePlan(model, one.shape(), PlanMode::kFused).ValueOrDie());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.Run(one));
+  }
+}
+BENCHMARK(BM_InferenceBatch1PlanFused)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dhgcn
+
+BENCHMARK_MAIN();

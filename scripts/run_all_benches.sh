@@ -32,4 +32,18 @@ build/tools/dhgcn_serve --config tiny --classes 5 --frames 16 \
   --fault_inject worker-stall:5:40 --poison_every 97 \
   --bench_json BENCH_serving.json --strict \
   2>&1 | tee -a "$out"
-echo "wrote $out, BENCH_threads.json, BENCH_gemm.json and BENCH_serving.json"
+echo "===== execution-plan vs layerwise -> BENCH_plan.json ====="
+# Layerwise / unfused-plan / fused-plan inference, the one-time
+# capture+resolve cost, and the residual-tail pair that isolates the
+# three-sweep -> one-sweep fusion win from the GEMM-dominated total.
+build/bench/bench_plan --benchmark_format=json > BENCH_plan.json
+echo "===== serving soak with compiled plans (--plan on) ====="
+# Same soak, replaying compiled per-batch-size plans inside the workers;
+# exercises the plan fallback + micro-batching contract end to end.
+build/tools/dhgcn_serve --config tiny --classes 5 --frames 16 \
+  --workers 2 --queue_capacity 32 --max_batch 8 \
+  --qps 150 --deadline_ms 50 --overload_factor 6 --duration_ms 1500 \
+  --fault_inject worker-stall:5:40 --poison_every 97 \
+  --plan on --strict \
+  2>&1 | tee -a "$out"
+echo "wrote $out, BENCH_threads.json, BENCH_gemm.json, BENCH_serving.json and BENCH_plan.json"

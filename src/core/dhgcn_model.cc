@@ -3,6 +3,7 @@
 #include "base/string_util.h"
 #include "core/dynamic_joint_weight.h"
 #include "core/static_hypergraph.h"
+#include "plan/plan_builder.h"
 #include "tensor/workspace.h"
 
 namespace dhgcn {
@@ -211,6 +212,51 @@ std::string DhgcnModel::name() const {
   return StrCat("DHGCN(blocks=", blocks_.size(),
                 ", kn=", config_.topology.kn, ", km=", config_.topology.km,
                 ")");
+}
+
+int64_t DhgcnModel::Record(PlanBuilder& builder, int64_t in) {
+  if (training()) return -1;
+  const Shape xs = builder.slot_shape(in);
+  if (xs.size() != 4 || xs[1] != config_.in_channels ||
+      xs[3] != GetSkeletonLayout(config_.layout).num_joints) {
+    return -1;
+  }
+
+  // Joint-weight operators from the raw input slot, re-strided as the
+  // blocks shrink the time axis — mirrors ForwardImpl exactly.
+  int64_t joint_ops = -1;
+  if (config_.enable_joint_weight) {
+    PlanOp op;
+    op.kind = PlanOpKind::kJointWeightOps;
+    op.in0 = in;
+    op.out = builder.AddSlot({xs[0], xs[2], xs[3], xs[3]});
+    op.hypergraph = &static_hypergraph_;
+    joint_ops = op.out;
+    builder.AddOp(std::move(op));
+  }
+
+  int64_t x = input_bn_->Record(builder, in);
+  if (x < 0) return -1;
+  for (auto& block : blocks_) {
+    x = block->Record(builder, x, joint_ops);
+    if (x < 0) return -1;
+    const int64_t stride = block->options().temporal_stride;
+    if (config_.enable_joint_weight && stride != 1) {
+      const Shape os = builder.slot_shape(joint_ops);
+      PlanOp op;
+      op.kind = PlanOpKind::kStrideOps;
+      op.in0 = joint_ops;
+      op.out = builder.AddSlot(
+          {os[0], (os[1] - 1) / stride + 1, os[2], os[3]});
+      op.stride = stride;
+      joint_ops = op.out;
+      builder.AddOp(std::move(op));
+    }
+  }
+  int64_t pooled = pool_.Record(builder, x);
+  if (pooled < 0) return -1;
+  if (dropout_ != nullptr) pooled = dropout_->Record(builder, pooled);
+  return classifier_->Record(builder, pooled);
 }
 
 }  // namespace dhgcn

@@ -71,6 +71,12 @@ class DhgcnModel : public Layer {
   void SetTraining(bool training) override;
   std::string name() const override;
 
+  /// Records the full inference forward (joint-weight operator
+  /// construction, input BN, block stack with operator re-striding,
+  /// pooling, identity dropout, classifier) into a plan. See
+  /// `CaptureInferencePlan` for the entry point.
+  int64_t Record(PlanBuilder& builder, int64_t in) override;
+
   const DhgcnConfig& config() const { return config_; }
   const Hypergraph& static_hypergraph() const { return static_hypergraph_; }
 

@@ -1,10 +1,47 @@
 #include "core/dhst_block.h"
 
+#include <utility>
+
 #include "base/check.h"
+#include "plan/plan_builder.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/workspace.h"
 
 namespace dhgcn {
+
+namespace {
+
+/// Records one DynamicVertexMix application with an explicit operator
+/// slot (plans bypass SetOperators).
+int64_t RecordDynamicMix(PlanBuilder& builder, const DynamicVertexMix* mix,
+                         int64_t in, int64_t ops) {
+  const Shape s = builder.slot_shape(in);
+  PlanOp op;
+  op.kind = PlanOpKind::kDynamicVertexMix;
+  op.in0 = in;
+  op.in1 = ops;
+  op.out = builder.AddSlot(s);
+  op.dyn_mix = mix;
+  int64_t out = op.out;
+  builder.AddOp(std::move(op));
+  return out;
+}
+
+/// Appends `slot` into the running branch sum (`*sum += slot`), or
+/// starts the sum when it is the first branch.
+void MergeBranch(PlanBuilder& builder, int64_t slot, int64_t* sum) {
+  if (*sum < 0) {
+    *sum = slot;
+    return;
+  }
+  PlanOp add;
+  add.kind = PlanOpKind::kAccumulate;
+  add.in0 = slot;
+  add.out = *sum;
+  builder.AddOp(std::move(add));
+}
+
+}  // namespace
 
 DhstBlock::DhstBlock(const DhstBlockOptions& options,
                      const Hypergraph& static_graph, Rng& rng)
@@ -69,6 +106,87 @@ DhstBlock::DhstBlock(const DhstBlockOptions& options,
 
 int64_t DhstBlock::OutputFrames(int64_t in_frames) const {
   return (in_frames - 1) / options_.temporal_stride + 1;
+}
+
+int64_t DhstBlock::Record(PlanBuilder& builder, int64_t x,
+                          int64_t joint_ops) {
+  if (training_) return -1;
+  const Shape xs = builder.slot_shape(x);
+  if (xs.size() != 4 || xs[1] != options_.in_channels) return -1;
+
+  // --- Spatial half: sum of the enabled branches. ---
+  int64_t branch_sum = -1;
+  if (options_.enable_static) {
+    int64_t t = static_theta_->Record(builder, x);
+    if (t < 0) return -1;
+    int64_t m = static_mix_->Record(builder, t);
+    if (m < 0) return -1;
+    MergeBranch(builder, m, &branch_sum);
+  }
+  if (options_.enable_joint_weight) {
+    if (joint_ops < 0) return -1;
+    const Shape os = builder.slot_shape(joint_ops);
+    if (os.size() != 4 || os[0] != xs[0] || os[1] != xs[2] ||
+        os[2] != xs[3] || os[3] != xs[3]) {
+      return -1;
+    }
+    int64_t t = weight_theta_->Record(builder, x);
+    if (t < 0) return -1;
+    MergeBranch(builder,
+                RecordDynamicMix(builder, weight_mix_.get(), t, joint_ops),
+                &branch_sum);
+  }
+  if (options_.enable_topology) {
+    int64_t mapped = topology_map_->Record(builder, x);
+    if (mapped < 0) return -1;
+    const Shape ms = builder.slot_shape(mapped);
+    PlanOp top;
+    top.kind = PlanOpKind::kTopologyOps;
+    top.in0 = mapped;
+    top.out = builder.AddSlot({ms[0], ms[2], ms[3], ms[3]});
+    top.topology = &options_.topology;
+    int64_t top_ops = top.out;
+    builder.AddOp(std::move(top));
+    MergeBranch(
+        builder,
+        RecordDynamicMix(builder, topology_mix_.get(), mapped, top_ops),
+        &branch_sum);
+  }
+  if (branch_sum < 0) return -1;
+
+  // Residual before BN (see header comment) so [BN, Accumulate, ReLU]
+  // stay adjacent for the fuser.
+  int64_t s_res = x;
+  if (spatial_residual_ != nullptr) {
+    s_res = spatial_residual_->Record(builder, x);
+    if (s_res < 0) return -1;
+  }
+  int64_t s_pre = spatial_bn_->Record(builder, branch_sum);
+  if (s_pre < 0) return -1;
+  PlanOp s_add;
+  s_add.kind = PlanOpKind::kAccumulate;
+  s_add.in0 = s_res;
+  s_add.out = s_pre;
+  builder.AddOp(std::move(s_add));
+  int64_t s = spatial_relu_.Record(builder, s_pre);
+  if (s < 0) return -1;
+
+  // --- Temporal half. ---
+  int64_t t_conv = temporal_conv_->Record(builder, s);
+  if (t_conv < 0) return -1;
+  int64_t t_res = s;
+  if (temporal_residual_ != nullptr) {
+    t_res = temporal_residual_->Record(builder, s);
+    if (t_res < 0) return -1;
+  }
+  int64_t t_pre = temporal_bn_->Record(builder, t_conv);
+  if (t_pre < 0) return -1;
+  PlanOp t_add;
+  t_add.kind = PlanOpKind::kAccumulate;
+  t_add.in0 = t_res;
+  t_add.out = t_pre;
+  builder.AddOp(std::move(t_add));
+  return temporal_relu_.Record(builder, t_pre);
 }
 
 Tensor DhstBlock::ForwardImpl(const Tensor& x, const Tensor& joint_ops,

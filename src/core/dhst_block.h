@@ -83,6 +83,16 @@ class DhstBlock {
   /// Output temporal length for an input length (tracks the TCN stride).
   int64_t OutputFrames(int64_t in_frames) const;
 
+  /// Records the block's inference computation; `x` is the activation
+  /// slot, `joint_ops` the (N, T, V, V) joint-weight operator slot at
+  /// this block's temporal resolution (-1 when the branch is disabled).
+  /// Returns the output slot or -1 when the block cannot record (e.g.
+  /// still in training mode). Residual convolutions are recorded before
+  /// the batch-norm so the [BN, Accumulate, ReLU] tail stays adjacent
+  /// for the elementwise fuser; every op is pure, so this reordering of
+  /// independent ops cannot change any computed value.
+  int64_t Record(PlanBuilder& builder, int64_t x, int64_t joint_ops);
+
  private:
   Tensor ForwardImpl(const Tensor& x, const Tensor& joint_ops, Workspace* ws);
   Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);

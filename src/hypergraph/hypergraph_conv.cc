@@ -4,6 +4,7 @@
 
 #include "base/check.h"
 #include "base/string_util.h"
+#include "plan/plan_builder.h"
 #include "tensor/linalg.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/workspace.h"
@@ -58,12 +59,20 @@ Tensor VertexMix::ForwardImpl(const Tensor& input, Workspace* ws) {
   DHGCN_CHECK_EQ(input.ndim(), 4);
   DHGCN_CHECK_EQ(input.dim(3), op_.dim(0));
   cached_input_ = input;
+  Tensor out = NewTensor(ws, input.shape());
+  MixPlan(input, &out);
+  return out;
+}
+
+void VertexMix::MixPlan(const Tensor& input, Tensor* out) const {
+  DHGCN_CHECK_EQ(input.ndim(), 4);
+  DHGCN_CHECK_EQ(input.dim(3), op_.dim(0));
+  DHGCN_CHECK(ShapesEqual(out->shape(), input.shape()));
   int64_t n = input.dim(0), c = input.dim(1), t = input.dim(2),
           v = input.dim(3);
-  Tensor out = NewTensor(ws, input.shape());
   const float* px = input.data();
   const float* pm = op_.data();
-  float* po = out.data();
+  float* po = out->data();
   int64_t rows = n * c * t;
   // Y_row[v'] = sum_u M[v',u] X_row[u]  ==  X_row * M^T.
   for (int64_t r = 0; r < rows; ++r) {
@@ -78,6 +87,18 @@ Tensor VertexMix::ForwardImpl(const Tensor& input, Workspace* ws) {
       orow[vi] = static_cast<float>(acc);
     }
   }
+}
+
+int64_t VertexMix::Record(PlanBuilder& builder, int64_t in) {
+  const Shape& s = builder.slot_shape(in);
+  if (s.size() != 4 || s[3] != op_.dim(0)) return -1;
+  PlanOp op;
+  op.kind = PlanOpKind::kVertexMix;
+  op.in0 = in;
+  op.out = builder.AddSlot(s);
+  op.mix = this;
+  int64_t out = op.out;
+  builder.AddOp(std::move(op));
   return out;
 }
 
@@ -146,17 +167,25 @@ void DynamicVertexMix::SetOperators(Tensor ops) {
 }
 
 Tensor DynamicVertexMix::ForwardImpl(const Tensor& input, Workspace* ws) {
-  DHGCN_CHECK_EQ(input.ndim(), 4);
   DHGCN_CHECK_GT(ops_.numel(), 0);  // SetOperators must precede Forward
+  Tensor out = NewTensor(ws, input.shape());
+  MixPlan(input, ops_, &out);
+  return out;
+}
+
+void DynamicVertexMix::MixPlan(const Tensor& input, const Tensor& ops,
+                               Tensor* out) const {
+  DHGCN_CHECK_EQ(input.ndim(), 4);
   int64_t n = input.dim(0), c = input.dim(1), t = input.dim(2),
           v = input.dim(3);
-  DHGCN_CHECK_EQ(ops_.dim(0), n);
-  DHGCN_CHECK_EQ(ops_.dim(1), t);
-  DHGCN_CHECK_EQ(ops_.dim(2), v);
-  Tensor out = NewTensor(ws, input.shape());
+  DHGCN_CHECK_EQ(ops.dim(0), n);
+  DHGCN_CHECK_EQ(ops.dim(1), t);
+  DHGCN_CHECK_EQ(ops.dim(2), v);
+  DHGCN_CHECK_EQ(ops.dim(3), v);
+  DHGCN_CHECK(ShapesEqual(out->shape(), input.shape()));
   const float* px = input.data();
-  const float* pops = ops_.data();
-  float* po = out.data();
+  const float* pops = ops.data();
+  float* po = out->data();
   for (int64_t b = 0; b < n; ++b) {
     for (int64_t tt = 0; tt < t; ++tt) {
       const float* m = pops + (b * t + tt) * v * v;
@@ -174,7 +203,6 @@ Tensor DynamicVertexMix::ForwardImpl(const Tensor& input, Workspace* ws) {
       }
     }
   }
-  return out;
 }
 
 Tensor DynamicVertexMix::BackwardImpl(const Tensor& grad_output, Workspace* ws) {

@@ -45,6 +45,12 @@ class VertexMix : public Layer {
                     Tensor* grad_input) override;
   std::vector<ParamRef> Params() override;
   std::string name() const override;
+  int64_t Record(PlanBuilder& builder, int64_t in) override;
+
+  /// Plan-replay entry: applies the (V, V) operator into the pre-shaped
+  /// `out` — the exact loop of the layer forward (bit-identical), minus
+  /// the autograd input cache.
+  void MixPlan(const Tensor& input, Tensor* out) const;
 
   const Tensor& op() const { return op_; }
   Tensor& mutable_op() { return op_; }
@@ -79,6 +85,13 @@ class DynamicVertexMix : public Layer {
   void BackwardInto(const Tensor& grad_output, Workspace& ws,
                     Tensor* grad_input) override;
   std::string name() const override { return "DynamicVertexMix"; }
+
+  /// Plan-replay entry: applies explicit per-frame operators `ops`
+  /// (N, T, V, V) to `input` (N, C, T, V) into the pre-shaped `out`.
+  /// The layer forward delegates here with its stashed `ops_`, so both
+  /// paths share one loop (bit-identical). Plans pass the operator slot
+  /// directly instead of going through `SetOperators`.
+  void MixPlan(const Tensor& input, const Tensor& ops, Tensor* out) const;
 
  private:
   Tensor ForwardImpl(const Tensor& input, Workspace* ws);

@@ -5,6 +5,7 @@
 #include "base/check.h"
 #include "base/string_util.h"
 #include "base/thread_pool.h"
+#include "plan/plan_builder.h"
 #include "tensor/workspace.h"
 
 namespace dhgcn {
@@ -103,27 +104,49 @@ Tensor BatchNorm2d::ForwardImpl(const Tensor& input, Workspace* ws) {
           }
         });
   } else {
-    const float* pgamma = gamma_.data();
-    const float* pbeta = beta_.data();
-    const float* prmean = running_mean_.data();
-    const float* prvar = running_var_.data();
-    ThreadPool::Get().ParallelFor(
-        0, channels_, GrainForFlops(v.n * v.spatial),
-        [&](int64_t c0, int64_t c1) {
-          for (int64_t c = c0; c < c1; ++c) {
-            float mean = prmean[c];
-            float inv_std = 1.0f / std::sqrt(prvar[c] + eps_);
-            float g = pgamma[c], bta = pbeta[c];
-            for (int64_t b = 0; b < v.n; ++b) {
-              const float* base = px + (b * v.c + c) * v.spatial;
-              float* obase = po + (b * v.c + c) * v.spatial;
-              for (int64_t s = 0; s < v.spatial; ++s) {
-                obase[s] = g * (base[s] - mean) * inv_std + bta;
-              }
+    EvalPlan(input, &out);
+  }
+  return out;
+}
+
+void BatchNorm2d::EvalPlan(const Tensor& input, Tensor* out) const {
+  NormView v = MakeView(input.shape());
+  DHGCN_CHECK_EQ(v.c, channels_);
+  DHGCN_CHECK(ShapesEqual(out->shape(), input.shape()));
+  const float* px = input.data();
+  float* po = out->data();
+  const float* pgamma = gamma_.data();
+  const float* pbeta = beta_.data();
+  const float* prmean = running_mean_.data();
+  const float* prvar = running_var_.data();
+  ThreadPool::Get().ParallelFor(
+      0, channels_, GrainForFlops(v.n * v.spatial),
+      [&](int64_t c0, int64_t c1) {
+        for (int64_t c = c0; c < c1; ++c) {
+          float mean = prmean[c];
+          float inv_std = 1.0f / std::sqrt(prvar[c] + eps_);
+          float g = pgamma[c], bta = pbeta[c];
+          for (int64_t b = 0; b < v.n; ++b) {
+            const float* base = px + (b * v.c + c) * v.spatial;
+            float* obase = po + (b * v.c + c) * v.spatial;
+            for (int64_t s = 0; s < v.spatial; ++s) {
+              obase[s] = g * (base[s] - mean) * inv_std + bta;
             }
           }
-        });
-  }
+        }
+      });
+}
+
+int64_t BatchNorm2d::Record(PlanBuilder& builder, int64_t in) {
+  const Shape& s = builder.slot_shape(in);
+  if (s.size() < 2 || s[1] != channels_) return -1;
+  PlanOp op;
+  op.kind = PlanOpKind::kBatchNormEval;
+  op.in0 = in;
+  op.out = builder.AddSlot(s);
+  op.bn = this;
+  int64_t out = op.out;
+  builder.AddOp(std::move(op));
   return out;
 }
 

@@ -26,11 +26,20 @@ class BatchNorm2d : public Layer {
                     Tensor* grad_input) override;
   std::vector<ParamRef> Params() override;
   std::string name() const override;
+  int64_t Record(PlanBuilder& builder, int64_t in) override;
+
+  /// Plan-replay entry: the eval-mode normalization (running statistics)
+  /// written into the pre-shaped `out` — the exact same kernel as the
+  /// layer's eval forward, bit-identical results. Does not touch the
+  /// autograd cache.
+  void EvalPlan(const Tensor& input, Tensor* out) const;
 
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
   Tensor& gamma() { return gamma_; }
   Tensor& beta() { return beta_; }
+  float eps() const { return eps_; }
+  int64_t channels() const { return channels_; }
 
  private:
   Tensor ForwardImpl(const Tensor& input, Workspace* ws);

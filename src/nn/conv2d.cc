@@ -5,6 +5,7 @@
 #include "base/string_util.h"
 #include "base/thread_pool.h"
 #include "nn/initializer.h"
+#include "plan/plan_builder.h"
 #include "tensor/gemm_kernel.h"
 #include "tensor/linalg.h"
 #include "tensor/tensor_ops.h"
@@ -154,82 +155,113 @@ Tensor Conv2d::ForwardImpl(const Tensor& input, Workspace* ws) {
   int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
   int64_t oh = OutputDim(h, o.kernel_h, o.stride_h, o.pad_h, o.dilation_h);
   int64_t ow = OutputDim(w, o.kernel_w, o.stride_w, o.pad_w, o.dilation_w);
-
-  if (IsPointwise()) {
-    const float* px = input.data();
-    const float* pw = weight_.data();
-    const float* pb = o.has_bias ? bias_.data() : nullptr;
-    int64_t plane = h * w;
-    if (detail::GemmUseBlocked(out_channels_, in_channels_, plane)) {
-      // out_b = bias ⊕ W x_b through the blocked kernel: pack each
-      // batch's (C_in, HW) activation once, then hand out kGemmMR
-      // out-channel tiles. Batches run serially (ascending), so chunk
-      // boundaries stay a pure function of shape.
-      Tensor out = NewTensor(ws, {n, out_channels_, oh, ow});
-      float* po = out.data();
-      Workspace& scratch = detail::KernelOpScratch();
-      Tensor xp =
-          scratch.Acquire({detail::GemmPackedBCount(in_channels_, plane)});
-      float* pxp = xp.data();
-      const int64_t row_blocks = (out_channels_ + kGemmMR - 1) / kGemmMR;
-      for (int64_t b = 0; b < n; ++b) {
-        detail::GemmPackB(px + b * in_channels_ * plane, in_channels_, plane,
-                          pxp);
-        float* pob = po + b * out_channels_ * plane;
-        ThreadPool::Get().ParallelFor(
-            0, row_blocks,
-            GrainForFlopsTarget(kGemmMR * in_channels_ * plane,
-                                detail::kGemmChunkFlops),
-            [&](int64_t t0, int64_t t1) {
-              const int64_t r0 = t0 * kGemmMR;
-              const int64_t r1 = std::min(out_channels_, t1 * kGemmMR);
-              BiasedBlockedRows(pw, pxp, pb, pob, r0, r1, in_channels_,
-                                plane);
-            });
-      }
-      scratch.Reset();
-      return out;
-    }
-    // out_b (C_out, HW) = W (C_out, C_in) x_b (C_in, HW), per batch.
-    // Parallel over the n * C_out output rows: each row is one serial
-    // Gemm row (ascending ic) plus its bias add, so the per-element
-    // accumulation order matches the serial per-batch Gemm.
-    Tensor out = NewZeroedTensor(ws, {n, out_channels_, oh, ow});
-    float* po = out.data();
-    ThreadPool::Get().ParallelFor(
-        0, n * out_channels_, GrainForFlops(in_channels_ * plane),
-        [&](int64_t r0, int64_t r1) {
-          for (int64_t r = r0; r < r1; ++r) {
-            int64_t b = r / out_channels_;
-            int64_t oc = r % out_channels_;
-            float* orow = po + r * plane;
-            detail::GemmAccumulate(pw + oc * in_channels_,
-                                   px + b * in_channels_ * plane, orow, 1,
-                                   in_channels_, plane);
-            if (pb != nullptr) {
-              float bias_v = pb[oc];
-              for (int64_t i = 0; i < plane; ++i) orow[i] += bias_v;
-            }
-          }
-        });
-    return out;
-  }
-
-  if (use_im2col_) return ForwardIm2col(input, ws, oh, ow);
-  return ForwardDirect(input, ws, oh, ow);
+  Tensor out = NewTensor(ws, {n, out_channels_, oh, ow});
+  RunForward(input, weight_.data(), o.has_bias ? bias_.data() : nullptr, oh,
+             ow, &out);
+  return out;
 }
 
-Tensor Conv2d::ForwardIm2col(const Tensor& input, Workspace* ws, int64_t oh,
-                             int64_t ow) {
+void Conv2d::ForwardPlan(const Tensor& input, const Tensor* weight,
+                         const Tensor* bias, Tensor* out) const {
+  DHGCN_CHECK(out != nullptr);
+  DHGCN_CHECK_EQ(input.ndim(), 4);
+  DHGCN_CHECK_EQ(input.dim(1), in_channels_);
+  const Conv2dOptions& o = options_;
+  int64_t oh = OutputDim(input.dim(2), o.kernel_h, o.stride_h, o.pad_h,
+                         o.dilation_h);
+  int64_t ow = OutputDim(input.dim(3), o.kernel_w, o.stride_w, o.pad_w,
+                         o.dilation_w);
+  DHGCN_CHECK(ShapesEqual(out->shape(),
+                          Shape{input.dim(0), out_channels_, oh, ow}));
+  const float* pw = weight != nullptr ? weight->data() : weight_.data();
+  const float* pb = nullptr;
+  if (bias != nullptr) {
+    pb = bias->data();
+  } else if (o.has_bias) {
+    pb = bias_.data();
+  }
+  RunForward(input, pw, pb, oh, ow, out);
+}
+
+void Conv2d::RunForward(const Tensor& input, const float* pw,
+                        const float* pb, int64_t oh, int64_t ow,
+                        Tensor* out) const {
+  if (IsPointwise()) {
+    RunPointwise(input, pw, pb, out);
+    return;
+  }
+  if (use_im2col_) {
+    RunIm2col(input, pw, pb, oh, ow, out);
+    return;
+  }
+  RunDirect(input, pw, pb, oh, ow, out);
+}
+
+void Conv2d::RunPointwise(const Tensor& input, const float* pw,
+                          const float* pb, Tensor* out) const {
+  const float* px = input.data();
+  int64_t n = input.dim(0);
+  int64_t plane = input.dim(2) * input.dim(3);
+  float* po = out->data();
+  if (detail::GemmUseBlocked(out_channels_, in_channels_, plane)) {
+    // out_b = bias ⊕ W x_b through the blocked kernel: pack each
+    // batch's (C_in, HW) activation once, then hand out kGemmMR
+    // out-channel tiles. Batches run serially (ascending), so chunk
+    // boundaries stay a pure function of shape.
+    Workspace& scratch = detail::KernelOpScratch();
+    Tensor xp =
+        scratch.Acquire({detail::GemmPackedBCount(in_channels_, plane)});
+    float* pxp = xp.data();
+    const int64_t row_blocks = (out_channels_ + kGemmMR - 1) / kGemmMR;
+    for (int64_t b = 0; b < n; ++b) {
+      detail::GemmPackB(px + b * in_channels_ * plane, in_channels_, plane,
+                        pxp);
+      float* pob = po + b * out_channels_ * plane;
+      ThreadPool::Get().ParallelFor(
+          0, row_blocks,
+          GrainForFlopsTarget(kGemmMR * in_channels_ * plane,
+                              detail::kGemmChunkFlops),
+          [&](int64_t t0, int64_t t1) {
+            const int64_t r0 = t0 * kGemmMR;
+            const int64_t r1 = std::min(out_channels_, t1 * kGemmMR);
+            BiasedBlockedRows(pw, pxp, pb, pob, r0, r1, in_channels_,
+                              plane);
+          });
+    }
+    scratch.Reset();
+    return;
+  }
+  // out_b (C_out, HW) = W (C_out, C_in) x_b (C_in, HW), per batch.
+  // Parallel over the n * C_out output rows: each row is zeroed, then
+  // one serial Gemm row (ascending ic) plus its bias add, so the
+  // per-element accumulation order matches the serial per-batch Gemm.
+  ThreadPool::Get().ParallelFor(
+      0, n * out_channels_, GrainForFlops(in_channels_ * plane),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          int64_t b = r / out_channels_;
+          int64_t oc = r % out_channels_;
+          float* orow = po + r * plane;
+          for (int64_t i = 0; i < plane; ++i) orow[i] = 0.0f;
+          detail::GemmAccumulate(pw + oc * in_channels_,
+                                 px + b * in_channels_ * plane, orow, 1,
+                                 in_channels_, plane);
+          if (pb != nullptr) {
+            float bias_v = pb[oc];
+            for (int64_t i = 0; i < plane; ++i) orow[i] += bias_v;
+          }
+        }
+      });
+}
+
+void Conv2d::RunIm2col(const Tensor& input, const float* pw, const float* pb,
+                       int64_t oh, int64_t ow, Tensor* out) const {
   const Conv2dOptions& o = options_;
   int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
   const int64_t out_plane = oh * ow;
   const int64_t ckk = in_channels_ * o.kernel_h * o.kernel_w;
-  Tensor out = NewTensor(ws, {n, out_channels_, oh, ow});
   const float* px = input.data();
-  const float* pw = weight_.data();  // (C_out, ckk) row-major
-  const float* pb = o.has_bias ? bias_.data() : nullptr;
-  float* po = out.data();
+  float* po = out->data();
   Workspace& scratch = detail::KernelOpScratch();
   Tensor col = scratch.Acquire({ckk, out_plane});
   Tensor colp = scratch.Acquire({detail::GemmPackedBCount(ckk, out_plane)});
@@ -252,18 +284,16 @@ Tensor Conv2d::ForwardIm2col(const Tensor& input, Workspace* ws, int64_t oh,
         });
   }
   scratch.Reset();
-  return out;
 }
 
-Tensor Conv2d::ForwardDirect(const Tensor& input, Workspace* ws, int64_t oh,
-                             int64_t ow) {
+void Conv2d::RunDirect(const Tensor& input, const float* pw,
+                       const float* pb, int64_t oh, int64_t ow,
+                       Tensor* out) const {
   const Conv2dOptions& o = options_;
   int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
-  Tensor out = NewTensor(ws, {n, out_channels_, oh, ow});
   const float* px = input.data();
-  const float* pw = weight_.data();
-  const float* pbias = o.has_bias ? bias_.data() : nullptr;
-  float* po = out.data();
+  const float* pbias = pb;
+  float* po = out->data();
   int64_t in_plane = h * w;
   int64_t out_plane = oh * ow;
   int64_t kernel_plane = o.kernel_h * o.kernel_w;
@@ -305,7 +335,6 @@ Tensor Conv2d::ForwardDirect(const Tensor& input, Workspace* ws, int64_t oh,
           }
         }
       });
-  return out;
 }
 
 Tensor Conv2d::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
@@ -612,6 +641,22 @@ std::vector<ParamRef> Conv2d::Params() {
 std::string Conv2d::name() const {
   return StrCat("Conv2d(", in_channels_, "->", out_channels_, ", ",
                 options_.kernel_h, "x", options_.kernel_w, ")");
+}
+
+int64_t Conv2d::Record(PlanBuilder& builder, int64_t in) {
+  const Shape& s = builder.slot_shape(in);
+  if (s.size() != 4 || s[1] != in_channels_) return -1;
+  const Conv2dOptions& o = options_;
+  int64_t oh = OutputDim(s[2], o.kernel_h, o.stride_h, o.pad_h, o.dilation_h);
+  int64_t ow = OutputDim(s[3], o.kernel_w, o.stride_w, o.pad_w, o.dilation_w);
+  PlanOp op;
+  op.kind = PlanOpKind::kConv2d;
+  op.in0 = in;
+  op.out = builder.AddSlot({s[0], out_channels_, oh, ow});
+  op.conv = this;
+  int64_t out = op.out;
+  builder.AddOp(std::move(op));
+  return out;
 }
 
 }  // namespace dhgcn

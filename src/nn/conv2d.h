@@ -42,10 +42,22 @@ class Conv2d : public Layer {
                     Tensor* grad_input) override;
   std::vector<ParamRef> Params() override;
   std::string name() const override;
+  int64_t Record(PlanBuilder& builder, int64_t in) override;
+
+  /// Plan-replay entry: convolves `input` into the pre-shaped `out`
+  /// through the exact same kernels as the layer path (bit-identical
+  /// results). `weight`/`bias` override the layer parameters when
+  /// non-null (BN-folded plans); a null `bias` falls back to the layer
+  /// bias, or no bias when the layer has none. Does not touch the
+  /// autograd cache.
+  void ForwardPlan(const Tensor& input, const Tensor* weight,
+                   const Tensor* bias, Tensor* out) const;
 
   int64_t in_channels() const { return in_channels_; }
   int64_t out_channels() const { return out_channels_; }
   const Conv2dOptions& options() const { return options_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
 
   /// Output length along one spatial axis for the given input length.
   static int64_t OutputDim(int64_t in, int64_t kernel, int64_t stride,
@@ -61,13 +73,20 @@ class Conv2d : public Layer {
  private:
   Tensor ForwardImpl(const Tensor& input, Workspace* ws);
   Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
-  /// General-path implementations: im2col lowers each batch onto the
-  /// blocked GEMM (scratch columns from detail::KernelOpScratch), direct
-  /// is the original seven-deep loop nest.
-  Tensor ForwardIm2col(const Tensor& input, Workspace* ws, int64_t oh,
-                       int64_t ow);
-  Tensor ForwardDirect(const Tensor& input, Workspace* ws, int64_t oh,
-                       int64_t ow);
+  /// Shared forward kernels: both the layer path and plan replay land
+  /// here, parameterized by raw weight/bias pointers and a pre-allocated
+  /// destination (every element of `out` is written). Im2col lowers each
+  /// batch onto the blocked GEMM (scratch columns from
+  /// detail::KernelOpScratch), direct is the original seven-deep loop
+  /// nest.
+  void RunForward(const Tensor& input, const float* pw, const float* pb,
+                  int64_t oh, int64_t ow, Tensor* out) const;
+  void RunPointwise(const Tensor& input, const float* pw, const float* pb,
+                    Tensor* out) const;
+  void RunIm2col(const Tensor& input, const float* pw, const float* pb,
+                 int64_t oh, int64_t ow, Tensor* out) const;
+  void RunDirect(const Tensor& input, const float* pw, const float* pb,
+                 int64_t oh, int64_t ow, Tensor* out) const;
   Tensor BackwardIm2col(const Tensor& grad_output, Workspace* ws);
   Tensor BackwardDirect(const Tensor& grad_output, Workspace* ws);
 

@@ -59,4 +59,12 @@ void Dropout::BackwardInto(const Tensor& grad_output, Workspace& ws,
 
 std::string Dropout::name() const { return StrCat("Dropout(", p_, ")"); }
 
+int64_t Dropout::Record(PlanBuilder& builder, int64_t in) {
+  // Inference dropout is the identity: pass the producer slot through
+  // without emitting an op, so the plan carries no trace of dropout (and
+  // replay cannot touch the RNG).
+  (void)builder;
+  return in;
+}
+
 }  // namespace dhgcn

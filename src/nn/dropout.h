@@ -21,6 +21,13 @@ class Dropout : public Layer {
                     Tensor* grad_input) override;
   std::string name() const override;
 
+  /// Eval-mode dropout is a true identity fast path: the forward returns
+  /// the input unchanged — no mask tensor, no allocation, and the RNG
+  /// stream is never advanced. Plan capture therefore records dropout as
+  /// a no-op (the input slot passes straight through), so inference
+  /// plans never touch the RNG.
+  int64_t Record(PlanBuilder& builder, int64_t in) override;
+
   float p() const { return p_; }
 
  private:

@@ -17,6 +17,12 @@ void Layer::BackwardInto(const Tensor& grad_output, Workspace& ws,
   *grad_input = Backward(grad_output);
 }
 
+int64_t Layer::Record(PlanBuilder& builder, int64_t in) {
+  (void)builder;
+  (void)in;
+  return -1;  // Not capturable; callers fall back to layer-by-layer.
+}
+
 void Layer::ZeroGrad() {
   for (ParamRef& p : Params()) {
     if (p.grad != nullptr) p.grad->Fill(0.0f);

@@ -9,6 +9,7 @@
 
 namespace dhgcn {
 
+class PlanBuilder;
 class Workspace;
 
 /// \brief A named parameter with its gradient accumulator.
@@ -61,6 +62,17 @@ class Layer {
   /// returned activation gradient may live in `ws`.
   virtual void BackwardInto(const Tensor& grad_output, Workspace& ws,
                             Tensor* grad_input);
+
+  /// Records this layer's inference computation into an execution plan
+  /// (see src/plan/). `in` is the plan slot holding the layer input;
+  /// the return value is the slot holding the layer output (which may
+  /// equal `in` for identity passes such as eval-mode Dropout). Shapes
+  /// are propagated at record time — no sample batch is run. Returns -1
+  /// when the layer does not support plan capture, in which case the
+  /// caller falls back to the layer-by-layer path. Capture is
+  /// inference-only: implementations record their eval behaviour and
+  /// must be invoked with `training() == false`.
+  virtual int64_t Record(PlanBuilder& builder, int64_t in);
 
   /// All persistent state: learnable parameters plus non-trainable
   /// buffers (see ParamRef::trainable). References remain valid while

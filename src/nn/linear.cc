@@ -2,6 +2,7 @@
 
 #include "base/string_util.h"
 #include "nn/initializer.h"
+#include "plan/plan_builder.h"
 #include "tensor/linalg.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/workspace.h"
@@ -27,22 +28,55 @@ Tensor Linear::ForwardImpl(const Tensor& input, Workspace* ws) {
   cached_input_shape_ = input.shape();
   Tensor x2d = input.Reshape({-1, in_features_});
   cached_input_2d_ = x2d;
-  // y = x W^T: (rows,in) x (out,in)^T -> (rows,out)
   Tensor y = NewTensor(ws, {x2d.dim(0), out_features_});
-  MatMulTransposedBInto(x2d, weight_, &y);
-  if (has_bias_) {
-    float* py = y.data();
-    const float* pb = bias_.data();
-    int64_t rows = y.dim(0);
+  RunLinear(x2d, weight_, has_bias_ ? bias_.data() : nullptr, &y);
+  Shape out_shape = cached_input_shape_;
+  out_shape.back() = out_features_;
+  return y.Reshape(std::move(out_shape));
+}
+
+void Linear::RunLinear(const Tensor& x2d, const Tensor& w, const float* pb,
+                       Tensor* y) const {
+  // y = x W^T: (rows,in) x (out,in)^T -> (rows,out)
+  MatMulTransposedBInto(x2d, w, y);
+  if (pb != nullptr) {
+    float* py = y->data();
+    int64_t rows = y->dim(0);
     for (int64_t r = 0; r < rows; ++r) {
       for (int64_t c = 0; c < out_features_; ++c) {
         py[r * out_features_ + c] += pb[c];
       }
     }
   }
-  Shape out_shape = cached_input_shape_;
-  out_shape.back() = out_features_;
-  return y.Reshape(std::move(out_shape));
+}
+
+void Linear::ForwardPlan(const Tensor& input, const Tensor* weight,
+                         const Tensor* bias, Tensor* out) const {
+  DHGCN_CHECK(out != nullptr);
+  DHGCN_CHECK_EQ(input.ndim(), 2);
+  DHGCN_CHECK_EQ(input.dim(1), in_features_);
+  DHGCN_CHECK(ShapesEqual(out->shape(), Shape{input.dim(0), out_features_}));
+  const Tensor& w = weight != nullptr ? *weight : weight_;
+  const float* pb = nullptr;
+  if (bias != nullptr) {
+    pb = bias->data();
+  } else if (has_bias_) {
+    pb = bias_.data();
+  }
+  RunLinear(input, w, pb, out);
+}
+
+int64_t Linear::Record(PlanBuilder& builder, int64_t in) {
+  const Shape& s = builder.slot_shape(in);
+  if (s.size() != 2 || s[1] != in_features_) return -1;
+  PlanOp op;
+  op.kind = PlanOpKind::kLinear;
+  op.in0 = in;
+  op.out = builder.AddSlot({s[0], out_features_});
+  op.linear = this;
+  int64_t out = op.out;
+  builder.AddOp(std::move(op));
+  return out;
 }
 
 Tensor Linear::BackwardImpl(const Tensor& grad_output, Workspace* ws) {

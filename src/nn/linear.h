@@ -27,10 +27,27 @@ class Linear : public Layer {
   std::vector<ParamRef> Params() override;
   std::string name() const override;
 
+  /// Plan capture; restricted to 2-D slots (the classifier position in
+  /// the model — higher-rank inputs need the reshape dance of the layer
+  /// path, which a static plan does not model).
+  int64_t Record(PlanBuilder& builder, int64_t in) override;
+
+  /// Plan-replay entry: y = x W^T + b for 2-D `input` into the
+  /// pre-shaped `out`, through the exact same kernel as the layer path
+  /// (bit-identical results). `weight`/`bias` override the layer
+  /// parameters when non-null (BN-folded plans); a null `bias` falls
+  /// back to the layer bias, or no bias when the layer has none. Does
+  /// not touch the autograd cache.
+  void ForwardPlan(const Tensor& input, const Tensor* weight,
+                   const Tensor* bias, Tensor* out) const;
+
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
+  bool has_bias() const { return has_bias_; }
   Tensor& weight() { return weight_; }
   Tensor& bias() { return bias_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
 
  private:
   // Shared kernels behind both execution modes: `ws == nullptr` runs on
@@ -38,6 +55,10 @@ class Linear : public Layer {
   // path keeps the two modes bit-identical.
   Tensor ForwardImpl(const Tensor& input, Workspace* ws);
   Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
+  /// y = x2d w^T (+ bias row-broadcast) into the pre-shaped 2-D `y`;
+  /// both forward paths land here.
+  void RunLinear(const Tensor& x2d, const Tensor& w, const float* pb,
+                 Tensor* y) const;
 
   int64_t in_features_;
   int64_t out_features_;

@@ -2,6 +2,7 @@
 
 #include "base/check.h"
 #include "base/string_util.h"
+#include "plan/plan_builder.h"
 #include "tensor/workspace.h"
 
 namespace dhgcn {
@@ -9,11 +10,18 @@ namespace dhgcn {
 Tensor GlobalAvgPool2d::ForwardImpl(const Tensor& input, Workspace* ws) {
   DHGCN_CHECK_EQ(input.ndim(), 4);
   cached_input_shape_ = input.shape();
+  Tensor out = NewTensor(ws, {input.dim(0), input.dim(1)});
+  EvalPlan(input, &out);
+  return out;
+}
+
+void GlobalAvgPool2d::EvalPlan(const Tensor& input, Tensor* out) const {
+  DHGCN_CHECK_EQ(input.ndim(), 4);
   int64_t n = input.dim(0), c = input.dim(1);
   int64_t spatial = input.dim(2) * input.dim(3);
-  Tensor out = NewTensor(ws, {n, c});
+  DHGCN_CHECK(ShapesEqual(out->shape(), Shape{n, c}));
   const float* px = input.data();
-  float* po = out.data();
+  float* po = out->data();
   for (int64_t b = 0; b < n; ++b) {
     for (int64_t ch = 0; ch < c; ++ch) {
       const float* base = px + (b * c + ch) * spatial;
@@ -22,6 +30,18 @@ Tensor GlobalAvgPool2d::ForwardImpl(const Tensor& input, Workspace* ws) {
       po[b * c + ch] = static_cast<float>(sum / static_cast<double>(spatial));
     }
   }
+}
+
+int64_t GlobalAvgPool2d::Record(PlanBuilder& builder, int64_t in) {
+  const Shape& s = builder.slot_shape(in);
+  if (s.size() != 4) return -1;
+  PlanOp op;
+  op.kind = PlanOpKind::kGlobalAvgPool;
+  op.in0 = in;
+  op.out = builder.AddSlot({s[0], s[1]});
+  op.pool = this;
+  int64_t out = op.out;
+  builder.AddOp(std::move(op));
   return out;
 }
 

@@ -19,6 +19,12 @@ class GlobalAvgPool2d : public Layer {
   void BackwardInto(const Tensor& grad_output, Workspace& ws,
                     Tensor* grad_input) override;
   std::string name() const override { return "GlobalAvgPool2d"; }
+  int64_t Record(PlanBuilder& builder, int64_t in) override;
+
+  /// Plan-replay entry: mean over the spatial axes into the pre-shaped
+  /// (N, C) `out`. Same serial double-accumulation loop as the layer
+  /// path (bit-identical values); the autograd shape cache is untouched.
+  void EvalPlan(const Tensor& input, Tensor* out) const;
 
  private:
   Tensor ForwardImpl(const Tensor& input, Workspace* ws);

@@ -1,9 +1,29 @@
 #include "nn/relu.h"
 
 #include "base/check.h"
+#include "plan/plan_builder.h"
 #include "tensor/workspace.h"
 
 namespace dhgcn {
+
+void ReLU::EvalPlan(const Tensor& input, Tensor* out) {
+  DHGCN_CHECK(ShapesEqual(out->shape(), input.shape()));
+  const float* px = input.data();
+  float* po = out->data();
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    po[i] = px[i] > 0.0f ? px[i] : 0.0f;
+  }
+}
+
+int64_t ReLU::Record(PlanBuilder& builder, int64_t in) {
+  PlanOp op;
+  op.kind = PlanOpKind::kRelu;
+  op.in0 = in;
+  op.out = builder.AddSlot(builder.slot_shape(in));
+  int64_t out = op.out;
+  builder.AddOp(std::move(op));
+  return out;
+}
 
 Tensor ReLU::ForwardImpl(const Tensor& input, Workspace* ws) {
   Tensor out = NewTensor(ws, input.shape());

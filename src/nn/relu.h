@@ -18,6 +18,12 @@ class ReLU : public Layer {
   void BackwardInto(const Tensor& grad_output, Workspace& ws,
                     Tensor* grad_input) override;
   std::string name() const override { return "ReLU"; }
+  int64_t Record(PlanBuilder& builder, int64_t in) override;
+
+  /// Plan-replay entry: y = max(x, 0) into the pre-shaped `out`. Same
+  /// serial elementwise loop as the layer path (bit-identical values),
+  /// but no autograd mask is built or cached.
+  static void EvalPlan(const Tensor& input, Tensor* out);
 
  private:
   Tensor ForwardImpl(const Tensor& input, Workspace* ws);

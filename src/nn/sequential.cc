@@ -63,4 +63,13 @@ std::string Sequential::name() const {
   return StrCat("Sequential[", layers_.size(), "]");
 }
 
+int64_t Sequential::Record(PlanBuilder& builder, int64_t in) {
+  int64_t x = in;
+  for (auto& layer : layers_) {
+    x = layer->Record(builder, x);
+    if (x < 0) return -1;
+  }
+  return x;
+}
+
 }  // namespace dhgcn

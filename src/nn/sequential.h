@@ -35,6 +35,10 @@ class Sequential : public Layer {
   void SetTraining(bool training) override;
   std::string name() const override;
 
+  /// Chains child recordings; fails (-1) as soon as any child cannot
+  /// record.
+  int64_t Record(PlanBuilder& builder, int64_t in) override;
+
   size_t size() const { return layers_.size(); }
   Layer* layer(size_t i) { return layers_.at(i).get(); }
 

@@ -1,0 +1,56 @@
+#include "plan/fused_kernels.h"
+
+#include <cstddef>
+
+#include "base/check.h"
+#include "base/thread_pool.h"
+
+namespace dhgcn {
+
+void BnAddReluKernel(const Tensor& scale, const Tensor& shift,
+                     const Tensor& a, const Tensor& r, Tensor* out) {
+  const Shape& s = a.shape();
+  DHGCN_CHECK_GE(a.ndim(), 2);
+  const int64_t n = s[0];
+  const int64_t c = s[1];
+  int64_t spatial = 1;
+  for (size_t i = 2; i < s.size(); ++i) spatial *= s[i];
+  DHGCN_CHECK_EQ(scale.numel(), c);
+  DHGCN_CHECK_EQ(shift.numel(), c);
+  const float* ps = scale.data();
+  const float* pt = shift.data();
+  const float* pa = a.data();
+  const float* pr = r.data();
+  float* po = out->data();
+  ThreadPool::Get().ParallelFor(
+      0, c, GrainForFlops(n * spatial), [&](int64_t c0, int64_t c1) {
+        for (int64_t ch = c0; ch < c1; ++ch) {
+          const float sc = ps[ch];
+          const float sh = pt[ch];
+          for (int64_t b = 0; b < n; ++b) {
+            const float* abase = pa + (b * c + ch) * spatial;
+            const float* rbase = pr + (b * c + ch) * spatial;
+            float* obase = po + (b * c + ch) * spatial;
+            for (int64_t i = 0; i < spatial; ++i) {
+              const float v = sc * abase[i] + sh + rbase[i];
+              obase[i] = v > 0.0f ? v : 0.0f;
+            }
+          }
+        }
+      });
+}
+
+void AddReluKernel(const Tensor& a, const Tensor& r, Tensor* out) {
+  const float* pa = a.data();
+  const float* pr = r.data();
+  float* po = out->data();
+  ThreadPool::Get().ParallelFor(0, a.numel(), GrainForFlops(2),
+                                [&](int64_t i0, int64_t i1) {
+                                  for (int64_t i = i0; i < i1; ++i) {
+                                    const float v = pa[i] + pr[i];
+                                    po[i] = v > 0.0f ? v : 0.0f;
+                                  }
+                                });
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,26 @@
+#ifndef DHGCN_PLAN_FUSED_KERNELS_H_
+#define DHGCN_PLAN_FUSED_KERNELS_H_
+
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// Fused elementwise kernels emitted by FuseElementwise(). Each replaces
+/// a chain of separate memory sweeps (BN eval, residual add, ReLU) with
+/// a single pass, so the intermediate tensors never hit memory. They are
+/// free functions (not Layer methods) so the plan runner can call them
+/// without virtual dispatch and the benches can price them in isolation.
+
+/// out = relu(scale ⊙ a + shift + r), per-channel coefficients over
+/// an (N, C, ...) tensor. Channel-parallel like the eval BN it replaces.
+/// `scale` / `shift` are the frozen BN affine: gamma/sqrt(var+eps) and
+/// beta - mean*scale.
+void BnAddReluKernel(const Tensor& scale, const Tensor& shift,
+                     const Tensor& a, const Tensor& r, Tensor* out);
+
+/// out = relu(a + r), flat elementwise over any shape.
+void AddReluKernel(const Tensor& a, const Tensor& r, Tensor* out);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_PLAN_FUSED_KERNELS_H_

@@ -1,0 +1,209 @@
+#include "plan/fusion.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+
+namespace dhgcn {
+
+namespace {
+
+/// Number of references to `slot` across all ops except the indices in
+/// `exclude` (a use = appearing as in0/in1, or as the out of an
+/// accumulate-style read-modify-write, or being the plan output).
+int64_t CountOtherRefs(const ExecutionPlan& plan, int64_t slot,
+                       const std::vector<size_t>& exclude) {
+  int64_t refs = 0;
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    bool skip = false;
+    for (size_t e : exclude) skip = skip || (e == i);
+    if (skip) continue;
+    const PlanOp& op = plan.ops[i];
+    if (op.in0 == slot) ++refs;
+    if (op.in1 == slot) ++refs;
+    if (op.out == slot) ++refs;
+  }
+  if (plan.output_slot == slot) ++refs;
+  if (plan.input_slot == slot) ++refs;
+  return refs;
+}
+
+/// Per-channel eval-BN affine coefficients: scale = gamma * inv_std,
+/// shift = beta - mean * scale.
+void BnCoefficients(BatchNorm2d& bn, Tensor* scale, Tensor* shift) {
+  const Tensor& mean = bn.running_mean();
+  const Tensor& var = bn.running_var();
+  const float* pm = mean.data();
+  const float* pv = var.data();
+  const float* pg = bn.gamma().data();
+  const float* pb = bn.beta().data();
+  int64_t c = mean.numel();
+  *scale = Tensor({c});
+  *shift = Tensor({c});
+  float* ps = scale->data();
+  float* pt = shift->data();
+  for (int64_t i = 0; i < c; ++i) {
+    float inv_std = 1.0f / std::sqrt(pv[i] + bn.eps());
+    ps[i] = pg[i] * inv_std;
+    pt[i] = pb[i] - pm[i] * ps[i];
+  }
+}
+
+/// Folds `bn` into the conv that produces its input: W' = scale ⊙ W
+/// per out-channel, b' = scale*(b - mean) + beta.
+void FoldConvBn(const Conv2d& conv, BatchNorm2d& bn, PlanOp* folded) {
+  Tensor scale, shift;
+  BnCoefficients(bn, &scale, &shift);
+  const float* ps = scale.data();
+  const float* pt = shift.data();
+  const int64_t oc = conv.out_channels();
+  DHGCN_CHECK_EQ(scale.numel(), oc);
+  folded->fold_weight = conv.weight().Clone();
+  folded->fold_bias = Tensor({oc});
+  float* pw = folded->fold_weight.data();
+  float* pb = folded->fold_bias.data();
+  const int64_t per_channel = conv.weight().numel() / oc;
+  const float* pbias =
+      conv.options().has_bias ? conv.bias().data() : nullptr;
+  for (int64_t c = 0; c < oc; ++c) {
+    float* wrow = pw + c * per_channel;
+    for (int64_t i = 0; i < per_channel; ++i) wrow[i] *= ps[c];
+    float b = pbias != nullptr ? pbias[c] : 0.0f;
+    pb[c] = b * ps[c] + pt[c];
+  }
+}
+
+/// Folds `bn` into the linear that consumes its output:
+/// y = W(s⊙x + t) + b = (W·diag(s))x + (W t + b).
+void FoldBnLinear(BatchNorm2d& bn, const Linear& linear, PlanOp* folded) {
+  Tensor scale, shift;
+  BnCoefficients(bn, &scale, &shift);
+  const float* ps = scale.data();
+  const float* pt = shift.data();
+  const int64_t out = linear.out_features();
+  const int64_t in = linear.in_features();
+  DHGCN_CHECK_EQ(scale.numel(), in);
+  folded->fold_weight = linear.weight().Clone();
+  folded->fold_bias = Tensor({out});
+  float* pw = folded->fold_weight.data();
+  float* pb = folded->fold_bias.data();
+  const float* pbias = linear.has_bias() ? linear.bias().data() : nullptr;
+  for (int64_t o = 0; o < out; ++o) {
+    float* wrow = pw + o * in;
+    double acc = pbias != nullptr ? static_cast<double>(pbias[o]) : 0.0;
+    for (int64_t i = 0; i < in; ++i) {
+      acc += static_cast<double>(wrow[i]) * pt[i];
+      wrow[i] *= ps[i];
+    }
+    pb[o] = static_cast<float>(acc);
+  }
+}
+
+}  // namespace
+
+void FoldBatchNorms(ExecutionPlan* plan) {
+  DHGCN_CHECK(plan != nullptr);
+  DHGCN_CHECK(!plan->resolved);
+  std::vector<bool> dead(plan->ops.size(), false);
+  for (size_t i = 0; i < plan->ops.size(); ++i) {
+    if (dead[i]) continue;
+    PlanOp& op = plan->ops[i];
+    if (op.kind == PlanOpKind::kConv2d) {
+      // Unique consumer must be an eval BN; fold it into the weights.
+      for (size_t j = 0; j < plan->ops.size(); ++j) {
+        PlanOp& next = plan->ops[j];
+        if (dead[j] || next.kind != PlanOpKind::kBatchNormEval ||
+            next.in0 != op.out) {
+          continue;
+        }
+        if (CountOtherRefs(*plan, op.out, {i, j}) != 0) continue;
+        FoldConvBn(*op.conv, *next.bn, &op);
+        op.kind = PlanOpKind::kConv2dFolded;
+        op.out = next.out;
+        dead[j] = true;
+        break;
+      }
+    } else if (op.kind == PlanOpKind::kBatchNormEval) {
+      // BN feeding a single Linear: fold into the classifier weights.
+      for (size_t j = 0; j < plan->ops.size(); ++j) {
+        PlanOp& next = plan->ops[j];
+        if (dead[j] || next.kind != PlanOpKind::kLinear ||
+            next.in0 != op.out) {
+          continue;
+        }
+        if (CountOtherRefs(*plan, op.out, {i, j}) != 0) continue;
+        FoldBnLinear(*op.bn, *next.linear, &next);
+        next.kind = PlanOpKind::kLinearFolded;
+        next.in0 = op.in0;
+        dead[i] = true;
+        break;
+      }
+    }
+  }
+  std::vector<PlanOp> kept;
+  kept.reserve(plan->ops.size());
+  for (size_t i = 0; i < plan->ops.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(plan->ops[i]));
+  }
+  plan->ops = std::move(kept);
+}
+
+void FuseElementwise(ExecutionPlan* plan) {
+  DHGCN_CHECK(plan != nullptr);
+  DHGCN_CHECK(!plan->resolved);
+  std::vector<PlanOp> out;
+  out.reserve(plan->ops.size());
+  size_t i = 0;
+  while (i < plan->ops.size()) {
+    // [BN a→s, Accumulate s+=r, Relu s→o]  =>  BnAddRelu(a, r)→o.
+    if (i + 2 < plan->ops.size()) {
+      PlanOp& bn = plan->ops[i];
+      const PlanOp& add = plan->ops[i + 1];
+      const PlanOp& relu = plan->ops[i + 2];
+      if (bn.kind == PlanOpKind::kBatchNormEval &&
+          add.kind == PlanOpKind::kAccumulate && add.out == bn.out &&
+          relu.kind == PlanOpKind::kRelu && relu.in0 == bn.out &&
+          CountOtherRefs(*plan, bn.out, {i, i + 1, i + 2}) == 0) {
+        PlanOp fused;
+        fused.kind = PlanOpKind::kBnAddRelu;
+        fused.in0 = bn.in0;
+        fused.in1 = add.in0;
+        fused.out = relu.out;
+        fused.bn = bn.bn;
+        BnCoefficients(*bn.bn, &fused.fold_scale, &fused.fold_shift);
+        out.push_back(std::move(fused));
+        i += 3;
+        continue;
+      }
+    }
+    // [Accumulate t+=r, Relu t→o]  =>  AddRelu(t, r)→o. `t` stays live
+    // (its producer still writes it); only the rmw+relu pair collapses.
+    if (i + 1 < plan->ops.size()) {
+      const PlanOp& add = plan->ops[i];
+      const PlanOp& relu = plan->ops[i + 1];
+      if (add.kind == PlanOpKind::kAccumulate &&
+          relu.kind == PlanOpKind::kRelu && relu.in0 == add.out &&
+          CountOtherRefs(*plan, add.out, {i, i + 1}) == 1) {
+        // The single remaining ref is the producer's `out` def.
+        PlanOp fused;
+        fused.kind = PlanOpKind::kAddRelu;
+        fused.in0 = add.out;
+        fused.in1 = add.in0;
+        fused.out = relu.out;
+        out.push_back(std::move(fused));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(std::move(plan->ops[i]));
+    ++i;
+  }
+  plan->ops = std::move(out);
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,35 @@
+#ifndef DHGCN_PLAN_FUSION_H_
+#define DHGCN_PLAN_FUSION_H_
+
+#include "plan/plan.h"
+
+namespace dhgcn {
+
+/// Freeze-time Conv→BN folding. Rewrites
+///   [kConv2d s→t, kBatchNormEval t→u]  =>  [kConv2dFolded s→u]
+/// with W' = scale ⊙ W and b' = scale*(b - mean) + beta, where
+/// scale[c] = gamma[c] / sqrt(running_var[c] + eps) — the eval BN is an
+/// affine map per out-channel, so it commutes into the conv weights.
+/// Also folds [kBatchNormEval s→t, kLinear t→u] => [kLinearFolded s→u]
+/// (the BN-before-classifier shape): W'[o,i] = W[o,i]*s[i],
+/// b'[o] = b[o] + Σ_i W[o,i]*(beta[i] - mean[i]*s[i]).
+///
+/// Legality: the intermediate slot must have exactly one producer and
+/// one consumer (the pair being fused) and must not be the plan output.
+/// Folding is rtol-equivalent, not bit-exact (float re-association).
+/// Must run before `ResolveOffsets`.
+void FoldBatchNorms(ExecutionPlan* plan);
+
+/// Elementwise-chain fusion. Rewrites adjacent triples/pairs
+///   [kBatchNormEval a→s, kAccumulate s+=r, kRelu s→o] => [kBnAddRelu]
+///   [kAccumulate t+=r, kRelu t→o]                     => [kAddRelu]
+/// into single passes over the tile (one memory sweep instead of three/
+/// two). The BN epilogue is precomputed into per-channel scale/shift at
+/// freeze time. Same legality rule as folding for the eliminated
+/// intermediate slot. Run after `FoldBatchNorms`, before
+/// `ResolveOffsets`.
+void FuseElementwise(ExecutionPlan* plan);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_PLAN_FUSION_H_

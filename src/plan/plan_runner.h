@@ -1,0 +1,56 @@
+#ifndef DHGCN_PLAN_PLAN_RUNNER_H_
+#define DHGCN_PLAN_PLAN_RUNNER_H_
+
+#include <vector>
+
+#include "plan/plan.h"
+#include "tensor/workspace.h"
+
+namespace dhgcn {
+
+/// \brief Replays a resolved `ExecutionPlan` with zero per-step
+/// dispatch, zero per-step offset arithmetic and zero steady-state
+/// allocations.
+///
+/// Construction pins one contiguous arena block (`Workspace::
+/// ReservePinned`) and pre-builds every slot's borrowed tensor at its
+/// resolved offset; `Run` is then a flat switch over the op list calling
+/// non-virtual kernels on the pre-built tensors. The arena is never
+/// Reset while the runner lives, so the borrows stay valid for its
+/// whole lifetime (an accidental Reset would trip the workspace epoch
+/// check, not read recycled memory). Data-dependent operators
+/// (joint-weight / dynamic-topology construction) run against a
+/// separate scratch arena that is Reset after each such op.
+///
+/// Not thread-safe: one PlanRunner (like one Workspace) per worker.
+class PlanRunner {
+ public:
+  /// Takes ownership of a resolved plan (see `ResolveOffsets`). The
+  /// recorded model must outlive the runner (ops hold layer pointers).
+  explicit PlanRunner(ExecutionPlan plan);
+
+  PlanRunner(const PlanRunner&) = delete;
+  PlanRunner& operator=(const PlanRunner&) = delete;
+
+  /// Replays the plan: copies `input` into the input slot, executes the
+  /// op list, returns the output slot. The returned reference borrows
+  /// the runner's arena — it is overwritten by the next Run() and dies
+  /// with the runner; copy rows out to keep them. `input` must match
+  /// the captured shape exactly (capture one runner per batch size).
+  const Tensor& Run(const Tensor& input);
+
+  const ExecutionPlan& plan() const { return plan_; }
+  const Shape& input_shape() const;
+  /// Bytes of the pinned slot arena (excludes the opaque-op scratch).
+  size_t arena_bytes() const { return plan_.arena_bytes; }
+
+ private:
+  ExecutionPlan plan_;
+  Workspace arena_;    // pinned: holds every slot, never Reset
+  Workspace scratch_;  // opaque data-dependent ops only, Reset per op
+  std::vector<Tensor> slots_;  // pre-built borrows, ctor only
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_PLAN_PLAN_RUNNER_H_

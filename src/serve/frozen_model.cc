@@ -2,24 +2,28 @@
 
 #include <utility>
 
+#include "base/logging.h"
 #include "base/string_util.h"
 #include "data/skeleton.h"
 #include "io/serialization.h"
 #include "nn/layer.h"
+#include "plan/plan_builder.h"
+#include "tensor/workspace.h"
 
 namespace dhgcn {
 
 FrozenModel::FrozenModel(std::unique_ptr<DhgcnModel> model,
                          const DhgcnConfig& config, int64_t frames,
-                         int64_t num_joints)
+                         int64_t num_joints, PlanMode plan)
     : model_(std::move(model)),
       config_(config),
       frames_(frames),
-      num_joints_(num_joints) {}
+      num_joints_(num_joints),
+      plan_mode_(plan) {}
 
 Result<std::unique_ptr<FrozenModel>> FrozenModel::Load(
     const std::string& checkpoint_path, const DhgcnConfig& config,
-    int64_t frames) {
+    int64_t frames, PlanMode plan) {
   if (frames < 2) {
     return Status::InvalidArgument(
         StrCat("serving frames must be >= 2, got ", frames));
@@ -34,7 +38,7 @@ Result<std::unique_ptr<FrozenModel>> FrozenModel::Load(
   return std::unique_ptr<FrozenModel>(
       // lint: allow-naked-new — private ctor is unreachable by
       // make_unique; the pointer lands in unique_ptr immediately.
-      new FrozenModel(std::move(model), config, frames, num_joints));
+      new FrozenModel(std::move(model), config, frames, num_joints, plan));
 }
 
 Status FrozenModel::ValidateClipShape(const Tensor& clip) const {
@@ -49,8 +53,37 @@ Status FrozenModel::ValidateClipShape(const Tensor& clip) const {
   return Status::OK();
 }
 
+PlanRunner* FrozenModel::RunnerForBatch(int64_t batch_size,
+                                        const Shape& input_shape) {
+  if (plan_mode_ == PlanMode::kOff || plan_failed_) return nullptr;
+  auto it = runners_.find(batch_size);
+  if (it != runners_.end()) return it->second.get();
+  Result<ExecutionPlan> plan =
+      BuildInferencePlan(*model_, input_shape, plan_mode_);
+  if (!plan.ok()) {
+    DHGCN_LOG(kWarning) << "serving plan capture failed ("
+                        << plan.status().ToString()
+                        << "); falling back to layer-by-layer inference";
+    plan_failed_ = true;
+    return nullptr;
+  }
+  it = runners_
+           .emplace(batch_size,
+                    std::make_unique<PlanRunner>(std::move(plan).ValueOrDie()))
+           .first;
+  return it->second.get();
+}
+
 Tensor FrozenModel::Forward(const Tensor& batch, Workspace& ws) {
-  return LayerForward(*model_, batch, &ws);
+  PlanRunner* runner = RunnerForBatch(batch.dim(0), batch.shape());
+  if (runner == nullptr) return LayerForward(*model_, batch, &ws);
+  // The runner's output borrows its pinned arena and is overwritten by
+  // the next Run; copy the (B, classes) logits into the caller's
+  // workspace to keep Forward's borrowed-from-`ws` contract.
+  const Tensor& logits = runner->Run(batch);
+  Tensor out = NewTensor(&ws, logits.shape());
+  out.CopyFrom(logits);
+  return out;
 }
 
 }  // namespace dhgcn

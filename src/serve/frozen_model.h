@@ -3,9 +3,12 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "base/result.h"
 #include "core/dhgcn_model.h"
+#include "plan/plan.h"
+#include "plan/plan_runner.h"
 #include "tensor/workspace.h"
 
 namespace dhgcn {
@@ -27,9 +30,14 @@ class FrozenModel {
   /// initialized weights — useful for load benchmarks.
   /// `frames` fixes the temporal length every request must carry, so
   /// micro-batches stack into one (B, C, T, V) tensor.
+  /// `plan` selects the inference path: kOff runs layer-by-layer;
+  /// kUnfused / kFused compile an execution plan per micro-batch size
+  /// (lazily, cached for the model's lifetime) and replay it with zero
+  /// steady-state allocations. If capture ever fails the model falls
+  /// back to the layer path permanently (one warning, no error).
   static Result<std::unique_ptr<FrozenModel>> Load(
       const std::string& checkpoint_path, const DhgcnConfig& config,
-      int64_t frames);
+      int64_t frames, PlanMode plan = PlanMode::kOff);
 
   /// Checks shape only (cheap, on the submit path): (C, T, V) with the
   /// configured channel count, frame count and joint count.
@@ -41,6 +49,11 @@ class FrozenModel {
   Tensor Forward(const Tensor& batch, Workspace& ws);
 
   const DhgcnConfig& config() const { return config_; }
+  PlanMode plan_mode() const { return plan_mode_; }
+  /// Compiled plan runners currently cached (one per batch size seen).
+  int64_t compiled_plan_count() const {
+    return static_cast<int64_t>(runners_.size());
+  }
   int64_t frames() const { return frames_; }
   int64_t num_joints() const { return num_joints_; }
   int64_t num_classes() const { return config_.num_classes; }
@@ -51,12 +64,21 @@ class FrozenModel {
 
  private:
   FrozenModel(std::unique_ptr<DhgcnModel> model, const DhgcnConfig& config,
-              int64_t frames, int64_t num_joints);
+              int64_t frames, int64_t num_joints, PlanMode plan);
+
+  /// Returns the cached runner for this batch size, compiling one on
+  /// first sight; null when plans are off or capture has failed.
+  PlanRunner* RunnerForBatch(int64_t batch_size, const Shape& input_shape);
 
   std::unique_ptr<DhgcnModel> model_;
   DhgcnConfig config_;
   int64_t frames_;
   int64_t num_joints_;
+  PlanMode plan_mode_;
+  /// Permanent layer-path fallback after a failed capture.
+  bool plan_failed_ = false;
+  /// Batch size -> compiled runner (worker-local, like the model).
+  std::unordered_map<int64_t, std::unique_ptr<PlanRunner>> runners_;
 };
 
 }  // namespace dhgcn

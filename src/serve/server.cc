@@ -95,7 +95,7 @@ Result<std::unique_ptr<InferenceServer>> InferenceServer::Create(
     // shared instance would race.
     DHGCN_ASSIGN_OR_RETURN(std::unique_ptr<FrozenModel> model,
                            FrozenModel::Load(checkpoint_path, config,
-                                             frames));
+                                             frames, options.plan_mode));
     models.push_back(std::move(model));
   }
   std::unique_ptr<InferenceServer> server(

@@ -30,6 +30,10 @@ namespace dhgcn {
 struct ServerOptions {
   /// Worker threads, each owning a model replica and a workspace arena.
   int64_t worker_count = 1;
+  /// Inference path of each replica: kOff = layer-by-layer; kUnfused /
+  /// kFused = compiled execution plans cached per micro-batch size
+  /// (capture failure falls back to the layer path, never an error).
+  PlanMode plan_mode = PlanMode::kOff;
   MicroBatcherOptions batcher;
   /// Deadline applied when SubmitOptions.deadline_ns == 0.
   int64_t default_deadline_ns = 50'000'000;

@@ -57,7 +57,28 @@ float* Workspace::AllocateBytes(size_t bytes) {
       reinterpret_cast<char*>(block.data) + block.used_bytes);
   block.used_bytes += bytes;
   bytes_in_use_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, bytes_in_use_);
   return out;
+}
+
+void Workspace::ReservePinned(size_t bytes) {
+  DHGCN_CHECK(bytes_in_use_ == 0);
+  bytes = AlignUp(std::max(bytes, size_t{1}));
+  if (blocks_.size() == 1 && blocks_[0].capacity_bytes >= bytes) return;
+  ++*live_epoch_;
+  for (Block& block : blocks_) FreeBlock(block.data);
+  blocks_.clear();
+  blocks_.push_back(Block{AllocateBlock(bytes), bytes, 0});
+}
+
+Tensor Workspace::BorrowAt(size_t offset, Shape shape) {
+  DHGCN_CHECK(blocks_.size() == 1);
+  DHGCN_CHECK(offset % kAlignment == 0);
+  size_t bytes = static_cast<size_t>(ShapeNumel(shape)) * sizeof(float);
+  DHGCN_CHECK(offset + bytes <= blocks_[0].capacity_bytes);
+  float* data = reinterpret_cast<float*>(
+      reinterpret_cast<char*>(blocks_[0].data) + offset);
+  return Tensor::Borrowed(std::move(shape), data, live_epoch_, *live_epoch_);
 }
 
 Tensor Workspace::Acquire(Shape shape) {

@@ -46,6 +46,20 @@ class Workspace {
   /// Borrows a zero-filled tensor (for accumulation kernels).
   [[nodiscard]] Tensor AcquireZeroed(Shape shape);
 
+  /// Pre-reserves a single contiguous block of at least `bytes` so
+  /// fixed-offset borrows (`BorrowAt`) stay stable for the arena's
+  /// lifetime. Must be called while nothing is handed out
+  /// (`bytes_in_use() == 0`); existing borrows are invalidated (the
+  /// epoch advances) when the backing storage is replaced.
+  void ReservePinned(size_t bytes);
+
+  /// Borrows a tensor of `shape` at fixed byte `offset` into the single
+  /// backing block (offset must be kAlignment-aligned and in range).
+  /// Unlike `Acquire` this does not advance the bump pointer — callers
+  /// own the offset map (execution plans resolve offsets at build
+  /// time). The borrow stays valid until the next Reset()/destruction.
+  [[nodiscard]] Tensor BorrowAt(size_t offset, Shape shape);
+
   /// Invalidates all outstanding borrows, rewinds the bump pointer and
   /// coalesces multi-block arenas into a single block of the combined
   /// capacity. Steady state (capacity sufficient): no heap activity.
@@ -53,6 +67,10 @@ class Workspace {
 
   /// Bytes currently handed out (aligned) since the last Reset.
   size_t bytes_in_use() const { return bytes_in_use_; }
+  /// High-water mark of bytes_in_use() over the arena's lifetime
+  /// (never rewound by Reset). Lets callers compare dynamic-path
+  /// working sets against static plan offset packing.
+  size_t PeakBytes() const { return peak_bytes_; }
   /// Total bytes owned by the arena across all blocks.
   size_t capacity_bytes() const;
   /// Number of backing blocks (1 in steady state).
@@ -76,6 +94,7 @@ class Workspace {
 
   std::vector<Block> blocks_;
   size_t bytes_in_use_ = 0;
+  size_t peak_bytes_ = 0;
   std::shared_ptr<uint64_t> live_epoch_;
 };
 

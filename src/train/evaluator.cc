@@ -1,10 +1,16 @@
 #include "train/evaluator.h"
 
+#include <memory>
 #include <sstream>
+#include <unordered_map>
+#include <utility>
 
 #include "base/check.h"
+#include "base/logging.h"
 #include "base/string_util.h"
 #include "nn/loss.h"
+#include "plan/plan_builder.h"
+#include "plan/plan_runner.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/workspace.h"
 #include "train/table.h"
@@ -12,24 +18,73 @@
 namespace dhgcn {
 
 EvalMetrics Evaluate(Layer& model, DataLoader& loader,
-                     bool use_workspace) {
+                     const EvalOptions& options) {
   model.SetTraining(false);
   SoftmaxCrossEntropy loss;
   MetricsAccumulator accumulator;
   Workspace workspace;
-  Workspace* ws = use_workspace ? &workspace : nullptr;
+  Workspace* ws = options.use_workspace ? &workspace : nullptr;
+  // One compiled runner per batch size (the tail batch is usually
+  // smaller); capture failure disables the plan path for this call.
+  std::unordered_map<int64_t, std::unique_ptr<PlanRunner>> runners;
+  bool plan_ok = options.plan != PlanMode::kOff;
+  size_t plan_arena_bytes = 0;
   for (int64_t b = 0; b < loader.NumBatches(); ++b) {
     Batch batch = loader.GetBatch(b);
     if (ws != nullptr) ws->Reset();
-    Tensor logits = LayerForward(model, batch.x, ws);
-    float batch_loss =
-        ws != nullptr
-            ? loss.TryForward(logits, batch.labels, *ws).ValueOrDie()
-            : loss.Forward(logits, batch.labels);
-    accumulator.Add(logits, batch.labels, batch_loss);
+    PlanRunner* runner = nullptr;
+    if (plan_ok) {
+      auto it = runners.find(batch.x.dim(0));
+      if (it == runners.end()) {
+        Result<ExecutionPlan> plan =
+            BuildInferencePlan(model, batch.x.shape(), options.plan);
+        if (!plan.ok()) {
+          DHGCN_LOG(kWarning)
+              << "plan capture failed (" << plan.status().ToString()
+              << "); evaluating layer-by-layer";
+          plan_ok = false;
+        } else {
+          it = runners
+                   .emplace(batch.x.dim(0), std::make_unique<PlanRunner>(
+                                                std::move(plan).ValueOrDie()))
+                   .first;
+          plan_arena_bytes += it->second->arena_bytes();
+        }
+      }
+      if (it != runners.end()) runner = it->second.get();
+    }
+    float batch_loss = 0.0f;
+    if (runner != nullptr) {
+      const Tensor& logits = runner->Run(batch.x);
+      batch_loss =
+          ws != nullptr
+              ? loss.TryForward(logits, batch.labels, *ws).ValueOrDie()
+              : loss.Forward(logits, batch.labels);
+      accumulator.Add(logits, batch.labels, batch_loss);
+    } else {
+      Tensor logits = LayerForward(model, batch.x, ws);
+      batch_loss =
+          ws != nullptr
+              ? loss.TryForward(logits, batch.labels, *ws).ValueOrDie()
+              : loss.Forward(logits, batch.labels);
+      accumulator.Add(logits, batch.labels, batch_loss);
+    }
+  }
+  if (options.log_peak_bytes) {
+    DHGCN_LOG(kInfo) << "eval ws_peak=" << (workspace.PeakBytes() >> 10)
+                     << " KiB plan_arenas=" << (plan_arena_bytes >> 10)
+                     << " KiB (" << runners.size() << " compiled plans, mode="
+                     << PlanModeName(options.plan) << ")";
   }
   model.SetTraining(true);
   return accumulator.Finalize();
+}
+
+EvalMetrics Evaluate(Layer& model, DataLoader& loader,
+                     bool use_workspace) {
+  EvalOptions options;
+  options.use_workspace = use_workspace;
+  return Evaluate(model, loader, options);
 }
 
 EvalMetrics EvaluateFused(Layer& joint_model, Layer& bone_model,

@@ -6,15 +6,33 @@
 
 #include "data/dataloader.h"
 #include "nn/layer.h"
+#include "plan/plan.h"
 #include "train/metrics.h"
 
 namespace dhgcn {
 
+/// Evaluation knobs (see `Evaluate` below).
+struct EvalOptions {
+  /// Stage activations in a per-call Workspace arena (reset per batch,
+  /// bit-identical outputs); false = legacy allocating path.
+  bool use_workspace = true;
+  /// Run inference through a compiled execution plan (kUnfused is
+  /// bit-identical to the layer path, kFused folds BatchNorm and fuses
+  /// elementwise tails). Runners are cached per batch size; if the
+  /// model cannot be captured (e.g. it does not implement `Record`),
+  /// evaluation falls back to the layer-by-layer path for the whole
+  /// call and logs one warning.
+  PlanMode plan = PlanMode::kOff;
+  /// Log peak workspace / plan-arena bytes at INFO after the pass.
+  bool log_peak_bytes = false;
+};
+
 /// Evaluates a classifier over a loader (inference mode; loader should be
 /// non-shuffling). Reports Top-1/Top-5 accuracy and mean cross-entropy.
-/// By default, inference runs on the workspace-planned path (a local
-/// arena reset per batch, bit-identical outputs); pass
-/// `use_workspace = false` for the legacy allocating path.
+EvalMetrics Evaluate(Layer& model, DataLoader& loader,
+                     const EvalOptions& options);
+
+/// Back-compat overload: default options with `use_workspace` overridden.
 EvalMetrics Evaluate(Layer& model, DataLoader& loader,
                      bool use_workspace = true);
 

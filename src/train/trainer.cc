@@ -203,6 +203,8 @@ Result<EpochStats> Trainer::TrainEpoch(DataLoader& loader, int64_t epoch) {
                      << " top1=" << stats.train_top1 << " lr=" << stats.lr
                      << " allocs=" << stats.tensor_allocations << " ("
                      << (stats.tensor_alloc_bytes >> 10) << " KiB)"
+                     << " ws_peak=" << (workspace_.PeakBytes() >> 10)
+                     << " KiB"
                      << " threads=" << ThreadPool::Get().thread_count()
                      << " (" << stats.seconds << "s)";
   }

@@ -21,6 +21,8 @@
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/loss.h"
+#include "plan/plan_builder.h"
+#include "plan/plan_runner.h"
 #include "tensor/linalg.h"
 #include "tensor/workspace.h"
 #include "train/trainer.h"
@@ -356,6 +358,59 @@ TEST(ParallelDeterminism, ThreeEpochTrainingRun) {
                        "trained parameter", threads);
       }
     }
+  }
+  ThreadPool::Get().SetThreads(1);
+}
+
+// --- Compiled-plan replay: the plan path runs the exact same kernels
+// as the layer path, so unfused replay must be bit-identical to the
+// serial layer forward at every thread count (and so must the fused
+// replay to its own serial run — fusion changes the math w.r.t. the
+// layer path, but not w.r.t. thread count). ---------------------------
+
+TEST(ParallelDeterminism, PlanReplayUnfusedMatchesLayerPath) {
+  DhgcnConfig config =
+      DhgcnConfig::Tiny(SkeletonLayoutType::kNtu25, /*num_classes=*/3);
+  DhgcnModel model(config);
+  model.SetTraining(false);
+  Rng rng(230);
+  Tensor x = Tensor::RandomNormal({2, 3, 8, 25}, rng);
+
+  ThreadPool::Get().SetThreads(1);
+  Tensor serial = model.Forward(x);
+  PlanRunner runner(
+      BuildInferencePlan(model, x.shape(), PlanMode::kUnfused)
+          .ValueOrDie());
+  for (int64_t threads : kThreadCounts) {
+    ThreadPool::Get().SetThreads(threads);
+    ExpectBitEqual(serial, runner.Run(x), "unfused plan replay", threads);
+    // A freshly compiled runner must agree too: capture is shape-only,
+    // so the thread count at build time cannot matter.
+    PlanRunner fresh(
+        BuildInferencePlan(model, x.shape(), PlanMode::kUnfused)
+            .ValueOrDie());
+    ExpectBitEqual(serial, fresh.Run(x), "fresh unfused plan replay",
+                   threads);
+  }
+  ThreadPool::Get().SetThreads(1);
+}
+
+TEST(ParallelDeterminism, PlanReplayFusedThreadInvariant) {
+  DhgcnConfig config =
+      DhgcnConfig::Tiny(SkeletonLayoutType::kNtu25, /*num_classes=*/3);
+  DhgcnModel model(config);
+  model.SetTraining(false);
+  Rng rng(231);
+  Tensor x = Tensor::RandomNormal({2, 3, 8, 25}, rng);
+
+  ThreadPool::Get().SetThreads(1);
+  PlanRunner runner(
+      BuildInferencePlan(model, x.shape(), PlanMode::kFused)
+          .ValueOrDie());
+  Tensor serial = runner.Run(x).Clone();
+  for (int64_t threads : kThreadCounts) {
+    ThreadPool::Get().SetThreads(threads);
+    ExpectBitEqual(serial, runner.Run(x), "fused plan replay", threads);
   }
   ThreadPool::Get().SetThreads(1);
 }

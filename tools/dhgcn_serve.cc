@@ -102,6 +102,7 @@ Status RunMain(int argc, const char* const* argv) {
   int64_t poison_every = 0;
   int64_t threads = 1;
   int64_t seed = 42;
+  std::string plan_name = "off";
   bool strict = false;
   bool help = false;
 
@@ -136,6 +137,10 @@ Status RunMain(int argc, const char* const* argv) {
   flags.AddInt64("seed", &seed, "synthetic clip seed");
   flags.AddString("bench_json", &bench_json,
                   "write per-phase results to this JSON file");
+  flags.AddString("plan", &plan_name,
+                  "worker inference path: off|on|fused (on = compiled "
+                  "execution plans per batch size, bit-identical; fused "
+                  "= Conv+BN folding, rtol-equivalent)");
   flags.AddBool("strict", &strict,
                 "fail unless overload shed explicitly and recovery "
                 "returned to degrade level 0");
@@ -158,6 +163,7 @@ Status RunMain(int argc, const char* const* argv) {
 
   ServerOptions options;
   options.worker_count = workers;
+  DHGCN_ASSIGN_OR_RETURN(options.plan_mode, ParsePlanMode(plan_name));
   options.batcher.queue_capacity = queue_capacity;
   options.batcher.max_batch_size = max_batch;
   options.default_deadline_ns = deadline_ms * 1'000'000;
@@ -166,13 +172,13 @@ Status RunMain(int argc, const char* const* argv) {
       InferenceServer::Create(checkpoint_path, config, frames, options));
   std::printf(
       "serving %s/%s: %lld classes, %lld frames, %lld workers, queue "
-      "%lld, batch %lld, deadline %lld ms\n",
+      "%lld, batch %lld, deadline %lld ms, plan %s\n",
       config_name.c_str(), layout_name.c_str(),
       static_cast<long long>(classes), static_cast<long long>(frames),
       static_cast<long long>(workers),
       static_cast<long long>(queue_capacity),
       static_cast<long long>(max_batch),
-      static_cast<long long>(deadline_ms));
+      static_cast<long long>(deadline_ms), PlanModeName(options.plan_mode));
 
   LoadGenOptions load;
   load.qps = qps;

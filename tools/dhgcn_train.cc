@@ -77,6 +77,7 @@ Status RunMain(int argc, const char* const* argv) {
   bool summary = false;
   bool augment = false;
   bool workspace = true;
+  std::string plan_name = "off";
   bool help = false;
 
   FlagSet flags("dhgcn_train");
@@ -125,6 +126,10 @@ Status RunMain(int argc, const char* const* argv) {
   flags.AddBool("workspace", &workspace,
                 "arena-backed (near-)zero-allocation training steps "
                 "(bit-identical results; disable for debugging)");
+  flags.AddString("plan", &plan_name,
+                  "evaluation execution plan: off|on|fused (on = compiled "
+                  "replay, bit-identical; fused = Conv+BN folding, "
+                  "rtol-equivalent). Training is always layer-by-layer.");
   flags.AddBool("help", &help, "show usage");
   DHGCN_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (help) {
@@ -140,6 +145,7 @@ Status RunMain(int argc, const char* const* argv) {
         StrCat("--threads must be >= 0, got ", threads));
   }
   if (threads > 0) ThreadPool::Get().SetThreads(threads);
+  DHGCN_ASSIGN_OR_RETURN(PlanMode plan_mode, ParsePlanMode(plan_name));
 
   // --- Dataset -----------------------------------------------------------
   Result<SkeletonDataset> dataset_result = [&]() -> Result<SkeletonDataset> {
@@ -257,7 +263,10 @@ Status RunMain(int argc, const char* const* argv) {
   // --- Evaluate / save ----------------------------------------------------
   DataLoader test_loader(&dataset, split.test, batch_size, stream,
                          /*shuffle=*/false);
-  EvalMetrics metrics = Evaluate(*model, test_loader);
+  EvalOptions eval_options;
+  eval_options.plan = plan_mode;
+  eval_options.log_peak_bytes = plan_mode != PlanMode::kOff;
+  EvalMetrics metrics = Evaluate(*model, test_loader, eval_options);
   std::printf("test: top-1 %.1f%%  top-5 %.1f%%  loss %.3f  (%lld "
               "samples)\n",
               100.0 * metrics.top1, 100.0 * metrics.top5, metrics.loss,

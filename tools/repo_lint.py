@@ -32,6 +32,15 @@ Rules (see DESIGN.md §7 for the rationale):
                  can deadlock the serving loop forever) and queues must
                  be bounded preallocated vectors, never std::queue /
                  std::deque / std::list.
+  plan-alloc     In src/plan/plan_runner.*, allocation and dynamic
+                 dispatch are banned: PlanRunner::Run is the compiled
+                 replay hot loop whose contract is zero steady-state
+                 allocations and zero virtual calls. No make_unique /
+                 new / push_back / reserve / resize / NewTensor /
+                 Acquire / Clone / BorrowAt, and no `->Forward(` /
+                 `LayerForward(` virtual-dispatch re-entry — slots are
+                 pre-built in the constructor (which carries line-level
+                 allows) and kernels are called non-virtually.
 
 Escape hatches: a finding on line N is suppressed when line N, N-1 or N-2
 contains `lint: allow-<rule>` (e.g. `// lint: allow-naked-new — arena`).
@@ -56,6 +65,7 @@ LIBRARY = ("src/",)
 LIBRARY_AND_TOOLS = ("src/", "tools/")
 NON_TEST = ("src/", "tools/", "bench/", "examples/")
 SERVING = ("src/serve/",)
+PLAN_RUNNER = ("src/plan/plan_runner",)
 
 RULES = [
     (
@@ -98,6 +108,21 @@ RULES = [
         re.compile(r"\.wait\s*\(|std::(queue|deque|list)\b"),
         "unbounded blocking in serving code: use wait_for/wait_until "
         "with a deadline and bounded vector-backed queues",
+    ),
+    (
+        "plan-alloc",
+        PLAN_RUNNER,
+        re.compile(
+            r"\bmake_unique\b|\bmake_shared\b|\bnew\b"
+            r"|\.push_back\s*\(|\.emplace_back\s*\("
+            r"|\.reserve\s*\(|\.resize\s*\("
+            r"|\bNewTensor\s*\(|\bNewZeroedTensor\s*\("
+            r"|\.Acquire\s*\(|\bAcquireZeroed\s*\(|\.Clone\s*\("
+            r"|\bBorrowAt\s*\("
+            r"|->Forward\s*\(|\.Forward\s*\(|\bLayerForward\s*\("
+        ),
+        "allocation / virtual dispatch in the plan-replay hot path "
+        "(pre-build slots in the ctor; call kernels non-virtually)",
     ),
     (
         "simd",
@@ -291,6 +316,7 @@ def self_test():
         "discard": "src/bad_discard.cc",
         "thread": "src/bad_thread.cc",
         "serve-wait": "src/serve/bad_serve_wait.cc",
+        "plan-alloc": "src/plan/plan_runner_bad.cc",
         "simd": "src/bad_simd.cc",
         PAIR_RULE: "src/bad_unpaired_forward.cc",
     }

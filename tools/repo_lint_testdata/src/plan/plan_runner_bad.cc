@@ -1,0 +1,10 @@
+// Fixture: allocation in the plan-replay hot path must be flagged.
+namespace dhgcn {
+
+void PlanRunnerBadRun(int* count) {
+  // A runner that grows a container per replayed op defeats the whole
+  // zero-steady-state-allocation contract.
+  results_.push_back(*count);
+}
+
+}  // namespace dhgcn
