@@ -1,9 +1,5 @@
 #include "base/fault_injection.h"
 
-// lint: allow-thread-file — see the header: the registry is queried from
-// serving worker and client threads concurrently, so pass counting takes
-// an internal mutex (no parallel compute routes through here).
-
 #include <cstdlib>
 
 #include "base/logging.h"
@@ -66,7 +62,7 @@ FaultInjection& FaultInjection::Get() {
 }
 
 void FaultInjection::Arm(FaultSite site, int64_t nth, int64_t payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Site& s = sites_[Index(site)];
   if (!s.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
   s.armed = true;
@@ -76,14 +72,14 @@ void FaultInjection::Arm(FaultSite site, int64_t nth, int64_t payload) {
 }
 
 void FaultInjection::Disarm(FaultSite site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Site& s = sites_[Index(site)];
   if (s.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
   s.armed = false;
 }
 
 void FaultInjection::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sites_ = {};
   armed_count_.store(0, std::memory_order_relaxed);
 }
@@ -91,7 +87,7 @@ void FaultInjection::Reset() {
 bool FaultInjection::ShouldFire(FaultSite site) {
   // Fast path: nothing armed anywhere, skip the lock entirely.
   if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Site& s = sites_[Index(site)];
   if (!s.armed) return false;
   if (++s.passes < s.fire_at) return false;
@@ -104,12 +100,12 @@ bool FaultInjection::ShouldFire(FaultSite site) {
 }
 
 int64_t FaultInjection::payload(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sites_[Index(site)].payload;
 }
 
 int64_t FaultInjection::fire_count(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sites_[Index(site)].fires;
 }
 

@@ -4,13 +4,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-// lint: allow-thread — the registry is queried from serving worker and
-// client threads concurrently; a plain mutex (no parallel compute) keeps
-// pass counting exact without routing through the ThreadPool.
-#include <mutex>
 #include <string>
 
 #include "base/result.h"
+#include "base/thread_annotations.h"
 
 namespace dhgcn {
 
@@ -89,9 +86,14 @@ class FaultInjection {
 
   FaultInjection() = default;
 
-  // lint: allow-thread — see the header comment on <mutex>.
-  mutable std::mutex mu_;
-  std::array<Site, static_cast<size_t>(FaultSite::kSiteCount)> sites_;
+  // The registry is queried from serving worker and client threads
+  // concurrently; a plain mutex (no parallel compute) keeps pass
+  // counting exact without routing through the ThreadPool.
+  mutable Mutex mu_;
+  std::array<Site, static_cast<size_t>(FaultSite::kSiteCount)> sites_
+      DHGCN_GUARDED_BY(mu_);
+  /// Fast-path disarmed check; relaxed is fine, any thread that races an
+  /// Arm() simply sees the site on its next pass.
   std::atomic<int64_t> armed_count_{0};
 };
 

@@ -10,6 +10,8 @@ namespace dhgcn {
 namespace {
 
 LogLevel InitialLevel() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once at static init of
+  // the log level, before any thread the library spawns exists.
   const char* env = std::getenv("DHGCN_LOG_LEVEL");
   if (env == nullptr) return LogLevel::kInfo;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;

@@ -1,0 +1,205 @@
+#ifndef DHGCN_BASE_THREAD_ANNOTATIONS_H_
+#define DHGCN_BASE_THREAD_ANNOTATIONS_H_
+
+// Compile-time concurrency contracts (see DESIGN.md §13).
+//
+// Two things live here, deliberately in one header so the lint
+// exemption surface stays minimal:
+//
+//  1. Abseil-style macros over Clang's thread-safety attributes
+//     (DHGCN_GUARDED_BY, DHGCN_REQUIRES, DHGCN_ACQUIRED_BEFORE, ...).
+//     Under clang, `-Wthread-safety -Wthread-safety-beta -Werror`
+//     turns every annotated locking invariant into a build break the
+//     moment a call path violates it — the static complement to the
+//     dynamic TSan CI job, which only catches the interleavings the
+//     tests happen to exercise. On GCC every macro expands to nothing,
+//     so the annotations are behavior- and ABI-neutral.
+//
+//  2. The annotatable primitives the analysis needs to see:
+//     dhgcn::Mutex / MutexLock / CondVar. `std::mutex` and
+//     `std::lock_guard` carry no capability attributes, so Clang
+//     cannot track their acquisitions; the repo_lint `mutex-wrap`
+//     rule therefore bans the raw std primitives everywhere in src/
+//     and tools/ except this header and the ThreadPool internals.
+//
+// Intra-op *compute* parallelism still goes exclusively through
+// base/thread_pool.h (the determinism contract, DESIGN.md §9); this
+// header is about making the locking that already exists provable.
+
+// lint: allow-thread-file — this is the wrapper the `thread` and
+// `mutex-wrap` rules funnel everyone else toward; it is the one place
+// (besides the ThreadPool internals) that touches the raw primitives.
+
+#include <chrono>  // lint: allow-wallclock — bounded-wait plumbing only: the duration is caller-supplied and never observed as a timestamp, so no wall-clock value can leak into training state.
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros. Clang-only; GCC (and any compiler without the
+// attributes) gets empty expansions.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#define DHGCN_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DHGCN_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a data member readable/writable only while the given
+/// capability (mutex) is held.
+#define DHGCN_GUARDED_BY(x) DHGCN_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Like GUARDED_BY, but guards the pointed-to data rather than the
+/// pointer itself.
+#define DHGCN_PT_GUARDED_BY(x) DHGCN_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function contract: the caller must hold the listed capabilities
+/// exclusively on entry (and still holds them on exit).
+#define DHGCN_REQUIRES(...) \
+  DHGCN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function contract: the caller must hold the listed capabilities at
+/// least shared on entry.
+#define DHGCN_REQUIRES_SHARED(...) \
+  DHGCN_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function contract: the caller must NOT hold the listed capabilities
+/// (the function acquires them itself; calling with them held would
+/// self-deadlock).
+#define DHGCN_EXCLUDES(...) \
+  DHGCN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares a global lock order: this mutex is always acquired before
+/// the listed ones. Checked by -Wthread-safety-beta, which turns the
+/// lock-order-inversion deadlock class into a compile error.
+#define DHGCN_ACQUIRED_BEFORE(...) \
+  DHGCN_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// Dual of ACQUIRED_BEFORE.
+#define DHGCN_ACQUIRED_AFTER(...) \
+  DHGCN_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Marks a type as a capability (something that can be held).
+#define DHGCN_CAPABILITY(x) DHGCN_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define DHGCN_SCOPED_CAPABILITY DHGCN_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated function acquires the capability (a lock function).
+#define DHGCN_ACQUIRE(...) \
+  DHGCN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The annotated function releases the capability (an unlock function).
+#define DHGCN_RELEASE(...) \
+  DHGCN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The annotated function tries to acquire the capability and reports
+/// success with the given boolean return value.
+#define DHGCN_TRY_ACQUIRE(...) \
+  DHGCN_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Asserts (for the analysis only) that the capability is already held.
+#define DHGCN_ASSERT_CAPABILITY(x) \
+  DHGCN_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The annotated function returns a reference to the named capability.
+#define DHGCN_RETURN_CAPABILITY(x) DHGCN_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining which out-of-band protocol makes the
+/// unchecked accesses safe (see DESIGN.md §13 for the policy).
+#define DHGCN_NO_THREAD_SAFETY_ANALYSIS \
+  DHGCN_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace dhgcn {
+
+class CondVar;
+
+/// \brief Annotatable mutex: std::mutex plus the capability attributes
+/// Clang's thread-safety analysis tracks acquisitions through.
+///
+/// Same blocking semantics and cost as std::mutex (one non-recursive
+/// kernel futex word); the only addition is static checkability, so
+/// swapping a raw mutex for this wrapper is behavior-neutral by
+/// construction. Prefer MutexLock for scoped sections; Lock()/Unlock()
+/// exist for protocols RAII cannot express.
+class DHGCN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DHGCN_ACQUIRE() { mu_.lock(); }
+  void Unlock() DHGCN_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() DHGCN_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;  // WaitForNanos needs the native handle
+  std::mutex mu_;
+};
+
+/// \brief Scoped lock over Mutex (the std::lock_guard replacement the
+/// `mutex-wrap` lint rule points at). Acquires in the constructor,
+/// releases in the destructor; the SCOPED_CAPABILITY attribute lets the
+/// analysis track the held region across early returns.
+class DHGCN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DHGCN_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() DHGCN_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief Condition variable paired with dhgcn::Mutex.
+///
+/// Waits take the Mutex explicitly and carry DHGCN_REQUIRES, so a wait
+/// without the lock held is a compile error under the analysis.
+/// Predicate waits are deliberately absent: a lambda body is analyzed
+/// as a separate function that cannot see the caller's held locks, so
+/// guarded reads inside it would (rightly) fail the analysis — write
+/// the standard `while (!condition) cv.Wait*(&mu);` loop instead, where
+/// the guarded reads sit in the frame that provably holds the mutex.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Unbounded wait; spurious wakeups possible, loop on the condition.
+  /// Banned in src/serve/ (the repo_lint `serve-wait` rule) — serving
+  /// code must use WaitForNanos so no loop can block forever.
+  void Wait(Mutex* mu) DHGCN_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Bounded wait: returns after a notification, a spurious wakeup, or
+  /// `timeout_ns` nanoseconds, whichever comes first. Loop on the
+  /// condition either way.
+  void WaitForNanos(Mutex* mu, int64_t timeout_ns) DHGCN_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    // lint: allow-wallclock — caller-supplied bounded-wait duration;
+    // no timestamp is read, nothing can leak into training state.
+    cv_.wait_for(lock, std::chrono::nanoseconds(timeout_ns));
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_BASE_THREAD_ANNOTATIONS_H_

@@ -13,6 +13,8 @@ namespace {
 thread_local bool tls_in_parallel = false;
 
 int64_t DefaultThreadCount() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once, while the lazily
+  // constructed singleton pool is being built, before any worker exists.
   if (const char* env = std::getenv("DHGCN_THREADS")) {
     char* end = nullptr;
     long parsed = std::strtol(env, &end, 10);
@@ -50,14 +52,19 @@ void ThreadPool::SetThreads(int64_t n) {
 
 void ThreadPool::StopWorkers() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    MutexLock lock(&mu_);
+    // Condition loops are written out (not lambda predicates) so the
+    // guarded reads sit in this frame, which provably holds mu_.
+    while (active_workers_ != 0) done_cv_.Wait(&mu_);
     shutdown_ = true;
   }
-  worker_cv_.notify_all();
+  worker_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
-  shutdown_ = false;
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = false;
+  }
 }
 
 void ThreadPool::StartWorkers(int64_t worker_count) {
@@ -86,10 +93,10 @@ void ThreadPool::Run(TaskFn fn, void* ctx, int64_t begin, int64_t end,
   }
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Let stragglers from the previous job leave the claim loop before
     // the job fields they read are overwritten.
-    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    while (active_workers_ != 0) done_cv_.Wait(&mu_);
     job_fn_ = fn;
     job_ctx_ = ctx;
     job_begin_ = begin;
@@ -100,14 +107,14 @@ void ThreadPool::Run(TaskFn fn, void* ctx, int64_t begin, int64_t end,
     remaining_chunks_.store(chunks, std::memory_order_relaxed);
     ++job_id_;
   }
-  worker_cv_.notify_all();
+  worker_cv_.NotifyAll();
 
   RunChunks();  // the calling thread is one of the compute threads
 
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    return remaining_chunks_.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lock(&mu_);
+  while (remaining_chunks_.load(std::memory_order_acquire) != 0) {
+    done_cv_.Wait(&mu_);
+  }
 }
 
 void ThreadPool::RunChunks() {
@@ -119,8 +126,8 @@ void ThreadPool::RunChunks() {
     int64_t chunk_end = std::min(job_end_, chunk_begin + job_grain_);
     job_fn_(job_ctx_, chunk_begin, chunk_end);
     if (remaining_chunks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(mu_);
-      done_cv_.notify_all();
+      MutexLock lock(&mu_);
+      done_cv_.NotifyAll();
     }
   }
   tls_in_parallel = false;
@@ -130,19 +137,18 @@ void ThreadPool::WorkerLoop() {
   uint64_t last_job = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      worker_cv_.wait(lock,
-                      [&] { return shutdown_ || job_id_ != last_job; });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && job_id_ == last_job) worker_cv_.Wait(&mu_);
       if (shutdown_) return;
       last_job = job_id_;
       ++active_workers_;
     }
     RunChunks();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_workers_;
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 

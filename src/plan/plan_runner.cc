@@ -30,7 +30,8 @@ PlanRunner::PlanRunner(ExecutionPlan plan) : plan_(std::move(plan)) {
     if (slot.offset_bytes < 0) {
       slots_.push_back(Tensor());  // lint: allow-plan-alloc (ctor setup)
     } else {
-      // lint: allow-plan-alloc (ctor setup)
+      // lint: allow-plan-alloc (ctor setup); lint: allow-ws-lifetime —
+      // pinned arena (ReservePinned): offsets stay valid across Reset.
       slots_.push_back(arena_.BorrowAt(
           static_cast<size_t>(slot.offset_bytes), slot.shape));
     }

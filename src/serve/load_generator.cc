@@ -9,14 +9,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <limits>
-#include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "base/check.h"
 #include "base/rng.h"
+#include "base/thread_annotations.h"
 #include "serve/clock.h"
 
 namespace dhgcn {
@@ -25,20 +24,20 @@ namespace {
 
 /// Shared sink for completions arriving from worker threads.
 struct Collector {
-  std::mutex mu;
-  std::condition_variable cv;
-  int64_t outstanding = 0;
-  int64_t ok = 0;
-  int64_t expired = 0;
-  int64_t invalid = 0;
-  int64_t other_errors = 0;
-  int64_t batched_sum = 0;
-  std::vector<double> ok_latency_ms;
+  Mutex mu;
+  CondVar cv;
+  int64_t outstanding DHGCN_GUARDED_BY(mu) = 0;
+  int64_t ok DHGCN_GUARDED_BY(mu) = 0;
+  int64_t expired DHGCN_GUARDED_BY(mu) = 0;
+  int64_t invalid DHGCN_GUARDED_BY(mu) = 0;
+  int64_t other_errors DHGCN_GUARDED_BY(mu) = 0;
+  int64_t batched_sum DHGCN_GUARDED_BY(mu) = 0;
+  std::vector<double> ok_latency_ms DHGCN_GUARDED_BY(mu);
 };
 
 void CollectorDone(void* ctx, const ServeResponse& response) {
   Collector* collector = static_cast<Collector*>(ctx);
-  std::lock_guard<std::mutex> lock(collector->mu);
+  MutexLock lock(&collector->mu);
   if (response.status.ok()) {
     ++collector->ok;
     collector->ok_latency_ms.push_back(
@@ -52,7 +51,7 @@ void CollectorDone(void* ctx, const ServeResponse& response) {
     ++collector->other_errors;
   }
   --collector->outstanding;
-  if (collector->outstanding == 0) collector->cv.notify_all();
+  if (collector->outstanding == 0) collector->cv.NotifyAll();
 }
 
 double Percentile(std::vector<double>* values, double pct) {
@@ -108,7 +107,7 @@ LoadGenReport RunLoad(InferenceServer& server,
       clip.flat(0) = std::numeric_limits<float>::quiet_NaN();
     }
     {
-      std::lock_guard<std::mutex> lock(collector.mu);
+      MutexLock lock(&collector.mu);
       ++collector.outstanding;
     }
     Status submitted = server.Submit(clip, submit, &CollectorDone,
@@ -116,7 +115,7 @@ LoadGenReport RunLoad(InferenceServer& server,
     if (poison) clip.flat(0) = 0.0f;
     if (!submitted.ok()) {
       {
-        std::lock_guard<std::mutex> lock(collector.mu);
+        MutexLock lock(&collector.mu);
         --collector.outstanding;
       }
       if (submitted.IsOverloaded()) {
@@ -132,11 +131,11 @@ LoadGenReport RunLoad(InferenceServer& server,
   }
 
   {
-    std::unique_lock<std::mutex> lock(collector.mu);
+    MutexLock lock(&collector.mu);
     while (collector.outstanding > 0) {
       // Bounded wait (serve-wait rule); admitted requests always
       // complete, so this drains.
-      collector.cv.wait_for(lock, std::chrono::milliseconds(50));
+      collector.cv.WaitForNanos(&collector.mu, 50'000'000);
     }
     report.accepted = report.offered - shed - report.expired -
                       report.invalid - report.other_errors;

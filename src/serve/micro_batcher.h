@@ -52,7 +52,16 @@ struct PendingRequest {
 /// Pure policy object: every method takes `now_ns` explicitly and the
 /// class does no locking, no clock reads and no allocation after
 /// construction, so unit tests replay arbitrary schedules with a fake
-/// clock. `InferenceServer` wraps one instance in its mutex.
+/// clock.
+///
+/// Call contract under concurrency: the caller serializes every method
+/// call on one instance. `InferenceServer` expresses that statically by
+/// declaring its member `batcher_ DHGCN_GUARDED_BY(mu_)` — the
+/// annotation lives at the *owning member*, not as `REQUIRES` on these
+/// methods, because Clang's thread-safety analysis cannot prove
+/// cross-object mutex identity (it has no way to know which caller
+/// mutex guards `this`). Single-threaded users (unit tests) need no
+/// lock at all.
 ///
 /// Policy:
 ///  - **Admission**: reject with kOverloaded when `size == capacity`

@@ -1,18 +1,18 @@
 #include "serve/serve_c_api.h"
 
-// lint: allow-thread-file — the handle's last_error slot is written
-// under a mutex because the ABI promises thread-safe calls.
-
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "base/thread_annotations.h"
 #include "serve/server.h"
 
 using dhgcn::DhgcnConfig;
 using dhgcn::InferenceServer;
+using dhgcn::Mutex;
+using dhgcn::MutexLock;
 using dhgcn::ServeResponse;
 using dhgcn::ServerOptions;
 using dhgcn::SkeletonLayoutType;
@@ -20,11 +20,18 @@ using dhgcn::Status;
 using dhgcn::SubmitOptions;
 using dhgcn::Tensor;
 
-/// The opaque handle: the server plus a guarded last-error slot.
+/// The opaque handle: the server plus a guarded last-error slot. The
+/// slot is a fixed in-handle buffer, not a std::string: the ABI hands
+/// out a pointer into it from dhgcn_serve_last_error, and a string's
+/// c_str() would dangle the moment a concurrent SetLastError reassigned
+/// it. Fixed storage keeps the returned pointer valid for the handle's
+/// whole lifetime (a racing writer can at worst be observed mid-message,
+/// never as a use-after-free).
 struct dhgcn_serve_server {
+  static constexpr size_t kErrBufLen = 256;
   std::unique_ptr<InferenceServer> server;
-  mutable std::mutex err_mu;
-  std::string last_error;
+  mutable Mutex err_mu;
+  char last_error[kErrBufLen] DHGCN_GUARDED_BY(err_mu) = "";
 };
 
 namespace {
@@ -39,8 +46,11 @@ int StatusToCode(const Status& status) {
 }
 
 void SetLastError(dhgcn_serve_server* server, const std::string& message) {
-  std::lock_guard<std::mutex> lock(server->err_mu);
-  server->last_error = message;
+  MutexLock lock(&server->err_mu);
+  size_t n =
+      std::min(message.size(), dhgcn_serve_server::kErrBufLen - 1);
+  std::memcpy(server->last_error, message.data(), n);
+  server->last_error[n] = '\0';
 }
 
 void FillErrBuf(char* err_buf, int64_t err_buf_len,
@@ -158,8 +168,11 @@ int dhgcn_serve_health_state(const dhgcn_serve_server* server) {
 
 const char* dhgcn_serve_last_error(const dhgcn_serve_server* server) {
   if (server == nullptr) return "null server handle";
-  std::lock_guard<std::mutex> lock(server->err_mu);
-  return server->last_error.c_str();
+  // The lock orders this read against in-flight SetLastError writes;
+  // the returned pointer stays valid after release because the buffer
+  // is in-handle fixed storage (see the handle comment).
+  MutexLock lock(&server->err_mu);
+  return server->last_error;
 }
 
 void dhgcn_serve_close(dhgcn_serve_server* server) {

@@ -23,10 +23,10 @@ namespace {
 
 /// Stack-resident completion latch for the blocking Infer wrapper.
 struct SyncWaiter {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  ServeResponse response;
+  Mutex mu;
+  CondVar cv;
+  bool done DHGCN_GUARDED_BY(mu) = false;
+  ServeResponse response DHGCN_GUARDED_BY(mu);
 };
 
 void SyncWaiterDone(void* ctx, const ServeResponse& response) {
@@ -34,12 +34,12 @@ void SyncWaiterDone(void* ctx, const ServeResponse& response) {
   // Notify while still holding the mutex: the waiter destroys this
   // stack-resident latch as soon as it observes done, and it can only
   // observe done after we release the lock — which is only after
-  // notify_all has returned. Notifying outside the lock races the
+  // NotifyAll has returned. Notifying outside the lock races the
   // condvar's destruction (caught by TSan).
-  std::lock_guard<std::mutex> lock(waiter->mu);
+  MutexLock lock(&waiter->mu);
   waiter->response = response;
   waiter->done = true;
-  waiter->cv.notify_all();
+  waiter->cv.NotifyAll();
 }
 
 }  // namespace
@@ -79,8 +79,10 @@ InferenceServer::InferenceServer(
       options_(options),
       clock_(clock),
       batcher_(options.batcher) {
+  // Value-initialized (`[]()`) so every heartbeat slot starts at 0/idle.
+  worker_busy_since_ = std::make_unique<std::atomic<int64_t>[]>(
+      static_cast<size_t>(options_.worker_count));
   for (int64_t w = 0; w < options_.worker_count; ++w) {
-    worker_busy_since_.push_back(std::make_unique<std::atomic<int64_t>>(0));
     workspaces_.push_back(std::make_unique<Workspace>());
   }
 }
@@ -104,7 +106,7 @@ Result<std::unique_ptr<InferenceServer>> InferenceServer::Create(
       new InferenceServer(std::move(models), options,
                           clock != nullptr ? clock : ServeClock::Real()));
   {
-    std::lock_guard<std::mutex> lock(server->mu_);
+    MutexLock lock(&server->mu_);
     server->started_ = true;
   }
   for (int64_t w = 0; w < options.worker_count; ++w) {
@@ -132,7 +134,7 @@ Status InferenceServer::Submit(const Tensor& clip,
   request.done_fn = done_fn;
   request.done_ctx = done_ctx;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutting_down_) {
       return Status::FailedPrecondition("server is shutting down");
     }
@@ -155,7 +157,7 @@ Status InferenceServer::Submit(const Tensor& clip,
       stats_.max_queue_depth = batcher_.size();
     }
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return Status::OK();
 }
 
@@ -168,12 +170,11 @@ ServeResponse InferenceServer::Infer(const Tensor& clip,
     response.status = submitted;
     return response;
   }
-  std::unique_lock<std::mutex> lock(waiter.mu);
+  MutexLock lock(&waiter.mu);
   while (!waiter.done) {
     // Bounded waits only; the server's exactly-once completion
     // guarantee (including through Shutdown) bounds the loop itself.
-    waiter.cv.wait_for(lock, std::chrono::milliseconds(50),
-                       [&] { return waiter.done; });
+    waiter.cv.WaitForNanos(&waiter.mu, 50'000'000);
   }
   return waiter.response;
 }
@@ -190,7 +191,7 @@ void InferenceServer::Complete(PendingRequest* request, Status status,
   response.batch_size = batch_size;
   response.logits = std::move(logits);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (status.ok()) {
       ++stats_.completed_ok;
     } else if (status.IsDeadlineExceeded()) {
@@ -213,7 +214,7 @@ void InferenceServer::WorkerLoop(int64_t worker_index) {
     batch.clear();
     bool forced_miss = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (;;) {
         int64_t now = clock_->NowNanos();
         batcher_.MaybeRecover(now);
@@ -230,7 +231,7 @@ void InferenceServer::WorkerLoop(int64_t worker_index) {
         int64_t wait_ns =
             batcher_.NanosUntilNextEvent(now, options_.idle_tick_ns);
         if (wait_ns < 100'000) wait_ns = 100'000;
-        work_cv_.wait_for(lock, std::chrono::nanoseconds(wait_ns));
+        work_cv_.WaitForNanos(&mu_, wait_ns);
       }
     }
     for (PendingRequest& request : expired) {
@@ -258,7 +259,7 @@ void InferenceServer::ExecuteBatch(int64_t worker_index,
   FrozenModel& model = *models_[static_cast<size_t>(worker_index)];
   Workspace& ws = *workspaces_[static_cast<size_t>(worker_index)];
   std::atomic<int64_t>& busy =
-      *worker_busy_since_[static_cast<size_t>(worker_index)];
+      worker_busy_since_[static_cast<size_t>(worker_index)];
   int64_t taken_ns = clock_->NowNanos();
   busy.store(taken_ns, std::memory_order_release);
 
@@ -319,7 +320,7 @@ void InferenceServer::ExecuteBatch(int64_t worker_index,
     // concurrently would race on them at any thread count. Workers
     // still overlap validation, stacking, and completion; only the
     // forward itself is serialized.
-    std::lock_guard<std::mutex> lease(compute_mu_);
+    MutexLock lease(&compute_mu_);
     logits = model.Forward(stacked, ws);
   }
   DHGCN_CHECK_EQ(logits.dim(0), b);
@@ -343,7 +344,7 @@ void InferenceServer::ExecuteBatch(int64_t worker_index,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.batches;
     stats_.batched_requests += b;
   }
@@ -354,11 +355,12 @@ HealthReport InferenceServer::Health() const {
   HealthReport report;
   int64_t now = clock_->NowNanos();
   int64_t stalled = 0;
-  for (const auto& busy : worker_busy_since_) {
-    int64_t since = busy->load(std::memory_order_acquire);
+  for (int64_t w = 0; w < options_.worker_count; ++w) {
+    int64_t since = worker_busy_since_[static_cast<size_t>(w)].load(
+        std::memory_order_acquire);
     if (since > 0 && now - since > options_.stall_threshold_ns) ++stalled;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   report.stalled_workers = stalled;
   report.queue_depth = batcher_.size();
   report.degrade_level = batcher_.degrade_level();
@@ -378,7 +380,7 @@ HealthReport InferenceServer::Health() const {
 }
 
 ServeStats InferenceServer::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ServeStats stats = stats_;
   stats.degrade_events = batcher_.degrade_events();
   stats.recover_events = batcher_.recover_events();
@@ -387,10 +389,10 @@ ServeStats InferenceServer::Stats() const {
 
 void InferenceServer::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }

@@ -6,18 +6,19 @@
 // bounded condition waits. Intra-op parallelism still goes through
 // base/thread_pool.h (forwards take a compute lease when the pool is
 // multi-threaded), so the determinism contract is untouched. All
-// condition waits are bounded (`wait_for`), enforced by the repo_lint
-// `serve-wait` rule.
+// condition waits are bounded (`WaitForNanos`), enforced by the
+// repo_lint `serve-wait` rule, and every locking invariant is
+// annotated for Clang's thread-safety analysis (DESIGN.md §13).
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/result.h"
+#include "base/thread_annotations.h"
 #include "serve/clock.h"
 #include "serve/frozen_model.h"
 #include "serve/micro_batcher.h"
@@ -126,27 +127,46 @@ class InferenceServer {
   void Complete(PendingRequest* request, Status status, Tensor logits,
                 int64_t taken_ns, int64_t batch_size);
 
+  /// models_/options_/clock_ are immutable after Create() returns, so
+  /// they carry no guard.
   std::vector<std::unique_ptr<FrozenModel>> models_;
   ServerOptions options_;
   ServeClock* clock_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  MicroBatcher batcher_;
-  bool shutting_down_ = false;
-  bool started_ = false;
-  int64_t next_request_id_ = 1;
-  ServeStats stats_;
+  /// Guards the admission queue and every piece of server state the
+  /// submitter, workers and health probes share. Declared
+  /// ACQUIRED_BEFORE the compute lease: whenever both are held, mu_ is
+  /// taken first — with -Wthread-safety-beta an inverted acquisition
+  /// anywhere in the tree is a compile error, which statically rules
+  /// out the mu_/compute_mu_ deadlock class.
+  mutable Mutex mu_ DHGCN_ACQUIRED_BEFORE(compute_mu_);
+  CondVar work_cv_;
+  MicroBatcher batcher_ DHGCN_GUARDED_BY(mu_);
+  bool shutting_down_ DHGCN_GUARDED_BY(mu_) = false;
+  bool started_ DHGCN_GUARDED_BY(mu_) = false;
+  int64_t next_request_id_ DHGCN_GUARDED_BY(mu_) = 1;
+  ServeStats stats_ DHGCN_GUARDED_BY(mu_);
 
-  /// Worker heartbeat: 0 = idle, else NowNanos() when the current batch
-  /// started. Written by the owning worker, read by Health().
-  std::vector<std::unique_ptr<std::atomic<int64_t>>> worker_busy_since_;
-  /// One arena per worker, reset per batch.
+  /// Worker heartbeats: 0 = idle, else NowNanos() when the current
+  /// batch started. Written by the owning worker, read by Health() —
+  /// atomics, not mu_, so the watchdog never contends with admission.
+  /// One flat fixed-size array (worker_count entries, sized at
+  /// construction): the watchdog scan walks contiguous memory instead
+  /// of chasing one heap pointer per worker.
+  std::unique_ptr<std::atomic<int64_t>[]> worker_busy_since_;
+  /// One arena per worker, reset per batch. The vector itself is built
+  /// before the workers start and never resized; each arena is touched
+  /// only by its owning worker.
   std::vector<std::unique_ptr<Workspace>> workspaces_;
+  /// Mutated only in Create() (before any worker runs) and Shutdown()
+  /// (after the shutting_down_ handshake stops every loop), so joins
+  /// happen outside any lock.
   std::vector<std::thread> workers_;
-  /// Serializes model forwards when the intra-op ThreadPool has more
-  /// than one thread (its job slot admits one concurrent entrant).
-  std::mutex compute_mu_;
+  /// Compute lease: serializes model forwards when the intra-op
+  /// ThreadPool has more than one thread (its job slot admits one
+  /// concurrent entrant). Never taken while holding mu_ today — the
+  /// ACQUIRED_BEFORE ordering above keeps any future nesting one-way.
+  Mutex compute_mu_;
 };
 
 }  // namespace dhgcn

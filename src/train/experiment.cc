@@ -124,6 +124,8 @@ BenchScale GetBenchScale() {
   scale.num_frames = 16;
   scale.epochs = 14;
   scale.batch_size = 8;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read from the single-threaded
+  // experiment driver before training (and its pool workers) starts.
   const char* env = std::getenv("DHGCN_BENCH_SCALE");
   if (env != nullptr && std::strcmp(env, "smoke") == 0) {
     scale.num_classes = 3;

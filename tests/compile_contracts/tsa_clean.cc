@@ -1,0 +1,47 @@
+// Positive control for the thread-safety compile contracts: correctly
+// locked guarded state MUST compile clean under
+// `-Wthread-safety -Wthread-safety-beta -Werror`. If this fixture fails,
+// the negative fixtures prove nothing (any rejection could be noise
+// from the macros themselves rather than a caught bug).
+#include <cstdint>
+
+#include "base/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Increment() {
+    dhgcn::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int64_t Snapshot() {
+    dhgcn::MutexLock lock(&mu_);
+    return value_;
+  }
+
+  // The annotated lock order, acquired in order: clean under -beta.
+  void Nested() {
+    dhgcn::MutexLock outer(&first_);
+    dhgcn::MutexLock inner(&second_);
+    ++ordered_;
+  }
+
+ private:
+  dhgcn::Mutex mu_;
+  int64_t value_ DHGCN_GUARDED_BY(mu_) = 0;
+
+  dhgcn::Mutex first_ DHGCN_ACQUIRED_BEFORE(second_);
+  dhgcn::Mutex second_;
+  int64_t ordered_ DHGCN_GUARDED_BY(second_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Increment();
+  g.Nested();
+  return static_cast<int>(g.Snapshot() - 1);
+}

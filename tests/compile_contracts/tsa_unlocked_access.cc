@@ -1,0 +1,30 @@
+// Negative fixture: MUST NOT compile under
+// `-Wthread-safety -Werror` (registered with WILL_FAIL in CTest).
+// Writes a DHGCN_GUARDED_BY member without holding its mutex — exactly
+// the bug class the annotations exist to turn into a build break. If
+// this fixture ever compiles under clang, the analysis is not running
+// and the whole thread-safety gate is vacuous.
+#include <cstdint>
+
+#include "base/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void IncrementWithoutLock() {
+    ++value_;  // guarded by mu_, which is not held: analysis error
+  }
+
+ private:
+  dhgcn::Mutex mu_;
+  int64_t value_ DHGCN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.IncrementWithoutLock();
+  return 0;
+}

@@ -28,10 +28,26 @@ Rules (see DESIGN.md §7 for the rationale):
                  file-level allows: its inter-request concurrency is the
                  reviewed exception, see DESIGN.md §11.)
   serve-wait     In src/serve/, unbounded blocking is banned: condition
-                 waits must be `wait_for`/`wait_until` (a bare `.wait(`
-                 can deadlock the serving loop forever) and queues must
-                 be bounded preallocated vectors, never std::queue /
+                 waits must be `wait_for`/`wait_until` (or the wrapper's
+                 `WaitForNanos`; a bare `.wait(` / `CondVar::Wait` can
+                 deadlock the serving loop forever) and queues must be
+                 bounded preallocated vectors, never std::queue /
                  std::deque / std::list.
+  mutex-wrap     Raw std:: lock types (std::mutex / std::lock_guard /
+                 std::unique_lock and friends) are banned in src/ and
+                 tools/ outside base/thread_annotations.h. Locking goes
+                 through dhgcn::Mutex / MutexLock / CondVar so every
+                 guarded invariant is visible to Clang's thread-safety
+                 analysis (-Wthread-safety); a raw std::mutex is a blind
+                 spot the analysis silently skips.
+  ws-lifetime    A tensor acquired from a Workspace arena
+                 (`Acquire` / `AcquireZeroed` / `BorrowAt`) is valid only
+                 until the arena's next `Reset()` and only within the
+                 acquiring scope: storing one into a member / static, or
+                 using it after a `Reset()` of its arena in the same
+                 function, is a use-after-invalidation bug the type
+                 system cannot see. (PlanRunner's pinned-arena slots are
+                 the reviewed exception, escaped line-by-line.)
   plan-alloc     In src/plan/plan_runner.*, allocation and dynamic
                  dispatch are banned: PlanRunner::Run is the compiled
                  replay hot loop whose contract is zero steady-state
@@ -105,9 +121,21 @@ RULES = [
     (
         "serve-wait",
         SERVING,
-        re.compile(r"\.wait\s*\(|std::(queue|deque|list)\b"),
-        "unbounded blocking in serving code: use wait_for/wait_until "
-        "with a deadline and bounded vector-backed queues",
+        re.compile(r"\.wait\s*\(|\.Wait\s*\(|std::(queue|deque|list)\b"),
+        "unbounded blocking in serving code: use wait_for/wait_until/"
+        "WaitForNanos with a deadline and bounded vector-backed queues",
+    ),
+    (
+        "mutex-wrap",
+        LIBRARY_AND_TOOLS,
+        re.compile(
+            r"std::(lock_guard|unique_lock|scoped_lock|shared_lock"
+            r"|mutex|recursive_mutex|timed_mutex|shared_mutex"
+            r"|shared_timed_mutex|condition_variable"
+            r"|condition_variable_any)\b"
+        ),
+        "raw std:: lock type (use dhgcn::Mutex/MutexLock/CondVar from "
+        "base/thread_annotations.h so -Wthread-safety sees the lock)",
     ),
     (
         "plan-alloc",
@@ -145,6 +173,20 @@ RULES = [
 THREAD_RULE_EXEMPT = {
     "src/base/thread_pool.h",
     "src/base/thread_pool.cc",
+}
+
+# The one place raw std:: lock types are allowed: the annotated wrapper
+# that hides them behind capability attributes.
+MUTEX_WRAP_RULE_EXEMPT = {
+    "src/base/thread_annotations.h",
+}
+
+# The arena implementation itself hands out the borrows the ws-lifetime
+# rule polices, so its own internals are exempt.
+WS_LIFETIME_RULE = "ws-lifetime"
+WS_LIFETIME_RULE_EXEMPT = {
+    "src/tensor/workspace.h",
+    "src/tensor/workspace.cc",
 }
 
 # The one place ISA-specific codegen is allowed: the micro-kernel TU,
@@ -191,6 +233,117 @@ def strip_code_line(line, in_block_comment):
     code = STRING_OR_CHAR.sub('""', code)
     code = LINE_COMMENT.sub("", code)
     return code, in_block_comment
+
+
+# --- ws-lifetime pass ------------------------------------------------------
+#
+# Works on assembled statements (lines joined until parentheses balance
+# and a `;`/`{`/`}` appears) so multi-line acquires are seen whole. Two
+# violation shapes:
+#
+#   1. storing an acquired tensor into a member (`foo_ = ws.Acquire(...)`,
+#      `foo_.push_back(ws.BorrowAt(...))`) or a static — the pointer then
+#      outlives the acquiring scope and dangles at the next Reset();
+#   2. using a locally-acquired tensor after its arena's Reset() in the
+#      same function body.
+#
+# Deliberately conservative: only local declarations of the form
+# `Tensor x = ws.Acquire(...)` / `auto x = ...` are lifetime-tracked, and
+# tracking expires with the enclosing brace scope.
+
+WS_ACQUIRE = r"(?:Acquire|AcquireZeroed|BorrowAt)\s*\("
+WS_DECL = re.compile(
+    r"\b(?:Tensor|auto)\s+(\w+)\s*=\s*(\w+)\s*(?:\.|->)\s*" + WS_ACQUIRE
+)
+WS_MEMBER_STORE = re.compile(
+    r"\b(?:this\s*->\s*)?\w+_\s*(?:\[[^\]]*\]\s*)?=(?!=)[^;=]*\b" + WS_ACQUIRE
+)
+WS_MEMBER_PUSH = re.compile(
+    r"\b(?:this\s*->\s*)?\w+_\s*\.\s*"
+    r"(?:push_back|emplace_back|insert|assign|push|append)\s*\("
+    r"[^;]*\b" + WS_ACQUIRE
+)
+WS_STATIC_STORE = re.compile(r"\bstatic\b[^;=()]*=[^;=]*\b" + WS_ACQUIRE)
+WS_RESET = re.compile(r"\b(\w+)\s*(?:\.|->)\s*Reset\s*\(\s*\)")
+
+
+def assemble_statements(code_lines):
+    """Yields (start_idx, text, open_braces, close_braces) statements."""
+    buf = []
+    start = None
+    paren_depth = 0
+    for idx, code in enumerate(code_lines):
+        if start is None:
+            if not code.strip():
+                continue
+            start = idx
+        buf.append(code)
+        paren_depth += code.count("(") - code.count(")")
+        if paren_depth <= 0 and re.search(r"[;{}]", code):
+            text = " ".join(buf)
+            yield start, text, text.count("{"), text.count("}")
+            buf = []
+            start = None
+            paren_depth = 0
+    if buf:
+        text = " ".join(buf)
+        yield start, text, text.count("{"), text.count("}")
+
+
+def lint_ws_lifetime(rel_path, code_lines, allowed):
+    findings = []
+    alive = {}  # var -> (arena var, brace depth at declaration)
+    dead = {}  # var -> (arena var, brace depth, reset line)
+    depth = 0
+    for start, text, opens, closes in assemble_statements(code_lines):
+        stored = (
+            WS_MEMBER_STORE.search(text)
+            or WS_MEMBER_PUSH.search(text)
+            or WS_STATIC_STORE.search(text)
+        )
+        if stored and not allowed(WS_LIFETIME_RULE, start):
+            findings.append(
+                Finding(
+                    rel_path,
+                    start + 1,
+                    WS_LIFETIME_RULE,
+                    "workspace-acquired tensor stored beyond the acquiring "
+                    "scope (dangles at the arena's next Reset)",
+                )
+            )
+        decl = WS_DECL.search(text)
+        for var, (arena, var_depth, reset_line) in list(dead.items()):
+            if decl is not None and decl.group(1) == var:
+                continue  # redeclared below; not a stale use
+            if re.search(rf"\b{re.escape(var)}\b", text) and not allowed(
+                WS_LIFETIME_RULE, start
+            ):
+                findings.append(
+                    Finding(
+                        rel_path,
+                        start + 1,
+                        WS_LIFETIME_RULE,
+                        f"`{var}` used after its arena's Reset() on line "
+                        f"{reset_line} invalidated it",
+                    )
+                )
+                del dead[var]
+        if decl is not None:
+            var = decl.group(1)
+            dead.pop(var, None)
+            alive[var] = (decl.group(2), depth)
+        reset = WS_RESET.search(text)
+        if reset is not None:
+            arena = reset.group(1)
+            for var, (var_arena, var_depth) in list(alive.items()):
+                if var_arena == arena:
+                    dead[var] = (var_arena, var_depth, start + 1)
+                    del alive[var]
+        depth += opens - closes
+        if closes > opens:
+            alive = {v: t for v, t in alive.items() if t[1] <= depth}
+            dead = {v: t for v, t in dead.items() if t[1] <= depth}
+    return findings
 
 
 class Finding:
@@ -243,6 +396,8 @@ def lint_file(root, rel_path):
             continue
         if rule == "simd" and rel_path in SIMD_RULE_EXEMPT:
             continue
+        if rule == "mutex-wrap" and rel_path in MUTEX_WRAP_RULE_EXEMPT:
+            continue
         for idx, code in enumerate(code_lines):
             if not pattern.search(code):
                 continue
@@ -253,6 +408,13 @@ def lint_file(root, rel_path):
             if allowed(rule, idx):
                 continue
             findings.append(Finding(rel_path, idx + 1, rule, message))
+
+    if (
+        rule_applies(LIBRARY, rel_path)
+        and rel_path not in WS_LIFETIME_RULE_EXEMPT
+        and WS_LIFETIME_RULE not in file_allows
+    ):
+        findings.extend(lint_ws_lifetime(rel_path, code_lines, allowed))
 
     if rule_applies(LIBRARY, rel_path) and PAIR_RULE not in file_allows:
         joined = "\n".join(code_lines)
@@ -309,28 +471,34 @@ def self_test():
     for f in findings:
         by_rule.setdefault(f.rule, []).append(f)
 
+    # rule -> (fixture path, expected finding count in that file)
     expected = {
-        "throw": "src/bad_throw.cc",
-        "naked-new": "src/bad_new.cc",
-        "wallclock": "src/bad_wallclock.cc",
-        "discard": "src/bad_discard.cc",
-        "thread": "src/bad_thread.cc",
-        "serve-wait": "src/serve/bad_serve_wait.cc",
-        "plan-alloc": "src/plan/plan_runner_bad.cc",
-        "simd": "src/bad_simd.cc",
-        PAIR_RULE: "src/bad_unpaired_forward.cc",
+        "throw": ("src/bad_throw.cc", 1),
+        "naked-new": ("src/bad_new.cc", 1),
+        "wallclock": ("src/bad_wallclock.cc", 1),
+        "discard": ("src/bad_discard.cc", 1),
+        "thread": ("src/bad_thread.cc", 1),
+        "serve-wait": ("src/serve/bad_serve_wait.cc", 1),
+        "plan-alloc": ("src/plan/plan_runner_bad.cc", 1),
+        "simd": ("src/bad_simd.cc", 1),
+        "mutex-wrap": ("src/bad_mutex_wrap.cc", 1),
+        # Two shapes of the lifetime bug: a member store and a
+        # use-after-Reset, both in the one fixture.
+        WS_LIFETIME_RULE: ("src/bad_ws_lifetime.cc", 2),
+        PAIR_RULE: ("src/bad_unpaired_forward.cc", 1),
     }
     failures = []
-    for rule, path in expected.items():
+    for rule, (path, count) in expected.items():
         hits = by_rule.get(rule, [])
-        if len(hits) != 1:
+        if len(hits) != count:
             failures.append(
-                f"rule {rule}: expected exactly 1 finding, got "
+                f"rule {rule}: expected exactly {count} finding(s), got "
                 f"{len(hits)}: {[str(h) for h in hits]}"
             )
-        elif hits[0].path != path:
+        elif any(h.path != path for h in hits):
             failures.append(
-                f"rule {rule}: expected finding in {path}, got {hits[0].path}"
+                f"rule {rule}: expected finding(s) in {path}, got "
+                f"{[h.path for h in hits]}"
             )
     unexpected = [f for f in findings if f.rule not in expected]
     if unexpected:

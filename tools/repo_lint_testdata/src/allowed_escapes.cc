@@ -20,6 +20,7 @@ void Run() {
   auto t0 = std::chrono::steady_clock::now();
   (void)t0;
   // lint: allow-thread — fixture exercising the thread-rule escape hatch.
+  // lint: allow-mutex-wrap — same line also trips the raw-lock-type rule.
   static std::mutex escape_mu;
   escape_mu.lock();
   escape_mu.unlock();
@@ -30,6 +31,23 @@ void Run() {
 
 class Tensor;
 class Workspace;
+void Consume(const Tensor& t);
+
+// Never compiled, only linted: both ws-lifetime shapes, each escaped.
+struct PinnedSlots {
+  void Rebuild(Workspace& arena) {
+    // lint: allow-ws-lifetime — pinned arena, offsets stable across Reset.
+    slot_ = arena.BorrowAt(0, {4, 4});
+  }
+  Tensor slot_;
+};
+
+void WsLifetimeEscape(Workspace& ws) {
+  auto tile = ws.Acquire({8});
+  ws.Reset();
+  // lint: allow-ws-lifetime — fixture: stale use, explicitly escaped.
+  Consume(tile);
+}
 
 // lint: allow-fwd-bwd-pair-file — inference-only layer, no backward.
 class InferenceOnlyLayer {

@@ -1,0 +1,12 @@
+// Fixture: raw std:: lock type outside base/thread_annotations.h
+// (rule mutex-wrap). std::lock_guard carries no capability attributes,
+// so Clang's thread-safety analysis cannot see what it guards.
+#include "base/thread_annotations.h"
+
+namespace dhgcn {
+
+void LockWithRawGuard(Mutex& mu) {
+  std::lock_guard<Mutex> lock(mu);
+}
+
+}  // namespace dhgcn

@@ -1,8 +1,13 @@
 // Fixture: raw threading primitive outside the pool (rule thread).
-#include <mutex>
+// Uses std::thread (not std::mutex) so the finding stays distinct from
+// the mutex-wrap rule's fixture.
+#include <thread>
 
 namespace dhgcn {
 
-std::mutex ad_hoc_mu;
+void SpawnAdHocThread() {
+  std::thread worker([] {});
+  worker.join();
+}
 
 }  // namespace dhgcn

@@ -1,0 +1,23 @@
+// Fixture: both shapes of the workspace-lifetime bug (rule ws-lifetime).
+#include "tensor/workspace.h"
+
+namespace dhgcn {
+
+struct LogitsCache {
+  Tensor cached_;
+
+  void Fill(Workspace& ws) {
+    // Finding 1: the acquired tensor outlives the acquiring scope, so
+    // the member dangles at the arena's next Reset().
+    cached_ = ws.Acquire({4, 4});
+  }
+};
+
+float UseAfterReset(Workspace& ws) {
+  Tensor scratch_tile = ws.Acquire({8});
+  ws.Reset();
+  // Finding 2: Reset() above recycled scratch_tile's storage.
+  return scratch_tile.flat(0);
+}
+
+}  // namespace dhgcn

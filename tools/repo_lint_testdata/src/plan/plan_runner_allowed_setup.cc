@@ -4,7 +4,7 @@ namespace dhgcn {
 
 void PlanRunnerAllowedSetup() {
   slots_.reserve(16);  // lint: allow-plan-alloc (ctor setup)
-  // lint: allow-plan-alloc (ctor setup)
+  // lint: allow-plan-alloc (ctor setup); lint: allow-ws-lifetime (pinned)
   slots_.push_back(arena_.BorrowAt(0, {4, 4}));
 }
 
