@@ -55,6 +55,16 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/nn/pooling.cc" "src/CMakeFiles/dhgcn.dir/nn/pooling.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/nn/pooling.cc.o.d"
   "/root/repo/src/nn/relu.cc" "src/CMakeFiles/dhgcn.dir/nn/relu.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/nn/relu.cc.o.d"
   "/root/repo/src/nn/sequential.cc" "src/CMakeFiles/dhgcn.dir/nn/sequential.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/nn/sequential.cc.o.d"
+  "/root/repo/src/plan/fused_kernels.cc" "src/CMakeFiles/dhgcn.dir/plan/fused_kernels.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/plan/fused_kernels.cc.o.d"
+  "/root/repo/src/plan/fusion.cc" "src/CMakeFiles/dhgcn.dir/plan/fusion.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/plan/fusion.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/CMakeFiles/dhgcn.dir/plan/plan.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/plan/plan.cc.o.d"
+  "/root/repo/src/plan/plan_builder.cc" "src/CMakeFiles/dhgcn.dir/plan/plan_builder.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/plan/plan_builder.cc.o.d"
+  "/root/repo/src/plan/plan_runner.cc" "src/CMakeFiles/dhgcn.dir/plan/plan_runner.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/plan/plan_runner.cc.o.d"
+  "/root/repo/src/serve/clock.cc" "src/CMakeFiles/dhgcn.dir/serve/clock.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/serve/clock.cc.o.d"
+  "/root/repo/src/serve/frozen_model.cc" "src/CMakeFiles/dhgcn.dir/serve/frozen_model.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/serve/frozen_model.cc.o.d"
+  "/root/repo/src/serve/load_generator.cc" "src/CMakeFiles/dhgcn.dir/serve/load_generator.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/serve/load_generator.cc.o.d"
+  "/root/repo/src/serve/micro_batcher.cc" "src/CMakeFiles/dhgcn.dir/serve/micro_batcher.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/serve/micro_batcher.cc.o.d"
+  "/root/repo/src/serve/server.cc" "src/CMakeFiles/dhgcn.dir/serve/server.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/serve/server.cc.o.d"
   "/root/repo/src/tensor/gemm_kernel.cc" "src/CMakeFiles/dhgcn.dir/tensor/gemm_kernel.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/tensor/gemm_kernel.cc.o.d"
   "/root/repo/src/tensor/linalg.cc" "src/CMakeFiles/dhgcn.dir/tensor/linalg.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/tensor/linalg.cc.o.d"
   "/root/repo/src/tensor/sparse.cc" "src/CMakeFiles/dhgcn.dir/tensor/sparse.cc.o" "gcc" "src/CMakeFiles/dhgcn.dir/tensor/sparse.cc.o.d"

@@ -246,4 +246,5 @@ src/CMakeFiles/dhgcn.dir/core/dhgcn_model.cc.o: \
  /root/repo/src/base/string_util.h \
  /root/repo/src/core/dynamic_joint_weight.h \
  /root/repo/src/core/static_hypergraph.h \
+ /root/repo/src/plan/plan_builder.h /root/repo/src/plan/plan.h \
  /root/repo/src/tensor/workspace.h /usr/include/c++/12/cstddef

@@ -240,7 +240,8 @@ src/CMakeFiles/dhgcn.dir/core/dhst_block.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/hypergraph/hypergraph_conv.h /root/repo/src/nn/layer.h \
  /root/repo/src/nn/batchnorm.h /root/repo/src/nn/conv2d.h \
- /root/repo/src/nn/relu.h /root/repo/src/tensor/tensor_ops.h \
+ /root/repo/src/nn/relu.h /root/repo/src/plan/plan_builder.h \
+ /root/repo/src/plan/plan.h /root/repo/src/tensor/tensor_ops.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \

@@ -236,7 +236,8 @@ src/CMakeFiles/dhgcn.dir/hypergraph/hypergraph_conv.cc.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/nn/layer.h \
- /root/repo/src/base/string_util.h /root/repo/src/tensor/linalg.h \
+ /root/repo/src/base/string_util.h /root/repo/src/plan/plan_builder.h \
+ /root/repo/src/plan/plan.h /root/repo/src/tensor/linalg.h \
  /root/repo/src/tensor/tensor_ops.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

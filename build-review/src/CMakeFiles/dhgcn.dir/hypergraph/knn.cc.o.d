@@ -241,15 +241,16 @@ src/CMakeFiles/dhgcn.dir/hypergraph/knn.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/base/thread_pool.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/base/thread_pool.h /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/tensor/gemm_kernel.h \
- /root/repo/src/tensor/workspace.h /usr/include/c++/12/cstddef \
- /root/repo/src/tensor/linalg.h
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/base/thread_annotations.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
+ /root/repo/src/tensor/gemm_kernel.h /root/repo/src/tensor/workspace.h \
+ /usr/include/c++/12/cstddef /root/repo/src/tensor/linalg.h

@@ -259,4 +259,14 @@ src/CMakeFiles/dhgcn.dir/io/serialization.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_stat.h \
  /root/repo/src/base/crc32.h /usr/include/c++/12/cstddef \
  /root/repo/src/base/fault_injection.h /usr/include/c++/12/array \
+ /root/repo/src/base/thread_annotations.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /root/repo/src/base/string_util.h

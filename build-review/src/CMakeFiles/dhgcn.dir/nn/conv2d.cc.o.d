@@ -240,24 +240,27 @@ src/CMakeFiles/dhgcn.dir/nn/conv2d.cc.o: /root/repo/src/nn/conv2d.cc \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/base/string_util.h /root/repo/src/base/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/nn/initializer.h \
- /root/repo/src/tensor/gemm_kernel.h /root/repo/src/tensor/workspace.h \
- /usr/include/c++/12/cstddef /root/repo/src/tensor/linalg.h \
- /root/repo/src/tensor/tensor_ops.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/base/thread_annotations.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
+ /root/repo/src/nn/initializer.h /root/repo/src/plan/plan_builder.h \
+ /root/repo/src/base/result.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/plan/plan.h /root/repo/src/tensor/gemm_kernel.h \
+ /root/repo/src/tensor/workspace.h /usr/include/c++/12/cstddef \
+ /root/repo/src/tensor/linalg.h /root/repo/src/tensor/tensor_ops.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array

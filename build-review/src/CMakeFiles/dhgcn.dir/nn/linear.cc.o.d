@@ -233,12 +233,14 @@ src/CMakeFiles/dhgcn.dir/nn/linear.cc.o: /root/repo/src/nn/linear.cc \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/base/string_util.h \
- /root/repo/src/nn/initializer.h /root/repo/src/tensor/linalg.h \
- /root/repo/src/tensor/tensor_ops.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/nn/initializer.h /root/repo/src/plan/plan_builder.h \
+ /root/repo/src/base/result.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/plan/plan.h \
+ /root/repo/src/tensor/linalg.h /root/repo/src/tensor/tensor_ops.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \

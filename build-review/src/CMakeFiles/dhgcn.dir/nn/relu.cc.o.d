@@ -232,5 +232,8 @@ src/CMakeFiles/dhgcn.dir/nn/relu.cc.o: /root/repo/src/nn/relu.cc \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/base/status.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/tensor/workspace.h \
- /usr/include/c++/12/cstddef
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/plan/plan_builder.h \
+ /root/repo/src/base/result.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/plan/plan.h \
+ /root/repo/src/tensor/workspace.h /usr/include/c++/12/cstddef

@@ -249,7 +249,9 @@ src/CMakeFiles/dhgcn.dir/train/evaluator.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/data/skeleton.h \
  /root/repo/src/hypergraph/graph.h \
  /root/repo/src/data/synthetic_generator.h /root/repo/src/nn/layer.h \
- /root/repo/src/train/metrics.h /root/repo/src/base/string_util.h \
- /root/repo/src/nn/loss.h /root/repo/src/tensor/tensor_ops.h \
- /root/repo/src/tensor/workspace.h /usr/include/c++/12/cstddef \
+ /root/repo/src/plan/plan.h /root/repo/src/train/metrics.h \
+ /root/repo/src/base/logging.h /root/repo/src/base/string_util.h \
+ /root/repo/src/nn/loss.h /root/repo/src/plan/plan_builder.h \
+ /root/repo/src/plan/plan_runner.h /root/repo/src/tensor/workspace.h \
+ /usr/include/c++/12/cstddef /root/repo/src/tensor/tensor_ops.h \
  /root/repo/src/train/table.h

@@ -258,4 +258,5 @@ src/CMakeFiles/dhgcn.dir/train/experiment.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/base/logging.h /root/repo/src/train/evaluator.h
+ /root/repo/src/base/logging.h /root/repo/src/train/evaluator.h \
+ /root/repo/src/plan/plan.h

@@ -272,8 +272,8 @@ src/CMakeFiles/dhgcn.dir/train/trainer.cc.o: \
  /usr/include/c++/12/bits/locale_conv.h /usr/include/c++/12/iomanip \
  /usr/include/c++/12/bits/quoted_string.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
- /root/repo/src/base/fault_injection.h /root/repo/src/base/logging.h \
- /root/repo/src/base/string_util.h /root/repo/src/base/thread_pool.h \
+ /root/repo/src/base/fault_injection.h \
+ /root/repo/src/base/thread_annotations.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
@@ -282,6 +282,7 @@ src/CMakeFiles/dhgcn.dir/train/trainer.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/base/timer.h \
- /usr/include/c++/12/chrono /root/repo/src/train/evaluator.h \
- /root/repo/src/train/summary.h
+ /root/repo/src/base/logging.h /root/repo/src/base/string_util.h \
+ /root/repo/src/base/thread_pool.h /usr/include/c++/12/thread \
+ /root/repo/src/base/timer.h /root/repo/src/train/evaluator.h \
+ /root/repo/src/plan/plan.h /root/repo/src/train/summary.h

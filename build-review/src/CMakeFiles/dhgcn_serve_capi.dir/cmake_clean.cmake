@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhgcn_serve_capi.dir/serve/serve_c_api.cc.o"
+  "CMakeFiles/dhgcn_serve_capi.dir/serve/serve_c_api.cc.o.d"
+  "libdhgcn_serve.a"
+  "libdhgcn_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhgcn_serve_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

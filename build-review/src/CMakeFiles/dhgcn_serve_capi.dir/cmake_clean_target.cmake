@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdhgcn_serve.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_batcher_test.dir/serve_batcher_test.cc.o"
+  "CMakeFiles/serve_batcher_test.dir/serve_batcher_test.cc.o.d"
+  "serve_batcher_test"
+  "serve_batcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_batcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

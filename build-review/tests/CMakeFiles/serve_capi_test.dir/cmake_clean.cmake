@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_capi_test.dir/serve_capi_test.cc.o"
+  "CMakeFiles/serve_capi_test.dir/serve_capi_test.cc.o.d"
+  "serve_capi_test"
+  "serve_capi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_capi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

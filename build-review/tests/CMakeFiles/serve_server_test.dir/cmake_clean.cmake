@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_server_test.dir/serve_server_test.cc.o"
+  "CMakeFiles/serve_server_test.dir/serve_server_test.cc.o.d"
+  "serve_server_test"
+  "serve_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_annotations_test.dir/thread_annotations_test.cc.o"
+  "CMakeFiles/thread_annotations_test.dir/thread_annotations_test.cc.o.d"
+  "thread_annotations_test"
+  "thread_annotations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_annotations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhgcn_serve.dir/dhgcn_serve.cc.o"
+  "CMakeFiles/dhgcn_serve.dir/dhgcn_serve.cc.o.d"
+  "dhgcn_serve"
+  "dhgcn_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhgcn_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
