@@ -1,0 +1,145 @@
+// Sparse-execution benchmarks (recorded in BENCH_sparse.json):
+//
+// 1. The SpMM-vs-blocked-GEMM density sweep that calibrates
+//    `SparseRouter::kDefaultDensityThreshold`: `BM_SpMMIntoDensity`
+//    against `BM_DenseGemmBaseline` at the same shape. The crossover is
+//    the density where the CSR kernel stops beating the dense product;
+//    below ~10% the sparse kernel must be >= 2x faster (the acceptance
+//    bar for this subsystem).
+// 2. The routed operator: `VertexMix` forward with the router forced
+//    on vs off across operator densities, on the model's own (V, V)
+//    aggregation shape.
+// 3. End-to-end: training steps/sec with `--sparse auto` semantics on a
+//    magnitude-pruned model vs the dense baseline — the payoff of
+//    pruning + density routing together.
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "core/dhgcn_model.h"
+#include "hypergraph/hypergraph_conv.h"
+#include "tensor/linalg.h"
+#include "tensor/sparse.h"
+#include "tensor/sparse_router.h"
+#include "tensor/tensor_ops.h"
+#include "train/pruner.h"
+
+namespace dhgcn {
+namespace {
+
+Tensor RandomAtDensity(const Shape& shape, double density, Rng& rng) {
+  Tensor t({shape});
+  t.Fill(0.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    if (rng.Uniform() < static_cast<float>(density)) t.flat(i) = rng.Normal();
+  }
+  return t;
+}
+
+// --- 1. Density sweep: CSR SpMM vs the blocked dense GEMM -------------
+//
+// Both single-threaded into pre-allocated outputs, so the ratio
+// isolates kernel cost. range(0) = matrix size, range(1) = density in
+// percent.
+
+void BM_SpMMIntoDensity(benchmark::State& state) {
+  ThreadPool::Get().SetThreads(1);
+  int64_t n = state.range(0);
+  double density = static_cast<double>(state.range(1)) / 100.0;
+  Rng rng(61);
+  Tensor a = RandomAtDensity({n, n}, density, rng);
+  Tensor b = Tensor::RandomNormal({n, n}, rng);
+  CsrMatrix a_csr = CsrMatrix::FromDense(a);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    SpMMInto(a_csr, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_SpMMIntoDensity)
+    ->ArgsProduct({{64, 256}, {1, 5, 10, 20, 30, 40, 50, 75, 100}});
+
+void BM_DenseGemmBaseline(benchmark::State& state) {
+  ThreadPool::Get().SetThreads(1);
+  int64_t n = state.range(0);
+  Rng rng(62);
+  // Same nonzero structure as the sparse benchmark at 100% density; the
+  // blocked kernel's cost is density-independent.
+  Tensor a = Tensor::RandomNormal({n, n}, rng);
+  Tensor b = Tensor::RandomNormal({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    MatMulInto(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_DenseGemmBaseline)->Arg(64)->Arg(256);
+
+// --- 2. The routed operator at model shape ----------------------------
+
+void BM_VertexMixRouted(benchmark::State& state) {
+  ThreadPool::Get().SetThreads(1);
+  bool routed = state.range(0) != 0;
+  double density = static_cast<double>(state.range(1)) / 100.0;
+  SparseMode saved = SparseRouter::Get().mode();
+  SparseRouter::Get().set_mode(routed ? SparseMode::kOn : SparseMode::kOff);
+  Rng rng(63);
+  Tensor op = RandomAtDensity({25, 25}, density, rng);
+  VertexMix mix(op.Clone());
+  Tensor x = Tensor::RandomNormal({4, 32, 16, 25}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mix.Forward(x));
+  }
+  SparseRouter::Get().set_mode(saved);
+}
+BENCHMARK(BM_VertexMixRouted)
+    ->ArgsProduct({{0, 1}, {5, 10, 35, 100}});
+
+// --- 3. End-to-end: pruned training step, sparse auto vs off ----------
+//
+// The model's mix weights are magnitude-pruned to range(1)% sparsity
+// (the Pruner keeps them genuinely zero), then a forward+backward step
+// runs with the router in auto (range(0)=1) or off (range(0)=0). The
+// steps/sec ratio is the end-to-end payoff of density routing on a
+// pruned model.
+
+void BM_PrunedTrainStep(benchmark::State& state) {
+  ThreadPool::Get().SetThreads(1);
+  bool sparse_auto = state.range(0) != 0;
+  double sparsity = static_cast<double>(state.range(1)) / 100.0;
+  SparseMode saved = SparseRouter::Get().mode();
+  SparseRouter::Get().set_mode(sparse_auto ? SparseMode::kAuto
+                                           : SparseMode::kOff);
+
+  DhgcnConfig config = DhgcnConfig::Tiny(SkeletonLayoutType::kNtu25, 5);
+  config.topology.kn = 2;
+  config.topology.km = 2;
+  DhgcnModel model(config);
+  if (sparsity > 0.0) {
+    PruneOptions prune;
+    prune.enabled = true;
+    prune.target_sparsity = sparsity;
+    prune.start_epoch = 0;
+    Pruner pruner(&model, prune);
+    pruner.OnEpochBegin(0);
+  }
+  Rng rng(64);
+  Tensor x = Tensor::RandomNormal({2, 3, 12, 25}, rng, 0.0f, 0.3f);
+  Tensor g = Tensor::RandomNormal({2, 5}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(x));
+    benchmark::DoNotOptimize(model.Backward(g));
+  }
+  state.SetItemsProcessed(state.iterations());
+  SparseRouter::Get().set_mode(saved);
+}
+BENCHMARK(BM_PrunedTrainStep)
+    ->ArgsProduct({{0, 1}, {0, 80}});
+
+}  // namespace
+}  // namespace dhgcn
+
+BENCHMARK_MAIN();

@@ -37,6 +37,10 @@ echo "===== execution-plan vs layerwise -> BENCH_plan.json ====="
 # capture+resolve cost, and the residual-tail pair that isolates the
 # three-sweep -> one-sweep fusion win from the GEMM-dominated total.
 build/bench/bench_plan --benchmark_format=json > BENCH_plan.json
+echo "===== sparse routing sweep -> BENCH_sparse.json ====="
+# SpMM-vs-blocked-GEMM density crossover (calibrates the SparseRouter
+# default threshold), the routed VertexMix, and pruned end-to-end steps.
+build/bench/bench_sparse --benchmark_format=json > BENCH_sparse.json
 echo "===== serving soak with compiled plans (--plan on) ====="
 # Same soak, replaying compiled per-batch-size plans inside the workers;
 # exercises the plan fallback + micro-batching contract end to end.

@@ -3,13 +3,44 @@
 #include <cmath>
 
 #include "base/check.h"
+#include "base/logging.h"
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "plan/plan_builder.h"
 #include "tensor/linalg.h"
+#include "tensor/sparse_router.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/workspace.h"
 
 namespace dhgcn {
+
+namespace {
+
+// Process-wide CSR scratch for the free-function incidence operators
+// (capacity reused across the per-frame dynamic-topology loop). Built
+// and consumed on the compute-driving thread only — the library is
+// externally single-threaded (see ThreadPool), and concurrent serve
+// workers serialize compute behind the server's compute lease — so the
+// Meyers static needs no guard, same as the GEMM packing scratch.
+CsrMatrix& IncidenceCsrScratch() {
+  static CsrMatrix scratch(1, 1);
+  return scratch;
+}
+
+// First-decision-only debug log: the dynamic-topology loop would
+// otherwise emit thousands of identical lines per step.
+void LogRouteOnce(bool* logged, const char* what, double density,
+                  bool routed) {
+  if (logged == nullptr || *logged) return;
+  *logged = true;
+  DHGCN_LOG(kDebug) << "sparse-router: " << what << " density=" << density
+                    << " threshold="
+                    << SparseRouter::Get().density_threshold() << " mode="
+                    << SparseModeName(SparseRouter::Get().mode()) << " -> "
+                    << (routed ? "csr" : "dense");
+}
+
+}  // namespace
 
 Tensor NormalizedHypergraphOperator(const Hypergraph& hypergraph,
                                     Workspace* ws) {
@@ -37,14 +68,40 @@ Tensor NormalizedHypergraphOperator(const Hypergraph& hypergraph,
     }
   }
   Tensor omega = NewTensor(ws, {nv, nv});  // (V, V)
-  MatMulTransposedBInto(left, right, &omega);
+  // Omega[v,u] is an ascending-e double dot of left row v with right
+  // row u; compressing `right` and skipping its zeros leaves the dot
+  // term-for-term identical (zero products are exact no-ops in the
+  // double accumulator), so both branches produce the same bits.
+  double density = SparseRouter::MeasureDensity(right);
+  bool routed = SparseRouter::Get().ShouldRoute(density);
+  static bool logged = false;
+  LogRouteOnce(&logged, "NormalizedHypergraphOperator", density, routed);
+  if (routed) {
+    CsrMatrix& csr = IncidenceCsrScratch();
+    csr.AssignFromDense(right);
+    SpMMTransposedBInto(left, csr, &omega);
+  } else {
+    // lint: allow-sparse-route (router dense fallback)
+    MatMulTransposedBInto(left, right, &omega);
+  }
   return omega;
 }
 
 Tensor WeightedIncidenceOperator(const Tensor& imp, Workspace* ws) {
   DHGCN_CHECK_EQ(imp.ndim(), 2);
   Tensor out = NewTensor(ws, {imp.dim(0), imp.dim(0)});
-  MatMulTransposedBInto(imp, imp, &out);
+  double density = SparseRouter::MeasureDensity(imp);
+  bool routed = SparseRouter::Get().ShouldRoute(density);
+  static bool logged = false;
+  LogRouteOnce(&logged, "WeightedIncidenceOperator", density, routed);
+  if (routed) {
+    CsrMatrix& csr = IncidenceCsrScratch();
+    csr.AssignFromDense(imp);
+    SpMMTransposedBInto(imp, csr, &out);
+  } else {
+    // lint: allow-sparse-route (router dense fallback)
+    MatMulTransposedBInto(imp, imp, &out);
+  }
   return out;
 }
 
@@ -64,10 +121,36 @@ Tensor VertexMix::ForwardImpl(const Tensor& input, Workspace* ws) {
   return out;
 }
 
+bool VertexMix::RouteSparse() const {
+  const SparseRouter& router = SparseRouter::Get();
+  if (router.mode() == SparseMode::kOff) return false;
+  if (learnable_ || !csr_valid_) {
+    // Learnable operators move every optimizer step (and magnitude
+    // pruning is what creates their zeros), so they re-probe and
+    // re-compress per call; fixed structural operators probe once.
+    op_density_ = SparseRouter::MeasureDensity(op_);
+    bool routed = router.ShouldRoute(op_density_);
+    LogRouteOnce(&route_logged_, "VertexMix", op_density_, routed);
+    if (!routed) return false;
+    op_csr_.AssignFromDense(op_);
+    csr_valid_ = !learnable_;
+    return true;
+  }
+  bool routed = router.ShouldRoute(op_density_);
+  LogRouteOnce(&route_logged_, "VertexMix", op_density_, routed);
+  return routed;
+}
+
 void VertexMix::MixPlan(const Tensor& input, Tensor* out) const {
   DHGCN_CHECK_EQ(input.ndim(), 4);
   DHGCN_CHECK_EQ(input.dim(3), op_.dim(0));
   DHGCN_CHECK(ShapesEqual(out->shape(), input.shape()));
+  if (RouteSparse()) {
+    // Same ascending-u double dots as below, zeros skipped (exact
+    // no-ops) — bit-identical, ThreadPool-parallel over leading rows.
+    SparseMixInto(op_csr_, input, out);
+    return;
+  }
   int64_t n = input.dim(0), c = input.dim(1), t = input.dim(2),
           v = input.dim(3);
   const float* px = input.data();
@@ -93,7 +176,18 @@ int64_t VertexMix::Record(PlanBuilder& builder, int64_t in) {
   const Shape& s = builder.slot_shape(in);
   if (s.size() != 4 || s[3] != op_.dim(0)) return -1;
   PlanOp op;
-  op.kind = PlanOpKind::kVertexMix;
+  // Capture-time routing: a fixed operator's density cannot change
+  // after recording, so the decision is baked into the op kind and the
+  // runner replays the CSR kernel directly (no per-step re-probe).
+  // Learnable operators keep kVertexMix, whose MixPlan re-routes per
+  // call. The CSR image lives in the layer, which must outlive the
+  // plan (same contract as every other layer pointer in PlanOp).
+  if (!learnable_ && RouteSparse()) {
+    op.kind = PlanOpKind::kSpMM;
+    op.csr = &op_csr_;
+  } else {
+    op.kind = PlanOpKind::kVertexMix;
+  }
   op.in0 = in;
   op.out = builder.AddSlot(s);
   op.mix = this;
@@ -108,6 +202,15 @@ Tensor VertexMix::BackwardImpl(const Tensor& grad_output, Workspace* ws) {
   int64_t v = input.dim(3);
   int64_t rows = input.numel() / v;
   Tensor grad_input = NewZeroedTensor(ws, input.shape());
+  if (!learnable_ && RouteSparse()) {
+    // Same float scatter order as the dense loop below (vi ascending,
+    // zero grads skipped, zero operator entries exact no-op adds) —
+    // bit-identical, parallel over leading rows. The learnable case
+    // keeps the dense loop: its op-gradient accumulation is shared
+    // across leading rows and must stay single-pass serial.
+    SparseMixBackwardInto(op_csr_, grad_output, &grad_input);
+    return grad_input;
+  }
   const float* pg = grad_output.data();
   const float* pm = op_.data();
   const float* px = input.data();
@@ -186,6 +289,40 @@ void DynamicVertexMix::MixPlan(const Tensor& input, const Tensor& ops,
   const float* px = input.data();
   const float* pops = ops.data();
   float* po = out->data();
+  // The operators are data-dependent, so the density probe runs per
+  // call — an O(N·T·V²) scan, a factor C cheaper than the mix itself.
+  double density = SparseRouter::MeasureDensity(ops);
+  bool routed = SparseRouter::Get().ShouldRoute(density);
+  LogRouteOnce(&route_logged_, "DynamicVertexMix", density, routed);
+  if (routed) {
+    // One CSR compression per frame, reused across the C channels;
+    // channels write disjoint output rows, so the per-frame channel
+    // loop parallelizes without changing any accumulation order.
+    for (int64_t b = 0; b < n; ++b) {
+      for (int64_t tt = 0; tt < t; ++tt) {
+        frame_csr_.AssignFromDense(pops + (b * t + tt) * v * v, v, v);
+        const int64_t* row_ptr = frame_csr_.row_ptr().data();
+        const int64_t* col_idx = frame_csr_.col_idx().data();
+        const float* values = frame_csr_.values().data();
+        ThreadPool::Get().ParallelFor(
+            0, c, GrainForFlops(frame_csr_.nnz() + 1),
+            [&](int64_t ch_begin, int64_t ch_end) {
+              for (int64_t ch = ch_begin; ch < ch_end; ++ch) {
+                const float* xrow = px + ((b * c + ch) * t + tt) * v;
+                float* orow = po + ((b * c + ch) * t + tt) * v;
+                for (int64_t vi = 0; vi < v; ++vi) {
+                  double acc = 0.0;
+                  for (int64_t k = row_ptr[vi]; k < row_ptr[vi + 1]; ++k) {
+                    acc += static_cast<double>(values[k]) * xrow[col_idx[k]];
+                  }
+                  orow[vi] = static_cast<float>(acc);
+                }
+              }
+            });
+      }
+    }
+    return;
+  }
   for (int64_t b = 0; b < n; ++b) {
     for (int64_t tt = 0; tt < t; ++tt) {
       const float* m = pops + (b * t + tt) * v * v;
@@ -212,6 +349,35 @@ Tensor DynamicVertexMix::BackwardImpl(const Tensor& grad_output, Workspace* ws) 
   const float* pg = grad_output.data();
   const float* pops = ops_.data();
   float* pgi = grad_input.data();
+  double density = SparseRouter::MeasureDensity(ops_);
+  if (SparseRouter::Get().ShouldRoute(density)) {
+    // Same float scatter order as the dense loop below; channels own
+    // disjoint grad rows, so the channel loop parallelizes.
+    for (int64_t b = 0; b < n; ++b) {
+      for (int64_t tt = 0; tt < t; ++tt) {
+        frame_csr_.AssignFromDense(pops + (b * t + tt) * v * v, v, v);
+        const int64_t* row_ptr = frame_csr_.row_ptr().data();
+        const int64_t* col_idx = frame_csr_.col_idx().data();
+        const float* values = frame_csr_.values().data();
+        ThreadPool::Get().ParallelFor(
+            0, c, GrainForFlops(frame_csr_.nnz() + 1),
+            [&](int64_t ch_begin, int64_t ch_end) {
+              for (int64_t ch = ch_begin; ch < ch_end; ++ch) {
+                const float* grow = pg + ((b * c + ch) * t + tt) * v;
+                float* girow = pgi + ((b * c + ch) * t + tt) * v;
+                for (int64_t vi = 0; vi < v; ++vi) {
+                  const float g = grow[vi];
+                  if (g == 0.0f) continue;
+                  for (int64_t k = row_ptr[vi]; k < row_ptr[vi + 1]; ++k) {
+                    girow[col_idx[k]] += g * values[k];
+                  }
+                }
+              }
+            });
+      }
+    }
+    return grad_input;
+  }
   for (int64_t b = 0; b < n; ++b) {
     for (int64_t tt = 0; tt < t; ++tt) {
       const float* m = pops + (b * t + tt) * v * v;
@@ -274,6 +440,11 @@ LearnableHyperedgeMix::LearnableHyperedgeMix(const Hypergraph& hypergraph) {
   }
   weights_ = Tensor::Ones({ne});
   weights_grad_ = Tensor({ne});
+  // The incidence factors never change after construction: compress
+  // them once and cache the routing probe.
+  left_csr_.AssignFromDense(left_);
+  right_csr_.AssignFromDense(right_);
+  incidence_density_ = right_csr_.Density();
 }
 
 Tensor LearnableHyperedgeMix::ForwardImpl(const Tensor& input,
@@ -285,10 +456,21 @@ Tensor LearnableHyperedgeMix::ForwardImpl(const Tensor& input,
   int64_t rows = input.numel() / v;
   cached_input_shape_ = input.shape();
 
-  // Z = R X^T-per-row: edge features per leading row.
+  // Z = R X^T-per-row: edge features per leading row. The routed
+  // branch runs the same ascending-column double dots with the
+  // incidence zeros skipped (exact no-ops) — bit-identical to the
+  // dense transposed-B kernel.
+  bool routed = SparseRouter::Get().ShouldRoute(incidence_density_);
+  LogRouteOnce(&route_logged_, "LearnableHyperedgeMix", incidence_density_,
+               routed);
   Tensor x2d = input.Reshape({rows, v});
   cached_edge_features_ = NewTensor(ws, {rows, ne});  // (rows, E)
-  MatMulTransposedBInto(x2d, right_, &cached_edge_features_);
+  if (routed) {
+    SpMMTransposedBInto(x2d, right_csr_, &cached_edge_features_);
+  } else {
+    // lint: allow-sparse-route (router dense fallback)
+    MatMulTransposedBInto(x2d, right_, &cached_edge_features_);
+  }
   // Y = (w .* Z) L^T.
   Tensor scaled = NewTensor(ws, {rows, ne});
   scaled.CopyFrom(cached_edge_features_);
@@ -298,7 +480,12 @@ Tensor LearnableHyperedgeMix::ForwardImpl(const Tensor& input,
     for (int64_t e = 0; e < ne; ++e) ps[r * ne + e] *= pw[e];
   }
   Tensor y = NewTensor(ws, {rows, v});
-  MatMulTransposedBInto(scaled, left_, &y);
+  if (routed) {
+    SpMMTransposedBInto(scaled, left_csr_, &y);
+  } else {
+    // lint: allow-sparse-route (router dense fallback)
+    MatMulTransposedBInto(scaled, left_, &y);
+  }
   return y.Reshape(cached_input_shape_);
 }
 
@@ -310,10 +497,18 @@ Tensor LearnableHyperedgeMix::BackwardImpl(const Tensor& grad_output,
   int64_t rows = grad_output.numel() / v;
   Tensor g2d = grad_output.Reshape({rows, v});
   // dP = dY L, where P = w .* Z. L is the scaled incidence matrix —
-  // mostly zeros — so hint the sparse row kernel instead of the dense
-  // blocked path (which would pack the zeros into panels).
+  // mostly zeros — so route through true CSR when the density policy
+  // says so; the CSR scatter runs the exact operation sequence of the
+  // GemmHint::kSparse reference kernel (ascending k, zero rows
+  // skipped), so both branches are bit-identical.
+  bool routed = SparseRouter::Get().ShouldRoute(incidence_density_);
   Tensor dp = NewTensor(ws, {rows, ne});  // (rows, E)
-  MatMulInto(g2d, left_, &dp, /*accumulate=*/false, GemmHint::kSparse);
+  if (routed) {
+    DenseSpMMInto(g2d, left_csr_, &dp);
+  } else {
+    // lint: allow-sparse-route (router dense fallback)
+    MatMulInto(g2d, left_, &dp, /*accumulate=*/false, GemmHint::kSparse);
+  }
   // dw[e] += sum_r dP[r,e] Z[r,e];  dZ = w .* dP.
   const float* pz = cached_edge_features_.data();
   const float* pw = weights_.data();
@@ -331,7 +526,12 @@ Tensor LearnableHyperedgeMix::BackwardImpl(const Tensor& grad_output,
   }
   // dX = dZ R, with R the other incidence-sparse operator.
   Tensor dx = NewTensor(ws, {rows, v});  // (rows, V)
-  MatMulInto(dp, right_, &dx, /*accumulate=*/false, GemmHint::kSparse);
+  if (routed) {
+    DenseSpMMInto(dp, right_csr_, &dx);
+  } else {
+    // lint: allow-sparse-route (router dense fallback)
+    MatMulInto(dp, right_, &dx, /*accumulate=*/false, GemmHint::kSparse);
+  }
   return dx.Reshape(cached_input_shape_);
 }
 

@@ -6,6 +6,7 @@
 
 #include "hypergraph/hypergraph.h"
 #include "nn/layer.h"
+#include "tensor/sparse.h"
 #include "tensor/tensor.h"
 
 namespace dhgcn {
@@ -58,11 +59,22 @@ class VertexMix : public Layer {
  private:
   Tensor ForwardImpl(const Tensor& input, Workspace* ws);
   Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
+  /// Density-policy decision for this operator; builds/refreshes the
+  /// CSR image when routing sparse. Cached for fixed operators,
+  /// re-probed per call for learnable ones (the weights move every
+  /// optimizer step — and pruning is what *creates* their sparsity).
+  bool RouteSparse() const;
 
   Tensor op_;       // (V, V)
   Tensor op_grad_;  // (V, V)
   bool learnable_;
   Tensor cached_input_;
+
+  // Routing cache (mutable: MixPlan is const on the plan-replay path).
+  mutable CsrMatrix op_csr_{1, 1};
+  mutable double op_density_ = 1.0;
+  mutable bool csr_valid_ = false;
+  mutable bool route_logged_ = false;
 };
 
 /// \brief Applies per-sample, per-frame (V, V) operators to (N, C, T, V):
@@ -98,6 +110,11 @@ class DynamicVertexMix : public Layer {
   Tensor BackwardImpl(const Tensor& grad_output, Workspace* ws);
 
   Tensor ops_;  // (N, T, V, V)
+
+  /// Per-frame CSR scratch for the routed path; capacity is reused
+  /// across frames and steps (mutable: MixPlan is const).
+  mutable CsrMatrix frame_csr_{1, 1};
+  mutable bool route_logged_ = false;
 };
 
 /// \brief Hypergraph aggregation with *learnable hyperedge weights* — the
@@ -135,6 +152,13 @@ class LearnableHyperedgeMix : public Layer {
   Tensor weights_grad_;
   Tensor cached_edge_features_;  // Z = R X per leading row, (rows, E)
   Shape cached_input_shape_;
+
+  // CSR images of the fixed incidence factors, built once in the
+  // constructor; `incidence_density_` is the cached routing probe.
+  CsrMatrix left_csr_{1, 1};
+  CsrMatrix right_csr_{1, 1};
+  double incidence_density_ = 1.0;
+  mutable bool route_logged_ = false;
 };
 
 }  // namespace dhgcn

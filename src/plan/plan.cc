@@ -63,6 +63,7 @@ const char* PlanOpKindName(PlanOpKind kind) {
     case PlanOpKind::kAccumulate: return "Accumulate";
     case PlanOpKind::kBnAddRelu: return "BnAddRelu";
     case PlanOpKind::kAddRelu: return "AddRelu";
+    case PlanOpKind::kSpMM: return "SpMM";
   }
   return "?";
 }

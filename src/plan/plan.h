@@ -12,6 +12,7 @@ namespace dhgcn {
 
 class BatchNorm2d;
 class Conv2d;
+class CsrMatrix;
 class DynamicVertexMix;
 class GlobalAvgPool2d;
 class Hypergraph;
@@ -49,6 +50,7 @@ enum class PlanOpKind : uint8_t {
   kAccumulate,      // out += in0 (out is an already-defined slot)
   kBnAddRelu,       // fused: out = relu(scale*in0 + shift + in1)
   kAddRelu,         // fused: out = relu(in0 + in1)
+  kSpMM,            // sparse VertexMix: out[.., v] = csr row-dot in0[.., :]
 };
 
 const char* PlanOpKindName(PlanOpKind kind);
@@ -69,6 +71,10 @@ struct PlanOp {
   GlobalAvgPool2d* pool = nullptr;
   const VertexMix* mix = nullptr;
   const DynamicVertexMix* dyn_mix = nullptr;
+  /// kSpMM: CSR image of the routed operator, owned by the recording
+  /// layer (captured at record time — a fixed operator's density can't
+  /// change after capture, so the routing decision is baked in).
+  const CsrMatrix* csr = nullptr;
   const Hypergraph* hypergraph = nullptr;
   const DynamicTopologyOptions* topology = nullptr;
   int64_t stride = 1;

@@ -13,6 +13,7 @@
 #include "nn/pooling.h"
 #include "nn/relu.h"
 #include "plan/fused_kernels.h"
+#include "tensor/sparse.h"
 #include "tensor/tensor_ops.h"
 
 namespace dhgcn {
@@ -73,6 +74,11 @@ const Tensor& PlanRunner::Run(const Tensor& input) {
         break;
       case PlanOpKind::kVertexMix:
         op.mix->MixPlan(in0, &out);
+        break;
+      case PlanOpKind::kSpMM:
+        // Routing decided at capture time; the CSR image lives in the
+        // recording layer. Allocation-free by construction.
+        SparseMixInto(*op.csr, in0, &out);
         break;
       case PlanOpKind::kDynamicVertexMix:
         op.dyn_mix->MixPlan(in0, slots_[static_cast<size_t>(op.in1)], &out);

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 
 namespace dhgcn {
 
@@ -32,6 +33,35 @@ CsrMatrix CsrMatrix::FromDense(const Tensor& dense, float tolerance) {
         static_cast<int64_t>(csr.values_.size());
   }
   return csr;
+}
+
+void CsrMatrix::AssignFromDense(const float* data, int64_t rows,
+                                int64_t cols, float tolerance) {
+  DHGCN_CHECK_GT(rows, 0);
+  DHGCN_CHECK_GT(cols, 0);
+  rows_ = rows;
+  cols_ = cols;
+  row_ptr_.resize(static_cast<size_t>(rows) + 1);
+  col_idx_.clear();   // keeps capacity: no heap traffic once warm
+  values_.clear();
+  row_ptr_[0] = 0;
+  for (int64_t r = 0; r < rows_; ++r) {
+    const float* row = data + r * cols_;
+    for (int64_t c = 0; c < cols_; ++c) {
+      float v = row[c];
+      if (std::fabs(v) > tolerance) {
+        col_idx_.push_back(c);
+        values_.push_back(v);
+      }
+    }
+    row_ptr_[static_cast<size_t>(r) + 1] =
+        static_cast<int64_t>(values_.size());
+  }
+}
+
+void CsrMatrix::AssignFromDense(const Tensor& dense, float tolerance) {
+  DHGCN_CHECK_EQ(dense.ndim(), 2);
+  AssignFromDense(dense.data(), dense.dim(0), dense.dim(1), tolerance);
 }
 
 CsrMatrix CsrMatrix::FromTriplets(
@@ -135,31 +165,194 @@ Tensor SpMM(const CsrMatrix& a, const Tensor& b) {
   DHGCN_CHECK_EQ(b.ndim(), 2);
   DHGCN_CHECK_EQ(b.dim(0), a.cols());
   Tensor c({a.rows(), b.dim(1)});
-  SpMMAccumulate(a, b, c);
+  SpMMInto(a, b, &c, /*accumulate=*/true);  // c is freshly zeroed
   return c;
 }
 
 void SpMMAccumulate(const CsrMatrix& a, const Tensor& b, Tensor& c) {
+  SpMMInto(a, b, &c, /*accumulate=*/true);
+}
+
+void SpMMInto(const CsrMatrix& a, const Tensor& b, Tensor* c,
+              bool accumulate) {
+  DHGCN_CHECK(c != nullptr);
   DHGCN_CHECK_EQ(b.ndim(), 2);
-  DHGCN_CHECK_EQ(c.ndim(), 2);
+  DHGCN_CHECK_EQ(c->ndim(), 2);
   DHGCN_CHECK_EQ(b.dim(0), a.cols());
-  DHGCN_CHECK_EQ(c.dim(0), a.rows());
-  DHGCN_CHECK_EQ(c.dim(1), b.dim(1));
-  int64_t n = b.dim(1);
+  DHGCN_CHECK_EQ(c->dim(0), a.rows());
+  DHGCN_CHECK_EQ(c->dim(1), b.dim(1));
+  const int64_t n = b.dim(1);
+  const int64_t rows = a.rows();
   const float* pb = b.data();
-  float* pc = c.data();
-  const auto& row_ptr = a.row_ptr();
-  const auto& col_idx = a.col_idx();
-  const auto& values = a.values();
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    float* crow = pc + r * n;
-    for (int64_t k = row_ptr[static_cast<size_t>(r)];
-         k < row_ptr[static_cast<size_t>(r) + 1]; ++k) {
-      float v = values[static_cast<size_t>(k)];
-      const float* brow = pb + col_idx[static_cast<size_t>(k)] * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
-    }
-  }
+  float* pc = c->data();
+  const int64_t* row_ptr = a.row_ptr().data();
+  const int64_t* col_idx = a.col_idx().data();
+  const float* values = a.values().data();
+  // Cost per output row ≈ nnz(row) * n MACs; use the mean so the grain
+  // stays a pure function of the matrix shape (determinism contract).
+  const int64_t flops_per_row = (a.nnz() * n) / (rows > 0 ? rows : 1) + 1;
+  ThreadPool::Get().ParallelFor(
+      0, rows, GrainForFlops(flops_per_row),
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t r = row_begin; r < row_end; ++r) {
+          float* crow = pc + r * n;
+          if (!accumulate) std::fill(crow, crow + n, 0.0f);
+          // Four nonzeros per pass over the output row: the per-element
+          // adds stay in ascending-k order (t += v0*..; t += v1*..; ...)
+          // so results are bit-identical to the single-k loop — the
+          // unroll only cuts the C-row read/write traffic 4x.
+          int64_t k = row_ptr[r];
+          const int64_t k_end = row_ptr[r + 1];
+          for (; k + 3 < k_end; k += 4) {
+            const float v0 = values[k];
+            const float v1 = values[k + 1];
+            const float v2 = values[k + 2];
+            const float v3 = values[k + 3];
+            const float* b0 = pb + col_idx[k] * n;
+            const float* b1 = pb + col_idx[k + 1] * n;
+            const float* b2 = pb + col_idx[k + 2] * n;
+            const float* b3 = pb + col_idx[k + 3] * n;
+            for (int64_t j = 0; j < n; ++j) {
+              float t = crow[j];
+              t += v0 * b0[j];
+              t += v1 * b1[j];
+              t += v2 * b2[j];
+              t += v3 * b3[j];
+              crow[j] = t;
+            }
+          }
+          for (; k < k_end; ++k) {
+            const float v = values[k];
+            const float* brow = pb + col_idx[k] * n;
+            for (int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+          }
+        }
+      });
+}
+
+void SpMMAccumulateInto(const CsrMatrix& a, const Tensor& b, Tensor* c) {
+  SpMMInto(a, b, c, /*accumulate=*/true);
+}
+
+void DenseSpMMInto(const Tensor& a, const CsrMatrix& b, Tensor* c,
+                   bool accumulate) {
+  DHGCN_CHECK(c != nullptr);
+  DHGCN_CHECK_EQ(a.ndim(), 2);
+  DHGCN_CHECK_EQ(c->ndim(), 2);
+  DHGCN_CHECK_EQ(a.dim(1), b.rows());
+  DHGCN_CHECK_EQ(c->dim(0), a.dim(0));
+  DHGCN_CHECK_EQ(c->dim(1), b.cols());
+  const int64_t m = a.dim(0);
+  const int64_t kk = a.dim(1);
+  const int64_t n = b.cols();
+  const float* pa = a.data();
+  float* pc = c->data();
+  const int64_t* row_ptr = b.row_ptr().data();
+  const int64_t* col_idx = b.col_idx().data();
+  const float* values = b.values().data();
+  ThreadPool::Get().ParallelFor(
+      0, m, GrainForFlops(b.nnz() + kk),
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          const float* arow = pa + i * kk;
+          float* crow = pc + i * n;
+          if (!accumulate) std::fill(crow, crow + n, 0.0f);
+          for (int64_t k = 0; k < kk; ++k) {
+            const float av = arow[k];
+            if (av == 0.0f) continue;  // same skip as the dense kSparse path
+            for (int64_t idx = row_ptr[k]; idx < row_ptr[k + 1]; ++idx) {
+              crow[col_idx[idx]] += av * values[idx];
+            }
+          }
+        }
+      });
+}
+
+namespace {
+
+// Shared core of SpMMTransposedBInto / SparseMixInto: for `rows` dense
+// rows of width k_dim, out[r, j] = double-dot(CSR row j of b, row r).
+// Chunks write disjoint output rows; the per-element double accumulator
+// visits columns in ascending order, matching the dense
+// GemmTransposedB / VertexMix loops term-for-term (zero products are
+// exact no-ops in the double sum), hence bit-identical to them.
+void SparseRowDots(const CsrMatrix& b, const float* pa, float* pc,
+                   int64_t rows, int64_t k_dim) {
+  DHGCN_CHECK_EQ(k_dim, b.cols());
+  const int64_t m = b.rows();
+  const int64_t* row_ptr = b.row_ptr().data();
+  const int64_t* col_idx = b.col_idx().data();
+  const float* values = b.values().data();
+  const int64_t flops_per_row = b.nnz() + 1;
+  ThreadPool::Get().ParallelFor(
+      0, rows, GrainForFlops(flops_per_row),
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t r = row_begin; r < row_end; ++r) {
+          const float* arow = pa + r * k_dim;
+          float* crow = pc + r * m;
+          for (int64_t j = 0; j < m; ++j) {
+            double acc = 0.0;
+            for (int64_t k = row_ptr[j]; k < row_ptr[j + 1]; ++k) {
+              acc += static_cast<double>(values[k]) * arow[col_idx[k]];
+            }
+            crow[j] = static_cast<float>(acc);
+          }
+        }
+      });
+}
+
+}  // namespace
+
+void SpMMTransposedBInto(const Tensor& a, const CsrMatrix& b, Tensor* c) {
+  DHGCN_CHECK(c != nullptr);
+  DHGCN_CHECK_EQ(a.ndim(), 2);
+  DHGCN_CHECK_EQ(c->ndim(), 2);
+  DHGCN_CHECK_EQ(a.dim(1), b.cols());
+  DHGCN_CHECK_EQ(c->dim(0), a.dim(0));
+  DHGCN_CHECK_EQ(c->dim(1), b.rows());
+  SparseRowDots(b, a.data(), c->data(), a.dim(0), a.dim(1));
+}
+
+void SparseMixInto(const CsrMatrix& op, const Tensor& x, Tensor* y) {
+  DHGCN_CHECK(y != nullptr);
+  DHGCN_CHECK_GE(x.ndim(), 1);
+  DHGCN_CHECK_EQ(x.dim(x.ndim() - 1), op.cols());
+  DHGCN_CHECK_EQ(op.rows(), op.cols());
+  DHGCN_CHECK_EQ(y->numel(), x.numel());
+  const int64_t v = op.cols();
+  SparseRowDots(op, x.data(), y->data(), x.numel() / v, v);
+}
+
+void SparseMixBackwardInto(const CsrMatrix& op, const Tensor& g,
+                           Tensor* gi) {
+  DHGCN_CHECK(gi != nullptr);
+  DHGCN_CHECK_GE(g.ndim(), 1);
+  const int64_t v = op.rows();
+  DHGCN_CHECK_EQ(op.cols(), v);
+  DHGCN_CHECK_EQ(g.dim(g.ndim() - 1), v);
+  DHGCN_CHECK_EQ(gi->numel(), g.numel());
+  const int64_t rows = g.numel() / v;
+  const float* pg = g.data();
+  float* pgi = gi->data();
+  const int64_t* row_ptr = op.row_ptr().data();
+  const int64_t* col_idx = op.col_idx().data();
+  const float* values = op.values().data();
+  const int64_t flops_per_row = op.nnz() + 1;
+  ThreadPool::Get().ParallelFor(
+      0, rows, GrainForFlops(flops_per_row),
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t r = row_begin; r < row_end; ++r) {
+          const float* grow = pg + r * v;
+          float* girow = pgi + r * v;
+          for (int64_t vi = 0; vi < v; ++vi) {
+            const float gval = grow[vi];
+            if (gval == 0.0f) continue;  // same skip as the dense backward
+            for (int64_t k = row_ptr[vi]; k < row_ptr[vi + 1]; ++k) {
+              girow[col_idx[k]] += gval * values[k];
+            }
+          }
+        }
+      });
 }
 
 SparseVertexMix::SparseVertexMix(CsrMatrix op)

@@ -26,6 +26,14 @@ class CsrMatrix {
   /// |value| <= tolerance.
   static CsrMatrix FromDense(const Tensor& dense, float tolerance = 0.0f);
 
+  /// In-place rebuild from a dense row-major buffer, reusing the index
+  /// and value capacity of the previous build — the steady-state path
+  /// for data-dependent operators (dynamic topology, learnable mixes)
+  /// that re-compress every step without heap growth once warm.
+  void AssignFromDense(const float* data, int64_t rows, int64_t cols,
+                       float tolerance = 0.0f);
+  void AssignFromDense(const Tensor& dense, float tolerance = 0.0f);
+
   /// Builds from coordinate triplets (duplicates are summed).
   static CsrMatrix FromTriplets(
       int64_t rows, int64_t cols,
@@ -62,6 +70,51 @@ Tensor SpMM(const CsrMatrix& a, const Tensor& b);
 
 /// C += A * B (shapes as SpMM).
 void SpMMAccumulate(const CsrMatrix& a, const Tensor& b, Tensor& c);
+
+/// \brief Workspace-aware SpMM: C (M,N) = sparse A (M,K) * dense B
+/// (K,N) into a caller-provided (typically arena-backed) tensor — zero
+/// owning allocations. ThreadPool-parallel over the rows of A with
+/// static contiguous partitioning; each chunk writes a disjoint block
+/// of C rows and accumulates in fixed ascending-k order, so the result
+/// is memcmp-identical at any thread count and bit-identical to the
+/// `GemmHint::kSparse` dense reference kernel on A's dense image
+/// (skipped zero products are exact float no-ops).
+void SpMMInto(const CsrMatrix& a, const Tensor& b, Tensor* c,
+              bool accumulate = false);
+
+/// C += A * B into a caller-provided tensor (shapes as SpMMInto).
+void SpMMAccumulateInto(const CsrMatrix& a, const Tensor& b, Tensor* c);
+
+/// \brief Dense-times-sparse: C (M,N) (+)= dense A (M,K) * sparse B
+/// (K,N). Parallel over the rows of A (disjoint C rows); per row the
+/// scatter runs in ascending-k order, skipping a[i,k] == 0 — the exact
+/// operation sequence of the `GemmHint::kSparse` reference kernel, so
+/// the result is bit-identical to that dense path and thread-count
+/// independent.
+void DenseSpMMInto(const Tensor& a, const CsrMatrix& b, Tensor* c,
+                   bool accumulate = false);
+
+/// \brief Sparse row dots: C (R,M) = dense A (R,K) * Bᵀ for CSR B
+/// (M,K), each output element a double-precision dot of a CSR row of B
+/// with a dense row of A (ascending column order). This is the sparse
+/// twin of `MatMulTransposedBInto` / the VertexMix aggregation loop and
+/// is bit-identical to them: the skipped zero-operand products are
+/// exact no-ops in the double accumulator. Parallel over the rows of A.
+void SpMMTransposedBInto(const Tensor& a, const CsrMatrix& b, Tensor* c);
+
+/// \brief Vertex-axis gather for the mix layers: for every leading row
+/// of `x` (..., V), y[..., vi] = double-dot(op row vi, x row). `x` and
+/// `y` may have any rank with a trailing vertex axis == op.cols();
+/// delegates to the SpMMTransposedBInto loop on the flattened view.
+void SparseMixInto(const CsrMatrix& op, const Tensor& x, Tensor* y);
+
+/// \brief Vertex-axis scatter for the mix backward passes: for every
+/// leading row, gi[..., u] += g[..., vi] * op[vi, u] with vi ascending
+/// and g == 0 rows skipped — the exact float operation sequence of the
+/// dense VertexMix backward, so results are bit-identical to it.
+/// `gi` must be zero-initialized (or hold a prior gradient to
+/// accumulate into). Parallel over leading rows (disjoint gi rows).
+void SparseMixBackwardInto(const CsrMatrix& op, const Tensor& g, Tensor* gi);
 
 /// \brief Vertex aggregation with a fixed *sparse* (V, V) operator —
 /// the sparse counterpart of `VertexMix` for structural operators:

@@ -1,0 +1,81 @@
+#include "tensor/sparse_router.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "base/check.h"
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace dhgcn {
+
+Result<SparseMode> ParseSparseMode(const std::string& text) {
+  if (text == "off") return SparseMode::kOff;
+  if (text == "auto") return SparseMode::kAuto;
+  if (text == "on") return SparseMode::kOn;
+  return Status::InvalidArgument(
+      StrCat("unknown sparse mode '", text, "' (expected off|auto|on)"));
+}
+
+const char* SparseModeName(SparseMode mode) {
+  switch (mode) {
+    case SparseMode::kOff: return "off";
+    case SparseMode::kAuto: return "auto";
+    case SparseMode::kOn: return "on";
+  }
+  return "?";
+}
+
+SparseRouter& SparseRouter::Get() {
+  static SparseRouter router;
+  return router;
+}
+
+SparseRouter::SparseRouter() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once, while the lazily
+  // constructed singleton is still private to the first caller.
+  const char* env = std::getenv("DHGCN_SPARSE");
+  if (env == nullptr || *env == '\0') return;
+  if (Result<SparseMode> parsed = ParseSparseMode(env); parsed.ok()) {
+    mode_ = parsed.ValueOrDie();
+    return;
+  }
+  char* end = nullptr;
+  double threshold = std::strtod(env, &end);
+  if (end != env && *end == '\0' && threshold > 0.0 && threshold <= 1.0) {
+    mode_ = SparseMode::kAuto;
+    threshold_ = threshold;
+    return;
+  }
+  DHGCN_LOG(kWarning) << "ignoring DHGCN_SPARSE='" << env
+                      << "' (expected off|auto|on or a density in (0,1])";
+}
+
+void SparseRouter::set_density_threshold(double threshold) {
+  DHGCN_CHECK(threshold > 0.0 && threshold <= 1.0);
+  threshold_ = threshold;
+}
+
+bool SparseRouter::ShouldRoute(double density) const {
+  switch (mode_) {
+    case SparseMode::kOff: return false;
+    case SparseMode::kOn: return true;
+    case SparseMode::kAuto: return density <= threshold_;
+  }
+  return false;
+}
+
+double SparseRouter::MeasureDensity(const float* data, int64_t numel) {
+  if (numel <= 0) return 0.0;
+  int64_t nonzero = 0;
+  for (int64_t i = 0; i < numel; ++i) {
+    if (data[i] != 0.0f) ++nonzero;
+  }
+  return static_cast<double>(nonzero) / static_cast<double>(numel);
+}
+
+double SparseRouter::MeasureDensity(const Tensor& t) {
+  return MeasureDensity(t.data(), t.numel());
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,85 @@
+#ifndef DHGCN_TENSOR_SPARSE_ROUTER_H_
+#define DHGCN_TENSOR_SPARSE_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/result.h"
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// Sparse-execution mode, selected via `--sparse off|auto|on` or the
+/// `DHGCN_SPARSE` environment variable:
+///  - kOff:  always run the dense kernels (legacy path).
+///  - kAuto: route an operator through CSR SpMM when its measured
+///           density is at or below the crossover threshold.
+///  - kOn:   always route through the sparse kernels.
+enum class SparseMode { kOff, kAuto, kOn };
+
+Result<SparseMode> ParseSparseMode(const std::string& text);
+const char* SparseModeName(SparseMode mode);
+
+/// \brief Process-wide density policy deciding dense vs. CSR execution
+/// for the hypergraph operators.
+///
+/// The routed kernels (`SpMMInto` family, sparse mix loops) are
+/// bit-identical to their dense counterparts — skipped zero products
+/// are exact float/double no-ops and the accumulation order is
+/// preserved — so the router is purely a *performance* policy: any
+/// mode produces the same bits, and the threshold only picks where the
+/// sparse kernels stop being faster.
+///
+/// The default threshold is the crossover measured by `bench_sparse`
+/// on the reference 1-core container (see BENCH_sparse.json): below it
+/// the CSR kernels beat the blocked GEMM, above it the dense path wins.
+/// Override order: `DHGCN_SPARSE` env (read once at first use; a mode
+/// name sets the mode, a number in (0, 1] sets the threshold and
+/// implies kAuto), then the `--sparse` / `Configure` calls from the
+/// CLI tools.
+///
+/// Layers cache their per-operand density probe (and the compressed
+/// CSR image) for operands that are fixed after construction; only
+/// data-dependent operators re-probe per step, an O(numel) scan that is
+/// a factor `channels` cheaper than the mix it guards.
+///
+/// Thread contract: configuration happens at startup (flag parsing)
+/// before compute; `ShouldRoute`/accessors are lock-free reads driven
+/// by the externally-single-threaded compute path (same contract as
+/// `ThreadPool`).
+class SparseRouter {
+ public:
+  /// Crossover measured by bench_sparse (256x256 operand, 1-core
+  /// container): CSR SpMM beats the blocked GEMM up to ~35% density
+  /// and is >=2x faster at <=10%.
+  static constexpr double kDefaultDensityThreshold = 0.35;
+
+  static SparseRouter& Get();
+
+  SparseRouter(const SparseRouter&) = delete;
+  SparseRouter& operator=(const SparseRouter&) = delete;
+
+  void set_mode(SparseMode mode) { mode_ = mode; }
+  SparseMode mode() const { return mode_; }
+
+  /// `threshold` must lie in (0, 1].
+  void set_density_threshold(double threshold);
+  double density_threshold() const { return threshold_; }
+
+  /// The routing decision for an operand of the given density.
+  bool ShouldRoute(double density) const;
+
+  /// Fraction of nonzero entries in `[data, data + numel)`.
+  static double MeasureDensity(const float* data, int64_t numel);
+  static double MeasureDensity(const Tensor& t);
+
+ private:
+  SparseRouter();  // applies DHGCN_SPARSE, if set
+
+  SparseMode mode_ = SparseMode::kAuto;
+  double threshold_ = kDefaultDensityThreshold;
+};
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_TENSOR_SPARSE_ROUTER_H_

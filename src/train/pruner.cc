@@ -1,0 +1,117 @@
+#include "train/pruner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace dhgcn {
+
+Pruner::Pruner(Layer* model, const PruneOptions& options)
+    : options_(options) {
+  DHGCN_CHECK(model != nullptr);
+  DHGCN_CHECK(options_.target_sparsity >= 0.0 &&
+              options_.target_sparsity < 1.0);
+  DHGCN_CHECK_GE(options_.start_epoch, 0);
+  if (options_.end_epoch < 0) options_.end_epoch = options_.start_epoch;
+  DHGCN_CHECK_GE(options_.end_epoch, options_.start_epoch);
+  int64_t max_numel = 0;
+  for (const ParamRef& param : model->Params()) {
+    if (!param.trainable || param.value == nullptr) continue;
+    if (param.value->ndim() < 2) continue;
+    if (param.value->numel() < options_.min_numel) continue;
+    Target target;
+    target.value = param.value;
+    target.mask.assign(static_cast<size_t>(param.value->numel()), 1);
+    max_numel = std::max(max_numel, param.value->numel());
+    targets_.push_back(std::move(target));
+  }
+  scratch_.reserve(static_cast<size_t>(max_numel));
+}
+
+double Pruner::SparsityForEpoch(int64_t epoch) const {
+  if (epoch < options_.start_epoch) return 0.0;
+  if (epoch >= options_.end_epoch) return options_.target_sparsity;
+  double span = static_cast<double>(options_.end_epoch -
+                                    options_.start_epoch + 1);
+  double progress =
+      static_cast<double>(epoch - options_.start_epoch + 1) / span;
+  double keep = 1.0 - progress;
+  return options_.target_sparsity * (1.0 - keep * keep * keep);
+}
+
+void Pruner::OnEpochBegin(int64_t epoch) {
+  double sparsity = SparsityForEpoch(epoch);
+  if (sparsity != current_sparsity_) {
+    current_sparsity_ = sparsity;
+    for (Target& target : targets_) {
+      int64_t numel = target.value->numel();
+      auto prune_count = static_cast<int64_t>(
+          std::floor(sparsity * static_cast<double>(numel)));
+      std::fill(target.mask.begin(), target.mask.end(), 1);
+      if (prune_count <= 0) continue;
+      scratch_.resize(static_cast<size_t>(numel));
+      for (int64_t i = 0; i < numel; ++i) {
+        scratch_[static_cast<size_t>(i)] = i;
+      }
+      const float* w = target.value->data();
+      // (|w|, index) is a strict total order: the selected set — and
+      // with it the mask — is deterministic even among tied magnitudes.
+      auto smaller = [w](int64_t a, int64_t b) {
+        float fa = std::fabs(w[a]);
+        float fb = std::fabs(w[b]);
+        if (fa != fb) return fa < fb;
+        return a < b;
+      };
+      std::nth_element(scratch_.begin(),
+                       scratch_.begin() + (prune_count - 1),
+                       scratch_.end(), smaller);
+      for (int64_t i = 0; i < prune_count; ++i) {
+        target.mask[static_cast<size_t>(
+            scratch_[static_cast<size_t>(i)])] = 0;
+      }
+    }
+  }
+  Apply();
+}
+
+void Pruner::Apply() {
+  for (Target& target : targets_) {
+    float* w = target.value->data();
+    const uint8_t* mask = target.mask.data();
+    int64_t numel = target.value->numel();
+    for (int64_t i = 0; i < numel; ++i) {
+      if (mask[i] == 0) w[i] = 0.0f;
+    }
+  }
+}
+
+double Pruner::MaskedFraction() const {
+  int64_t total = 0;
+  int64_t masked = 0;
+  for (const Target& target : targets_) {
+    total += static_cast<int64_t>(target.mask.size());
+    for (uint8_t m : target.mask) masked += (m == 0) ? 1 : 0;
+  }
+  return total > 0 ? static_cast<double>(masked) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+double Pruner::MeasuredSparsity() const {
+  int64_t total = 0;
+  int64_t zeros = 0;
+  for (const Target& target : targets_) {
+    const float* w = target.value->data();
+    int64_t numel = target.value->numel();
+    total += numel;
+    for (int64_t i = 0; i < numel; ++i) {
+      if (w[i] == 0.0f) ++zeros;
+    }
+  }
+  return total > 0 ? static_cast<double>(zeros) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace dhgcn

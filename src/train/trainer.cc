@@ -76,6 +76,9 @@ Trainer::Trainer(Layer* model, const TrainOptions& options)
   if (options_.guardrails.enabled) {
     guardrails_ = std::make_unique<Guardrails>(model_, options_.guardrails);
   }
+  if (options_.prune.enabled) {
+    pruner_ = std::make_unique<Pruner>(model_, options_.prune);
+  }
 }
 
 void Trainer::ApplyLr(int64_t epoch) {
@@ -112,6 +115,7 @@ Result<EpochStats> Trainer::TrainEpoch(DataLoader& loader, int64_t epoch) {
   model_->SetTraining(true);
   loader.StartEpoch();
   ApplyLr(epoch);
+  if (pruner_ != nullptr) pruner_->OnEpochBegin(epoch);
 
   GuardrailCounters at_start;
   if (guardrails_ != nullptr) at_start = guardrails_->counters();
@@ -172,6 +176,10 @@ Result<EpochStats> Trainer::TrainEpoch(DataLoader& loader, int64_t epoch) {
       ClipGradientNorm(*model_, options_.clip_grad_norm);
     }
     OptimizerStep();
+    // Masks re-applied every step: momentum/weight-decay updates must
+    // not resurrect pruned weights (and the density routing should see
+    // true zeros, not near-zeros).
+    if (pruner_ != nullptr) pruner_->Apply();
     accumulator.Add(logits, batch.labels, loss);
     loss_sum += loss;
     ++clean_batches;
@@ -201,6 +209,10 @@ Result<EpochStats> Trainer::TrainEpoch(DataLoader& loader, int64_t epoch) {
     DHGCN_LOG(kInfo) << model_->name() << " epoch " << epoch
                      << " loss=" << stats.mean_loss
                      << " top1=" << stats.train_top1 << " lr=" << stats.lr
+                     << (pruner_ != nullptr
+                             ? StrCat(" sparsity=",
+                                      pruner_->MeasuredSparsity())
+                             : std::string())
                      << " allocs=" << stats.tensor_allocations << " ("
                      << (stats.tensor_alloc_bytes >> 10) << " KiB)"
                      << " ws_peak=" << (workspace_.PeakBytes() >> 10)

@@ -14,6 +14,7 @@
 #include "tensor/workspace.h"
 #include "train/guardrails.h"
 #include "train/metrics.h"
+#include "train/pruner.h"
 
 namespace dhgcn {
 
@@ -42,6 +43,9 @@ struct TrainOptions {
   float clip_grad_norm = 0.0f;
   /// Per-step anomaly sentinels and recovery policy (see guardrails.h).
   GuardrailOptions guardrails;
+  /// Magnitude pruning schedule with fine-tuning (see pruner.h);
+  /// masks are re-applied after every optimizer step.
+  PruneOptions prune;
   /// Run training steps through the workspace-planned (arena-backed)
   /// execution path: activations live in a per-trainer arena that is
   /// reset at each step boundary, making steady-state steps
@@ -150,6 +154,8 @@ class Trainer {
   const TrainOptions& options() const { return options_; }
   /// Cumulative guardrail counters across all epochs of this trainer.
   const GuardrailCounters& guardrail_counters() const;
+  /// Non-null when TrainOptions::prune.enabled.
+  const Pruner* pruner() const { return pruner_.get(); }
 
  private:
   void ApplyLr(int64_t epoch);
@@ -164,6 +170,7 @@ class Trainer {
   std::unique_ptr<SgdOptimizer> sgd_;
   std::unique_ptr<AdamOptimizer> adam_;
   std::unique_ptr<Guardrails> guardrails_;
+  std::unique_ptr<Pruner> pruner_;
   StepLrSchedule schedule_;
   /// Arena for workspace-planned steps; Reset at every step boundary.
   Workspace workspace_;

@@ -21,6 +21,8 @@
 #include "data/synthetic_generator.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "tensor/sparse.h"
+#include "tensor/sparse_router.h"
 #include "tensor/workspace.h"
 #include "train/trainer.h"
 
@@ -120,6 +122,83 @@ TEST(AllocBudgetTest, TrainerWorkspacePathAllocatesFarLessThanLegacy) {
   // (the loader materializes each batch tensor) still allocates, so the
   // legacy path must allocate at least 10x more.
   EXPECT_LT(planned[1].tensor_allocations * 10, legacy[1].tensor_allocations);
+}
+
+// The legacy SpMM/SpMMAccumulate entry points allocate an owning result
+// per call; the *Into family is the fix — once the CSR capacity is warm,
+// repeated sparse steps must not touch the heap at all.
+TEST(AllocBudgetTest, SpMMIntoFamilyIsAllocationFreeWhenWarm) {
+  Rng rng(9);
+  Tensor dense_op = Tensor::RandomNormal({25, 25}, rng);
+  for (int64_t i = 0; i < dense_op.numel(); ++i) {
+    if (rng.Uniform() >= 0.2f) dense_op.flat(i) = 0.0f;
+  }
+  Tensor b = Tensor::RandomNormal({25, 16}, rng);   // right operand
+  Tensor a = Tensor::RandomNormal({16, 25}, rng);   // left operand
+  Tensor x = Tensor::RandomNormal({2, 3, 4, 25}, rng);
+
+  CsrMatrix csr(1, 1);
+  csr.AssignFromDense(dense_op);  // warm the index/value capacity
+  Tensor c({25, 16});
+  Tensor c2({16, 25});
+  Tensor y(x.shape());
+  Tensor gi(x.shape());
+
+  AllocStatsGuard guard;
+  for (int step = 0; step < 4; ++step) {
+    csr.AssignFromDense(dense_op);  // steady-state re-compression
+    SpMMInto(csr, b, &c);
+    SpMMAccumulateInto(csr, b, &c);
+    DenseSpMMInto(a, csr, &c2);
+    SpMMTransposedBInto(a, csr, &c2);
+    SparseMixInto(csr, x, &y);
+    gi.Fill(0.0f);
+    SparseMixBackwardInto(csr, x, &gi);
+  }
+  EXPECT_EQ(guard.allocations(), 0u)
+      << "sparse kernels allocated " << guard.allocations()
+      << " owning tensors in steady state";
+}
+
+// The steady-state budget must hold with the router forced on: every
+// routable operator runs its CSR path, and the per-step re-compressions
+// reuse warm capacity instead of allocating.
+TEST(AllocBudgetTest, SteadyStateTrainingStepWithinBudgetSparseRouted) {
+  SparseMode saved = SparseRouter::Get().mode();
+  SparseRouter::Get().set_mode(SparseMode::kOn);
+
+  DhgcnConfig config =
+      DhgcnConfig::Tiny(SkeletonLayoutType::kKinetics18, /*num_classes=*/4);
+  DhgcnModel model(config);
+  SoftmaxCrossEntropy loss;
+  SgdOptimizer::Options sgd_options;
+  sgd_options.lr = 0.01f;
+  SgdOptimizer optimizer(model.Params(), sgd_options);
+
+  Rng rng(11);
+  Tensor x = Tensor::RandomNormal({2, 3, 8, 18}, rng);
+  std::vector<int64_t> labels = {1, 3};
+
+  Workspace ws;
+  for (int step = 0; step < 5; ++step) {
+    AllocStatsGuard guard;
+    ws.Reset();
+    optimizer.ZeroGrad();
+    Tensor logits;
+    model.ForwardInto(x, ws, &logits);
+    float loss_value = loss.TryForward(logits, labels, ws).ValueOrDie();
+    ASSERT_TRUE(std::isfinite(loss_value));
+    Tensor grad_input;
+    model.BackwardInto(loss.Backward(ws), ws, &grad_input);
+    optimizer.Step();
+    if (step >= 2) {
+      EXPECT_LE(guard.allocations(), kStepBudget)
+          << "sparse-routed step " << step << " allocated "
+          << guard.allocations() << " owning tensors ("
+          << guard.bytes() << " bytes)";
+    }
+  }
+  SparseRouter::Get().set_mode(saved);
 }
 
 TEST(AllocBudgetTest, WorkspaceAndLegacyTrainingAreBitIdentical) {

@@ -16,6 +16,7 @@
 #include "data/dataloader.h"
 #include "data/dataset.h"
 #include "data/synthetic_generator.h"
+#include "hypergraph/hypergraph_conv.h"
 #include "hypergraph/kmeans.h"
 #include "hypergraph/knn.h"
 #include "nn/batchnorm.h"
@@ -24,6 +25,8 @@
 #include "plan/plan_builder.h"
 #include "plan/plan_runner.h"
 #include "tensor/linalg.h"
+#include "tensor/sparse.h"
+#include "tensor/sparse_router.h"
 #include "tensor/workspace.h"
 #include "train/trainer.h"
 
@@ -391,6 +394,146 @@ TEST(ParallelDeterminism, PlanReplayUnfusedMatchesLayerPath) {
             .ValueOrDie());
     ExpectBitEqual(serial, fresh.Run(x), "fresh unfused plan replay",
                    threads);
+  }
+  ThreadPool::Get().SetThreads(1);
+}
+
+// --- Sparse execution path: the CSR kernels partition CSR/output rows
+// statically and accumulate in fixed ascending-k order, so the routed
+// path must be as thread-invariant as the dense one. -------------------
+
+// Random normal tensor with ~`density` fraction of nonzeros.
+Tensor RandomAtDensity(const Shape& shape, double density, Rng& rng) {
+  Tensor t = Tensor::RandomNormal(shape, rng);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    if (rng.Uniform() >= static_cast<float>(density)) t.flat(i) = 0.0f;
+  }
+  return t;
+}
+
+// Save/restore the process-wide router around a forced-mode run.
+class ScopedSparseMode {
+ public:
+  explicit ScopedSparseMode(SparseMode mode)
+      : saved_(SparseRouter::Get().mode()) {
+    SparseRouter::Get().set_mode(mode);
+  }
+  ~ScopedSparseMode() { SparseRouter::Get().set_mode(saved_); }
+
+ private:
+  SparseMode saved_;
+};
+
+TEST(ParallelDeterminism, SpMMIntoKernels) {
+  Rng rng(240);
+  Tensor a = RandomAtDensity({61, 67}, 0.1, rng);
+  Tensor b = Tensor::RandomNormal({67, 37}, rng);
+  CsrMatrix a_csr = CsrMatrix::FromDense(a);
+  ExpectDeterministicAcrossThreadCounts("SpMMInto", [&] {
+    Tensor c({61, 37});
+    SpMMInto(a_csr, b, &c);
+    SpMMAccumulateInto(a_csr, b, &c);
+    return c;
+  });
+
+  Tensor d = Tensor::RandomNormal({53, 61}, rng);
+  ExpectDeterministicAcrossThreadCounts("DenseSpMMInto", [&] {
+    Tensor c({53, 67});
+    DenseSpMMInto(d, a_csr, &c);
+    return c;
+  });
+
+  Tensor e = Tensor::RandomNormal({29, 67}, rng);
+  ExpectDeterministicAcrossThreadCounts("SpMMTransposedBInto", [&] {
+    Tensor c({29, 61});
+    SpMMTransposedBInto(e, a_csr, &c);
+    return c;
+  });
+}
+
+TEST(ParallelDeterminism, SparseRoutedVertexMix) {
+  ScopedSparseMode on(SparseMode::kOn);
+  Rng rng(241);
+  Tensor op = RandomAtDensity({25, 25}, 0.15, rng);
+  Tensor x = Tensor::RandomNormal({2, 4, 6, 25}, rng);
+  Tensor gy = Tensor::RandomNormal({2, 4, 6, 25}, rng);
+  VertexMix mix(op.Clone());
+  ExpectDeterministicAcrossThreadCounts("sparse VertexMix fwd+bwd", [&] {
+    Tensor y = mix.Forward(x);
+    Tensor g = mix.Backward(gy);
+    // Pack both results into one tensor so a single memcmp covers them.
+    Tensor packed({y.numel() + g.numel()});
+    std::memcpy(packed.data(), y.data(), sizeof(float) * y.numel());
+    std::memcpy(packed.data() + y.numel(), g.data(),
+                sizeof(float) * g.numel());
+    return packed;
+  });
+}
+
+TEST(ParallelDeterminism, SparseRoutedDynamicVertexMix) {
+  ScopedSparseMode on(SparseMode::kOn);
+  Rng rng(242);
+  Tensor ops = RandomAtDensity({2, 5, 17, 17}, 0.12, rng);
+  Tensor x = Tensor::RandomNormal({2, 3, 5, 17}, rng);
+  Tensor gy = Tensor::RandomNormal({2, 3, 5, 17}, rng);
+  DynamicVertexMix mix;
+  mix.SetOperators(ops.Clone());
+  ExpectDeterministicAcrossThreadCounts(
+      "sparse DynamicVertexMix fwd+bwd", [&] {
+        Tensor y = mix.Forward(x);
+        Tensor g = mix.Backward(gy);
+        Tensor packed({y.numel() + g.numel()});
+        std::memcpy(packed.data(), y.data(), sizeof(float) * y.numel());
+        std::memcpy(packed.data() + y.numel(), g.data(),
+                    sizeof(float) * g.numel());
+        return packed;
+      });
+}
+
+// Pruned fine-tuned training: the magnitude selection is a strict total
+// order over (|w|, flat index) and the routed kernels are
+// thread-invariant, so a pruning run must fingerprint identically at
+// every thread count — with the router forced on, exercising the sparse
+// kernels on the genuinely sparsified weights.
+TEST(ParallelDeterminism, ThreeEpochPrunedTrainingRun) {
+  ScopedSparseMode on(SparseMode::kOn);
+  SyntheticDataConfig data_config = NtuLikeConfig(2, 5, 8, 19);
+  SkeletonDataset dataset =
+      SkeletonDataset::Generate(data_config).MoveValue();
+  DatasetSplit split = dataset.RandomSplit(0.3f, 1);
+
+  auto run = [&]() -> TrainingFingerprint {
+    DataLoader loader(&dataset, split.train, 4, InputStream::kJoint,
+                      /*shuffle=*/true, Rng(5));
+    DhgcnConfig config =
+        DhgcnConfig::Tiny(SkeletonLayoutType::kNtu25, /*num_classes=*/2);
+    DhgcnModel model(config);
+    TrainOptions options;
+    options.epochs = 3;
+    options.initial_lr = 0.01f;
+    options.prune.enabled = true;
+    options.prune.target_sparsity = 0.5;
+    options.prune.start_epoch = 1;
+    options.prune.end_epoch = 2;
+    Trainer trainer(&model, options);
+    TrainingFingerprint fp;
+    fp.final_loss = trainer.Train(loader).ValueOrDie().back().mean_loss;
+    for (ParamRef& p : model.Params()) fp.params.push_back(p.value->Clone());
+    return fp;
+  };
+
+  ThreadPool::Get().SetThreads(1);
+  TrainingFingerprint serial = run();
+  for (int64_t threads : kThreadCounts) {
+    ThreadPool::Get().SetThreads(threads);
+    TrainingFingerprint parallel = run();
+    EXPECT_EQ(parallel.final_loss, serial.final_loss)
+        << "threads=" << threads;
+    ASSERT_EQ(parallel.params.size(), serial.params.size());
+    for (size_t p = 0; p < serial.params.size(); ++p) {
+      ExpectBitEqual(serial.params[p], parallel.params[p],
+                     "pruned trained parameter", threads);
+    }
   }
   ThreadPool::Get().SetThreads(1);
 }

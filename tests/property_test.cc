@@ -1,6 +1,7 @@
 // Parameterized property tests: algebraic invariants checked across
 // swept shapes/sizes rather than single examples.
 
+#include <cstring>
 #include <sstream>
 #include <tuple>
 
@@ -284,6 +285,135 @@ INSTANTIATE_TEST_SUITE_P(Sizes, GemmSweepTest,
                                            GemmParam{5, 1, 5},
                                            GemmParam{7, 11, 3},
                                            GemmParam{16, 16, 16}));
+
+// --- CSR invariants over randomized densities -----------------------------------------
+
+Tensor RandomAtDensity(const Shape& shape, double density, Rng& rng) {
+  Tensor t = Tensor::RandomNormal(shape, rng);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    if (rng.Uniform() >= static_cast<float>(density)) t.flat(i) = 0.0f;
+  }
+  return t;
+}
+
+class CsrSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CsrSweepTest, FromDenseRoundTripIsExact) {
+  double density = GetParam();
+  Rng rng(12);
+  Tensor dense = RandomAtDensity({13, 19}, density, rng);
+  CsrMatrix csr = CsrMatrix::FromDense(dense);
+  Tensor back = csr.ToDense();
+  ASSERT_EQ(back.shape(), dense.shape());
+  EXPECT_EQ(std::memcmp(back.data(), dense.data(),
+                        sizeof(float) * dense.numel()),
+            0);
+  // Structural invariants: ascending columns per row, no stored zeros.
+  for (int64_t r = 0; r < csr.rows(); ++r) {
+    for (int64_t i = csr.row_ptr()[r]; i < csr.row_ptr()[r + 1]; ++i) {
+      if (i > csr.row_ptr()[r]) {
+        EXPECT_LT(csr.col_idx()[i - 1], csr.col_idx()[i]);
+      }
+      EXPECT_NE(csr.values()[i], 0.0f);
+    }
+  }
+}
+
+TEST_P(CsrSweepTest, AssignFromDenseMatchesFromDense) {
+  double density = GetParam();
+  Rng rng(13);
+  CsrMatrix reused(1, 1);
+  // Two rebuilds with different patterns: capacity reuse must not leak
+  // state from the previous build.
+  for (uint64_t round = 0; round < 2; ++round) {
+    Tensor dense = RandomAtDensity({11, 17}, density, rng);
+    reused.AssignFromDense(dense);
+    CsrMatrix fresh = CsrMatrix::FromDense(dense);
+    EXPECT_EQ(reused.row_ptr(), fresh.row_ptr());
+    EXPECT_EQ(reused.col_idx(), fresh.col_idx());
+    EXPECT_EQ(reused.values(), fresh.values());
+  }
+}
+
+TEST_P(CsrSweepTest, TransposedIsAnInvolution) {
+  double density = GetParam();
+  Rng rng(14);
+  Tensor dense = RandomAtDensity({9, 14}, density, rng);
+  CsrMatrix csr = CsrMatrix::FromDense(dense);
+  CsrMatrix tt = csr.Transposed().Transposed();
+  EXPECT_EQ(tt.rows(), csr.rows());
+  EXPECT_EQ(tt.cols(), csr.cols());
+  EXPECT_EQ(tt.row_ptr(), csr.row_ptr());
+  EXPECT_EQ(tt.col_idx(), csr.col_idx());
+  EXPECT_EQ(tt.values(), csr.values());
+  // And a single transpose matches the dense transpose.
+  EXPECT_TRUE(AllClose(csr.Transposed().ToDense(), Transpose2D(dense),
+                       0.0f, 0.0f));
+}
+
+TEST_P(CsrSweepTest, SpMMFamilyMatchesDenseMatMul) {
+  double density = GetParam();
+  Rng rng(15);
+  Tensor a = RandomAtDensity({12, 18}, density, rng);
+  Tensor b = Tensor::RandomNormal({18, 7}, rng);
+  CsrMatrix a_csr = CsrMatrix::FromDense(a);
+  Tensor reference = MatMul(a, b);
+  EXPECT_TRUE(AllClose(SpMM(a_csr, b), reference, 1e-4f, 1e-5f));
+  Tensor into({12, 7});
+  SpMMInto(a_csr, b, &into);
+  EXPECT_TRUE(AllClose(into, reference, 1e-4f, 1e-5f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, CsrSweepTest,
+                         ::testing::Values(0.0, 0.05, 0.3, 0.7, 1.0));
+
+TEST(CsrEdgeCases, FromTripletsSumsDuplicatesAndSortsColumns) {
+  CsrMatrix csr = CsrMatrix::FromTriplets(
+      3, 4, {{1, 2, 1.5f}, {0, 3, 2.0f}, {1, 0, -1.0f}, {1, 2, 0.5f}});
+  EXPECT_EQ(csr.nnz(), 3);
+  Tensor dense = csr.ToDense();
+  EXPECT_EQ(dense.at(0, 3), 2.0f);
+  EXPECT_EQ(dense.at(1, 0), -1.0f);
+  EXPECT_EQ(dense.at(1, 2), 2.0f);  // 1.5 + 0.5 summed
+  // Row 2 is empty.
+  EXPECT_EQ(csr.row_ptr()[2], csr.row_ptr()[3]);
+}
+
+TEST(CsrEdgeCases, AllZeroAndEmptyRowOperands) {
+  Tensor zero({5, 6});
+  zero.Fill(0.0f);
+  CsrMatrix csr = CsrMatrix::FromDense(zero);
+  EXPECT_EQ(csr.nnz(), 0);
+  EXPECT_EQ(csr.Density(), 0.0);
+  Rng rng(16);
+  Tensor b = Tensor::RandomNormal({6, 3}, rng);
+  Tensor y({5, 3});
+  SpMMInto(csr, b, &y);
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y.flat(i), 0.0f);
+
+  // A matrix whose middle rows are empty must still produce exact rows.
+  Tensor gappy({4, 6});
+  gappy.Fill(0.0f);
+  gappy.at(0, 1) = 2.0f;
+  gappy.at(3, 5) = -3.0f;
+  CsrMatrix gappy_csr = CsrMatrix::FromDense(gappy);
+  Tensor ref = MatMul(gappy, b);
+  Tensor out({4, 3});
+  SpMMInto(gappy_csr, b, &out);
+  EXPECT_TRUE(AllClose(out, ref, 0.0f, 0.0f));
+}
+
+TEST(CsrEdgeCases, OneByOne) {
+  Tensor unit({1, 1});
+  unit.at(0, 0) = 3.0f;
+  CsrMatrix csr = CsrMatrix::FromDense(unit);
+  EXPECT_EQ(csr.nnz(), 1);
+  Tensor b({1, 1});
+  b.at(0, 0) = -2.0f;
+  Tensor y({1, 1});
+  SpMMInto(csr, b, &y);
+  EXPECT_EQ(y.at(0, 0), -6.0f);
+}
 
 }  // namespace
 }  // namespace dhgcn

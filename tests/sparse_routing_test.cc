@@ -1,0 +1,554 @@
+// Sparse conformance layer for the density-adaptive execution path.
+//
+// The contract under test: every operator the SparseRouter can route
+// through the CSR kernels produces *bit-identical* results to its dense
+// counterpart — skipped zero products are exact float/double no-ops and
+// the accumulation order is preserved — so flipping the router mode
+// (off / on) must never change a single output bit, at any density,
+// including fully dense operands forced through the sparse path. The
+// blocked GEMM uses a different accumulation order and is compared with
+// tolerances instead.
+
+#include <cmath>
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "base/rng.h"
+#include "core/dhgcn_model.h"
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "data/synthetic_generator.h"
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/hypergraph_conv.h"
+#include "nn/linear.h"
+#include "plan/plan_builder.h"
+#include "plan/plan_runner.h"
+#include "tensor/linalg.h"
+#include "tensor/sparse.h"
+#include "tensor/sparse_router.h"
+#include "tensor/tensor_ops.h"
+#include "tests/gradcheck.h"
+#include "train/evaluator.h"
+#include "train/experiment.h"
+#include "train/pruner.h"
+#include "train/trainer.h"
+
+namespace dhgcn {
+namespace {
+
+// The router is a process-wide singleton shared by every test in the
+// binary: always save/restore both knobs.
+class ScopedSparseMode {
+ public:
+  explicit ScopedSparseMode(SparseMode mode,
+                            double threshold = -1.0)
+      : saved_mode_(SparseRouter::Get().mode()),
+        saved_threshold_(SparseRouter::Get().density_threshold()) {
+    SparseRouter::Get().set_mode(mode);
+    if (threshold > 0.0) {
+      SparseRouter::Get().set_density_threshold(threshold);
+    }
+  }
+  ~ScopedSparseMode() {
+    SparseRouter::Get().set_mode(saved_mode_);
+    SparseRouter::Get().set_density_threshold(saved_threshold_);
+  }
+
+ private:
+  SparseMode saved_mode_;
+  double saved_threshold_;
+};
+
+void ExpectBitEqual(const Tensor& expected, const Tensor& actual,
+                    const char* what) {
+  ASSERT_EQ(expected.shape(), actual.shape()) << what;
+  EXPECT_EQ(std::memcmp(expected.data(), actual.data(),
+                        sizeof(float) * expected.numel()),
+            0)
+      << what << ": sparse path is not bit-identical to the dense path";
+}
+
+// Random normal tensor with an expected fraction `density` of nonzeros.
+Tensor RandomAtDensity(const Shape& shape, double density, Rng& rng) {
+  Tensor t = Tensor::RandomNormal(shape, rng);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    if (rng.Uniform() >= static_cast<float>(density)) t.flat(i) = 0.0f;
+  }
+  return t;
+}
+
+// --- Kernel conformance: SpMM family vs the dense reference kernels ---
+//
+// Shapes deliberately include primes (61, 67, 37, 17) and sizes that
+// straddle the blocked-GEMM tiles, plus the degenerate 1x1x1.
+
+using Dims = std::tuple<int64_t, int64_t, int64_t>;
+using KernelParam = std::tuple<Dims, double>;
+
+class SpmmConformanceTest : public ::testing::TestWithParam<KernelParam> {
+};
+
+TEST_P(SpmmConformanceTest, SpMMIntoBitwiseMatchesSparseReference) {
+  auto [dims, density] = GetParam();
+  auto [m, k, n] = dims;
+  Rng rng(101);
+  Tensor a = RandomAtDensity({m, k}, density, rng);
+  Tensor b = Tensor::RandomNormal({k, n}, rng);
+  CsrMatrix a_csr = CsrMatrix::FromDense(a);
+
+  Tensor ref({m, n});
+  MatMulInto(a, b, &ref, /*accumulate=*/false, GemmHint::kSparse);
+  Tensor c({m, n});
+  SpMMInto(a_csr, b, &c);
+  ExpectBitEqual(ref, c, "SpMMInto");
+
+  // Accumulating variant, on identical pre-filled outputs.
+  Tensor base = Tensor::RandomNormal({m, n}, rng);
+  Tensor ref_acc = base.Clone();
+  Tensor c_acc = base.Clone();
+  MatMulInto(a, b, &ref_acc, /*accumulate=*/true, GemmHint::kSparse);
+  SpMMAccumulateInto(a_csr, b, &c_acc);
+  ExpectBitEqual(ref_acc, c_acc, "SpMMAccumulateInto");
+
+  // The blocked GEMM accumulates in a different order: rtol-equivalent.
+  EXPECT_TRUE(AllClose(MatMul(a, b), c, 1e-4f, 1e-5f));
+}
+
+TEST_P(SpmmConformanceTest, DenseSpMMIntoBitwiseMatchesSparseReference) {
+  auto [dims, density] = GetParam();
+  auto [m, k, n] = dims;
+  Rng rng(102);
+  Tensor a = RandomAtDensity({m, k}, density, rng);
+  Tensor b = RandomAtDensity({k, n}, density, rng);
+  CsrMatrix b_csr = CsrMatrix::FromDense(b);
+
+  Tensor ref({m, n});
+  MatMulInto(a, b, &ref, /*accumulate=*/false, GemmHint::kSparse);
+  Tensor c({m, n});
+  DenseSpMMInto(a, b_csr, &c);
+  ExpectBitEqual(ref, c, "DenseSpMMInto");
+
+  Tensor base = Tensor::RandomNormal({m, n}, rng);
+  Tensor ref_acc = base.Clone();
+  Tensor c_acc = base.Clone();
+  MatMulInto(a, b, &ref_acc, /*accumulate=*/true, GemmHint::kSparse);
+  DenseSpMMInto(a, b_csr, &c_acc, /*accumulate=*/true);
+  ExpectBitEqual(ref_acc, c_acc, "DenseSpMMInto accumulate");
+}
+
+TEST_P(SpmmConformanceTest, SpMMTransposedBBitwiseMatchesDense) {
+  auto [dims, density] = GetParam();
+  auto [m, k, n] = dims;
+  Rng rng(103);
+  Tensor a = Tensor::RandomNormal({m, k}, rng);
+  Tensor b = RandomAtDensity({n, k}, density, rng);
+  CsrMatrix b_csr = CsrMatrix::FromDense(b);
+
+  Tensor ref({m, n});
+  MatMulTransposedBInto(a, b, &ref);
+  Tensor c({m, n});
+  SpMMTransposedBInto(a, b_csr, &c);
+  ExpectBitEqual(ref, c, "SpMMTransposedBInto");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndDensities, SpmmConformanceTest,
+    ::testing::Combine(::testing::Values(Dims{5, 7, 3}, Dims{61, 67, 37},
+                                         Dims{33, 64, 17}, Dims{1, 1, 1},
+                                         Dims{17, 16, 16}),
+                       ::testing::Values(0.01, 0.1, 0.5, 1.0)));
+
+// --- CSR in-place rebuild (the steady-state compression path) ---------
+
+TEST(CsrAssignFromDense, MatchesFromDenseAfterCapacityReuse) {
+  Rng rng(104);
+  CsrMatrix csr(1, 1);
+  // Dense -> sparse -> dense again: each rebuild must be equivalent to a
+  // fresh FromDense regardless of what capacity the previous build left.
+  for (double density : {0.5, 0.01, 1.0, 0.1}) {
+    Tensor dense = RandomAtDensity({19, 23}, density, rng);
+    csr.AssignFromDense(dense);
+    CsrMatrix fresh = CsrMatrix::FromDense(dense);
+    ASSERT_EQ(csr.nnz(), fresh.nnz()) << "density " << density;
+    EXPECT_EQ(csr.row_ptr(), fresh.row_ptr());
+    EXPECT_EQ(csr.col_idx(), fresh.col_idx());
+    EXPECT_EQ(csr.values(), fresh.values());
+    ExpectBitEqual(dense, csr.ToDense(), "AssignFromDense round-trip");
+  }
+}
+
+// --- Operator routing equivalence: off vs on must be bit-identical ----
+
+class SparseRoutingDensityTest : public ::testing::TestWithParam<double> {
+};
+
+TEST_P(SparseRoutingDensityTest, VertexMixFixedForwardBackwardBitIdentical) {
+  double density = GetParam();
+  Rng rng(201);
+  Tensor op = RandomAtDensity({17, 17}, density, rng);
+  Tensor x = Tensor::RandomNormal({2, 3, 5, 17}, rng);
+  Tensor gy = Tensor::RandomNormal({2, 3, 5, 17}, rng);
+
+  VertexMix mix(op.Clone());
+  Tensor y_dense, g_dense;
+  {
+    ScopedSparseMode off(SparseMode::kOff);
+    y_dense = mix.Forward(x);
+    g_dense = mix.Backward(gy);
+  }
+  {
+    ScopedSparseMode on(SparseMode::kOn);
+    ExpectBitEqual(y_dense, mix.Forward(x), "VertexMix forward");
+    ExpectBitEqual(g_dense, mix.Backward(gy), "VertexMix backward");
+  }
+}
+
+TEST_P(SparseRoutingDensityTest, VertexMixLearnableForwardBitIdentical) {
+  double density = GetParam();
+  Rng rng(202);
+  Tensor op = RandomAtDensity({13, 13}, density, rng);
+  Tensor x = Tensor::RandomNormal({2, 2, 3, 13}, rng);
+  Tensor gy = Tensor::RandomNormal({2, 2, 3, 13}, rng);
+
+  VertexMix mix(op.Clone(), /*learnable=*/true);
+  Tensor y_dense, g_dense;
+  {
+    ScopedSparseMode off(SparseMode::kOff);
+    y_dense = mix.Forward(x);
+    g_dense = mix.Backward(gy);
+  }
+  {
+    ScopedSparseMode on(SparseMode::kOn);
+    ExpectBitEqual(y_dense, mix.Forward(x), "learnable VertexMix forward");
+    ExpectBitEqual(g_dense, mix.Backward(gy),
+                   "learnable VertexMix backward");
+  }
+}
+
+TEST_P(SparseRoutingDensityTest, DynamicVertexMixForwardBackwardBitIdentical) {
+  double density = GetParam();
+  Rng rng(203);
+  Tensor ops = RandomAtDensity({2, 4, 17, 17}, density, rng);
+  Tensor x = Tensor::RandomNormal({2, 3, 4, 17}, rng);
+  Tensor gy = Tensor::RandomNormal({2, 3, 4, 17}, rng);
+
+  DynamicVertexMix mix;
+  mix.SetOperators(ops.Clone());
+  Tensor y_dense, g_dense;
+  {
+    ScopedSparseMode off(SparseMode::kOff);
+    y_dense = mix.Forward(x);
+    g_dense = mix.Backward(gy);
+  }
+  {
+    ScopedSparseMode on(SparseMode::kOn);
+    ExpectBitEqual(y_dense, mix.Forward(x), "DynamicVertexMix forward");
+    ExpectBitEqual(g_dense, mix.Backward(gy), "DynamicVertexMix backward");
+  }
+}
+
+TEST_P(SparseRoutingDensityTest,
+       LearnableHyperedgeMixForwardBackwardBitIdentical) {
+  double density = GetParam();
+  // The incidence factors have their own (topology-determined) density;
+  // the parameter seeds distinct topologies so each case covers a
+  // different sparsity pattern.
+  uint64_t seed = 300 + static_cast<uint64_t>(density * 100.0);
+  Rng rng(seed);
+  int64_t v = 14;
+  std::vector<Hyperedge> edges;
+  for (int64_t e = 0; e < 5; ++e) {
+    edges.push_back(rng.SampleWithoutReplacement(v, rng.UniformInt(2, 5)));
+  }
+  Hypergraph h(v, std::move(edges));
+  Tensor x = Tensor::RandomNormal({2, 2, 3, v}, rng);
+  Tensor gy = Tensor::RandomNormal({2, 2, 3, v}, rng);
+
+  Tensor y_dense, g_dense;
+  {
+    ScopedSparseMode off(SparseMode::kOff);
+    LearnableHyperedgeMix mix(h);
+    y_dense = mix.Forward(x);
+    g_dense = mix.Backward(gy);
+  }
+  {
+    ScopedSparseMode on(SparseMode::kOn);
+    LearnableHyperedgeMix mix(h);
+    ExpectBitEqual(y_dense, mix.Forward(x),
+                   "LearnableHyperedgeMix forward");
+    ExpectBitEqual(g_dense, mix.Backward(gy),
+                   "LearnableHyperedgeMix backward");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, SparseRoutingDensityTest,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0));
+
+// Prime / tile-straddling vertex count on the layer path.
+TEST(SparseRouting, VertexMixPrimeShapeBitIdentical) {
+  Rng rng(205);
+  Tensor op = RandomAtDensity({61, 61}, 0.1, rng);
+  Tensor x = Tensor::RandomNormal({1, 2, 3, 61}, rng);
+  VertexMix mix(op.Clone());
+  Tensor y_dense;
+  {
+    ScopedSparseMode off(SparseMode::kOff);
+    y_dense = mix.Forward(x);
+  }
+  ScopedSparseMode on(SparseMode::kOn);
+  ExpectBitEqual(y_dense, mix.Forward(x), "VertexMix prime-V forward");
+}
+
+// --- Whole model: routing must not change a single logit bit ----------
+
+TEST(SparseRouting, FullModelForwardBitIdenticalAcrossModes) {
+  DhgcnConfig config =
+      DhgcnConfig::Tiny(SkeletonLayoutType::kNtu25, /*num_classes=*/3);
+  DhgcnModel model(config);
+  model.SetTraining(false);
+  Rng rng(206);
+  Tensor x = Tensor::RandomNormal({2, 3, 8, 25}, rng);
+
+  Tensor logits_off;
+  {
+    ScopedSparseMode off(SparseMode::kOff);
+    logits_off = model.Forward(x);
+  }
+  {
+    ScopedSparseMode on(SparseMode::kOn);
+    ExpectBitEqual(logits_off, model.Forward(x), "model forward (on)");
+  }
+  {
+    ScopedSparseMode au(SparseMode::kAuto);
+    ExpectBitEqual(logits_off, model.Forward(x), "model forward (auto)");
+  }
+}
+
+// Plan capture bakes the routing decision in as kSpMM ops; replay must
+// still be bit-identical to the layer path.
+TEST(SparseRouting, PlanReplayWithSparseCaptureBitIdentical) {
+  ScopedSparseMode on(SparseMode::kOn);
+  DhgcnConfig config =
+      DhgcnConfig::Tiny(SkeletonLayoutType::kNtu25, /*num_classes=*/3);
+  DhgcnModel model(config);
+  model.SetTraining(false);
+  Rng rng(207);
+  Tensor x = Tensor::RandomNormal({2, 3, 8, 25}, rng);
+
+  Tensor layer_path = model.Forward(x);
+  PlanRunner runner(
+      BuildInferencePlan(model, x.shape(), PlanMode::kUnfused)
+          .ValueOrDie());
+  ExpectBitEqual(layer_path, runner.Run(x), "sparse-captured plan replay");
+}
+
+// --- Gradcheck through the forced-sparse path -------------------------
+
+TEST(SparseRouting, GradcheckLearnableVertexMixSparsePath) {
+  ScopedSparseMode on(SparseMode::kOn);
+  Rng rng(208);
+  Tensor op = RandomAtDensity({9, 9}, 0.3, rng);
+  VertexMix mix(op.Clone(), /*learnable=*/true);
+  Tensor x = Tensor::RandomNormal({2, 2, 3, 9}, rng);
+  testing::ExpectGradientsMatch(mix, x);
+}
+
+TEST(SparseRouting, GradcheckLearnableHyperedgeMixSparsePath) {
+  ScopedSparseMode on(SparseMode::kOn);
+  Rng rng(209);
+  int64_t v = 10;
+  std::vector<Hyperedge> edges;
+  for (int64_t e = 0; e < 4; ++e) {
+    edges.push_back(rng.SampleWithoutReplacement(v, rng.UniformInt(2, 4)));
+  }
+  Hypergraph h(v, std::move(edges));
+  LearnableHyperedgeMix mix(h);
+  Tensor x = Tensor::RandomNormal({2, 2, 2, v}, rng);
+  testing::ExpectGradientsMatch(mix, x);
+}
+
+// --- Router policy ----------------------------------------------------
+
+TEST(SparseRouterPolicy, ParseSparseMode) {
+  EXPECT_EQ(ParseSparseMode("off").ValueOrDie(), SparseMode::kOff);
+  EXPECT_EQ(ParseSparseMode("auto").ValueOrDie(), SparseMode::kAuto);
+  EXPECT_EQ(ParseSparseMode("on").ValueOrDie(), SparseMode::kOn);
+  EXPECT_FALSE(ParseSparseMode("dense").ok());
+  EXPECT_FALSE(ParseSparseMode("").ok());
+  EXPECT_STREQ(SparseModeName(SparseMode::kAuto), "auto");
+}
+
+TEST(SparseRouterPolicy, ShouldRouteRespectsModeAndThreshold) {
+  {
+    ScopedSparseMode off(SparseMode::kOff);
+    EXPECT_FALSE(SparseRouter::Get().ShouldRoute(0.0));
+    EXPECT_FALSE(SparseRouter::Get().ShouldRoute(1.0));
+  }
+  {
+    ScopedSparseMode on(SparseMode::kOn);
+    EXPECT_TRUE(SparseRouter::Get().ShouldRoute(0.0));
+    EXPECT_TRUE(SparseRouter::Get().ShouldRoute(1.0));
+  }
+  {
+    ScopedSparseMode au(SparseMode::kAuto, /*threshold=*/0.25);
+    EXPECT_TRUE(SparseRouter::Get().ShouldRoute(0.1));
+    EXPECT_TRUE(SparseRouter::Get().ShouldRoute(0.25));
+    EXPECT_FALSE(SparseRouter::Get().ShouldRoute(0.26));
+    EXPECT_FALSE(SparseRouter::Get().ShouldRoute(1.0));
+  }
+  // Scoped guards must have restored the defaults.
+  EXPECT_EQ(SparseRouter::Get().density_threshold(),
+            SparseRouter::Get().density_threshold());
+}
+
+TEST(SparseRouterPolicy, MeasureDensityCountsNonzeros) {
+  Tensor t({2, 3});
+  t.Fill(0.0f);
+  EXPECT_EQ(SparseRouter::MeasureDensity(t), 0.0);
+  t.flat(0) = 1.0f;
+  t.flat(5) = -2.0f;
+  EXPECT_NEAR(SparseRouter::MeasureDensity(t), 2.0 / 6.0, 1e-12);
+  EXPECT_EQ(SparseRouter::MeasureDensity(nullptr, 0), 0.0);
+}
+
+// --- Pruner: schedule, determinism, mask discipline -------------------
+
+TEST(PrunerTest, CubicScheduleRampsFromZeroToTarget) {
+  Rng rng(401);
+  Linear layer(8, 16, rng);
+  PruneOptions options;
+  options.enabled = true;
+  options.target_sparsity = 0.8;
+  options.start_epoch = 2;
+  options.end_epoch = 6;
+  Pruner pruner(&layer, options);
+
+  EXPECT_EQ(pruner.SparsityForEpoch(0), 0.0);
+  EXPECT_EQ(pruner.SparsityForEpoch(1), 0.0);
+  EXPECT_GT(pruner.SparsityForEpoch(2), 0.0);
+  EXPECT_EQ(pruner.SparsityForEpoch(6), 0.8);
+  EXPECT_EQ(pruner.SparsityForEpoch(100), 0.8);
+  double prev = 0.0;
+  for (int64_t e = 0; e <= 10; ++e) {
+    double s = pruner.SparsityForEpoch(e);
+    EXPECT_GE(s, prev) << "epoch " << e;
+    EXPECT_LE(s, 0.8);
+    prev = s;
+  }
+}
+
+TEST(PrunerTest, OneShotScheduleJumpsAtStart) {
+  Rng rng(402);
+  Linear layer(8, 16, rng);
+  PruneOptions options;
+  options.enabled = true;
+  options.target_sparsity = 0.5;
+  options.start_epoch = 3;
+  options.end_epoch = -1;  // one-shot
+  Pruner pruner(&layer, options);
+  EXPECT_EQ(pruner.SparsityForEpoch(2), 0.0);
+  EXPECT_EQ(pruner.SparsityForEpoch(3), 0.5);
+}
+
+TEST(PrunerTest, PrunesExactCountWithDeterministicTieBreak) {
+  Rng rng(403);
+  Linear layer(8, 16, rng);  // weight (16, 8): 128 elements, bias excluded
+
+  // All-equal magnitudes: the (|w|, flat index) total order must prune
+  // exactly floor(s * numel) entries, lowest flat indices first.
+  Tensor* weight = layer.Params()[0].value;
+  ASSERT_EQ(weight->numel(), 128);
+  weight->Fill(1.0f);
+  PruneOptions options;
+  options.enabled = true;
+  options.target_sparsity = 0.5;
+  options.start_epoch = 0;
+  Pruner pruner(&layer, options);
+  EXPECT_EQ(pruner.prunable_tensors(), 1);  // the 1-D bias is excluded
+  pruner.OnEpochBegin(0);
+  EXPECT_EQ(pruner.MaskedFraction(), 0.5);
+  for (int64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(weight->flat(i), 0.0f) << "index " << i;
+  }
+  for (int64_t i = 64; i < 128; ++i) {
+    EXPECT_EQ(weight->flat(i), 1.0f) << "index " << i;
+  }
+}
+
+TEST(PrunerTest, ApplyReZeroesMaskedWeightsAfterUpdates) {
+  Rng rng(404);
+  Linear layer(8, 16, rng);
+  PruneOptions options;
+  options.enabled = true;
+  options.target_sparsity = 0.75;
+  options.start_epoch = 0;
+  Pruner pruner(&layer, options);
+  pruner.OnEpochBegin(0);
+  double masked = pruner.MaskedFraction();
+  EXPECT_EQ(masked, 96.0 / 128.0);
+  EXPECT_GE(pruner.MeasuredSparsity(), masked);
+
+  // Simulate an optimizer step resurrecting every weight.
+  Tensor* weight = layer.Params()[0].value;
+  for (int64_t i = 0; i < weight->numel(); ++i) weight->flat(i) += 0.5f;
+  EXPECT_LT(pruner.MeasuredSparsity(), masked);
+  pruner.Apply();
+  EXPECT_GE(pruner.MeasuredSparsity(), masked);
+  EXPECT_EQ(pruner.MaskedFraction(), masked);
+}
+
+// --- Pruned fine-tuned training: accuracy parity and real sparsity ----
+
+TEST(PrunerTest, PrunedFineTunedModelNearBaselineAccuracy) {
+  SyntheticDataConfig data_config = NtuLikeConfig(2, 14, 8, 21);
+  SkeletonDataset dataset =
+      SkeletonDataset::Generate(data_config).MoveValue();
+  DatasetSplit split = MakeSplit(dataset, SplitProtocol::kRandom, 4);
+
+  auto run = [&](bool prune) {
+    DataLoader loader(&dataset, split.train, 4, InputStream::kJoint,
+                      /*shuffle=*/true, Rng(9));
+    DhgcnConfig config =
+        DhgcnConfig::Tiny(SkeletonLayoutType::kNtu25, /*num_classes=*/2);
+    DhgcnModel model(config);
+    TrainOptions options;
+    options.epochs = 8;
+    options.initial_lr = 0.05f;
+    options.lr_milestones = {6};
+    if (prune) {
+      options.prune.enabled = true;
+      options.prune.target_sparsity = 0.5;
+      options.prune.start_epoch = 3;
+      options.prune.end_epoch = 5;  // epochs 6-7 fine-tune the survivors
+    }
+    Trainer trainer(&model, options);
+    std::vector<EpochStats> history =
+        trainer.Train(loader).ValueOrDie();
+    double sparsity = prune ? trainer.pruner()->MeasuredSparsity() : 0.0;
+    DataLoader eval_loader(&dataset, split.test, 4, InputStream::kJoint,
+                           /*shuffle=*/false, Rng(10));
+    EvalMetrics metrics = Evaluate(model, eval_loader);
+    return std::make_tuple(history.back().train_top1, metrics.top1,
+                           sparsity);
+  };
+
+  auto [base_train, base_test, base_sparsity] = run(/*prune=*/false);
+  auto [pruned_train, pruned_test, pruned_sparsity] = run(/*prune=*/true);
+
+  // The pruner must actually have zeroed the target fraction...
+  EXPECT_GE(pruned_sparsity, 0.5);
+  EXPECT_EQ(base_sparsity, 0.0);
+  // ...without costing accuracy: fine-tuned pruned model within one
+  // test sample of the unpruned baseline.
+  double one_sample = 1.0 / static_cast<double>(split.test.size());
+  EXPECT_GE(pruned_test, base_test - one_sample - 1e-9)
+      << "baseline=" << base_test << " pruned=" << pruned_test;
+  EXPECT_GT(pruned_train, 0.5);
+  (void)base_train;
+}
+
+}  // namespace
+}  // namespace dhgcn

@@ -31,6 +31,7 @@
 #include "base/thread_pool.h"
 #include "serve/load_generator.h"
 #include "serve/server.h"
+#include "tensor/sparse_router.h"
 
 namespace dhgcn {
 namespace {
@@ -103,6 +104,7 @@ Status RunMain(int argc, const char* const* argv) {
   int64_t threads = 1;
   int64_t seed = 42;
   std::string plan_name = "off";
+  std::string sparse_name = "auto";
   bool strict = false;
   bool help = false;
 
@@ -141,6 +143,10 @@ Status RunMain(int argc, const char* const* argv) {
                   "worker inference path: off|on|fused (on = compiled "
                   "execution plans per batch size, bit-identical; fused "
                   "= Conv+BN folding, rtol-equivalent)");
+  flags.AddString("sparse", &sparse_name,
+                  "CSR routing for the hypergraph operators: off|auto|on "
+                  "(bit-identical either way; auto routes below the "
+                  "measured density crossover)");
   flags.AddBool("strict", &strict,
                 "fail unless overload shed explicitly and recovery "
                 "returned to degrade level 0");
@@ -151,6 +157,9 @@ Status RunMain(int argc, const char* const* argv) {
     return Status::OK();
   }
   if (threads > 0) ThreadPool::Get().SetThreads(threads);
+  DHGCN_ASSIGN_OR_RETURN(SparseMode sparse_mode,
+                         ParseSparseMode(sparse_name));
+  SparseRouter::Get().set_mode(sparse_mode);
   if (overload_factor < 1.0) {
     return Status::InvalidArgument("--overload_factor must be >= 1");
   }

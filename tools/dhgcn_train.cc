@@ -21,6 +21,7 @@
 #include "data/csv_io.h"
 #include "io/serialization.h"
 #include "models/model_zoo.h"
+#include "tensor/sparse_router.h"
 #include "train/evaluator.h"
 #include "train/experiment.h"
 #include "train/summary.h"
@@ -78,6 +79,12 @@ Status RunMain(int argc, const char* const* argv) {
   bool augment = false;
   bool workspace = true;
   std::string plan_name = "off";
+  std::string sparse_name = "auto";
+  double sparse_threshold = 0.0;
+  bool prune = false;
+  double prune_sparsity = 0.8;
+  int64_t prune_start = 1;
+  int64_t prune_end = -1;
   bool help = false;
 
   FlagSet flags("dhgcn_train");
@@ -130,6 +137,23 @@ Status RunMain(int argc, const char* const* argv) {
                   "evaluation execution plan: off|on|fused (on = compiled "
                   "replay, bit-identical; fused = Conv+BN folding, "
                   "rtol-equivalent). Training is always layer-by-layer.");
+  flags.AddString("sparse", &sparse_name,
+                  "CSR routing for the hypergraph operators: off|auto|on "
+                  "(auto = below the measured density crossover; any "
+                  "choice is bit-identical, this is a speed knob)");
+  flags.AddDouble("sparse_threshold", &sparse_threshold,
+                  "density crossover override in (0,1] for --sparse auto "
+                  "(0 = bench-measured default)");
+  flags.AddBool("prune", &prune,
+                "magnitude-prune weights on a cubic schedule, then "
+                "fine-tune (masks re-applied every step)");
+  flags.AddDouble("prune_sparsity", &prune_sparsity,
+                  "target fraction of prunable weights zeroed");
+  flags.AddInt64("prune_start", &prune_start,
+                 "first epoch that prunes (0-based)");
+  flags.AddInt64("prune_end", &prune_end,
+                 "epoch the target sparsity is reached (-1 = one-shot "
+                 "at --prune_start)");
   flags.AddBool("help", &help, "show usage");
   DHGCN_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (help) {
@@ -146,6 +170,16 @@ Status RunMain(int argc, const char* const* argv) {
   }
   if (threads > 0) ThreadPool::Get().SetThreads(threads);
   DHGCN_ASSIGN_OR_RETURN(PlanMode plan_mode, ParsePlanMode(plan_name));
+  DHGCN_ASSIGN_OR_RETURN(SparseMode sparse_mode,
+                         ParseSparseMode(sparse_name));
+  SparseRouter::Get().set_mode(sparse_mode);
+  if (sparse_threshold != 0.0) {
+    if (sparse_threshold <= 0.0 || sparse_threshold > 1.0) {
+      return Status::InvalidArgument(StrCat(
+          "--sparse_threshold must be in (0,1], got ", sparse_threshold));
+    }
+    SparseRouter::Get().set_density_threshold(sparse_threshold);
+  }
 
   // --- Dataset -----------------------------------------------------------
   Result<SkeletonDataset> dataset_result = [&]() -> Result<SkeletonDataset> {
@@ -220,6 +254,16 @@ Status RunMain(int argc, const char* const* argv) {
     train_options.lr_milestones = {epochs * 3 / 5, epochs * 4 / 5};
     train_options.verbose = true;
     train_options.use_workspace = workspace;
+    if (prune) {
+      if (prune_sparsity < 0.0 || prune_sparsity >= 1.0) {
+        return Status::InvalidArgument(StrCat(
+            "--prune_sparsity must be in [0,1), got ", prune_sparsity));
+      }
+      train_options.prune.enabled = true;
+      train_options.prune.target_sparsity = prune_sparsity;
+      train_options.prune.start_epoch = prune_start;
+      train_options.prune.end_epoch = prune_end;
+    }
     if (guardrails_name != "off") {
       train_options.guardrails.enabled = true;
       DHGCN_ASSIGN_OR_RETURN(train_options.guardrails.policy,

@@ -48,6 +48,13 @@ Rules (see DESIGN.md §7 for the rationale):
                  function, is a use-after-invalidation bug the type
                  system cannot see. (PlanRunner's pinned-arena slots are
                  the reviewed exception, escaped line-by-line.)
+  sparse-route   In src/hypergraph/hypergraph_conv.*, direct dense GEMM
+                 calls (MatMul / MatMulInto / MatMulTransposedB*) on the
+                 incidence-shaped operands are banned: the mix operators
+                 must ask SparseRouter and take the CSR SpMM path when
+                 the operand is sparse enough. The router's own dense
+                 fallback branches are the reviewed exception, escaped
+                 line-by-line with `lint: allow-sparse-route`.
   plan-alloc     In src/plan/plan_runner.*, allocation and dynamic
                  dispatch are banned: PlanRunner::Run is the compiled
                  replay hot loop whose contract is zero steady-state
@@ -82,6 +89,7 @@ LIBRARY_AND_TOOLS = ("src/", "tools/")
 NON_TEST = ("src/", "tools/", "bench/", "examples/")
 SERVING = ("src/serve/",)
 PLAN_RUNNER = ("src/plan/plan_runner",)
+HYPERGRAPH_CONV = ("src/hypergraph/hypergraph_conv",)
 
 RULES = [
     (
@@ -136,6 +144,14 @@ RULES = [
         ),
         "raw std:: lock type (use dhgcn::Mutex/MutexLock/CondVar from "
         "base/thread_annotations.h so -Wthread-safety sees the lock)",
+    ),
+    (
+        "sparse-route",
+        HYPERGRAPH_CONV,
+        re.compile(r"\bMatMul(?:TransposedB)?(?:Into)?\s*\("),
+        "direct dense GEMM on an incidence operand (route through "
+        "SparseRouter + SpMM*; the dense fallback branch carries a "
+        "`lint: allow-sparse-route` escape)",
     ),
     (
         "plan-alloc",
@@ -480,6 +496,7 @@ def self_test():
         "thread": ("src/bad_thread.cc", 1),
         "serve-wait": ("src/serve/bad_serve_wait.cc", 1),
         "plan-alloc": ("src/plan/plan_runner_bad.cc", 1),
+        "sparse-route": ("src/hypergraph/hypergraph_conv_bad.cc", 1),
         "simd": ("src/bad_simd.cc", 1),
         "mutex-wrap": ("src/bad_mutex_wrap.cc", 1),
         # Two shapes of the lifetime bug: a member store and a
