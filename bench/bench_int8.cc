@@ -1,0 +1,129 @@
+// Int8 quantized inference benchmarks (recorded in BENCH_int8.json).
+//
+// Two comparisons, both against the fp32 path the int8 path replaces:
+//   Gemm{Fp32,Int8} — the packed cache-blocked kernels head to head,
+//     single-threaded to isolate the kernel. The int8 side times what a
+//     plan replay actually pays per call: per-row activation
+//     quantization plus the u8 x s8 GEMM against pre-packed weight
+//     panels (weights pack once at freeze time, so pack cost is
+//     excluded; the fp32 MatMul packs per call, which is also exactly
+//     what its replay pays). Items processed = MACs, so the reported
+//     items_per_second are GMAC/s and the int8/fp32 ratio is the
+//     kernel speedup — the ≥2x acceptance gate of DESIGN.md §15.
+//   EvalPlan{Fp32Fused,Int8} — end-to-end eval-mode replay of the same
+//     model through the fused fp32 plan and the quantized plan; items
+//     processed = clips, so items_per_second is eval throughput.
+//
+//   ./bench_int8 --benchmark_filter=Gemm
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "core/dhgcn_model.h"
+#include "plan/plan_builder.h"
+#include "plan/plan_runner.h"
+#include "quant/calibration.h"
+#include "quant/quant.h"
+#include "quant/quantize_pass.h"
+#include "tensor/gemm_kernel_int8.h"
+#include "tensor/linalg.h"
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+namespace {
+
+void BM_GemmFp32(benchmark::State& state) {
+  ThreadPool::Get().SetThreads(1);
+  int64_t n = state.range(0);
+  Rng rng(30);
+  Tensor a = Tensor::RandomNormal({n, n}, rng);
+  Tensor b = Tensor::RandomNormal({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmFp32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmInt8(benchmark::State& state) {
+  ThreadPool::Get().SetThreads(1);
+  int64_t n = state.range(0);
+  const int64_t k_pad = detail::Int8KPad(n);
+  Rng rng(31);
+  Tensor a = Tensor::RandomNormal({n, n}, rng);
+  const float act_scale = ActScaleFromAbsMax(4.0f);
+
+  // Weights quantize and pack once at freeze time.
+  std::vector<float> w(n * n);
+  for (auto& v : w) v = rng.Uniform() * 2.0f - 1.0f;
+  std::vector<int8_t> wq(n * n);
+  std::vector<float> wscale(n);
+  QuantizeWeightsPerChannel(w.data(), n, n, wq.data(), wscale.data());
+  std::vector<int8_t> bp(detail::Int8PackedBCount(n, n));
+  detail::Int8PackB(wq.data(), n, n, bp.data());
+
+  std::vector<uint8_t> qa(n * k_pad, 128);
+  std::vector<int32_t> c(n * n);
+  for (auto _ : state) {
+    for (int64_t i = 0; i < n; ++i) {
+      QuantizeActivations(a.data() + i * n, n, act_scale,
+                          qa.data() + i * k_pad);
+    }
+    detail::Int8GemmPackedB(qa.data(), k_pad, bp.data(), c.data(), n,
+                            k_pad, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.counters["avx2"] = detail::Int8GemmHasAvx2() ? 1 : 0;
+}
+BENCHMARK(BM_GemmInt8)->Arg(64)->Arg(128)->Arg(256);
+
+// --- End-to-end eval throughput --------------------------------------
+
+DhgcnConfig BenchConfig() {
+  return DhgcnConfig::Small(SkeletonLayoutType::kKinetics18,
+                            /*num_classes=*/8);
+}
+
+Tensor MakeBenchInput(uint64_t seed = 3) {
+  Rng rng(seed);
+  return Tensor::RandomNormal({4, 3, 16, 18}, rng);
+}
+
+void BM_EvalPlanFp32Fused(benchmark::State& state) {
+  DhgcnModel model(BenchConfig());
+  model.SetTraining(false);
+  Tensor x = MakeBenchInput();
+  PlanRunner runner(
+      BuildInferencePlan(model, x.shape(), PlanMode::kFused)
+          .ValueOrDie());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.Run(x));
+  }
+  state.SetItemsProcessed(state.iterations() * x.shape()[0]);
+}
+BENCHMARK(BM_EvalPlanFp32Fused)->Unit(benchmark::kMillisecond);
+
+void BM_EvalPlanInt8(benchmark::State& state) {
+  DhgcnModel model(BenchConfig());
+  model.SetTraining(false);
+  Tensor x = MakeBenchInput();
+  QuantCalibration calib =
+      CalibrateOnInputs(model, {x}).ValueOrDie();
+  PlanRunner runner(
+      BuildInt8InferencePlan(model, x.shape(), calib).ValueOrDie());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.Run(x));
+  }
+  state.SetItemsProcessed(state.iterations() * x.shape()[0]);
+}
+BENCHMARK(BM_EvalPlanInt8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dhgcn
+
+BENCHMARK_MAIN();

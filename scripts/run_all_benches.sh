@@ -41,6 +41,11 @@ echo "===== sparse routing sweep -> BENCH_sparse.json ====="
 # SpMM-vs-blocked-GEMM density crossover (calibrates the SparseRouter
 # default threshold), the routed VertexMix, and pruned end-to-end steps.
 build/bench/bench_sparse --benchmark_format=json > BENCH_sparse.json
+echo "===== int8 quantized inference -> BENCH_int8.json ====="
+# Int8-vs-fp32 GEMM kernels head to head (GMAC/s; the >=2x gate of
+# DESIGN.md §15) and end-to-end fused-fp32 vs int8 plan-replay eval
+# throughput on the Small serving model.
+build/bench/bench_int8 --benchmark_format=json > BENCH_int8.json
 echo "===== serving soak with compiled plans (--plan on) ====="
 # Same soak, replaying compiled per-batch-size plans inside the workers;
 # exercises the plan fallback + micro-batching contract end to end.
@@ -50,4 +55,4 @@ build/tools/dhgcn_serve --config tiny --classes 5 --frames 16 \
   --fault_inject worker-stall:5:40 --poison_every 97 \
   --plan on --strict \
   2>&1 | tee -a "$out"
-echo "wrote $out, BENCH_threads.json, BENCH_gemm.json, BENCH_serving.json and BENCH_plan.json"
+echo "wrote $out, BENCH_threads.json, BENCH_gemm.json, BENCH_serving.json, BENCH_plan.json, BENCH_sparse.json and BENCH_int8.json"

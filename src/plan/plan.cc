@@ -64,6 +64,8 @@ const char* PlanOpKindName(PlanOpKind kind) {
     case PlanOpKind::kBnAddRelu: return "BnAddRelu";
     case PlanOpKind::kAddRelu: return "AddRelu";
     case PlanOpKind::kSpMM: return "SpMM";
+    case PlanOpKind::kLinearInt8: return "LinearInt8";
+    case PlanOpKind::kConv2dInt8Folded: return "Conv2dInt8Folded";
   }
   return "?";
 }

@@ -2,6 +2,7 @@
 #define DHGCN_PLAN_PLAN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,9 +52,17 @@ enum class PlanOpKind : uint8_t {
   kBnAddRelu,       // fused: out = relu(scale*in0 + shift + in1)
   kAddRelu,         // fused: out = relu(in0 + in1)
   kSpMM,            // sparse VertexMix: out[.., v] = csr row-dot in0[.., :]
+  kLinearInt8,      // int8 GEMM + dequant epilogue (quant data on op)
+  kConv2dInt8Folded,// int8 im2col GEMM + BN/bias/ReLU dequant epilogue
 };
 
 const char* PlanOpKindName(PlanOpKind kind);
+
+/// Frozen quantization payload of a kLinearInt8/kConv2dInt8Folded op
+/// (packed int8 weight panels, per-channel dequant scales, zero-point
+/// compensation). Defined in quant/quant_ops.h; the plan IR only holds
+/// an opaque shared handle so plan.h stays quantization-free.
+struct QuantOpData;
 
 /// One recorded operation. Slot indices refer to `ExecutionPlan::slots`;
 /// -1 means unused. Layer pointers are non-owning — the recorded model
@@ -83,6 +92,10 @@ struct PlanOp {
   Tensor fold_bias;    // kConv2dFolded / kLinearFolded
   Tensor fold_scale;   // kBnAddRelu: per-channel gamma/sqrt(var+eps)
   Tensor fold_shift;   // kBnAddRelu: per-channel beta - mean*scale
+
+  /// kLinearInt8 / kConv2dInt8Folded: frozen quantization payload,
+  /// produced by QuantizePlan. Shared so plan copies stay cheap.
+  std::shared_ptr<const QuantOpData> quant;
 };
 
 /// One activation slot: a tensor of fixed shape living at a fixed byte

@@ -23,6 +23,16 @@ PlanRunner::PlanRunner(ExecutionPlan plan) : plan_(std::move(plan)) {
   DHGCN_CHECK_GE(plan_.input_slot, 0);
   DHGCN_CHECK_GE(plan_.output_slot, 0);
   arena_.ReservePinned(plan_.arena_bytes);
+  // Int8 staging buffers (std::vector, not Tensor — outside the
+  // allocation budget) are sized once here so Run never grows them.
+  int8_stage_.resize(plan_.ops.size());  // lint: allow-plan-alloc (ctor setup)
+  for (size_t i = 0; i < plan_.ops.size(); ++i) {
+    const PlanOp& op = plan_.ops[i];
+    if (op.quant != nullptr) {
+      SizeInt8Staging(op, plan_.slots[static_cast<size_t>(op.in0)].shape,
+                      &int8_stage_[i]);
+    }
+  }
   // Every slot tensor is built exactly once, here; Run() only reuses
   // them. Dead slots (fused away) get an empty placeholder that is
   // never touched by any surviving op.
@@ -47,7 +57,9 @@ const Tensor& PlanRunner::Run(const Tensor& input) {
   Tensor& in_slot = slots_[static_cast<size_t>(plan_.input_slot)];
   DHGCN_CHECK(ShapesEqual(input.shape(), in_slot.shape()));
   in_slot.CopyFrom(input);
-  for (const PlanOp& op : plan_.ops) {
+  if (observer_) observer_(plan_.input_slot, in_slot);
+  for (size_t idx = 0; idx < plan_.ops.size(); ++idx) {
+    const PlanOp& op = plan_.ops[idx];
     const Tensor& in0 = slots_[static_cast<size_t>(op.in0)];
     Tensor& out = slots_[static_cast<size_t>(op.out)];
     switch (op.kind) {
@@ -116,7 +128,14 @@ const Tensor& PlanRunner::Run(const Tensor& input) {
       case PlanOpKind::kAddRelu:
         AddReluKernel(in0, slots_[static_cast<size_t>(op.in1)], &out);
         break;
+      case PlanOpKind::kLinearInt8:
+        RunLinearInt8(op, &int8_stage_[idx], in0, &out);
+        break;
+      case PlanOpKind::kConv2dInt8Folded:
+        RunConv2dInt8(op, &int8_stage_[idx], in0, &out);
+        break;
     }
+    if (observer_) observer_(op.out, out);
   }
   return slots_[static_cast<size_t>(plan_.output_slot)];
 }

@@ -1,9 +1,11 @@
 #ifndef DHGCN_PLAN_PLAN_RUNNER_H_
 #define DHGCN_PLAN_PLAN_RUNNER_H_
 
+#include <functional>
 #include <vector>
 
 #include "plan/plan.h"
+#include "quant/quant_ops.h"
 #include "tensor/workspace.h"
 
 namespace dhgcn {
@@ -44,11 +46,25 @@ class PlanRunner {
   /// Bytes of the pinned slot arena (excludes the opaque-op scratch).
   size_t arena_bytes() const { return plan_.arena_bytes; }
 
+  /// Activation observer for calibration: fired once per Run for the
+  /// input slot (after the copy-in) and once per op for its output
+  /// slot. Slot ids are capture-order-deterministic, so observations
+  /// transfer to separately captured plans of the same model. The
+  /// observer runs on the replay thread; keep it cheap and do not set
+  /// one on a latency-critical runner.
+  using SlotObserver = std::function<void(int64_t slot, const Tensor& value)>;
+  void SetObserver(SlotObserver observer) { observer_ = std::move(observer); }
+
  private:
   ExecutionPlan plan_;
   Workspace arena_;    // pinned: holds every slot, never Reset
   Workspace scratch_;  // opaque data-dependent ops only, Reset per op
   std::vector<Tensor> slots_;  // pre-built borrows, ctor only
+  /// Per-op int8 staging (empty for fp32 ops): std::vector storage,
+  /// sized once at construction — invisible to the Tensor allocation
+  /// budget and untouched by allocation on the replay path.
+  std::vector<Int8Staging> int8_stage_;
+  SlotObserver observer_;
 };
 
 }  // namespace dhgcn

@@ -1,0 +1,73 @@
+#include "quant/calibration.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "base/check.h"
+#include "plan/plan_builder.h"
+#include "plan/plan_runner.h"
+
+namespace dhgcn {
+
+Result<QuantCalibration> CalibrateOnInputs(
+    Layer& model, const std::vector<Tensor>& inputs) {
+  DHGCN_CHECK(!model.training());
+  if (inputs.empty()) {
+    return Status::InvalidArgument("int8 calibration: no usable batches");
+  }
+  QuantCalibration calib;
+  const float inf = std::numeric_limits<float>::infinity();
+  // Observe on the *fused* fp32 plan: QuantizePlan rewrites ops after
+  // FoldBatchNorms/FuseElementwise, so the slot ids it reads are the
+  // fused plan's — calibrating on the same pass pipeline keys the map
+  // identically. Fusion only dead-marks slots; it never renumbers them.
+  DHGCN_ASSIGN_OR_RETURN(
+      ExecutionPlan plan,
+      BuildInferencePlan(model, inputs[0].shape(), PlanMode::kFused));
+  PlanRunner runner(std::move(plan));
+  runner.SetObserver([&calib, inf](int64_t slot, const Tensor& value) {
+    float& cur = calib.slot_absmax[slot];  // default-inserts 0
+    if (cur == inf) return;
+    const float* p = value.data();
+    const int64_t n = value.numel();
+    float absmax = cur;
+    for (int64_t i = 0; i < n; ++i) {
+      const float a = std::fabs(p[i]);
+      if (!(a <= inf)) {  // NaN or infinity: poison the slot
+        cur = inf;
+        return;
+      }
+      if (a > absmax) absmax = a;
+    }
+    cur = absmax;
+  });
+  for (const Tensor& x : inputs) {
+    DHGCN_CHECK(ShapesEqual(x.shape(), inputs[0].shape()));
+    runner.Run(x);
+  }
+  return calib;
+}
+
+Result<QuantCalibration> CalibrateOnBatches(Layer& model,
+                                            DataLoader& loader,
+                                            int64_t max_batches) {
+  DHGCN_CHECK_GT(max_batches, 0);
+  // Collect up to max_batches batches of the first-seen shape (a plan
+  // has one fixed shape; the ragged tail batch is skipped).
+  std::vector<Tensor> inputs;
+  const int64_t num_batches = loader.NumBatches();
+  for (int64_t b = 0;
+       b < num_batches && static_cast<int64_t>(inputs.size()) < max_batches;
+       ++b) {
+    Batch batch = loader.GetBatch(b);
+    if (!inputs.empty() && !ShapesEqual(batch.x.shape(), inputs[0].shape())) {
+      continue;
+    }
+    inputs.push_back(std::move(batch.x));
+  }
+  return CalibrateOnInputs(model, inputs);
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,45 @@
+#ifndef DHGCN_QUANT_CALIBRATION_H_
+#define DHGCN_QUANT_CALIBRATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "data/dataloader.h"
+#include "nn/layer.h"
+
+namespace dhgcn {
+
+/// Per-tensor activation statistics from a calibration pass: the |x|
+/// maximum observed at every plan slot (keyed by slot id). Slot ids are
+/// assigned in capture order, which depends only on the model topology
+/// — not on the batch size — so a calibration taken at one batch size
+/// transfers to plans captured at another. A non-finite observation
+/// poisons its slot to +infinity, which makes QuantizePlan leave the
+/// consuming op in fp32.
+struct QuantCalibration {
+  std::unordered_map<int64_t, float> slot_absmax;
+};
+
+/// Runs up to `max_batches` batches of `loader` through a fused fp32
+/// plan of `model`, recording every slot's |x| maximum. The model must
+/// already be in eval mode (this is called from inside Evaluate /
+/// FrozenModel::Load, which own the mode toggle — calibration never
+/// touches it). Batches whose input shape differs from the first
+/// batch's are skipped (a plan has one fixed shape). Fails if the model
+/// cannot be captured or no batch was usable.
+Result<QuantCalibration> CalibrateOnBatches(Layer& model,
+                                            DataLoader& loader,
+                                            int64_t max_batches);
+
+/// Calibrates on caller-provided input batches (all the same shape, at
+/// least one; same eval-mode requirement). Serving uses this with
+/// deterministic synthetic clips when no calibration data accompanies a
+/// checkpoint.
+Result<QuantCalibration> CalibrateOnInputs(Layer& model,
+                                           const std::vector<Tensor>& inputs);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_QUANT_CALIBRATION_H_

@@ -1,0 +1,56 @@
+#include "quant/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/gemm_kernel_int8.h"
+
+namespace dhgcn {
+
+float ActScaleFromAbsMax(float absmax) {
+  if (!(absmax > 0.0f) || !std::isfinite(absmax)) return 0.0f;
+  return absmax / 127.0f;
+}
+
+void QuantizeActivations(const float* x, int64_t n, float scale,
+                         uint8_t* q) {
+  if (!(scale > 0.0f)) {
+    std::fill(q, q + n, static_cast<uint8_t>(kInt8ActZeroPoint));
+    return;
+  }
+  // The rounding loop lives with the int8 GEMM nest: it is the
+  // kernel's per-replay operand feeder and carries the same
+  // runtime-dispatched AVX2 clone + bit-identical scalar fallback.
+  detail::Int8QuantizeRow(x, n, 1.0f / scale, q);
+}
+
+void QuantizeWeightsPerChannel(const float* w, int64_t channels,
+                               int64_t per_channel, int8_t* q,
+                               float* scales) {
+  const float qmax = static_cast<float>(detail::kInt8WeightMax);
+  for (int64_t c = 0; c < channels; ++c) {
+    const float* row = w + c * per_channel;
+    int8_t* qrow = q + c * per_channel;
+    float absmax = 0.0f;
+    for (int64_t i = 0; i < per_channel; ++i) {
+      const float a = std::fabs(row[i]);
+      if (a > absmax) absmax = a;
+    }
+    if (!(absmax > 0.0f) || !std::isfinite(absmax)) {
+      scales[c] = 0.0f;
+      std::fill(qrow, qrow + per_channel, static_cast<int8_t>(0));
+      continue;
+    }
+    const float scale = absmax / qmax;
+    scales[c] = scale;
+    const float inv = 1.0f / scale;
+    for (int64_t i = 0; i < per_channel; ++i) {
+      float r = row[i] * inv;
+      if (!(r >= -qmax)) r = -qmax;
+      if (r > qmax) r = qmax;
+      qrow[i] = static_cast<int8_t>(std::lrintf(r));
+    }
+  }
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,54 @@
+#ifndef DHGCN_QUANT_QUANT_H_
+#define DHGCN_QUANT_QUANT_H_
+
+#include <cstdint>
+
+namespace dhgcn {
+
+// ---------------------------------------------------------------------------
+// Post-training quantization helpers (DESIGN.md §15).
+//
+// Activations: per-tensor affine u8 with a fixed zero point of 128 and
+// scale s = absmax / 127 from a calibration pass, so q = round(x/s) +
+// 128 lands in [1, 255] and 0.0f quantizes exactly to 128 (padding in
+// the im2col path reuses that byte).
+//
+// Weights: per-output-channel symmetric s8 restricted to
+// [-kInt8WeightMax, kInt8WeightMax] (= ±32, scale s_c = absmax_c / 32).
+// Spending 6 significand bits instead of 7 costs ~0.1% top-1 on the
+// synthetic suite but is what lets the AVX2 kernel chain vpmaddubsw →
+// vpaddsw → vpmaddwd with provably saturation-free int16 intermediates
+// — the source of both the ≥2x speedup and the exact scalar/SIMD
+// equivalence (see gemm_kernel_int8.h).
+//
+// Rounding is round-to-nearest-even everywhere (lrintf under the
+// default rounding mode), clamped saturating at the range edges;
+// non-finite inputs clamp like infinities of their sign (NaN → -127).
+// ---------------------------------------------------------------------------
+
+/// Activation zero point: u8 128 encodes 0.0f.
+inline constexpr int32_t kInt8ActZeroPoint = 128;
+
+/// Per-tensor activation scale for a calibrated |x| maximum. Returns
+/// 0 for absmax <= 0 (an all-zero tensor; QuantizeActivations then
+/// emits all-128, the exact encoding).
+float ActScaleFromAbsMax(float absmax);
+
+/// Quantizes `n` floats to u8 with zero point 128:
+/// q = clamp(round(x / scale), -127, 127) + 128. NaN clamps low.
+/// `scale <= 0` writes all-128 (the encoding of an all-zero tensor).
+void QuantizeActivations(const float* x, int64_t n, float scale,
+                         uint8_t* q);
+
+/// Per-channel symmetric weight quantization of row-major `w`
+/// (`channels` rows of `per_channel` values):
+/// scale[c] = absmax_c / kInt8WeightMax, q = clamp(round(w / scale[c]),
+/// ±kInt8WeightMax). An all-zero (or non-finite) channel gets scale 0
+/// and all-zero codes, which dequantizes exactly to zero.
+void QuantizeWeightsPerChannel(const float* w, int64_t channels,
+                               int64_t per_channel, int8_t* q,
+                               float* scales);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_QUANT_QUANT_H_

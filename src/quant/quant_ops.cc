@@ -1,0 +1,265 @@
+#include "quant/quant_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "base/check.h"
+#include "base/string_util.h"
+#include "base/thread_pool.h"
+#include "nn/conv2d.h"
+#include "quant/quant.h"
+#include "tensor/gemm_kernel.h"
+#include "tensor/gemm_kernel_int8.h"
+
+namespace dhgcn {
+
+namespace {
+
+constexpr uint8_t kZeroByte = static_cast<uint8_t>(kInt8ActZeroPoint);
+
+/// Transposed u8 im2col of one quantized NCHW image: row p of `colq`
+/// (one output pixel, k_pad bytes wide) holds the C*kh*kw input taps
+/// feeding that pixel, out-of-bounds taps as 128 — the quantized 0.0f,
+/// NOT byte 0: pad taps multiply real weights, so they must encode the
+/// float zero the fp32 im2col uses. The [ckk, k_pad) tail is prefilled
+/// 128 at staging setup and never rewritten (its packed weights are
+/// zero, so its value is arithmetically irrelevant anyway).
+///
+/// Taps are ordered (ky, kx, ic) — NOT the weight tensor's native
+/// (ic, ky, kx) — and QuantizePlan permutes the weight rows to match.
+/// Channel-innermost makes one (ky, oy) pair of a width-1 kernel a
+/// plain (C x ow) byte transpose of a contiguous input strip: every
+/// conv in this model family is Kx1 temporal or 1x1 pointwise, so the
+/// fast path below turns the whole im2col into SIMD transpose tiles
+/// (or a C-byte memset of 128 for rows the vertical padding hangs off
+/// the input).
+void Im2ColU8(const uint8_t* qx, int64_t h, int64_t w,
+              const Conv2dOptions& o, int64_t in_channels, int64_t oh,
+              int64_t ow, int64_t k_pad, uint8_t* colq) {
+  const int64_t plane = h * w;
+  if (o.kernel_w == 1 && o.stride_w == 1 && o.pad_w == 0 && ow == w) {
+    ThreadPool::Get().ParallelFor(
+        0, oh, GrainForFlops(in_channels * o.kernel_h * ow),
+        [&](int64_t y0, int64_t y1) {
+          for (int64_t oy = y0; oy < y1; ++oy) {
+            uint8_t* rows0 = colq + oy * ow * k_pad;
+            for (int64_t ky = 0; ky < o.kernel_h; ++ky) {
+              const int64_t iy = oy * o.stride_h - o.pad_h + ky * o.dilation_h;
+              uint8_t* dst = rows0 + ky * in_channels;
+              if (iy < 0 || iy >= h) {
+                for (int64_t p = 0; p < ow; ++p) {
+                  std::memset(dst + p * k_pad, kZeroByte,
+                              static_cast<size_t>(in_channels));
+                }
+                continue;
+              }
+              detail::Int8TransposeU8(qx + iy * w, plane, in_channels, ow,
+                                      dst, k_pad);
+            }
+          }
+        });
+    return;
+  }
+  ThreadPool::Get().ParallelFor(
+      0, oh * ow, GrainForFlops(in_channels * o.kernel_h * o.kernel_w),
+      [&](int64_t p0, int64_t p1) {
+        for (int64_t p = p0; p < p1; ++p) {
+          const int64_t oy = p / ow;
+          const int64_t ox = p % ow;
+          uint8_t* row = colq + p * k_pad;
+          for (int64_t ky = 0; ky < o.kernel_h; ++ky) {
+            const int64_t iy = oy * o.stride_h - o.pad_h + ky * o.dilation_h;
+            const bool y_in = iy >= 0 && iy < h;
+            for (int64_t kx = 0; kx < o.kernel_w; ++kx) {
+              const int64_t ix = ox * o.stride_w - o.pad_w + kx * o.dilation_w;
+              uint8_t* tap = row + (ky * o.kernel_w + kx) * in_channels;
+              if (y_in && ix >= 0 && ix < w) {
+                const uint8_t* src = qx + iy * w + ix;
+                for (int64_t ic = 0; ic < in_channels; ++ic) {
+                  tap[ic] = src[ic * plane];
+                }
+              } else {
+                std::memset(tap, kZeroByte, static_cast<size_t>(in_channels));
+              }
+            }
+          }
+        }
+      });
+}
+
+/// Int8 GEMM over kInt8MR-aligned row blocks of A — the same
+/// flop-targeted chunking as the fp32 conv/linear paths. Exact integer
+/// accumulation makes any split bit-identical, but aligning on tile
+/// boundaries keeps full register tiles hot.
+void Int8GemmRows(const uint8_t* a, int64_t m, int64_t k_pad,
+                  const int8_t* bp, int64_t n, int32_t* acc) {
+  const int64_t row_blocks = (m + detail::kInt8MR - 1) / detail::kInt8MR;
+  ThreadPool::Get().ParallelFor(
+      0, row_blocks,
+      GrainForFlopsTarget(detail::kInt8MR * k_pad * n,
+                          detail::kGemmChunkFlops),
+      [&](int64_t t0, int64_t t1) {
+        const int64_t r0 = t0 * detail::kInt8MR;
+        const int64_t r1 = std::min(m, t1 * detail::kInt8MR);
+        detail::Int8GemmPackedB(a + r0 * k_pad, k_pad, bp, acc + r0 * n,
+                                r1 - r0, k_pad, n);
+      });
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const QuantOpData>> MakeQuantOpData(
+    const float* weight, const float* bias, int64_t n, int64_t k,
+    float act_scale, bool relu) {
+  DHGCN_CHECK_GT(n, 0);
+  DHGCN_CHECK_GT(k, 0);
+  if (!(act_scale > 0.0f) || !std::isfinite(act_scale)) {
+    return Status::InvalidArgument(
+        StrCat("int8 freeze: invalid activation scale ", act_scale));
+  }
+  for (int64_t i = 0; i < n * k; ++i) {
+    if (!std::isfinite(weight[i])) {
+      return Status::InvalidArgument("int8 freeze: non-finite weight");
+    }
+  }
+  auto data = std::make_shared<QuantOpData>();
+  data->k = k;
+  data->k_pad = detail::Int8KPad(k);
+  data->n = n;
+  data->act_scale = act_scale;
+  data->relu = relu;
+
+  // Per-channel s8 codes of W (n, k), then transpose to (k, n) for the
+  // column-panel packer.
+  std::vector<int8_t> qw(static_cast<size_t>(n * k));
+  std::vector<float> wscale(static_cast<size_t>(n));
+  QuantizeWeightsPerChannel(weight, n, k, qw.data(), wscale.data());
+  std::vector<int8_t> wt(static_cast<size_t>(k * n));
+  for (int64_t c = 0; c < n; ++c) {
+    for (int64_t i = 0; i < k; ++i) {
+      wt[static_cast<size_t>(i * n + c)] = qw[static_cast<size_t>(c * k + i)];
+    }
+  }
+  data->packed_w.resize(static_cast<size_t>(detail::Int8PackedBCount(k, n)));
+  detail::Int8PackB(wt.data(), k, n, data->packed_w.data());
+
+  std::vector<int32_t> sums(static_cast<size_t>(n));
+  detail::Int8PackColumnSums(wt.data(), k, n, sums.data());
+  data->w_comp.resize(static_cast<size_t>(n));
+  data->scale.resize(static_cast<size_t>(n));
+  data->bias.resize(static_cast<size_t>(n));
+  for (int64_t c = 0; c < n; ++c) {
+    data->w_comp[static_cast<size_t>(c)] =
+        kInt8ActZeroPoint * sums[static_cast<size_t>(c)];
+    data->scale[static_cast<size_t>(c)] =
+        act_scale * wscale[static_cast<size_t>(c)];
+    const float b = bias != nullptr ? bias[c] : 0.0f;
+    if (!std::isfinite(b)) {
+      return Status::InvalidArgument("int8 freeze: non-finite bias");
+    }
+    data->bias[static_cast<size_t>(c)] = b;
+  }
+  return std::shared_ptr<const QuantOpData>(std::move(data));
+}
+
+void SizeInt8Staging(const PlanOp& op, const Shape& in_shape,
+                     Int8Staging* st) {
+  if (op.quant == nullptr) return;
+  const QuantOpData& q = *op.quant;
+  if (op.kind == PlanOpKind::kLinearInt8) {
+    DHGCN_CHECK_EQ(static_cast<int64_t>(in_shape.size()), 2);
+    const int64_t m = in_shape[0];
+    st->qa.assign(static_cast<size_t>(m * q.k_pad), kZeroByte);
+    st->acc.assign(static_cast<size_t>(m * q.n), 0);
+    return;
+  }
+  if (op.kind == PlanOpKind::kConv2dInt8Folded) {
+    DHGCN_CHECK_EQ(static_cast<int64_t>(in_shape.size()), 4);
+    DHGCN_CHECK(op.conv != nullptr);
+    const Conv2dOptions& o = op.conv->options();
+    const int64_t oh = Conv2d::OutputDim(in_shape[2], o.kernel_h, o.stride_h,
+                                         o.pad_h, o.dilation_h);
+    const int64_t ow = Conv2d::OutputDim(in_shape[3], o.kernel_w, o.stride_w,
+                                         o.pad_w, o.dilation_w);
+    st->qin.assign(static_cast<size_t>(ShapeNumel(in_shape)), kZeroByte);
+    st->colq.assign(static_cast<size_t>(oh * ow * q.k_pad), kZeroByte);
+    st->acc.assign(static_cast<size_t>(oh * ow * q.n), 0);
+  }
+}
+
+void RunLinearInt8(const PlanOp& op, Int8Staging* st, const Tensor& in,
+                   Tensor* out) {
+  const QuantOpData& q = *op.quant;
+  const int64_t m = in.dim(0);
+  DHGCN_CHECK_EQ(in.dim(1), q.k);
+  DHGCN_CHECK_EQ(out->dim(0), m);
+  DHGCN_CHECK_EQ(out->dim(1), q.n);
+  const float* px = in.data();
+  uint8_t* qa = st->qa.data();
+  for (int64_t r = 0; r < m; ++r) {
+    QuantizeActivations(px + r * q.k, q.k, q.act_scale, qa + r * q.k_pad);
+  }
+  int32_t* acc = st->acc.data();
+  Int8GemmRows(qa, m, q.k_pad, q.packed_w.data(), q.n, acc);
+  float* po = out->data();
+  for (int64_t r = 0; r < m; ++r) {
+    const int32_t* arow = acc + r * q.n;
+    float* orow = po + r * q.n;
+    for (int64_t c = 0; c < q.n; ++c) {
+      float v = static_cast<float>(arow[c] - q.w_comp[c]) * q.scale[c] +
+                q.bias[c];
+      if (q.relu && v < 0.0f) v = 0.0f;
+      orow[c] = v;
+    }
+  }
+}
+
+void RunConv2dInt8(const PlanOp& op, Int8Staging* st, const Tensor& in,
+                   Tensor* out) {
+  const QuantOpData& q = *op.quant;
+  DHGCN_CHECK(op.conv != nullptr);
+  const Conv2dOptions& o = op.conv->options();
+  const int64_t batch = in.dim(0);
+  const int64_t c_in = in.dim(1);
+  const int64_t h = in.dim(2);
+  const int64_t w = in.dim(3);
+  const int64_t oh = out->dim(2);
+  const int64_t ow = out->dim(3);
+  const int64_t ohw = oh * ow;
+  DHGCN_CHECK_EQ(q.k, c_in * o.kernel_h * o.kernel_w);
+  DHGCN_CHECK_EQ(out->dim(1), q.n);
+
+  // One whole-batch quantization pass; every im2col tap then reads
+  // bytes instead of re-quantizing floats kh*kw times.
+  QuantizeActivations(in.data(), in.numel(), q.act_scale, st->qin.data());
+
+  const int8_t* bp = q.packed_w.data();
+  uint8_t* colq = st->colq.data();
+  int32_t* acc = st->acc.data();
+  float* po = out->data();
+  const bool relu = q.relu;
+  for (int64_t b = 0; b < batch; ++b) {
+    Im2ColU8(st->qin.data() + b * c_in * h * w, h, w, o, c_in, oh, ow,
+             q.k_pad, colq);
+    Int8GemmRows(colq, ohw, q.k_pad, bp, q.n, acc);
+    // Dequantize epilogue, transposing (ohw, n) int32 back to NCHW.
+    float* pob = po + b * q.n * ohw;
+    ThreadPool::Get().ParallelFor(
+        0, q.n, GrainForFlops(ohw), [&](int64_t c0, int64_t c1) {
+          for (int64_t oc = c0; oc < c1; ++oc) {
+            const float s = q.scale[oc];
+            const float fb = q.bias[oc];
+            const int32_t comp = q.w_comp[oc];
+            float* orow = pob + oc * ohw;
+            for (int64_t p = 0; p < ohw; ++p) {
+              float v = static_cast<float>(acc[p * q.n + oc] - comp) * s + fb;
+              if (relu && v < 0.0f) v = 0.0f;
+              orow[p] = v;
+            }
+          }
+        });
+  }
+}
+
+}  // namespace dhgcn

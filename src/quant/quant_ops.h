@@ -1,0 +1,78 @@
+#ifndef DHGCN_QUANT_QUANT_OPS_H_
+#define DHGCN_QUANT_QUANT_OPS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/result.h"
+#include "plan/plan.h"
+#include "tensor/tensor.h"
+
+namespace dhgcn {
+
+/// Frozen quantization payload of one int8 plan op, built once by
+/// QuantizePlan and shared by every runner replaying the plan. The
+/// weight matrix lives only in packed-panel s8 form; everything the
+/// dequantize epilogue needs is pre-merged per output channel:
+///
+///   out[., c] = relu?((acc[., c] - w_comp[c]) * scale[c] + bias[c])
+///
+/// where acc carries raw u8 x s8 products, w_comp[c] = 128 * sum_k
+/// w_q[c, k] undoes the activation zero point, scale[c] = act_scale *
+/// w_scale[c], and bias is the fp32 (BN-folded when applicable) bias.
+struct QuantOpData {
+  int64_t k = 0;      // reduction depth (in_features / C*kh*kw)
+  int64_t k_pad = 0;  // k rounded up to kInt8KStep
+  int64_t n = 0;      // output channels
+  std::vector<int8_t> packed_w;  // Int8PackB panels of W^T (k, n)
+  std::vector<int32_t> w_comp;   // 128 * per-column weight sums, size n
+  std::vector<float> scale;      // act_scale * w_scale[c], size n
+  std::vector<float> bias;       // fp32 epilogue bias, size n
+  float act_scale = 0.0f;        // input quantization scale
+  bool relu = false;             // clamp the epilogue at zero
+};
+
+/// Quantizes fp32 weights (n rows of k values, i.e. W or the BN-folded
+/// fold_weight flattened per output channel) + bias into a frozen
+/// QuantOpData. `act_scale` must be > 0 (from calibration). Fails if a
+/// weight or bias value is non-finite. Conv rows must arrive with taps
+/// in (ky, kx, ic) order — the layout RunConv2dInt8's im2col emits —
+/// which QuantizePlan produces by permuting the native (ic, kh, kw)
+/// flattening; per-channel scales are permutation-invariant.
+Result<std::shared_ptr<const QuantOpData>> MakeQuantOpData(
+    const float* weight, const float* bias, int64_t n, int64_t k,
+    float act_scale, bool relu);
+
+/// Pre-sized scratch for one int8 op replay, owned by the PlanRunner
+/// (std::vector storage — invisible to the Tensor AllocStats budget and
+/// allocated once at runner construction, never on the replay path).
+/// Byte buffers are prefilled with 128 (the quantized 0.0f) so k-pad
+/// tails and im2col pad taps are correct without ever being rewritten.
+struct Int8Staging {
+  std::vector<uint8_t> qa;    // kLinearInt8: quantized input (m, k_pad)
+  std::vector<uint8_t> qin;   // kConv2dInt8Folded: quantized NCHW input
+  std::vector<uint8_t> colq;  // kConv2dInt8Folded: im2col^T (ohw, k_pad)
+  std::vector<int32_t> acc;   // int32 GEMM output (rows, n)
+};
+
+/// Sizes (and 128-prefills) the staging buffers for `op` given the
+/// shape of its input slot. No-op for non-int8 ops.
+void SizeInt8Staging(const PlanOp& op, const Shape& in_shape,
+                     Int8Staging* st);
+
+/// Replays a kLinearInt8 op: quantize rows of 2-D `in`, int8 GEMM
+/// against the packed panels, dequantize+bias(+relu) into 2-D `out`.
+void RunLinearInt8(const PlanOp& op, Int8Staging* st, const Tensor& in,
+                   Tensor* out);
+
+/// Replays a kConv2dInt8Folded op: quantize NCHW `in` once, per batch
+/// build the transposed u8 im2col (pad taps = 128, the quantized zero),
+/// int8 GEMM to (ohw, out_c) int32, then dequantize+bias(+relu) while
+/// transposing into NCHW `out`.
+void RunConv2dInt8(const PlanOp& op, Int8Staging* st, const Tensor& in,
+                   Tensor* out);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_QUANT_QUANT_OPS_H_

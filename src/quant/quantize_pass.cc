@@ -1,0 +1,160 @@
+#include "quant/quantize_pass.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "plan/fusion.h"
+#include "plan/plan_builder.h"
+#include "quant/quant.h"
+#include "quant/quant_ops.h"
+
+namespace dhgcn {
+
+namespace {
+
+/// References to `slot` from ops other than `a`/`b` (the pair being
+/// rewritten), plus the plan input/output slots — the same legality
+/// test the fusion passes use: absorbing the ReLU is only sound when
+/// the intermediate value is invisible to everything else.
+int64_t CountOtherRefs(const ExecutionPlan& plan, int64_t slot, size_t a,
+                       size_t b) {
+  int64_t refs = 0;
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    if (i == a || i == b) continue;
+    const PlanOp& op = plan.ops[i];
+    refs += static_cast<int64_t>(op.in0 == slot) +
+            static_cast<int64_t>(op.in1 == slot) +
+            static_cast<int64_t>(op.out == slot);
+  }
+  if (plan.input_slot == slot) ++refs;
+  if (plan.output_slot == slot) ++refs;
+  return refs;
+}
+
+}  // namespace
+
+Status QuantizePlan(ExecutionPlan* plan, const QuantCalibration& calib) {
+  DHGCN_CHECK(plan != nullptr);
+  DHGCN_CHECK(!plan->resolved);
+  std::vector<bool> dead(plan->ops.size(), false);
+  int64_t converted = 0;
+  for (size_t i = 0; i < plan->ops.size(); ++i) {
+    PlanOp& op = plan->ops[i];
+    const bool is_linear = op.kind == PlanOpKind::kLinear ||
+                           op.kind == PlanOpKind::kLinearFolded;
+    const bool is_conv = op.kind == PlanOpKind::kConv2d ||
+                         op.kind == PlanOpKind::kConv2dFolded;
+    if (!is_linear && !is_conv) continue;
+
+    const auto it = calib.slot_absmax.find(op.in0);
+    if (it == calib.slot_absmax.end()) continue;
+    const float act_scale = ActScaleFromAbsMax(it->second);
+    if (!(act_scale > 0.0f)) continue;  // all-zero or poisoned slot
+
+    const float* weight = nullptr;
+    const float* bias = nullptr;
+    int64_t n = 0;
+    int64_t k = 0;
+    std::vector<float> wperm;  // conv taps reordered (ic,ky,kx) -> (ky,kx,ic)
+    if (is_linear) {
+      DHGCN_CHECK(op.linear != nullptr);
+      n = op.linear->out_features();
+      k = op.linear->in_features();
+      if (op.kind == PlanOpKind::kLinearFolded) {
+        weight = op.fold_weight.data();
+        bias = op.fold_bias.data();
+      } else {
+        weight = op.linear->weight().data();
+        if (op.linear->has_bias()) bias = op.linear->bias().data();
+      }
+    } else {
+      DHGCN_CHECK(op.conv != nullptr);
+      const Conv2dOptions& o = op.conv->options();
+      n = op.conv->out_channels();
+      k = op.conv->in_channels() * o.kernel_h * o.kernel_w;
+      if (op.kind == PlanOpKind::kConv2dFolded) {
+        weight = op.fold_weight.data();
+        bias = op.fold_bias.data();
+      } else {
+        weight = op.conv->weight().data();
+        if (o.has_bias) bias = op.conv->bias().data();
+      }
+      // The int8 im2col emits taps channel-innermost (ky, kx, ic) so a
+      // width-1 kernel tap is a contiguous transpose strip; reorder the
+      // (oc, ic, kh, kw) weight rows to match. Per-channel quantization
+      // is permutation-invariant, so scales are unaffected.
+      const int64_t kk = o.kernel_h * o.kernel_w;
+      if (kk > 1) {
+        const int64_t c_in = op.conv->in_channels();
+        wperm.resize(static_cast<size_t>(n * k));
+        for (int64_t oc = 0; oc < n; ++oc) {
+          const float* src = weight + oc * k;
+          float* dst = wperm.data() + oc * k;
+          for (int64_t ic = 0; ic < c_in; ++ic) {
+            for (int64_t t = 0; t < kk; ++t) {
+              dst[t * c_in + ic] = src[ic * kk + t];
+            }
+          }
+        }
+        weight = wperm.data();
+      }
+    }
+
+    // Absorb a standalone ReLU reading this op's output, if it is the
+    // output's only consumer.
+    bool relu = false;
+    size_t relu_idx = 0;
+    for (size_t j = i + 1; j < plan->ops.size(); ++j) {
+      if (dead[j]) continue;
+      const PlanOp& cand = plan->ops[j];
+      if (cand.kind == PlanOpKind::kRelu && cand.in0 == op.out &&
+          CountOtherRefs(*plan, op.out, i, j) == 0) {
+        relu = true;
+        relu_idx = j;
+      }
+      break;  // only the textually-next live op can be the sole reader
+    }
+
+    Result<std::shared_ptr<const QuantOpData>> quant =
+        MakeQuantOpData(weight, bias, n, k, act_scale, relu);
+    if (!quant.ok()) continue;  // non-finite parameters: stay fp32
+
+    op.quant = quant.MoveValue();
+    if (relu) {
+      op.out = plan->ops[relu_idx].out;
+      dead[relu_idx] = true;
+    }
+    op.kind = is_linear ? PlanOpKind::kLinearInt8
+                        : PlanOpKind::kConv2dInt8Folded;
+    ++converted;
+  }
+  if (converted == 0) {
+    return Status::InvalidArgument(
+        "int8: no quantizable ops (empty calibration or unsupported model)");
+  }
+  std::vector<PlanOp> kept;
+  kept.reserve(plan->ops.size());
+  for (size_t i = 0; i < plan->ops.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(plan->ops[i]));
+  }
+  plan->ops = std::move(kept);
+  return Status::OK();
+}
+
+Result<ExecutionPlan> BuildInt8InferencePlan(Layer& model,
+                                             const Shape& input_shape,
+                                             const QuantCalibration& calib) {
+  DHGCN_ASSIGN_OR_RETURN(ExecutionPlan plan,
+                         CaptureInferencePlan(model, input_shape));
+  FoldBatchNorms(&plan);
+  FuseElementwise(&plan);
+  DHGCN_RETURN_IF_ERROR(QuantizePlan(&plan, calib));
+  ResolveOffsets(&plan);
+  return plan;
+}
+
+}  // namespace dhgcn

@@ -1,0 +1,35 @@
+#ifndef DHGCN_QUANT_QUANTIZE_PASS_H_
+#define DHGCN_QUANT_QUANTIZE_PASS_H_
+
+#include "base/result.h"
+#include "nn/layer.h"
+#include "plan/plan.h"
+#include "quant/calibration.h"
+
+namespace dhgcn {
+
+/// Freeze-time quantization rewrite over an unresolved (post-fusion)
+/// plan. Converts every GEMM-backed op whose input slot has a usable
+/// calibrated scale:
+///   kLinear / kLinearFolded  -> kLinearInt8
+///   kConv2d / kConv2dFolded  -> kConv2dInt8Folded
+/// packing the (BN-folded when applicable) weights to int8 panels on
+/// the op and absorbing an immediately-consuming standalone kRelu into
+/// the dequantize epilogue when the intermediate slot has no other
+/// readers. Ops with a missing, zero, or poisoned (non-finite)
+/// calibration entry stay fp32, as do all non-GEMM ops (hypergraph
+/// mixes, pooling, fused residual tails — see DESIGN.md §15). Fails if
+/// nothing was converted. Must run after FoldBatchNorms /
+/// FuseElementwise and before ResolveOffsets.
+Status QuantizePlan(ExecutionPlan* plan, const QuantCalibration& calib);
+
+/// One-call int8 plan compile: capture, fold BatchNorm, fuse
+/// elementwise tails, quantize against `calib`, resolve offsets — the
+/// int8 twin of BuildInferencePlan(kFused).
+Result<ExecutionPlan> BuildInt8InferencePlan(Layer& model,
+                                             const Shape& input_shape,
+                                             const QuantCalibration& calib);
+
+}  // namespace dhgcn
+
+#endif  // DHGCN_QUANT_QUANTIZE_PASS_H_

@@ -1,29 +1,35 @@
 #include "serve/frozen_model.h"
 
 #include <utility>
+#include <vector>
 
 #include "base/logging.h"
+#include "base/rng.h"
 #include "base/string_util.h"
 #include "data/skeleton.h"
 #include "io/serialization.h"
 #include "nn/layer.h"
 #include "plan/plan_builder.h"
+#include "quant/quantize_pass.h"
 #include "tensor/workspace.h"
 
 namespace dhgcn {
 
 FrozenModel::FrozenModel(std::unique_ptr<DhgcnModel> model,
                          const DhgcnConfig& config, int64_t frames,
-                         int64_t num_joints, PlanMode plan)
+                         int64_t num_joints, PlanMode plan,
+                         Precision precision, QuantCalibration calib)
     : model_(std::move(model)),
       config_(config),
       frames_(frames),
       num_joints_(num_joints),
-      plan_mode_(plan) {}
+      plan_mode_(plan),
+      precision_(precision),
+      calib_(std::move(calib)) {}
 
 Result<std::unique_ptr<FrozenModel>> FrozenModel::Load(
     const std::string& checkpoint_path, const DhgcnConfig& config,
-    int64_t frames, PlanMode plan) {
+    int64_t frames, PlanMode plan, Precision precision) {
   if (frames < 2) {
     return Status::InvalidArgument(
         StrCat("serving frames must be >= 2, got ", frames));
@@ -35,10 +41,33 @@ Result<std::unique_ptr<FrozenModel>> FrozenModel::Load(
   }
   model->SetTraining(false);
   int64_t num_joints = GetSkeletonLayout(config.layout).num_joints;
+  QuantCalibration calib;
+  if (precision == Precision::kInt8) {
+    // Checkpoints carry no calibration data, so calibrate on a
+    // deterministic synthetic batch drawn from the load-generator
+    // distribution (standard-normal clips, fixed seed): every worker
+    // replica computes the identical scales.
+    Rng rng(0x5eed);
+    Tensor batch({8, config.in_channels, frames, num_joints});
+    for (int64_t i = 0; i < batch.numel(); ++i) {
+      batch.flat(i) = rng.Normal();
+    }
+    std::vector<Tensor> inputs;
+    inputs.push_back(std::move(batch));
+    Result<QuantCalibration> c = CalibrateOnInputs(*model, inputs);
+    if (c.ok()) {
+      calib = c.MoveValue();
+    } else {
+      DHGCN_LOG(kWarning) << "int8 calibration failed ("
+                          << c.status().ToString() << "); serving fp32";
+      precision = Precision::kFp32;
+    }
+  }
   return std::unique_ptr<FrozenModel>(
       // lint: allow-naked-new — private ctor is unreachable by
       // make_unique; the pointer lands in unique_ptr immediately.
-      new FrozenModel(std::move(model), config, frames, num_joints, plan));
+      new FrozenModel(std::move(model), config, frames, num_joints, plan,
+                      precision, std::move(calib)));
 }
 
 Status FrozenModel::ValidateClipShape(const Tensor& clip) const {
@@ -55,12 +84,25 @@ Status FrozenModel::ValidateClipShape(const Tensor& clip) const {
 
 PlanRunner* FrozenModel::RunnerForBatch(int64_t batch_size,
                                         const Shape& input_shape) {
-  if (plan_mode_ == PlanMode::kOff || plan_failed_) return nullptr;
+  const bool int8 = precision_ == Precision::kInt8;
+  if ((plan_mode_ == PlanMode::kOff && !int8) || plan_failed_) {
+    return nullptr;
+  }
   auto it = runners_.find(batch_size);
   if (it != runners_.end()) return it->second.get();
   Result<ExecutionPlan> plan =
-      BuildInferencePlan(*model_, input_shape, plan_mode_);
+      int8 ? BuildInt8InferencePlan(*model_, input_shape, calib_)
+           : BuildInferencePlan(*model_, input_shape, plan_mode_);
   if (!plan.ok()) {
+    if (int8) {
+      // Downgrade this replica to fp32 permanently; existing int8
+      // runners for other batch sizes can't exist yet (first compile
+      // failure is the only path here) or stay valid regardless.
+      DHGCN_LOG(kWarning) << "int8 plan compile failed ("
+                          << plan.status().ToString() << "); serving fp32";
+      precision_ = Precision::kFp32;
+      return RunnerForBatch(batch_size, input_shape);
+    }
     DHGCN_LOG(kWarning) << "serving plan capture failed ("
                         << plan.status().ToString()
                         << "); falling back to layer-by-layer inference";

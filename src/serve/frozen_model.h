@@ -9,6 +9,8 @@
 #include "core/dhgcn_model.h"
 #include "plan/plan.h"
 #include "plan/plan_runner.h"
+#include "quant/calibration.h"
+#include "quant/precision.h"
 #include "tensor/workspace.h"
 
 namespace dhgcn {
@@ -35,9 +37,16 @@ class FrozenModel {
   /// (lazily, cached for the model's lifetime) and replay it with zero
   /// steady-state allocations. If capture ever fails the model falls
   /// back to the layer path permanently (one warning, no error).
+  /// `precision` = kInt8 compiles post-training-quantized plans
+  /// instead: activation scales come from a deterministic synthetic
+  /// calibration batch run at load time (fixed-seed normal clips, the
+  /// load-generator distribution — a checkpoint carries no calibration
+  /// data). Calibration failure logs one warning and serves fp32 at
+  /// the requested plan mode.
   static Result<std::unique_ptr<FrozenModel>> Load(
       const std::string& checkpoint_path, const DhgcnConfig& config,
-      int64_t frames, PlanMode plan = PlanMode::kOff);
+      int64_t frames, PlanMode plan = PlanMode::kOff,
+      Precision precision = Precision::kFp32);
 
   /// Checks shape only (cheap, on the submit path): (C, T, V) with the
   /// configured channel count, frame count and joint count.
@@ -50,6 +59,9 @@ class FrozenModel {
 
   const DhgcnConfig& config() const { return config_; }
   PlanMode plan_mode() const { return plan_mode_; }
+  /// The precision actually being served (kFp32 after an int8
+  /// calibration failure downgraded the model).
+  Precision precision() const { return precision_; }
   /// Compiled plan runners currently cached (one per batch size seen).
   int64_t compiled_plan_count() const {
     return static_cast<int64_t>(runners_.size());
@@ -64,7 +76,8 @@ class FrozenModel {
 
  private:
   FrozenModel(std::unique_ptr<DhgcnModel> model, const DhgcnConfig& config,
-              int64_t frames, int64_t num_joints, PlanMode plan);
+              int64_t frames, int64_t num_joints, PlanMode plan,
+              Precision precision, QuantCalibration calib);
 
   /// Returns the cached runner for this batch size, compiling one on
   /// first sight; null when plans are off or capture has failed.
@@ -75,6 +88,9 @@ class FrozenModel {
   int64_t frames_;
   int64_t num_joints_;
   PlanMode plan_mode_;
+  Precision precision_;
+  /// Load-time activation statistics (int8 only; empty for fp32).
+  QuantCalibration calib_;
   /// Permanent layer-path fallback after a failed capture.
   bool plan_failed_ = false;
   /// Batch size -> compiled runner (worker-local, like the model).

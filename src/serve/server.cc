@@ -95,9 +95,10 @@ Result<std::unique_ptr<InferenceServer>> InferenceServer::Create(
   for (int64_t w = 0; w < options.worker_count; ++w) {
     // One replica per worker: layer forwards cache member state, so a
     // shared instance would race.
-    DHGCN_ASSIGN_OR_RETURN(std::unique_ptr<FrozenModel> model,
-                           FrozenModel::Load(checkpoint_path, config,
-                                             frames, options.plan_mode));
+    DHGCN_ASSIGN_OR_RETURN(
+        std::unique_ptr<FrozenModel> model,
+        FrozenModel::Load(checkpoint_path, config, frames,
+                          options.plan_mode, options.precision));
     models.push_back(std::move(model));
   }
   std::unique_ptr<InferenceServer> server(

@@ -35,6 +35,11 @@ struct ServerOptions {
   /// kFused = compiled execution plans cached per micro-batch size
   /// (capture failure falls back to the layer path, never an error).
   PlanMode plan_mode = PlanMode::kOff;
+  /// Inference numerics of each replica: kInt8 loads post-training-
+  /// quantized models (synthetic-batch calibration at load time; a
+  /// calibration failure downgrades that replica to fp32 with one
+  /// warning — see FrozenModel::Load).
+  Precision precision = Precision::kFp32;
   MicroBatcherOptions batcher;
   /// Deadline applied when SubmitOptions.deadline_ns == 0.
   int64_t default_deadline_ns = 50'000'000;

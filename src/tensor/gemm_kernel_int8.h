@@ -1,0 +1,117 @@
+#ifndef DHGCN_TENSOR_GEMM_KERNEL_INT8_H_
+#define DHGCN_TENSOR_GEMM_KERNEL_INT8_H_
+
+#include <cstdint>
+
+namespace dhgcn {
+namespace detail {
+
+// ---------------------------------------------------------------------------
+// Int8 cache-blocked GEMM micro-kernel (see DESIGN.md §15).
+//
+// Computes C (m,n) = A (m,k_pad) * B for unsigned-int8 activations A,
+// signed-int8 weights B (pre-packed by Int8PackB), accumulating in
+// int32. The kernel is the integer twin of the fp32 blocked kernel in
+// gemm_kernel.h: kInt8NR-wide packed column panels, a kInt8MR-row
+// register tile, and KC-deep reduction blocks, dispatched at runtime to
+// an AVX2 clone when the CPU has it.
+//
+// Operand contract:
+//  - A holds per-tensor-quantized activations: u8 with zero point 128
+//    (q = round(x / s) + 128). Rows are (m, k_pad) with leading
+//    dimension `lda`; the k dimension is padded to a multiple of
+//    kInt8KStep and pad bytes should be 128 (the quantized 0.0f) —
+//    any value works arithmetically because the matching packed-B pad
+//    weights are zero.
+//  - B holds per-output-channel symmetric weights: s8 restricted to
+//    [-kInt8WeightMax, kInt8WeightMax]. The restriction is what makes
+//    the AVX2 path exact: one vpmaddubsw lane sums two u8*s8 products
+//    (<= 255*32*2 = 16320) and one vpaddsw sums two lanes
+//    (<= 32640 < 32767), so the saturating int16 ops never saturate
+//    and the SIMD clone is bit-identical to the scalar reference.
+//  - C receives the RAW u8 x s8 products. Callers undo the +128 zero
+//    point with the packed column sums: true[i,j] = c[i,j] - 128 *
+//    colsum_w[j] (see Int8PackColumnSums), normally fused into the
+//    dequantize epilogue.
+//
+// Integer accumulation is exact, so results are bit-identical across
+// thread counts, across scalar/AVX2 dispatch, and across any KC/tile
+// blocking — a strictly stronger determinism contract than fp32.
+// ---------------------------------------------------------------------------
+
+/// Register-tile rows per micro-kernel invocation.
+inline constexpr int64_t kInt8MR = 4;
+/// Register-tile columns (one packed B panel width).
+inline constexpr int64_t kInt8NR = 16;
+/// k-steps consumed per packed group (two vpmaddubsw halves of 4).
+inline constexpr int64_t kInt8KStep = 8;
+/// Reduction block depth in k-steps; one packed panel slice is
+/// kInt8KC * kInt8NR bytes = 16 KiB, the same L1 footprint as the fp32
+/// kernel's 256-float-deep panel slice.
+inline constexpr int64_t kInt8KC = 1024;
+/// Weight quantization ceiling: |q_w| <= 32 keeps every int16
+/// intermediate in the AVX2 reduction saturation-free (see above).
+inline constexpr int32_t kInt8WeightMax = 32;
+
+/// k rounded up to a multiple of kInt8KStep.
+inline int64_t Int8KPad(int64_t k) {
+  return (k + kInt8KStep - 1) / kInt8KStep * kInt8KStep;
+}
+
+/// Bytes a packed copy of B (k,n) occupies: ceil(n / kInt8NR) panels of
+/// Int8KPad(k) * kInt8NR bytes (column and k padding zeroed).
+int64_t Int8PackedBCount(int64_t k, int64_t n);
+
+/// Packs row-major s8 B (k,n) into panel-major int8 layout. Each
+/// kInt8NR-wide column panel is a run of kInt8KStep-deep groups; one
+/// group is 2 * kInt8NR * 4 bytes: the 4 low-k bytes of every column,
+/// then the 4 high-k bytes of every column (column j's bytes at offset
+/// j * 4 within each half). Pad columns and pad k rows are zero.
+/// `bp` must hold Int8PackedBCount(k, n) bytes.
+void Int8PackB(const int8_t* b, int64_t k, int64_t n, int8_t* bp);
+
+/// Per-column weight sums of row-major s8 B (k,n), for the zero-point
+/// compensation term: comp[j] = 128 * sums[j]. `sums` holds n int32s.
+void Int8PackColumnSums(const int8_t* b, int64_t k, int64_t n,
+                        int32_t* sums);
+
+/// C (m,n) = A * B for B pre-packed by Int8PackB; zeroes C, then
+/// accumulates raw u8 x s8 products in int32. `k_pad` must equal
+/// Int8KPad(k) used at pack time; `lda` >= k_pad. Safe to call from
+/// inside a ParallelFor task on disjoint row ranges of C; split m on
+/// kInt8MR multiples to match the serial tile boundaries (any split is
+/// bit-identical regardless — integer accumulation is exact).
+void Int8GemmPackedB(const uint8_t* a, int64_t lda, const int8_t* bp,
+                     int32_t* c, int64_t m, int64_t k_pad, int64_t n);
+
+/// True when the runtime dispatch selected the AVX2 clone (for benches
+/// and the scalar-vs-SIMD equivalence test).
+bool Int8GemmHasAvx2();
+
+/// Quantizes one contiguous run of fp32 activations to the kernel's u8
+/// operand format: q[i] = clamp(round_ne(x[i] * inv_scale), ±127) +
+/// 128. Rounding is to-nearest-even via the 2^23 + 2^22 magic-add
+/// trick; NaN fails the low clamp's compare and encodes as 1 (the same
+/// contract as QuantizeActivations, which delegates here). Lives in
+/// the kernel TU because it is the per-replay feeder of the int8 GEMM:
+/// the AVX2 clone (mul / max / min / magic-add / pack, dispatched at
+/// runtime like the GEMM nest) is bit-identical to the scalar path —
+/// every step is an exact elementwise IEEE op with matched NaN
+/// semantics.
+void Int8QuantizeRow(const float* x, int64_t n, float inv_scale,
+                     uint8_t* q);
+
+/// Blocked byte transpose: dst[j * dst_stride + i] = src[i *
+/// src_stride + j] for i < rows, j < cols. This is the im2col of a
+/// width-1 conv kernel tap — one (ky, oy) pair scatters a contiguous
+/// C-channel strip of the quantized input into C adjacent colq columns
+/// — so it lives with the GEMM nest and uses SSE2 16x16 unpack tiles
+/// (baseline on x86-64; no runtime dispatch needed) with scalar edges.
+/// Ranges must not alias.
+void Int8TransposeU8(const uint8_t* src, int64_t src_stride, int64_t rows,
+                     int64_t cols, uint8_t* dst, int64_t dst_stride);
+
+}  // namespace detail
+}  // namespace dhgcn
+
+#endif  // DHGCN_TENSOR_GEMM_KERNEL_INT8_H_

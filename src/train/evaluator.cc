@@ -11,6 +11,8 @@
 #include "nn/loss.h"
 #include "plan/plan_builder.h"
 #include "plan/plan_runner.h"
+#include "quant/calibration.h"
+#include "quant/quantize_pass.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/workspace.h"
 #include "train/table.h"
@@ -27,7 +29,41 @@ EvalMetrics Evaluate(Layer& model, DataLoader& loader,
   // One compiled runner per batch size (the tail batch is usually
   // smaller); capture failure disables the plan path for this call.
   std::unordered_map<int64_t, std::unique_ptr<PlanRunner>> runners;
-  bool plan_ok = options.plan != PlanMode::kOff;
+  bool int8_ok = options.precision == Precision::kInt8;
+  bool plan_ok = int8_ok || options.plan != PlanMode::kOff;
+  QuantCalibration calib;
+  bool have_calib = false;
+  // Int8 first (calibrating lazily, once), fp32 plan fallback; any
+  // int8 failure downgrades the whole call with one warning.
+  auto compile = [&](const Shape& shape) -> Result<ExecutionPlan> {
+    if (int8_ok && !have_calib) {
+      DataLoader& cal = options.calibration_loader != nullptr
+                            ? *options.calibration_loader
+                            : loader;
+      Result<QuantCalibration> c =
+          CalibrateOnBatches(model, cal, options.calibration_batches);
+      if (c.ok()) {
+        calib = c.MoveValue();
+        have_calib = true;
+      } else {
+        DHGCN_LOG(kWarning) << "int8 calibration failed ("
+                            << c.status().ToString()
+                            << "); evaluating fp32";
+        int8_ok = false;
+      }
+    }
+    if (int8_ok) {
+      Result<ExecutionPlan> plan = BuildInt8InferencePlan(model, shape, calib);
+      if (plan.ok()) return plan;
+      DHGCN_LOG(kWarning) << "int8 plan compile failed ("
+                          << plan.status().ToString() << "); evaluating fp32";
+      int8_ok = false;
+    }
+    if (options.plan == PlanMode::kOff) {
+      return Status::FailedPrecondition("fp32 plan path not requested");
+    }
+    return BuildInferencePlan(model, shape, options.plan);
+  };
   size_t plan_arena_bytes = 0;
   for (int64_t b = 0; b < loader.NumBatches(); ++b) {
     Batch batch = loader.GetBatch(b);
@@ -36,8 +72,7 @@ EvalMetrics Evaluate(Layer& model, DataLoader& loader,
     if (plan_ok) {
       auto it = runners.find(batch.x.dim(0));
       if (it == runners.end()) {
-        Result<ExecutionPlan> plan =
-            BuildInferencePlan(model, batch.x.shape(), options.plan);
+        Result<ExecutionPlan> plan = compile(batch.x.shape());
         if (!plan.ok()) {
           DHGCN_LOG(kWarning)
               << "plan capture failed (" << plan.status().ToString()
@@ -74,7 +109,9 @@ EvalMetrics Evaluate(Layer& model, DataLoader& loader,
     DHGCN_LOG(kInfo) << "eval ws_peak=" << (workspace.PeakBytes() >> 10)
                      << " KiB plan_arenas=" << (plan_arena_bytes >> 10)
                      << " KiB (" << runners.size() << " compiled plans, mode="
-                     << PlanModeName(options.plan) << ")";
+                     << PlanModeName(options.plan)
+                     << ", precision=" << PrecisionName(options.precision)
+                     << ")";
   }
   model.SetTraining(true);
   return accumulator.Finalize();

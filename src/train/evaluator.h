@@ -7,6 +7,7 @@
 #include "data/dataloader.h"
 #include "nn/layer.h"
 #include "plan/plan.h"
+#include "quant/precision.h"
 #include "train/metrics.h"
 
 namespace dhgcn {
@@ -25,6 +26,18 @@ struct EvalOptions {
   PlanMode plan = PlanMode::kOff;
   /// Log peak workspace / plan-arena bytes at INFO after the pass.
   bool log_peak_bytes = false;
+  /// Inference numerics. kInt8 compiles post-training-quantized plans
+  /// (the plan path is implied; `plan` only matters as the fp32
+  /// fallback mode): weights freeze to int8 panels after a calibration
+  /// pass of up to `calibration_batches` batches over
+  /// `calibration_loader` — pass a loader over *training* data; null
+  /// falls back to the eval loader itself (calibrating on the eval set
+  /// is methodologically impure but numerically harmless here: only
+  /// |x| maxima are read). Calibration or capture failure logs one
+  /// warning and evaluates fp32.
+  Precision precision = Precision::kFp32;
+  DataLoader* calibration_loader = nullptr;
+  int64_t calibration_batches = 4;
 };
 
 /// Evaluates a classifier over a loader (inference mode; loader should be

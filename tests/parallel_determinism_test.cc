@@ -5,6 +5,8 @@
 // tolerance. A full training run (legacy and workspace-arena paths)
 // closes the loop: identical final parameters and losses end to end.
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
@@ -24,6 +26,9 @@
 #include "nn/loss.h"
 #include "plan/plan_builder.h"
 #include "plan/plan_runner.h"
+#include "quant/calibration.h"
+#include "quant/quantize_pass.h"
+#include "tensor/gemm_kernel_int8.h"
 #include "tensor/linalg.h"
 #include "tensor/sparse.h"
 #include "tensor/sparse_router.h"
@@ -534,6 +539,89 @@ TEST(ParallelDeterminism, ThreeEpochPrunedTrainingRun) {
       ExpectBitEqual(serial.params[p], parallel.params[p],
                      "pruned trained parameter", threads);
     }
+  }
+  ThreadPool::Get().SetThreads(1);
+}
+
+// --- Int8 quantized path: integer accumulation is exact, so the int8
+// kernel and the full int8 plan replay carry a strictly stronger
+// contract than fp32 — bit-identical across thread counts by
+// construction, verified by memcmp here. -------------------------------
+
+TEST(ParallelDeterminism, Int8GemmKernelThreadInvariant) {
+  // Parallelize the packed kernel over kInt8MR row blocks exactly as
+  // the plan replay wrapper does, and memcmp the int32 accumulators.
+  const int64_t m = 61, k = 67, n = 53;
+  const int64_t k_pad = detail::Int8KPad(k);
+  Rng rng(232);
+  std::vector<uint8_t> a(m * k_pad, 128);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      a[i * k_pad + kk] = static_cast<uint8_t>(1 + rng.Uniform() * 254.0f);
+    }
+  }
+  std::vector<int8_t> b(k * n);
+  for (auto& v : b) {
+    v = static_cast<int8_t>(
+        std::lround(rng.Uniform() * 2.0f * detail::kInt8WeightMax) -
+        detail::kInt8WeightMax);
+  }
+  std::vector<int8_t> bp(detail::Int8PackedBCount(k, n));
+  detail::Int8PackB(b.data(), k, n, bp.data());
+
+  auto run = [&](std::vector<int32_t>* c) {
+    c->assign(m * n, 0);
+    const int64_t blocks = (m + detail::kInt8MR - 1) / detail::kInt8MR;
+    ThreadPool::Get().ParallelFor(
+        0, blocks, /*grain=*/1, [&](int64_t begin, int64_t end) {
+          int64_t row0 = begin * detail::kInt8MR;
+          int64_t row1 = std::min(m, end * detail::kInt8MR);
+          detail::Int8GemmPackedB(a.data() + row0 * k_pad, k_pad,
+                                  bp.data(), c->data() + row0 * n,
+                                  row1 - row0, k_pad, n);
+        });
+  };
+
+  ThreadPool::Get().SetThreads(1);
+  std::vector<int32_t> serial;
+  run(&serial);
+  for (int64_t threads : kThreadCounts) {
+    ThreadPool::Get().SetThreads(threads);
+    std::vector<int32_t> parallel;
+    run(&parallel);
+    EXPECT_EQ(std::memcmp(serial.data(), parallel.data(),
+                          serial.size() * sizeof(int32_t)),
+              0)
+        << "int8 GEMM is not bit-identical at threads=" << threads;
+  }
+  ThreadPool::Get().SetThreads(1);
+}
+
+TEST(ParallelDeterminism, PlanReplayInt8ThreadInvariant) {
+  DhgcnConfig config =
+      DhgcnConfig::Tiny(SkeletonLayoutType::kNtu25, /*num_classes=*/3);
+  DhgcnModel model(config);
+  model.SetTraining(false);
+  Rng rng(233);
+  Tensor x = Tensor::RandomNormal({2, 3, 8, 25}, rng);
+
+  ThreadPool::Get().SetThreads(1);
+  QuantCalibration calib =
+      CalibrateOnInputs(model, {x}).ValueOrDie();
+  PlanRunner runner(
+      BuildInt8InferencePlan(model, x.shape(), calib).ValueOrDie());
+  Tensor serial = runner.Run(x).Clone();
+  for (int64_t threads : kThreadCounts) {
+    ThreadPool::Get().SetThreads(threads);
+    ExpectBitEqual(serial, runner.Run(x), "int8 plan replay", threads);
+    // Calibration itself must be thread-invariant too: a fresh
+    // calibration + compile under this thread count replays the same
+    // bytes.
+    QuantCalibration recalib = CalibrateOnInputs(model, {x}).ValueOrDie();
+    PlanRunner fresh(
+        BuildInt8InferencePlan(model, x.shape(), recalib).ValueOrDie());
+    ExpectBitEqual(serial, fresh.Run(x), "fresh int8 plan replay",
+                   threads);
   }
   ThreadPool::Get().SetThreads(1);
 }

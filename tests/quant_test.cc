@@ -1,0 +1,365 @@
+// Post-training int8 quantization (DESIGN.md §15): helper round-trips,
+// int8 kernel equivalence against a plain integer reference over
+// tile-straddling shapes, the freeze-time plan rewrite, and the two
+// acceptance budgets — end-to-end top-1 within 1% of fp32 and the
+// ≤10-owning-alloc steady-state replay budget.
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "base/alloc_stats.h"
+#include "base/rng.h"
+#include "core/dhgcn_model.h"
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "data/synthetic_generator.h"
+#include "plan/plan_builder.h"
+#include "plan/plan_runner.h"
+#include "quant/calibration.h"
+#include "quant/quant.h"
+#include "quant/quant_ops.h"
+#include "quant/quantize_pass.h"
+#include "tensor/gemm_kernel_int8.h"
+#include "train/evaluator.h"
+#include "train/experiment.h"
+
+namespace dhgcn {
+namespace {
+
+// --- Quantization helpers --------------------------------------------
+
+TEST(QuantTest, ActScaleFromAbsMax) {
+  EXPECT_FLOAT_EQ(ActScaleFromAbsMax(12.7f), 0.1f);
+  EXPECT_EQ(ActScaleFromAbsMax(0.0f), 0.0f);
+  EXPECT_EQ(ActScaleFromAbsMax(-1.0f), 0.0f);
+  EXPECT_EQ(ActScaleFromAbsMax(std::numeric_limits<float>::quiet_NaN()),
+            0.0f);
+  EXPECT_EQ(ActScaleFromAbsMax(std::numeric_limits<float>::infinity()),
+            0.0f);
+}
+
+TEST(QuantTest, ActivationRoundTripWithinHalfStep) {
+  Rng rng(40);
+  const float absmax = 3.0f;
+  const float scale = ActScaleFromAbsMax(absmax);
+  std::vector<float> x(257);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Uniform() * 2.0f * absmax - absmax;
+  }
+  x[0] = 0.0f;  // must encode exactly as the zero point
+  std::vector<uint8_t> q(x.size());
+  QuantizeActivations(x.data(), static_cast<int64_t>(x.size()), scale,
+                      q.data());
+  EXPECT_EQ(q[0], kInt8ActZeroPoint);
+  for (size_t i = 0; i < x.size(); ++i) {
+    float back = (static_cast<int32_t>(q[i]) - kInt8ActZeroPoint) * scale;
+    EXPECT_LE(std::abs(back - x[i]), scale * 0.5f + 1e-6f)
+        << "i=" << i << " x=" << x[i];
+  }
+}
+
+TEST(QuantTest, ActivationEdgeCasesSaturate) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float x[5] = {inf, -inf, std::numeric_limits<float>::quiet_NaN(),
+                      1e10f, -1e10f};
+  uint8_t q[5];
+  QuantizeActivations(x, 5, 0.1f, q);
+  EXPECT_EQ(q[0], 255);  // +127 + 128
+  EXPECT_EQ(q[1], 1);    // -127 + 128
+  EXPECT_EQ(q[2], 1);    // NaN clamps low
+  EXPECT_EQ(q[3], 255);
+  EXPECT_EQ(q[4], 1);
+
+  // A degenerate (<= 0) scale encodes everything as exact zero.
+  const float y[3] = {1.0f, -2.0f, 0.0f};
+  uint8_t qz[3];
+  QuantizeActivations(y, 3, 0.0f, qz);
+  for (uint8_t v : qz) EXPECT_EQ(v, kInt8ActZeroPoint);
+}
+
+TEST(QuantTest, WeightsPerChannelRoundTrip) {
+  Rng rng(41);
+  const int64_t channels = 5;
+  const int64_t per_channel = 37;
+  std::vector<float> w(channels * per_channel);
+  for (auto& v : w) v = rng.Uniform() * 4.0f - 2.0f;
+  // Channel 2 is all-zero: scale 0, all-zero codes, exact dequant.
+  for (int64_t j = 0; j < per_channel; ++j) w[2 * per_channel + j] = 0.0f;
+
+  std::vector<int8_t> q(w.size());
+  std::vector<float> scales(channels);
+  QuantizeWeightsPerChannel(w.data(), channels, per_channel, q.data(),
+                            scales.data());
+
+  EXPECT_EQ(scales[2], 0.0f);
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t j = 0; j < per_channel; ++j) {
+      int8_t code = q[c * per_channel + j];
+      ASSERT_LE(std::abs(static_cast<int>(code)),
+                detail::kInt8WeightMax);
+      float back = code * scales[c];
+      float orig = w[c * per_channel + j];
+      float tol = (scales[c] > 0.0f) ? scales[c] * 0.5f + 1e-6f : 1e-6f;
+      EXPECT_LE(std::abs(back - orig), tol)
+          << "channel " << c << " tap " << j;
+    }
+  }
+}
+
+// --- Int8 kernel vs plain-integer reference --------------------------
+
+// Raw-product reference: c[i,j] = sum_k a[i, k] * b[k, j] in exact
+// int32, straight off the unpacked operands.
+void ReferenceInt8Gemm(const std::vector<uint8_t>& a, int64_t lda,
+                       const std::vector<int8_t>& b, int64_t m,
+                       int64_t k, int64_t n, std::vector<int32_t>* c) {
+  c->assign(m * n, 0);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      int32_t av = a[i * lda + kk];
+      for (int64_t j = 0; j < n; ++j) {
+        (*c)[i * n + j] += av * static_cast<int32_t>(b[kk * n + j]);
+      }
+    }
+  }
+}
+
+void FillInt8Operands(int64_t m, int64_t k, int64_t lda, int64_t n,
+                      Rng& rng, std::vector<uint8_t>* a,
+                      std::vector<int8_t>* b) {
+  a->assign(m * lda, 128);  // pad bytes hold the quantized 0.0f
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      (*a)[i * lda + kk] =
+          static_cast<uint8_t>(1 + rng.Uniform() * 254.0f);
+    }
+  }
+  b->assign(k * n, 0);
+  for (auto& v : *b) {
+    v = static_cast<int8_t>(
+        std::lround(rng.Uniform() * 2.0f * detail::kInt8WeightMax) -
+        detail::kInt8WeightMax);
+  }
+}
+
+TEST(QuantTest, Int8GemmMatchesIntegerReference) {
+  // Shapes straddling the kInt8MR x kInt8NR register tile, the
+  // kInt8KStep packing group, and (last case) the kInt8KC reduction
+  // block boundary at k = 8192.
+  struct Case {
+    int64_t m, k, n;
+  };
+  const Case kShapes[] = {{1, 1, 1},     {4, 8, 16},   {3, 5, 7},
+                          {8, 16, 32},   {61, 67, 53}, {64, 72, 48},
+                          {5, 8200, 16}, {17, 40, 130}};
+  Rng rng(42);
+  for (const Case& c : kShapes) {
+    const int64_t k_pad = detail::Int8KPad(c.k);
+    std::vector<uint8_t> a;
+    std::vector<int8_t> b;
+    FillInt8Operands(c.m, c.k, k_pad, c.n, rng, &a, &b);
+    std::vector<int8_t> bp(detail::Int8PackedBCount(c.k, c.n));
+    detail::Int8PackB(b.data(), c.k, c.n, bp.data());
+
+    std::vector<int32_t> got(c.m * c.n, -1);
+    detail::Int8GemmPackedB(a.data(), k_pad, bp.data(), got.data(), c.m,
+                            k_pad, c.n);
+    std::vector<int32_t> want;
+    ReferenceInt8Gemm(a, k_pad, b, c.m, c.k, c.n, &want);
+    ASSERT_EQ(std::memcmp(got.data(), want.data(),
+                          got.size() * sizeof(int32_t)),
+              0)
+        << "shape " << c.m << "x" << c.k << "x" << c.n;
+
+    // Column sums feed the zero-point compensation term.
+    std::vector<int32_t> sums(c.n);
+    detail::Int8PackColumnSums(b.data(), c.k, c.n, sums.data());
+    for (int64_t j = 0; j < c.n; ++j) {
+      int32_t s = 0;
+      for (int64_t kk = 0; kk < c.k; ++kk) s += b[kk * c.n + j];
+      ASSERT_EQ(sums[j], s) << "column " << j;
+    }
+  }
+}
+
+TEST(QuantTest, Int8GemmRowSplitInvariant) {
+  // The kernel contract: computing disjoint row ranges in separate
+  // calls (as the ParallelFor wrapper does) is bit-identical to one
+  // call — including splits off the kInt8MR grid.
+  const int64_t m = 23, k = 67, n = 53;
+  const int64_t k_pad = detail::Int8KPad(k);
+  Rng rng(43);
+  std::vector<uint8_t> a;
+  std::vector<int8_t> b;
+  FillInt8Operands(m, k, k_pad, n, rng, &a, &b);
+  std::vector<int8_t> bp(detail::Int8PackedBCount(k, n));
+  detail::Int8PackB(b.data(), k, n, bp.data());
+
+  std::vector<int32_t> whole(m * n);
+  detail::Int8GemmPackedB(a.data(), k_pad, bp.data(), whole.data(), m,
+                          k_pad, n);
+  for (int64_t split : {1, 4, 7, 22}) {
+    std::vector<int32_t> parts(m * n, -1);
+    detail::Int8GemmPackedB(a.data(), k_pad, bp.data(), parts.data(),
+                            split, k_pad, n);
+    detail::Int8GemmPackedB(a.data() + split * k_pad, k_pad, bp.data(),
+                            parts.data() + split * n, m - split, k_pad,
+                            n);
+    EXPECT_EQ(std::memcmp(whole.data(), parts.data(),
+                          whole.size() * sizeof(int32_t)),
+              0)
+        << "split at row " << split;
+  }
+}
+
+// --- Freeze-time plan rewrite ----------------------------------------
+
+TEST(QuantTest, QuantizePlanRewritesGemmOpsWithPayloads) {
+  DhgcnConfig config =
+      DhgcnConfig::Tiny(SkeletonLayoutType::kNtu25, /*num_classes=*/3);
+  DhgcnModel model(config);
+  model.SetTraining(false);
+  Rng rng(44);
+  std::vector<Tensor> inputs;
+  inputs.push_back(Tensor::RandomNormal({2, 3, 8, 25}, rng));
+  inputs.push_back(Tensor::RandomNormal({2, 3, 8, 25}, rng));
+  QuantCalibration calib =
+      CalibrateOnInputs(model, inputs).MoveValue();
+  EXPECT_FALSE(calib.slot_absmax.empty());
+
+  ExecutionPlan plan =
+      BuildInt8InferencePlan(model, inputs[0].shape(), calib)
+          .MoveValue();
+  ASSERT_TRUE(plan.resolved);
+
+  int64_t conv_int8 = 0, linear_int8 = 0, fp32_gemm = 0;
+  for (const PlanOp& op : plan.ops) {
+    switch (op.kind) {
+      case PlanOpKind::kConv2dInt8Folded:
+        ++conv_int8;
+        break;
+      case PlanOpKind::kLinearInt8:
+        ++linear_int8;
+        break;
+      case PlanOpKind::kConv2d:
+      case PlanOpKind::kConv2dFolded:
+      case PlanOpKind::kLinear:
+      case PlanOpKind::kLinearFolded:
+        ++fp32_gemm;
+        break;
+      default:
+        break;
+    }
+    if (op.kind == PlanOpKind::kConv2dInt8Folded ||
+        op.kind == PlanOpKind::kLinearInt8) {
+      ASSERT_NE(op.quant, nullptr);
+      EXPECT_GT(op.quant->n, 0);
+      EXPECT_GT(op.quant->act_scale, 0.0f);
+      EXPECT_EQ(static_cast<int64_t>(op.quant->scale.size()),
+                op.quant->n);
+      EXPECT_EQ(op.quant->k_pad, detail::Int8KPad(op.quant->k));
+    }
+  }
+  // Every GEMM-backed op in the Tiny model calibrates cleanly, so the
+  // rewrite must catch all of them — convs and the classifier head.
+  EXPECT_GT(conv_int8, 0);
+  EXPECT_GT(linear_int8, 0);
+  EXPECT_EQ(fp32_gemm, 0);
+
+  // The rewritten plan replays to sane logits of the right shape.
+  PlanRunner runner(std::move(plan));
+  Tensor logits = runner.Run(inputs[0]);
+  ASSERT_EQ(logits.shape(), (Shape{2, 3}));
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(logits.flat(i)));
+  }
+}
+
+TEST(QuantTest, QuantizePlanFailsWithEmptyCalibration) {
+  DhgcnConfig config =
+      DhgcnConfig::Tiny(SkeletonLayoutType::kNtu25, /*num_classes=*/3);
+  DhgcnModel model(config);
+  model.SetTraining(false);
+  QuantCalibration empty;
+  auto plan = BuildInt8InferencePlan(model, {2, 3, 8, 25}, empty);
+  EXPECT_FALSE(plan.ok());
+}
+
+// --- Acceptance budget 1: top-1 within 1% of fp32 --------------------
+
+TEST(QuantTest, Int8EvalTop1WithinOnePercentOfFp32) {
+  SyntheticDataConfig data_config = NtuLikeConfig(3, 16, 12, 3);
+  SkeletonDataset dataset =
+      SkeletonDataset::Generate(data_config).MoveValue();
+  DatasetSplit split = MakeSplit(dataset, SplitProtocol::kCrossSubject);
+  DhgcnConfig config =
+      DhgcnConfig::Tiny(SkeletonLayoutType::kNtu25, /*num_classes=*/3);
+  auto model = DhgcnModel::Make(config).MoveValue();
+  TrainOptions train_options;
+  train_options.epochs = 10;
+  train_options.initial_lr = 0.05f;
+  train_options.lr_milestones = {6, 8};
+  EvalMetrics trained = TrainAndEvaluateStream(
+      *model, dataset, split, InputStream::kJoint, train_options,
+      /*batch_size=*/8, /*seed=*/5);
+  ASSERT_GT(trained.count, 0);
+
+  DataLoader eval_loader(&dataset, split.test, 8, InputStream::kJoint,
+                         /*shuffle=*/false);
+  DataLoader calib_loader(&dataset, split.train, 8, InputStream::kJoint,
+                          /*shuffle=*/false);
+
+  EvalOptions fp32_options;
+  fp32_options.plan = PlanMode::kFused;
+  EvalMetrics fp32 = Evaluate(*model, eval_loader, fp32_options);
+
+  EvalOptions int8_options;
+  int8_options.plan = PlanMode::kFused;
+  int8_options.precision = Precision::kInt8;
+  int8_options.calibration_loader = &calib_loader;
+  EvalMetrics int8 = Evaluate(*model, eval_loader, int8_options);
+
+  EXPECT_EQ(int8.count, fp32.count);
+  // The paper-level acceptance budget: quantization costs at most one
+  // point of top-1. (On this suite it costs zero — the assert leaves
+  // headroom for exactly the budget, nothing more.)
+  EXPECT_GE(int8.top1, fp32.top1 - 0.01)
+      << "fp32 top1=" << fp32.top1 << " int8 top1=" << int8.top1;
+  EXPECT_TRUE(std::isfinite(int8.loss));
+}
+
+// --- Acceptance budget 2: ≤10 owning allocs per int8 replay ----------
+
+TEST(QuantTest, Int8PlanReplayStaysWithinAllocBudget) {
+  constexpr uint64_t kStepBudget = 10;
+  DhgcnConfig config =
+      DhgcnConfig::Tiny(SkeletonLayoutType::kKinetics18,
+                        /*num_classes=*/4);
+  DhgcnModel model(config);
+  model.SetTraining(false);
+  Rng rng(45);
+  Tensor x = Tensor::RandomNormal({2, 3, 8, 18}, rng);
+
+  QuantCalibration calib =
+      CalibrateOnInputs(model, {x.Clone()}).MoveValue();
+  PlanRunner runner(
+      BuildInt8InferencePlan(model, x.shape(), calib).MoveValue());
+
+  for (int step = 0; step < 5; ++step) {
+    AllocStatsGuard guard;
+    Tensor logits = runner.Run(x);
+    ASSERT_EQ(logits.shape(), (Shape{2, 4}));
+    if (step >= 2) {
+      EXPECT_LE(guard.allocations(), kStepBudget)
+          << "step " << step << " allocated " << guard.allocations()
+          << " owning tensors (" << guard.bytes() << " bytes)";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dhgcn

@@ -27,11 +27,10 @@
 
 #include "base/fault_injection.h"
 #include "base/flags.h"
+#include "base/runtime_flags.h"
 #include "base/string_util.h"
-#include "base/thread_pool.h"
 #include "serve/load_generator.h"
 #include "serve/server.h"
-#include "tensor/sparse_router.h"
 
 namespace dhgcn {
 namespace {
@@ -101,10 +100,12 @@ Status RunMain(int argc, const char* const* argv) {
   double overload_factor = 4.0;
   int64_t duration_ms = 1000;
   int64_t poison_every = 0;
-  int64_t threads = 1;
   int64_t seed = 42;
   std::string plan_name = "off";
-  std::string sparse_name = "auto";
+  RuntimeFlags rt;
+  // Serving default: one intra-op thread per worker — parallelism
+  // comes from --workers, not the compute pool.
+  rt.threads = 1;
   bool strict = false;
   bool help = false;
 
@@ -133,9 +134,6 @@ Status RunMain(int argc, const char* const* argv) {
                   "worker-stall:5:40,queue-full:50");
   flags.AddInt64("poison_every", &poison_every,
                  "overload phase: NaN-poison every Nth clip (0 = off)");
-  flags.AddInt64("threads", &threads,
-                 "intra-op compute threads (default 1: serving "
-                 "parallelism comes from --workers)");
   flags.AddInt64("seed", &seed, "synthetic clip seed");
   flags.AddString("bench_json", &bench_json,
                   "write per-phase results to this JSON file");
@@ -143,10 +141,7 @@ Status RunMain(int argc, const char* const* argv) {
                   "worker inference path: off|on|fused (on = compiled "
                   "execution plans per batch size, bit-identical; fused "
                   "= Conv+BN folding, rtol-equivalent)");
-  flags.AddString("sparse", &sparse_name,
-                  "CSR routing for the hypergraph operators: off|auto|on "
-                  "(bit-identical either way; auto routes below the "
-                  "measured density crossover)");
+  rt.Register(&flags);
   flags.AddBool("strict", &strict,
                 "fail unless overload shed explicitly and recovery "
                 "returned to degrade level 0");
@@ -156,10 +151,7 @@ Status RunMain(int argc, const char* const* argv) {
     std::printf("%s", flags.Usage().c_str());
     return Status::OK();
   }
-  if (threads > 0) ThreadPool::Get().SetThreads(threads);
-  DHGCN_ASSIGN_OR_RETURN(SparseMode sparse_mode,
-                         ParseSparseMode(sparse_name));
-  SparseRouter::Get().set_mode(sparse_mode);
+  DHGCN_RETURN_IF_ERROR(rt.Apply());
   if (overload_factor < 1.0) {
     return Status::InvalidArgument("--overload_factor must be >= 1");
   }
@@ -173,6 +165,7 @@ Status RunMain(int argc, const char* const* argv) {
   ServerOptions options;
   options.worker_count = workers;
   DHGCN_ASSIGN_OR_RETURN(options.plan_mode, ParsePlanMode(plan_name));
+  options.precision = rt.resolved_precision;
   options.batcher.queue_capacity = queue_capacity;
   options.batcher.max_batch_size = max_batch;
   options.default_deadline_ns = deadline_ms * 1'000'000;
@@ -181,13 +174,14 @@ Status RunMain(int argc, const char* const* argv) {
       InferenceServer::Create(checkpoint_path, config, frames, options));
   std::printf(
       "serving %s/%s: %lld classes, %lld frames, %lld workers, queue "
-      "%lld, batch %lld, deadline %lld ms, plan %s\n",
+      "%lld, batch %lld, deadline %lld ms, plan %s, precision %s\n",
       config_name.c_str(), layout_name.c_str(),
       static_cast<long long>(classes), static_cast<long long>(frames),
       static_cast<long long>(workers),
       static_cast<long long>(queue_capacity),
       static_cast<long long>(max_batch),
-      static_cast<long long>(deadline_ms), PlanModeName(options.plan_mode));
+      static_cast<long long>(deadline_ms), PlanModeName(options.plan_mode),
+      PrecisionName(options.precision));
 
   LoadGenOptions load;
   load.qps = qps;

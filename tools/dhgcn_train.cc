@@ -16,12 +16,11 @@
 
 #include "base/fault_injection.h"
 #include "base/flags.h"
+#include "base/runtime_flags.h"
 #include "base/string_util.h"
-#include "base/thread_pool.h"
 #include "data/csv_io.h"
 #include "io/serialization.h"
 #include "models/model_zoo.h"
-#include "tensor/sparse_router.h"
 #include "train/evaluator.h"
 #include "train/experiment.h"
 #include "train/summary.h"
@@ -71,7 +70,6 @@ Status RunMain(int argc, const char* const* argv) {
   int64_t kn = 3;
   int64_t km = 4;
   int64_t seed = 17;
-  int64_t threads = 0;
   double lr = 0.05;
   bool eval_only = false;
   bool report = false;
@@ -79,8 +77,7 @@ Status RunMain(int argc, const char* const* argv) {
   bool augment = false;
   bool workspace = true;
   std::string plan_name = "off";
-  std::string sparse_name = "auto";
-  double sparse_threshold = 0.0;
+  RuntimeFlags rt;
   bool prune = false;
   double prune_sparsity = 0.8;
   int64_t prune_start = 1;
@@ -122,9 +119,6 @@ Status RunMain(int argc, const char* const* argv) {
   flags.AddInt64("kn", &kn, "DHGCN k_n (joints per K-NN hyperedge)");
   flags.AddInt64("km", &km, "DHGCN k_m (K-means hyperedges)");
   flags.AddInt64("seed", &seed, "random seed");
-  flags.AddInt64("threads", &threads,
-                 "intra-op compute threads; results are bit-identical for "
-                 "any value (0 = DHGCN_THREADS env or hardware default)");
   flags.AddDouble("lr", &lr, "initial learning rate");
   flags.AddBool("eval_only", &eval_only, "skip training");
   flags.AddBool("report", &report, "print per-class report");
@@ -137,13 +131,7 @@ Status RunMain(int argc, const char* const* argv) {
                   "evaluation execution plan: off|on|fused (on = compiled "
                   "replay, bit-identical; fused = Conv+BN folding, "
                   "rtol-equivalent). Training is always layer-by-layer.");
-  flags.AddString("sparse", &sparse_name,
-                  "CSR routing for the hypergraph operators: off|auto|on "
-                  "(auto = below the measured density crossover; any "
-                  "choice is bit-identical, this is a speed knob)");
-  flags.AddDouble("sparse_threshold", &sparse_threshold,
-                  "density crossover override in (0,1] for --sparse auto "
-                  "(0 = bench-measured default)");
+  rt.Register(&flags);
   flags.AddBool("prune", &prune,
                 "magnitude-prune weights on a cubic schedule, then "
                 "fine-tune (masks re-applied every step)");
@@ -164,22 +152,8 @@ Status RunMain(int argc, const char* const* argv) {
     DHGCN_RETURN_IF_ERROR(FaultInjection::Get().ArmFromSpec(fault_spec));
     std::printf("fault injection armed: %s\n", fault_spec.c_str());
   }
-  if (threads < 0) {
-    return Status::InvalidArgument(
-        StrCat("--threads must be >= 0, got ", threads));
-  }
-  if (threads > 0) ThreadPool::Get().SetThreads(threads);
+  DHGCN_RETURN_IF_ERROR(rt.Apply());
   DHGCN_ASSIGN_OR_RETURN(PlanMode plan_mode, ParsePlanMode(plan_name));
-  DHGCN_ASSIGN_OR_RETURN(SparseMode sparse_mode,
-                         ParseSparseMode(sparse_name));
-  SparseRouter::Get().set_mode(sparse_mode);
-  if (sparse_threshold != 0.0) {
-    if (sparse_threshold <= 0.0 || sparse_threshold > 1.0) {
-      return Status::InvalidArgument(StrCat(
-          "--sparse_threshold must be in (0,1], got ", sparse_threshold));
-    }
-    SparseRouter::Get().set_density_threshold(sparse_threshold);
-  }
 
   // --- Dataset -----------------------------------------------------------
   Result<SkeletonDataset> dataset_result = [&]() -> Result<SkeletonDataset> {
@@ -310,10 +284,17 @@ Status RunMain(int argc, const char* const* argv) {
   EvalOptions eval_options;
   eval_options.plan = plan_mode;
   eval_options.log_peak_bytes = plan_mode != PlanMode::kOff;
+  eval_options.precision = rt.resolved_precision;
+  // Int8 activation scales calibrate on training data (never the test
+  // split: the eval must not see its own statistics).
+  DataLoader calibration_loader(&dataset, split.train, batch_size, stream,
+                                /*shuffle=*/false);
+  eval_options.calibration_loader = &calibration_loader;
   EvalMetrics metrics = Evaluate(*model, test_loader, eval_options);
-  std::printf("test: top-1 %.1f%%  top-5 %.1f%%  loss %.3f  (%lld "
+  std::printf("test[%s]: top-1 %.1f%%  top-5 %.1f%%  loss %.3f  (%lld "
               "samples)\n",
-              100.0 * metrics.top1, 100.0 * metrics.top5, metrics.loss,
+              PrecisionName(rt.resolved_precision), 100.0 * metrics.top1,
+              100.0 * metrics.top5, metrics.loss,
               static_cast<long long>(metrics.count));
   if (report) {
     DataLoader report_loader(&dataset, split.test, batch_size, stream,

@@ -174,6 +174,11 @@ RULES = [
         re.compile(
             r"#\s*include\s*<\w*intrin\.h>"
             r"|\b_mm\d*_\w+\s*\("
+            # Vector register types (__m128/__m256/__m512 and the int8/
+            # integer i and double d variants) — catches ISA-specific
+            # code that only declares registers without calling an
+            # intrinsic on the same line.
+            r"|\b__m\d{3}[id]?\b"
             r"|__builtin_cpu_supports\b"
             r"|__attribute__\s*\(\(\s*target\b"
             r"|\bvector_size\s*\("
@@ -205,12 +210,15 @@ WS_LIFETIME_RULE_EXEMPT = {
     "src/tensor/workspace.cc",
 }
 
-# The one place ISA-specific codegen is allowed: the micro-kernel TU,
-# where the runtime-dispatch and register-tile idioms live. Everything
-# else must stay portable C++ and inherit vectorization through it.
+# The one place ISA-specific codegen is allowed: the micro-kernel TU
+# family (fp32 and int8 blocked GEMM), where the runtime-dispatch and
+# register-tile idioms live. Everything else must stay portable C++ and
+# inherit vectorization through it.
 SIMD_RULE_EXEMPT = {
     "src/tensor/gemm_kernel.h",
     "src/tensor/gemm_kernel.cc",
+    "src/tensor/gemm_kernel_int8.h",
+    "src/tensor/gemm_kernel_int8.cc",
 }
 
 PAIR_RULE = "fwd-bwd-pair"
@@ -497,7 +505,7 @@ def self_test():
         "serve-wait": ("src/serve/bad_serve_wait.cc", 1),
         "plan-alloc": ("src/plan/plan_runner_bad.cc", 1),
         "sparse-route": ("src/hypergraph/hypergraph_conv_bad.cc", 1),
-        "simd": ("src/bad_simd.cc", 1),
+        "simd": ("src/bad_simd.cc", 2),
         "mutex-wrap": ("src/bad_mutex_wrap.cc", 1),
         # Two shapes of the lifetime bug: a member store and a
         # use-after-Reset, both in the one fixture.

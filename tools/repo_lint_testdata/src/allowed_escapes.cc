@@ -26,7 +26,9 @@ void Run() {
   escape_mu.unlock();
   // lint: allow-simd — fixture exercising the simd-rule escape hatch.
   int supports_avx = __builtin_cpu_supports("avx");
-  if (supports_avx < 0) SideEffect();
+  // lint: allow-simd — int8 vector-register token behind the same hatch.
+  __m256i wide = {};
+  if (supports_avx < 0 || sizeof(wide) == 0) SideEffect();
 }
 
 class Tensor;

@@ -1,8 +1,15 @@
-// Fixture: SIMD intrinsic outside the GEMM kernel TU (rule simd).
+// Fixture: SIMD intrinsics outside the GEMM kernel TU (rule simd) —
+// one fp32 intrinsic call, one int8 vector-register declaration (the
+// type alone trips the rule, no intrinsic call needed).
 namespace dhgcn {
 
 float FirstLane(const float* x) {
   return _mm_cvtss_f32(_mm_loadu_ps(x));
+}
+
+int WidePopcount(const void* p) {
+  __m256i v = *static_cast<const __m256i*>(p);
+  return static_cast<int>(reinterpret_cast<const char*>(&v)[0]);
 }
 
 }  // namespace dhgcn
